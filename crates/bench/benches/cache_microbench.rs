@@ -1,0 +1,42 @@
+//! Microbenchmarks of the cache-simulator substrate: raw access throughput
+//! and the layout sensitivity of a strided sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlo_cachesim::{Cache, CacheConfig, MachineConfig, MemoryHierarchy};
+
+fn cache_access_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_microbench");
+    // Sequential (unit-stride) vs. large-stride access streams.
+    for &(label, stride) in &[("unit_stride", 4u64), ("line_stride", 32), ("page_stride", 4096)] {
+        group.bench_with_input(BenchmarkId::new("l1_access", label), &stride, |b, &stride| {
+            b.iter(|| {
+                let mut cache = Cache::new(CacheConfig::new(8 * 1024, 2, 32).expect("valid"));
+                let mut hits = 0u64;
+                for i in 0..10_000u64 {
+                    if cache.access(i * stride) == mlo_cachesim::AccessOutcome::Hit {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("hierarchy_access", label),
+            &stride,
+            |b, &stride| {
+                b.iter(|| {
+                    let mut hierarchy = MemoryHierarchy::new(MachineConfig::date05());
+                    let mut cycles = 0u64;
+                    for i in 0..10_000u64 {
+                        cycles += hierarchy.access(i * stride).1;
+                    }
+                    cycles
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cache_access_throughput);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench behind Figure 4: solver time as the three enhancements
+//! (variable ordering, value ordering, backjumping) are enabled cumulatively.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlo_benchmarks::Benchmark;
+use mlo_csp::{Scheme, SearchEngine, ValueOrdering, VariableOrdering};
+use mlo_layout::build_network;
+
+fn breakdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4_breakdown");
+    group.sample_size(10);
+    for benchmark in Benchmark::all() {
+        let program = benchmark.program();
+        let network = build_network(&program, &benchmark.candidate_options());
+        // Capped so the random-order configurations terminate on the larger
+        // networks (see the `figure4` binary for the capped node counts).
+        let base = SearchEngine::with_scheme(Scheme::Base).node_limit(200_000);
+        let mut with_variable = base.clone();
+        with_variable.variable_ordering = VariableOrdering::MostConstraining;
+        let mut with_value = with_variable.clone();
+        with_value.value_ordering = ValueOrdering::LeastConstraining;
+        let mut enhanced = with_value.clone();
+        enhanced.backjumping = true;
+
+        let configs = [
+            ("base", base),
+            ("var_ordering", with_variable),
+            ("var_val_ordering", with_value),
+            ("enhanced", enhanced),
+        ];
+        for (label, engine) in configs {
+            group.bench_with_input(
+                BenchmarkId::new(label, benchmark.name()),
+                network.network(),
+                |b, net| b.iter(|| engine.solve(net)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, breakdown);
+criterion_main!(benches);

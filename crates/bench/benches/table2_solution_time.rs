@@ -1,0 +1,43 @@
+//! Criterion bench behind Table 2: time to determine the memory layouts of
+//! every benchmark with the heuristic, base and enhanced schemes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlo_benchmarks::Benchmark;
+use mlo_core::{Optimizer, OptimizerOptions, OptimizerScheme};
+
+fn solution_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_solution_time");
+    group.sample_size(10);
+    for benchmark in Benchmark::all() {
+        let program = benchmark.program();
+        for scheme in [
+            OptimizerScheme::Heuristic,
+            OptimizerScheme::Base,
+            OptimizerScheme::Enhanced,
+        ] {
+            // The base scheme's random backtracking does not reliably
+            // terminate on the larger networks; cap it so the bench finishes
+            // (the binary harness uses a larger cap and reports it).
+            let node_limit = if scheme == OptimizerScheme::Base {
+                Some(200_000)
+            } else {
+                None
+            };
+            let optimizer = Optimizer::with_options(OptimizerOptions {
+                scheme,
+                candidates: benchmark.candidate_options(),
+                node_limit,
+                ..OptimizerOptions::default()
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("{scheme}"), benchmark.name()),
+                &program,
+                |b, program| b.iter(|| optimizer.optimize(program)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, solution_time);
+criterion_main!(benches);

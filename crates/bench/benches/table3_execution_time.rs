@@ -1,0 +1,52 @@
+//! Criterion bench behind Table 3: simulated execution of each benchmark
+//! under the original, heuristic and constraint-network layouts.
+//!
+//! The full five-benchmark sweep is expensive, so the bench times the two
+//! cheapest benchmarks per configuration; the `table3` binary prints the
+//! complete table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlo_benchmarks::Benchmark;
+use mlo_cachesim::{MachineConfig, Simulator};
+use mlo_core::experiments::table3_trace_options;
+use mlo_core::{Optimizer, OptimizerOptions, OptimizerScheme};
+use mlo_layout::LayoutAssignment;
+
+fn execution_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_execution_time");
+    group.sample_size(10);
+    for benchmark in [Benchmark::Track, Benchmark::MedIm04] {
+        let program = benchmark.program();
+        let simulator =
+            Simulator::new(MachineConfig::date05()).trace_options(table3_trace_options());
+
+        let original = LayoutAssignment::all_row_major(&program);
+        group.bench_with_input(
+            BenchmarkId::new("original", benchmark.name()),
+            &program,
+            |b, program| {
+                let sim = simulator.clone().without_restructuring();
+                b.iter(|| sim.simulate(program, &original).expect("simulates"))
+            },
+        );
+
+        for scheme in [OptimizerScheme::Heuristic, OptimizerScheme::Enhanced] {
+            let assignment = Optimizer::with_options(OptimizerOptions {
+                scheme,
+                candidates: benchmark.candidate_options(),
+                ..OptimizerOptions::default()
+            })
+            .optimize(&program)
+            .assignment;
+            group.bench_with_input(
+                BenchmarkId::new(format!("{scheme}"), benchmark.name()),
+                &program,
+                |b, program| b.iter(|| simulator.simulate(program, &assignment).expect("simulates")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, execution_time);
+criterion_main!(benches);

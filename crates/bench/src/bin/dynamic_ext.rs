@@ -1,0 +1,42 @@
+//! Demonstrates the paper's second future-work extension: dynamic memory
+//! layouts that change between program segments when the re-layout copy pays
+//! for itself.
+//!
+//! ```text
+//! cargo run -p mlo-bench --release --bin dynamic_ext
+//! ```
+
+use mlo_benchmarks::Benchmark;
+use mlo_core::{Optimizer, OptimizerScheme, TextTable};
+
+fn main() {
+    println!("Dynamic-layout extension (paper Section 6, future work)\n");
+    let mut table = TextTable::new(vec![
+        "Benchmark",
+        "Segments (window=4)",
+        "Arrays switching",
+        "Static cost",
+        "Dynamic cost",
+        "Benefit",
+    ]);
+    let optimizer = Optimizer::new(OptimizerScheme::Enhanced);
+    for benchmark in Benchmark::all() {
+        let program = benchmark.program();
+        let plan = optimizer.dynamic_plan(&program, 4);
+        table.row(vec![
+            benchmark.name().into(),
+            plan.segmentation.len().to_string(),
+            plan.dynamic_arrays().len().to_string(),
+            format!("{:.0}", plan.total_static_cost()),
+            format!("{:.0}", plan.total_cost()),
+            format!("{:.1}%", 100.0 * plan.total_benefit() / plan.total_static_cost().max(1.0)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Costs are modelled reference misses plus re-layout copies (2 transfers\n\
+         per element).  A benefit of 0% means the best static layout already\n\
+         serves every segment; positive benefits identify the phase changes the\n\
+         paper's dynamic-layout future work targets."
+    );
+}

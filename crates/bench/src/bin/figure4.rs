@@ -1,0 +1,20 @@
+//! Regenerates Figure 4: how much of the enhanced scheme's saving comes from
+//! variable selection, value selection and backjumping.
+//!
+//! ```text
+//! cargo run -p mlo-bench --release --bin figure4
+//! ```
+
+use mlo_core::experiments::{figure4, format_figure4};
+
+fn main() {
+    let rows = figure4();
+    println!("Figure 4: breakdown of benefits coming from the enhanced scheme\n");
+    println!("{}", format_figure4(&rows));
+    println!(
+        "Shares are computed from visited search nodes (deterministic proxy for\n\
+         the paper's solution-time reductions): enhancements are enabled\n\
+         cumulatively in the order variable selection, value selection,\n\
+         backjumping, matching the stacking order of the paper's bar chart."
+    );
+}

@@ -1,0 +1,56 @@
+//! A scaling study beyond the paper: how the base and enhanced schemes
+//! behave as random layout networks grow.
+//!
+//! ```text
+//! cargo run -p mlo-bench --release --bin scaling
+//! ```
+
+use mlo_core::TextTable;
+use mlo_csp::random::{satisfiable_network, RandomNetworkSpec};
+use mlo_csp::{Scheme, SearchEngine};
+
+fn main() {
+    println!("Solver scaling on planted-satisfiable random networks\n");
+    let mut table = TextTable::new(vec![
+        "Variables",
+        "Domain",
+        "Density",
+        "Tightness",
+        "Base nodes",
+        "Enhanced nodes",
+        "FC nodes",
+        "Base time",
+        "Enhanced time",
+    ]);
+    for &(variables, domain, density, tightness) in &[
+        (10usize, 4usize, 0.4, 0.3),
+        (20, 4, 0.4, 0.3),
+        (40, 5, 0.3, 0.35),
+        (60, 5, 0.2, 0.4),
+        (80, 6, 0.15, 0.4),
+    ] {
+        let spec = RandomNetworkSpec {
+            variables,
+            domain_size: domain,
+            density,
+            tightness,
+            seed: 2024,
+        };
+        let (net, _) = satisfiable_network(&spec);
+        let base = SearchEngine::with_scheme(Scheme::Base).solve(&net);
+        let enhanced = SearchEngine::with_scheme(Scheme::Enhanced).solve(&net);
+        let fc = SearchEngine::with_scheme(Scheme::ForwardChecking).solve(&net);
+        table.row(vec![
+            variables.to_string(),
+            domain.to_string(),
+            format!("{density:.2}"),
+            format!("{tightness:.2}"),
+            base.stats.nodes_visited.to_string(),
+            enhanced.stats.nodes_visited.to_string(),
+            fc.stats.nodes_visited.to_string(),
+            format!("{:.2?}", base.elapsed),
+            format!("{:.2?}", enhanced.elapsed),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table 2: layout solution times for the heuristic, base and
+//! enhanced schemes.
+//!
+//! ```text
+//! cargo run -p mlo-bench --release --bin table2
+//! ```
+
+use mlo_bench::table2_with_paper;
+use mlo_core::experiments::{format_table2, table2};
+
+fn main() {
+    let rows = table2();
+    println!("Table 2: solution times taken by different versions\n");
+    println!("{}", format_table2(&rows));
+    println!("{}", table2_with_paper(&rows));
+    println!(
+        "Published times are seconds on a 500 MHz Sparc (2005); only the ratios\n\
+         (base much slower than enhanced, enhanced comparable to the heuristic)\n\
+         are expected to transfer to this machine."
+    );
+}

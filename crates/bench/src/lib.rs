@@ -1,0 +1,128 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Two kinds of targets live here:
+//!
+//! * **binaries** (`cargo run -p mlo-bench --release --bin <name>`) that run
+//!   an experiment once and print a paper-style table next to the published
+//!   values:
+//!   * `table1` — benchmark characteristics (Table 1),
+//!   * `table2` — layout solution times (Table 2),
+//!   * `table3` — simulated execution times (Table 3),
+//!   * `figure3` — backtracking vs. backjumping trace comparison (Figure 3),
+//!   * `figure4` — breakdown of the enhanced scheme's savings (Figure 4),
+//!   * `weighted_ext` — the weighted-constraint future-work extension,
+//!   * `scaling` — solver scaling on random networks (beyond the paper);
+//! * **Criterion benches** (`cargo bench -p mlo-bench`) that time the hot
+//!   paths behind Tables 2/3 and Figure 4 plus solver/cache microbenchmarks.
+//!
+//! The shared helpers below keep the binaries small.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mlo_core::experiments::{Table2Row, Table3Row};
+use mlo_core::TextTable;
+
+/// Formats a Table 2 comparison against the paper's published seconds.
+///
+/// Published times were measured on a 500 MHz Sun Sparc in 2005, so only the
+/// *ratios* (base ≫ enhanced ≳ heuristic) are expected to transfer.
+pub fn table2_with_paper(rows: &[Table2Row]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Benchmark",
+        "Heuristic (measured)",
+        "Base (measured)",
+        "Enhanced (measured)",
+        "Heuristic (paper s)",
+        "Base (paper s)",
+        "Enhanced (paper s)",
+        "Base/Enh (measured)",
+        "Base/Enh (paper)",
+    ]);
+    for r in rows {
+        let paper = r.benchmark.paper_row();
+        let measured_ratio = if r.enhanced.as_secs_f64() > 0.0 {
+            r.base.as_secs_f64() / r.enhanced.as_secs_f64()
+        } else {
+            0.0
+        };
+        t.row(vec![
+            r.benchmark.name().into(),
+            format!("{:.2?}", r.heuristic),
+            format!("{:.2?}", r.base),
+            format!("{:.2?}", r.enhanced),
+            format!("{:.2}", paper.heuristic_solution_secs),
+            format!("{:.2}", paper.base_solution_secs),
+            format!("{:.2}", paper.enhanced_solution_secs),
+            format!("{measured_ratio:.2}"),
+            format!(
+                "{:.2}",
+                paper.base_solution_secs / paper.enhanced_solution_secs
+            ),
+        ]);
+    }
+    t
+}
+
+/// Formats a Table 3 comparison against the paper's published improvements.
+pub fn table3_with_paper(rows: &[Table3Row]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Benchmark",
+        "Heur. impr. (measured)",
+        "Base impr. (measured)",
+        "Enh. impr. (measured)",
+        "Heur. impr. (paper)",
+        "Base impr. (paper)",
+        "Enh. impr. (paper)",
+    ]);
+    for r in rows {
+        let paper = r.benchmark.paper_row();
+        let paper_impr = |value: f64| (paper.original_exec_secs - value) / paper.original_exec_secs * 100.0;
+        t.row(vec![
+            r.benchmark.name().into(),
+            format!("{:.1}%", r.improvement(r.heuristic_cycles)),
+            format!("{:.1}%", r.improvement(r.base_cycles)),
+            format!("{:.1}%", r.improvement(r.enhanced_cycles)),
+            format!("{:.1}%", paper_impr(paper.heuristic_exec_secs)),
+            format!("{:.1}%", paper_impr(paper.base_exec_secs)),
+            format!("{:.1}%", paper_impr(paper.enhanced_exec_secs)),
+        ]);
+    }
+    t
+}
+
+/// Computes the average improvement (percent) across rows for one extractor,
+/// mirroring the averages quoted in the paper's Section 5.
+pub fn average_improvement(rows: &[Table3Row], cycles_of: impl Fn(&Table3Row) -> u64) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|r| r.improvement(cycles_of(r))).sum::<f64>() / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlo_benchmarks::Benchmark;
+
+    fn fake_row(benchmark: Benchmark) -> Table3Row {
+        Table3Row {
+            benchmark,
+            original_cycles: 1000,
+            heuristic_cycles: 600,
+            base_cycles: 400,
+            enhanced_cycles: 400,
+        }
+    }
+
+    #[test]
+    fn averages_and_formatting() {
+        let rows = vec![fake_row(Benchmark::MxM), fake_row(Benchmark::Track)];
+        assert!((average_improvement(&rows, |r| r.heuristic_cycles) - 40.0).abs() < 1e-9);
+        assert!((average_improvement(&rows, |r| r.enhanced_cycles) - 60.0).abs() < 1e-9);
+        assert_eq!(average_improvement(&[], |r| r.enhanced_cycles), 0.0);
+        let printed = table3_with_paper(&rows).to_string();
+        assert!(printed.contains("MxM"));
+        assert!(printed.contains("paper"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Building blocks shared by the benchmark programs: canonical 2-D access
+//! patterns and pipeline-stage helpers.
+//!
+//! The pipelines are designed so that
+//!
+//! * a **global solution exists** (assigning every image and coefficient
+//!   array the column-major layout, with each nest interchanged, satisfies
+//!   every derived constraint), so the constraint networks the benchmarks
+//!   induce are satisfiable just as the paper's were;
+//! * the **original code** (row-major layouts, original loop order) has poor
+//!   spatial locality in the "revealer" and "diagonal" stages;
+//! * the **greedy heuristic** is lured into fixing the shared coefficient
+//!   arrays row-major by the early tie stages (where either loop order is
+//!   locally equally good) and then pays for it in every revealer stage —
+//!   the global constraint-network solution avoids this, reproducing the
+//!   paper's ordering *original > heuristic > constraint-network*.
+
+use mlo_ir::{AccessBuilder, AffineAccess, ArrayId, NestId, ProgramBuilder};
+
+/// The stylized 2-D access patterns the benchmark kernels are composed of.
+///
+/// All patterns are expressed for a 2-deep `(i, j)` nest with `j` innermost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// `A[i][j]` — streams along rows (prefers row-major; column-major after
+    /// interchange).
+    RowWise,
+    /// `A[j][i]` — streams along columns (prefers column-major; row-major
+    /// after interchange).
+    ColumnWise,
+    /// `A[i+j][j]` — the skewed access of the paper's Figure 2 (prefers the
+    /// diagonal layout; column-major after interchange).
+    DiagonalSkew,
+    /// `A[i+j][i]` — the second access of Figure 2 (prefers column-major;
+    /// diagonal after interchange).
+    AntiDiagonalSkew,
+    /// `A[i][j-1]` — a shifted row-wise access (same preference as
+    /// [`Pattern::RowWise`]).
+    ShiftedRow,
+    /// `A[i][0]` — a row-indexed lookup that does not move with the
+    /// innermost loop (temporal reuse, no layout preference).
+    RowLookup,
+}
+
+impl Pattern {
+    /// The affine access of this pattern in a 2-deep nest.
+    pub fn access(self) -> AffineAccess {
+        match self {
+            Pattern::RowWise => AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build(),
+            Pattern::ColumnWise => AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build(),
+            Pattern::DiagonalSkew => {
+                AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build()
+            }
+            Pattern::AntiDiagonalSkew => {
+                AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build()
+            }
+            Pattern::ShiftedRow => AccessBuilder::new(2, 2)
+                .row(0, [1, 0])
+                .row(1, [0, 1])
+                .offset(1, -1)
+                .build(),
+            Pattern::RowLookup => AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 0]).build(),
+        }
+    }
+}
+
+/// Describes one pipeline stage: a 2-deep nest that reads a set of arrays
+/// (each with its own pattern) and writes one array.
+#[derive(Debug, Clone)]
+pub struct StageSpec {
+    /// Stage name (becomes the nest name).
+    pub name: String,
+    /// Arrays read and their access patterns.
+    pub reads: Vec<(ArrayId, Pattern)>,
+    /// The array written and its access pattern.
+    pub write: (ArrayId, Pattern),
+    /// Extra non-memory instructions per iteration.
+    pub compute: u32,
+}
+
+/// Adds a square `n × n` pipeline-stage nest to the program being built and
+/// returns its id.
+pub fn add_stage(builder: &mut ProgramBuilder, n: i64, spec: &StageSpec) -> NestId {
+    let reads = spec.reads.clone();
+    let write = spec.write;
+    let compute = spec.compute;
+    builder.nest(spec.name.clone(), vec![("i", 0, n), ("j", 0, n)], |nest| {
+        for (array, pattern) in &reads {
+            nest.read(*array, pattern.access());
+        }
+        nest.write(write.0, write.1.access());
+        nest.compute(compute);
+    })
+}
+
+/// The role a pipeline stage plays (see the module documentation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Reads the previous image row-wise, writes the next one row-wise;
+    /// reads the shared coefficient array row-wise.  Either loop order is
+    /// locally perfect, which is the trap the greedy heuristic falls into.
+    Tie,
+    /// Reads the previous image and the shared coefficients with the
+    /// anti-diagonal skew (column-major preference) and writes the next
+    /// image column-wise.
+    Revealer,
+    /// Reads the previous image with the diagonal skew and writes the next
+    /// image row-wise.
+    Diagonal,
+}
+
+impl StageKind {
+    /// The rotation used by [`add_pipeline`]: stage `k` gets
+    /// `StageKind::of(k)`.
+    pub fn of(k: usize) -> StageKind {
+        match k % 3 {
+            0 => StageKind::Tie,
+            1 => StageKind::Revealer,
+            _ => StageKind::Diagonal,
+        }
+    }
+}
+
+/// Builds a chained image-processing pipeline of `stages` nests over
+/// `stages + 1` square `n × n` images, following the Tie / Revealer /
+/// Diagonal rotation, with `shared` coefficient arrays read by the tie and
+/// revealer stages.
+///
+/// Returns the ids of the image arrays (the coefficient arrays are owned by
+/// the caller so they can be shared between pipelines).
+pub fn add_pipeline(
+    builder: &mut ProgramBuilder,
+    prefix: &str,
+    stages: usize,
+    n: i64,
+    element_size: u32,
+    shared: &[ArrayId],
+) -> Vec<ArrayId> {
+    let images: Vec<ArrayId> = (0..=stages)
+        .map(|k| builder.array(format!("{prefix}_img{k}"), vec![n, n], element_size))
+        .collect();
+    for k in 0..stages {
+        let shared_array = if shared.is_empty() {
+            None
+        } else {
+            Some(shared[k % shared.len()])
+        };
+        let (mut reads, write_pattern) = match StageKind::of(k) {
+            StageKind::Tie => {
+                let mut reads = vec![(images[k], Pattern::RowWise)];
+                // Only the first tie stage of the pipeline reads the shared
+                // coefficients row-wise: that is the early, locally-tied
+                // decision that locks the greedy heuristic in.
+                if k == 0 {
+                    if let Some(f) = shared_array {
+                        reads.push((f, Pattern::RowWise));
+                    }
+                }
+                (reads, Pattern::RowWise)
+            }
+            StageKind::Revealer => {
+                let mut reads = vec![(images[k], Pattern::AntiDiagonalSkew)];
+                if let Some(f) = shared_array {
+                    reads.push((f, Pattern::AntiDiagonalSkew));
+                }
+                (reads, Pattern::ColumnWise)
+            }
+            StageKind::Diagonal => (vec![(images[k], Pattern::DiagonalSkew)], Pattern::RowWise),
+        };
+        reads.shrink_to_fit();
+        let spec = StageSpec {
+            name: format!("{prefix}_stage{k}"),
+            reads,
+            write: (images[k + 1], write_pattern),
+            compute: 4,
+        };
+        add_stage(builder, n, &spec);
+    }
+    images
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlo_ir::LoopTransform;
+    use mlo_layout::{locality::preferred_layout, Layout};
+
+    #[test]
+    fn patterns_have_the_expected_layout_preferences() {
+        let id = LoopTransform::identity(2);
+        let interchange = LoopTransform::permutation(&[1, 0]);
+        assert_eq!(
+            preferred_layout(&Pattern::RowWise.access(), &id),
+            Some(Layout::row_major(2))
+        );
+        assert_eq!(
+            preferred_layout(&Pattern::RowWise.access(), &interchange),
+            Some(Layout::column_major(2))
+        );
+        assert_eq!(
+            preferred_layout(&Pattern::ColumnWise.access(), &id),
+            Some(Layout::column_major(2))
+        );
+        assert_eq!(
+            preferred_layout(&Pattern::DiagonalSkew.access(), &id),
+            Some(Layout::diagonal())
+        );
+        assert_eq!(
+            preferred_layout(&Pattern::DiagonalSkew.access(), &interchange),
+            Some(Layout::column_major(2))
+        );
+        assert_eq!(
+            preferred_layout(&Pattern::AntiDiagonalSkew.access(), &id),
+            Some(Layout::column_major(2))
+        );
+        assert_eq!(
+            preferred_layout(&Pattern::AntiDiagonalSkew.access(), &interchange),
+            Some(Layout::diagonal())
+        );
+        assert_eq!(
+            preferred_layout(&Pattern::ShiftedRow.access(), &id),
+            Some(Layout::row_major(2))
+        );
+        assert_eq!(preferred_layout(&Pattern::RowLookup.access(), &id), None);
+    }
+
+    #[test]
+    fn stage_kind_rotation() {
+        assert_eq!(StageKind::of(0), StageKind::Tie);
+        assert_eq!(StageKind::of(1), StageKind::Revealer);
+        assert_eq!(StageKind::of(2), StageKind::Diagonal);
+        assert_eq!(StageKind::of(3), StageKind::Tie);
+    }
+
+    #[test]
+    fn pipeline_builder_wires_stages_together() {
+        let mut b = ProgramBuilder::new("pipe");
+        let shared = vec![b.array("coef", vec![16, 16], 4)];
+        let images = add_pipeline(&mut b, "t", 4, 16, 4, &shared);
+        let p = b.build();
+        assert_eq!(images.len(), 5);
+        assert_eq!(p.nests().len(), 4);
+        // Every interior image is referenced by two nests (written then read).
+        for k in 1..4 {
+            assert_eq!(p.nests_referencing(images[k]).len(), 2, "image {k}");
+        }
+        // The shared coefficient array is read by the first tie stage and by
+        // the revealer stage.
+        assert_eq!(p.nests_referencing(shared[0]).len(), 2);
+    }
+
+    #[test]
+    fn pipeline_network_is_satisfiable_with_all_column_major() {
+        // The module documentation claims the all-column-major assignment
+        // satisfies every constraint derived from a pipeline; verify it.
+        use mlo_csp::{Assignment, VarId};
+        use mlo_layout::{build_network, CandidateOptions};
+        let mut b = ProgramBuilder::new("pipe");
+        let shared = vec![b.array("coef", vec![16, 16], 4)];
+        add_pipeline(&mut b, "t", 7, 16, 4, &shared);
+        let p = b.build();
+        let ln = build_network(
+            &p,
+            &CandidateOptions {
+                include_diagonals: true,
+                ..CandidateOptions::default()
+            },
+        );
+        let net = ln.network();
+        let mut asg = Assignment::new(net.variable_count());
+        for v in 0..net.variable_count() {
+            let var = VarId::new(v);
+            let idx = net
+                .domain(var)
+                .index_of(&Layout::column_major(2))
+                .expect("column-major is a candidate for every 2-D array");
+            asg.assign(var, idx);
+        }
+        assert_eq!(net.is_solution(&asg), Ok(true));
+    }
+
+    #[test]
+    fn add_stage_sets_compute_cost() {
+        let mut b = ProgramBuilder::new("s");
+        let a = b.array("A", vec![8, 8], 4);
+        let o = b.array("O", vec![8, 8], 4);
+        let spec = StageSpec {
+            name: "only".into(),
+            reads: vec![(a, Pattern::RowWise)],
+            write: (o, Pattern::RowWise),
+            compute: 9,
+        };
+        add_stage(&mut b, 8, &spec);
+        let p = b.build();
+        assert_eq!(p.nests()[0].compute_per_iteration(), 9);
+        assert_eq!(p.nests()[0].references().len(), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Random affine programs for stress tests and scaling studies.
+
+use crate::generators::{add_stage, Pattern, StageSpec};
+use mlo_ir::{ArrayId, Program, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the random program generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomProgramSpec {
+    /// Number of 2-D arrays.
+    pub arrays: usize,
+    /// Number of loop nests.
+    pub nests: usize,
+    /// Square extent of every array (`n × n`).
+    pub extent: i64,
+    /// Reads per nest (each from a randomly chosen array and pattern).
+    pub reads_per_nest: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomProgramSpec {
+    fn default() -> Self {
+        RandomProgramSpec {
+            arrays: 12,
+            nests: 10,
+            extent: 32,
+            reads_per_nest: 2,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates a random program: every nest reads a few random arrays with
+/// random patterns and writes another random array row- or column-wise.
+///
+/// Unlike the curated benchmarks, these networks are *not* guaranteed to be
+/// satisfiable — which is exactly what the optimizer's fallback path and the
+/// scaling benchmarks need to exercise.
+pub fn random_program(spec: &RandomProgramSpec) -> Program {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut b = ProgramBuilder::new(format!("random_{}", spec.seed));
+    let arrays: Vec<ArrayId> = (0..spec.arrays.max(2))
+        .map(|i| b.array(format!("R{i}"), vec![spec.extent, spec.extent], 4))
+        .collect();
+    let read_patterns = [
+        Pattern::RowWise,
+        Pattern::ColumnWise,
+        Pattern::DiagonalSkew,
+        Pattern::AntiDiagonalSkew,
+        Pattern::ShiftedRow,
+        Pattern::RowLookup,
+    ];
+    let write_patterns = [Pattern::RowWise, Pattern::ColumnWise, Pattern::DiagonalSkew];
+    for k in 0..spec.nests {
+        let mut reads = Vec::new();
+        for _ in 0..spec.reads_per_nest.max(1) {
+            let array = arrays[rng.gen_range(0..arrays.len())];
+            let pattern = read_patterns[rng.gen_range(0..read_patterns.len())];
+            reads.push((array, pattern));
+        }
+        let write_array = arrays[rng.gen_range(0..arrays.len())];
+        let write_pattern = write_patterns[rng.gen_range(0..write_patterns.len())];
+        add_stage(
+            &mut b,
+            spec.extent,
+            &StageSpec {
+                name: format!("nest{k}"),
+                reads,
+                write: (write_array, write_pattern),
+                compute: rng.gen_range(2..8),
+            },
+        );
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlo_layout::{build_network, CandidateOptions};
+
+    #[test]
+    fn generation_is_reproducible() {
+        let spec = RandomProgramSpec::default();
+        let a = random_program(&spec);
+        let b = random_program(&spec);
+        assert_eq!(a, b);
+        assert_eq!(a.arrays().len(), spec.arrays);
+        assert_eq!(a.nests().len(), spec.nests);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_program(&RandomProgramSpec::default());
+        let b = random_program(&RandomProgramSpec {
+            seed: 99,
+            ..RandomProgramSpec::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn random_programs_build_constraint_networks() {
+        let p = random_program(&RandomProgramSpec {
+            arrays: 8,
+            nests: 6,
+            extent: 16,
+            reads_per_nest: 2,
+            seed: 3,
+        });
+        let ln = build_network(&p, &CandidateOptions::default());
+        assert_eq!(ln.network().variable_count(), 8);
+        // Networks derived from multi-nest programs normally have constraints.
+        assert!(ln.network().constraint_count() > 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! The end-to-end simulator: program + layouts → cycles.
+
+use crate::config::MachineConfig;
+use crate::hierarchy::MemoryHierarchy;
+use crate::stats::CacheStats;
+use crate::trace::{TraceGenerator, TraceOptions};
+use crate::Result;
+use mlo_ir::{LoopTransform, NestId, Program};
+use mlo_layout::{quality, LayoutAssignment};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Per-nest and whole-program simulation results.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Total cycles of the whole program (sub-sampled nests are scaled back
+    /// up to their true iteration counts).
+    pub total_cycles: u64,
+    /// Total simulated data accesses (before scaling).
+    pub total_accesses: u64,
+    /// L1 data-cache counters.
+    pub l1_data: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// Per-nest cycles after scaling, indexed by nest id order.
+    pub nest_cycles: Vec<(NestId, u64)>,
+    /// The loop restructuring used for every nest.
+    pub nest_transforms: Vec<(NestId, String)>,
+}
+
+impl SimulationReport {
+    /// Speedup of this report relative to a baseline (baseline cycles / own
+    /// cycles); values above 1.0 mean this run is faster.
+    pub fn speedup_over(&self, baseline: &SimulationReport) -> f64 {
+        if self.total_cycles == 0 {
+            return 1.0;
+        }
+        baseline.total_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// Percentage improvement over a baseline, as the paper reports
+    /// (positive = faster than the baseline).
+    pub fn improvement_over(&self, baseline: &SimulationReport) -> f64 {
+        if baseline.total_cycles == 0 {
+            return 0.0;
+        }
+        (baseline.total_cycles as f64 - self.total_cycles as f64)
+            / baseline.total_cycles as f64
+            * 100.0
+    }
+}
+
+impl fmt::Display for SimulationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles: {}", self.total_cycles)?;
+        writeln!(f, "L1D: {}", self.l1_data)?;
+        writeln!(f, "L2:  {}", self.l2)
+    }
+}
+
+/// Replays a program's data accesses through the memory hierarchy under a
+/// layout assignment.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: MachineConfig,
+    trace_options: TraceOptions,
+    /// Whether each nest may use its best legal loop restructuring for the
+    /// given layouts (the compiler the paper assumes does exactly that).
+    pub allow_restructuring: bool,
+}
+
+impl Simulator {
+    /// Creates a simulator for a machine configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        Simulator {
+            config,
+            trace_options: TraceOptions::default(),
+            allow_restructuring: true,
+        }
+    }
+
+    /// Overrides the trace-generation options.
+    pub fn trace_options(mut self, options: TraceOptions) -> Self {
+        self.trace_options = options;
+        self
+    }
+
+    /// Disables per-nest loop restructuring (every nest runs in its original
+    /// loop order).  Used for the "Original" baseline column of Table 3.
+    pub fn without_restructuring(mut self) -> Self {
+        self.allow_restructuring = false;
+        self
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Simulates the program under a layout assignment.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an array has no layout or a layout cannot be linearized.
+    pub fn simulate(
+        &self,
+        program: &Program,
+        assignment: &LayoutAssignment,
+    ) -> Result<SimulationReport> {
+        let generator = TraceGenerator::new(self.trace_options);
+        let plan = generator.plan_memory(program, assignment)?;
+        let mut hierarchy = MemoryHierarchy::new(self.config);
+        let mut total_cycles = 0u64;
+        let mut total_accesses = 0u64;
+        let mut nest_cycles = Vec::new();
+        let mut nest_transforms = Vec::new();
+
+        for nest in program.nests() {
+            let transform = if self.allow_restructuring {
+                quality::best_nest_score(nest, assignment).0
+            } else {
+                LoopTransform::identity(nest.depth())
+            };
+            let trace = generator.nest_trace(program, nest.id(), &transform, &plan);
+            // Scale factor: the sub-sampled walker visits fewer iterations
+            // than the real nest; cycles are scaled back up so that nests
+            // keep their relative weight.
+            let walker = mlo_ir::IterationSpace::transformed(nest, &transform)
+                .subsampled(self.trace_options.max_trip_per_loop);
+            let simulated_iterations = walker.len().max(1) as u64;
+            let real_iterations = nest.iteration_count().max(1) as u64;
+            let scale = real_iterations as f64 / simulated_iterations as f64;
+
+            let mut nest_cycle_count = 0u64;
+            // Issue-limited instruction cost per iteration: compute
+            // instructions plus one instruction per reference, dual-issued.
+            let per_iteration_instructions =
+                nest.compute_per_iteration() as u64 + nest.references().len() as u64;
+            let issue_cycles_per_iteration =
+                per_iteration_instructions.div_ceil(self.config.issue_width.max(1));
+            let refs_per_iteration = nest.references().len().max(1) as u64;
+            let mut access_in_iteration = 0u64;
+            for access in &trace {
+                let (_, latency) = hierarchy.access(access.address);
+                // The L1 hit latency is hidden by the pipeline; only the
+                // stall beyond it costs extra cycles.
+                nest_cycle_count += latency.saturating_sub(self.config.l1_latency);
+                total_accesses += 1;
+                access_in_iteration += 1;
+                if access_in_iteration == refs_per_iteration {
+                    nest_cycle_count += issue_cycles_per_iteration;
+                    access_in_iteration = 0;
+                }
+            }
+            if trace.is_empty() {
+                // A nest with no references still burns its compute cycles.
+                nest_cycle_count += issue_cycles_per_iteration * simulated_iterations;
+            }
+            let scaled = (nest_cycle_count as f64 * scale).round() as u64;
+            total_cycles += scaled;
+            nest_cycles.push((nest.id(), scaled));
+            nest_transforms.push((nest.id(), transform.describe()));
+        }
+
+        Ok(SimulationReport {
+            total_cycles,
+            total_accesses,
+            l1_data: *hierarchy.l1_stats(),
+            l2: *hierarchy.l2_stats(),
+            nest_cycles,
+            nest_transforms,
+        })
+    }
+}
+
+/// Convenience: simulates the four Table 3 configurations of the paper for a
+/// program — original layouts (row-major, no restructuring), the heuristic
+/// baseline, and a supplied optimized assignment — returning their reports.
+///
+/// The optimized assignment is simulated twice only if it differs from the
+/// heuristic one; callers typically pass the constraint-network solution.
+#[derive(Debug, Clone)]
+pub struct ComparisonReport {
+    /// Row-major layouts, original loop order.
+    pub original: SimulationReport,
+    /// The heuristic baseline's layouts.
+    pub heuristic: SimulationReport,
+    /// The supplied (e.g. constraint-network) layouts.
+    pub optimized: SimulationReport,
+}
+
+impl ComparisonReport {
+    /// Runs the three configurations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from any of the three runs.
+    pub fn run(
+        simulator: &Simulator,
+        program: &Program,
+        optimized: &LayoutAssignment,
+    ) -> Result<Self> {
+        let original_assignment = LayoutAssignment::all_row_major(program);
+        let original = simulator
+            .clone()
+            .without_restructuring()
+            .simulate(program, &original_assignment)?;
+        let heuristic_assignment = mlo_layout::heuristic_assignment(program).assignment;
+        let heuristic = simulator.simulate(program, &heuristic_assignment)?;
+        let optimized = simulator.simulate(program, optimized)?;
+        Ok(ComparisonReport {
+            original,
+            heuristic,
+            optimized,
+        })
+    }
+}
+
+/// Map from nest id to the chosen transform description, for reports.
+pub type NestTransformMap = HashMap<NestId, String>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlo_ir::{AccessBuilder, ProgramBuilder};
+    use mlo_layout::Layout;
+
+    /// A column-wise traversal of a large 2-D array: row-major thrashes,
+    /// column-major streams.
+    fn column_walk_program() -> Program {
+        let n = 256;
+        let mut b = ProgramBuilder::new("colwalk");
+        let a = b.array("A", vec![n, n], 4);
+        // for j { for i { ... A[i][j] ... } }  (i innermost)
+        b.nest("walk", vec![("j", 0, n), ("i", 0, n)], |nest| {
+            nest.read(a, AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build());
+        });
+        b.build()
+    }
+
+    #[test]
+    fn matching_layout_beats_mismatched_layout() {
+        let p = column_walk_program();
+        let a = mlo_ir::ArrayId::new(0);
+        let sim = Simulator::new(MachineConfig::date05()).without_restructuring();
+        let mut row_major = LayoutAssignment::new();
+        row_major.set(a, Layout::row_major(2));
+        let mut column_major = LayoutAssignment::new();
+        column_major.set(a, Layout::column_major(2));
+        let bad = sim.simulate(&p, &row_major).unwrap();
+        let good = sim.simulate(&p, &column_major).unwrap();
+        assert!(
+            good.total_cycles < bad.total_cycles / 2,
+            "column-major ({}) should be much faster than row-major ({})",
+            good.total_cycles,
+            bad.total_cycles
+        );
+        assert!(good.l1_data.miss_rate() < bad.l1_data.miss_rate());
+        assert!(good.speedup_over(&bad) > 2.0);
+        assert!(good.improvement_over(&bad) > 50.0);
+    }
+
+    #[test]
+    fn restructuring_rescues_a_bad_layout() {
+        // With restructuring allowed, the simulator interchanges the loops
+        // so even the row-major layout streams.
+        let p = column_walk_program();
+        let a = mlo_ir::ArrayId::new(0);
+        let mut row_major = LayoutAssignment::new();
+        row_major.set(a, Layout::row_major(2));
+        let fixed = Simulator::new(MachineConfig::date05())
+            .without_restructuring()
+            .simulate(&p, &row_major)
+            .unwrap();
+        let restructured = Simulator::new(MachineConfig::date05())
+            .simulate(&p, &row_major)
+            .unwrap();
+        assert!(restructured.total_cycles < fixed.total_cycles);
+        assert!(restructured
+            .nest_transforms
+            .iter()
+            .any(|(_, t)| t.starts_with("permute")));
+    }
+
+    #[test]
+    fn report_contains_per_nest_data() {
+        let p = column_walk_program();
+        let asg = LayoutAssignment::all_row_major(&p);
+        let report = Simulator::new(MachineConfig::tiny()).simulate(&p, &asg).unwrap();
+        assert_eq!(report.nest_cycles.len(), 1);
+        assert_eq!(report.nest_transforms.len(), 1);
+        assert!(report.total_accesses > 0);
+        assert!(!report.to_string().is_empty());
+        assert_eq!(
+            report.l1_data.accesses,
+            report.total_accesses
+        );
+    }
+
+    #[test]
+    fn comparison_report_orders_as_expected() {
+        let p = column_walk_program();
+        let a = mlo_ir::ArrayId::new(0);
+        let sim = Simulator::new(MachineConfig::date05());
+        let mut optimized = LayoutAssignment::new();
+        optimized.set(a, Layout::column_major(2));
+        let cmp = ComparisonReport::run(&sim, &p, &optimized).unwrap();
+        // The original (row-major, fixed order) must be the slowest; the
+        // heuristic and the optimized layouts both stream.
+        assert!(cmp.original.total_cycles >= cmp.heuristic.total_cycles);
+        assert!(cmp.original.total_cycles >= cmp.optimized.total_cycles);
+    }
+
+    #[test]
+    fn empty_nests_still_cost_compute_cycles() {
+        let mut b = ProgramBuilder::new("compute_only");
+        b.nest("spin", vec![("i", 0, 100)], |n| {
+            n.compute(8);
+        });
+        let p = b.build();
+        let report = Simulator::new(MachineConfig::date05())
+            .simulate(&p, &LayoutAssignment::new())
+            .unwrap();
+        assert!(report.total_cycles >= 100 * (8 / 2));
+        assert_eq!(report.total_accesses, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Hit/miss counters.
+
+use std::fmt;
+
+/// Access counters of one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; `1.0` for a level that saw no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Miss rate in `[0, 1]`; `0.0` for a level that saw no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Adds another counter set to this one.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accesses={} hits={} misses={} ({:.1}% miss)",
+            self.accesses,
+            self.hits,
+            self.misses,
+            self.miss_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = CacheStats {
+            accesses: 10,
+            hits: 8,
+            misses: 2,
+            evictions: 1,
+        };
+        assert!((s.hit_rate() - 0.8).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.2).abs() < 1e-12);
+        let empty = CacheStats::default();
+        assert_eq!(empty.hit_rate(), 1.0);
+        assert_eq!(empty.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn absorb_and_display() {
+        let mut a = CacheStats {
+            accesses: 4,
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        let b = CacheStats {
+            accesses: 6,
+            hits: 2,
+            misses: 4,
+            evictions: 2,
+        };
+        a.absorb(&b);
+        assert_eq!(a.accesses, 10);
+        assert_eq!(a.misses, 5);
+        assert_eq!(a.evictions, 2);
+        assert!(a.to_string().contains("accesses=10"));
+    }
+}

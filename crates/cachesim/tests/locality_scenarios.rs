@@ -1,0 +1,141 @@
+//! Scenario tests for the cache hierarchy: classic locality situations whose
+//! qualitative outcome is known in advance.
+
+use mlo_cachesim::{Cache, CacheConfig, MachineConfig, MemoryHierarchy, Simulator, TraceOptions};
+use mlo_ir::{AccessBuilder, ProgramBuilder};
+use mlo_layout::{Layout, LayoutAssignment};
+
+#[test]
+fn streaming_read_misses_once_per_line() {
+    // 4-byte elements, 32-byte lines: exactly one miss every 8 elements.
+    let mut cache = Cache::new(CacheConfig::new(8 * 1024, 2, 32).unwrap());
+    for i in 0..1024u64 {
+        cache.access(i * 4);
+    }
+    assert_eq!(cache.stats().misses, 1024 / 8);
+    assert_eq!(cache.stats().hits, 1024 - 1024 / 8);
+}
+
+#[test]
+fn large_stride_misses_every_access_until_wraparound() {
+    let mut cache = Cache::new(CacheConfig::new(8 * 1024, 2, 32).unwrap());
+    // Stride of exactly one line: every access touches a new line.
+    for i in 0..256u64 {
+        cache.access(i * 32);
+    }
+    assert_eq!(cache.stats().misses, 256);
+}
+
+#[test]
+fn working_set_that_fits_in_l2_but_not_l1() {
+    // 32 KB working set: four times the L1, half of the L2.
+    let config = MachineConfig::date05();
+    let mut hierarchy = MemoryHierarchy::new(config);
+    let lines: u64 = 32 * 1024 / 64;
+    // First sweep: cold misses everywhere.
+    for i in 0..lines {
+        hierarchy.access(i * 64);
+    }
+    let cold_l2_misses = hierarchy.l2_stats().misses;
+    // Second sweep: L1 cannot hold it, L2 can.
+    for i in 0..lines {
+        hierarchy.access(i * 64);
+    }
+    assert_eq!(
+        hierarchy.l2_stats().misses,
+        cold_l2_misses,
+        "the second sweep must be served entirely from L2"
+    );
+    assert!(hierarchy.l1_stats().miss_rate() > 0.4);
+}
+
+#[test]
+fn row_major_versus_column_major_traversal_of_a_big_matrix() {
+    // The textbook experiment the whole paper rests on: traversing a matrix
+    // along the wrong dimension of a row-major layout produces roughly one
+    // miss per access, along the right dimension one miss per line.  The
+    // matrix must be large enough that one traversal column (n lines) does
+    // not fit in the 256-line L1, otherwise cross-iteration temporal reuse
+    // hides the layout mismatch.
+    let n = 512;
+    let mut builder = ProgramBuilder::new("traversal");
+    let a = builder.array("A", vec![n, n], 4);
+    builder.nest("walk", vec![("j", 0, n), ("i", 0, n)], |nest| {
+        // A[i][j] with i innermost: column-order traversal.
+        nest.read(a, AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build());
+    });
+    let program = builder.build();
+    let simulator = Simulator::new(MachineConfig::date05())
+        .trace_options(TraceOptions {
+            max_trip_per_loop: 1024,
+            array_alignment: 64,
+        })
+        .without_restructuring();
+
+    let mut row_major = LayoutAssignment::new();
+    row_major.set(a, Layout::row_major(2));
+    let mut column_major = LayoutAssignment::new();
+    column_major.set(a, Layout::column_major(2));
+
+    let bad = simulator.simulate(&program, &row_major).unwrap();
+    let good = simulator.simulate(&program, &column_major).unwrap();
+
+    // Column-major: one miss per 8 elements. Row-major: each traversal
+    // column touches 512 distinct lines, twice the L1, so nearly every
+    // access misses.
+    assert!(good.l1_data.miss_rate() < 0.2);
+    assert!(bad.l1_data.miss_rate() > 0.8);
+    assert!(bad.total_cycles > 3 * good.total_cycles);
+}
+
+#[test]
+fn diagonal_layout_serves_wavefront_traversals() {
+    // A wavefront kernel touching A[i+j][j] (the paper's Figure 2 access):
+    // under the diagonal layout consecutive inner iterations are adjacent in
+    // memory; under row-major they are a full row apart.  As above, the
+    // inner trip count must exceed the L1's 256 lines so that the row-major
+    // layout cannot hide behind cross-iteration temporal reuse.
+    let n = 384;
+    let mut builder = ProgramBuilder::new("wavefront");
+    let a = builder.array("A", vec![2 * n, n], 4);
+    builder.nest("sweep", vec![("i1", 0, n), ("i2", 0, n)], |nest| {
+        nest.read(a, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build());
+    });
+    let program = builder.build();
+    let simulator = Simulator::new(MachineConfig::date05())
+        .trace_options(TraceOptions {
+            max_trip_per_loop: 512,
+            array_alignment: 64,
+        })
+        .without_restructuring();
+
+    let mut diagonal = LayoutAssignment::new();
+    diagonal.set(a, Layout::diagonal());
+    let mut row_major = LayoutAssignment::new();
+    row_major.set(a, Layout::row_major(2));
+
+    let good = simulator.simulate(&program, &diagonal).unwrap();
+    let bad = simulator.simulate(&program, &row_major).unwrap();
+    assert!(
+        good.l1_data.misses * 2 < bad.l1_data.misses,
+        "diagonal layout should cut misses well below row-major ({} vs {})",
+        good.l1_data.misses,
+        bad.l1_data.misses
+    );
+    assert!(good.total_cycles < bad.total_cycles);
+}
+
+#[test]
+fn issue_width_bounds_compute_time() {
+    // A compute-only nest: cycles are dominated by the 2-issue core model.
+    let mut builder = ProgramBuilder::new("alu");
+    builder.nest("spin", vec![("i", 0, 1000)], |nest| {
+        nest.compute(10);
+    });
+    let program = builder.build();
+    let report = Simulator::new(MachineConfig::date05())
+        .simulate(&program, &LayoutAssignment::new())
+        .unwrap();
+    // 10 instructions at 2 per cycle = 5 cycles per iteration.
+    assert_eq!(report.total_cycles, 1000 * 5);
+}

@@ -1,0 +1,58 @@
+//! End-to-end constraint-network memory layout optimization.
+//!
+//! `mlo-core` is the crate a downstream user adopts: it wires the substrate
+//! crates together into the pipeline the DATE'05 paper describes.
+//!
+//! ```text
+//!  Program (mlo-ir)
+//!     │  candidate layouts per array            (mlo-layout::candidates)
+//!     │  per-nest preferred layout pairs        (mlo-layout::constraints)
+//!     ▼
+//!  ConstraintNetwork<Layout> (mlo-csp)
+//!     │  base / enhanced / FC search            (mlo-csp::solver)
+//!     ▼
+//!  LayoutAssignment (mlo-layout::apply)
+//!     │  address maps + traces + caches         (mlo-cachesim)
+//!     ▼
+//!  cycles, hit rates, paper tables              (mlo_core::experiments)
+//! ```
+//!
+//! # Quick start
+//!
+//! ```
+//! use mlo_core::{Optimizer, OptimizerScheme};
+//! use mlo_benchmarks::Benchmark;
+//!
+//! let program = Benchmark::MxM.program();
+//! let outcome = Optimizer::new(OptimizerScheme::Enhanced).optimize(&program);
+//! assert!(outcome.assignment.len() >= program.arrays().len());
+//! println!("solved in {:?} ({} nodes)", outcome.solution_time,
+//!          outcome.search_stats.map(|s| s.nodes_visited).unwrap_or(0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod optimizer;
+pub mod prelude;
+pub mod report;
+
+pub use optimizer::{
+    NetworkSummary, OptimizationOutcome, Optimizer, OptimizerOptions, OptimizerScheme,
+};
+pub use report::TextTable;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlo_benchmarks::Benchmark;
+
+    #[test]
+    fn doc_pipeline_smoke_test() {
+        let program = Benchmark::MxM.program();
+        let outcome = Optimizer::new(OptimizerScheme::Heuristic).optimize(&program);
+        assert_eq!(outcome.scheme, OptimizerScheme::Heuristic);
+        assert!(outcome.assignment.len() >= program.arrays().len());
+    }
+}

@@ -1,0 +1,476 @@
+//! The optimizer facade: program in, layout assignment out.
+
+use mlo_csp::{BranchAndBound, MinConflicts, Scheme as CspScheme, SearchEngine, SearchStats};
+use mlo_ir::Program;
+use mlo_layout::{
+    build_network, heuristic_assignment, weights, CandidateOptions, Layout, LayoutAssignment,
+    LayoutNetwork,
+};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which layout-determination scheme to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptimizerScheme {
+    /// The prior linear-algebra heuristic (layout propagation ordered by
+    /// nest cost) — the paper's baseline.
+    Heuristic,
+    /// Constraint network solved with the paper's base scheme (random
+    /// orderings, chronological backtracking).
+    Base,
+    /// Constraint network solved with the paper's enhanced scheme
+    /// (most-constraining variable, least-constraining value, backjumping).
+    Enhanced,
+    /// Enhanced plus forward checking (extension).
+    ForwardChecking,
+    /// Enhanced plus AC-3 preprocessing and forward checking (extension).
+    FullPropagation,
+    /// Weighted constraint network solved with branch and bound: among all
+    /// consistent layout combinations, picks the one with the largest total
+    /// nest-cost-weighted locality benefit (the paper's future-work
+    /// extension).
+    Weighted,
+    /// Min-conflicts local search with restarts (extension): cannot prove
+    /// unsatisfiability, but scales to very large networks; falls back to
+    /// the heuristic when its budget runs out.
+    LocalSearch,
+}
+
+impl fmt::Display for OptimizerScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizerScheme::Heuristic => write!(f, "heuristic"),
+            OptimizerScheme::Base => write!(f, "base"),
+            OptimizerScheme::Enhanced => write!(f, "enhanced"),
+            OptimizerScheme::ForwardChecking => write!(f, "forward-checking"),
+            OptimizerScheme::FullPropagation => write!(f, "full-propagation"),
+            OptimizerScheme::Weighted => write!(f, "weighted"),
+            OptimizerScheme::LocalSearch => write!(f, "local-search"),
+        }
+    }
+}
+
+/// Tuning knobs of the optimizer.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizerOptions {
+    /// The scheme to run.
+    pub scheme: OptimizerScheme,
+    /// Candidate-layout enumeration options.
+    pub candidates: CandidateOptions,
+    /// Seed for the base scheme's random orderings.
+    pub seed: u64,
+    /// Node limit for the constraint search (`None` = unlimited).
+    pub node_limit: Option<u64>,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            scheme: OptimizerScheme::Enhanced,
+            candidates: CandidateOptions::default(),
+            seed: 0xC0FFEE,
+            node_limit: None,
+        }
+    }
+}
+
+/// Summary of the constraint network an optimization run worked on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkSummary {
+    /// Number of variables (arrays).
+    pub variables: usize,
+    /// Number of binary constraints.
+    pub constraints: usize,
+    /// Total domain size (the paper's Table 1 metric).
+    pub total_domain_size: usize,
+    /// Product of domain sizes (naive search-space size).
+    pub search_space: f64,
+}
+
+/// The result of one optimization run.
+#[derive(Debug, Clone)]
+pub struct OptimizationOutcome {
+    /// The layout chosen for every array (always complete).
+    pub assignment: LayoutAssignment,
+    /// The scheme that was run.
+    pub scheme: OptimizerScheme,
+    /// Time spent determining the layouts (the paper's Table 2 metric).
+    pub solution_time: Duration,
+    /// Search statistics, when a constraint search ran.
+    pub search_stats: Option<SearchStats>,
+    /// Whether the constraint network had a solution (`None` for the
+    /// heuristic scheme, which does not build a network).
+    pub satisfiable: Option<bool>,
+    /// Whether the optimizer fell back to the heuristic assignment because
+    /// the network was unsatisfiable or the search hit its node limit.
+    pub fell_back_to_heuristic: bool,
+    /// Network shape, when one was built.
+    pub network: Option<NetworkSummary>,
+}
+
+/// The end-to-end optimizer.
+#[derive(Debug, Clone, Default)]
+pub struct Optimizer {
+    options: OptimizerOptions,
+}
+
+impl Optimizer {
+    /// Creates an optimizer running the given scheme with default options.
+    pub fn new(scheme: OptimizerScheme) -> Self {
+        Optimizer {
+            options: OptimizerOptions {
+                scheme,
+                ..OptimizerOptions::default()
+            },
+        }
+    }
+
+    /// Creates an optimizer with explicit options.
+    pub fn with_options(options: OptimizerOptions) -> Self {
+        Optimizer { options }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &OptimizerOptions {
+        &self.options
+    }
+
+    /// Builds (and returns) the constraint network of a program without
+    /// solving it — useful for inspection, weighting experiments and the
+    /// Table 1 harness.
+    pub fn network(&self, program: &Program) -> LayoutNetwork {
+        build_network(program, &self.options.candidates)
+    }
+
+    /// Determines memory layouts for every array of the program.
+    pub fn optimize(&self, program: &Program) -> OptimizationOutcome {
+        match self.options.scheme {
+            OptimizerScheme::Heuristic => self.run_heuristic(program),
+            OptimizerScheme::Weighted => self.run_weighted(program),
+            OptimizerScheme::LocalSearch => self.run_local_search(program),
+            _ => self.run_csp(program),
+        }
+    }
+
+    /// Computes a per-segment **dynamic layout plan** (the paper's second
+    /// future direction): the program's nests are split into windows of
+    /// `window` consecutive nests and every array may change layout between
+    /// windows when the re-layout copy pays for itself.
+    pub fn dynamic_plan(&self, program: &Program, window: usize) -> mlo_layout::DynamicPlan {
+        let options = mlo_layout::DynamicOptions {
+            candidates: self.options.candidates,
+            ..mlo_layout::DynamicOptions::default()
+        };
+        mlo_layout::dynamic_plan(
+            program,
+            &mlo_layout::Segmentation::by_window(program, window.max(1)),
+            &options,
+        )
+    }
+
+    fn run_heuristic(&self, program: &Program) -> OptimizationOutcome {
+        let result = heuristic_assignment(program);
+        OptimizationOutcome {
+            assignment: result.assignment,
+            scheme: OptimizerScheme::Heuristic,
+            solution_time: result.elapsed,
+            search_stats: None,
+            satisfiable: None,
+            fell_back_to_heuristic: false,
+            network: None,
+        }
+    }
+
+    fn engine(&self) -> SearchEngine {
+        let scheme = match self.options.scheme {
+            OptimizerScheme::Base => CspScheme::Base,
+            OptimizerScheme::Enhanced => CspScheme::Enhanced,
+            OptimizerScheme::ForwardChecking => CspScheme::ForwardChecking,
+            OptimizerScheme::FullPropagation => CspScheme::FullPropagation,
+            OptimizerScheme::Heuristic
+            | OptimizerScheme::Weighted
+            | OptimizerScheme::LocalSearch => CspScheme::Enhanced,
+        };
+        let mut engine = SearchEngine::with_scheme(scheme).seed(self.options.seed);
+        if let Some(limit) = self.options.node_limit {
+            engine = engine.node_limit(limit);
+        }
+        engine
+    }
+
+    fn run_csp(&self, program: &Program) -> OptimizationOutcome {
+        let start = Instant::now();
+        let layout_network = build_network(program, &self.options.candidates);
+        let summary = summarize(&layout_network);
+        let result = self.engine().solve(layout_network.network());
+        let satisfiable = result.solution.is_some();
+        let (assignment, fell_back) = match &result.solution {
+            Some(solution) => (
+                assignment_from_solution(program, &layout_network, solution),
+                false,
+            ),
+            None => (heuristic_assignment(program).assignment, true),
+        };
+        OptimizationOutcome {
+            assignment,
+            scheme: self.options.scheme,
+            solution_time: start.elapsed(),
+            search_stats: Some(result.stats),
+            satisfiable: Some(satisfiable),
+            fell_back_to_heuristic: fell_back,
+            network: Some(summary),
+        }
+    }
+
+    fn run_weighted(&self, program: &Program) -> OptimizationOutcome {
+        let start = Instant::now();
+        // Weight every contributed pair by the cost of the nest that asked
+        // for it, so the branch-and-bound optimizer prefers solutions that
+        // favour the costly nests (the paper's future-work idea).
+        let weighted_network = weights::build_weighted_network(
+            program,
+            &self.options.candidates,
+            &weights::WeightOptions::default(),
+        );
+        let layout_network = weighted_network.layout_network();
+        let summary = summarize(layout_network);
+        let bb = BranchAndBound {
+            node_limit: self.options.node_limit.or(Some(2_000_000)),
+        };
+        let result = bb.optimize(weighted_network.weighted());
+        let satisfiable = result.solution.is_some();
+        let (assignment, fell_back) = match &result.solution {
+            Some(solution) => (
+                assignment_from_solution(program, layout_network, solution),
+                false,
+            ),
+            None => (heuristic_assignment(program).assignment, true),
+        };
+        OptimizationOutcome {
+            assignment,
+            scheme: OptimizerScheme::Weighted,
+            solution_time: start.elapsed(),
+            search_stats: Some(result.stats),
+            satisfiable: Some(satisfiable),
+            fell_back_to_heuristic: fell_back,
+            network: Some(summary),
+        }
+    }
+
+    fn run_local_search(&self, program: &Program) -> OptimizationOutcome {
+        let start = Instant::now();
+        let layout_network = build_network(program, &self.options.candidates);
+        let summary = summarize(&layout_network);
+        let mut config = MinConflicts::with_seed(self.options.seed);
+        if let Some(limit) = self.options.node_limit {
+            config = config.max_steps(limit);
+        }
+        let result = config.solve(layout_network.network());
+        let found = result.solution.is_some();
+        let (assignment, fell_back) = match &result.solution {
+            Some(solution) => (
+                assignment_from_solution(program, &layout_network, solution),
+                false,
+            ),
+            None => (heuristic_assignment(program).assignment, true),
+        };
+        OptimizationOutcome {
+            assignment,
+            scheme: OptimizerScheme::LocalSearch,
+            solution_time: start.elapsed(),
+            search_stats: Some(result.stats),
+            // Local search cannot prove unsatisfiability; only a positive
+            // answer is reported.
+            satisfiable: if found { Some(true) } else { None },
+            fell_back_to_heuristic: fell_back,
+            network: Some(summary),
+        }
+    }
+}
+
+fn summarize(layout_network: &LayoutNetwork) -> NetworkSummary {
+    let network = layout_network.network();
+    NetworkSummary {
+        variables: network.variable_count(),
+        constraints: network.constraint_count(),
+        total_domain_size: network.total_domain_size(),
+        search_space: network.search_space_size(),
+    }
+}
+
+/// Converts a constraint-network solution into a complete layout assignment
+/// (arrays without a network variable get their canonical row-major layout).
+fn assignment_from_solution(
+    program: &Program,
+    layout_network: &LayoutNetwork,
+    solution: &mlo_csp::Solution<Layout>,
+) -> LayoutAssignment {
+    let mut assignment = LayoutAssignment::new();
+    for array in program.arrays() {
+        match layout_network.variable_of(array.id()) {
+            Some(var) => assignment.set(array.id(), solution.value(var).clone()),
+            None => assignment.set(array.id(), Layout::row_major(array.rank())),
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlo_benchmarks::Benchmark;
+    use mlo_ir::{AccessBuilder, ProgramBuilder};
+    use mlo_layout::quality::{assignment_score, ideal_score};
+
+    fn figure2_program() -> Program {
+        let n = 16;
+        let mut b = ProgramBuilder::new("figure2");
+        let q1 = b.array("Q1", vec![2 * n, n], 4);
+        let q2 = b.array("Q2", vec![2 * n, n], 4);
+        b.nest("main", vec![("i1", 0, n), ("i2", 0, n)], |nest| {
+            nest.read(q1, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build());
+            nest.read(q2, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build());
+        });
+        b.build()
+    }
+
+    #[test]
+    fn every_scheme_produces_a_complete_assignment() {
+        let p = figure2_program();
+        for scheme in [
+            OptimizerScheme::Heuristic,
+            OptimizerScheme::Base,
+            OptimizerScheme::Enhanced,
+            OptimizerScheme::ForwardChecking,
+            OptimizerScheme::FullPropagation,
+            OptimizerScheme::Weighted,
+            OptimizerScheme::LocalSearch,
+        ] {
+            let outcome = Optimizer::new(scheme).optimize(&p);
+            assert_eq!(outcome.scheme, scheme);
+            for array in p.arrays() {
+                assert!(
+                    outcome.assignment.contains(array.id()),
+                    "{scheme} left {} without a layout",
+                    array.name()
+                );
+            }
+            // Figure 2 is satisfiable, so constraint schemes must not fall
+            // back, and every scheme reaches the ideal locality score.
+            assert!(!outcome.fell_back_to_heuristic, "{scheme} fell back");
+            assert_eq!(
+                assignment_score(&p, &outcome.assignment),
+                ideal_score(&p),
+                "{scheme} missed the ideal score"
+            );
+        }
+    }
+
+    #[test]
+    fn network_summary_matches_the_network() {
+        let p = figure2_program();
+        let optimizer = Optimizer::new(OptimizerScheme::Enhanced);
+        let outcome = optimizer.optimize(&p);
+        let summary = outcome.network.unwrap();
+        assert_eq!(summary.variables, 2);
+        assert_eq!(summary.constraints, 1);
+        assert!(summary.total_domain_size >= 4);
+        assert!(summary.search_space >= 9.0);
+        let ln = optimizer.network(&p);
+        assert_eq!(ln.network().variable_count(), 2);
+    }
+
+    #[test]
+    fn unsatisfiable_networks_fall_back_to_the_heuristic() {
+        // MxM's matmul nests want mutually inconsistent layouts (no loop
+        // order gives A, B and C locality at once), so the hard network has
+        // no solution and the optimizer must fall back gracefully.
+        let p = Benchmark::MxM.program();
+        let outcome = Optimizer::new(OptimizerScheme::Enhanced).optimize(&p);
+        assert_eq!(outcome.satisfiable, Some(false));
+        assert!(outcome.fell_back_to_heuristic);
+        for array in p.arrays() {
+            assert!(outcome.assignment.contains(array.id()));
+        }
+        // The heuristic scheme agrees with the fallback assignment.
+        let heuristic = Optimizer::new(OptimizerScheme::Heuristic).optimize(&p);
+        assert_eq!(outcome.assignment, heuristic.assignment);
+    }
+
+    #[test]
+    fn pipeline_benchmark_is_satisfiable_and_beats_the_heuristic_statically() {
+        let p = Benchmark::MedIm04.program();
+        let optimizer = Optimizer::with_options(OptimizerOptions {
+            scheme: OptimizerScheme::Enhanced,
+            candidates: Benchmark::MedIm04.candidate_options(),
+            ..OptimizerOptions::default()
+        });
+        let outcome = optimizer.optimize(&p);
+        assert_eq!(outcome.satisfiable, Some(true));
+        assert!(!outcome.fell_back_to_heuristic);
+        let heuristic = Optimizer::new(OptimizerScheme::Heuristic).optimize(&p);
+        let csp_score = assignment_score(&p, &outcome.assignment);
+        let heuristic_score = assignment_score(&p, &heuristic.assignment);
+        assert!(
+            csp_score >= heuristic_score,
+            "constraint network ({csp_score}) should not lose to the heuristic ({heuristic_score})"
+        );
+        assert_eq!(csp_score, ideal_score(&p));
+    }
+
+    #[test]
+    fn node_limit_triggers_fallback() {
+        let p = Benchmark::Radar.program();
+        let outcome = Optimizer::with_options(OptimizerOptions {
+            scheme: OptimizerScheme::Base,
+            candidates: Benchmark::Radar.candidate_options(),
+            seed: 5,
+            node_limit: Some(3),
+        })
+        .optimize(&p);
+        assert!(outcome.fell_back_to_heuristic);
+        assert!(outcome.assignment.len() >= p.arrays().len());
+    }
+
+    #[test]
+    fn scheme_display_names() {
+        assert_eq!(OptimizerScheme::Heuristic.to_string(), "heuristic");
+        assert_eq!(OptimizerScheme::Enhanced.to_string(), "enhanced");
+        assert_eq!(OptimizerScheme::Weighted.to_string(), "weighted");
+        assert_eq!(OptimizerScheme::LocalSearch.to_string(), "local-search");
+    }
+
+    #[test]
+    fn local_search_falls_back_when_it_cannot_find_a_solution() {
+        // MxM's network is unsatisfiable; local search exhausts its budget
+        // and must fall back to the heuristic without claiming a proof.
+        let p = Benchmark::MxM.program();
+        let outcome = Optimizer::with_options(OptimizerOptions {
+            scheme: OptimizerScheme::LocalSearch,
+            node_limit: Some(200),
+            ..OptimizerOptions::default()
+        })
+        .optimize(&p);
+        assert!(outcome.fell_back_to_heuristic);
+        assert_eq!(outcome.satisfiable, None);
+        for array in p.arrays() {
+            assert!(outcome.assignment.contains(array.id()));
+        }
+    }
+
+    #[test]
+    fn dynamic_plan_covers_every_array_and_segment() {
+        let p = Benchmark::Track.program();
+        let optimizer = Optimizer::new(OptimizerScheme::Enhanced);
+        let plan = optimizer.dynamic_plan(&p, 2);
+        assert_eq!(plan.schedules.len(), p.arrays().len());
+        for schedule in &plan.schedules {
+            assert_eq!(schedule.per_segment.len(), plan.segmentation.len());
+            assert!(schedule.cost <= schedule.static_cost + 1e-9);
+        }
+        // A window covering the whole program degenerates to one segment.
+        let single = optimizer.dynamic_plan(&p, p.nests().len());
+        assert_eq!(single.segmentation.len(), 1);
+        assert!(single.dynamic_arrays().is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! Convenience re-exports of the types most programs need.
+//!
+//! ```
+//! use mlo_core::prelude::*;
+//!
+//! let program = Benchmark::MxM.program();
+//! let outcome = Optimizer::new(OptimizerScheme::Heuristic).optimize(&program);
+//! assert!(outcome.assignment.len() > 0);
+//! ```
+
+pub use crate::optimizer::{
+    NetworkSummary, OptimizationOutcome, Optimizer, OptimizerOptions, OptimizerScheme,
+};
+pub use crate::report::TextTable;
+pub use mlo_benchmarks::{Benchmark, RandomProgramSpec};
+pub use mlo_cachesim::{MachineConfig, SimulationReport, Simulator, TraceOptions};
+pub use mlo_csp::{ConstraintNetwork, Scheme, SearchEngine, SearchStats};
+pub use mlo_ir::{AccessBuilder, ArrayId, LoopTransform, Program, ProgramBuilder};
+pub use mlo_layout::{CandidateOptions, Hyperplane, Layout, LayoutAssignment};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exports_compile_together() {
+        use super::*;
+        let _ = MachineConfig::date05();
+        let _ = Layout::diagonal();
+        let _ = OptimizerScheme::Enhanced;
+    }
+}

@@ -1,0 +1,473 @@
+//! Structural analysis of constraint networks.
+//!
+//! The solvers in [`crate::solver`] treat the network as a black box; this
+//! module exposes the *structure* of the underlying constraint graph —
+//! density, tightness, connectivity, widths — which is what determines how
+//! hard a layout-selection problem actually is.  The quantities follow the
+//! standard definitions of Dechter's *Constraint Processing* (the paper's
+//! reference [3]):
+//!
+//! * **density** — fraction of variable pairs that are constrained,
+//! * **tightness** — fraction of value pairs a constraint forbids,
+//! * **width of an ordering** — the maximum number of earlier neighbours of
+//!   any variable along that ordering; the **graph width** is the minimum
+//!   over all orderings and is computed exactly by the greedy min-width
+//!   procedure,
+//! * **induced width** — the width after moralizing parents, an upper bound
+//!   on the complexity of adaptive consistency.
+//!
+//! For memory-layout networks these numbers explain the Table 2 behaviour:
+//! the benchmark networks are sparse (each array shares nests with only a
+//! few other arrays) and have small induced width, which is why even the
+//! base scheme terminates and the enhanced scheme is fast.
+
+use crate::network::{ConstraintNetwork, VarId};
+use crate::Value;
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+/// Summary statistics of a constraint network's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkProfile {
+    /// Number of variables.
+    pub variables: usize,
+    /// Number of binary constraints.
+    pub constraints: usize,
+    /// Sum of all domain sizes (the paper's Table 1 "domain size").
+    pub total_domain_size: usize,
+    /// Largest single domain.
+    pub max_domain_size: usize,
+    /// Constraint-graph density in `[0, 1]`.
+    pub density: f64,
+    /// Mean constraint tightness in `[0, 1]` (0 when there are no
+    /// constraints).
+    pub mean_tightness: f64,
+    /// Number of connected components of the constraint graph.
+    pub components: usize,
+    /// Width of the min-width ordering (an upper bound on the graph width,
+    /// exact for the greedy construction).
+    pub width: usize,
+    /// Induced width along the min-degree ordering.
+    pub induced_width: usize,
+    /// Whether the constraint graph is a forest (cycle-free).
+    pub is_forest: bool,
+}
+
+impl fmt::Display for NetworkProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vars={} constraints={} domain={} density={:.2} tightness={:.2} \
+             components={} width={} induced_width={} forest={}",
+            self.variables,
+            self.constraints,
+            self.total_domain_size,
+            self.density,
+            self.mean_tightness,
+            self.components,
+            self.width,
+            self.induced_width,
+            self.is_forest
+        )
+    }
+}
+
+/// Computes the structural profile of a network.
+pub fn profile<V: Value>(network: &ConstraintNetwork<V>) -> NetworkProfile {
+    let n = network.variable_count();
+    let m = network.constraint_count();
+    let pairs = if n >= 2 { n * (n - 1) / 2 } else { 0 };
+    let density = if pairs == 0 {
+        0.0
+    } else {
+        m as f64 / pairs as f64
+    };
+    let mean_tightness = if m == 0 {
+        0.0
+    } else {
+        network
+            .constraints()
+            .iter()
+            .map(|c| {
+                let da = network.domain(c.first()).len();
+                let db = network.domain(c.second()).len();
+                let all = (da * db).max(1);
+                1.0 - c.pair_count() as f64 / all as f64
+            })
+            .sum::<f64>()
+            / m as f64
+    };
+    let ordering = min_width_ordering(network);
+    let width = ordering_width(network, &ordering);
+    let induced = induced_width(network, &min_degree_ordering(network));
+    NetworkProfile {
+        variables: n,
+        constraints: m,
+        total_domain_size: network.total_domain_size(),
+        max_domain_size: network
+            .variables()
+            .map(|v| network.domain(v).len())
+            .max()
+            .unwrap_or(0),
+        density,
+        mean_tightness,
+        components: connected_components(network).len(),
+        width,
+        induced_width: induced,
+        is_forest: is_forest(network),
+    }
+}
+
+/// The connected components of the constraint graph, each as a sorted list
+/// of variables.  Components can be solved independently — a useful
+/// decomposition for whole-program layout problems where unrelated groups of
+/// arrays never share a nest.
+pub fn connected_components<V: Value>(network: &ConstraintNetwork<V>) -> Vec<Vec<VarId>> {
+    let n = network.variable_count();
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    for start in network.variables() {
+        if seen[start.index()] {
+            continue;
+        }
+        let mut queue = VecDeque::from([start]);
+        seen[start.index()] = true;
+        let mut component = Vec::new();
+        while let Some(v) = queue.pop_front() {
+            component.push(v);
+            for w in network.neighbours(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        component.sort();
+        components.push(component);
+    }
+    components
+}
+
+/// Whether the constraint graph contains no cycle.
+pub fn is_forest<V: Value>(network: &ConstraintNetwork<V>) -> bool {
+    // A graph is a forest iff every component with k vertices has exactly
+    // k - 1 edges.  Count edges per component.
+    let components = connected_components(network);
+    for component in &components {
+        let vertex_set: BTreeSet<VarId> = component.iter().copied().collect();
+        let mut edges = 0usize;
+        for c in network.constraints() {
+            if vertex_set.contains(&c.first()) && vertex_set.contains(&c.second()) {
+                edges += 1;
+            }
+        }
+        if edges + 1 != component.len() {
+            return false;
+        }
+    }
+    true
+}
+
+/// The degree (number of distinct neighbours) of every variable.
+pub fn degrees<V: Value>(network: &ConstraintNetwork<V>) -> Vec<usize> {
+    network
+        .variables()
+        .map(|v| network.neighbours(v).len())
+        .collect()
+}
+
+/// The greedy **min-width ordering**: repeatedly remove a minimum-degree
+/// vertex from the graph and place it *last*.  The width of the returned
+/// ordering equals the graph width (Dechter, ch. 4).
+pub fn min_width_ordering<V: Value>(network: &ConstraintNetwork<V>) -> Vec<VarId> {
+    let n = network.variable_count();
+    let mut remaining: BTreeSet<VarId> = network.variables().collect();
+    let mut order = vec![VarId::new(0); n];
+    for position in (0..n).rev() {
+        let chosen = remaining
+            .iter()
+            .copied()
+            .min_by_key(|&v| {
+                network
+                    .neighbours(v)
+                    .into_iter()
+                    .filter(|w| remaining.contains(w))
+                    .count()
+            })
+            .expect("remaining is non-empty while positions remain");
+        remaining.remove(&chosen);
+        order[position] = chosen;
+    }
+    order
+}
+
+/// The greedy **min-degree (min-induced-width) ordering**: repeatedly remove
+/// a minimum-degree vertex and connect its remaining neighbours, placing the
+/// removed vertex last.
+pub fn min_degree_ordering<V: Value>(network: &ConstraintNetwork<V>) -> Vec<VarId> {
+    let n = network.variable_count();
+    // Work on an explicit adjacency copy because elimination adds edges.
+    let mut adjacency: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for c in network.constraints() {
+        adjacency[c.first().index()].insert(c.second().index());
+        adjacency[c.second().index()].insert(c.first().index());
+    }
+    let mut remaining: BTreeSet<usize> = (0..n).collect();
+    let mut order = vec![VarId::new(0); n];
+    for position in (0..n).rev() {
+        let chosen = remaining
+            .iter()
+            .copied()
+            .min_by_key(|&v| adjacency[v].iter().filter(|w| remaining.contains(w)).count())
+            .expect("remaining is non-empty while positions remain");
+        remaining.remove(&chosen);
+        // Connect the eliminated vertex's remaining neighbours pairwise.
+        let neighbours: Vec<usize> = adjacency[chosen]
+            .iter()
+            .copied()
+            .filter(|w| remaining.contains(w))
+            .collect();
+        for (i, &a) in neighbours.iter().enumerate() {
+            for &b in &neighbours[i + 1..] {
+                adjacency[a].insert(b);
+                adjacency[b].insert(a);
+            }
+        }
+        order[position] = VarId::new(chosen);
+    }
+    order
+}
+
+/// The width of a given ordering: the maximum, over variables, of the number
+/// of neighbours that appear *earlier* in the ordering.
+pub fn ordering_width<V: Value>(network: &ConstraintNetwork<V>, ordering: &[VarId]) -> usize {
+    let position: Vec<usize> = positions(network.variable_count(), ordering);
+    network
+        .variables()
+        .map(|v| {
+            network
+                .neighbours(v)
+                .into_iter()
+                .filter(|w| position[w.index()] < position[v.index()])
+                .count()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// The induced width of an ordering: processing variables from last to
+/// first, each variable's earlier neighbours are connected pairwise, and the
+/// induced width is the maximum number of earlier neighbours encountered.
+pub fn induced_width<V: Value>(network: &ConstraintNetwork<V>, ordering: &[VarId]) -> usize {
+    let n = network.variable_count();
+    if n == 0 {
+        return 0;
+    }
+    let position = positions(n, ordering);
+    let mut adjacency: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for c in network.constraints() {
+        adjacency[c.first().index()].insert(c.second().index());
+        adjacency[c.second().index()].insert(c.first().index());
+    }
+    let mut width = 0usize;
+    for &v in ordering.iter().rev() {
+        let earlier: Vec<usize> = adjacency[v.index()]
+            .iter()
+            .copied()
+            .filter(|&w| position[w] < position[v.index()])
+            .collect();
+        width = width.max(earlier.len());
+        for (i, &a) in earlier.iter().enumerate() {
+            for &b in &earlier[i + 1..] {
+                adjacency[a].insert(b);
+                adjacency[b].insert(a);
+            }
+        }
+    }
+    width
+}
+
+fn positions(n: usize, ordering: &[VarId]) -> Vec<usize> {
+    assert_eq!(
+        ordering.len(),
+        n,
+        "ordering must mention every variable exactly once"
+    );
+    let mut position = vec![usize::MAX; n];
+    for (i, v) in ordering.iter().enumerate() {
+        assert!(
+            position[v.index()] == usize::MAX,
+            "ordering mentions {v} twice"
+        );
+        position[v.index()] = i;
+    }
+    position
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example network of the paper's Section 3 (same as network.rs).
+    fn paper_network() -> (ConstraintNetwork<(i64, i64)>, Vec<VarId>) {
+        let mut net = ConstraintNetwork::new();
+        let q1 = net.add_variable("Q1", vec![(1, 0), (0, 1), (1, 1)]);
+        let q2 = net.add_variable("Q2", vec![(1, -1), (1, 1)]);
+        let q3 = net.add_variable("Q3", vec![(0, 1), (1, 1), (1, 2)]);
+        let q4 = net.add_variable("Q4", vec![(1, 0), (0, 1), (1, 1)]);
+        net.add_constraint(q1, q2, vec![((1, 0), (1, 1)), ((0, 1), (1, -1))])
+            .unwrap();
+        net.add_constraint(q1, q3, vec![((1, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (1, 2))])
+            .unwrap();
+        net.add_constraint(q1, q4, vec![((1, 0), (1, 0)), ((0, 1), (0, 1))])
+            .unwrap();
+        net.add_constraint(q2, q3, vec![((1, 1), (0, 1)), ((1, -1), (1, 1))])
+            .unwrap();
+        net.add_constraint(q2, q4, vec![((1, -1), (0, 1)), ((1, 1), (1, 0))])
+            .unwrap();
+        net.add_constraint(q3, q4, vec![((0, 1), (1, 0))]).unwrap();
+        (net, vec![q1, q2, q3, q4])
+    }
+
+    fn chain(len: usize) -> ConstraintNetwork<i32> {
+        let mut net = ConstraintNetwork::new();
+        let vars: Vec<VarId> = (0..len)
+            .map(|i| net.add_variable(format!("v{i}"), vec![0, 1]))
+            .collect();
+        for w in vars.windows(2) {
+            net.add_constraint(w[0], w[1], vec![(0, 1), (1, 0)]).unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn paper_network_profile() {
+        let (net, _) = paper_network();
+        let p = profile(&net);
+        assert_eq!(p.variables, 4);
+        assert_eq!(p.constraints, 6);
+        assert_eq!(p.total_domain_size, 11);
+        assert_eq!(p.max_domain_size, 3);
+        // All 6 of the C(4,2) pairs are constrained: a complete graph.
+        assert!((p.density - 1.0).abs() < 1e-12);
+        assert_eq!(p.components, 1);
+        // K4 has width 3 and induced width 3.
+        assert_eq!(p.width, 3);
+        assert_eq!(p.induced_width, 3);
+        assert!(!p.is_forest);
+        // Every constraint forbids most pairs, so tightness is high.
+        assert!(p.mean_tightness > 0.5);
+        assert!(p.to_string().contains("vars=4"));
+    }
+
+    #[test]
+    fn chain_is_a_width_one_forest() {
+        let net = chain(6);
+        let p = profile(&net);
+        assert_eq!(p.components, 1);
+        assert!(p.is_forest);
+        assert_eq!(p.width, 1);
+        assert_eq!(p.induced_width, 1);
+        assert!(p.density < 0.5);
+    }
+
+    #[test]
+    fn disconnected_components_are_separated() {
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0, 1]);
+        let b = net.add_variable("b", vec![0, 1]);
+        let c = net.add_variable("c", vec![0, 1]);
+        let d = net.add_variable("d", vec![0, 1]);
+        net.add_constraint(a, b, vec![(0, 0)]).unwrap();
+        net.add_constraint(c, d, vec![(1, 1)]).unwrap();
+        let components = connected_components(&net);
+        assert_eq!(components.len(), 2);
+        assert_eq!(components[0], vec![a, b]);
+        assert_eq!(components[1], vec![c, d]);
+        assert!(is_forest(&net));
+        // An isolated variable forms its own component.
+        let mut net2: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        net2.add_variable("solo", vec![0]);
+        assert_eq!(connected_components(&net2).len(), 1);
+        assert_eq!(profile(&net2).components, 1);
+    }
+
+    #[test]
+    fn degrees_match_the_graph() {
+        let (net, vars) = paper_network();
+        let d = degrees(&net);
+        assert_eq!(d, vec![3, 3, 3, 3]);
+        let net2 = chain(4);
+        assert_eq!(degrees(&net2), vec![1, 2, 2, 1]);
+        let _ = vars;
+    }
+
+    #[test]
+    fn orderings_cover_every_variable_once() {
+        let (net, _) = paper_network();
+        for ordering in [min_width_ordering(&net), min_degree_ordering(&net)] {
+            let mut sorted = ordering.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), net.variable_count());
+        }
+    }
+
+    #[test]
+    fn induced_width_is_at_least_width() {
+        for len in [2usize, 5, 9] {
+            let net = chain(len);
+            let order = min_degree_ordering(&net);
+            assert!(induced_width(&net, &order) >= ordering_width(&net, &order).min(1) - 1);
+            assert_eq!(induced_width(&net, &order), 1);
+        }
+    }
+
+    #[test]
+    fn star_graph_width_is_one_with_centre_first() {
+        // A star: centre constrained with every leaf.  Putting the centre
+        // first gives width 1; the min-width ordering must find that.
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let centre = net.add_variable("centre", vec![0, 1]);
+        let leaves: Vec<VarId> = (0..5)
+            .map(|i| net.add_variable(format!("leaf{i}"), vec![0, 1]))
+            .collect();
+        for &l in &leaves {
+            net.add_constraint(centre, l, vec![(0, 1), (1, 0)]).unwrap();
+        }
+        let ordering = min_width_ordering(&net);
+        assert_eq!(ordering_width(&net, &ordering), 1);
+        assert!(is_forest(&net));
+        let p = profile(&net);
+        assert_eq!(p.width, 1);
+        assert_eq!(p.induced_width, 1);
+    }
+
+    #[test]
+    fn empty_and_single_variable_networks() {
+        let net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let p = profile(&net);
+        assert_eq!(p.variables, 0);
+        assert_eq!(p.width, 0);
+        assert_eq!(p.induced_width, 0);
+        assert_eq!(p.components, 0);
+        assert!(p.is_forest);
+        assert_eq!(p.density, 0.0);
+        assert_eq!(p.mean_tightness, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "every variable")]
+    fn ordering_width_rejects_short_orderings() {
+        let (net, vars) = paper_network();
+        let _ = ordering_width(&net, &vars[..2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn ordering_width_rejects_duplicates() {
+        let (net, vars) = paper_network();
+        let bad = vec![vars[0], vars[0], vars[1], vars[2]];
+        let _ = ordering_width(&net, &bad);
+    }
+}

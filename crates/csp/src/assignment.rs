@@ -1,0 +1,266 @@
+//! Partial and complete variable assignments.
+
+use crate::network::{ConstraintNetwork, VarId};
+use crate::Value;
+use std::fmt;
+
+/// A (possibly partial) instantiation: for each variable, the index of the
+/// selected domain value, if any.
+///
+/// # Examples
+///
+/// ```
+/// use mlo_csp::{Assignment, VarId};
+/// let mut a = Assignment::new(3);
+/// assert!(a.is_empty());
+/// a.assign(VarId::new(1), 2);
+/// assert_eq!(a.get(VarId::new(1)), Some(2));
+/// assert_eq!(a.assigned_count(), 1);
+/// a.unassign(VarId::new(1));
+/// assert!(a.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    values: Vec<Option<usize>>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment over `variable_count` variables.
+    pub fn new(variable_count: usize) -> Self {
+        Assignment {
+            values: vec![None; variable_count],
+        }
+    }
+
+    /// Number of variables (assigned or not).
+    pub fn variable_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of assigned variables.
+    pub fn assigned_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Whether no variable is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assigned_count() == 0
+    }
+
+    /// Whether every variable is assigned.
+    pub fn is_complete(&self) -> bool {
+        self.values.iter().all(Option::is_some)
+    }
+
+    /// The value index assigned to `var`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `var` is out of range.
+    pub fn get(&self, var: VarId) -> Option<usize> {
+        self.values[var.index()]
+    }
+
+    /// Whether `var` is assigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `var` is out of range.
+    pub fn is_assigned(&self, var: VarId) -> bool {
+        self.values[var.index()].is_some()
+    }
+
+    /// Assigns `value` (a domain index) to `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `var` is out of range.
+    pub fn assign(&mut self, var: VarId, value: usize) {
+        self.values[var.index()] = Some(value);
+    }
+
+    /// Removes the assignment of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `var` is out of range.
+    pub fn unassign(&mut self, var: VarId) {
+        self.values[var.index()] = None;
+    }
+
+    /// The unassigned variables, in id order.
+    pub fn unassigned(&self) -> Vec<VarId> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| if v.is_none() { Some(VarId::new(i)) } else { None })
+            .collect()
+    }
+
+    /// The assigned variables, in id order.
+    pub fn assigned(&self) -> Vec<VarId> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| if v.is_some() { Some(VarId::new(i)) } else { None })
+            .collect()
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (i, v) in self.values.iter().enumerate() {
+            if let Some(v) = v {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "x{i}={v}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A complete, materialized solution: every variable mapped to its selected
+/// value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution<V> {
+    names: Vec<String>,
+    values: Vec<V>,
+    indices: Vec<usize>,
+}
+
+impl<V: Value> Solution<V> {
+    /// Builds a solution from a complete assignment over a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is incomplete.
+    pub fn from_assignment(network: &ConstraintNetwork<V>, assignment: &Assignment) -> Self {
+        assert!(assignment.is_complete(), "solution requires a complete assignment");
+        let values = network.materialize(assignment);
+        let names = network
+            .variables()
+            .map(|v| network.name(v).to_string())
+            .collect();
+        let indices = network
+            .variables()
+            .map(|v| assignment.get(v).expect("complete"))
+            .collect();
+        Solution {
+            names,
+            values,
+            indices,
+        }
+    }
+
+    /// The selected value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn value(&self, var: VarId) -> &V {
+        &self.values[var.index()]
+    }
+
+    /// The selected domain index of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn value_index(&self, var: VarId) -> usize {
+        self.indices[var.index()]
+    }
+
+    /// The variable names, in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The selected values, in id order.
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Iterates over `(name, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &V)> {
+        self.names.iter().map(String::as_str).zip(self.values.iter())
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the solution covers no variables (an empty network).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl<V: Value + fmt::Display> fmt::Display for Solution<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (name, value)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_lifecycle() {
+        let mut a = Assignment::new(3);
+        assert_eq!(a.variable_count(), 3);
+        assert!(!a.is_complete());
+        assert_eq!(a.unassigned().len(), 3);
+        a.assign(VarId::new(0), 1);
+        a.assign(VarId::new(2), 0);
+        assert_eq!(a.assigned(), vec![VarId::new(0), VarId::new(2)]);
+        assert_eq!(a.unassigned(), vec![VarId::new(1)]);
+        assert!(a.is_assigned(VarId::new(0)));
+        assert!(!a.is_assigned(VarId::new(1)));
+        assert_eq!(a.to_string(), "{x0=1, x2=0}");
+        a.assign(VarId::new(1), 2);
+        assert!(a.is_complete());
+        a.unassign(VarId::new(1));
+        assert!(!a.is_complete());
+    }
+
+    #[test]
+    fn solution_materialization() {
+        let mut net: ConstraintNetwork<&str> = ConstraintNetwork::new();
+        let a = net.add_variable("A", vec!["row", "col"]);
+        let b = net.add_variable("B", vec!["diag"]);
+        let mut asg = Assignment::new(2);
+        asg.assign(a, 1);
+        asg.assign(b, 0);
+        let sol = Solution::from_assignment(&net, &asg);
+        assert_eq!(sol.value(a), &"col");
+        assert_eq!(sol.value_index(a), 1);
+        assert_eq!(sol.value(b), &"diag");
+        assert_eq!(sol.names(), &["A".to_string(), "B".to_string()]);
+        assert_eq!(sol.values(), &["col", "diag"]);
+        assert_eq!(sol.len(), 2);
+        assert!(!sol.is_empty());
+        assert_eq!(sol.to_string(), "A=col, B=diag");
+    }
+
+    #[test]
+    #[should_panic(expected = "complete assignment")]
+    fn incomplete_solution_panics() {
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        net.add_variable("A", vec![1]);
+        let asg = Assignment::new(1);
+        let _ = Solution::from_assignment(&net, &asg);
+    }
+}

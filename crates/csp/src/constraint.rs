@@ -1,0 +1,202 @@
+//! Binary constraints: the allowable value pairs for two variables.
+
+use crate::network::VarId;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A binary constraint `S_ij` between two variables, stored as the set of
+/// allowed `(value-index, value-index)` pairs.
+///
+/// The pair orientation follows the constraint's `(first, second)` variable
+/// order; [`BinaryConstraint::allows`] accepts queries in either orientation
+/// so callers never have to worry about which endpoint was declared first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryConstraint {
+    first: VarId,
+    second: VarId,
+    allowed: HashSet<(usize, usize)>,
+}
+
+impl BinaryConstraint {
+    /// Creates a constraint from allowed index pairs (oriented
+    /// `first → second`).
+    pub fn new(first: VarId, second: VarId, allowed: HashSet<(usize, usize)>) -> Self {
+        BinaryConstraint {
+            first,
+            second,
+            allowed,
+        }
+    }
+
+    /// The first endpoint.
+    pub fn first(&self) -> VarId {
+        self.first
+    }
+
+    /// The second endpoint.
+    pub fn second(&self) -> VarId {
+        self.second
+    }
+
+    /// Both endpoints.
+    pub fn scope(&self) -> (VarId, VarId) {
+        (self.first, self.second)
+    }
+
+    /// Whether this constraint involves the given variable.
+    pub fn involves(&self, var: VarId) -> bool {
+        self.first == var || self.second == var
+    }
+
+    /// The other endpoint, given one of them.
+    ///
+    /// Returns `None` when `var` is not in the scope.
+    pub fn other(&self, var: VarId) -> Option<VarId> {
+        if var == self.first {
+            Some(self.second)
+        } else if var == self.second {
+            Some(self.first)
+        } else {
+            None
+        }
+    }
+
+    /// The raw allowed pairs, oriented `first → second`.
+    pub fn allowed_pairs(&self) -> &HashSet<(usize, usize)> {
+        &self.allowed
+    }
+
+    /// Number of allowed pairs.
+    pub fn pair_count(&self) -> usize {
+        self.allowed.len()
+    }
+
+    /// Whether assigning `value_a` to `var_a` and `value_b` to `var_b`
+    /// satisfies the constraint.  The variables may be given in either
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `{var_a, var_b}` is not the constraint's scope.
+    pub fn allows(&self, var_a: VarId, value_a: usize, var_b: VarId, value_b: usize) -> bool {
+        if var_a == self.first && var_b == self.second {
+            self.allowed.contains(&(value_a, value_b))
+        } else if var_a == self.second && var_b == self.first {
+            self.allowed.contains(&(value_b, value_a))
+        } else {
+            panic!("constraint between {} and {} queried with {var_a} and {var_b}",
+                self.first, self.second);
+        }
+    }
+
+    /// Whether value `value` of variable `var` has at least one supporting
+    /// value among `other_candidates` (indices into the other variable's
+    /// domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `var` is not in the constraint's scope.
+    pub fn has_support(&self, var: VarId, value: usize, other_candidates: &[usize]) -> bool {
+        other_candidates
+            .iter()
+            .any(|&o| self.supports(var, value, o))
+    }
+
+    /// Number of values among `other_candidates` compatible with
+    /// `var = value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `var` is not in the constraint's scope.
+    pub fn support_count(&self, var: VarId, value: usize, other_candidates: &[usize]) -> usize {
+        other_candidates
+            .iter()
+            .filter(|&&o| self.supports(var, value, o))
+            .count()
+    }
+
+    fn supports(&self, var: VarId, value: usize, other_value: usize) -> bool {
+        if var == self.first {
+            self.allowed.contains(&(value, other_value))
+        } else if var == self.second {
+            self.allowed.contains(&(other_value, value))
+        } else {
+            panic!("variable {var} not in constraint scope ({}, {})", self.first, self.second);
+        }
+    }
+}
+
+impl fmt::Display for BinaryConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut pairs: Vec<&(usize, usize)> = self.allowed.iter().collect();
+        pairs.sort();
+        write!(f, "S({}, {}) = {{", self.first, self.second)?;
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "[{a}, {b}]")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constraint() -> BinaryConstraint {
+        let mut allowed = HashSet::new();
+        allowed.insert((0, 1));
+        allowed.insert((1, 0));
+        BinaryConstraint::new(VarId::new(0), VarId::new(1), allowed)
+    }
+
+    #[test]
+    fn scope_queries() {
+        let c = constraint();
+        assert_eq!(c.scope(), (VarId::new(0), VarId::new(1)));
+        assert!(c.involves(VarId::new(0)));
+        assert!(c.involves(VarId::new(1)));
+        assert!(!c.involves(VarId::new(2)));
+        assert_eq!(c.other(VarId::new(0)), Some(VarId::new(1)));
+        assert_eq!(c.other(VarId::new(1)), Some(VarId::new(0)));
+        assert_eq!(c.other(VarId::new(5)), None);
+        assert_eq!(c.pair_count(), 2);
+    }
+
+    #[test]
+    fn allows_in_both_orientations() {
+        let c = constraint();
+        assert!(c.allows(VarId::new(0), 0, VarId::new(1), 1));
+        assert!(c.allows(VarId::new(1), 1, VarId::new(0), 0));
+        assert!(!c.allows(VarId::new(0), 0, VarId::new(1), 0));
+        assert!(!c.allows(VarId::new(1), 1, VarId::new(0), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "queried with")]
+    fn allows_panics_outside_scope() {
+        let c = constraint();
+        let _ = c.allows(VarId::new(0), 0, VarId::new(2), 0);
+    }
+
+    #[test]
+    fn support_queries() {
+        let c = constraint();
+        // Value 0 of the first variable is supported only by value 1 of the
+        // second.
+        assert!(c.has_support(VarId::new(0), 0, &[0, 1]));
+        assert!(!c.has_support(VarId::new(0), 0, &[0]));
+        assert_eq!(c.support_count(VarId::new(0), 0, &[0, 1]), 1);
+        assert_eq!(c.support_count(VarId::new(1), 0, &[0, 1]), 1);
+        assert_eq!(c.support_count(VarId::new(1), 1, &[0]), 1);
+        assert_eq!(c.support_count(VarId::new(1), 1, &[1]), 0);
+    }
+
+    #[test]
+    fn display_is_sorted_and_readable() {
+        let c = constraint();
+        assert_eq!(c.to_string(), "S(x0, x1) = {[0, 1], [1, 0]}");
+    }
+}

@@ -1,0 +1,146 @@
+//! AC-3 arc-consistency preprocessing.
+//!
+//! Not part of the paper's schemes, but a natural extension: removing values
+//! that have no support in a neighbouring domain before the search starts
+//! can only shrink the search tree, never change satisfiability.
+
+use super::SearchStats;
+use crate::network::{ConstraintNetwork, VarId};
+use crate::Value;
+use std::collections::VecDeque;
+
+/// Result of running AC-3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ac3Outcome {
+    /// Every remaining value has support in every neighbouring domain.
+    Consistent,
+    /// Some variable's domain was emptied; the network is unsatisfiable.
+    Wipeout(VarId),
+}
+
+/// Makes `live` (the per-variable candidate lists) arc consistent with
+/// respect to every constraint of the network.
+///
+/// Returns [`Ac3Outcome::Wipeout`] as soon as a domain becomes empty.
+/// Pruning counts and consistency checks are recorded in `stats`.
+pub fn ac3<V: Value>(
+    network: &ConstraintNetwork<V>,
+    live: &mut [Vec<usize>],
+    stats: &mut SearchStats,
+) -> Ac3Outcome {
+    // Work list of directed arcs (x, y) meaning "revise x against y".
+    let mut queue: VecDeque<(VarId, VarId)> = VecDeque::new();
+    for c in network.constraints() {
+        queue.push_back((c.first(), c.second()));
+        queue.push_back((c.second(), c.first()));
+    }
+    while let Some((x, y)) = queue.pop_front() {
+        if revise(network, live, x, y, stats) {
+            if live[x.index()].is_empty() {
+                return Ac3Outcome::Wipeout(x);
+            }
+            // Re-examine every arc pointing at x (other than from y).
+            for &ci in network.constraints_of(x) {
+                let c = &network.constraints()[ci];
+                let z = c.other(x).expect("adjacency is consistent");
+                if z != y {
+                    queue.push_back((z, x));
+                }
+            }
+        }
+    }
+    Ac3Outcome::Consistent
+}
+
+/// Removes the values of `x` that have no support among the live values of
+/// `y`; returns whether anything was removed.
+fn revise<V: Value>(
+    network: &ConstraintNetwork<V>,
+    live: &mut [Vec<usize>],
+    x: VarId,
+    y: VarId,
+    stats: &mut SearchStats,
+) -> bool {
+    let Some(constraint) = network.constraint_between(x, y) else {
+        return false;
+    };
+    let y_values = live[y.index()].clone();
+    let before = live[x.index()].len();
+    stats.consistency_checks += (before * y_values.len()) as u64;
+    live[x.index()].retain(|&xv| constraint.has_support(x, xv, &y_values));
+    let removed = before - live[x.index()].len();
+    stats.prunings += removed as u64;
+    removed > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_domains<V: Value>(net: &ConstraintNetwork<V>) -> Vec<Vec<usize>> {
+        net.variables()
+            .map(|v| (0..net.domain(v).len()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn ac3_prunes_unsupported_values() {
+        // a in {0,1,2}, b in {0}; constraint requires a == b, so a must be 0.
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0, 1, 2]);
+        let b = net.add_variable("b", vec![0]);
+        net.add_constraint(a, b, vec![(0, 0)]).unwrap();
+        let mut live = full_domains(&net);
+        let mut stats = SearchStats::default();
+        assert_eq!(ac3(&net, &mut live, &mut stats), Ac3Outcome::Consistent);
+        assert_eq!(live[a.index()], vec![0]);
+        assert_eq!(live[b.index()], vec![0]);
+        assert_eq!(stats.prunings, 2);
+        assert!(stats.consistency_checks > 0);
+    }
+
+    #[test]
+    fn ac3_detects_wipeout() {
+        // a != b with single-value equal domains: impossible.
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0]);
+        let b = net.add_variable("b", vec![0]);
+        net.add_constraint(a, b, vec![]).unwrap();
+        let mut live = full_domains(&net);
+        let mut stats = SearchStats::default();
+        match ac3(&net, &mut live, &mut stats) {
+            Ac3Outcome::Wipeout(v) => assert!(v == a || v == b),
+            Ac3Outcome::Consistent => panic!("expected a wipeout"),
+        }
+    }
+
+    #[test]
+    fn ac3_propagates_through_a_chain() {
+        // a -> b -> c equality chain with c fixed to 1 forces everything to 1.
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0, 1]);
+        let b = net.add_variable("b", vec![0, 1]);
+        let c = net.add_variable("c", vec![1]);
+        net.add_constraint(a, b, vec![(0, 0), (1, 1)]).unwrap();
+        net.add_constraint(b, c, vec![(1, 1)]).unwrap();
+        let mut live = full_domains(&net);
+        let mut stats = SearchStats::default();
+        assert_eq!(ac3(&net, &mut live, &mut stats), Ac3Outcome::Consistent);
+        assert_eq!(live[a.index()], vec![1]);
+        assert_eq!(live[b.index()], vec![1]);
+    }
+
+    #[test]
+    fn ac3_leaves_consistent_networks_alone() {
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0, 1]);
+        let b = net.add_variable("b", vec![0, 1]);
+        net.add_constraint(a, b, vec![(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+        let mut live = full_domains(&net);
+        let mut stats = SearchStats::default();
+        assert_eq!(ac3(&net, &mut live, &mut stats), Ac3Outcome::Consistent);
+        assert_eq!(live[a.index()].len(), 2);
+        assert_eq!(live[b.index()].len(), 2);
+        assert_eq!(stats.prunings, 0);
+    }
+}

@@ -1,0 +1,325 @@
+//! Min-conflicts local search.
+//!
+//! The paper's schemes are systematic: they either find a solution or prove
+//! that none exists.  For very large layout networks (hundreds of arrays) a
+//! *local* search is a useful complement: start from a complete random
+//! assignment and repeatedly reassign a conflicted variable to the value
+//! that minimizes its number of violated constraints, restarting from a new
+//! random assignment when progress stalls.  Min-conflicts cannot prove
+//! unsatisfiability, but on satisfiable layout networks it often lands on a
+//! solution after visiting far fewer states than systematic search.
+
+use crate::assignment::{Assignment, Solution};
+use crate::network::{ConstraintNetwork, VarId};
+use crate::solver::{SearchStats, SolveResult};
+use crate::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Configuration of the min-conflicts search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinConflicts {
+    /// Maximum repair steps per restart.
+    pub max_steps: u64,
+    /// Maximum number of restarts (each from a fresh random assignment).
+    pub max_restarts: u64,
+    /// Probability (in percent, 0–100) of taking a random walk step instead
+    /// of the greedy min-conflicts move; breaks plateaus.
+    pub noise_percent: u8,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MinConflicts {
+    fn default() -> Self {
+        MinConflicts {
+            max_steps: 10_000,
+            max_restarts: 20,
+            noise_percent: 8,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl MinConflicts {
+    /// Creates a configuration with the given seed and default limits.
+    pub fn with_seed(seed: u64) -> Self {
+        MinConflicts {
+            seed,
+            ..MinConflicts::default()
+        }
+    }
+
+    /// Sets the per-restart step limit.
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = steps;
+        self
+    }
+
+    /// Sets the restart limit.
+    pub fn max_restarts(mut self, restarts: u64) -> Self {
+        self.max_restarts = restarts;
+        self
+    }
+
+    /// Sets the noise probability in percent (clamped to 100).
+    pub fn noise_percent(mut self, percent: u8) -> Self {
+        self.noise_percent = percent.min(100);
+        self
+    }
+
+    /// Runs min-conflicts on a network.
+    ///
+    /// Returns a [`SolveResult`]; `solution` is `None` either when the
+    /// network is unsatisfiable or when the step/restart budget ran out —
+    /// local search cannot tell the two apart, which the caller must keep in
+    /// mind (`hit_node_limit` is set when the budget was exhausted).
+    pub fn solve<V: Value>(&self, network: &ConstraintNetwork<V>) -> SolveResult<V> {
+        let start = Instant::now();
+        let mut stats = SearchStats::default();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = network.variable_count();
+
+        // Degenerate cases: empty networks are trivially solved; an empty
+        // domain can never be assigned.
+        if network.variables().any(|v| network.domain(v).is_empty()) {
+            return SolveResult {
+                solution: None,
+                stats,
+                elapsed: start.elapsed(),
+                hit_node_limit: false,
+            };
+        }
+
+        for _restart in 0..self.max_restarts.max(1) {
+            let mut assignment = random_complete_assignment(network, &mut rng);
+            stats.max_depth = n;
+            for _step in 0..self.max_steps {
+                let conflicted = conflicted_variables(network, &assignment, &mut stats);
+                if conflicted.is_empty() {
+                    let solution = Solution::from_assignment(network, &assignment);
+                    return SolveResult {
+                        solution: Some(solution),
+                        stats,
+                        elapsed: start.elapsed(),
+                        hit_node_limit: false,
+                    };
+                }
+                let var = conflicted[rng.gen_range(0..conflicted.len())];
+                let value = if rng.gen_range(0..100u8) < self.noise_percent {
+                    rng.gen_range(0..network.domain(var).len())
+                } else {
+                    min_conflict_value(network, &assignment, var, &mut rng, &mut stats)
+                };
+                assignment.assign(var, value);
+                stats.nodes_visited += 1;
+            }
+            stats.backtracks += 1; // one restart counted as a dead end
+        }
+
+        SolveResult {
+            solution: None,
+            stats,
+            elapsed: start.elapsed(),
+            hit_node_limit: true,
+        }
+    }
+}
+
+/// A uniformly random complete assignment.
+fn random_complete_assignment<V: Value>(
+    network: &ConstraintNetwork<V>,
+    rng: &mut StdRng,
+) -> Assignment {
+    let mut assignment = Assignment::new(network.variable_count());
+    for v in network.variables() {
+        assignment.assign(v, rng.gen_range(0..network.domain(v).len()));
+    }
+    assignment
+}
+
+/// Variables participating in at least one violated constraint.
+fn conflicted_variables<V: Value>(
+    network: &ConstraintNetwork<V>,
+    assignment: &Assignment,
+    stats: &mut SearchStats,
+) -> Vec<VarId> {
+    let mut conflicted = Vec::new();
+    for v in network.variables() {
+        if variable_conflicts(network, assignment, v, assignment.get(v).expect("complete"), stats)
+            > 0
+        {
+            conflicted.push(v);
+        }
+    }
+    conflicted
+}
+
+/// Number of constraints violated by `var = value` against the rest of a
+/// complete assignment.
+fn variable_conflicts<V: Value>(
+    network: &ConstraintNetwork<V>,
+    assignment: &Assignment,
+    var: VarId,
+    value: usize,
+    stats: &mut SearchStats,
+) -> usize {
+    let mut count = 0usize;
+    for &ci in network.constraints_of(var) {
+        let constraint = &network.constraints()[ci];
+        let other = constraint.other(var).expect("adjacency is consistent");
+        let other_value = assignment.get(other).expect("complete assignment");
+        stats.consistency_checks += 1;
+        if !constraint.allows(var, value, other, other_value) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// The value of `var` with the fewest conflicts (ties broken uniformly at
+/// random).
+fn min_conflict_value<V: Value>(
+    network: &ConstraintNetwork<V>,
+    assignment: &Assignment,
+    var: VarId,
+    rng: &mut StdRng,
+    stats: &mut SearchStats,
+) -> usize {
+    let domain_size = network.domain(var).len();
+    let mut best_values = Vec::new();
+    let mut best_conflicts = usize::MAX;
+    for value in 0..domain_size {
+        let conflicts = variable_conflicts(network, assignment, var, value, stats);
+        match conflicts.cmp(&best_conflicts) {
+            std::cmp::Ordering::Less => {
+                best_conflicts = conflicts;
+                best_values.clear();
+                best_values.push(value);
+            }
+            std::cmp::Ordering::Equal => best_values.push(value),
+            std::cmp::Ordering::Greater => {}
+        }
+    }
+    best_values[rng.gen_range(0..best_values.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{Scheme, SearchEngine};
+
+    fn paper_network() -> ConstraintNetwork<(i64, i64)> {
+        let mut net = ConstraintNetwork::new();
+        let q1 = net.add_variable("Q1", vec![(1, 0), (0, 1), (1, 1)]);
+        let q2 = net.add_variable("Q2", vec![(1, -1), (1, 1)]);
+        let q3 = net.add_variable("Q3", vec![(0, 1), (1, 1), (1, 2)]);
+        let q4 = net.add_variable("Q4", vec![(1, 0), (0, 1), (1, 1)]);
+        net.add_constraint(q1, q2, vec![((1, 0), (1, 1)), ((0, 1), (1, -1))])
+            .unwrap();
+        net.add_constraint(q1, q3, vec![((1, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (1, 2))])
+            .unwrap();
+        net.add_constraint(q1, q4, vec![((1, 0), (1, 0)), ((0, 1), (0, 1))])
+            .unwrap();
+        net.add_constraint(q2, q3, vec![((1, 1), (0, 1)), ((1, -1), (1, 1))])
+            .unwrap();
+        net.add_constraint(q2, q4, vec![((1, -1), (0, 1)), ((1, 1), (1, 0))])
+            .unwrap();
+        net.add_constraint(q3, q4, vec![((0, 1), (1, 0))]).unwrap();
+        net
+    }
+
+    #[test]
+    fn solves_the_paper_network() {
+        let net = paper_network();
+        let result = MinConflicts::with_seed(11).solve(&net);
+        let solution = result.solution.expect("the paper's network is satisfiable");
+        // Any returned solution must genuinely satisfy the network.
+        let mut asg = Assignment::new(net.variable_count());
+        for v in net.variables() {
+            asg.assign(v, solution.value_index(v));
+        }
+        assert_eq!(net.is_solution(&asg), Ok(true));
+        assert!(!result.hit_node_limit);
+        assert!(result.stats.consistency_checks > 0);
+    }
+
+    #[test]
+    fn agrees_with_systematic_search_on_satisfiable_instances() {
+        for seed in 0..6u64 {
+            let net = crate::random::RandomNetworkSpec {
+                variables: 10,
+                domain_size: 4,
+                density: 0.4,
+                tightness: 0.3,
+                seed,
+            }
+            .generate();
+            let systematic = SearchEngine::with_scheme(Scheme::Enhanced).solve(&net);
+            if systematic.is_satisfiable() {
+                let local = MinConflicts::with_seed(seed).solve(&net);
+                assert!(
+                    local.is_satisfiable(),
+                    "min-conflicts missed a solution on seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gives_up_within_budget_on_unsatisfiable_networks() {
+        // Two variables, one constraint that allows nothing.
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0, 1]);
+        let b = net.add_variable("b", vec![0, 1]);
+        net.add_constraint(a, b, vec![]).unwrap();
+        let config = MinConflicts::with_seed(3).max_steps(50).max_restarts(3);
+        let result = config.solve(&net);
+        assert!(result.solution.is_none());
+        assert!(result.hit_node_limit);
+        // Every restart after the first is counted as a dead end.
+        assert_eq!(result.stats.backtracks, 3);
+    }
+
+    #[test]
+    fn empty_domains_are_rejected_immediately() {
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        net.add_variable("a", vec![]);
+        let result = MinConflicts::default().solve(&net);
+        assert!(result.solution.is_none());
+        assert!(!result.hit_node_limit);
+        assert_eq!(result.stats.nodes_visited, 0);
+    }
+
+    #[test]
+    fn empty_network_is_trivially_satisfiable() {
+        let net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let result = MinConflicts::default().solve(&net);
+        let solution = result.solution.expect("empty networks are satisfiable");
+        assert!(solution.is_empty());
+    }
+
+    #[test]
+    fn builder_setters_clamp_and_store() {
+        let c = MinConflicts::default()
+            .max_steps(5)
+            .max_restarts(2)
+            .noise_percent(200);
+        assert_eq!(c.max_steps, 5);
+        assert_eq!(c.max_restarts, 2);
+        assert_eq!(c.noise_percent, 100);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let net = paper_network();
+        let a = MinConflicts::with_seed(77).solve(&net);
+        let b = MinConflicts::with_seed(77).solve(&net);
+        assert_eq!(
+            a.solution.as_ref().map(|s| s.values().to_vec()),
+            b.solution.as_ref().map(|s| s.values().to_vec())
+        );
+        assert_eq!(a.stats.nodes_visited, b.stats.nodes_visited);
+    }
+}

@@ -1,0 +1,305 @@
+//! Variable- and value-ordering heuristics.
+//!
+//! The paper's enhanced scheme replaces the base scheme's two random
+//! decisions:
+//!
+//! * *variable selection* — "instantiate the variable that maximally
+//!   constrains the rest of the search space", so dead ends are detected as
+//!   early as possible, and
+//! * *value selection* — "select the value that maximizes the number of
+//!   options available for future assignments", so a solution is found
+//!   quickly when one exists.
+
+use crate::assignment::Assignment;
+use crate::network::{ConstraintNetwork, VarId};
+use crate::Value;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// How the next variable to instantiate is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VariableOrdering {
+    /// Declaration order (x0, x1, ...).
+    Lexicographic,
+    /// Uniformly at random among the unassigned variables (base scheme).
+    Random,
+    /// The unassigned variable that maximally constrains the remaining
+    /// search space: most constraints to *unassigned* neighbours, ties
+    /// broken by smaller remaining domain, then by declaration order
+    /// (enhanced scheme).
+    MostConstraining,
+}
+
+/// How the candidate values of the chosen variable are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueOrdering {
+    /// Domain declaration order.
+    DomainOrder,
+    /// A random permutation of the domain (base scheme).
+    Random,
+    /// Values that leave the most options open for unassigned neighbours
+    /// first (enhanced scheme).
+    LeastConstraining,
+}
+
+/// Selects the next variable to instantiate from `live` (the unassigned
+/// variables), honouring the configured ordering.
+///
+/// `live_domains` holds the *current* (possibly pruned) candidate values of
+/// every variable, used for domain-size tie-breaking.
+pub fn select_variable<V: Value>(
+    ordering: VariableOrdering,
+    network: &ConstraintNetwork<V>,
+    assignment: &Assignment,
+    live_domains: &[Vec<usize>],
+    rng: &mut StdRng,
+) -> Option<VarId> {
+    let unassigned = assignment.unassigned();
+    if unassigned.is_empty() {
+        return None;
+    }
+    match ordering {
+        VariableOrdering::Lexicographic => Some(unassigned[0]),
+        VariableOrdering::Random => unassigned.choose(rng).copied(),
+        VariableOrdering::MostConstraining => {
+            let mut best: Option<(VarId, usize, usize)> = None;
+            for &v in &unassigned {
+                // Constraints to unassigned neighbours.
+                let degree = network
+                    .neighbours(v)
+                    .iter()
+                    .filter(|n| !assignment.is_assigned(**n))
+                    .count();
+                let domain_size = live_domains[v.index()].len();
+                let better = match best {
+                    None => true,
+                    Some((_, best_degree, best_domain)) => {
+                        degree > best_degree
+                            || (degree == best_degree && domain_size < best_domain)
+                    }
+                };
+                if better {
+                    best = Some((v, degree, domain_size));
+                }
+            }
+            best.map(|(v, _, _)| v)
+        }
+    }
+}
+
+/// Orders the candidate values of `var` according to the configured value
+/// ordering.  `candidates` are indices into the variable's domain (already
+/// restricted by forward checking when enabled).
+pub fn order_values<V: Value>(
+    ordering: ValueOrdering,
+    network: &ConstraintNetwork<V>,
+    assignment: &Assignment,
+    live_domains: &[Vec<usize>],
+    var: VarId,
+    candidates: &[usize],
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let mut values = candidates.to_vec();
+    match ordering {
+        ValueOrdering::DomainOrder => values,
+        ValueOrdering::Random => {
+            values.shuffle(rng);
+            values
+        }
+        ValueOrdering::LeastConstraining => {
+            // Score = total number of still-supported options across
+            // unassigned neighbours; higher is better.
+            let neighbours: Vec<VarId> = network
+                .neighbours(var)
+                .into_iter()
+                .filter(|n| !assignment.is_assigned(*n))
+                .collect();
+            let mut scored: Vec<(usize, usize)> = values
+                .iter()
+                .map(|&value| {
+                    let mut score = 0usize;
+                    for &n in &neighbours {
+                        if let Some(c) = network.constraint_between(var, n) {
+                            score += c.support_count(var, value, &live_domains[n.index()]);
+                        }
+                    }
+                    (value, score)
+                })
+                .collect();
+            // Stable sort: descending score, ties keep domain order.
+            scored.sort_by(|a, b| b.1.cmp(&a.1));
+            scored.into_iter().map(|(v, _)| v).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn chain_network() -> (ConstraintNetwork<i32>, Vec<VarId>) {
+        // x0 - x1 - x2 chain; x1 has the highest degree.
+        let mut net = ConstraintNetwork::new();
+        let a = net.add_variable("x0", vec![0, 1]);
+        let b = net.add_variable("x1", vec![0, 1, 2]);
+        let c = net.add_variable("x2", vec![0, 1]);
+        net.add_constraint(a, b, vec![(0, 1), (1, 2)]).unwrap();
+        net.add_constraint(b, c, vec![(1, 0), (2, 1)]).unwrap();
+        (net, vec![a, b, c])
+    }
+
+    fn full_domains(net: &ConstraintNetwork<i32>) -> Vec<Vec<usize>> {
+        net.variables()
+            .map(|v| (0..net.domain(v).len()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn lexicographic_picks_first_unassigned() {
+        let (net, vars) = chain_network();
+        let mut asg = Assignment::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let live = full_domains(&net);
+        assert_eq!(
+            select_variable(VariableOrdering::Lexicographic, &net, &asg, &live, &mut rng),
+            Some(vars[0])
+        );
+        asg.assign(vars[0], 0);
+        assert_eq!(
+            select_variable(VariableOrdering::Lexicographic, &net, &asg, &live, &mut rng),
+            Some(vars[1])
+        );
+    }
+
+    #[test]
+    fn most_constraining_prefers_high_degree() {
+        let (net, vars) = chain_network();
+        let asg = Assignment::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let live = full_domains(&net);
+        // x1 touches two constraints, x0 and x2 only one each.
+        assert_eq!(
+            select_variable(
+                VariableOrdering::MostConstraining,
+                &net,
+                &asg,
+                &live,
+                &mut rng
+            ),
+            Some(vars[1])
+        );
+    }
+
+    #[test]
+    fn most_constraining_breaks_ties_by_domain_size() {
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0, 1, 2]);
+        let b = net.add_variable("b", vec![0, 1]);
+        net.add_constraint(a, b, vec![(0, 0)]).unwrap();
+        let asg = Assignment::new(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let live = full_domains(&net);
+        // Equal degree (1 each); b has the smaller domain.
+        assert_eq!(
+            select_variable(
+                VariableOrdering::MostConstraining,
+                &net,
+                &asg,
+                &live,
+                &mut rng
+            ),
+            Some(b)
+        );
+    }
+
+    #[test]
+    fn random_selection_returns_unassigned_variable() {
+        let (net, vars) = chain_network();
+        let mut asg = Assignment::new(3);
+        asg.assign(vars[0], 0);
+        let live = full_domains(&net);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let v = select_variable(VariableOrdering::Random, &net, &asg, &live, &mut rng).unwrap();
+            assert_ne!(v, vars[0]);
+        }
+        // Fully assigned -> no selection.
+        asg.assign(vars[1], 0);
+        asg.assign(vars[2], 0);
+        assert_eq!(
+            select_variable(VariableOrdering::Random, &net, &asg, &live, &mut rng),
+            None
+        );
+    }
+
+    #[test]
+    fn least_constraining_value_ordering() {
+        // x0 in {0,1}, neighbour x1 in {0,1,2}.  Value 0 of x0 supports two
+        // values of x1, value 1 supports one -> 0 must come first.
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0, 1]);
+        let b = net.add_variable("b", vec![0, 1, 2]);
+        net.add_constraint(a, b, vec![(0, 0), (0, 1), (1, 2)]).unwrap();
+        let asg = Assignment::new(2);
+        let live = full_domains(&net);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ordered = order_values(
+            ValueOrdering::LeastConstraining,
+            &net,
+            &asg,
+            &live,
+            a,
+            &[0, 1],
+            &mut rng,
+        );
+        assert_eq!(ordered, vec![0, 1]);
+        // With value 1 supporting more options, the order flips.
+        let mut net2: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a2 = net2.add_variable("a", vec![0, 1]);
+        let b2 = net2.add_variable("b", vec![0, 1, 2]);
+        net2.add_constraint(a2, b2, vec![(1, 0), (1, 1), (0, 2)]).unwrap();
+        let live2 = full_domains(&net2);
+        let ordered2 = order_values(
+            ValueOrdering::LeastConstraining,
+            &net2,
+            &Assignment::new(2),
+            &live2,
+            a2,
+            &[0, 1],
+            &mut rng,
+        );
+        assert_eq!(ordered2, vec![1, 0]);
+    }
+
+    #[test]
+    fn domain_order_is_preserved_and_random_is_permutation() {
+        let (net, vars) = chain_network();
+        let asg = Assignment::new(3);
+        let live = full_domains(&net);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(
+            order_values(
+                ValueOrdering::DomainOrder,
+                &net,
+                &asg,
+                &live,
+                vars[1],
+                &[0, 1, 2],
+                &mut rng
+            ),
+            vec![0, 1, 2]
+        );
+        let mut shuffled = order_values(
+            ValueOrdering::Random,
+            &net,
+            &asg,
+            &live,
+            vars[1],
+            &[0, 1, 2],
+            &mut rng,
+        );
+        shuffled.sort();
+        assert_eq!(shuffled, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Weighted constraint networks (the paper's first future direction).
+//!
+//! Section 6 of the paper proposes giving *weights* to constraints so that
+//! different solutions of the same network can be distinguished.  Here a
+//! weight is attached to every allowed pair of every constraint (e.g. the
+//! estimated locality benefit of that layout combination, possibly scaled by
+//! the importance of the nest that generated it), and [`BranchAndBound`]
+//! finds the complete assignment that (a) satisfies every constraint and
+//! (b) maximizes the total weight of the selected pairs.
+
+use crate::assignment::{Assignment, Solution};
+use crate::network::{ConstraintNetwork, VarId};
+use crate::solver::SearchStats;
+use crate::Value;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A constraint network whose allowed pairs carry weights.
+#[derive(Debug, Clone)]
+pub struct WeightedNetwork<V> {
+    network: ConstraintNetwork<V>,
+    /// weight[(constraint index, pair)] — pairs oriented like the constraint.
+    weights: HashMap<(usize, (usize, usize)), f64>,
+    default_weight: f64,
+}
+
+impl<V: Value> WeightedNetwork<V> {
+    /// Wraps a network; pairs start with the given default weight.
+    pub fn new(network: ConstraintNetwork<V>, default_weight: f64) -> Self {
+        WeightedNetwork {
+            network,
+            weights: HashMap::new(),
+            default_weight,
+        }
+    }
+
+    /// The underlying (hard) constraint network.
+    pub fn network(&self) -> &ConstraintNetwork<V> {
+        &self.network
+    }
+
+    /// Sets the weight of one allowed pair of the constraint between `a` and
+    /// `b`.  The pair is given as values of `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no constraint exists between the variables or
+    /// the values are not in their domains.
+    pub fn set_weight(&mut self, a: VarId, b: VarId, value_a: &V, value_b: &V, weight: f64) -> crate::Result<()> {
+        let ci = self
+            .network
+            .constraints()
+            .iter()
+            .position(|c| c.involves(a) && c.involves(b))
+            .ok_or(crate::CspError::UnknownVariable(b))?;
+        let ia = self
+            .network
+            .domain(a)
+            .index_of(value_a)
+            .ok_or_else(|| crate::CspError::ValueNotInDomain {
+                variable: a,
+                value: format!("{value_a:?}"),
+            })?;
+        let ib = self
+            .network
+            .domain(b)
+            .index_of(value_b)
+            .ok_or_else(|| crate::CspError::ValueNotInDomain {
+                variable: b,
+                value: format!("{value_b:?}"),
+            })?;
+        let constraint = &self.network.constraints()[ci];
+        let pair = if constraint.first() == a { (ia, ib) } else { (ib, ia) };
+        self.weights.insert((ci, pair), weight);
+        Ok(())
+    }
+
+    /// The weight of a pair of a constraint (by constraint index and pair
+    /// oriented like the constraint).
+    pub fn weight_of(&self, constraint_index: usize, pair: (usize, usize)) -> f64 {
+        self.weights
+            .get(&(constraint_index, pair))
+            .copied()
+            .unwrap_or(self.default_weight)
+    }
+
+    /// The total weight of a complete assignment (only meaningful when it is
+    /// a solution of the hard network).
+    pub fn assignment_weight(&self, assignment: &Assignment) -> f64 {
+        let mut total = 0.0;
+        for (ci, c) in self.network.constraints().iter().enumerate() {
+            if let (Some(a), Some(b)) = (assignment.get(c.first()), assignment.get(c.second())) {
+                if c.allows(c.first(), a, c.second(), b) {
+                    total += self.weight_of(ci, (a, b));
+                }
+            }
+        }
+        total
+    }
+}
+
+/// The result of a branch-and-bound optimization.
+#[derive(Debug, Clone)]
+pub struct OptimizeResult<V> {
+    /// The best solution found, if the hard network is satisfiable.
+    pub solution: Option<Solution<V>>,
+    /// The weight of the best solution.
+    pub best_weight: f64,
+    /// Search statistics.
+    pub stats: SearchStats,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Depth-first branch and bound over a [`WeightedNetwork`].
+#[derive(Debug, Clone, Default)]
+pub struct BranchAndBound {
+    /// Give up after visiting this many nodes (`None` = unlimited).
+    pub node_limit: Option<u64>,
+}
+
+impl BranchAndBound {
+    /// Creates a branch-and-bound optimizer with no node limit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finds the maximum-weight solution of the weighted network.
+    pub fn optimize<V: Value>(&self, weighted: &WeightedNetwork<V>) -> OptimizeResult<V> {
+        let start = Instant::now();
+        let network = weighted.network();
+        let mut stats = SearchStats::default();
+        let mut best_weight = f64::NEG_INFINITY;
+        let mut best_assignment: Option<Assignment> = None;
+        let mut assignment = Assignment::new(network.variable_count());
+
+        // Static most-constrained-first order keeps the bound tight early.
+        let mut order: Vec<VarId> = network.variables().collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(network.constraints_of(v).len()));
+
+        // Optimistic per-constraint bound: the largest weight of any pair.
+        let max_pair_weight: Vec<f64> = network
+            .constraints()
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| {
+                c.allowed_pairs()
+                    .iter()
+                    .map(|&p| weighted.weight_of(ci, p))
+                    .fold(weighted.default_weight.max(0.0), f64::max)
+            })
+            .collect();
+
+        self.recurse(
+            weighted,
+            &order,
+            0,
+            &mut assignment,
+            0.0,
+            &max_pair_weight,
+            &mut best_weight,
+            &mut best_assignment,
+            &mut stats,
+        );
+
+        let solution = best_assignment.map(|a| Solution::from_assignment(network, &a));
+        OptimizeResult {
+            solution,
+            best_weight: if best_weight.is_finite() { best_weight } else { 0.0 },
+            stats,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse<V: Value>(
+        &self,
+        weighted: &WeightedNetwork<V>,
+        order: &[VarId],
+        depth: usize,
+        assignment: &mut Assignment,
+        weight_so_far: f64,
+        max_pair_weight: &[f64],
+        best_weight: &mut f64,
+        best_assignment: &mut Option<Assignment>,
+        stats: &mut SearchStats,
+    ) {
+        if let Some(limit) = self.node_limit {
+            if stats.nodes_visited >= limit {
+                return;
+            }
+        }
+        let network = weighted.network();
+        if depth == order.len() {
+            if weight_so_far > *best_weight {
+                *best_weight = weight_so_far;
+                *best_assignment = Some(assignment.clone());
+            }
+            return;
+        }
+        // Upper bound: current weight plus the best conceivable weight of
+        // every constraint not yet fully assigned.
+        let optimistic: f64 = network
+            .constraints()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                assignment.get(c.first()).is_none() || assignment.get(c.second()).is_none()
+            })
+            .map(|(ci, _)| max_pair_weight[ci])
+            .sum();
+        if weight_so_far + optimistic <= *best_weight {
+            return; // prune: cannot beat the incumbent
+        }
+
+        let var = order[depth];
+        for value in 0..network.domain(var).len() {
+            stats.nodes_visited += 1;
+            stats.max_depth = stats.max_depth.max(depth + 1);
+            let conflicts =
+                network.conflicts_with(assignment, var, value, &mut stats.consistency_checks);
+            if !conflicts.is_empty() {
+                continue;
+            }
+            // Weight gained: every constraint between var and an assigned
+            // neighbour contributes the weight of the now-selected pair.
+            let mut gained = 0.0;
+            for (ci, c) in network.constraints().iter().enumerate() {
+                if !c.involves(var) {
+                    continue;
+                }
+                let other = c.other(var).expect("scope");
+                if let Some(other_value) = assignment.get(other) {
+                    let pair = if c.first() == var {
+                        (value, other_value)
+                    } else {
+                        (other_value, value)
+                    };
+                    gained += weighted.weight_of(ci, pair);
+                }
+            }
+            assignment.assign(var, value);
+            self.recurse(
+                weighted,
+                order,
+                depth + 1,
+                assignment,
+                weight_so_far + gained,
+                max_pair_weight,
+                best_weight,
+                best_assignment,
+                stats,
+            );
+            assignment.unassign(var);
+        }
+        stats.backtracks += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_weighted() -> (WeightedNetwork<&'static str>, Vec<VarId>) {
+        // Two variables, both pairs (r,r) and (c,c) allowed; (c,c) weighs
+        // more, so the optimizer must prefer it even though (r,r) is listed
+        // first.
+        let mut net: ConstraintNetwork<&'static str> = ConstraintNetwork::new();
+        let a = net.add_variable("A", vec!["r", "c"]);
+        let b = net.add_variable("B", vec!["r", "c"]);
+        net.add_constraint(a, b, vec![("r", "r"), ("c", "c")]).unwrap();
+        let mut w = WeightedNetwork::new(net, 0.0);
+        w.set_weight(a, b, &"r", &"r", 1.0).unwrap();
+        w.set_weight(a, b, &"c", &"c", 5.0).unwrap();
+        (w, vec![a, b])
+    }
+
+    #[test]
+    fn branch_and_bound_maximizes_weight() {
+        let (w, vars) = simple_weighted();
+        let result = BranchAndBound::new().optimize(&w);
+        let s = result.solution.expect("satisfiable");
+        assert_eq!(s.value(vars[0]), &"c");
+        assert_eq!(s.value(vars[1]), &"c");
+        assert!((result.best_weight - 5.0).abs() < 1e-9);
+        assert!(result.stats.nodes_visited > 0);
+    }
+
+    #[test]
+    fn weights_default_when_unset() {
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0, 1]);
+        let b = net.add_variable("b", vec![0, 1]);
+        net.add_constraint(a, b, vec![(0, 0), (1, 1)]).unwrap();
+        let w = WeightedNetwork::new(net, 2.5);
+        assert_eq!(w.weight_of(0, (0, 0)), 2.5);
+        let result = BranchAndBound::new().optimize(&w);
+        assert!((result.best_weight - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsatisfiable_weighted_network_has_no_solution() {
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0]);
+        let b = net.add_variable("b", vec![0]);
+        net.add_constraint(a, b, vec![]).unwrap();
+        let w = WeightedNetwork::new(net, 1.0);
+        let result = BranchAndBound::new().optimize(&w);
+        assert!(result.solution.is_none());
+        assert_eq!(result.best_weight, 0.0);
+    }
+
+    #[test]
+    fn assignment_weight_reflects_selected_pairs() {
+        let (w, vars) = simple_weighted();
+        let mut asg = Assignment::new(2);
+        asg.assign(vars[0], 0);
+        asg.assign(vars[1], 0);
+        assert!((w.assignment_weight(&asg) - 1.0).abs() < 1e-9);
+        asg.assign(vars[0], 1);
+        asg.assign(vars[1], 1);
+        assert!((w.assignment_weight(&asg) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_weight_errors() {
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0]);
+        let b = net.add_variable("b", vec![0]);
+        let c = net.add_variable("c", vec![0]);
+        net.add_constraint(a, b, vec![(0, 0)]).unwrap();
+        let mut w = WeightedNetwork::new(net, 0.0);
+        assert!(w.set_weight(a, c, &0, &0, 1.0).is_err());
+        assert!(w.set_weight(a, b, &7, &0, 1.0).is_err());
+        assert!(w.set_weight(a, b, &0, &0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn node_limit_is_respected() {
+        let (w, _) = simple_weighted();
+        let bb = BranchAndBound { node_limit: Some(1) };
+        let result = bb.optimize(&w);
+        assert!(result.stats.nodes_visited <= 2);
+    }
+}

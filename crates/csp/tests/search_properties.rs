@@ -1,0 +1,86 @@
+//! Property tests of the search engine beyond the unit tests: relationships
+//! between schemes and robustness of the statistics.
+
+use mlo_csp::random::{satisfiable_network, RandomNetworkSpec};
+use mlo_csp::{Assignment, Scheme, SearchEngine, VarId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn every_scheme_validates_its_own_solution(
+        variables in 3usize..12,
+        domain in 2usize..5,
+        density in 0.2f64..0.9,
+        tightness in 0.1f64..0.7,
+        seed in 0u64..1000,
+    ) {
+        let spec = RandomNetworkSpec { variables, domain_size: domain, density, tightness, seed };
+        let network = spec.generate();
+        for scheme in [Scheme::Base, Scheme::Enhanced, Scheme::ForwardChecking, Scheme::FullPropagation] {
+            let result = SearchEngine::with_scheme(scheme).solve(&network);
+            if let Some(solution) = &result.solution {
+                let mut assignment = Assignment::new(network.variable_count());
+                for v in network.variables() {
+                    assignment.assign(v, solution.value_index(v));
+                }
+                prop_assert_eq!(network.is_solution(&assignment), Ok(true));
+            }
+            // Sanity of statistics: max depth never exceeds the variable
+            // count and hits-plus-misses style invariants hold.
+            prop_assert!(result.stats.max_depth <= variables);
+            prop_assert!(result.stats.nodes_visited >= result.stats.backtracks);
+        }
+    }
+
+    #[test]
+    fn node_limits_never_cause_false_unsatisfiability_reports(
+        variables in 3usize..10,
+        domain in 2usize..4,
+        seed in 0u64..200,
+        limit in 1u64..50,
+    ) {
+        // With a node limit the engine may fail to find a solution, but it
+        // must then report that it hit the limit rather than claiming a full
+        // exploration.
+        let spec = RandomNetworkSpec {
+            variables,
+            domain_size: domain,
+            density: 0.5,
+            tightness: 0.3,
+            seed,
+        };
+        let (network, planted) = satisfiable_network(&spec);
+        let result = SearchEngine::with_scheme(Scheme::Enhanced)
+            .node_limit(limit)
+            .solve(&network);
+        if result.solution.is_none() {
+            prop_assert!(result.hit_node_limit,
+                "no solution reported without hitting the node limit on a satisfiable network");
+        }
+        // The planted witness stays valid regardless.
+        let mut witness = Assignment::new(network.variable_count());
+        for (i, &v) in planted.iter().enumerate() {
+            witness.assign(VarId::new(i), v);
+        }
+        prop_assert_eq!(network.is_solution(&witness), Ok(true));
+    }
+
+    #[test]
+    fn forward_checking_agrees_with_plain_enhanced(
+        variables in 4usize..14,
+        domain in 2usize..5,
+        density in 0.3f64..0.8,
+        tightness in 0.2f64..0.6,
+        seed in 0u64..300,
+    ) {
+        // Forward checking changes the traversal (values are pruned before
+        // being tried) but never the answer.
+        let spec = RandomNetworkSpec { variables, domain_size: domain, density, tightness, seed };
+        let (network, _) = satisfiable_network(&spec);
+        let enhanced = SearchEngine::with_scheme(Scheme::Enhanced).solve(&network);
+        let fc = SearchEngine::with_scheme(Scheme::ForwardChecking).solve(&network);
+        prop_assert_eq!(enhanced.is_satisfiable(), fc.is_satisfiable());
+    }
+}

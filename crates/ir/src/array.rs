@@ -1,0 +1,152 @@
+//! Array declarations.
+
+use crate::ids::ArrayId;
+use std::fmt;
+
+/// A declared array: name, per-dimension extents and element size in bytes.
+///
+/// # Examples
+///
+/// ```
+/// use mlo_ir::{ArrayDecl, ArrayId};
+/// let a = ArrayDecl::new(ArrayId::new(0), "Q1", vec![128, 64], 4);
+/// assert_eq!(a.rank(), 2);
+/// assert_eq!(a.element_count(), 128 * 64);
+/// assert_eq!(a.size_bytes(), 128 * 64 * 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArrayDecl {
+    id: ArrayId,
+    name: String,
+    extents: Vec<i64>,
+    element_size: u32,
+}
+
+impl ArrayDecl {
+    /// Creates a new array declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extents` is empty, any extent is non-positive, or
+    /// `element_size` is zero.
+    pub fn new(id: ArrayId, name: impl Into<String>, extents: Vec<i64>, element_size: u32) -> Self {
+        assert!(!extents.is_empty(), "an array needs at least one dimension");
+        assert!(
+            extents.iter().all(|&e| e > 0),
+            "array extents must be positive"
+        );
+        assert!(element_size > 0, "element size must be positive");
+        ArrayDecl {
+            id,
+            name: name.into(),
+            extents,
+            element_size,
+        }
+    }
+
+    /// The array's identifier.
+    pub fn id(&self) -> ArrayId {
+        self.id
+    }
+
+    /// The array's source-level name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// The extent of each dimension.
+    pub fn extents(&self) -> &[i64] {
+        &self.extents
+    }
+
+    /// The extent of dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= rank()`.
+    pub fn extent(&self, d: usize) -> i64 {
+        self.extents[d]
+    }
+
+    /// Element size in bytes.
+    pub fn element_size(&self) -> u32 {
+        self.element_size
+    }
+
+    /// Total number of elements.
+    pub fn element_count(&self) -> i64 {
+        self.extents.iter().product()
+    }
+
+    /// Total footprint in bytes.
+    pub fn size_bytes(&self) -> i64 {
+        self.element_count() * self.element_size as i64
+    }
+
+    /// Whether the (integer) index vector is within bounds.
+    pub fn in_bounds(&self, index: &[i64]) -> bool {
+        index.len() == self.rank()
+            && index
+                .iter()
+                .zip(self.extents.iter())
+                .all(|(&i, &e)| i >= 0 && i < e)
+    }
+}
+
+impl fmt::Display for ArrayDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for e in &self.extents {
+            write!(f, "[{e}]")?;
+        }
+        write!(f, " ({} bytes/elem)", self.element_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decl() -> ArrayDecl {
+        ArrayDecl::new(ArrayId::new(1), "A", vec![10, 20, 30], 8)
+    }
+
+    #[test]
+    fn accessors() {
+        let a = decl();
+        assert_eq!(a.id(), ArrayId::new(1));
+        assert_eq!(a.name(), "A");
+        assert_eq!(a.rank(), 3);
+        assert_eq!(a.extent(1), 20);
+        assert_eq!(a.element_count(), 6000);
+        assert_eq!(a.size_bytes(), 48000);
+        assert_eq!(a.to_string(), "A[10][20][30] (8 bytes/elem)");
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let a = decl();
+        assert!(a.in_bounds(&[0, 0, 0]));
+        assert!(a.in_bounds(&[9, 19, 29]));
+        assert!(!a.in_bounds(&[10, 0, 0]));
+        assert!(!a.in_bounds(&[-1, 0, 0]));
+        assert!(!a.in_bounds(&[0, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_rejected() {
+        let _ = ArrayDecl::new(ArrayId::new(0), "bad", vec![0, 4], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_extents_rejected() {
+        let _ = ArrayDecl::new(ArrayId::new(0), "bad", vec![], 4);
+    }
+}

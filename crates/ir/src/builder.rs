@@ -1,0 +1,168 @@
+//! A small fluent builder for programs, nests and references.
+
+use crate::access::AffineAccess;
+use crate::array::ArrayDecl;
+use crate::ids::{ArrayId, NestId, RefId};
+use crate::nest::{Loop, LoopNest};
+use crate::program::Program;
+use crate::reference::AccessKind;
+
+/// Builds a [`Program`] incrementally.
+///
+/// # Examples
+///
+/// ```
+/// use mlo_ir::{ProgramBuilder, AccessBuilder};
+/// let mut b = ProgramBuilder::new("mxm");
+/// let a = b.array("A", vec![32, 32], 4);
+/// let c = b.array("C", vec![32, 32], 4);
+/// b.nest("init", vec![("i", 0, 32), ("j", 0, 32)], |n| {
+///     n.write(c, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+///     n.read(a, AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build());
+/// });
+/// let p = b.build();
+/// assert_eq!(p.nests()[0].references().len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    arrays: Vec<ArrayDecl>,
+    nests: Vec<LoopNest>,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            arrays: Vec::new(),
+            nests: Vec::new(),
+        }
+    }
+
+    /// Declares an array and returns its id.
+    pub fn array(&mut self, name: impl Into<String>, extents: Vec<i64>, element_size: u32) -> ArrayId {
+        let id = ArrayId::new(self.arrays.len());
+        self.arrays.push(ArrayDecl::new(id, name, extents, element_size));
+        id
+    }
+
+    /// Adds a loop nest.  `loops` lists `(name, lower, upper)` outermost
+    /// first; `body` receives a [`NestBuilder`] used to add references.
+    pub fn nest(
+        &mut self,
+        name: impl Into<String>,
+        loops: Vec<(&str, i64, i64)>,
+        body: impl FnOnce(&mut NestBuilder<'_>),
+    ) -> NestId {
+        let id = NestId::new(self.nests.len());
+        let nest = LoopNest::new(
+            id,
+            name,
+            loops
+                .into_iter()
+                .map(|(n, lo, hi)| Loop::new(n, lo, hi))
+                .collect(),
+        );
+        self.nests.push(nest);
+        let mut nb = NestBuilder {
+            nest: self.nests.last_mut().expect("just pushed"),
+        };
+        body(&mut nb);
+        id
+    }
+
+    /// Sets the per-iteration compute cost of the most recently added nest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no nest has been added yet.
+    pub fn compute_per_iteration(&mut self, instructions: u32) -> &mut Self {
+        self.nests
+            .last_mut()
+            .expect("add a nest before setting its compute cost")
+            .set_compute_per_iteration(instructions);
+        self
+    }
+
+    /// Finishes the program.
+    pub fn build(self) -> Program {
+        Program::new(self.name, self.arrays, self.nests)
+    }
+}
+
+/// Adds references to a nest being built; obtained from
+/// [`ProgramBuilder::nest`].
+#[derive(Debug)]
+pub struct NestBuilder<'a> {
+    nest: &'a mut LoopNest,
+}
+
+impl NestBuilder<'_> {
+    /// Adds a read reference.
+    pub fn read(&mut self, array: ArrayId, access: AffineAccess) -> RefId {
+        self.nest.add_reference(array, access, AccessKind::Read)
+    }
+
+    /// Adds a write reference.
+    pub fn write(&mut self, array: ArrayId, access: AffineAccess) -> RefId {
+        self.nest.add_reference(array, access, AccessKind::Write)
+    }
+
+    /// Adds a reference with an explicit kind.
+    pub fn reference(&mut self, array: ArrayId, access: AffineAccess, kind: AccessKind) -> RefId {
+        self.nest.add_reference(array, access, kind)
+    }
+
+    /// Sets the non-memory instruction count per iteration for this nest.
+    pub fn compute(&mut self, instructions: u32) {
+        self.nest.set_compute_per_iteration(instructions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessBuilder;
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = ProgramBuilder::new("t");
+        let a0 = b.array("A", vec![8], 4);
+        let a1 = b.array("B", vec![8, 8], 4);
+        assert_eq!(a0.index(), 0);
+        assert_eq!(a1.index(), 1);
+        let n0 = b.nest("first", vec![("i", 0, 8)], |n| {
+            let r = n.read(a0, AccessBuilder::new(1, 1).row(0, [1]).build());
+            assert_eq!(r.index(), 0);
+            n.compute(7);
+        });
+        let n1 = b.nest("second", vec![("i", 0, 8), ("j", 0, 8)], |n| {
+            n.write(a1, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+        });
+        assert_eq!(n0.index(), 0);
+        assert_eq!(n1.index(), 1);
+        let p = b.build();
+        assert_eq!(p.nests()[0].compute_per_iteration(), 7);
+        assert_eq!(p.nests()[1].compute_per_iteration(), 4);
+    }
+
+    #[test]
+    fn compute_per_iteration_on_builder() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", vec![4], 4);
+        b.nest("n", vec![("i", 0, 4)], |n| {
+            n.read(a, AccessBuilder::new(1, 1).row(0, [1]).build());
+        });
+        b.compute_per_iteration(11);
+        let p = b.build();
+        assert_eq!(p.nests()[0].compute_per_iteration(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "add a nest")]
+    fn compute_without_nest_panics() {
+        let mut b = ProgramBuilder::new("t");
+        b.compute_per_iteration(3);
+    }
+}

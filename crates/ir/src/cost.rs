@@ -1,0 +1,77 @@
+//! A simple nest-importance cost model.
+//!
+//! The heuristic baseline summarized in the paper's Section 5 "orders the
+//! loop nests in the program according to an importance criterion (e.g.,
+//! time taken by each nest)" and then propagates layouts from the most
+//! important nest outwards.  We estimate a nest's importance as the total
+//! amount of work it performs: iterations × (memory references + compute
+//! instructions per iteration).
+
+use crate::nest::LoopNest;
+use crate::program::Program;
+use crate::NestId;
+
+/// Estimated cost (importance) of a single nest in abstract "operations".
+pub fn nest_cost(nest: &LoopNest) -> i64 {
+    let per_iteration = nest.references().len() as i64 + nest.compute_per_iteration() as i64;
+    nest.iteration_count().saturating_mul(per_iteration.max(1))
+}
+
+/// Returns the program's nests ordered from most to least important.
+///
+/// Ties are broken by original program order so the result is deterministic.
+pub fn rank_nests_by_cost(program: &Program) -> Vec<NestId> {
+    let mut ids: Vec<NestId> = program.nests().iter().map(LoopNest::id).collect();
+    ids.sort_by_key(|&id| {
+        let nest = &program.nests()[id.index()];
+        (std::cmp::Reverse(nest_cost(nest)), id.index())
+    });
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessBuilder;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn cost_scales_with_iterations_and_references() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("A", vec![64, 64], 4);
+        b.nest("small", vec![("i", 0, 8), ("j", 0, 8)], |n| {
+            n.read(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+        });
+        b.nest("large", vec![("i", 0, 64), ("j", 0, 64)], |n| {
+            n.read(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+            n.write(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+        });
+        let p = b.build();
+        let c_small = nest_cost(&p.nests()[0]);
+        let c_large = nest_cost(&p.nests()[1]);
+        assert!(c_large > c_small);
+        assert_eq!(c_small, 8 * 8 * (1 + 4));
+        assert_eq!(c_large, 64 * 64 * (2 + 4));
+    }
+
+    #[test]
+    fn ranking_puts_most_expensive_first_and_is_stable() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("A", vec![16, 16], 4);
+        b.nest("n0", vec![("i", 0, 4)], |n| {
+            n.read(a, AccessBuilder::new(2, 1).row(0, [1]).row(1, [0]).build());
+        });
+        b.nest("n1", vec![("i", 0, 32), ("j", 0, 32)], |n| {
+            n.read(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+        });
+        b.nest("n2", vec![("i", 0, 4)], |n| {
+            n.read(a, AccessBuilder::new(2, 1).row(0, [1]).row(1, [0]).build());
+        });
+        let p = b.build();
+        let ranked = rank_nests_by_cost(&p);
+        assert_eq!(ranked[0], NestId::new(1));
+        // Equal-cost nests keep program order.
+        assert_eq!(ranked[1], NestId::new(0));
+        assert_eq!(ranked[2], NestId::new(2));
+    }
+}

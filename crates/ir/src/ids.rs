@@ -1,0 +1,91 @@
+//! Typed identifiers for IR entities.
+//!
+//! Newtypes keep array, nest and reference indices from being mixed up
+//! (C-NEWTYPE): a constraint-network variable index is an [`ArrayId`], never
+//! a bare `usize`.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index.
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies an array declared in a [`crate::Program`].
+    ///
+    /// Array ids are dense indices assigned in declaration order, so they can
+    /// be used directly as constraint-network variable indices.
+    ArrayId,
+    "Q"
+);
+
+define_id!(
+    /// Identifies a loop nest within a [`crate::Program`].
+    NestId,
+    "N"
+);
+
+define_id!(
+    /// Identifies an array reference within a loop nest.
+    RefId,
+    "R"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_and_display() {
+        let a = ArrayId::new(3);
+        assert_eq!(a.index(), 3);
+        assert_eq!(a.to_string(), "Q3");
+        assert_eq!(usize::from(a), 3);
+        assert_eq!(ArrayId::from(3), a);
+
+        let n = NestId::new(1);
+        assert_eq!(n.to_string(), "N1");
+        let r = RefId::new(0);
+        assert_eq!(r.to_string(), "R0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ArrayId::new(1) < ArrayId::new(2));
+        assert_eq!(NestId::default().index(), 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Loop nests: rectangular loop bounds plus the references in the body.
+
+use crate::access::AffineAccess;
+use crate::ids::{ArrayId, NestId, RefId};
+use crate::reference::{AccessKind, ArrayRef};
+use std::fmt;
+
+/// One loop of a nest with constant (rectangular) bounds `lower..upper`.
+///
+/// The paper's benchmarks are dense rectangular array kernels; constant
+/// bounds are sufficient to express them and keep the iteration-count and
+/// trace generation exact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Loop {
+    name: String,
+    lower: i64,
+    upper: i64,
+}
+
+impl Loop {
+    /// Creates a loop `for name in lower..upper` (upper exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upper < lower`.
+    pub fn new(name: impl Into<String>, lower: i64, upper: i64) -> Self {
+        assert!(upper >= lower, "loop upper bound below lower bound");
+        Loop {
+            name: name.into(),
+            lower,
+            upper,
+        }
+    }
+
+    /// The loop variable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Inclusive lower bound.
+    pub fn lower(&self) -> i64 {
+        self.lower
+    }
+
+    /// Exclusive upper bound.
+    pub fn upper(&self) -> i64 {
+        self.upper
+    }
+
+    /// Number of iterations.
+    pub fn trip_count(&self) -> i64 {
+        self.upper - self.lower
+    }
+}
+
+impl fmt::Display for Loop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "for {} in {}..{}", self.name, self.lower, self.upper)
+    }
+}
+
+/// A perfectly nested affine loop nest.
+///
+/// # Examples
+///
+/// ```
+/// use mlo_ir::{AccessBuilder, AccessKind, ArrayId, Loop, LoopNest, NestId};
+/// let mut nest = LoopNest::new(NestId::new(0), "figure2", vec![
+///     Loop::new("i1", 0, 16),
+///     Loop::new("i2", 0, 16),
+/// ]);
+/// nest.add_reference(
+///     ArrayId::new(0),
+///     AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build(),
+///     AccessKind::Read,
+/// );
+/// assert_eq!(nest.depth(), 2);
+/// assert_eq!(nest.iteration_count(), 256);
+/// assert_eq!(nest.references().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LoopNest {
+    id: NestId,
+    name: String,
+    loops: Vec<Loop>,
+    references: Vec<ArrayRef>,
+    /// Non-memory work per iteration, in "instructions"; used by the timing
+    /// model and by the nest-importance cost model.
+    compute_per_iteration: u32,
+}
+
+impl LoopNest {
+    /// Creates an empty nest with the given loops (outermost first).
+    pub fn new(id: NestId, name: impl Into<String>, loops: Vec<Loop>) -> Self {
+        LoopNest {
+            id,
+            name: name.into(),
+            loops,
+            references: Vec::new(),
+            compute_per_iteration: 4,
+        }
+    }
+
+    /// The nest's identifier.
+    pub fn id(&self) -> NestId {
+        self.id
+    }
+
+    /// The nest's name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The loops, outermost first.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Nest depth.
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Total number of iterations of the whole nest.
+    pub fn iteration_count(&self) -> i64 {
+        self.loops.iter().map(Loop::trip_count).product()
+    }
+
+    /// The references in the body.
+    pub fn references(&self) -> &[ArrayRef] {
+        &self.references
+    }
+
+    /// Sets the amount of non-memory work per iteration (default 4
+    /// instructions).
+    pub fn set_compute_per_iteration(&mut self, instructions: u32) {
+        self.compute_per_iteration = instructions;
+    }
+
+    /// Non-memory work per iteration in instructions.
+    pub fn compute_per_iteration(&self) -> u32 {
+        self.compute_per_iteration
+    }
+
+    /// Adds a reference to the body and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access's loop-depth does not match the nest depth.
+    pub fn add_reference(
+        &mut self,
+        array: ArrayId,
+        access: AffineAccess,
+        kind: AccessKind,
+    ) -> RefId {
+        assert_eq!(
+            access.nest_depth(),
+            self.depth(),
+            "access depth must match nest depth"
+        );
+        let id = RefId::new(self.references.len());
+        self.references.push(ArrayRef::new(id, array, access, kind));
+        id
+    }
+
+    /// The distinct arrays referenced by this nest, in first-appearance
+    /// order.
+    pub fn referenced_arrays(&self) -> Vec<ArrayId> {
+        let mut seen = Vec::new();
+        for r in &self.references {
+            if !seen.contains(&r.array()) {
+                seen.push(r.array());
+            }
+        }
+        seen
+    }
+
+    /// All references to a particular array.
+    pub fn references_to(&self, array: ArrayId) -> Vec<&ArrayRef> {
+        self.references.iter().filter(|r| r.array() == array).collect()
+    }
+
+    /// Returns the trip count of the innermost loop (1 for an empty nest).
+    pub fn innermost_trip_count(&self) -> i64 {
+        self.loops.last().map(Loop::trip_count).unwrap_or(1)
+    }
+}
+
+impl fmt::Display for LoopNest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "nest {} ({}):", self.id, self.name)?;
+        for (i, l) in self.loops.iter().enumerate() {
+            writeln!(f, "{}{}", "  ".repeat(i + 1), l)?;
+        }
+        for r in &self.references {
+            writeln!(f, "{}{}", "  ".repeat(self.loops.len() + 1), r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessBuilder;
+
+    fn sample_nest() -> LoopNest {
+        let mut nest = LoopNest::new(
+            NestId::new(1),
+            "sample",
+            vec![Loop::new("i", 0, 10), Loop::new("j", 2, 6)],
+        );
+        nest.add_reference(
+            ArrayId::new(0),
+            AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build(),
+            AccessKind::Read,
+        );
+        nest.add_reference(
+            ArrayId::new(1),
+            AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build(),
+            AccessKind::Write,
+        );
+        nest.add_reference(
+            ArrayId::new(0),
+            AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).offset(1, 1).build(),
+            AccessKind::Write,
+        );
+        nest
+    }
+
+    #[test]
+    fn loop_basics() {
+        let l = Loop::new("i", 3, 10);
+        assert_eq!(l.name(), "i");
+        assert_eq!(l.trip_count(), 7);
+        assert_eq!(l.to_string(), "for i in 3..10");
+    }
+
+    #[test]
+    #[should_panic(expected = "upper bound below lower")]
+    fn invalid_loop_bounds_panic() {
+        let _ = Loop::new("i", 5, 4);
+    }
+
+    #[test]
+    fn nest_accessors() {
+        let nest = sample_nest();
+        assert_eq!(nest.depth(), 2);
+        assert_eq!(nest.iteration_count(), 40);
+        assert_eq!(nest.innermost_trip_count(), 4);
+        assert_eq!(nest.references().len(), 3);
+        assert_eq!(nest.referenced_arrays(), vec![ArrayId::new(0), ArrayId::new(1)]);
+        assert_eq!(nest.references_to(ArrayId::new(0)).len(), 2);
+        assert_eq!(nest.compute_per_iteration(), 4);
+        assert!(nest.to_string().contains("for i in 0..10"));
+    }
+
+    #[test]
+    fn reference_ids_are_dense() {
+        let nest = sample_nest();
+        for (i, r) in nest.references().iter().enumerate() {
+            assert_eq!(r.id().index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "access depth")]
+    fn mismatched_access_depth_panics() {
+        let mut nest = LoopNest::new(NestId::new(0), "bad", vec![Loop::new("i", 0, 4)]);
+        nest.add_reference(
+            ArrayId::new(0),
+            AccessBuilder::new(1, 2).row(0, [1, 0]).build(),
+            AccessKind::Read,
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Array references appearing inside loop nests.
+
+use crate::access::AffineAccess;
+use crate::ids::{ArrayId, RefId};
+use std::fmt;
+
+/// Whether a reference reads or writes its array.
+///
+/// The layout analysis treats reads and writes identically (spatial locality
+/// matters for both), but the dependence analysis needs the distinction to
+/// classify flow / anti / output dependences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// The reference reads the array.
+    Read,
+    /// The reference writes the array.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// One textual array reference inside a loop-nest body.
+///
+/// # Examples
+///
+/// ```
+/// use mlo_ir::{AccessBuilder, AccessKind, ArrayId, ArrayRef, RefId};
+/// let r = ArrayRef::new(
+///     RefId::new(0),
+///     ArrayId::new(1),
+///     AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build(),
+///     AccessKind::Read,
+/// );
+/// assert_eq!(r.array(), ArrayId::new(1));
+/// assert!(r.is_read());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArrayRef {
+    id: RefId,
+    array: ArrayId,
+    access: AffineAccess,
+    kind: AccessKind,
+}
+
+impl ArrayRef {
+    /// Creates a reference.
+    pub fn new(id: RefId, array: ArrayId, access: AffineAccess, kind: AccessKind) -> Self {
+        ArrayRef {
+            id,
+            array,
+            access,
+            kind,
+        }
+    }
+
+    /// The reference's identifier (unique within its nest).
+    pub fn id(&self) -> RefId {
+        self.id
+    }
+
+    /// The referenced array.
+    pub fn array(&self) -> ArrayId {
+        self.array
+    }
+
+    /// The affine access function.
+    pub fn access(&self) -> &AffineAccess {
+        &self.access
+    }
+
+    /// Read or write.
+    pub fn kind(&self) -> AccessKind {
+        self.kind
+    }
+
+    /// Whether this is a read.
+    pub fn is_read(&self) -> bool {
+        self.kind == AccessKind::Read
+    }
+
+    /// Whether this is a write.
+    pub fn is_write(&self) -> bool {
+        self.kind == AccessKind::Write
+    }
+
+    /// Returns a copy whose access has been composed with the inverse of a
+    /// loop transformation (see [`AffineAccess::transformed`]).
+    pub fn transformed(&self, t_inverse: &mlo_linalg::IntMat) -> crate::Result<ArrayRef> {
+        Ok(ArrayRef {
+            id: self.id,
+            array: self.array,
+            access: self.access.transformed(t_inverse)?,
+            kind: self.kind,
+        })
+    }
+}
+
+impl fmt::Display for ArrayRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.kind, self.array, self.access)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessBuilder;
+    use mlo_linalg::IntMat;
+
+    fn make_ref(kind: AccessKind) -> ArrayRef {
+        ArrayRef::new(
+            RefId::new(3),
+            ArrayId::new(2),
+            AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build(),
+            kind,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let r = make_ref(AccessKind::Write);
+        assert_eq!(r.id(), RefId::new(3));
+        assert_eq!(r.array(), ArrayId::new(2));
+        assert!(r.is_write());
+        assert!(!r.is_read());
+        assert_eq!(r.kind(), AccessKind::Write);
+        assert!(r.to_string().contains("write"));
+        assert!(r.to_string().contains("Q2"));
+    }
+
+    #[test]
+    fn transformed_preserves_identity_metadata() {
+        let r = make_ref(AccessKind::Read);
+        let t = IntMat::from_array([[0, 1], [1, 0]]);
+        let rt = r.transformed(&t).unwrap();
+        assert_eq!(rt.id(), r.id());
+        assert_eq!(rt.array(), r.array());
+        assert_eq!(rt.kind(), AccessKind::Read);
+        assert_ne!(rt.access(), r.access());
+    }
+}

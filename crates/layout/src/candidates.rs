@@ -1,0 +1,174 @@
+//! Enumerating the candidate layouts of every array (the domains `M_i`).
+
+use crate::hyperplane::Layout;
+use crate::locality::preferred_layout_for_array;
+use mlo_ir::{legal_permutations, ArrayId, Program};
+
+/// Options controlling candidate enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateOptions {
+    /// Always include the canonical row-major and column-major layouts.
+    pub include_canonical: bool,
+    /// For two-dimensional arrays, also include the diagonal and
+    /// anti-diagonal layouts even when no access pattern asks for them.
+    pub include_diagonals: bool,
+    /// Cap on the number of loop permutations considered per nest (the
+    /// identity is always considered).  Keeps factorially deep nests cheap.
+    pub max_transforms_per_nest: usize,
+}
+
+impl Default for CandidateOptions {
+    fn default() -> Self {
+        CandidateOptions {
+            include_canonical: true,
+            include_diagonals: false,
+            max_transforms_per_nest: 8,
+        }
+    }
+}
+
+/// Enumerates the candidate layouts (the domain `M_i`) of one array: every
+/// layout preferred by some nest under some legal restructuring, plus the
+/// canonical layouts when requested.
+///
+/// The order is deterministic: derived layouts in program order first, then
+/// the canonical additions.
+pub fn candidate_layouts(
+    program: &Program,
+    array: ArrayId,
+    options: &CandidateOptions,
+) -> Vec<Layout> {
+    let rank = match program.array(array) {
+        Ok(decl) => decl.rank(),
+        Err(_) => return Vec::new(),
+    };
+    let mut layouts: Vec<Layout> = Vec::new();
+    fn push(layouts: &mut Vec<Layout>, l: Layout) {
+        if !layouts.contains(&l) {
+            layouts.push(l);
+        }
+    }
+    for nest in program.nests() {
+        if !nest.referenced_arrays().contains(&array) {
+            continue;
+        }
+        for transform in legal_permutations(nest)
+            .into_iter()
+            .take(options.max_transforms_per_nest.max(1))
+        {
+            if let Some(layout) = preferred_layout_for_array(nest, array, &transform) {
+                if layout.dim() == rank {
+                    push(&mut layouts, layout);
+                }
+            }
+        }
+    }
+    if options.include_canonical && rank >= 1 {
+        push(&mut layouts, Layout::row_major(rank));
+        push(&mut layouts, Layout::column_major(rank));
+    }
+    if options.include_diagonals && rank == 2 {
+        push(&mut layouts, Layout::diagonal());
+        push(&mut layouts, Layout::anti_diagonal());
+    }
+    if layouts.is_empty() && rank >= 1 {
+        push(&mut layouts, Layout::row_major(rank));
+    }
+    layouts
+}
+
+/// The paper's Table 1 "Domain Size": the total number of candidate layouts
+/// summed over every array of the program.
+pub fn total_domain_size(program: &Program, options: &CandidateOptions) -> usize {
+    program
+        .arrays()
+        .iter()
+        .map(|a| candidate_layouts(program, a.id(), options).len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlo_ir::{AccessBuilder, ProgramBuilder};
+
+    fn figure2_program() -> Program {
+        let n = 32;
+        let mut b = ProgramBuilder::new("figure2");
+        let q1 = b.array("Q1", vec![2 * n, n], 4);
+        let q2 = b.array("Q2", vec![2 * n, n], 4);
+        b.nest("main", vec![("i1", 0, n), ("i2", 0, n)], |nest| {
+            nest.read(q1, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build());
+            nest.read(q2, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build());
+        });
+        b.build()
+    }
+
+    #[test]
+    fn figure2_candidates_contain_derived_and_canonical_layouts() {
+        let p = figure2_program();
+        let opts = CandidateOptions::default();
+        let q1 = candidate_layouts(&p, ArrayId::new(0), &opts);
+        // Derived: diagonal (original order) and column-major (interchange);
+        // canonical additions: row-major (column-major already present).
+        assert!(q1.contains(&Layout::diagonal()));
+        assert!(q1.contains(&Layout::column_major(2)));
+        assert!(q1.contains(&Layout::row_major(2)));
+        assert_eq!(q1.len(), 3);
+        let q2 = candidate_layouts(&p, ArrayId::new(1), &opts);
+        assert!(q2.contains(&Layout::column_major(2)));
+        assert!(q2.contains(&Layout::diagonal()));
+        assert!(q2.contains(&Layout::row_major(2)));
+        // Derived layouts come before canonical ones.
+        assert_eq!(q1[0], Layout::diagonal());
+    }
+
+    #[test]
+    fn diagonal_option_extends_domains() {
+        let p = figure2_program();
+        let opts = CandidateOptions {
+            include_diagonals: true,
+            ..CandidateOptions::default()
+        };
+        let q1 = candidate_layouts(&p, ArrayId::new(0), &opts);
+        assert!(q1.contains(&Layout::anti_diagonal()));
+        assert_eq!(total_domain_size(&p, &opts), q1.len() * 2);
+    }
+
+    #[test]
+    fn arrays_without_references_get_a_default() {
+        let mut b = ProgramBuilder::new("lonely");
+        let _unused = b.array("U", vec![16, 16], 4);
+        let p = b.build();
+        let c = candidate_layouts(&p, ArrayId::new(0), &CandidateOptions::default());
+        assert!(!c.is_empty());
+        assert!(c.contains(&Layout::row_major(2)));
+        // Unknown arrays produce an empty candidate list.
+        assert!(candidate_layouts(&p, ArrayId::new(9), &CandidateOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn one_dimensional_arrays_have_single_candidate() {
+        let mut b = ProgramBuilder::new("vec");
+        let v = b.array("V", vec![128], 4);
+        b.nest("scan", vec![("i", 0, 128)], |n| {
+            n.read(v, AccessBuilder::new(1, 1).row(0, [1]).build());
+        });
+        let p = b.build();
+        let c = candidate_layouts(&p, v, &CandidateOptions::default());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0], Layout::row_major(1));
+    }
+
+    #[test]
+    fn canonical_layouts_can_be_disabled() {
+        let p = figure2_program();
+        let opts = CandidateOptions {
+            include_canonical: false,
+            ..CandidateOptions::default()
+        };
+        let q1 = candidate_layouts(&p, ArrayId::new(0), &opts);
+        // Only the derived layouts remain.
+        assert_eq!(q1.len(), 2);
+    }
+}

@@ -1,0 +1,242 @@
+//! Building the constraint network of a program (paper, Section 3).
+//!
+//! Variables are the program's arrays, domains are their candidate layouts
+//! and every constraint pair records the preferred layouts of two arrays
+//! under one legal restructuring of one nest that references both.
+
+use crate::candidates::{candidate_layouts, CandidateOptions};
+use crate::hyperplane::Layout;
+use crate::locality::preferred_layout_for_array;
+use mlo_csp::{ConstraintNetwork, VarId};
+use mlo_ir::{legal_permutations, ArrayId, NestId, Program};
+
+/// The constraint network derived from a program plus the bookkeeping to map
+/// network variables back to arrays.
+#[derive(Debug, Clone)]
+pub struct LayoutNetwork {
+    network: ConstraintNetwork<Layout>,
+    variable_of_array: Vec<Option<VarId>>,
+    array_of_variable: Vec<ArrayId>,
+    /// For every (nest, transform) considered, the preferred layout pairs it
+    /// contributed; useful for weighting constraints (future-work extension).
+    contributions: Vec<Contribution>,
+}
+
+/// One (nest, restructuring) contribution to the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Contribution {
+    /// The nest that generated the pairs.
+    pub nest: NestId,
+    /// A human-readable description of the restructuring.
+    pub transform: String,
+    /// The arrays and layouts preferred under this restructuring.
+    pub preferences: Vec<(ArrayId, Layout)>,
+}
+
+impl LayoutNetwork {
+    /// The underlying constraint network.
+    pub fn network(&self) -> &ConstraintNetwork<Layout> {
+        &self.network
+    }
+
+    /// The network variable of an array, when the array appears in the
+    /// network (arrays that no nest references with a layout preference may
+    /// still get a variable with default candidates).
+    pub fn variable_of(&self, array: ArrayId) -> Option<VarId> {
+        self.variable_of_array.get(array.index()).copied().flatten()
+    }
+
+    /// The array behind a network variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is out of range.
+    pub fn array_of(&self, var: VarId) -> ArrayId {
+        self.array_of_variable[var.index()]
+    }
+
+    /// All per-nest, per-restructuring contributions.
+    pub fn contributions(&self) -> &[Contribution] {
+        &self.contributions
+    }
+
+    /// The paper's Table 1 "Domain Size": total number of candidate layouts.
+    pub fn total_domain_size(&self) -> usize {
+        self.network.total_domain_size()
+    }
+}
+
+/// Builds the constraint network of a program.
+///
+/// Every array becomes a variable whose domain is its candidate layouts.
+/// For every nest and every legal loop permutation of that nest, the
+/// preferred layouts of the referenced arrays are computed; each pair of
+/// arrays with a preference contributes one allowed pair to the constraint
+/// between them (accumulated across nests and restructurings).
+pub fn build_network(program: &Program, options: &CandidateOptions) -> LayoutNetwork {
+    let mut network: ConstraintNetwork<Layout> = ConstraintNetwork::new();
+    let mut variable_of_array: Vec<Option<VarId>> = vec![None; program.arrays().len()];
+    let mut array_of_variable: Vec<ArrayId> = Vec::new();
+
+    // Variables and domains.
+    for array in program.arrays() {
+        let candidates = candidate_layouts(program, array.id(), options);
+        if candidates.is_empty() {
+            continue;
+        }
+        let var = network.add_variable(array.name(), candidates);
+        variable_of_array[array.id().index()] = Some(var);
+        array_of_variable.push(array.id());
+    }
+
+    // Constraints: one allowed pair per (nest, legal transform, array pair).
+    let mut contributions = Vec::new();
+    for nest in program.nests() {
+        for transform in legal_permutations(nest)
+            .into_iter()
+            .take(options.max_transforms_per_nest.max(1))
+        {
+            let mut preferences: Vec<(ArrayId, Layout)> = Vec::new();
+            for array in nest.referenced_arrays() {
+                if let Some(layout) = preferred_layout_for_array(nest, array, &transform) {
+                    preferences.push((array, layout));
+                }
+            }
+            for i in 0..preferences.len() {
+                for j in (i + 1)..preferences.len() {
+                    let (array_a, layout_a) = &preferences[i];
+                    let (array_b, layout_b) = &preferences[j];
+                    let (Some(var_a), Some(var_b)) = (
+                        variable_of_array[array_a.index()],
+                        variable_of_array[array_b.index()],
+                    ) else {
+                        continue;
+                    };
+                    network
+                        .add_constraint(var_a, var_b, vec![(layout_a.clone(), layout_b.clone())])
+                        .expect("preferred layouts are part of the candidate domains");
+                }
+            }
+            if !preferences.is_empty() {
+                contributions.push(Contribution {
+                    nest: nest.id(),
+                    transform: transform.describe(),
+                    preferences,
+                });
+            }
+        }
+    }
+
+    LayoutNetwork {
+        network,
+        variable_of_array,
+        array_of_variable,
+        contributions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlo_csp::{Scheme, SearchEngine};
+    use mlo_ir::{AccessBuilder, ProgramBuilder};
+
+    /// Two nests that want conflicting layouts for a shared array: the
+    /// classic situation the constraint network resolves globally.
+    fn two_nest_program() -> Program {
+        let n = 16;
+        let mut b = ProgramBuilder::new("conflict");
+        let a = b.array("A", vec![n, n], 4);
+        let c = b.array("C", vec![n, n], 4);
+        // Nest 0: A[i][j], C[i][j] with j innermost: both want row-major.
+        b.nest("n0", vec![("i", 0, n), ("j", 0, n)], |nest| {
+            nest.read(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+            nest.write(c, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+        });
+        // Nest 1: A[j][i]: wants column-major for A under the original order.
+        b.nest("n1", vec![("i", 0, n), ("j", 0, n)], |nest| {
+            nest.read(a, AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build());
+            nest.write(c, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+        });
+        b.build()
+    }
+
+    #[test]
+    fn figure2_network_matches_paper_derivation() {
+        let n = 16;
+        let mut b = ProgramBuilder::new("figure2");
+        let q1 = b.array("Q1", vec![2 * n, n], 4);
+        let q2 = b.array("Q2", vec![2 * n, n], 4);
+        b.nest("main", vec![("i1", 0, n), ("i2", 0, n)], |nest| {
+            nest.read(q1, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build());
+            nest.read(q2, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build());
+        });
+        let p = b.build();
+        let ln = build_network(&p, &CandidateOptions::default());
+        let net = ln.network();
+        assert_eq!(net.variable_count(), 2);
+        let va = ln.variable_of(q1).unwrap();
+        let vb = ln.variable_of(q2).unwrap();
+        assert_eq!(ln.array_of(va), q1);
+        let c = net.constraint_between(va, vb).expect("constraint exists");
+        // Two legal restructurings (identity + interchange) -> two pairs:
+        // [(1 -1), (0 1)] and [(0 1), (1 -1)].
+        assert_eq!(c.pair_count(), 2);
+        // Solving gives each array one of its preferred layouts.
+        let result = SearchEngine::with_scheme(Scheme::Enhanced).solve(net);
+        let solution = result.solution.unwrap();
+        let la = solution.value(va);
+        let lb = solution.value(vb);
+        assert!(
+            (la == &Layout::diagonal() && lb == &Layout::column_major(2))
+                || (la == &Layout::column_major(2) && lb == &Layout::diagonal())
+        );
+        assert_eq!(ln.contributions().len(), 2);
+        assert!(ln.total_domain_size() >= 4);
+    }
+
+    #[test]
+    fn conflicting_nests_still_have_a_solution() {
+        let p = two_nest_program();
+        let ln = build_network(&p, &CandidateOptions::default());
+        let result = SearchEngine::with_scheme(Scheme::Enhanced).solve(ln.network());
+        // Interchanging nest 1 lets A stay row-major program-wide, so the
+        // network must be satisfiable.
+        assert!(result.is_satisfiable());
+        let solution = result.solution.unwrap();
+        let a_var = ln.variable_of(mlo_ir::ArrayId::new(0)).unwrap();
+        let c_var = ln.variable_of(mlo_ir::ArrayId::new(1)).unwrap();
+        assert_eq!(solution.value(c_var), &Layout::row_major(2));
+        assert_eq!(solution.value(a_var), &Layout::row_major(2));
+    }
+
+    #[test]
+    fn unreferenced_arrays_still_become_variables() {
+        let mut b = ProgramBuilder::new("p");
+        let _u = b.array("Unused", vec![8, 8], 4);
+        let p = b.build();
+        let ln = build_network(&p, &CandidateOptions::default());
+        assert_eq!(ln.network().variable_count(), 1);
+        assert_eq!(ln.network().constraint_count(), 0);
+        assert!(ln.variable_of(mlo_ir::ArrayId::new(0)).is_some());
+    }
+
+    #[test]
+    fn contributions_record_transform_descriptions() {
+        let p = two_nest_program();
+        let ln = build_network(&p, &CandidateOptions::default());
+        assert!(ln
+            .contributions()
+            .iter()
+            .any(|c| c.transform == "identity"));
+        assert!(ln
+            .contributions()
+            .iter()
+            .any(|c| c.transform.starts_with("permute")));
+        // Every contribution references a nest of the program.
+        for c in ln.contributions() {
+            assert!(c.nest.index() < p.nests().len());
+            assert!(!c.preferences.is_empty());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Integration tests reproducing every worked example in the paper's text.
+
+use mlo_ir::{AccessBuilder, ArrayId, Loop, LoopNest, LoopTransform, NestId, ProgramBuilder};
+use mlo_layout::locality::{preferred_layout, preferred_layout_for_array};
+use mlo_layout::{build_network, CandidateOptions, Hyperplane, Layout};
+
+/// Section 2, Figure 1: the four canonical layouts and their hyperplane
+/// vectors, including the statement that (1 -2) and (2 -1) are *different*
+/// diagonal families from (1 -1).
+#[test]
+fn figure1_hyperplane_families() {
+    let row = Hyperplane::new(vec![1, 0]);
+    let col = Hyperplane::new(vec![0, 1]);
+    let diag = Hyperplane::new(vec![1, -1]);
+    let anti = Hyperplane::new(vec![1, 1]);
+    assert_ne!(row, col);
+    assert_ne!(diag, anti);
+    assert_ne!(Hyperplane::new(vec![1, -2]), diag);
+    assert_ne!(Hyperplane::new(vec![2, -1]), diag);
+    // Row-major: same hyperplane iff same row index.
+    assert!(row.same_hyperplane(&[3, 0], &[3, 9]));
+    assert!(!row.same_hyperplane(&[3, 0], &[4, 0]));
+    // The worked diagonal example: (5,3) ~ (7,5) but (5,3) !~ (5,4).
+    assert!(diag.same_hyperplane(&[5, 3], &[7, 5]));
+    assert!(!diag.same_hyperplane(&[5, 3], &[5, 4]));
+}
+
+/// Section 2, Figure 2: Q1[i1+i2][i2] wants (1 -1), Q2[i1+i2][i1] wants
+/// (0 1); after interchanging the loops the preferences swap to (0 1) and
+/// (1 -1) respectively.
+#[test]
+fn figure2_preferred_layouts_before_and_after_interchange() {
+    let q1_access = AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build();
+    let q2_access = AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build();
+    let identity = LoopTransform::identity(2);
+    let interchange = LoopTransform::permutation(&[1, 0]);
+
+    assert_eq!(
+        preferred_layout(&q1_access, &identity),
+        Some(Layout::from_vector(vec![1, -1]))
+    );
+    assert_eq!(
+        preferred_layout(&q2_access, &identity),
+        Some(Layout::from_vector(vec![0, 1]))
+    );
+    assert_eq!(
+        preferred_layout(&q1_access, &interchange),
+        Some(Layout::from_vector(vec![0, 1]))
+    );
+    assert_eq!(
+        preferred_layout(&q2_access, &interchange),
+        Some(Layout::from_vector(vec![1, -1]))
+    );
+}
+
+/// Section 2: the equality `(y1 y2)·(i1+i2, i2) = (y1 y2)·(i1+i2+1, i2+1)`
+/// that defines Q1's layout — checked directly on concrete iterations.
+#[test]
+fn figure2_successive_iterations_share_a_hyperplane() {
+    let q1_access = AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build();
+    let diag = Layout::diagonal();
+    for i1 in 0..8i64 {
+        for i2 in 0..7i64 {
+            let here = q1_access.index_for(&mlo_linalg::IntVec::from(vec![i1, i2]));
+            let next = q1_access.index_for(&mlo_linalg::IntVec::from(vec![i1, i2 + 1]));
+            assert!(diag.same_block(here.as_slice(), next.as_slice()));
+            assert!(!Layout::row_major(2).same_block(here.as_slice(), next.as_slice()));
+        }
+    }
+}
+
+/// Section 2: three-dimensional column-major is the ordered pair
+/// (0 0 1), (0 1 0) and both equalities must hold for two elements to map to
+/// the same column.
+#[test]
+fn section2_three_dimensional_layouts() {
+    let cm3 = Layout::column_major(3);
+    assert_eq!(
+        cm3.hyperplanes(),
+        &[Hyperplane::new(vec![0, 0, 1]), Hyperplane::new(vec![0, 1, 0])]
+    );
+    assert!(cm3.same_block(&[0, 2, 3], &[7, 2, 3]));
+    assert!(!cm3.same_block(&[0, 2, 3], &[0, 2, 4]));
+    assert!(!cm3.same_block(&[0, 2, 3], &[0, 3, 3]));
+}
+
+/// Section 3: the network built from the Figure 2 nest contains exactly the
+/// two preferred pairs (one per legal loop order), as in the S12 example.
+#[test]
+fn section3_constraint_pairs_from_figure2() {
+    let n = 16;
+    let mut builder = ProgramBuilder::new("figure2");
+    let q1 = builder.array("Q1", vec![2 * n, n], 4);
+    let q2 = builder.array("Q2", vec![2 * n, n], 4);
+    builder.nest("main", vec![("i1", 0, n), ("i2", 0, n)], |nest| {
+        nest.read(q1, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build());
+        nest.read(q2, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build());
+    });
+    let program = builder.build();
+    let network = build_network(&program, &CandidateOptions::default());
+    let va = network.variable_of(q1).unwrap();
+    let vb = network.variable_of(q2).unwrap();
+    let constraint = network.network().constraint_between(va, vb).unwrap();
+    assert_eq!(constraint.pair_count(), 2);
+    // Pair 1: (diagonal, column-major); pair 2: (column-major, diagonal).
+    let dom_a = network.network().domain(va);
+    let dom_b = network.network().domain(vb);
+    let diag_a = dom_a.index_of(&Layout::diagonal()).unwrap();
+    let cm_a = dom_a.index_of(&Layout::column_major(2)).unwrap();
+    let diag_b = dom_b.index_of(&Layout::diagonal()).unwrap();
+    let cm_b = dom_b.index_of(&Layout::column_major(2)).unwrap();
+    assert!(constraint.allows(va, diag_a, vb, cm_b));
+    assert!(constraint.allows(va, cm_a, vb, diag_b));
+    assert!(!constraint.allows(va, diag_a, vb, diag_b));
+}
+
+/// Section 4: "if a solution exists, both the base and enhanced schemes will
+/// find it" — exercised here on an asymmetric nest where only one loop order
+/// is legal, so the network collapses to a single allowed pair.
+#[test]
+fn dependences_restrict_the_candidate_restructurings() {
+    let mut nest = LoopNest::new(
+        NestId::new(0),
+        "pinned",
+        vec![Loop::new("i", 0, 16), Loop::new("j", 0, 16)],
+    );
+    // A[i][j] written, A[i-1][j+1] read: interchange is illegal.
+    nest.add_reference(
+        ArrayId::new(0),
+        AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build(),
+        mlo_ir::AccessKind::Write,
+    );
+    nest.add_reference(
+        ArrayId::new(0),
+        AccessBuilder::new(2, 2)
+            .row(0, [1, 0])
+            .row(1, [0, 1])
+            .offset(0, -1)
+            .offset(1, 1)
+            .build(),
+        mlo_ir::AccessKind::Read,
+    );
+    let legal = mlo_ir::legal_permutations(&nest);
+    assert_eq!(legal.len(), 1);
+    assert!(legal[0].is_identity());
+    // The only preference that survives is the row-major one.
+    assert_eq!(
+        preferred_layout_for_array(&nest, ArrayId::new(0), &legal[0]),
+        Some(Layout::row_major(2))
+    );
+}

@@ -1,0 +1,284 @@
+//! Exact Gaussian elimination over the rationals.
+//!
+//! Used to compute matrix rank (how many independent locality constraints a
+//! reference imposes), to solve small linear systems when recovering layout
+//! hyperplanes, and as the backbone of the kernel computation.
+
+use crate::matrix::IntMat;
+use crate::rational::Rational;
+use crate::vector::IntVec;
+use crate::LinalgError;
+
+/// A matrix of rationals used internally by the elimination routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+impl RatMat {
+    /// Creates a rational matrix from an integer matrix.
+    pub fn from_int(m: &IntMat) -> Self {
+        let mut data = Vec::with_capacity(m.rows() * m.cols());
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                data.push(Rational::from_int(m.get(r, c)));
+            }
+        }
+        RatMat {
+            rows: m.rows(),
+            cols: m.cols(),
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn get(&self, r: usize, c: usize) -> Rational {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    fn set(&mut self, r: usize, c: usize, v: Rational) {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let tmp = self.get(a, c);
+            self.set(a, c, self.get(b, c));
+            self.set(b, c, tmp);
+        }
+    }
+
+    /// Performs in-place reduced row-echelon elimination and returns the
+    /// pivot column of every pivot row, in order.
+    pub fn reduce(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut pivot_row = 0;
+        for col in 0..self.cols {
+            if pivot_row >= self.rows {
+                break;
+            }
+            // Find a non-zero pivot in this column at or below pivot_row.
+            let found = (pivot_row..self.rows).find(|&r| !self.get(r, col).is_zero());
+            let Some(r) = found else { continue };
+            self.swap_rows(pivot_row, r);
+            // Normalize the pivot row.
+            let pivot = self.get(pivot_row, col);
+            for c in col..self.cols {
+                let v = self.get(pivot_row, c);
+                self.set(pivot_row, c, v / pivot);
+            }
+            // Eliminate the column everywhere else.
+            for r2 in 0..self.rows {
+                if r2 == pivot_row {
+                    continue;
+                }
+                let factor = self.get(r2, col);
+                if factor.is_zero() {
+                    continue;
+                }
+                for c in col..self.cols {
+                    let v = self.get(r2, c) - factor * self.get(pivot_row, c);
+                    self.set(r2, c, v);
+                }
+            }
+            pivots.push(col);
+            pivot_row += 1;
+        }
+        pivots
+    }
+}
+
+/// The rank of an integer matrix (over the rationals).
+///
+/// # Examples
+///
+/// ```
+/// use mlo_linalg::{rank, IntMat};
+/// assert_eq!(rank(&IntMat::identity(3)), 3);
+/// assert_eq!(rank(&IntMat::from_array([[1, 2], [2, 4]])), 1);
+/// assert_eq!(rank(&IntMat::zeros(2, 2)), 0);
+/// ```
+pub fn rank(m: &IntMat) -> usize {
+    if m.is_empty() {
+        return 0;
+    }
+    let mut rm = RatMat::from_int(m);
+    rm.reduce().len()
+}
+
+/// Returns the reduced row-echelon form of the matrix (as rationals) and the
+/// pivot columns.
+pub fn row_echelon(m: &IntMat) -> (RatMat, Vec<usize>) {
+    let mut rm = RatMat::from_int(m);
+    let pivots = rm.reduce();
+    (rm, pivots)
+}
+
+/// Solves the linear system `A x = b` exactly over the rationals.
+///
+/// Returns one particular solution (free variables are set to zero).
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if `b.dim() != A.rows()`.
+/// * [`LinalgError::Inconsistent`] if the system has no solution.
+///
+/// # Examples
+///
+/// ```
+/// use mlo_linalg::{solve, IntMat, IntVec, Rational};
+/// let a = IntMat::from_array([[2, 0], [0, 4]]);
+/// let b = IntVec::from(vec![2, 2]);
+/// let x = solve(&a, &b).unwrap();
+/// assert_eq!(x, vec![Rational::ONE, Rational::new(1, 2)]);
+/// ```
+pub fn solve(a: &IntMat, b: &IntVec) -> crate::Result<Vec<Rational>> {
+    if b.dim() != a.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            expected: a.rows(),
+            actual: b.dim(),
+        });
+    }
+    // Build the augmented matrix [A | b].
+    let mut aug = IntMat::zeros(a.rows(), a.cols() + 1);
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            aug.set(r, c, a.get(r, c));
+        }
+        aug.set(r, a.cols(), b[r]);
+    }
+    let mut rm = RatMat::from_int(&aug);
+    let pivots = rm.reduce();
+    // Inconsistent if a pivot falls in the augmented column.
+    if pivots.contains(&a.cols()) {
+        return Err(LinalgError::Inconsistent);
+    }
+    let mut x = vec![Rational::ZERO; a.cols()];
+    for (row, &col) in pivots.iter().enumerate() {
+        x[col] = rm.get(row, a.cols());
+    }
+    Ok(x)
+}
+
+/// Checks whether the rows of `m` are linearly independent.
+pub fn rows_independent(m: &IntMat) -> bool {
+    rank(m) == m.rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rank_examples() {
+        assert_eq!(rank(&IntMat::identity(4)), 4);
+        assert_eq!(rank(&IntMat::zeros(3, 5)), 0);
+        assert_eq!(rank(&IntMat::from_array([[1, 2, 3], [2, 4, 6], [1, 0, 0]])), 2);
+        assert_eq!(rank(&IntMat::from_array([[1, 1], [1, -1]])), 2);
+        assert_eq!(rank(&IntMat::default()), 0);
+    }
+
+    #[test]
+    fn solve_unique_system() {
+        let a = IntMat::from_array([[1, 1], [1, -1]]);
+        let b = IntVec::from(vec![3, 1]);
+        let x = solve(&a, &b).unwrap();
+        assert_eq!(x, vec![Rational::from_int(2), Rational::from_int(1)]);
+    }
+
+    #[test]
+    fn solve_underdetermined_system() {
+        // x + y = 2 has solutions; the particular one sets the free variable
+        // to zero.
+        let a = IntMat::from_array([[1, 1]]);
+        let b = IntVec::from(vec![2]);
+        let x = solve(&a, &b).unwrap();
+        assert_eq!(x, vec![Rational::from_int(2), Rational::ZERO]);
+    }
+
+    #[test]
+    fn solve_inconsistent_system() {
+        let a = IntMat::from_array([[1, 1], [1, 1]]);
+        let b = IntVec::from(vec![1, 2]);
+        assert_eq!(solve(&a, &b), Err(LinalgError::Inconsistent));
+    }
+
+    #[test]
+    fn solve_dimension_mismatch() {
+        let a = IntMat::identity(2);
+        let b = IntVec::from(vec![1, 2, 3]);
+        assert!(matches!(
+            solve(&a, &b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn row_echelon_reports_pivots() {
+        let (_, pivots) = row_echelon(&IntMat::from_array([[0, 1, 2], [0, 0, 3]]));
+        assert_eq!(pivots, vec![1, 2]);
+        assert!(rows_independent(&IntMat::from_array([[1, 0], [1, 1]])));
+        assert!(!rows_independent(&IntMat::from_array([[1, 0], [2, 0]])));
+    }
+
+    fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = IntMat> {
+        proptest::collection::vec(
+            proptest::collection::vec(-6i64..6, cols),
+            rows,
+        )
+        .prop_map(|rows| IntMat::from_rows(rows.into_iter().map(IntVec::from).collect()))
+    }
+
+    proptest! {
+        #[test]
+        fn rank_bounded_by_dimensions(m in small_matrix(3, 4)) {
+            let r = rank(&m);
+            prop_assert!(r <= 3);
+            prop_assert!(r <= 4);
+        }
+
+        #[test]
+        fn rank_of_transpose_equal(m in small_matrix(3, 4)) {
+            prop_assert_eq!(rank(&m), rank(&m.transpose()));
+        }
+
+        #[test]
+        fn solution_satisfies_system(m in small_matrix(3, 3),
+                                     xs in proptest::collection::vec(-5i64..5, 3)) {
+            // Construct b = A x so the system is guaranteed consistent, then
+            // verify the returned solution reproduces b.
+            let x_true = IntVec::from(xs);
+            let b = m.mul_vec(&x_true).unwrap();
+            let x = solve(&m, &b).unwrap();
+            for r in 0..m.rows() {
+                let mut acc = Rational::ZERO;
+                for c in 0..m.cols() {
+                    acc = acc + Rational::from_int(m.get(r, c)) * x[c];
+                }
+                prop_assert_eq!(acc, Rational::from_int(b[r]));
+            }
+        }
+    }
+}

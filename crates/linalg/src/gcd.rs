@@ -1,0 +1,192 @@
+//! Greatest common divisors, least common multiples and the extended
+//! Euclidean algorithm.
+//!
+//! These primitives back the normalization of hyperplane vectors (a layout
+//! `(2 -2)` is the same family as `(1 -1)`), the GCD dependence test in the
+//! IR crate, and the Hermite-normal-form computation.
+
+/// Returns the non-negative greatest common divisor of `a` and `b`.
+///
+/// `gcd(0, 0)` is defined to be `0`.
+///
+/// # Examples
+///
+/// ```
+/// use mlo_linalg::gcd;
+/// assert_eq!(gcd(12, 18), 6);
+/// assert_eq!(gcd(-4, 6), 2);
+/// assert_eq!(gcd(0, 5), 5);
+/// assert_eq!(gcd(0, 0), 0);
+/// ```
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Returns the least common multiple of `a` and `b` (non-negative).
+///
+/// `lcm(0, x)` is `0`.
+///
+/// # Examples
+///
+/// ```
+/// use mlo_linalg::lcm;
+/// assert_eq!(lcm(4, 6), 12);
+/// assert_eq!(lcm(0, 7), 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics on overflow in debug builds (the workspace only manipulates small
+/// loop bounds and strides, far below `i64` limits).
+pub fn lcm(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b) * b).abs()
+}
+
+/// Extended Euclidean algorithm.
+///
+/// Returns `(g, x, y)` such that `a*x + b*y == g == gcd(a, b)` with `g >= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use mlo_linalg::extended_gcd;
+/// let (g, x, y) = extended_gcd(240, 46);
+/// assert_eq!(g, 2);
+/// assert_eq!(240 * x + 46 * y, 2);
+/// ```
+pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {
+    let (mut old_r, mut r) = (a, b);
+    let (mut old_s, mut s) = (1i64, 0i64);
+    let (mut old_t, mut t) = (0i64, 1i64);
+    while r != 0 {
+        let q = old_r / r;
+        let tmp = old_r - q * r;
+        old_r = r;
+        r = tmp;
+        let tmp = old_s - q * s;
+        old_s = s;
+        s = tmp;
+        let tmp = old_t - q * t;
+        old_t = t;
+        t = tmp;
+    }
+    if old_r < 0 {
+        (-old_r, -old_s, -old_t)
+    } else {
+        (old_r, old_s, old_t)
+    }
+}
+
+/// GCD of an entire slice (non-negative); `0` for an empty slice or a slice
+/// of zeros.
+///
+/// # Examples
+///
+/// ```
+/// use mlo_linalg::gcd_slice;
+/// assert_eq!(gcd_slice(&[4, -6, 10]), 2);
+/// assert_eq!(gcd_slice(&[]), 0);
+/// assert_eq!(gcd_slice(&[0, 0]), 0);
+/// ```
+pub fn gcd_slice(values: &[i64]) -> i64 {
+    values.iter().fold(0, |acc, &v| gcd(acc, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gcd_basic_cases() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(1, 1), 1);
+        assert_eq!(gcd(6, 4), 2);
+        assert_eq!(gcd(4, 6), 2);
+        assert_eq!(gcd(-6, -4), 2);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(100, 10), 10);
+    }
+
+    #[test]
+    fn lcm_basic_cases() {
+        assert_eq!(lcm(3, 5), 15);
+        assert_eq!(lcm(-3, 5), 15);
+        assert_eq!(lcm(6, 4), 12);
+        assert_eq!(lcm(0, 0), 0);
+        assert_eq!(lcm(1, 9), 9);
+    }
+
+    #[test]
+    fn extended_gcd_identity_holds() {
+        for (a, b) in [(240, 46), (0, 5), (5, 0), (-12, 18), (17, -5), (0, 0)] {
+            let (g, x, y) = extended_gcd(a, b);
+            assert_eq!(g, gcd(a, b), "gcd mismatch for ({a},{b})");
+            assert_eq!(a * x + b * y, g, "bezout identity fails for ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn gcd_slice_examples() {
+        assert_eq!(gcd_slice(&[2, 4, 8]), 2);
+        assert_eq!(gcd_slice(&[3]), 3);
+        assert_eq!(gcd_slice(&[-3]), 3);
+        assert_eq!(gcd_slice(&[5, 7]), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn gcd_divides_both(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+            let g = gcd(a, b);
+            if g != 0 {
+                prop_assert_eq!(a % g, 0);
+                prop_assert_eq!(b % g, 0);
+            } else {
+                prop_assert_eq!(a, 0);
+                prop_assert_eq!(b, 0);
+            }
+        }
+
+        #[test]
+        fn gcd_is_commutative(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+            prop_assert_eq!(gcd(a, b), gcd(b, a));
+        }
+
+        #[test]
+        fn gcd_is_associative(a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000) {
+            prop_assert_eq!(gcd(a, gcd(b, c)), gcd(gcd(a, b), c));
+        }
+
+        #[test]
+        fn bezout_identity(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+            let (g, x, y) = extended_gcd(a, b);
+            prop_assert_eq!(a * x + b * y, g);
+            prop_assert_eq!(g, gcd(a, b));
+            prop_assert!(g >= 0);
+        }
+
+        #[test]
+        fn lcm_times_gcd_is_product(a in 1i64..1000, b in 1i64..1000) {
+            prop_assert_eq!(lcm(a, b) * gcd(a, b), a * b);
+        }
+
+        #[test]
+        fn gcd_slice_divides_all(v in proptest::collection::vec(-500i64..500, 0..8)) {
+            let g = gcd_slice(&v);
+            if g != 0 {
+                for x in &v {
+                    prop_assert_eq!(x % g, 0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Integer bases of matrix kernels (nullspaces).
+//!
+//! The central derivation of the paper's Section 2 is: given the direction
+//! in which consecutive loop iterations move through an array's index space,
+//! the desirable layout hyperplane vectors are exactly the integer vectors
+//! orthogonal to that direction — i.e. a basis of the kernel of the matrix
+//! whose rows are the "movement" directions.
+
+use crate::elimination::row_echelon;
+use crate::gcd::gcd_slice;
+use crate::matrix::IntMat;
+use crate::rational::Rational;
+use crate::vector::IntVec;
+
+/// Computes an integer basis of the (right) kernel of `m`, i.e. all `x` with
+/// `m * x = 0`.
+///
+/// Each basis vector is scaled to integers (multiplying by the LCM of the
+/// denominators) and canonicalized with [`IntVec::canonicalized`].  The
+/// basis has `cols - rank` vectors; an empty vector list means the kernel is
+/// trivial.
+///
+/// # Examples
+///
+/// ```
+/// use mlo_linalg::{kernel_basis, IntMat, IntVec};
+/// // Kernel of (1 1): spanned by (1 -1) — the diagonal layout direction.
+/// let m = IntMat::from_array([[1, 1]]);
+/// let basis = kernel_basis(&m);
+/// assert_eq!(basis, vec![IntVec::from(vec![1, -1])]);
+///
+/// // A full-rank square matrix has a trivial kernel.
+/// assert!(kernel_basis(&IntMat::identity(3)).is_empty());
+/// ```
+pub fn kernel_basis(m: &IntMat) -> Vec<IntVec> {
+    if m.is_empty() {
+        return Vec::new();
+    }
+    let cols = m.cols();
+    let (rref, pivots) = row_echelon(m);
+    let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+    let free_cols: Vec<usize> = (0..cols).filter(|c| !pivot_set.contains(c)).collect();
+    let mut basis = Vec::with_capacity(free_cols.len());
+    for &free in &free_cols {
+        // Solution with this free variable = 1 and every other free
+        // variable = 0.
+        let mut x = vec![Rational::ZERO; cols];
+        x[free] = Rational::ONE;
+        for (row, &pc) in pivots.iter().enumerate() {
+            // pivot variable = -(coefficient of the free column in this row)
+            x[pc] = -rref.get(row, free);
+        }
+        basis.push(rationals_to_int_vec(&x));
+    }
+    basis
+}
+
+/// Computes an integer basis of the *left* kernel of `m`: all `y` with
+/// `y * m = 0` (equivalently the kernel of the transpose).
+///
+/// This is the form used when searching for a layout hyperplane `y` that is
+/// constant along given index-space directions (the columns of `m`).
+pub fn left_kernel_basis(m: &IntMat) -> Vec<IntVec> {
+    kernel_basis(&m.transpose())
+}
+
+/// Converts a rational vector to a canonical integer vector by clearing
+/// denominators.
+fn rationals_to_int_vec(x: &[Rational]) -> IntVec {
+    let mut denom_lcm = 1i64;
+    for r in x {
+        denom_lcm = crate::gcd::lcm(denom_lcm, r.denominator());
+        if denom_lcm == 0 {
+            denom_lcm = 1;
+        }
+    }
+    let ints: Vec<i64> = x
+        .iter()
+        .map(|r| r.numerator() * (denom_lcm / r.denominator()))
+        .collect();
+    let g = gcd_slice(&ints);
+    let ints = if g > 1 {
+        ints.into_iter().map(|v| v / g).collect()
+    } else {
+        ints
+    };
+    IntVec::from(ints).canonicalized()
+}
+
+/// Returns `true` when `x` lies in the kernel of `m` (i.e. `m * x == 0`).
+pub fn in_kernel(m: &IntMat, x: &IntVec) -> bool {
+    match m.mul_vec(x) {
+        Ok(v) => v.is_zero(),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::rank;
+    use proptest::prelude::*;
+
+    #[test]
+    fn kernel_of_paper_examples() {
+        // Figure 2, array Q1: movement direction between consecutive inner
+        // iterations is (1, 1) in the data space, so the layout hyperplane
+        // is (1 -1).
+        let m = IntMat::from_array([[1, 1]]);
+        assert_eq!(kernel_basis(&m), vec![IntVec::from(vec![1, -1])]);
+
+        // Figure 2, array Q2: movement direction is (1, 0); the layout
+        // hyperplane is (0 1) (column-major).
+        let m = IntMat::from_array([[1, 0]]);
+        assert_eq!(kernel_basis(&m), vec![IntVec::from(vec![0, 1])]);
+    }
+
+    #[test]
+    fn kernel_of_identity_is_trivial() {
+        assert!(kernel_basis(&IntMat::identity(2)).is_empty());
+        assert!(kernel_basis(&IntMat::identity(4)).is_empty());
+    }
+
+    #[test]
+    fn kernel_of_zero_matrix_is_full() {
+        let basis = kernel_basis(&IntMat::zeros(2, 3));
+        assert_eq!(basis.len(), 3);
+        for (i, b) in basis.iter().enumerate() {
+            assert_eq!(b, &IntVec::unit(3, i));
+        }
+    }
+
+    #[test]
+    fn left_kernel_example() {
+        // Rows of m span a 1-D subspace of R^2; the left kernel is 1-D.
+        let m = IntMat::from_array([[1, 2], [2, 4]]);
+        let basis = left_kernel_basis(&m);
+        assert_eq!(basis.len(), 1);
+        // y * m == 0
+        let y = &basis[0];
+        let prod = IntMat::from_rows(vec![y.clone()]).mul_mat(&m).unwrap();
+        assert!(prod.row(0).is_zero());
+    }
+
+    #[test]
+    fn in_kernel_checks() {
+        let m = IntMat::from_array([[1, 1]]);
+        assert!(in_kernel(&m, &IntVec::from(vec![1, -1])));
+        assert!(in_kernel(&m, &IntVec::from(vec![-2, 2])));
+        assert!(!in_kernel(&m, &IntVec::from(vec![1, 1])));
+        assert!(!in_kernel(&m, &IntVec::from(vec![1, 0, 0])));
+    }
+
+    fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = IntMat> {
+        proptest::collection::vec(proptest::collection::vec(-5i64..5, cols), rows)
+            .prop_map(|rows| IntMat::from_rows(rows.into_iter().map(IntVec::from).collect()))
+    }
+
+    proptest! {
+        #[test]
+        fn kernel_vectors_are_in_kernel(m in small_matrix(2, 4)) {
+            for b in kernel_basis(&m) {
+                prop_assert!(in_kernel(&m, &b), "basis vector {b} not in kernel");
+                prop_assert!(!b.is_zero());
+            }
+        }
+
+        #[test]
+        fn kernel_dimension_is_cols_minus_rank(m in small_matrix(3, 4)) {
+            let basis = kernel_basis(&m);
+            prop_assert_eq!(basis.len(), 4 - rank(&m));
+        }
+
+        #[test]
+        fn kernel_basis_is_independent(m in small_matrix(2, 4)) {
+            let basis = kernel_basis(&m);
+            if !basis.is_empty() {
+                let bm = IntMat::from_rows(basis.clone());
+                prop_assert_eq!(rank(&bm), basis.len());
+            }
+        }
+    }
+}

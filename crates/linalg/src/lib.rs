@@ -1,0 +1,136 @@
+//! Exact integer and rational linear algebra for memory-layout analysis.
+//!
+//! The hyperplane-based layout representation of the DATE'05 paper
+//! *"A Constraint Network Based Approach to Memory Layout Optimization"*
+//! manipulates small integer vectors and matrices: hyperplane (layout)
+//! vectors, affine array-access matrices, loop-transformation matrices and
+//! their kernels.  Floating point is never acceptable here — a layout vector
+//! such as `(1 -1)` must be recovered *exactly* from the access pattern — so
+//! this crate provides exact arithmetic over `i64` and over rationals, plus
+//! the handful of decompositions the rest of the workspace needs:
+//!
+//! * [`gcd`] / [`lcm`] / [`extended_gcd`] — elementary number theory,
+//! * [`Rational`] — a normalized rational number,
+//! * [`IntVec`] — a dense integer vector (hyperplane vectors, offsets),
+//! * [`IntMat`] — a dense integer matrix (access matrices, transforms),
+//! * fraction-free Gaussian [`elimination`] (rank, solving),
+//! * integer [`kernel`] (nullspace) bases,
+//! * [`hermite`] normal form,
+//! * [`unimodular`] checks and inverses of unimodular matrices.
+//!
+//! # Example
+//!
+//! Recovering the diagonal layout of the paper's Figure 2: array `Q1` is
+//! accessed as `Q1[i1+i2][i2]`, and two consecutive iterations of the inner
+//! loop touch `(i1+i2, i2)` and `(i1+i2+1, i2+1)`.  The layout hyperplane
+//! must be orthogonal to the difference `(1, 1)`:
+//!
+//! ```
+//! use mlo_linalg::{IntMat, IntVec, kernel::kernel_basis};
+//!
+//! // One row per constraint: y . (1, 1) = 0
+//! let constraint = IntMat::from_rows(vec![IntVec::from(vec![1, 1])]);
+//! let basis = kernel_basis(&constraint);
+//! assert_eq!(basis.len(), 1);
+//! // The basis vector is (1, -1) up to sign: the diagonal layout.
+//! let y = basis[0].clone().canonicalized();
+//! assert_eq!(y, IntVec::from(vec![1, -1]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod elimination;
+pub mod gcd;
+pub mod hermite;
+pub mod kernel;
+pub mod matrix;
+pub mod rational;
+pub mod unimodular;
+pub mod vector;
+
+pub use elimination::{rank, row_echelon, solve};
+pub use gcd::{extended_gcd, gcd, gcd_slice, lcm};
+pub use hermite::hermite_normal_form;
+pub use kernel::kernel_basis;
+pub use matrix::IntMat;
+pub use rational::Rational;
+pub use unimodular::{determinant, is_unimodular, unimodular_inverse};
+pub use vector::IntVec;
+
+/// Errors produced by the linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// A matrix that was required to be square was not.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// A matrix inverse was requested but the matrix is singular.
+    Singular,
+    /// A unimodular inverse was requested but the determinant is not ±1.
+    NotUnimodular {
+        /// The determinant that was found.
+        determinant: i64,
+    },
+    /// A linear system has no solution.
+    Inconsistent,
+    /// Division by zero in rational arithmetic.
+    DivisionByZero,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square: {rows}x{cols}")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotUnimodular { determinant } => {
+                write!(f, "matrix is not unimodular (determinant {determinant})")
+            }
+            LinalgError::Inconsistent => write!(f, "linear system has no solution"),
+            LinalgError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = LinalgError::DimensionMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        let e = LinalgError::NotUnimodular { determinant: 4 };
+        assert!(e.to_string().contains("4"));
+        assert!(!format!("{:?}", LinalgError::Singular).is_empty());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,456 @@
+//! Dense integer matrices.
+//!
+//! [`IntMat`] represents affine access matrices (one row per array
+//! dimension, one column per loop index), loop-transformation matrices and
+//! layout matrices (one row per hyperplane).
+
+use crate::vector::IntVec;
+use crate::LinalgError;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A dense row-major matrix of `i64` entries.
+///
+/// # Examples
+///
+/// ```
+/// use mlo_linalg::{IntMat, IntVec};
+/// // The access matrix of Q1[i1+i2][i2] from the paper's Figure 2.
+/// let access = IntMat::from_rows(vec![
+///     IntVec::from(vec![1, 1]),
+///     IntVec::from(vec![0, 1]),
+/// ]);
+/// let iter = IntVec::from(vec![3, 4]);
+/// assert_eq!(access.mul_vec(&iter).unwrap().as_slice(), &[7, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct IntMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl IntMat {
+    /// Creates a matrix of zeros with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        IntMat {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Creates a matrix from a list of equal-length rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: Vec<IntVec>) -> Self {
+        if rows.is_empty() {
+            return IntMat::default();
+        }
+        let cols = rows[0].dim();
+        assert!(
+            rows.iter().all(|r| r.dim() == cols),
+            "all rows must have the same length"
+        );
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in &rows {
+            data.extend_from_slice(r.as_slice());
+        }
+        IntMat {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a matrix from nested arrays, mostly useful in tests and
+    /// examples.
+    ///
+    /// ```
+    /// use mlo_linalg::IntMat;
+    /// let m = IntMat::from_array([[1, 0], [0, 1]]);
+    /// assert_eq!(m, IntMat::identity(2));
+    /// ```
+    pub fn from_array<const R: usize, const C: usize>(rows: [[i64; C]; R]) -> Self {
+        IntMat::from_rows(rows.iter().map(|r| IntVec::from(r.as_slice())).collect())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Returns the entry at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of range.
+    pub fn get(&self, r: usize, c: usize) -> i64 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the entry at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of range.
+    pub fn set(&mut self, r: usize, c: usize, value: i64) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Returns row `r` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of range.
+    pub fn row(&self, r: usize) -> IntVec {
+        assert!(r < self.rows, "row index out of range");
+        IntVec::from(&self.data[r * self.cols..(r + 1) * self.cols])
+    }
+
+    /// Returns column `c` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` is out of range.
+    pub fn col(&self, c: usize) -> IntVec {
+        assert!(c < self.cols, "column index out of range");
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Iterates over the rows of the matrix.
+    pub fn iter_rows(&self) -> impl Iterator<Item = IntVec> + '_ {
+        (0..self.rows).map(|r| self.row(r))
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> IntMat {
+        let mut t = IntMat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `v.dim() != cols`.
+    pub fn mul_vec(&self, v: &IntVec) -> crate::Result<IntVec> {
+        if v.dim() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.cols,
+                actual: v.dim(),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| {
+                (0..self.cols)
+                    .map(|c| self.get(r, c) * v[c])
+                    .sum::<i64>()
+            })
+            .collect())
+    }
+
+    /// Matrix–matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when the inner dimensions
+    /// disagree.
+    pub fn mul_mat(&self, other: &IntMat) -> crate::Result<IntMat> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.cols,
+                actual: other.rows,
+            });
+        }
+        let mut out = IntMat::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for c in 0..other.cols {
+                let mut acc = 0;
+                for k in 0..self.cols {
+                    acc += self.get(r, k) * other.get(k, c);
+                }
+                out.set(r, c, acc);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Stacks another matrix below this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when the column counts
+    /// differ (unless one of the matrices is empty).
+    pub fn vstack(&self, other: &IntMat) -> crate::Result<IntMat> {
+        if self.is_empty() {
+            return Ok(other.clone());
+        }
+        if other.is_empty() {
+            return Ok(self.clone());
+        }
+        if self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.cols,
+                actual: other.cols,
+            });
+        }
+        let mut rows: Vec<IntVec> = self.iter_rows().collect();
+        rows.extend(other.iter_rows());
+        Ok(IntMat::from_rows(rows))
+    }
+
+    /// Returns a copy with row `r` removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of range.
+    pub fn without_row(&self, r: usize) -> IntMat {
+        assert!(r < self.rows, "row index out of range");
+        IntMat::from_rows(
+            self.iter_rows()
+                .enumerate()
+                .filter_map(|(i, row)| if i == r { None } else { Some(row) })
+                .collect(),
+        )
+    }
+
+    /// Swaps two rows in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows, "row index out of range");
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let tmp = self.get(a, c);
+            self.set(a, c, self.get(b, c));
+            self.set(b, c, tmp);
+        }
+    }
+
+    /// Whether this is a square matrix.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Whether this matrix equals the identity.
+    pub fn is_identity(&self) -> bool {
+        self.is_square() && *self == IntMat::identity(self.rows)
+    }
+}
+
+impl Add for IntMat {
+    type Output = IntMat;
+    /// # Panics
+    ///
+    /// Panics when the shapes differ.
+    fn add(self, rhs: IntMat) -> IntMat {
+        assert!(
+            self.rows == rhs.rows && self.cols == rhs.cols,
+            "shape mismatch in matrix addition"
+        );
+        IntMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for IntMat {
+    type Output = IntMat;
+    /// # Panics
+    ///
+    /// Panics when the shapes differ.
+    fn sub(self, rhs: IntMat) -> IntMat {
+        assert!(
+            self.rows == rhs.rows && self.cols == rhs.cols,
+            "shape mismatch in matrix subtraction"
+        );
+        IntMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul for IntMat {
+    type Output = IntMat;
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions disagree; use [`IntMat::mul_mat`]
+    /// for a fallible version.
+    fn mul(self, rhs: IntMat) -> IntMat {
+        self.mul_mat(&rhs).expect("dimension mismatch in *")
+    }
+}
+
+impl fmt::Display for IntMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "[]");
+        }
+        for r in 0..self.rows {
+            writeln!(f, "{}", self.row(r))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_and_access() {
+        let id = IntMat::identity(3);
+        assert!(id.is_identity());
+        assert_eq!(id.get(1, 1), 1);
+        assert_eq!(id.get(0, 2), 0);
+        assert_eq!(id.row(2).as_slice(), &[0, 0, 1]);
+        assert_eq!(id.col(0).as_slice(), &[1, 0, 0]);
+    }
+
+    #[test]
+    fn from_array_and_rows_agree() {
+        let a = IntMat::from_array([[1, 2], [3, 4]]);
+        let b = IntMat::from_rows(vec![IntVec::from(vec![1, 2]), IntVec::from(vec![3, 4])]);
+        assert_eq!(a, b);
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.cols(), 2);
+    }
+
+    #[test]
+    fn mul_vec_matches_hand_calculation() {
+        let access = IntMat::from_array([[1, 1], [0, 1]]);
+        let i = IntVec::from(vec![2, 5]);
+        assert_eq!(access.mul_vec(&i).unwrap().as_slice(), &[7, 5]);
+        assert!(access.mul_vec(&IntVec::from(vec![1])).is_err());
+    }
+
+    #[test]
+    fn matrix_product() {
+        let a = IntMat::from_array([[1, 2], [3, 4]]);
+        let b = IntMat::from_array([[0, 1], [1, 0]]);
+        assert_eq!(a.mul_mat(&b).unwrap(), IntMat::from_array([[2, 1], [4, 3]]));
+        assert_eq!(
+            a.clone() * IntMat::identity(2),
+            a.clone()
+        );
+        assert!(a.mul_mat(&IntMat::identity(3)).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = IntMat::from_array([[1, 2, 3], [4, 5, 6]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().rows(), 3);
+    }
+
+    #[test]
+    fn stacking_and_row_removal() {
+        let a = IntMat::from_array([[1, 2]]);
+        let b = IntMat::from_array([[3, 4]]);
+        let s = a.vstack(&b).unwrap();
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.without_row(0), b);
+        assert_eq!(s.without_row(1), a);
+        assert!(a.vstack(&IntMat::from_array([[1, 2, 3]])).is_err());
+        assert_eq!(a.vstack(&IntMat::default()).unwrap(), a);
+    }
+
+    #[test]
+    fn swap_rows_works() {
+        let mut m = IntMat::from_array([[1, 2], [3, 4], [5, 6]]);
+        m.swap_rows(0, 2);
+        assert_eq!(m, IntMat::from_array([[5, 6], [3, 4], [1, 2]]));
+        m.swap_rows(1, 1);
+        assert_eq!(m.row(1).as_slice(), &[3, 4]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!IntMat::identity(2).to_string().is_empty());
+        assert_eq!(IntMat::default().to_string(), "[]");
+    }
+
+    fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = IntMat> {
+        proptest::collection::vec(-10i64..10, rows * cols).prop_map(move |data| IntMat {
+            rows,
+            cols,
+            data,
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn identity_is_multiplicative_neutral(m in mat_strategy(3, 3)) {
+            prop_assert_eq!(m.mul_mat(&IntMat::identity(3)).unwrap(), m.clone());
+            prop_assert_eq!(IntMat::identity(3).mul_mat(&m).unwrap(), m);
+        }
+
+        #[test]
+        fn transpose_of_product((a, b) in (mat_strategy(2, 3), mat_strategy(3, 2))) {
+            // (AB)^T == B^T A^T
+            let left = a.mul_mat(&b).unwrap().transpose();
+            let right = b.transpose().mul_mat(&a.transpose()).unwrap();
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn mul_vec_is_linear(m in mat_strategy(3, 3),
+                             v in proptest::collection::vec(-10i64..10, 3),
+                             w in proptest::collection::vec(-10i64..10, 3)) {
+            let v = IntVec::from(v);
+            let w = IntVec::from(w);
+            let sum = v.checked_add(&w).unwrap();
+            let lhs = m.mul_vec(&sum).unwrap();
+            let rhs = m.mul_vec(&v).unwrap().checked_add(&m.mul_vec(&w).unwrap()).unwrap();
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

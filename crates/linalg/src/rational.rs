@@ -1,0 +1,299 @@
+//! A small, always-normalized rational number type.
+//!
+//! Rationals appear when solving the linear systems that recover hyperplane
+//! vectors from access patterns and when computing exact per-reference cost
+//! ratios.  The representation keeps the denominator strictly positive and
+//! the fraction fully reduced, so equality is structural.
+
+use crate::gcd::gcd;
+use crate::LinalgError;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `numerator / denominator`.
+///
+/// Invariants: the denominator is always `> 0` and `gcd(|num|, den) == 1`
+/// (with `0` represented as `0/1`).
+///
+/// # Examples
+///
+/// ```
+/// use mlo_linalg::Rational;
+/// let a = Rational::new(2, 4);
+/// assert_eq!(a, Rational::new(1, 2));
+/// assert_eq!((a + Rational::new(1, 3)).to_string(), "5/6");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i64,
+    den: i64,
+}
+
+impl Rational {
+    /// The rational number zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a new rational `num / den`, normalizing sign and common
+    /// factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.  Use [`Rational::checked_new`] for a fallible
+    /// constructor.
+    pub fn new(num: i64, den: i64) -> Self {
+        Self::checked_new(num, den).expect("denominator must be non-zero")
+    }
+
+    /// Fallible constructor: returns an error when `den == 0`.
+    pub fn checked_new(num: i64, den: i64) -> crate::Result<Self> {
+        if den == 0 {
+            return Err(LinalgError::DivisionByZero);
+        }
+        let mut num = num;
+        let mut den = den;
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        let g = gcd(num, den);
+        if g > 1 {
+            num /= g;
+            den /= g;
+        }
+        Ok(Rational { num, den })
+    }
+
+    /// Creates a rational from an integer.
+    pub fn from_int(value: i64) -> Self {
+        Rational { num: value, den: 1 }
+    }
+
+    /// The (reduced) numerator.
+    pub fn numerator(&self) -> i64 {
+        self.num
+    }
+
+    /// The (reduced, strictly positive) denominator.
+    pub fn denominator(&self) -> i64 {
+        self.den
+    }
+
+    /// Whether this rational is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Whether this rational is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns the value as an integer if it is one.
+    pub fn to_integer(&self) -> Option<i64> {
+        if self.is_integer() {
+            Some(self.num)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the reciprocal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DivisionByZero`] if this rational is zero.
+    pub fn recip(&self) -> crate::Result<Self> {
+        Rational::checked_new(self.den, self.num)
+    }
+
+    /// Returns this rational converted to `f64` (for reporting only).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Returns the absolute value.
+    pub fn abs(&self) -> Self {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Fallible division, returning an error instead of panicking on a zero
+    /// divisor.
+    pub fn checked_div(&self, rhs: &Rational) -> crate::Result<Self> {
+        if rhs.is_zero() {
+            return Err(LinalgError::DivisionByZero);
+        }
+        Ok(*self / *rhs)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(value: i64) -> Self {
+        Rational::from_int(value)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    /// # Panics
+    ///
+    /// Panics when dividing by zero; use [`Rational::checked_div`] to avoid
+    /// the panic.
+    fn div(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_normalizes() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 7), Rational::ZERO);
+        assert_eq!(Rational::new(0, -7).denominator(), 1);
+    }
+
+    #[test]
+    fn checked_new_rejects_zero_denominator() {
+        assert_eq!(
+            Rational::checked_new(1, 0),
+            Err(LinalgError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn arithmetic_matches_hand_calculation() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::new(-1, 3));
+        assert!(Rational::new(2, 1) > Rational::ONE);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Rational::new(3, 1).to_string(), "3");
+        assert_eq!(Rational::new(3, 2).to_string(), "3/2");
+        assert_eq!(Rational::new(-3, 2).to_string(), "-3/2");
+    }
+
+    #[test]
+    fn recip_and_integer_conversion() {
+        assert_eq!(Rational::new(2, 3).recip().unwrap(), Rational::new(3, 2));
+        assert!(Rational::ZERO.recip().is_err());
+        assert_eq!(Rational::new(4, 2).to_integer(), Some(2));
+        assert_eq!(Rational::new(1, 2).to_integer(), None);
+    }
+
+    fn small_rational() -> impl Strategy<Value = Rational> {
+        (-50i64..50, 1i64..20).prop_map(|(n, d)| Rational::new(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn add_is_commutative(a in small_rational(), b in small_rational()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn mul_is_commutative(a in small_rational(), b in small_rational()) {
+            prop_assert_eq!(a * b, b * a);
+        }
+
+        #[test]
+        fn add_then_subtract_roundtrips(a in small_rational(), b in small_rational()) {
+            prop_assert_eq!(a + b - b, a);
+        }
+
+        #[test]
+        fn normalization_invariant(a in small_rational()) {
+            prop_assert!(a.denominator() > 0);
+            prop_assert_eq!(gcd(a.numerator(), a.denominator()), if a.is_zero() { 1 } else { gcd(a.numerator(), a.denominator()) });
+            prop_assert_eq!(gcd(a.numerator().abs(), a.denominator()).max(1), 1);
+        }
+
+        #[test]
+        fn distributivity(a in small_rational(), b in small_rational(), c in small_rational()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Determinants, unimodularity checks and inverses of unimodular matrices.
+//!
+//! Loop transformations in the IR crate are represented by unimodular
+//! matrices (determinant ±1): they map the iteration space bijectively onto
+//! itself, which is what makes loop permutation / skewing legal to reason
+//! about without changing the set of executed iterations.
+
+use crate::matrix::IntMat;
+use crate::rational::Rational;
+use crate::LinalgError;
+
+/// Computes the determinant of a square integer matrix exactly.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for non-square input.
+///
+/// # Examples
+///
+/// ```
+/// use mlo_linalg::{determinant, IntMat};
+/// assert_eq!(determinant(&IntMat::identity(3)), Ok(1));
+/// assert_eq!(determinant(&IntMat::from_array([[0, 1], [1, 0]])), Ok(-1));
+/// assert_eq!(determinant(&IntMat::from_array([[2, 0], [0, 3]])), Ok(6));
+/// ```
+pub fn determinant(m: &IntMat) -> crate::Result<i64> {
+    if !m.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: m.rows(),
+            cols: m.cols(),
+        });
+    }
+    let n = m.rows();
+    if n == 0 {
+        return Ok(1);
+    }
+    // Bareiss fraction-free elimination keeps all intermediates integral.
+    let mut a: Vec<Vec<i64>> = (0..n)
+        .map(|r| (0..n).map(|c| m.get(r, c)).collect())
+        .collect();
+    let mut sign = 1i64;
+    let mut prev = 1i64;
+    for k in 0..n - 1 {
+        if a[k][k] == 0 {
+            // Find a row below with a non-zero entry in column k.
+            let swap = (k + 1..n).find(|&r| a[r][k] != 0);
+            match swap {
+                Some(r) => {
+                    a.swap(k, r);
+                    sign = -sign;
+                }
+                None => return Ok(0),
+            }
+        }
+        for i in k + 1..n {
+            for j in k + 1..n {
+                a[i][j] = (a[i][j] * a[k][k] - a[i][k] * a[k][j]) / prev;
+            }
+            a[i][k] = 0;
+        }
+        prev = a[k][k];
+    }
+    Ok(sign * a[n - 1][n - 1])
+}
+
+/// Whether the matrix is unimodular (square with determinant ±1).
+///
+/// # Examples
+///
+/// ```
+/// use mlo_linalg::{is_unimodular, IntMat};
+/// assert!(is_unimodular(&IntMat::identity(4)));
+/// assert!(is_unimodular(&IntMat::from_array([[1, 1], [0, 1]])));  // skew
+/// assert!(!is_unimodular(&IntMat::from_array([[2, 0], [0, 1]])));
+/// ```
+pub fn is_unimodular(m: &IntMat) -> bool {
+    matches!(determinant(m), Ok(1) | Ok(-1))
+}
+
+/// Computes the exact inverse of a unimodular matrix; the inverse of a
+/// unimodular matrix is again an integer (unimodular) matrix.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] for non-square input.
+/// * [`LinalgError::NotUnimodular`] when the determinant is not ±1.
+///
+/// # Examples
+///
+/// ```
+/// use mlo_linalg::{unimodular_inverse, IntMat};
+/// let skew = IntMat::from_array([[1, 1], [0, 1]]);
+/// let inv = unimodular_inverse(&skew).unwrap();
+/// assert_eq!(skew.mul_mat(&inv).unwrap(), IntMat::identity(2));
+/// ```
+pub fn unimodular_inverse(m: &IntMat) -> crate::Result<IntMat> {
+    if !m.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: m.rows(),
+            cols: m.cols(),
+        });
+    }
+    let det = determinant(m)?;
+    if det != 1 && det != -1 {
+        return Err(LinalgError::NotUnimodular { determinant: det });
+    }
+    let n = m.rows();
+    // Gauss-Jordan over the rationals on [M | I]; the result is integral
+    // because det = ±1.
+    let mut aug: Vec<Vec<Rational>> = (0..n)
+        .map(|r| {
+            (0..2 * n)
+                .map(|c| {
+                    if c < n {
+                        Rational::from_int(m.get(r, c))
+                    } else if c - n == r {
+                        Rational::ONE
+                    } else {
+                        Rational::ZERO
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    for col in 0..n {
+        // Find pivot.
+        let pivot_row = (col..n)
+            .find(|&r| !aug[r][col].is_zero())
+            .ok_or(LinalgError::Singular)?;
+        aug.swap(col, pivot_row);
+        let pivot = aug[col][col];
+        for c in 0..2 * n {
+            aug[col][c] = aug[col][c] / pivot;
+        }
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let factor = aug[r][col];
+            if factor.is_zero() {
+                continue;
+            }
+            for c in 0..2 * n {
+                aug[r][c] = aug[r][c] - factor * aug[col][c];
+            }
+        }
+    }
+    let mut inv = IntMat::zeros(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            let v = aug[r][n + c];
+            let int = v
+                .to_integer()
+                .expect("inverse of a unimodular matrix must be integral");
+            inv.set(r, c, int);
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::IntVec;
+    use proptest::prelude::*;
+
+    #[test]
+    fn determinant_examples() {
+        assert_eq!(determinant(&IntMat::identity(1)), Ok(1));
+        assert_eq!(determinant(&IntMat::from_array([[3]])), Ok(3));
+        assert_eq!(
+            determinant(&IntMat::from_array([[1, 2], [3, 4]])),
+            Ok(-2)
+        );
+        assert_eq!(
+            determinant(&IntMat::from_array([[1, 2, 3], [4, 5, 6], [7, 8, 9]])),
+            Ok(0)
+        );
+        assert_eq!(
+            determinant(&IntMat::from_array([[2, 0, 0], [0, 3, 0], [0, 0, 4]])),
+            Ok(24)
+        );
+        assert!(matches!(
+            determinant(&IntMat::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_with_zero_pivot_needs_swap() {
+        let m = IntMat::from_array([[0, 1], [1, 0]]);
+        assert_eq!(determinant(&m), Ok(-1));
+        let m = IntMat::from_array([[0, 2, 1], [1, 0, 0], [0, 1, 0]]);
+        assert_eq!(determinant(&m), Ok(1));
+    }
+
+    #[test]
+    fn unimodularity() {
+        // Loop interchange matrix.
+        assert!(is_unimodular(&IntMat::from_array([[0, 1], [1, 0]])));
+        // Loop skewing.
+        assert!(is_unimodular(&IntMat::from_array([[1, 0], [1, 1]])));
+        // Reversal.
+        assert!(is_unimodular(&IntMat::from_array([[-1, 0], [0, 1]])));
+        // Scaling is not unimodular.
+        assert!(!is_unimodular(&IntMat::from_array([[2, 0], [0, 1]])));
+        assert!(!is_unimodular(&IntMat::zeros(2, 2)));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let cases = [
+            IntMat::from_array([[0, 1], [1, 0]]),
+            IntMat::from_array([[1, 1], [0, 1]]),
+            IntMat::from_array([[1, 2], [1, 3]]),
+            IntMat::from_array([[1, 0, 0], [2, 1, 0], [3, 4, 1]]),
+        ];
+        for m in cases {
+            let inv = unimodular_inverse(&m).unwrap();
+            assert_eq!(m.mul_mat(&inv).unwrap(), IntMat::identity(m.rows()));
+            assert_eq!(inv.mul_mat(&m).unwrap(), IntMat::identity(m.rows()));
+        }
+    }
+
+    #[test]
+    fn inverse_rejects_non_unimodular() {
+        assert!(matches!(
+            unimodular_inverse(&IntMat::from_array([[2, 0], [0, 1]])),
+            Err(LinalgError::NotUnimodular { determinant: 2 })
+        ));
+        assert!(matches!(
+            unimodular_inverse(&IntMat::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    /// Strategy producing random unimodular matrices by composing elementary
+    /// operations (row swaps and adding multiples of one row to another).
+    fn unimodular_strategy(n: usize) -> impl Strategy<Value = IntMat> {
+        proptest::collection::vec((0..n, 0..n, -3i64..3), 0..8).prop_map(move |ops| {
+            let mut m = IntMat::identity(n);
+            for (a, b, k) in ops {
+                if a != b {
+                    // Add k * row b to row a (elementary, determinant 1).
+                    for c in 0..n {
+                        let v = m.get(a, c) + k * m.get(b, c);
+                        m.set(a, c, v);
+                    }
+                }
+            }
+            m
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn generated_unimodular_matrices_are_unimodular(m in unimodular_strategy(3)) {
+            prop_assert!(is_unimodular(&m));
+        }
+
+        #[test]
+        fn inverse_of_unimodular_roundtrips(m in unimodular_strategy(3)) {
+            let inv = unimodular_inverse(&m).unwrap();
+            prop_assert_eq!(m.mul_mat(&inv).unwrap(), IntMat::identity(3));
+            prop_assert!(is_unimodular(&inv));
+        }
+
+        #[test]
+        fn determinant_of_product_is_product_of_determinants(
+            a in unimodular_strategy(3),
+            b in unimodular_strategy(3),
+        ) {
+            let prod = a.mul_mat(&b).unwrap();
+            prop_assert_eq!(
+                determinant(&prod).unwrap(),
+                determinant(&a).unwrap() * determinant(&b).unwrap()
+            );
+        }
+
+        #[test]
+        fn determinant_sign_flips_on_row_swap(m in unimodular_strategy(3)) {
+            let mut swapped = m.clone();
+            swapped.swap_rows(0, 1);
+            prop_assert_eq!(determinant(&swapped).unwrap(), -determinant(&m).unwrap());
+        }
+
+        #[test]
+        fn unimodular_preserves_lattice_membership(
+            m in unimodular_strategy(3),
+            v in proptest::collection::vec(-5i64..5, 3),
+        ) {
+            // A unimodular map sends integer vectors to integer vectors and
+            // its inverse brings them back.
+            let v = IntVec::from(v);
+            let mapped = m.mul_vec(&v).unwrap();
+            let back = unimodular_inverse(&m).unwrap().mul_vec(&mapped).unwrap();
+            prop_assert_eq!(back, v);
+        }
+    }
+}

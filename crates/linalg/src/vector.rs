@@ -1,0 +1,435 @@
+//! Dense integer vectors.
+//!
+//! [`IntVec`] is the workhorse type of the workspace: hyperplane (layout)
+//! vectors, iteration vectors, array subscripts, offset vectors and distance
+//! vectors are all `IntVec`s.
+
+use crate::gcd::gcd_slice;
+use crate::LinalgError;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense vector of `i64` components.
+///
+/// # Examples
+///
+/// ```
+/// use mlo_linalg::IntVec;
+/// let a = IntVec::from(vec![1, 2, 3]);
+/// let b = IntVec::from(vec![4, 5, 6]);
+/// assert_eq!(a.dot(&b), Ok(32));
+/// assert_eq!((a + b).as_slice(), &[5, 7, 9]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct IntVec {
+    data: Vec<i64>,
+}
+
+impl IntVec {
+    /// Creates a vector from its components.
+    pub fn new(data: Vec<i64>) -> Self {
+        IntVec { data }
+    }
+
+    /// Creates a zero vector of the given dimension.
+    pub fn zeros(dim: usize) -> Self {
+        IntVec {
+            data: vec![0; dim],
+        }
+    }
+
+    /// Creates the `i`-th standard basis vector of the given dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim`.
+    pub fn unit(dim: usize, i: usize) -> Self {
+        assert!(i < dim, "unit index {i} out of range for dimension {dim}");
+        let mut v = Self::zeros(dim);
+        v.data[i] = 1;
+        v
+    }
+
+    /// The dimension (number of components).
+    pub fn dim(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether every component is zero (also true for the empty vector).
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&x| x == 0)
+    }
+
+    /// Returns the components as a slice.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// Returns the components as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [i64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying storage.
+    pub fn into_inner(self) -> Vec<i64> {
+        self.data
+    }
+
+    /// Returns the component at `i`, or `None` when out of range.
+    pub fn get(&self, i: usize) -> Option<i64> {
+        self.data.get(i).copied()
+    }
+
+    /// Iterates over the components.
+    pub fn iter(&self) -> impl Iterator<Item = &i64> {
+        self.data.iter()
+    }
+
+    /// The dot (inner) product with another vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when the dimensions differ.
+    pub fn dot(&self, other: &IntVec) -> crate::Result<i64> {
+        if self.dim() != other.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.dim(),
+                actual: other.dim(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Multiplies every component by a scalar.
+    pub fn scaled(&self, k: i64) -> IntVec {
+        IntVec {
+            data: self.data.iter().map(|x| x * k).collect(),
+        }
+    }
+
+    /// Divides all components by their GCD and fixes the sign so the first
+    /// non-zero component is positive.  The zero vector is returned
+    /// unchanged.
+    ///
+    /// This is the canonical form used for hyperplane vectors: `(2 -2)`,
+    /// `(-1 1)` and `(1 -1)` all describe the same layout family and all
+    /// canonicalize to `(1 -1)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mlo_linalg::IntVec;
+    /// assert_eq!(IntVec::from(vec![2, -2]).canonicalized(), IntVec::from(vec![1, -1]));
+    /// assert_eq!(IntVec::from(vec![-1, 1]).canonicalized(), IntVec::from(vec![1, -1]));
+    /// assert_eq!(IntVec::from(vec![0, 0]).canonicalized(), IntVec::from(vec![0, 0]));
+    /// ```
+    pub fn canonicalized(mut self) -> IntVec {
+        let g = gcd_slice(&self.data);
+        if g > 1 {
+            for x in &mut self.data {
+                *x /= g;
+            }
+        }
+        if let Some(&first) = self.data.iter().find(|&&x| x != 0) {
+            if first < 0 {
+                for x in &mut self.data {
+                    *x = -*x;
+                }
+            }
+        }
+        self
+    }
+
+    /// The sum of absolute values of the components (L1 norm).
+    pub fn l1_norm(&self) -> i64 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// The number of non-zero components.
+    pub fn nonzero_count(&self) -> usize {
+        self.data.iter().filter(|&&x| x != 0).count()
+    }
+
+    /// Appends a component, returning the extended vector.
+    pub fn extended_with(mut self, value: i64) -> IntVec {
+        self.data.push(value);
+        self
+    }
+
+    /// Element-wise addition, returning an error on dimension mismatch.
+    pub fn checked_add(&self, other: &IntVec) -> crate::Result<IntVec> {
+        if self.dim() != other.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.dim(),
+                actual: other.dim(),
+            });
+        }
+        Ok(IntVec {
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        })
+    }
+
+    /// Element-wise subtraction, returning an error on dimension mismatch.
+    pub fn checked_sub(&self, other: &IntVec) -> crate::Result<IntVec> {
+        if self.dim() != other.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.dim(),
+                actual: other.dim(),
+            });
+        }
+        Ok(IntVec {
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        })
+    }
+}
+
+impl From<Vec<i64>> for IntVec {
+    fn from(data: Vec<i64>) -> Self {
+        IntVec { data }
+    }
+}
+
+impl From<&[i64]> for IntVec {
+    fn from(data: &[i64]) -> Self {
+        IntVec {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl<const N: usize> From<[i64; N]> for IntVec {
+    fn from(data: [i64; N]) -> Self {
+        IntVec {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl FromIterator<i64> for IntVec {
+    fn from_iter<T: IntoIterator<Item = i64>>(iter: T) -> Self {
+        IntVec {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<i64> for IntVec {
+    fn extend<T: IntoIterator<Item = i64>>(&mut self, iter: T) {
+        self.data.extend(iter);
+    }
+}
+
+impl IntoIterator for IntVec {
+    type Item = i64;
+    type IntoIter = std::vec::IntoIter<i64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a IntVec {
+    type Item = &'a i64;
+    type IntoIter = std::slice::Iter<'a, i64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl Index<usize> for IntVec {
+    type Output = i64;
+    fn index(&self, index: usize) -> &i64 {
+        &self.data[index]
+    }
+}
+
+impl IndexMut<usize> for IntVec {
+    fn index_mut(&mut self, index: usize) -> &mut i64 {
+        &mut self.data[index]
+    }
+}
+
+impl Add for IntVec {
+    type Output = IntVec;
+    /// # Panics
+    ///
+    /// Panics when the dimensions differ; use [`IntVec::checked_add`] for a
+    /// fallible version.
+    fn add(self, rhs: IntVec) -> IntVec {
+        self.checked_add(&rhs).expect("dimension mismatch in +")
+    }
+}
+
+impl Sub for IntVec {
+    type Output = IntVec;
+    /// # Panics
+    ///
+    /// Panics when the dimensions differ; use [`IntVec::checked_sub`] for a
+    /// fallible version.
+    fn sub(self, rhs: IntVec) -> IntVec {
+        self.checked_sub(&rhs).expect("dimension mismatch in -")
+    }
+}
+
+impl Neg for IntVec {
+    type Output = IntVec;
+    fn neg(self) -> IntVec {
+        self.scaled(-1)
+    }
+}
+
+impl Mul<i64> for IntVec {
+    type Output = IntVec;
+    fn mul(self, rhs: i64) -> IntVec {
+        self.scaled(rhs)
+    }
+}
+
+impl fmt::Display for IntVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, x) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let v = IntVec::from(vec![1, -2, 3]);
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v[1], -2);
+        assert_eq!(v.get(2), Some(3));
+        assert_eq!(v.get(3), None);
+        assert!(!v.is_zero());
+        assert!(IntVec::zeros(4).is_zero());
+        assert_eq!(IntVec::unit(3, 1).as_slice(), &[0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unit_out_of_range_panics() {
+        let _ = IntVec::unit(2, 2);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = IntVec::from(vec![1, 0]);
+        let b = IntVec::from(vec![5, 3]);
+        assert_eq!(a.dot(&b), Ok(5));
+        let c = IntVec::from(vec![1, -1]);
+        assert_eq!(c.dot(&IntVec::from(vec![5, 3])), Ok(2));
+        assert!(a.dot(&IntVec::from(vec![1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn canonicalization_examples() {
+        assert_eq!(
+            IntVec::from(vec![2, -2]).canonicalized(),
+            IntVec::from(vec![1, -1])
+        );
+        assert_eq!(
+            IntVec::from(vec![0, -3]).canonicalized(),
+            IntVec::from(vec![0, 1])
+        );
+        assert_eq!(
+            IntVec::from(vec![-4, 6]).canonicalized(),
+            IntVec::from(vec![2, -3])
+        );
+        assert!(IntVec::zeros(3).canonicalized().is_zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = IntVec::from(vec![1, 2]);
+        let b = IntVec::from(vec![3, 4]);
+        assert_eq!((a.clone() + b.clone()).as_slice(), &[4, 6]);
+        assert_eq!((b.clone() - a.clone()).as_slice(), &[2, 2]);
+        assert_eq!((-a.clone()).as_slice(), &[-1, -2]);
+        assert_eq!((a.clone() * 3).as_slice(), &[3, 6]);
+        assert_eq!(a.l1_norm(), 3);
+        assert_eq!(a.nonzero_count(), 2);
+        assert_eq!(IntVec::from(vec![0, 5]).nonzero_count(), 1);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(IntVec::from(vec![1, -1]).to_string(), "(1 -1)");
+        assert_eq!(IntVec::from(vec![0, 0, 1]).to_string(), "(0 0 1)");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let v: IntVec = (0..4).collect();
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        let mut w = IntVec::zeros(1);
+        w.extend([5, 6]);
+        assert_eq!(w.as_slice(), &[0, 5, 6]);
+        let doubled: Vec<i64> = (&v).into_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6]);
+    }
+
+    fn vec_strategy(dim: usize) -> impl Strategy<Value = IntVec> {
+        proptest::collection::vec(-20i64..20, dim).prop_map(IntVec::from)
+    }
+
+    proptest! {
+        #[test]
+        fn dot_is_symmetric(a in vec_strategy(4), b in vec_strategy(4)) {
+            prop_assert_eq!(a.dot(&b).unwrap(), b.dot(&a).unwrap());
+        }
+
+        #[test]
+        fn canonicalized_is_idempotent(a in vec_strategy(3)) {
+            let c = a.canonicalized();
+            prop_assert_eq!(c.clone().canonicalized(), c);
+        }
+
+        #[test]
+        fn canonicalized_preserves_direction(a in vec_strategy(3)) {
+            // The canonical vector is parallel to the original: the 2x3
+            // matrix [a; canon(a)] has rank <= 1.
+            let c = a.clone().canonicalized();
+            if !a.is_zero() {
+                for i in 0..3 {
+                    for j in 0..3 {
+                        prop_assert_eq!(a[i] * c[j], a[j] * c[i]);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn add_commutative(a in vec_strategy(5), b in vec_strategy(5)) {
+            prop_assert_eq!(a.checked_add(&b).unwrap(), b.checked_add(&a).unwrap());
+        }
+
+        #[test]
+        fn scaling_scales_dot(a in vec_strategy(4), b in vec_strategy(4), k in -5i64..5) {
+            prop_assert_eq!(a.scaled(k).dot(&b).unwrap(), k * a.dot(&b).unwrap());
+        }
+    }
+}

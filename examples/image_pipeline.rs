@@ -1,0 +1,75 @@
+//! Domain scenario 1: optimizing an image-reconstruction pipeline.
+//!
+//! Builds the Med-Im04-style benchmark (a long chain of filtering /
+//! backprojection stages over 64×64 images plus shared weight tables), runs
+//! all three layout-determination schemes and compares them on the paper's
+//! machine model — the per-application view behind Tables 2 and 3.
+//!
+//! ```text
+//! cargo run --release --example image_pipeline
+//! ```
+
+use constraint_layout::prelude::*;
+use mlo_cachesim::TraceOptions;
+
+fn main() {
+    let benchmark = Benchmark::MedIm04;
+    let program = benchmark.program();
+    println!(
+        "{}: {} arrays, {} nests, {:.1} KB of data",
+        program.name(),
+        program.arrays().len(),
+        program.nests().len(),
+        program.total_data_kb()
+    );
+
+    let simulator = Simulator::new(MachineConfig::date05()).trace_options(TraceOptions {
+        max_trip_per_loop: 64,
+        array_alignment: 64,
+    });
+    let original = simulator
+        .clone()
+        .without_restructuring()
+        .simulate(&program, &LayoutAssignment::all_row_major(&program))
+        .expect("baseline simulates");
+    println!(
+        "\noriginal code (row-major, original loop order): {} cycles, {:.1}% L1 misses",
+        original.total_cycles,
+        original.l1_data.miss_rate() * 100.0
+    );
+
+    for scheme in [
+        OptimizerScheme::Heuristic,
+        OptimizerScheme::Base,
+        OptimizerScheme::Enhanced,
+        OptimizerScheme::ForwardChecking,
+    ] {
+        let outcome = Optimizer::with_options(mlo_core::OptimizerOptions {
+            scheme,
+            candidates: benchmark.candidate_options(),
+            ..Default::default()
+        })
+        .optimize(&program);
+        let report = simulator
+            .simulate(&program, &outcome.assignment)
+            .expect("optimized layouts simulate");
+        let nodes = outcome
+            .search_stats
+            .map(|s| format!("{} nodes, {} backjumps", s.nodes_visited, s.backjumps))
+            .unwrap_or_else(|| "no search".to_string());
+        println!(
+            "{:<17} solved in {:>10.2?} ({:<28}) -> {:>12} cycles ({:.1}% better than original)",
+            scheme.to_string(),
+            outcome.solution_time,
+            nodes,
+            report.total_cycles,
+            report.improvement_over(&original)
+        );
+    }
+
+    println!(
+        "\nThe constraint-network schemes resolve the layout of the shared weight\n\
+         tables globally, which the greedy per-nest heuristic gets wrong — that is\n\
+         the extra ~15% the paper's Table 3 attributes to the network-based search."
+    );
+}

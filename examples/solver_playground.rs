@@ -1,0 +1,100 @@
+//! Domain scenario 3: using the constraint-network solver directly.
+//!
+//! The `mlo-csp` crate is a self-contained binary-CSP library; this example
+//! recreates the exact four-array network of the paper's Section 3, solves
+//! it with every scheme, shows the search statistics, and then demonstrates
+//! the weighted extension picking a preferred solution among several.
+//!
+//! ```text
+//! cargo run --example solver_playground
+//! ```
+
+use constraint_layout::prelude::*;
+use mlo_csp::{BranchAndBound, ConstraintNetwork, WeightedNetwork};
+
+fn paper_network() -> (ConstraintNetwork<(i64, i64)>, [mlo_csp::VarId; 4]) {
+    let mut net = ConstraintNetwork::new();
+    let q1 = net.add_variable("Q1", vec![(1, 0), (0, 1), (1, 1)]);
+    let q2 = net.add_variable("Q2", vec![(1, -1), (1, 1)]);
+    let q3 = net.add_variable("Q3", vec![(0, 1), (1, 1), (1, 2)]);
+    let q4 = net.add_variable("Q4", vec![(1, 0), (0, 1), (1, 1)]);
+    net.add_constraint(q1, q2, vec![((1, 0), (1, 1)), ((0, 1), (1, -1))]).unwrap();
+    net.add_constraint(q1, q3, vec![((1, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (1, 2))])
+        .unwrap();
+    net.add_constraint(q1, q4, vec![((1, 0), (1, 0)), ((0, 1), (0, 1))]).unwrap();
+    net.add_constraint(q2, q3, vec![((1, 1), (0, 1)), ((1, -1), (1, 1))]).unwrap();
+    // The paper's S24 lists [(1 0), (0 1)], but (1 0) is not in M2 (a typo in
+    // the published example); (1 -1) keeps the published solution.
+    net.add_constraint(q2, q4, vec![((1, -1), (0, 1)), ((1, 1), (1, 0))]).unwrap();
+    net.add_constraint(q3, q4, vec![((0, 1), (1, 0))]).unwrap();
+    (net, [q1, q2, q3, q4])
+}
+
+fn main() {
+    let (network, vars) = paper_network();
+    println!("The Section 3 example network:\n");
+    println!(
+        "  {} variables, {} constraints, domain size {}, naive search space {} assignments\n",
+        network.variable_count(),
+        network.constraint_count(),
+        network.total_domain_size(),
+        network.search_space_size()
+    );
+
+    for scheme in [
+        Scheme::Base,
+        Scheme::Enhanced,
+        Scheme::ForwardChecking,
+        Scheme::FullPropagation,
+    ] {
+        let result = SearchEngine::with_scheme(scheme).seed(7).solve(&network);
+        let solution = result.solution.expect("the example network is satisfiable");
+        let values: Vec<String> = vars
+            .iter()
+            .map(|&v| format!("{}={:?}", network.name(v), solution.value(v)))
+            .collect();
+        println!(
+            "  {scheme:<16} -> {}   [{}]",
+            values.join(", "),
+            result.stats
+        );
+    }
+
+    // Weighted extension: prefer the solution that gives Q1 the row-major
+    // layout by weighting the pairs that contain it.
+    println!("\nWeighted extension (future work in the paper): bias towards Q1=(1 0)");
+    let (network, vars) = paper_network();
+    let mut weighted = WeightedNetwork::new(network, 1.0);
+    weighted
+        .set_weight(vars[0], vars[3], &(1, 0), &(1, 0), 10.0)
+        .expect("pair exists");
+    let best = BranchAndBound::new().optimize(&weighted);
+    let solution = best.solution.expect("satisfiable");
+    println!(
+        "  best total weight {:.1}: Q1={:?}, Q2={:?}, Q3={:?}, Q4={:?}",
+        best.best_weight,
+        solution.value(vars[0]),
+        solution.value(vars[1]),
+        solution.value(vars[2]),
+        solution.value(vars[3]),
+    );
+
+    // A random planted-satisfiable network, to show the generator API.
+    println!("\nRandom planted-satisfiable network (20 variables):");
+    let spec = mlo_csp::random::RandomNetworkSpec {
+        variables: 20,
+        domain_size: 5,
+        density: 0.4,
+        tightness: 0.4,
+        seed: 11,
+    };
+    let (random_net, _) = mlo_csp::random::satisfiable_network(&spec);
+    for scheme in [Scheme::Base, Scheme::Enhanced] {
+        let result = SearchEngine::with_scheme(scheme).solve(&random_net);
+        println!(
+            "  {scheme:<10} satisfiable={} {}",
+            result.is_satisfiable(),
+            result.stats
+        );
+    }
+}

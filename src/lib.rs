@@ -1,0 +1,31 @@
+//! `constraint-layout`: the workspace facade crate.
+//!
+//! This crate re-exports the whole public API of the workspace so that the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`) have a single dependency.  Library users normally depend on
+//! [`mlo_core`] (and transitively on the substrate crates) directly; see the
+//! repository `README.md` for the crate map.
+//!
+//! ```
+//! use constraint_layout::prelude::*;
+//!
+//! let program = Benchmark::MxM.program();
+//! let outcome = Optimizer::new(OptimizerScheme::Heuristic).optimize(&program);
+//! assert!(outcome.assignment.len() >= program.arrays().len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mlo_benchmarks as benchmarks;
+pub use mlo_cachesim as cachesim;
+pub use mlo_core as core;
+pub use mlo_csp as csp;
+pub use mlo_ir as ir;
+pub use mlo_layout as layout;
+pub use mlo_linalg as linalg;
+
+/// One-stop re-exports for examples and quick experiments.
+pub mod prelude {
+    pub use mlo_core::prelude::*;
+}

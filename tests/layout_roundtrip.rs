@@ -1,0 +1,109 @@
+//! Cross-crate property tests on the layout → address-map → cache path:
+//! whatever layout the optimizer chooses must linearize into an injective
+//! address map, and better static locality must never translate into a
+//! slower simulated execution on stride-dominated single-nest programs.
+
+use constraint_layout::prelude::*;
+use mlo_layout::AddressMap;
+use mlo_linalg::IntVec;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arbitrary_layout() -> impl Strategy<Value = Layout> {
+    prop_oneof![
+        Just(Layout::row_major(2)),
+        Just(Layout::column_major(2)),
+        Just(Layout::diagonal()),
+        Just(Layout::anti_diagonal()),
+        // A few less common but valid hyperplane layouts from the paper's
+        // discussion: (1 -2), (2 -1), (1 2).
+        Just(Layout::from_vector(vec![1, -2])),
+        Just(Layout::from_vector(vec![2, -1])),
+        Just(Layout::from_vector(vec![1, 2])),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn address_maps_are_injective_and_bounded(
+        rows in 2i64..12,
+        cols in 2i64..12,
+        layout in arbitrary_layout(),
+    ) {
+        let array = mlo_ir::ArrayDecl::new(ArrayId::new(0), "A", vec![rows, cols], 4);
+        let map = AddressMap::new(&array, &layout).expect("independent hyperplanes linearize");
+        let mut seen = HashSet::new();
+        for i in 0..rows {
+            for j in 0..cols {
+                let offset = map.element_offset(&IntVec::from(vec![i, j]));
+                prop_assert!(offset >= 0);
+                prop_assert!(offset < map.span_elements());
+                prop_assert!(seen.insert(offset), "duplicate offset for ({i},{j}) under {layout}");
+            }
+        }
+        // The padding introduced by skewed layouts is bounded by the
+        // bounding-box construction: at most (rows+cols) times the array.
+        prop_assert!(map.span_elements() <= (rows + cols) * rows * cols);
+    }
+
+    #[test]
+    fn layouts_that_match_the_traversal_never_lose(
+        n in 8i64..40,
+        column_traversal in any::<bool>(),
+    ) {
+        // One nest sweeping an n x n array either row-wise or column-wise;
+        // the matching canonical layout must never be slower than the
+        // mismatched one on the paper's machine.
+        let mut builder = ProgramBuilder::new("sweep");
+        let a = builder.array("A", vec![n, n], 4);
+        builder.nest("sweep", vec![("i", 0, n), ("j", 0, n)], |nest| {
+            let access = if column_traversal {
+                AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build()
+            } else {
+                AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build()
+            };
+            nest.read(a, access);
+        });
+        let program = builder.build();
+        let matching = if column_traversal { Layout::column_major(2) } else { Layout::row_major(2) };
+        let mismatched = if column_traversal { Layout::row_major(2) } else { Layout::column_major(2) };
+        let simulator = Simulator::new(MachineConfig::date05()).without_restructuring();
+        let mut good = LayoutAssignment::new();
+        good.set(a, matching);
+        let mut bad = LayoutAssignment::new();
+        bad.set(a, mismatched);
+        let good_report = simulator.simulate(&program, &good).expect("simulates");
+        let bad_report = simulator.simulate(&program, &bad).expect("simulates");
+        prop_assert!(good_report.total_cycles <= bad_report.total_cycles);
+        prop_assert!(good_report.l1_data.misses <= bad_report.l1_data.misses);
+    }
+
+    #[test]
+    fn optimizer_assignments_always_linearize(
+        seed in 0u64..200,
+        arrays in 3usize..8,
+        nests in 2usize..6,
+    ) {
+        let spec = RandomProgramSpec {
+            arrays,
+            nests,
+            extent: 16,
+            reads_per_nest: 2,
+            seed,
+        };
+        let program = constraint_layout::benchmarks::random_program(&spec);
+        let outcome = Optimizer::new(OptimizerScheme::Enhanced).optimize(&program);
+        for array in program.arrays() {
+            let layout = outcome.assignment.layout_of(array.id()).expect("complete");
+            let map = AddressMap::new(array, layout).expect("chosen layouts must linearize");
+            prop_assert!(map.span_elements() >= array.element_count());
+        }
+        // And the whole thing survives the simulator.
+        let report = Simulator::new(MachineConfig::tiny())
+            .simulate(&program, &outcome.assignment)
+            .expect("random programs simulate");
+        prop_assert!(report.total_cycles > 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based cross-checks of the constraint solvers against a brute
+//! force oracle, on small random networks.
+
+use constraint_layout::csp::random::RandomNetworkSpec;
+use constraint_layout::csp::{Assignment, ConstraintNetwork, Scheme, SearchEngine, VarId};
+use proptest::prelude::*;
+
+/// Exhaustively decides satisfiability of a small network.
+fn brute_force_satisfiable(network: &ConstraintNetwork<usize>) -> bool {
+    let variables: Vec<VarId> = network.variables().collect();
+    let mut assignment = Assignment::new(variables.len());
+    fn recurse(
+        network: &ConstraintNetwork<usize>,
+        variables: &[VarId],
+        depth: usize,
+        assignment: &mut Assignment,
+    ) -> bool {
+        if depth == variables.len() {
+            return network.is_solution(assignment).unwrap_or(false);
+        }
+        let var = variables[depth];
+        for value in 0..network.domain(var).len() {
+            assignment.assign(var, value);
+            // Early pruning keeps the oracle fast without changing its
+            // answer: conflicts_with only looks at the *other* assigned
+            // variables, so checking after the assignment is correct.
+            let mut checks = 0;
+            if network
+                .conflicts_with(assignment, var, value, &mut checks)
+                .is_empty()
+                && recurse(network, variables, depth + 1, assignment)
+            {
+                return true;
+            }
+            assignment.unassign(var);
+        }
+        false
+    }
+    recurse(network, &variables, 0, &mut assignment)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn solvers_agree_with_the_brute_force_oracle(
+        variables in 2usize..6,
+        domain in 1usize..4,
+        density in 0.2f64..1.0,
+        tightness in 0.0f64..0.9,
+        seed in 0u64..500,
+    ) {
+        let spec = RandomNetworkSpec { variables, domain_size: domain, density, tightness, seed };
+        let network = spec.generate();
+        let expected = brute_force_satisfiable(&network);
+        for scheme in [Scheme::Base, Scheme::Enhanced, Scheme::ForwardChecking, Scheme::FullPropagation] {
+            let result = SearchEngine::with_scheme(scheme).solve(&network);
+            prop_assert_eq!(
+                result.is_satisfiable(),
+                expected,
+                "scheme {} disagrees with the oracle on {:?}",
+                scheme,
+                spec
+            );
+            // Whatever solution is returned must actually satisfy the network.
+            if let Some(solution) = result.solution {
+                let mut assignment = Assignment::new(network.variable_count());
+                for v in network.variables() {
+                    assignment.assign(v, solution.value_index(v));
+                }
+                prop_assert_eq!(network.is_solution(&assignment), Ok(true));
+            }
+        }
+    }
+
+    #[test]
+    fn planted_networks_are_always_solved(
+        variables in 2usize..10,
+        domain in 2usize..5,
+        density in 0.2f64..1.0,
+        tightness in 0.0f64..0.8,
+        seed in 0u64..500,
+    ) {
+        let spec = RandomNetworkSpec { variables, domain_size: domain, density, tightness, seed };
+        let (network, planted) = constraint_layout::csp::random::satisfiable_network(&spec);
+        // The planted assignment is a witness, so every scheme must succeed.
+        let mut witness = Assignment::new(network.variable_count());
+        for (i, &value) in planted.iter().enumerate() {
+            witness.assign(VarId::new(i), value);
+        }
+        prop_assert_eq!(network.is_solution(&witness), Ok(true));
+        for scheme in [Scheme::Base, Scheme::Enhanced, Scheme::ForwardChecking] {
+            let result = SearchEngine::with_scheme(scheme).solve(&network);
+            prop_assert!(result.is_satisfiable(), "{} failed on a planted network", scheme);
+        }
+    }
+}
