@@ -7,19 +7,27 @@ use mlo_cachesim::{Cache, CacheConfig, MachineConfig, MemoryHierarchy};
 fn cache_access_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_microbench");
     // Sequential (unit-stride) vs. large-stride access streams.
-    for &(label, stride) in &[("unit_stride", 4u64), ("line_stride", 32), ("page_stride", 4096)] {
-        group.bench_with_input(BenchmarkId::new("l1_access", label), &stride, |b, &stride| {
-            b.iter(|| {
-                let mut cache = Cache::new(CacheConfig::new(8 * 1024, 2, 32).expect("valid"));
-                let mut hits = 0u64;
-                for i in 0..10_000u64 {
-                    if cache.access(i * stride) == mlo_cachesim::AccessOutcome::Hit {
-                        hits += 1;
+    for &(label, stride) in &[
+        ("unit_stride", 4u64),
+        ("line_stride", 32),
+        ("page_stride", 4096),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("l1_access", label),
+            &stride,
+            |b, &stride| {
+                b.iter(|| {
+                    let mut cache = Cache::new(CacheConfig::new(8 * 1024, 2, 32).expect("valid"));
+                    let mut hits = 0u64;
+                    for i in 0..10_000u64 {
+                        if cache.access(i * stride) == mlo_cachesim::AccessOutcome::Hit {
+                            hits += 1;
+                        }
                     }
-                }
-                hits
-            })
-        });
+                    hits
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("hierarchy_access", label),
             &stride,

@@ -1,5 +1,5 @@
-//! Criterion bench behind Table 3: simulated execution of each benchmark
-//! under the original, heuristic and constraint-network layouts.
+//! Bench behind Table 3: simulated execution of each benchmark under the
+//! original, heuristic and constraint-network layouts.
 //!
 //! The full five-benchmark sweep is expensive, so the bench times the two
 //! cheapest benchmarks per configuration; the `table3` binary prints the
@@ -9,14 +9,16 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mlo_benchmarks::Benchmark;
 use mlo_cachesim::{MachineConfig, Simulator};
 use mlo_core::experiments::table3_trace_options;
-use mlo_core::{Optimizer, OptimizerOptions, OptimizerScheme};
+use mlo_core::{Engine, OptimizeRequest};
 use mlo_layout::LayoutAssignment;
 
 fn execution_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_execution_time");
     group.sample_size(10);
+    let engine = Engine::new();
     for benchmark in [Benchmark::Track, Benchmark::MedIm04] {
         let program = benchmark.program();
+        let session = engine.session();
         let simulator =
             Simulator::new(MachineConfig::date05()).trace_options(table3_trace_options());
 
@@ -30,18 +32,20 @@ fn execution_time(c: &mut Criterion) {
             },
         );
 
-        for scheme in [OptimizerScheme::Heuristic, OptimizerScheme::Enhanced] {
-            let assignment = Optimizer::with_options(OptimizerOptions {
-                scheme,
-                candidates: benchmark.candidate_options(),
-                ..OptimizerOptions::default()
-            })
-            .optimize(&program)
-            .assignment;
+        for strategy in ["heuristic", "enhanced"] {
+            let assignment = session
+                .optimize(
+                    &program,
+                    &OptimizeRequest::strategy(strategy).candidates(benchmark.candidate_options()),
+                )
+                .expect("request succeeds")
+                .assignment;
             group.bench_with_input(
-                BenchmarkId::new(format!("{scheme}"), benchmark.name()),
+                BenchmarkId::new(strategy.to_string(), benchmark.name()),
                 &program,
-                |b, program| b.iter(|| simulator.simulate(program, &assignment).expect("simulates")),
+                |b, program| {
+                    b.iter(|| simulator.simulate(program, &assignment).expect("simulates"))
+                },
             );
         }
     }

@@ -7,7 +7,7 @@
 //! ```
 
 use mlo_benchmarks::Benchmark;
-use mlo_core::{Optimizer, OptimizerScheme, TextTable};
+use mlo_core::{Engine, TextTable};
 
 fn main() {
     println!("Dynamic-layout extension (paper Section 6, future work)\n");
@@ -19,17 +19,20 @@ fn main() {
         "Dynamic cost",
         "Benefit",
     ]);
-    let optimizer = Optimizer::new(OptimizerScheme::Enhanced);
+    let session = Engine::new().session();
     for benchmark in Benchmark::all() {
         let program = benchmark.program();
-        let plan = optimizer.dynamic_plan(&program, 4);
+        let plan = session.dynamic_plan(&program, 4, &benchmark.candidate_options());
         table.row(vec![
             benchmark.name().into(),
             plan.segmentation.len().to_string(),
             plan.dynamic_arrays().len().to_string(),
             format!("{:.0}", plan.total_static_cost()),
             format!("{:.0}", plan.total_cost()),
-            format!("{:.1}%", 100.0 * plan.total_benefit() / plan.total_static_cost().max(1.0)),
+            format!(
+                "{:.1}%",
+                100.0 * plan.total_benefit() / plan.total_static_cost().max(1.0)
+            ),
         ]);
     }
     println!("{table}");

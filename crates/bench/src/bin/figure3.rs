@@ -10,9 +10,18 @@ use mlo_core::experiments::figure3;
 fn main() {
     let demo = figure3();
     println!("Figure 3: backtracking vs. backjumping on the Qk - Qi - Qj scenario\n");
-    println!("nodes visited with chronological backtracking: {}", demo.backtracking_nodes);
-    println!("nodes visited with backjumping:                {}", demo.backjumping_nodes);
-    println!("backjumps performed:                           {}", demo.backjumps);
+    println!(
+        "nodes visited with chronological backtracking: {}",
+        demo.backtracking_nodes
+    );
+    println!(
+        "nodes visited with backjumping:                {}",
+        demo.backjumping_nodes
+    );
+    println!(
+        "backjumps performed:                           {}",
+        demo.backjumps
+    );
     println!(
         "\nBackjumping skips re-instantiating Qi because Qi shares no constraint\n\
          with the dead-ended variable Qj (paper, Section 4 and Figure 3)."

@@ -19,7 +19,5 @@ fn main() {
         average_improvement(&rows, |r| r.base_cycles),
         average_improvement(&rows, |r| r.enhanced_cycles),
     );
-    println!(
-        "(Paper averages: heuristic 42.49%, base 57.17%, enhanced 57.95%.)"
-    );
+    println!("(Paper averages: heuristic 42.49%, base 57.17%, enhanced 57.95%.)");
 }

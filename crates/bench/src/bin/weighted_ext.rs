@@ -6,41 +6,45 @@
 //! ```
 
 use mlo_benchmarks::Benchmark;
-use mlo_core::{Optimizer, OptimizerOptions, OptimizerScheme, TextTable};
+use mlo_core::{Engine, OptimizeRequest, TextTable};
 use mlo_layout::quality::{assignment_score, ideal_score};
 
 fn main() {
     println!("Weighted-constraint extension (paper Section 6, future work)\n");
     let mut table = TextTable::new(vec![
         "Benchmark",
-        "Scheme",
+        "Strategy",
         "Satisfiable",
         "Static locality score",
         "Ideal score",
         "Solution time",
     ]);
+    let engine = Engine::new();
     for benchmark in [Benchmark::MedIm04, Benchmark::Track] {
+        // One session per benchmark: both strategies share the candidate
+        // enumeration and the constraint network.
+        let session = engine.session();
         let program = benchmark.program();
-        for scheme in [OptimizerScheme::Enhanced, OptimizerScheme::Weighted] {
-            let outcome = Optimizer::with_options(OptimizerOptions {
-                scheme,
-                candidates: benchmark.candidate_options(),
-                ..OptimizerOptions::default()
-            })
-            .optimize(&program);
+        for strategy in ["enhanced", "weighted"] {
+            let report = session
+                .optimize(
+                    &program,
+                    &OptimizeRequest::strategy(strategy).candidates(benchmark.candidate_options()),
+                )
+                .expect("built-in strategies with the fallback policy never error");
             table.row(vec![
                 benchmark.name().into(),
-                scheme.to_string(),
-                format!("{:?}", outcome.satisfiable),
-                assignment_score(&program, &outcome.assignment).to_string(),
+                report.strategy.clone(),
+                format!("{:?}", report.satisfiable),
+                assignment_score(&program, &report.assignment).to_string(),
                 ideal_score(&program).to_string(),
-                format!("{:.2?}", outcome.solution_time),
+                format!("{:.2?}", report.solution_time),
             ]);
         }
     }
     println!("{table}");
     println!(
-        "The weighted scheme maximizes the nest-cost-weighted benefit of the\n\
+        "The weighted strategy maximizes the nest-cost-weighted benefit of the\n\
          selected pairs, so when several solutions exist it picks the one that\n\
          favours the costliest nests."
     );

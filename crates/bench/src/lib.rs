@@ -77,7 +77,8 @@ pub fn table3_with_paper(rows: &[Table3Row]) -> TextTable {
     ]);
     for r in rows {
         let paper = r.benchmark.paper_row();
-        let paper_impr = |value: f64| (paper.original_exec_secs - value) / paper.original_exec_secs * 100.0;
+        let paper_impr =
+            |value: f64| (paper.original_exec_secs - value) / paper.original_exec_secs * 100.0;
         t.row(vec![
             r.benchmark.name().into(),
             format!("{:.1}%", r.improvement(r.heuristic_cycles)),
@@ -97,7 +98,10 @@ pub fn average_improvement(rows: &[Table3Row], cycles_of: impl Fn(&Table3Row) ->
     if rows.is_empty() {
         return 0.0;
     }
-    rows.iter().map(|r| r.improvement(cycles_of(r))).sum::<f64>() / rows.len() as f64
+    rows.iter()
+        .map(|r| r.improvement(cycles_of(r)))
+        .sum::<f64>()
+        / rows.len() as f64
 }
 
 #[cfg(test)]

@@ -46,20 +46,31 @@ impl Pattern {
     /// The affine access of this pattern in a 2-deep nest.
     pub fn access(self) -> AffineAccess {
         match self {
-            Pattern::RowWise => AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build(),
-            Pattern::ColumnWise => AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build(),
-            Pattern::DiagonalSkew => {
-                AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build()
-            }
-            Pattern::AntiDiagonalSkew => {
-                AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build()
-            }
+            Pattern::RowWise => AccessBuilder::new(2, 2)
+                .row(0, [1, 0])
+                .row(1, [0, 1])
+                .build(),
+            Pattern::ColumnWise => AccessBuilder::new(2, 2)
+                .row(0, [0, 1])
+                .row(1, [1, 0])
+                .build(),
+            Pattern::DiagonalSkew => AccessBuilder::new(2, 2)
+                .row(0, [1, 1])
+                .row(1, [0, 1])
+                .build(),
+            Pattern::AntiDiagonalSkew => AccessBuilder::new(2, 2)
+                .row(0, [1, 1])
+                .row(1, [1, 0])
+                .build(),
             Pattern::ShiftedRow => AccessBuilder::new(2, 2)
                 .row(0, [1, 0])
                 .row(1, [0, 1])
                 .offset(1, -1)
                 .build(),
-            Pattern::RowLookup => AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 0]).build(),
+            Pattern::RowLookup => AccessBuilder::new(2, 2)
+                .row(0, [1, 0])
+                .row(1, [0, 0])
+                .build(),
         }
     }
 }
@@ -241,8 +252,8 @@ mod tests {
         assert_eq!(images.len(), 5);
         assert_eq!(p.nests().len(), 4);
         // Every interior image is referenced by two nests (written then read).
-        for k in 1..4 {
-            assert_eq!(p.nests_referencing(images[k]).len(), 2, "image {k}");
+        for (k, &image) in images.iter().enumerate().take(4).skip(1) {
+            assert_eq!(p.nests_referencing(image).len(), 2, "image {k}");
         }
         // The shared coefficient array is read by the first tie stage and by
         // the revealer stage.

@@ -201,18 +201,66 @@ fn mxm() -> Program {
     });
     // C += A * B  (classic i, j, k nest).
     b.nest("mm1", vec![("i", 0, n), ("j", 0, n), ("k", 0, n)], |nest| {
-        nest.read(a, AccessBuilder::new(2, 3).row(0, [1, 0, 0]).row(1, [0, 0, 1]).build());
-        nest.read(bm, AccessBuilder::new(2, 3).row(0, [0, 0, 1]).row(1, [0, 1, 0]).build());
-        nest.read(c, AccessBuilder::new(2, 3).row(0, [1, 0, 0]).row(1, [0, 1, 0]).build());
-        nest.write(c, AccessBuilder::new(2, 3).row(0, [1, 0, 0]).row(1, [0, 1, 0]).build());
+        nest.read(
+            a,
+            AccessBuilder::new(2, 3)
+                .row(0, [1, 0, 0])
+                .row(1, [0, 0, 1])
+                .build(),
+        );
+        nest.read(
+            bm,
+            AccessBuilder::new(2, 3)
+                .row(0, [0, 0, 1])
+                .row(1, [0, 1, 0])
+                .build(),
+        );
+        nest.read(
+            c,
+            AccessBuilder::new(2, 3)
+                .row(0, [1, 0, 0])
+                .row(1, [0, 1, 0])
+                .build(),
+        );
+        nest.write(
+            c,
+            AccessBuilder::new(2, 3)
+                .row(0, [1, 0, 0])
+                .row(1, [0, 1, 0])
+                .build(),
+        );
         nest.compute(6);
     });
     // E += C * D.
     b.nest("mm2", vec![("i", 0, n), ("j", 0, n), ("k", 0, n)], |nest| {
-        nest.read(c, AccessBuilder::new(2, 3).row(0, [1, 0, 0]).row(1, [0, 0, 1]).build());
-        nest.read(d, AccessBuilder::new(2, 3).row(0, [0, 0, 1]).row(1, [0, 1, 0]).build());
-        nest.read(e, AccessBuilder::new(2, 3).row(0, [1, 0, 0]).row(1, [0, 1, 0]).build());
-        nest.write(e, AccessBuilder::new(2, 3).row(0, [1, 0, 0]).row(1, [0, 1, 0]).build());
+        nest.read(
+            c,
+            AccessBuilder::new(2, 3)
+                .row(0, [1, 0, 0])
+                .row(1, [0, 0, 1])
+                .build(),
+        );
+        nest.read(
+            d,
+            AccessBuilder::new(2, 3)
+                .row(0, [0, 0, 1])
+                .row(1, [0, 1, 0])
+                .build(),
+        );
+        nest.read(
+            e,
+            AccessBuilder::new(2, 3)
+                .row(0, [1, 0, 0])
+                .row(1, [0, 1, 0])
+                .build(),
+        );
+        nest.write(
+            e,
+            AccessBuilder::new(2, 3)
+                .row(0, [1, 0, 0])
+                .row(1, [0, 1, 0])
+                .build(),
+        );
         nest.compute(6);
     });
     // Final fix-up over a 64×64 tile of E using small coefficient tables.
@@ -306,7 +354,12 @@ mod tests {
 
     #[test]
     fn pipeline_benchmarks_share_their_coefficient_arrays() {
-        for b in [Benchmark::MedIm04, Benchmark::Radar, Benchmark::Shape, Benchmark::Track] {
+        for b in [
+            Benchmark::MedIm04,
+            Benchmark::Radar,
+            Benchmark::Shape,
+            Benchmark::Track,
+        ] {
             let p = b.program();
             let max_sharing = p
                 .arrays()

@@ -33,7 +33,7 @@ impl CacheConfig {
                 "line size {line_bytes} is not a power of two"
             )));
         }
-        if size_bytes % (associativity * line_bytes) != 0 {
+        if !size_bytes.is_multiple_of(associativity * line_bytes) {
             return Err(SimError::InvalidCacheConfig(format!(
                 "capacity {size_bytes} is not divisible by associativity {associativity} x line {line_bytes}"
             )));

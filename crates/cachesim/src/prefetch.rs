@@ -249,7 +249,10 @@ mod tests {
         // the prefetcher stays quiet.
         let mut addr = 1u64;
         for _ in 0..200 {
-            addr = (addr.wrapping_mul(2862933555777941757).wrapping_add(3037000493)) % 4096;
+            addr = (addr
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493))
+                % 4096;
             pf.access(addr);
         }
         assert_eq!(pf.stats().useful.min(5), pf.stats().useful);

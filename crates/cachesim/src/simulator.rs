@@ -44,8 +44,7 @@ impl SimulationReport {
         if baseline.total_cycles == 0 {
             return 0.0;
         }
-        (baseline.total_cycles as f64 - self.total_cycles as f64)
-            / baseline.total_cycles as f64
+        (baseline.total_cycles as f64 - self.total_cycles as f64) / baseline.total_cycles as f64
             * 100.0
     }
 }
@@ -233,7 +232,13 @@ mod tests {
         let a = b.array("A", vec![n, n], 4);
         // for j { for i { ... A[i][j] ... } }  (i innermost)
         b.nest("walk", vec![("j", 0, n), ("i", 0, n)], |nest| {
-            nest.read(a, AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build());
+            nest.read(
+                a,
+                AccessBuilder::new(2, 2)
+                    .row(0, [0, 1])
+                    .row(1, [1, 0])
+                    .build(),
+            );
         });
         b.build()
     }
@@ -286,15 +291,14 @@ mod tests {
     fn report_contains_per_nest_data() {
         let p = column_walk_program();
         let asg = LayoutAssignment::all_row_major(&p);
-        let report = Simulator::new(MachineConfig::tiny()).simulate(&p, &asg).unwrap();
+        let report = Simulator::new(MachineConfig::tiny())
+            .simulate(&p, &asg)
+            .unwrap();
         assert_eq!(report.nest_cycles.len(), 1);
         assert_eq!(report.nest_transforms.len(), 1);
         assert!(report.total_accesses > 0);
         assert!(!report.to_string().is_empty());
-        assert_eq!(
-            report.l1_data.accesses,
-            report.total_accesses
-        );
+        assert_eq!(report.l1_data.accesses, report.total_accesses);
     }
 
     #[test]

@@ -117,8 +117,8 @@ impl TraceGenerator {
         plan: &MemoryPlan,
     ) -> Vec<MemoryAccess> {
         let nest = &program.nests()[nest_id.index()];
-        let walker = IterationSpace::transformed(nest, transform)
-            .subsampled(self.options.max_trip_per_loop);
+        let walker =
+            IterationSpace::transformed(nest, transform).subsampled(self.options.max_trip_per_loop);
         let mut trace = Vec::new();
         for iteration in walker {
             for reference in nest.references() {
@@ -185,7 +185,13 @@ mod tests {
         let a = b.array("A", vec![8, 8], 4);
         let v = b.array("V", vec![16], 4);
         b.nest("sweep", vec![("i", 0, 8), ("j", 0, 8)], |n| {
-            n.read(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+            n.read(
+                a,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
             n.write(v, AccessBuilder::new(1, 2).row(0, [1, 0]).build());
         });
         b.build()
@@ -226,7 +232,12 @@ mod tests {
         let asg = LayoutAssignment::all_row_major(&p);
         let gen = TraceGenerator::with_defaults();
         let plan = gen.plan_memory(&p, &asg).unwrap();
-        let trace = gen.nest_trace(&p, mlo_ir::NestId::new(0), &LoopTransform::identity(2), &plan);
+        let trace = gen.nest_trace(
+            &p,
+            mlo_ir::NestId::new(0),
+            &LoopTransform::identity(2),
+            &plan,
+        );
         assert_eq!(trace.len(), 8 * 8 * 2);
         // Reads and writes both appear.
         assert!(trace.iter().any(|a| a.is_write));
@@ -246,8 +257,18 @@ mod tests {
         cm.set(ArrayId::new(0), Layout::column_major(2));
         let plan_rm = gen.plan_memory(&p, &rm).unwrap();
         let plan_cm = gen.plan_memory(&p, &cm).unwrap();
-        let t_rm = gen.nest_trace(&p, mlo_ir::NestId::new(0), &LoopTransform::identity(2), &plan_rm);
-        let t_cm = gen.nest_trace(&p, mlo_ir::NestId::new(0), &LoopTransform::identity(2), &plan_cm);
+        let t_rm = gen.nest_trace(
+            &p,
+            mlo_ir::NestId::new(0),
+            &LoopTransform::identity(2),
+            &plan_rm,
+        );
+        let t_cm = gen.nest_trace(
+            &p,
+            mlo_ir::NestId::new(0),
+            &LoopTransform::identity(2),
+            &plan_cm,
+        );
         assert_eq!(t_rm.len(), t_cm.len());
         // Under column-major, consecutive j iterations of A[i][j] jump by a
         // full column (8 elements * 4 bytes).
@@ -269,7 +290,12 @@ mod tests {
             array_alignment: 64,
         });
         let plan = gen.plan_memory(&p, &asg).unwrap();
-        let trace = gen.nest_trace(&p, mlo_ir::NestId::new(0), &LoopTransform::identity(1), &plan);
+        let trace = gen.nest_trace(
+            &p,
+            mlo_ir::NestId::new(0),
+            &LoopTransform::identity(1),
+            &plan,
+        );
         assert!(trace.len() <= 100);
         assert!(trace.len() >= 90);
     }

@@ -62,7 +62,13 @@ fn row_major_versus_column_major_traversal_of_a_big_matrix() {
     let a = builder.array("A", vec![n, n], 4);
     builder.nest("walk", vec![("j", 0, n), ("i", 0, n)], |nest| {
         // A[i][j] with i innermost: column-order traversal.
-        nest.read(a, AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build());
+        nest.read(
+            a,
+            AccessBuilder::new(2, 2)
+                .row(0, [0, 1])
+                .row(1, [1, 0])
+                .build(),
+        );
     });
     let program = builder.build();
     let simulator = Simulator::new(MachineConfig::date05())
@@ -99,7 +105,13 @@ fn diagonal_layout_serves_wavefront_traversals() {
     let mut builder = ProgramBuilder::new("wavefront");
     let a = builder.array("A", vec![2 * n, n], 4);
     builder.nest("sweep", vec![("i1", 0, n), ("i2", 0, n)], |nest| {
-        nest.read(a, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build());
+        nest.read(
+            a,
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 1])
+                .row(1, [0, 1])
+                .build(),
+        );
     });
     let program = builder.build();
     let simulator = Simulator::new(MachineConfig::date05())

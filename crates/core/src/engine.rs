@@ -1,0 +1,793 @@
+//! The reusable optimization engine and its sessions.
+//!
+//! [`Engine`] owns the [`StrategyRegistry`] and the defaults; a
+//! [`Session`] amortizes the expensive per-program work — candidate
+//! enumeration and constraint-network construction — across requests, keyed
+//! by program identity.  [`Session::optimize_many`] fans a batch of
+//! (program, request) pairs out over worker threads, which is the shape
+//! every future scaling layer (sharding, async serving, multi-backend)
+//! builds on.
+//!
+//! ```
+//! use mlo_core::{Engine, OptimizeRequest};
+//! use mlo_benchmarks::Benchmark;
+//!
+//! let engine = Engine::new();
+//! let session = engine.session();
+//! let program = Benchmark::MedIm04.program();
+//! let request = OptimizeRequest::strategy("enhanced")
+//!     .candidates(Benchmark::MedIm04.candidate_options());
+//! // Two requests, one network build: the session caches per program.
+//! let first = session.optimize(&program, &request).unwrap();
+//! let second = session.optimize(&program, &request.clone().seed(1)).unwrap();
+//! assert_eq!(first.assignment, second.assignment);
+//! assert_eq!(session.prepared_programs(), 1);
+//! ```
+
+use crate::error::{Fallback, FallbackReason, OptimizeError};
+use crate::request::OptimizeRequest;
+use crate::strategy::{LayoutStrategy, StrategyContext, StrategyOutcome, StrategyRegistry};
+use mlo_cachesim::{SimulationReport, Simulator};
+use mlo_csp::{SearchLimits, SearchStats};
+use mlo_ir::Program;
+use mlo_layout::{
+    heuristic_assignment, CandidateOptions, CandidateSet, LayoutAssignment, LayoutNetwork,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Summary of the constraint network an optimization run worked on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkSummary {
+    /// Number of variables (arrays).
+    pub variables: usize,
+    /// Number of binary constraints.
+    pub constraints: usize,
+    /// Total domain size (the paper's Table 1 metric).
+    pub total_domain_size: usize,
+    /// Product of domain sizes (naive search-space size).
+    pub search_space: f64,
+}
+
+impl NetworkSummary {
+    fn of(network: &LayoutNetwork) -> Self {
+        let net = network.network();
+        NetworkSummary {
+            variables: net.variable_count(),
+            constraints: net.constraint_count(),
+            total_domain_size: net.total_domain_size(),
+            search_space: net.search_space_size(),
+        }
+    }
+}
+
+/// The per-program state a session caches: candidate layouts and the
+/// constraint network, both built lazily at most once.
+#[derive(Debug, Default)]
+pub struct PreparedProgram {
+    options: CandidateOptions,
+    candidates: OnceLock<CandidateSet>,
+    network: OnceLock<LayoutNetwork>,
+}
+
+impl PreparedProgram {
+    fn new(options: CandidateOptions) -> Self {
+        PreparedProgram {
+            options,
+            candidates: OnceLock::new(),
+            network: OnceLock::new(),
+        }
+    }
+
+    /// The candidate set, enumerating it on first use.
+    pub fn candidates(&self, program: &Program) -> &CandidateSet {
+        self.candidates
+            .get_or_init(|| CandidateSet::enumerate(program, &self.options))
+    }
+
+    /// The constraint network, building it (from the cached candidates) on
+    /// first use.
+    pub fn network(&self, program: &Program) -> &LayoutNetwork {
+        self.network
+            .get_or_init(|| mlo_layout::build_network_from(program, self.candidates(program)))
+    }
+
+    /// Whether the network has been built yet.
+    pub fn network_built(&self) -> bool {
+        self.network.get().is_some()
+    }
+}
+
+/// The result of one successful optimization request.
+#[derive(Debug, Clone)]
+pub struct OptimizeReport {
+    /// The layout chosen for every array (always complete).
+    pub assignment: LayoutAssignment,
+    /// The registry name of the strategy that ran.
+    pub strategy: String,
+    /// Time spent determining the layouts (the paper's Table 2 metric).
+    pub solution_time: Duration,
+    /// Search statistics, when a constraint search ran.
+    pub search_stats: Option<SearchStats>,
+    /// Whether the constraint network had a solution: `Some(true)` when the
+    /// strategy proved one, `Some(false)` when it proved none exists,
+    /// `None` when no proof was attempted or reached (heuristic, exhausted
+    /// budgets, local search without a find).
+    pub satisfiable: Option<bool>,
+    /// Whether (and why) the layouts came from the heuristic baseline.
+    pub fallback: Fallback,
+    /// Network shape, when the strategy consulted the network.
+    pub network: Option<NetworkSummary>,
+    /// Cache-simulation results, when the request asked for evaluation.
+    pub evaluation: Option<SimulationReport>,
+}
+
+impl OptimizeReport {
+    /// Whether the layouts came from the heuristic fallback.
+    pub fn fell_back(&self) -> bool {
+        self.fallback.fell_back()
+    }
+}
+
+/// Builds [`Engine`] values with a customized registry or defaults.
+#[derive(Debug, Default)]
+pub struct EngineBuilder {
+    registry: Option<StrategyRegistry>,
+    default_candidates: CandidateOptions,
+    parallelism: Option<usize>,
+}
+
+impl EngineBuilder {
+    /// Starts from the built-in registry and default options.
+    pub fn new() -> Self {
+        EngineBuilder::default()
+    }
+
+    /// Replaces the whole registry.
+    pub fn registry(mut self, registry: StrategyRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Registers one extra (or replacement) strategy on top of the
+    /// built-ins.
+    pub fn strategy(mut self, strategy: Arc<dyn LayoutStrategy>) -> Self {
+        let mut registry = self.registry.unwrap_or_else(StrategyRegistry::builtin);
+        registry.register(strategy);
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Default candidate options for requests (requests can still override
+    /// per run — this is the session-cache key default).
+    pub fn default_candidates(mut self, options: CandidateOptions) -> Self {
+        self.default_candidates = options;
+        self
+    }
+
+    /// Caps the worker threads `optimize_many` uses (default: available
+    /// parallelism).
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = Some(workers.max(1));
+        self
+    }
+
+    /// Finishes the engine.
+    pub fn build(self) -> Engine {
+        Engine {
+            registry: Arc::new(self.registry.unwrap_or_else(StrategyRegistry::builtin)),
+            default_candidates: self.default_candidates,
+            parallelism: self.parallelism,
+        }
+    }
+}
+
+/// The reusable, thread-safe optimization engine.
+///
+/// An engine is cheap to clone (the registry is shared); per-program caches
+/// live in [`Session`]s so callers control cache lifetime.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    registry: Arc<StrategyRegistry>,
+    default_candidates: CandidateOptions,
+    parallelism: Option<usize>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with the seven built-in strategies.
+    pub fn new() -> Self {
+        EngineBuilder::new().build()
+    }
+
+    /// Starts a customized engine build.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The strategy registry.
+    pub fn registry(&self) -> &StrategyRegistry {
+        &self.registry
+    }
+
+    /// A request for the named strategy pre-filled with the engine's
+    /// default candidate options.
+    pub fn request(&self, strategy: impl Into<String>) -> OptimizeRequest {
+        OptimizeRequest::strategy(strategy).candidates(self.default_candidates)
+    }
+
+    /// Opens a session: requests submitted through one session share
+    /// candidate sets and constraint networks per program.
+    pub fn session(&self) -> Session {
+        Session {
+            engine: self.clone(),
+            prepared: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// One-shot convenience: a throw-away session serving a single request.
+    pub fn optimize(
+        &self,
+        program: &Program,
+        request: &OptimizeRequest,
+    ) -> Result<OptimizeReport, OptimizeError> {
+        self.session().optimize(program, request)
+    }
+
+    fn workers_for(&self, jobs: usize) -> usize {
+        let available = self
+            .parallelism
+            .or_else(|| thread::available_parallelism().ok().map(|n| n.get()))
+            .unwrap_or(1);
+        available.min(jobs).max(1)
+    }
+}
+
+/// A cache key identifying one (program, candidate options) pair.
+///
+/// Program has no `Hash` impl; its `Debug` rendering covers the full
+/// structure (arrays, nests, accesses) and is stable within a build.  The
+/// full rendering is the key — not a truncated hash of it — so two distinct
+/// programs can never silently share a cache entry.  Rendering is linear in
+/// program size; every request also runs a search or the heuristic pass,
+/// both of which are at least linear in program size themselves, so the key
+/// is never the dominant per-request cost.
+fn program_key(program: &Program, options: &CandidateOptions) -> String {
+    format!("{options:?}\u{1f}{program:?}")
+}
+
+/// A scope that amortizes candidate enumeration and network construction
+/// across requests, keyed by program identity.
+#[derive(Debug)]
+pub struct Session {
+    engine: Engine,
+    prepared: Mutex<HashMap<String, Arc<PreparedProgram>>>,
+}
+
+impl Session {
+    /// The engine this session came from.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Number of distinct (program, candidate-options) pairs prepared so
+    /// far.
+    pub fn prepared_programs(&self) -> usize {
+        self.prepared.lock().expect("session cache poisoned").len()
+    }
+
+    /// The prepared (cached) state of a program under the given candidate
+    /// options, building the entry on first use.
+    pub fn prepared(&self, program: &Program, options: &CandidateOptions) -> Arc<PreparedProgram> {
+        let key = program_key(program, options);
+        let mut cache = self.prepared.lock().expect("session cache poisoned");
+        cache
+            .entry(key)
+            .or_insert_with(|| Arc::new(PreparedProgram::new(*options)))
+            .clone()
+    }
+
+    /// Serves one request.
+    pub fn optimize(
+        &self,
+        program: &Program,
+        request: &OptimizeRequest,
+    ) -> Result<OptimizeReport, OptimizeError> {
+        let strategy = self.engine.registry.get(&request.strategy).ok_or_else(|| {
+            OptimizeError::UnknownStrategy {
+                name: request.strategy.clone(),
+                known: self.engine.registry.names(),
+            }
+        })?;
+        let prepared = self.prepared(program, &request.candidates);
+
+        let start = Instant::now();
+        let limits = SearchLimits {
+            node_limit: request.node_limit,
+            deadline: request.time_limit.map(|budget| start + budget),
+        };
+        let ctx = StrategyContext::new(program, &prepared, request, limits);
+        let outcome = strategy.determine(&ctx)?;
+        let solution_time = start.elapsed();
+
+        // Only report the network shape when *this* request's strategy
+        // consulted it — a warm session cache from earlier requests must not
+        // change what a heuristic report looks like.
+        let network_summary = ctx
+            .network_consulted()
+            .then(|| NetworkSummary::of(prepared.network(program)));
+        let mut report = match outcome {
+            StrategyOutcome::Solved {
+                assignment,
+                stats,
+                proven_satisfiable,
+            } => OptimizeReport {
+                assignment,
+                strategy: strategy.name().to_string(),
+                solution_time,
+                search_stats: stats,
+                satisfiable: proven_satisfiable.then_some(true),
+                fallback: Fallback::None,
+                network: network_summary,
+                evaluation: None,
+            },
+            StrategyOutcome::Unsatisfiable { stats } => {
+                if !request.allows_fallback(FallbackReason::Unsatisfiable) {
+                    return Err(OptimizeError::Unsatisfiable {
+                        strategy: strategy.name().to_string(),
+                        stats,
+                    });
+                }
+                OptimizeReport {
+                    assignment: heuristic_assignment(program).assignment,
+                    strategy: strategy.name().to_string(),
+                    solution_time: start.elapsed(),
+                    search_stats: stats,
+                    satisfiable: Some(false),
+                    fallback: Fallback::Heuristic(FallbackReason::Unsatisfiable),
+                    network: network_summary,
+                    evaluation: None,
+                }
+            }
+            StrategyOutcome::Exhausted { reason, stats } => {
+                if !request.allows_fallback(reason) {
+                    return Err(OptimizeError::BudgetExhausted {
+                        strategy: strategy.name().to_string(),
+                        reason,
+                        stats,
+                    });
+                }
+                OptimizeReport {
+                    assignment: heuristic_assignment(program).assignment,
+                    strategy: strategy.name().to_string(),
+                    solution_time: start.elapsed(),
+                    search_stats: stats,
+                    satisfiable: None,
+                    fallback: Fallback::Heuristic(reason),
+                    network: network_summary,
+                    evaluation: None,
+                }
+            }
+        };
+
+        if let Some(evaluation) = &request.evaluation {
+            let simulator = Simulator::new(evaluation.machine).trace_options(evaluation.trace);
+            report.evaluation = Some(simulator.simulate(program, &report.assignment).map_err(
+                |error| OptimizeError::Evaluation {
+                    strategy: strategy.name().to_string(),
+                    message: error.to_string(),
+                },
+            )?);
+        }
+        Ok(report)
+    }
+
+    /// Serves a batch of requests across worker threads.
+    ///
+    /// Results come back in submission order, one per job, each
+    /// independently a success or a typed error — one failed request never
+    /// poisons the batch.  Jobs against the same program share this
+    /// session's prepared networks.
+    pub fn optimize_many(
+        &self,
+        jobs: &[(&Program, OptimizeRequest)],
+    ) -> Vec<Result<OptimizeReport, OptimizeError>> {
+        let workers = self.engine.workers_for(jobs.len());
+        if workers <= 1 {
+            return jobs
+                .iter()
+                .map(|(program, request)| self.optimize(program, request))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<OptimizeReport, OptimizeError>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= jobs.len() {
+                        break;
+                    }
+                    let (program, request) = &jobs[index];
+                    let result = self.optimize(program, request);
+                    *slots[index].lock().expect("batch slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("batch slot poisoned")
+                    .expect("every batch slot is filled")
+            })
+            .collect()
+    }
+
+    /// Computes a per-segment **dynamic layout plan** (the paper's second
+    /// future direction) using this session's candidate defaults.
+    pub fn dynamic_plan(
+        &self,
+        program: &Program,
+        window: usize,
+        candidates: &CandidateOptions,
+    ) -> mlo_layout::DynamicPlan {
+        let options = mlo_layout::DynamicOptions {
+            candidates: *candidates,
+            ..mlo_layout::DynamicOptions::default()
+        };
+        mlo_layout::dynamic_plan(
+            program,
+            &mlo_layout::Segmentation::by_window(program, window.max(1)),
+            &options,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::EvaluationOptions;
+    use crate::strategy::SchemeStrategy;
+    use mlo_benchmarks::Benchmark;
+    use mlo_cachesim::MachineConfig;
+    use mlo_layout::quality::{assignment_score, ideal_score};
+
+    #[test]
+    fn unknown_strategies_are_reported_with_the_known_names() {
+        let engine = Engine::new();
+        let program = Benchmark::MxM.program();
+        let err = engine
+            .optimize(&program, &OptimizeRequest::strategy("turbo"))
+            .unwrap_err();
+        match err {
+            OptimizeError::UnknownStrategy { name, known } => {
+                assert_eq!(name, "turbo");
+                assert!(known.contains(&"enhanced".to_string()));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sessions_share_prepared_networks_across_requests() {
+        let engine = Engine::new();
+        let session = engine.session();
+        let program = Benchmark::MedIm04.program();
+        let request = OptimizeRequest::strategy("enhanced")
+            .candidates(Benchmark::MedIm04.candidate_options());
+        let a = session.optimize(&program, &request).unwrap();
+        let b = session
+            .optimize(&program, &request.clone().seed(99))
+            .unwrap();
+        assert_eq!(session.prepared_programs(), 1);
+        assert_eq!(a.assignment, b.assignment);
+        // Different candidate options are a different cache entry.
+        let wide = request.clone().candidates(CandidateOptions {
+            max_transforms_per_nest: 2,
+            ..Benchmark::MedIm04.candidate_options()
+        });
+        session.optimize(&program, &wide).unwrap();
+        assert_eq!(session.prepared_programs(), 2);
+    }
+
+    #[test]
+    fn unsatisfiable_networks_fall_back_with_a_typed_reason() {
+        let engine = Engine::new();
+        let program = Benchmark::MxM.program();
+        let report = engine
+            .optimize(
+                &program,
+                &OptimizeRequest::strategy("enhanced")
+                    .candidates(Benchmark::MxM.candidate_options()),
+            )
+            .unwrap();
+        assert_eq!(report.satisfiable, Some(false));
+        assert_eq!(
+            report.fallback,
+            Fallback::Heuristic(FallbackReason::Unsatisfiable)
+        );
+        let heuristic = engine
+            .optimize(&program, &OptimizeRequest::strategy("heuristic"))
+            .unwrap();
+        assert_eq!(report.assignment, heuristic.assignment);
+    }
+
+    #[test]
+    fn fallback_can_be_turned_into_a_typed_error() {
+        let engine = Engine::new();
+        let program = Benchmark::MxM.program();
+        let err = engine
+            .optimize(
+                &program,
+                &OptimizeRequest::strategy("enhanced")
+                    .candidates(Benchmark::MxM.candidate_options())
+                    .fail_instead_of_fallback(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, OptimizeError::Unsatisfiable { .. }));
+        assert_eq!(err.strategy(), Some("enhanced"));
+    }
+
+    #[test]
+    fn node_budgets_produce_budget_exhausted_reports_and_errors() {
+        let engine = Engine::new();
+        let program = Benchmark::Radar.program();
+        let request = OptimizeRequest::strategy("base")
+            .candidates(Benchmark::Radar.candidate_options())
+            .seed(5)
+            .node_limit(3);
+        let report = engine.optimize(&program, &request).unwrap();
+        assert_eq!(
+            report.fallback,
+            Fallback::Heuristic(FallbackReason::NodeBudgetExhausted)
+        );
+        assert_eq!(report.satisfiable, None);
+        let err = engine
+            .optimize(&program, &request.clone().fail_instead_of_fallback())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            OptimizeError::BudgetExhausted {
+                reason: FallbackReason::NodeBudgetExhausted,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn local_search_node_budget_is_a_total_cap_across_restarts() {
+        // MxM's network is unsatisfiable, so local search burns its whole
+        // budget; the budget must bound the total repair steps, not the
+        // per-restart steps (which would allow max_restarts times more).
+        let engine = Engine::new();
+        let program = Benchmark::MxM.program();
+        let report = engine
+            .optimize(
+                &program,
+                &OptimizeRequest::strategy("local-search")
+                    .candidates(Benchmark::MxM.candidate_options())
+                    .node_limit(500),
+            )
+            .unwrap();
+        let stats = report.search_stats.expect("local search reports stats");
+        assert!(
+            stats.nodes_visited <= 500,
+            "visited {} nodes under a 500-node budget",
+            stats.nodes_visited
+        );
+        assert_eq!(
+            report.fallback,
+            Fallback::Heuristic(FallbackReason::Inconclusive)
+        );
+    }
+
+    #[test]
+    fn deadlines_are_honoured() {
+        let engine = Engine::new();
+        let program = Benchmark::Radar.program();
+        // A deadline that has already passed: the search must abort almost
+        // immediately and fall back.
+        let report = engine
+            .optimize(
+                &program,
+                &OptimizeRequest::strategy("base")
+                    .candidates(Benchmark::Radar.candidate_options())
+                    .time_limit(Duration::ZERO),
+            )
+            .unwrap();
+        assert_eq!(
+            report.fallback,
+            Fallback::Heuristic(FallbackReason::DeadlineExceeded)
+        );
+        for array in program.arrays() {
+            assert!(report.assignment.contains(array.id()));
+        }
+    }
+
+    #[test]
+    fn identical_requests_have_identical_stats() {
+        let engine = Engine::new();
+        let session = engine.session();
+        let program = Benchmark::MxM.program();
+        let request = OptimizeRequest::strategy("base")
+            .candidates(Benchmark::MxM.candidate_options())
+            .seed(1234);
+        let a = session.optimize(&program, &request).unwrap();
+        let b = session.optimize(&program, &request).unwrap();
+        assert_eq!(a.search_stats, b.search_stats);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn heuristic_requests_never_build_the_network() {
+        let engine = Engine::new();
+        let session = engine.session();
+        let program = Benchmark::Track.program();
+        let report = session
+            .optimize(&program, &OptimizeRequest::strategy("heuristic"))
+            .unwrap();
+        assert_eq!(report.network, None);
+        assert_eq!(report.satisfiable, None);
+        assert!(report.search_stats.is_none());
+        let prepared = session.prepared(&program, &CandidateOptions::default());
+        assert!(!prepared.network_built());
+    }
+
+    #[test]
+    fn heuristic_reports_ignore_warm_session_network_state() {
+        // An earlier request builds the cached network; a later heuristic
+        // request on the same session must still report `network: None` —
+        // the field reflects what *this* strategy consulted.
+        let session = Engine::new().session();
+        let program = Benchmark::MxM.program();
+        let options = Benchmark::MxM.candidate_options();
+        let enhanced = session
+            .optimize(
+                &program,
+                &OptimizeRequest::strategy("enhanced").candidates(options),
+            )
+            .unwrap();
+        assert!(enhanced.network.is_some());
+        let heuristic = session
+            .optimize(
+                &program,
+                &OptimizeRequest::strategy("heuristic").candidates(options),
+            )
+            .unwrap();
+        assert_eq!(heuristic.network, None);
+    }
+
+    #[test]
+    fn weighted_requests_honour_deadlines() {
+        let engine = Engine::new();
+        let program = Benchmark::Track.program();
+        let report = engine
+            .optimize(
+                &program,
+                &OptimizeRequest::strategy("weighted")
+                    .candidates(Benchmark::Track.candidate_options())
+                    .time_limit(Duration::ZERO),
+            )
+            .unwrap();
+        assert_eq!(
+            report.fallback,
+            Fallback::Heuristic(FallbackReason::DeadlineExceeded)
+        );
+        for array in program.arrays() {
+            assert!(report.assignment.contains(array.id()));
+        }
+    }
+
+    #[test]
+    fn optimize_many_matches_sequential_results() {
+        let engine = Engine::new();
+        let session = engine.session();
+        let programs: Vec<_> = [Benchmark::MxM, Benchmark::MedIm04, Benchmark::Track]
+            .iter()
+            .map(|b| (b.program(), b.candidate_options()))
+            .collect();
+        let mut jobs: Vec<(&Program, OptimizeRequest)> = Vec::new();
+        for (program, options) in &programs {
+            for strategy in ["heuristic", "enhanced"] {
+                jobs.push((
+                    program,
+                    OptimizeRequest::strategy(strategy).candidates(*options),
+                ));
+            }
+        }
+        let batch = session.optimize_many(&jobs);
+        assert_eq!(batch.len(), jobs.len());
+        for ((program, request), result) in jobs.iter().zip(&batch) {
+            let sequential = session.optimize(program, request).unwrap();
+            let parallel = result.as_ref().unwrap();
+            assert_eq!(parallel.assignment, sequential.assignment);
+            assert_eq!(parallel.satisfiable, sequential.satisfiable);
+            assert_eq!(parallel.fallback, sequential.fallback);
+        }
+        // One prepared entry per program (both strategies share it).
+        assert_eq!(session.prepared_programs(), 3);
+    }
+
+    #[test]
+    fn evaluation_attaches_a_simulation_report() {
+        let engine = Engine::new();
+        let program = Benchmark::MxM.program();
+        // Sub-sample aggressively: this asserts plumbing, not cycle counts.
+        let trace = mlo_cachesim::TraceOptions {
+            max_trip_per_loop: 8,
+            array_alignment: 64,
+        };
+        let report = engine
+            .optimize(
+                &program,
+                &OptimizeRequest::strategy("heuristic")
+                    .evaluate(EvaluationOptions::on(MachineConfig::tiny()).trace(trace)),
+            )
+            .unwrap();
+        let evaluation = report.evaluation.expect("evaluation requested");
+        assert!(evaluation.total_cycles > 0);
+    }
+
+    #[test]
+    fn custom_strategies_slot_into_the_engine() {
+        #[derive(Debug)]
+        struct PortfolioStrategy;
+        impl LayoutStrategy for PortfolioStrategy {
+            fn name(&self) -> &str {
+                "portfolio"
+            }
+            fn description(&self) -> &str {
+                "enhanced, then forward-checking on exhaustion"
+            }
+            fn determine(
+                &self,
+                ctx: &StrategyContext<'_>,
+            ) -> Result<StrategyOutcome, OptimizeError> {
+                match SchemeStrategy::enhanced().determine(ctx)? {
+                    StrategyOutcome::Exhausted { .. } => {
+                        SchemeStrategy::forward_checking().determine(ctx)
+                    }
+                    done => Ok(done),
+                }
+            }
+        }
+        let engine = Engine::builder()
+            .strategy(Arc::new(PortfolioStrategy))
+            .build();
+        assert_eq!(engine.registry().len(), 8);
+        let program = Benchmark::MedIm04.program();
+        let report = engine
+            .optimize(
+                &program,
+                &OptimizeRequest::strategy("portfolio")
+                    .candidates(Benchmark::MedIm04.candidate_options()),
+            )
+            .unwrap();
+        assert_eq!(report.strategy, "portfolio");
+        assert_eq!(report.satisfiable, Some(true));
+        assert_eq!(
+            assignment_score(&program, &report.assignment),
+            ideal_score(&program)
+        );
+    }
+
+    #[test]
+    fn dynamic_plan_is_available_on_sessions() {
+        let engine = Engine::new();
+        let session = engine.session();
+        let program = Benchmark::Track.program();
+        let plan = session.dynamic_plan(&program, 2, &CandidateOptions::default());
+        assert_eq!(plan.schedules.len(), program.arrays().len());
+    }
+}

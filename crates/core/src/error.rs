@@ -1,0 +1,204 @@
+//! Typed results of an optimization request.
+//!
+//! The old `Optimizer` facade reported failure as a silent
+//! `fell_back_to_heuristic: bool`; callers could not tell *why* the search
+//! produced no solution (proven unsatisfiable? node budget? deadline?) and
+//! batch drivers could not route failures.  The engine API replaces that
+//! flag with two typed values:
+//!
+//! * [`OptimizeError`] — the request failed and (per its
+//!   [`FallbackPolicy`](crate::request::FallbackPolicy)) no fallback was
+//!   wanted,
+//! * [`Fallback`] — the request succeeded but the returned layouts came
+//!   from the heuristic baseline, with the [`FallbackReason`] preserved.
+
+use mlo_csp::SearchStats;
+use std::fmt;
+
+/// Why a strategy could not return a constraint-network solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FallbackReason {
+    /// The search proved the network has no solution.
+    Unsatisfiable,
+    /// The node budget ran out before the search finished.
+    NodeBudgetExhausted,
+    /// The wall-clock deadline passed before the search finished.
+    DeadlineExceeded,
+    /// The strategy's own budget ran out without a proof either way
+    /// (e.g. local search restarts).
+    Inconclusive,
+}
+
+impl fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FallbackReason::Unsatisfiable => write!(f, "network proven unsatisfiable"),
+            FallbackReason::NodeBudgetExhausted => write!(f, "node budget exhausted"),
+            FallbackReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+            FallbackReason::Inconclusive => write!(f, "search budget exhausted without a proof"),
+        }
+    }
+}
+
+/// Whether (and why) a report's layouts came from the heuristic baseline
+/// instead of the requested strategy's own search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fallback {
+    /// The requested strategy produced the layouts itself.
+    None,
+    /// The layouts are the heuristic baseline's, because the strategy's
+    /// search ended for the recorded reason.
+    Heuristic(FallbackReason),
+}
+
+impl Fallback {
+    /// Whether a fallback happened.
+    pub fn fell_back(&self) -> bool {
+        matches!(self, Fallback::Heuristic(_))
+    }
+
+    /// The reason, when a fallback happened.
+    pub fn reason(&self) -> Option<FallbackReason> {
+        match self {
+            Fallback::None => None,
+            Fallback::Heuristic(reason) => Some(*reason),
+        }
+    }
+}
+
+impl fmt::Display for Fallback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fallback::None => write!(f, "no fallback"),
+            Fallback::Heuristic(reason) => write!(f, "heuristic fallback ({reason})"),
+        }
+    }
+}
+
+/// A failed optimization request.
+#[derive(Debug, Clone)]
+pub enum OptimizeError {
+    /// The request named a strategy the registry does not know.
+    UnknownStrategy {
+        /// The requested name.
+        name: String,
+        /// The names the registry does know, for the error message.
+        known: Vec<String>,
+    },
+    /// The constraint network was proven unsatisfiable and the request
+    /// asked for an error instead of the heuristic fallback.
+    Unsatisfiable {
+        /// The strategy that ran.
+        strategy: String,
+        /// Search counters of the proving run, when available.
+        stats: Option<SearchStats>,
+    },
+    /// A node or time budget ran out and the request asked for an error
+    /// instead of the heuristic fallback.
+    BudgetExhausted {
+        /// The strategy that ran.
+        strategy: String,
+        /// Which budget ran out.
+        reason: FallbackReason,
+        /// Search counters accumulated before the cutoff, when available.
+        stats: Option<SearchStats>,
+    },
+    /// The requested cache-simulation evaluation failed.
+    Evaluation {
+        /// The strategy that ran.
+        strategy: String,
+        /// The simulator's error rendering.
+        message: String,
+    },
+    /// A strategy-specific failure (the catch-all for user strategies).
+    Strategy {
+        /// The strategy that ran.
+        strategy: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl OptimizeError {
+    /// The strategy the error came from, when one was resolved.
+    pub fn strategy(&self) -> Option<&str> {
+        match self {
+            OptimizeError::UnknownStrategy { .. } => None,
+            OptimizeError::Unsatisfiable { strategy, .. }
+            | OptimizeError::BudgetExhausted { strategy, .. }
+            | OptimizeError::Evaluation { strategy, .. }
+            | OptimizeError::Strategy { strategy, .. } => Some(strategy),
+        }
+    }
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizeError::UnknownStrategy { name, known } => {
+                write!(
+                    f,
+                    "unknown strategy {name:?}; known strategies: {}",
+                    known.join(", ")
+                )
+            }
+            OptimizeError::Unsatisfiable { strategy, .. } => {
+                write!(f, "{strategy}: constraint network proven unsatisfiable")
+            }
+            OptimizeError::BudgetExhausted {
+                strategy, reason, ..
+            } => {
+                write!(f, "{strategy}: {reason}")
+            }
+            OptimizeError::Evaluation { strategy, message } => {
+                write!(f, "{strategy}: cache evaluation failed: {message}")
+            }
+            OptimizeError::Strategy { strategy, message } => {
+                write!(f, "{strategy}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallback_accessors() {
+        assert!(!Fallback::None.fell_back());
+        assert_eq!(Fallback::None.reason(), None);
+        let fb = Fallback::Heuristic(FallbackReason::Unsatisfiable);
+        assert!(fb.fell_back());
+        assert_eq!(fb.reason(), Some(FallbackReason::Unsatisfiable));
+        assert!(fb.to_string().contains("unsatisfiable"));
+    }
+
+    #[test]
+    fn error_display_names_the_strategy() {
+        let e = OptimizeError::UnknownStrategy {
+            name: "turbo".into(),
+            known: vec!["base".into(), "enhanced".into()],
+        };
+        assert!(e.to_string().contains("turbo"));
+        assert!(e.to_string().contains("enhanced"));
+        assert_eq!(e.strategy(), None);
+
+        let e = OptimizeError::BudgetExhausted {
+            strategy: "base".into(),
+            reason: FallbackReason::NodeBudgetExhausted,
+            stats: None,
+        };
+        assert!(e.to_string().contains("node budget"));
+        assert_eq!(e.strategy(), Some("base"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OptimizeError>();
+        assert_send_sync::<Fallback>();
+    }
+}

@@ -5,8 +5,9 @@
 //! hot parts.  `EXPERIMENTS.md` records paper-vs-measured values produced by
 //! these runners.
 
-use crate::optimizer::{Optimizer, OptimizerOptions, OptimizerScheme};
+use crate::engine::Engine;
 use crate::report::TextTable;
+use crate::request::OptimizeRequest;
 use mlo_benchmarks::Benchmark;
 use mlo_cachesim::{MachineConfig, Simulator, TraceOptions};
 use mlo_csp::{Scheme as CspScheme, SearchEngine, SearchStats, ValueOrdering, VariableOrdering};
@@ -82,23 +83,33 @@ pub struct Table2Row {
 
 /// Runs the Table 2 experiment (layout-determination time) for one
 /// benchmark.
+///
+/// All three schemes run through one [`Session`], so the candidate sets and
+/// the constraint network are built once per benchmark; the reported times
+/// are pure layout-determination (search) times, exactly what Table 2
+/// measures.
 pub fn table2_for(benchmark: Benchmark) -> Table2Row {
+    let session = Engine::new().session();
     let program = benchmark.program();
-    let options = |scheme, node_limit| OptimizerOptions {
-        scheme,
-        candidates: benchmark.candidate_options(),
-        node_limit,
-        ..OptimizerOptions::default()
+    let request = |strategy: &str, node_limit: Option<u64>| {
+        let mut request =
+            OptimizeRequest::strategy(strategy).candidates(benchmark.candidate_options());
+        request.node_limit = node_limit;
+        request
     };
-    let heuristic =
-        Optimizer::with_options(options(OptimizerScheme::Heuristic, None)).optimize(&program);
-    let base = Optimizer::with_options(options(
-        OptimizerScheme::Base,
-        Some(BASE_SCHEME_NODE_LIMIT),
-    ))
-    .optimize(&program);
-    let enhanced =
-        Optimizer::with_options(options(OptimizerScheme::Enhanced, None)).optimize(&program);
+    let run = |strategy: &str, node_limit: Option<u64>| {
+        session
+            .optimize(&program, &request(strategy, node_limit))
+            .expect("table 2 requests use the heuristic fallback policy")
+    };
+    // Force the lazy candidate/network build now so no row's solution_time
+    // is charged for network construction.
+    session
+        .prepared(&program, &benchmark.candidate_options())
+        .network(&program);
+    let heuristic = run("heuristic", None);
+    let base = run("base", Some(BASE_SCHEME_NODE_LIMIT));
+    let enhanced = run("enhanced", None);
     let base_stats = base.search_stats.unwrap_or_default();
     Table2Row {
         benchmark,
@@ -155,13 +166,8 @@ pub fn table3_trace_options() -> TraceOptions {
 /// Runs the Table 3 experiment (simulated execution time) for one benchmark
 /// on a given machine.
 pub fn table3_for(benchmark: Benchmark, machine: MachineConfig) -> Table3Row {
+    let session = Engine::new().session();
     let program = benchmark.program();
-    let options = |scheme, node_limit| OptimizerOptions {
-        scheme,
-        candidates: benchmark.candidate_options(),
-        node_limit,
-        ..OptimizerOptions::default()
-    };
     let simulator = Simulator::new(machine).trace_options(table3_trace_options());
 
     let original_assignment = LayoutAssignment::all_row_major(&program);
@@ -171,11 +177,16 @@ pub fn table3_for(benchmark: Benchmark, machine: MachineConfig) -> Table3Row {
         .simulate(&program, &original_assignment)
         .expect("row-major layouts always linearize");
 
-    let run = |scheme: OptimizerScheme, node_limit: Option<u64>| {
-        let outcome = Optimizer::with_options(options(scheme, node_limit)).optimize(&program);
+    let run = |strategy: &str, node_limit: Option<u64>| {
+        let mut request =
+            OptimizeRequest::strategy(strategy).candidates(benchmark.candidate_options());
+        request.node_limit = node_limit;
+        let report = session
+            .optimize(&program, &request)
+            .expect("table 3 requests use the heuristic fallback policy");
         simulator
-            .simulate(&program, &outcome.assignment)
-            .expect("optimizer assignments are complete")
+            .simulate(&program, &report.assignment)
+            .expect("engine assignments are complete")
             .total_cycles
     };
 
@@ -184,9 +195,9 @@ pub fn table3_for(benchmark: Benchmark, machine: MachineConfig) -> Table3Row {
     Table3Row {
         benchmark,
         original_cycles: original.total_cycles,
-        heuristic_cycles: run(OptimizerScheme::Heuristic, None),
-        base_cycles: run(OptimizerScheme::Base, Some(BASE_SCHEME_NODE_LIMIT)),
-        enhanced_cycles: run(OptimizerScheme::Enhanced, None),
+        heuristic_cycles: run("heuristic", None),
+        base_cycles: run("base", Some(BASE_SCHEME_NODE_LIMIT)),
+        enhanced_cycles: run("enhanced", None),
     }
 }
 
@@ -293,7 +304,8 @@ pub fn figure3() -> Figure3Demo {
         .expect("values are in the domains");
     // Qi is compatible with everything (purely an innocent bystander).
     let all_pairs: Vec<(i32, i32)> = (0..4).flat_map(|a| (0..4).map(move |b| (a, b))).collect();
-    net.add_constraint(qk, qi, all_pairs).expect("values are in the domains");
+    net.add_constraint(qk, qi, all_pairs)
+        .expect("values are in the domains");
 
     let chronological = SearchEngine {
         variable_ordering: VariableOrdering::Lexicographic,

@@ -9,7 +9,7 @@
 //!     │  per-nest preferred layout pairs        (mlo-layout::constraints)
 //!     ▼
 //!  ConstraintNetwork<Layout> (mlo-csp)
-//!     │  base / enhanced / FC search            (mlo-csp::solver)
+//!     │  strategy-driven search                 (mlo_core::strategy)
 //!     ▼
 //!  LayoutAssignment (mlo-layout::apply)
 //!     │  address maps + traces + caches         (mlo-cachesim)
@@ -20,28 +20,63 @@
 //! # Quick start
 //!
 //! ```
-//! use mlo_core::{Optimizer, OptimizerScheme};
+//! use mlo_core::{Engine, OptimizeRequest};
 //! use mlo_benchmarks::Benchmark;
 //!
+//! let engine = Engine::new();
+//! let session = engine.session();
 //! let program = Benchmark::MxM.program();
-//! let outcome = Optimizer::new(OptimizerScheme::Enhanced).optimize(&program);
-//! assert!(outcome.assignment.len() >= program.arrays().len());
-//! println!("solved in {:?} ({} nodes)", outcome.solution_time,
-//!          outcome.search_stats.map(|s| s.nodes_visited).unwrap_or(0));
+//! let report = session
+//!     .optimize(&program, &OptimizeRequest::strategy("enhanced"))
+//!     .unwrap();
+//! assert!(report.assignment.len() >= program.arrays().len());
+//! println!("solved in {:?} ({} nodes, {})", report.solution_time,
+//!          report.search_stats.map(|s| s.nodes_visited).unwrap_or(0),
+//!          report.fallback);
 //! ```
+//!
+//! # Migrating from `Optimizer` to `Engine`
+//!
+//! The `Optimizer::new(scheme).optimize(&program)` facade is deprecated; it
+//! still works (it delegates here) but rebuilds all per-program state on
+//! every call and folds every failure into one boolean.  The mapping:
+//!
+//! | old | new |
+//! |-----|-----|
+//! | `Optimizer::new(scheme)` | `Engine::new()` + [`OptimizeRequest::strategy`]`(scheme.strategy_name())` |
+//! | `Optimizer::with_options(opts)` | `opts.to_request()` (see [`OptimizerOptions::to_request`]) |
+//! | `optimizer.optimize(&p)` | `engine.session().optimize(&p, &request)?` |
+//! | repeated `optimize` calls | one [`Session`] — candidates/networks are cached per program |
+//! | `OptimizerScheme` enum arm | a [`LayoutStrategy`] value in the [`StrategyRegistry`] (add your own via [`Engine::builder`]) |
+//! | `outcome.fell_back_to_heuristic` | [`OptimizeReport::fallback`] ([`Fallback::Heuristic`] carries the reason) or a typed [`OptimizeError`] with [`OptimizeRequest::fail_instead_of_fallback`] |
+//! | sequential loops over programs/schemes | [`Session::optimize_many`] (parallel batch) |
+//!
+//! Per-request knobs that did not exist before: a wall-clock
+//! [`OptimizeRequest::time_limit`], a per-request [`FallbackPolicy`], and
+//! inline cache-simulation evaluation via [`OptimizeRequest::evaluate`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
+pub mod error;
 pub mod experiments;
 pub mod optimizer;
 pub mod prelude;
 pub mod report;
+pub mod request;
+pub mod strategy;
 
-pub use optimizer::{
-    NetworkSummary, OptimizationOutcome, Optimizer, OptimizerOptions, OptimizerScheme,
-};
+pub use engine::{Engine, EngineBuilder, NetworkSummary, OptimizeReport, PreparedProgram, Session};
+pub use error::{Fallback, FallbackReason, OptimizeError};
+#[allow(deprecated)]
+pub use optimizer::{OptimizationOutcome, Optimizer, OptimizerOptions, OptimizerScheme};
 pub use report::TextTable;
+pub use request::{EvaluationOptions, FallbackPolicy, OptimizeRequest};
+pub use strategy::{
+    HeuristicStrategy, LayoutStrategy, LocalSearchStrategy, SchemeStrategy, StrategyContext,
+    StrategyOutcome, StrategyRegistry, WeightedStrategy,
+};
 
 #[cfg(test)]
 mod tests {
@@ -50,6 +85,17 @@ mod tests {
 
     #[test]
     fn doc_pipeline_smoke_test() {
+        let program = Benchmark::MxM.program();
+        let report = Engine::new()
+            .optimize(&program, &OptimizeRequest::strategy("heuristic"))
+            .unwrap();
+        assert_eq!(report.strategy, "heuristic");
+        assert!(report.assignment.len() >= program.arrays().len());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_quickstart_still_compiles_and_runs() {
         let program = Benchmark::MxM.program();
         let outcome = Optimizer::new(OptimizerScheme::Heuristic).optimize(&program);
         assert_eq!(outcome.scheme, OptimizerScheme::Heuristic);

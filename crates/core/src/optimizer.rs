@@ -1,15 +1,28 @@
-//! The optimizer facade: program in, layout assignment out.
+//! The legacy `Optimizer` facade, kept as a thin shim over the engine API.
+//!
+//! This module predates the session-based engine
+//! ([`Engine`](crate::Engine) / [`Session`](crate::Session)); it rebuilds
+//! the candidate sets and the constraint network on every call and reports
+//! failure through the untyped `fell_back_to_heuristic` flag.  It is kept
+//! so existing callers and the original quick start keep compiling, but
+//! new code should issue [`OptimizeRequest`](crate::OptimizeRequest)s
+//! against a session — see the migration notes in the crate-level docs.
 
-use mlo_csp::{BranchAndBound, MinConflicts, Scheme as CspScheme, SearchEngine, SearchStats};
+pub use crate::engine::NetworkSummary;
+use crate::engine::{Engine, OptimizeReport};
+use crate::request::OptimizeRequest;
+use mlo_csp::SearchStats;
 use mlo_ir::Program;
-use mlo_layout::{
-    build_network, heuristic_assignment, weights, CandidateOptions, Layout, LayoutAssignment,
-    LayoutNetwork,
-};
+use mlo_layout::{build_network, CandidateOptions, LayoutAssignment, LayoutNetwork};
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Which layout-determination scheme to run.
+///
+/// The engine API replaces this closed enum with named strategies in a
+/// [`StrategyRegistry`](crate::StrategyRegistry); the enum is kept as a
+/// convenience for the built-in seven and converts via
+/// [`OptimizerScheme::strategy_name`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OptimizerScheme {
     /// The prior linear-algebra heuristic (layout propagation ordered by
@@ -36,21 +49,42 @@ pub enum OptimizerScheme {
     LocalSearch,
 }
 
-impl fmt::Display for OptimizerScheme {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl OptimizerScheme {
+    /// All seven built-in schemes, in the canonical order.
+    pub fn all() -> [OptimizerScheme; 7] {
+        [
+            OptimizerScheme::Heuristic,
+            OptimizerScheme::Base,
+            OptimizerScheme::Enhanced,
+            OptimizerScheme::ForwardChecking,
+            OptimizerScheme::FullPropagation,
+            OptimizerScheme::Weighted,
+            OptimizerScheme::LocalSearch,
+        ]
+    }
+
+    /// The registry name of the equivalent built-in
+    /// [`LayoutStrategy`](crate::LayoutStrategy).
+    pub fn strategy_name(&self) -> &'static str {
         match self {
-            OptimizerScheme::Heuristic => write!(f, "heuristic"),
-            OptimizerScheme::Base => write!(f, "base"),
-            OptimizerScheme::Enhanced => write!(f, "enhanced"),
-            OptimizerScheme::ForwardChecking => write!(f, "forward-checking"),
-            OptimizerScheme::FullPropagation => write!(f, "full-propagation"),
-            OptimizerScheme::Weighted => write!(f, "weighted"),
-            OptimizerScheme::LocalSearch => write!(f, "local-search"),
+            OptimizerScheme::Heuristic => "heuristic",
+            OptimizerScheme::Base => "base",
+            OptimizerScheme::Enhanced => "enhanced",
+            OptimizerScheme::ForwardChecking => "forward-checking",
+            OptimizerScheme::FullPropagation => "full-propagation",
+            OptimizerScheme::Weighted => "weighted",
+            OptimizerScheme::LocalSearch => "local-search",
         }
     }
 }
 
-/// Tuning knobs of the optimizer.
+impl fmt::Display for OptimizerScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.strategy_name())
+    }
+}
+
+/// Tuning knobs of the legacy optimizer facade.
 #[derive(Debug, Clone, Copy)]
 pub struct OptimizerOptions {
     /// The scheme to run.
@@ -60,6 +94,12 @@ pub struct OptimizerOptions {
     /// Seed for the base scheme's random orderings.
     pub seed: u64,
     /// Node limit for the constraint search (`None` = unlimited).
+    ///
+    /// Behaviour change versus the pre-engine facade: for the
+    /// [`OptimizerScheme::LocalSearch`] scheme this is now a **total** cap
+    /// on repair steps across all restarts, where it used to be a
+    /// per-restart step cap (so the old facade could do up to
+    /// `max_restarts` times more work than the stated budget).
     pub node_limit: Option<u64>,
 }
 
@@ -74,20 +114,20 @@ impl Default for OptimizerOptions {
     }
 }
 
-/// Summary of the constraint network an optimization run worked on.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct NetworkSummary {
-    /// Number of variables (arrays).
-    pub variables: usize,
-    /// Number of binary constraints.
-    pub constraints: usize,
-    /// Total domain size (the paper's Table 1 metric).
-    pub total_domain_size: usize,
-    /// Product of domain sizes (naive search-space size).
-    pub search_space: f64,
+impl OptimizerOptions {
+    /// The engine request equivalent to these options.
+    pub fn to_request(&self) -> OptimizeRequest {
+        OptimizeRequest {
+            strategy: self.scheme.strategy_name().to_string(),
+            candidates: self.candidates,
+            seed: self.seed,
+            node_limit: self.node_limit,
+            ..OptimizeRequest::default()
+        }
+    }
 }
 
-/// The result of one optimization run.
+/// The result of one legacy optimization run.
 #[derive(Debug, Clone)]
 pub struct OptimizationOutcome {
     /// The layout chosen for every array (always complete).
@@ -98,22 +138,42 @@ pub struct OptimizationOutcome {
     pub solution_time: Duration,
     /// Search statistics, when a constraint search ran.
     pub search_stats: Option<SearchStats>,
-    /// Whether the constraint network had a solution (`None` for the
-    /// heuristic scheme, which does not build a network).
+    /// Whether the constraint network had a solution (`None` when no proof
+    /// was attempted or reached).
     pub satisfiable: Option<bool>,
     /// Whether the optimizer fell back to the heuristic assignment because
-    /// the network was unsatisfiable or the search hit its node limit.
+    /// the network was unsatisfiable or the search ran out of budget.
     pub fell_back_to_heuristic: bool,
     /// Network shape, when one was built.
     pub network: Option<NetworkSummary>,
 }
 
-/// The end-to-end optimizer.
+impl OptimizationOutcome {
+    fn from_report(report: OptimizeReport, scheme: OptimizerScheme) -> Self {
+        OptimizationOutcome {
+            assignment: report.assignment,
+            scheme,
+            solution_time: report.solution_time,
+            search_stats: report.search_stats,
+            satisfiable: report.satisfiable,
+            fell_back_to_heuristic: report.fallback.fell_back(),
+            network: report.network,
+        }
+    }
+}
+
+/// The legacy end-to-end optimizer facade.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine::session()` with `OptimizeRequest`s: sessions cache per-program state, \
+            strategies are pluggable and failures are typed"
+)]
 #[derive(Debug, Clone, Default)]
 pub struct Optimizer {
     options: OptimizerOptions,
 }
 
+#[allow(deprecated)]
 impl Optimizer {
     /// Creates an optimizer running the given scheme with default options.
     pub fn new(scheme: OptimizerScheme) -> Self {
@@ -143,13 +203,15 @@ impl Optimizer {
     }
 
     /// Determines memory layouts for every array of the program.
+    ///
+    /// Delegates to a throw-away [`Engine`] session; the typed errors of
+    /// the engine API are folded back into the legacy
+    /// `fell_back_to_heuristic` flag (the default request never errors).
     pub fn optimize(&self, program: &Program) -> OptimizationOutcome {
-        match self.options.scheme {
-            OptimizerScheme::Heuristic => self.run_heuristic(program),
-            OptimizerScheme::Weighted => self.run_weighted(program),
-            OptimizerScheme::LocalSearch => self.run_local_search(program),
-            _ => self.run_csp(program),
-        }
+        let report = Engine::new()
+            .optimize(program, &self.options.to_request())
+            .expect("legacy requests use the heuristic fallback policy and known strategies");
+        OptimizationOutcome::from_report(report, self.options.scheme)
     }
 
     /// Computes a per-segment **dynamic layout plan** (the paper's second
@@ -157,165 +219,14 @@ impl Optimizer {
     /// `window` consecutive nests and every array may change layout between
     /// windows when the re-layout copy pays for itself.
     pub fn dynamic_plan(&self, program: &Program, window: usize) -> mlo_layout::DynamicPlan {
-        let options = mlo_layout::DynamicOptions {
-            candidates: self.options.candidates,
-            ..mlo_layout::DynamicOptions::default()
-        };
-        mlo_layout::dynamic_plan(
-            program,
-            &mlo_layout::Segmentation::by_window(program, window.max(1)),
-            &options,
-        )
+        Engine::new()
+            .session()
+            .dynamic_plan(program, window, &self.options.candidates)
     }
-
-    fn run_heuristic(&self, program: &Program) -> OptimizationOutcome {
-        let result = heuristic_assignment(program);
-        OptimizationOutcome {
-            assignment: result.assignment,
-            scheme: OptimizerScheme::Heuristic,
-            solution_time: result.elapsed,
-            search_stats: None,
-            satisfiable: None,
-            fell_back_to_heuristic: false,
-            network: None,
-        }
-    }
-
-    fn engine(&self) -> SearchEngine {
-        let scheme = match self.options.scheme {
-            OptimizerScheme::Base => CspScheme::Base,
-            OptimizerScheme::Enhanced => CspScheme::Enhanced,
-            OptimizerScheme::ForwardChecking => CspScheme::ForwardChecking,
-            OptimizerScheme::FullPropagation => CspScheme::FullPropagation,
-            OptimizerScheme::Heuristic
-            | OptimizerScheme::Weighted
-            | OptimizerScheme::LocalSearch => CspScheme::Enhanced,
-        };
-        let mut engine = SearchEngine::with_scheme(scheme).seed(self.options.seed);
-        if let Some(limit) = self.options.node_limit {
-            engine = engine.node_limit(limit);
-        }
-        engine
-    }
-
-    fn run_csp(&self, program: &Program) -> OptimizationOutcome {
-        let start = Instant::now();
-        let layout_network = build_network(program, &self.options.candidates);
-        let summary = summarize(&layout_network);
-        let result = self.engine().solve(layout_network.network());
-        let satisfiable = result.solution.is_some();
-        let (assignment, fell_back) = match &result.solution {
-            Some(solution) => (
-                assignment_from_solution(program, &layout_network, solution),
-                false,
-            ),
-            None => (heuristic_assignment(program).assignment, true),
-        };
-        OptimizationOutcome {
-            assignment,
-            scheme: self.options.scheme,
-            solution_time: start.elapsed(),
-            search_stats: Some(result.stats),
-            satisfiable: Some(satisfiable),
-            fell_back_to_heuristic: fell_back,
-            network: Some(summary),
-        }
-    }
-
-    fn run_weighted(&self, program: &Program) -> OptimizationOutcome {
-        let start = Instant::now();
-        // Weight every contributed pair by the cost of the nest that asked
-        // for it, so the branch-and-bound optimizer prefers solutions that
-        // favour the costly nests (the paper's future-work idea).
-        let weighted_network = weights::build_weighted_network(
-            program,
-            &self.options.candidates,
-            &weights::WeightOptions::default(),
-        );
-        let layout_network = weighted_network.layout_network();
-        let summary = summarize(layout_network);
-        let bb = BranchAndBound {
-            node_limit: self.options.node_limit.or(Some(2_000_000)),
-        };
-        let result = bb.optimize(weighted_network.weighted());
-        let satisfiable = result.solution.is_some();
-        let (assignment, fell_back) = match &result.solution {
-            Some(solution) => (
-                assignment_from_solution(program, layout_network, solution),
-                false,
-            ),
-            None => (heuristic_assignment(program).assignment, true),
-        };
-        OptimizationOutcome {
-            assignment,
-            scheme: OptimizerScheme::Weighted,
-            solution_time: start.elapsed(),
-            search_stats: Some(result.stats),
-            satisfiable: Some(satisfiable),
-            fell_back_to_heuristic: fell_back,
-            network: Some(summary),
-        }
-    }
-
-    fn run_local_search(&self, program: &Program) -> OptimizationOutcome {
-        let start = Instant::now();
-        let layout_network = build_network(program, &self.options.candidates);
-        let summary = summarize(&layout_network);
-        let mut config = MinConflicts::with_seed(self.options.seed);
-        if let Some(limit) = self.options.node_limit {
-            config = config.max_steps(limit);
-        }
-        let result = config.solve(layout_network.network());
-        let found = result.solution.is_some();
-        let (assignment, fell_back) = match &result.solution {
-            Some(solution) => (
-                assignment_from_solution(program, &layout_network, solution),
-                false,
-            ),
-            None => (heuristic_assignment(program).assignment, true),
-        };
-        OptimizationOutcome {
-            assignment,
-            scheme: OptimizerScheme::LocalSearch,
-            solution_time: start.elapsed(),
-            search_stats: Some(result.stats),
-            // Local search cannot prove unsatisfiability; only a positive
-            // answer is reported.
-            satisfiable: if found { Some(true) } else { None },
-            fell_back_to_heuristic: fell_back,
-            network: Some(summary),
-        }
-    }
-}
-
-fn summarize(layout_network: &LayoutNetwork) -> NetworkSummary {
-    let network = layout_network.network();
-    NetworkSummary {
-        variables: network.variable_count(),
-        constraints: network.constraint_count(),
-        total_domain_size: network.total_domain_size(),
-        search_space: network.search_space_size(),
-    }
-}
-
-/// Converts a constraint-network solution into a complete layout assignment
-/// (arrays without a network variable get their canonical row-major layout).
-fn assignment_from_solution(
-    program: &Program,
-    layout_network: &LayoutNetwork,
-    solution: &mlo_csp::Solution<Layout>,
-) -> LayoutAssignment {
-    let mut assignment = LayoutAssignment::new();
-    for array in program.arrays() {
-        match layout_network.variable_of(array.id()) {
-            Some(var) => assignment.set(array.id(), solution.value(var).clone()),
-            None => assignment.set(array.id(), Layout::row_major(array.rank())),
-        }
-    }
-    assignment
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use mlo_benchmarks::Benchmark;
@@ -328,8 +239,20 @@ mod tests {
         let q1 = b.array("Q1", vec![2 * n, n], 4);
         let q2 = b.array("Q2", vec![2 * n, n], 4);
         b.nest("main", vec![("i1", 0, n), ("i2", 0, n)], |nest| {
-            nest.read(q1, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build());
-            nest.read(q2, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build());
+            nest.read(
+                q1,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 1])
+                    .row(1, [0, 1])
+                    .build(),
+            );
+            nest.read(
+                q2,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 1])
+                    .row(1, [1, 0])
+                    .build(),
+            );
         });
         b.build()
     }
@@ -337,15 +260,7 @@ mod tests {
     #[test]
     fn every_scheme_produces_a_complete_assignment() {
         let p = figure2_program();
-        for scheme in [
-            OptimizerScheme::Heuristic,
-            OptimizerScheme::Base,
-            OptimizerScheme::Enhanced,
-            OptimizerScheme::ForwardChecking,
-            OptimizerScheme::FullPropagation,
-            OptimizerScheme::Weighted,
-            OptimizerScheme::LocalSearch,
-        ] {
+        for scheme in OptimizerScheme::all() {
             let outcome = Optimizer::new(scheme).optimize(&p);
             assert_eq!(outcome.scheme, scheme);
             for array in p.arrays() {

@@ -4,19 +4,24 @@
 //! use mlo_core::prelude::*;
 //!
 //! let program = Benchmark::MxM.program();
-//! let outcome = Optimizer::new(OptimizerScheme::Heuristic).optimize(&program);
-//! assert!(outcome.assignment.len() > 0);
+//! let report = Engine::new()
+//!     .optimize(&program, &OptimizeRequest::strategy("heuristic"))
+//!     .unwrap();
+//! assert!(report.assignment.len() > 0);
 //! ```
 
-pub use crate::optimizer::{
-    NetworkSummary, OptimizationOutcome, Optimizer, OptimizerOptions, OptimizerScheme,
-};
+pub use crate::engine::{Engine, EngineBuilder, NetworkSummary, OptimizeReport, Session};
+pub use crate::error::{Fallback, FallbackReason, OptimizeError};
+#[allow(deprecated)]
+pub use crate::optimizer::{OptimizationOutcome, Optimizer, OptimizerOptions, OptimizerScheme};
 pub use crate::report::TextTable;
+pub use crate::request::{EvaluationOptions, FallbackPolicy, OptimizeRequest};
+pub use crate::strategy::{LayoutStrategy, StrategyContext, StrategyOutcome, StrategyRegistry};
 pub use mlo_benchmarks::{Benchmark, RandomProgramSpec};
 pub use mlo_cachesim::{MachineConfig, SimulationReport, Simulator, TraceOptions};
-pub use mlo_csp::{ConstraintNetwork, Scheme, SearchEngine, SearchStats};
+pub use mlo_csp::{ConstraintNetwork, Scheme, SearchEngine, SearchLimits, SearchStats};
 pub use mlo_ir::{AccessBuilder, ArrayId, LoopTransform, Program, ProgramBuilder};
-pub use mlo_layout::{CandidateOptions, Hyperplane, Layout, LayoutAssignment};
+pub use mlo_layout::{CandidateOptions, CandidateSet, Hyperplane, Layout, LayoutAssignment};
 
 #[cfg(test)]
 mod tests {
@@ -25,6 +30,7 @@ mod tests {
         use super::*;
         let _ = MachineConfig::date05();
         let _ = Layout::diagonal();
-        let _ = OptimizerScheme::Enhanced;
+        let _ = OptimizeRequest::strategy("enhanced");
+        let _ = Engine::new();
     }
 }

@@ -1,0 +1,214 @@
+//! Per-request knobs of the engine API.
+//!
+//! An [`OptimizeRequest`] carries everything that can vary between two runs
+//! against the same [`Session`](crate::engine::Session): the strategy to
+//! run, candidate-enumeration options, the RNG seed, node/time budgets, the
+//! fallback policy and an optional cache-simulation evaluation.  Requests
+//! are plain values — clone one, tweak a knob, and submit both in the same
+//! batch.
+
+use crate::error::FallbackReason;
+use mlo_cachesim::{MachineConfig, TraceOptions};
+use mlo_layout::CandidateOptions;
+use std::time::Duration;
+
+/// What to do when a strategy cannot return a solution of its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FallbackPolicy {
+    /// Return the heuristic baseline's layouts, recording the reason in the
+    /// report's [`Fallback`] (the classic `Optimizer` behaviour, minus the
+    /// silence).
+    #[default]
+    Heuristic,
+    /// Fail the request with a typed [`OptimizeError`](crate::OptimizeError)
+    /// instead.
+    Error,
+}
+
+/// Optional cache-hierarchy evaluation of the chosen layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvaluationOptions {
+    /// The machine model to simulate.
+    pub machine: MachineConfig,
+    /// Trace-generation options (sub-sampling, alignment).
+    pub trace: TraceOptions,
+}
+
+impl EvaluationOptions {
+    /// Evaluation on the paper's machine with default trace options.
+    pub fn date05() -> Self {
+        EvaluationOptions {
+            machine: MachineConfig::date05(),
+            trace: TraceOptions::default(),
+        }
+    }
+
+    /// Evaluation on an explicit machine with default trace options.
+    pub fn on(machine: MachineConfig) -> Self {
+        EvaluationOptions {
+            machine,
+            trace: TraceOptions::default(),
+        }
+    }
+
+    /// Overrides the trace options.
+    pub fn trace(mut self, trace: TraceOptions) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+/// One optimization request: a strategy name plus per-request knobs.
+///
+/// ```
+/// use mlo_core::{Engine, OptimizeRequest};
+/// use mlo_benchmarks::Benchmark;
+///
+/// let engine = Engine::new();
+/// let session = engine.session();
+/// let program = Benchmark::MxM.program();
+/// let request = OptimizeRequest::strategy("enhanced")
+///     .candidates(Benchmark::MxM.candidate_options())
+///     .seed(7)
+///     .node_limit(100_000);
+/// let report = session.optimize(&program, &request).unwrap();
+/// assert!(report.assignment.len() >= program.arrays().len());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeRequest {
+    /// The registry name of the strategy to run.
+    pub strategy: String,
+    /// Candidate-layout enumeration options.
+    pub candidates: CandidateOptions,
+    /// Seed for the strategy's random decisions; identical requests give
+    /// identical results (and identical `SearchStats`).
+    pub seed: u64,
+    /// Node budget for the search (`None` = unlimited).
+    ///
+    /// Two strategy-specific notes: the `local-search` strategy treats the
+    /// budget as a total cap on repair steps across restarts, and the
+    /// `weighted` strategy substitutes its own default cap (2,000,000
+    /// branch-and-bound nodes — see
+    /// [`WeightedStrategy`](crate::strategy::WeightedStrategy)) when `None`
+    /// is given, because exhaustive branch and bound does not reliably
+    /// terminate on large networks.
+    pub node_limit: Option<u64>,
+    /// Wall-clock budget for the search (`None` = unlimited).
+    pub time_limit: Option<Duration>,
+    /// What to do when the strategy cannot return its own solution.
+    pub fallback: FallbackPolicy,
+    /// When set, the chosen layouts are replayed on this simulated machine
+    /// and the report carries the resulting [`SimulationReport`]
+    /// (`mlo_cachesim`).
+    pub evaluation: Option<EvaluationOptions>,
+}
+
+impl Default for OptimizeRequest {
+    fn default() -> Self {
+        OptimizeRequest {
+            strategy: "enhanced".to_string(),
+            candidates: CandidateOptions::default(),
+            seed: 0xC0FFEE,
+            node_limit: None,
+            time_limit: None,
+            fallback: FallbackPolicy::Heuristic,
+            evaluation: None,
+        }
+    }
+}
+
+impl OptimizeRequest {
+    /// A request running the named strategy with default knobs.
+    pub fn strategy(name: impl Into<String>) -> Self {
+        OptimizeRequest {
+            strategy: name.into(),
+            ..OptimizeRequest::default()
+        }
+    }
+
+    /// Sets the candidate-enumeration options.
+    pub fn candidates(mut self, candidates: CandidateOptions) -> Self {
+        self.candidates = candidates;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the node budget.
+    pub fn node_limit(mut self, limit: u64) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Makes the request fail with a typed error instead of falling back to
+    /// the heuristic layouts.
+    pub fn fail_instead_of_fallback(mut self) -> Self {
+        self.fallback = FallbackPolicy::Error;
+        self
+    }
+
+    /// Sets the fallback policy explicitly.
+    pub fn fallback(mut self, policy: FallbackPolicy) -> Self {
+        self.fallback = policy;
+        self
+    }
+
+    /// Requests a cache-simulation evaluation of the chosen layouts.
+    pub fn evaluate(mut self, options: EvaluationOptions) -> Self {
+        self.evaluation = Some(options);
+        self
+    }
+
+    /// Whether `fallback` permits substituting the heuristic layouts for
+    /// the given reason (`Heuristic` permits all reasons).
+    pub(crate) fn allows_fallback(&self, _reason: FallbackReason) -> bool {
+        self.fallback == FallbackPolicy::Heuristic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain_sets_every_knob() {
+        let r = OptimizeRequest::strategy("base")
+            .candidates(CandidateOptions {
+                include_diagonals: true,
+                ..CandidateOptions::default()
+            })
+            .seed(42)
+            .node_limit(10)
+            .time_limit(Duration::from_millis(5))
+            .fail_instead_of_fallback()
+            .evaluate(EvaluationOptions::date05());
+        assert_eq!(r.strategy, "base");
+        assert!(r.candidates.include_diagonals);
+        assert_eq!(r.seed, 42);
+        assert_eq!(r.node_limit, Some(10));
+        assert_eq!(r.time_limit, Some(Duration::from_millis(5)));
+        assert_eq!(r.fallback, FallbackPolicy::Error);
+        assert!(r.evaluation.is_some());
+        assert!(!r.allows_fallback(FallbackReason::Unsatisfiable));
+    }
+
+    #[test]
+    fn default_request_matches_the_old_optimizer_defaults() {
+        let r = OptimizeRequest::default();
+        assert_eq!(r.strategy, "enhanced");
+        assert_eq!(r.seed, 0xC0FFEE);
+        assert_eq!(r.node_limit, None);
+        assert_eq!(r.fallback, FallbackPolicy::Heuristic);
+        assert!(r.allows_fallback(FallbackReason::DeadlineExceeded));
+    }
+}

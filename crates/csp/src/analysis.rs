@@ -218,7 +218,12 @@ pub fn min_degree_ordering<V: Value>(network: &ConstraintNetwork<V>) -> Vec<VarI
         let chosen = remaining
             .iter()
             .copied()
-            .min_by_key(|&v| adjacency[v].iter().filter(|w| remaining.contains(w)).count())
+            .min_by_key(|&v| {
+                adjacency[v]
+                    .iter()
+                    .filter(|w| remaining.contains(w))
+                    .count()
+            })
             .expect("remaining is non-empty while positions remain");
         remaining.remove(&chosen);
         // Connect the eliminated vertex's remaining neighbours pairwise.
@@ -317,8 +322,12 @@ mod tests {
         let q4 = net.add_variable("Q4", vec![(1, 0), (0, 1), (1, 1)]);
         net.add_constraint(q1, q2, vec![((1, 0), (1, 1)), ((0, 1), (1, -1))])
             .unwrap();
-        net.add_constraint(q1, q3, vec![((1, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (1, 2))])
-            .unwrap();
+        net.add_constraint(
+            q1,
+            q3,
+            vec![((1, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (1, 2))],
+        )
+        .unwrap();
         net.add_constraint(q1, q4, vec![((1, 0), (1, 0)), ((0, 1), (0, 1))])
             .unwrap();
         net.add_constraint(q2, q3, vec![((1, 1), (0, 1)), ((1, -1), (1, 1))])
@@ -335,7 +344,8 @@ mod tests {
             .map(|i| net.add_variable(format!("v{i}"), vec![0, 1]))
             .collect();
         for w in vars.windows(2) {
-            net.add_constraint(w[0], w[1], vec![(0, 1), (1, 0)]).unwrap();
+            net.add_constraint(w[0], w[1], vec![(0, 1), (1, 0)])
+                .unwrap();
         }
         net
     }

@@ -93,7 +93,13 @@ impl Assignment {
         self.values
             .iter()
             .enumerate()
-            .filter_map(|(i, v)| if v.is_none() { Some(VarId::new(i)) } else { None })
+            .filter_map(|(i, v)| {
+                if v.is_none() {
+                    Some(VarId::new(i))
+                } else {
+                    None
+                }
+            })
             .collect()
     }
 
@@ -102,7 +108,13 @@ impl Assignment {
         self.values
             .iter()
             .enumerate()
-            .filter_map(|(i, v)| if v.is_some() { Some(VarId::new(i)) } else { None })
+            .filter_map(|(i, v)| {
+                if v.is_some() {
+                    Some(VarId::new(i))
+                } else {
+                    None
+                }
+            })
             .collect()
     }
 }
@@ -140,7 +152,10 @@ impl<V: Value> Solution<V> {
     ///
     /// Panics if the assignment is incomplete.
     pub fn from_assignment(network: &ConstraintNetwork<V>, assignment: &Assignment) -> Self {
-        assert!(assignment.is_complete(), "solution requires a complete assignment");
+        assert!(
+            assignment.is_complete(),
+            "solution requires a complete assignment"
+        );
         let values = network.materialize(assignment);
         let names = network
             .variables()
@@ -187,7 +202,10 @@ impl<V: Value> Solution<V> {
 
     /// Iterates over `(name, value)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &V)> {
-        self.names.iter().map(String::as_str).zip(self.values.iter())
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.values.iter())
     }
 
     /// Number of variables.

@@ -84,8 +84,10 @@ impl BinaryConstraint {
         } else if var_a == self.second && var_b == self.first {
             self.allowed.contains(&(value_b, value_a))
         } else {
-            panic!("constraint between {} and {} queried with {var_a} and {var_b}",
-                self.first, self.second);
+            panic!(
+                "constraint between {} and {} queried with {var_a} and {var_b}",
+                self.first, self.second
+            );
         }
     }
 
@@ -121,7 +123,10 @@ impl BinaryConstraint {
         } else if var == self.second {
             self.allowed.contains(&(other_value, value))
         } else {
-            panic!("variable {var} not in constraint scope ({}, {})", self.first, self.second);
+            panic!(
+                "variable {var} not in constraint scope ({}, {})",
+                self.first, self.second
+            );
         }
     }
 }

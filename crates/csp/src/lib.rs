@@ -73,8 +73,8 @@ pub use constraint::BinaryConstraint;
 pub use domain::Domain;
 pub use network::{ConstraintNetwork, VarId};
 pub use solver::{
-    Enumerator, MinConflicts, Scheme, SearchEngine, SearchStats, SolveResult, ValueOrdering,
-    VariableOrdering,
+    Enumerator, MinConflicts, NetworkSearch, Scheme, SearchEngine, SearchLimits, SearchStats,
+    SolveResult, ValueOrdering, VariableOrdering,
 };
 pub use weighted::{BranchAndBound, WeightedNetwork};
 

@@ -95,18 +95,18 @@ impl<V: Value> ConstraintNetwork<V> {
         self.check_var(b)?;
         let mut index_pairs = HashSet::with_capacity(pairs.len());
         for (va, vb) in pairs {
-            let ia = self.domains[a.index()]
-                .index_of(&va)
-                .ok_or_else(|| CspError::ValueNotInDomain {
+            let ia = self.domains[a.index()].index_of(&va).ok_or_else(|| {
+                CspError::ValueNotInDomain {
                     variable: a,
                     value: format!("{va:?}"),
-                })?;
-            let ib = self.domains[b.index()]
-                .index_of(&vb)
-                .ok_or_else(|| CspError::ValueNotInDomain {
+                }
+            })?;
+            let ib = self.domains[b.index()].index_of(&vb).ok_or_else(|| {
+                CspError::ValueNotInDomain {
                     variable: b,
                     value: format!("{vb:?}"),
-                })?;
+                }
+            })?;
             index_pairs.insert((ia, ib));
         }
         self.add_constraint_by_index(a, b, index_pairs)
@@ -223,7 +223,8 @@ impl<V: Value> ConstraintNetwork<V> {
 
     /// The constraint between two variables, if any.
     pub fn constraint_between(&self, a: VarId, b: VarId) -> Option<&BinaryConstraint> {
-        self.constraint_index_between(a, b).map(|i| &self.constraints[i])
+        self.constraint_index_between(a, b)
+            .map(|i| &self.constraints[i])
     }
 
     fn constraint_index_between(&self, a: VarId, b: VarId) -> Option<usize> {
@@ -365,14 +366,22 @@ mod tests {
         let q2 = net.add_variable("Q2", vec![(1, -1), (1, 1)]);
         let q3 = net.add_variable("Q3", vec![(0, 1), (1, 1), (1, 2)]);
         let q4 = net.add_variable("Q4", vec![(1, 0), (0, 1), (1, 1)]);
-        net.add_constraint(q1, q2, vec![((1, 0), (1, 1)), ((0, 1), (1, -1))]).unwrap();
-        net.add_constraint(q1, q3, vec![((1, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (1, 2))])
+        net.add_constraint(q1, q2, vec![((1, 0), (1, 1)), ((0, 1), (1, -1))])
             .unwrap();
-        net.add_constraint(q1, q4, vec![((1, 0), (1, 0)), ((0, 1), (0, 1))]).unwrap();
-        net.add_constraint(q2, q3, vec![((1, 1), (0, 1)), ((1, -1), (1, 1))]).unwrap();
+        net.add_constraint(
+            q1,
+            q3,
+            vec![((1, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (1, 2))],
+        )
+        .unwrap();
+        net.add_constraint(q1, q4, vec![((1, 0), (1, 0)), ((0, 1), (0, 1))])
+            .unwrap();
+        net.add_constraint(q2, q3, vec![((1, 1), (0, 1)), ((1, -1), (1, 1))])
+            .unwrap();
         // The paper's S24 lists [(1 0), (0 1)], but (1 0) is not in M2 (a typo
         // in the published example); (1 -1) keeps the published solution.
-        net.add_constraint(q2, q4, vec![((1, -1), (0, 1)), ((1, 1), (1, 0))]).unwrap();
+        net.add_constraint(q2, q4, vec![((1, -1), (0, 1)), ((1, 1), (1, 0))])
+            .unwrap();
         net.add_constraint(q3, q4, vec![((0, 1), (1, 0))]).unwrap();
         (net, vec![q1, q2, q3, q4])
     }
@@ -388,9 +397,7 @@ mod tests {
         assert_eq!(net.domain(vars[1]).len(), 2);
         assert_eq!(net.neighbours(vars[0]).len(), 3);
         assert!(net.constraint_between(vars[0], vars[3]).is_some());
-        assert!(net
-            .constraint_between(vars[0], vars[0])
-            .is_none());
+        assert!(net.constraint_between(vars[0], vars[0]).is_none());
     }
 
     #[test]
@@ -457,7 +464,10 @@ mod tests {
         // Q2 = (1 1) (index 1) is consistent with Q1=(1 0).
         assert!(net.conflicts_with(&asg, vars[1], 1, &mut checks).is_empty());
         // Q2 = (1 -1) (index 0) conflicts with Q1=(1 0).
-        assert_eq!(net.conflicts_with(&asg, vars[1], 0, &mut checks), vec![vars[0]]);
+        assert_eq!(
+            net.conflicts_with(&asg, vars[1], 0, &mut checks),
+            vec![vars[0]]
+        );
         assert!(checks > 0);
     }
 
@@ -471,10 +481,7 @@ mod tests {
         asg.assign(vars[2], 0); // (0 1)
         asg.assign(vars[3], 0); // (1 0)
         assert_eq!(net.is_solution(&asg), Ok(true));
-        assert_eq!(
-            net.materialize(&asg),
-            vec![(1, 0), (1, 1), (0, 1), (1, 0)]
-        );
+        assert_eq!(net.materialize(&asg), vec![(1, 0), (1, 1), (0, 1), (1, 0)]);
         // Perturbing one value breaks it.
         asg.assign(vars[2], 1);
         assert_eq!(net.is_solution(&asg), Ok(false));

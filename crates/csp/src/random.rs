@@ -48,7 +48,10 @@ impl RandomNetworkSpec {
     ///
     /// Panics if `density` or `tightness` is outside `[0, 1]`.
     pub fn generate(&self) -> ConstraintNetwork<usize> {
-        assert!((0.0..=1.0).contains(&self.density), "density must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&self.density),
+            "density must be in [0,1]"
+        );
         assert!(
             (0.0..=1.0).contains(&self.tightness),
             "tightness must be in [0,1]"

@@ -135,7 +135,8 @@ mod tests {
         let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
         let a = net.add_variable("a", vec![0, 1]);
         let b = net.add_variable("b", vec![0, 1]);
-        net.add_constraint(a, b, vec![(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+        net.add_constraint(a, b, vec![(0, 0), (0, 1), (1, 0), (1, 1)])
+            .unwrap();
         let mut live = full_domains(&net);
         let mut stats = SearchStats::default();
         assert_eq!(ac3(&net, &mut live, &mut stats), Ac3Outcome::Consistent);

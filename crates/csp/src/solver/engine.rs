@@ -8,23 +8,30 @@
 //! not in that set is skipped without re-instantiating it (paper, Figure 3).
 
 use super::ordering::{order_values, select_variable};
-use super::{ac3, Ac3Outcome, SearchEngine, SearchStats, SolveResult};
+use super::{ac3, Ac3Outcome, SearchEngine, SearchLimits, SearchStats, SolveResult};
 use crate::assignment::{Assignment, Solution};
 use crate::network::{ConstraintNetwork, VarId};
 use crate::Value;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::HashSet;
 use std::time::Instant;
 
-/// Runs the configured search on a network.
+/// How often (in visited nodes) the wall-clock deadline is polled; keeps
+/// `Instant::now` off the per-node hot path.
+const DEADLINE_POLL_MASK: u64 = 0x7F;
+
+/// Runs the configured search on a network with a caller-owned RNG and
+/// per-run limits.
 pub(super) fn run<V: Value>(
     config: &SearchEngine,
     network: &ConstraintNetwork<V>,
+    rng: &mut StdRng,
+    limits: &SearchLimits,
 ) -> SolveResult<V> {
     let start = Instant::now();
     let mut stats = SearchStats::default();
     let mut hit_limit = false;
+    let mut hit_deadline = false;
 
     // Current (possibly pruned) candidate lists, one per variable.
     let mut live: Vec<Vec<usize>> = network
@@ -40,6 +47,7 @@ pub(super) fn run<V: Value>(
             stats,
             elapsed: start.elapsed(),
             hit_node_limit: false,
+            hit_deadline: false,
         };
     }
 
@@ -50,18 +58,20 @@ pub(super) fn run<V: Value>(
                 stats,
                 elapsed: start.elapsed(),
                 hit_node_limit: false,
+                hit_deadline: false,
             };
         }
     }
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
     let mut assignment = Assignment::new(network.variable_count());
     let mut ctx = Context {
         config,
         network,
+        limits,
         stats: &mut stats,
-        rng: &mut rng,
+        rng,
         hit_limit: &mut hit_limit,
+        hit_deadline: &mut hit_deadline,
     };
     let outcome = search(&mut ctx, &mut assignment, &mut live);
     let solution = match outcome {
@@ -73,6 +83,7 @@ pub(super) fn run<V: Value>(
         stats,
         elapsed: start.elapsed(),
         hit_node_limit: hit_limit,
+        hit_deadline,
     }
 }
 
@@ -88,17 +99,28 @@ enum Outcome {
 struct Context<'a, V> {
     config: &'a SearchEngine,
     network: &'a ConstraintNetwork<V>,
+    limits: &'a SearchLimits,
     stats: &'a mut SearchStats,
     rng: &'a mut StdRng,
     hit_limit: &'a mut bool,
+    hit_deadline: &'a mut bool,
 }
 
 impl<V: Value> Context<'_, V> {
-    fn limit_reached(&self) -> bool {
-        match self.config.node_limit {
-            Some(limit) => self.stats.nodes_visited >= limit,
-            None => false,
+    fn limit_reached(&mut self) -> bool {
+        if let Some(limit) = self.limits.node_limit {
+            if self.stats.nodes_visited >= limit {
+                *self.hit_limit = true;
+                return true;
+            }
         }
+        if let Some(deadline) = self.limits.deadline {
+            if self.stats.nodes_visited & DEADLINE_POLL_MASK == 0 && Instant::now() >= deadline {
+                *self.hit_deadline = true;
+                return true;
+            }
+        }
+        false
     }
 }
 
@@ -133,8 +155,7 @@ fn search<V: Value>(
 
     let mut conflict_union: HashSet<VarId> = HashSet::new();
     for value in values {
-        if *ctx.hit_limit || ctx.limit_reached() {
-            *ctx.hit_limit = true;
+        if *ctx.hit_limit || *ctx.hit_deadline || ctx.limit_reached() {
             break;
         }
         ctx.stats.nodes_visited += 1;
@@ -142,12 +163,9 @@ fn search<V: Value>(
 
         // Consistent-partial-instantiation test against the variables
         // already assigned (paper, Section 4).
-        let conflicts = ctx.network.conflicts_with(
-            assignment,
-            var,
-            value,
-            &mut ctx.stats.consistency_checks,
-        );
+        let conflicts =
+            ctx.network
+                .conflicts_with(assignment, var, value, &mut ctx.stats.consistency_checks);
         if !conflicts.is_empty() {
             conflict_union.extend(conflicts);
             continue;
@@ -191,9 +209,7 @@ fn search<V: Value>(
             // The wipeout implicates this variable and every assigned
             // variable constraining the victim.
             for assigned in assignment.assigned() {
-                if assigned != var
-                    && ctx.network.constraint_between(assigned, victim).is_some()
-                {
+                if assigned != var && ctx.network.constraint_between(assigned, victim).is_some() {
                     conflict_union.insert(assigned);
                 }
             }
@@ -207,7 +223,7 @@ fn search<V: Value>(
             Outcome::DeadEnd(child_conflicts) => {
                 restore(live, saved);
                 assignment.unassign(var);
-                if *ctx.hit_limit {
+                if *ctx.hit_limit || *ctx.hit_deadline {
                     return Outcome::DeadEnd(conflict_union);
                 }
                 if ctx.config.backjumping && !child_conflicts.contains(&var) {
@@ -244,14 +260,22 @@ mod tests {
         let q2 = net.add_variable("Q2", vec![(1, -1), (1, 1)]);
         let q3 = net.add_variable("Q3", vec![(0, 1), (1, 1), (1, 2)]);
         let q4 = net.add_variable("Q4", vec![(1, 0), (0, 1), (1, 1)]);
-        net.add_constraint(q1, q2, vec![((1, 0), (1, 1)), ((0, 1), (1, -1))]).unwrap();
-        net.add_constraint(q1, q3, vec![((1, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (1, 2))])
+        net.add_constraint(q1, q2, vec![((1, 0), (1, 1)), ((0, 1), (1, -1))])
             .unwrap();
-        net.add_constraint(q1, q4, vec![((1, 0), (1, 0)), ((0, 1), (0, 1))]).unwrap();
-        net.add_constraint(q2, q3, vec![((1, 1), (0, 1)), ((1, -1), (1, 1))]).unwrap();
+        net.add_constraint(
+            q1,
+            q3,
+            vec![((1, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (1, 2))],
+        )
+        .unwrap();
+        net.add_constraint(q1, q4, vec![((1, 0), (1, 0)), ((0, 1), (0, 1))])
+            .unwrap();
+        net.add_constraint(q2, q3, vec![((1, 1), (0, 1)), ((1, -1), (1, 1))])
+            .unwrap();
         // The paper's S24 lists [(1 0), (0 1)], but (1 0) is not in M2 (a typo
         // in the published example); (1 -1) keeps the published solution.
-        net.add_constraint(q2, q4, vec![((1, -1), (0, 1)), ((1, 1), (1, 0))]).unwrap();
+        net.add_constraint(q2, q4, vec![((1, -1), (0, 1)), ((1, 1), (1, 0))])
+            .unwrap();
         net.add_constraint(q3, q4, vec![((0, 1), (1, 0))]).unwrap();
         (net, vec![q1, q2, q3, q4])
     }
@@ -288,7 +312,11 @@ mod tests {
             for v in net.variables() {
                 asg.assign(v, solution.value_index(v));
             }
-            assert_eq!(net.is_solution(&asg), Ok(true), "{scheme} returned a non-solution");
+            assert_eq!(
+                net.is_solution(&asg),
+                Ok(true),
+                "{scheme} returned a non-solution"
+            );
             assert!(result.stats.nodes_visited >= net.variable_count() as u64);
             assert!(!result.hit_node_limit);
         }
@@ -318,7 +346,10 @@ mod tests {
             Scheme::FullPropagation,
         ] {
             let result = SearchEngine::with_scheme(scheme).solve(&net);
-            assert!(result.solution.is_none(), "{scheme} hallucinated a solution");
+            assert!(
+                result.solution.is_none(),
+                "{scheme} hallucinated a solution"
+            );
             assert!(!result.hit_node_limit);
             assert!(result.stats.backtracks > 0 || result.stats.prunings > 0);
         }
@@ -369,7 +400,9 @@ mod tests {
                 net.add_constraint(vars[i], vars[j], neq.clone()).unwrap();
             }
         }
-        let result = SearchEngine::with_scheme(Scheme::Base).node_limit(20).solve(&net);
+        let result = SearchEngine::with_scheme(Scheme::Base)
+            .node_limit(20)
+            .solve(&net);
         assert!(result.hit_node_limit);
         assert!(result.solution.is_none());
         assert!(result.stats.nodes_visited <= 21);
@@ -431,7 +464,8 @@ mod tests {
         net.add_constraint(qk, qj, vec![(1, 0), (1, 1)]).unwrap();
         // Qi is loosely constrained by Qk so it sits between them in the
         // search order but is irrelevant to Qj's failure.
-        net.add_constraint(qk, qi, vec![(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+        net.add_constraint(qk, qi, vec![(0, 0), (0, 1), (1, 0), (1, 1)])
+            .unwrap();
 
         let with_jump = SearchEngine {
             variable_ordering: VariableOrdering::Lexicographic,

@@ -210,8 +210,12 @@ mod tests {
         let q4 = net.add_variable("Q4", vec![(1, 0), (0, 1), (1, 1)]);
         net.add_constraint(q1, q2, vec![((1, 0), (1, 1)), ((0, 1), (1, -1))])
             .unwrap();
-        net.add_constraint(q1, q3, vec![((1, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (1, 2))])
-            .unwrap();
+        net.add_constraint(
+            q1,
+            q3,
+            vec![((1, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (1, 2))],
+        )
+        .unwrap();
         net.add_constraint(q1, q4, vec![((1, 0), (1, 0)), ((0, 1), (0, 1))])
             .unwrap();
         net.add_constraint(q2, q3, vec![((1, 1), (0, 1)), ((1, -1), (1, 1))])
@@ -333,7 +337,11 @@ mod tests {
             // Enumeration agrees with the single-solution engine on
             // satisfiability.
             let engine = SearchEngine::with_scheme(Scheme::Enhanced).solve(&net);
-            assert_eq!(engine.is_satisfiable(), result.is_satisfiable(), "seed {seed}");
+            assert_eq!(
+                engine.is_satisfiable(),
+                result.is_satisfiable(),
+                "seed {seed}"
+            );
         }
     }
 

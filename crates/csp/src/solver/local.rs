@@ -11,11 +11,14 @@
 
 use crate::assignment::{Assignment, Solution};
 use crate::network::{ConstraintNetwork, VarId};
-use crate::solver::{SearchStats, SolveResult};
+use crate::solver::{NetworkSearch, SearchLimits, SearchStats, SolveResult};
 use crate::Value;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
+
+/// How often (in repair steps) the wall-clock deadline is polled.
+const DEADLINE_POLL_MASK: u64 = 0x3F;
 
 /// Configuration of the min-conflicts search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,10 +79,30 @@ impl MinConflicts {
     /// local search cannot tell the two apart, which the caller must keep in
     /// mind (`hit_node_limit` is set when the budget was exhausted).
     pub fn solve<V: Value>(&self, network: &ConstraintNetwork<V>) -> SolveResult<V> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.solve_with(network, &mut rng, &SearchLimits::none())
+    }
+
+    /// Runs min-conflicts with a caller-owned RNG (identical RNG states
+    /// replay identical repair walks) and per-run limits.  A node limit is
+    /// a **total** cap on repair steps across all restarts — the same
+    /// contract as the systematic engine's node budget; a deadline aborts
+    /// the walk wherever it is.
+    pub fn solve_with<V: Value>(
+        &self,
+        network: &ConstraintNetwork<V>,
+        rng: &mut StdRng,
+        limits: &SearchLimits,
+    ) -> SolveResult<V> {
         let start = Instant::now();
         let mut stats = SearchStats::default();
-        let mut rng = StdRng::seed_from_u64(self.seed);
         let n = network.variable_count();
+        // With a node budget, a restart also happens whenever the per-restart
+        // step cap is hit, but the budget bounds the total work.
+        let max_steps = limits
+            .node_limit
+            .map_or(self.max_steps, |limit| limit.min(self.max_steps));
+        let mut hit_deadline = false;
 
         // Degenerate cases: empty networks are trivially solved; an empty
         // domain can never be assigned.
@@ -89,13 +112,25 @@ impl MinConflicts {
                 stats,
                 elapsed: start.elapsed(),
                 hit_node_limit: false,
+                hit_deadline: false,
             };
         }
 
-        for _restart in 0..self.max_restarts.max(1) {
-            let mut assignment = random_complete_assignment(network, &mut rng);
+        'restarts: for _restart in 0..self.max_restarts.max(1) {
+            let mut assignment = random_complete_assignment(network, rng);
             stats.max_depth = n;
-            for _step in 0..self.max_steps {
+            for _step in 0..max_steps {
+                if let Some(limit) = limits.node_limit {
+                    if stats.nodes_visited >= limit {
+                        break 'restarts;
+                    }
+                }
+                if let Some(deadline) = limits.deadline {
+                    if stats.nodes_visited & DEADLINE_POLL_MASK == 0 && Instant::now() >= deadline {
+                        hit_deadline = true;
+                        break 'restarts;
+                    }
+                }
                 let conflicted = conflicted_variables(network, &assignment, &mut stats);
                 if conflicted.is_empty() {
                     let solution = Solution::from_assignment(network, &assignment);
@@ -104,13 +139,14 @@ impl MinConflicts {
                         stats,
                         elapsed: start.elapsed(),
                         hit_node_limit: false,
+                        hit_deadline: false,
                     };
                 }
                 let var = conflicted[rng.gen_range(0..conflicted.len())];
                 let value = if rng.gen_range(0..100u8) < self.noise_percent {
                     rng.gen_range(0..network.domain(var).len())
                 } else {
-                    min_conflict_value(network, &assignment, var, &mut rng, &mut stats)
+                    min_conflict_value(network, &assignment, var, rng, &mut stats)
                 };
                 assignment.assign(var, value);
                 stats.nodes_visited += 1;
@@ -122,8 +158,20 @@ impl MinConflicts {
             solution: None,
             stats,
             elapsed: start.elapsed(),
-            hit_node_limit: true,
+            hit_node_limit: !hit_deadline,
+            hit_deadline,
         }
+    }
+}
+
+impl<V: Value> NetworkSearch<V> for MinConflicts {
+    fn search(
+        &self,
+        network: &ConstraintNetwork<V>,
+        rng: &mut StdRng,
+        limits: &SearchLimits,
+    ) -> SolveResult<V> {
+        self.solve_with(network, rng, limits)
     }
 }
 
@@ -147,8 +195,13 @@ fn conflicted_variables<V: Value>(
 ) -> Vec<VarId> {
     let mut conflicted = Vec::new();
     for v in network.variables() {
-        if variable_conflicts(network, assignment, v, assignment.get(v).expect("complete"), stats)
-            > 0
+        if variable_conflicts(
+            network,
+            assignment,
+            v,
+            assignment.get(v).expect("complete"),
+            stats,
+        ) > 0
         {
             conflicted.push(v);
         }
@@ -218,8 +271,12 @@ mod tests {
         let q4 = net.add_variable("Q4", vec![(1, 0), (0, 1), (1, 1)]);
         net.add_constraint(q1, q2, vec![((1, 0), (1, 1)), ((0, 1), (1, -1))])
             .unwrap();
-        net.add_constraint(q1, q3, vec![((1, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (1, 2))])
-            .unwrap();
+        net.add_constraint(
+            q1,
+            q3,
+            vec![((1, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (1, 2))],
+        )
+        .unwrap();
         net.add_constraint(q1, q4, vec![((1, 0), (1, 0)), ((0, 1), (0, 1))])
             .unwrap();
         net.add_constraint(q2, q3, vec![((1, 1), (0, 1)), ((1, -1), (1, 1))])

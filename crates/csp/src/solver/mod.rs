@@ -22,13 +22,64 @@ mod ordering;
 pub use ac3::{ac3, Ac3Outcome};
 pub use enumerate::{EnumerationResult, Enumerator};
 pub use local::MinConflicts;
-pub use ordering::{ValueOrdering, VariableOrdering};
+pub use ordering::{order_values, select_variable, ValueOrdering, VariableOrdering};
 
 use crate::assignment::Solution;
 use crate::network::ConstraintNetwork;
 use crate::Value;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Per-run resource limits, independent of the engine configuration.
+///
+/// This is the narrow seam callers (notably `mlo-core` strategies) use to
+/// impose request-scoped budgets without rebuilding the engine: a node
+/// budget, a wall-clock deadline, or both.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchLimits {
+    /// Abort after visiting this many nodes (`None` = unlimited).
+    pub node_limit: Option<u64>,
+    /// Abort once this instant passes (`None` = no deadline).
+    pub deadline: Option<Instant>,
+}
+
+impl SearchLimits {
+    /// No limits at all.
+    pub fn none() -> Self {
+        SearchLimits::default()
+    }
+
+    /// Limits with a node budget.
+    pub fn with_node_limit(mut self, limit: u64) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+
+    /// Limits with a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// The narrow search seam: one entry point every solver backend implements.
+///
+/// `mlo-core` layout strategies are written against this trait, so custom
+/// backends (portfolio solvers, randomized restarts, external SAT bridges)
+/// can slot in by implementing a single method.  The caller owns the RNG —
+/// identical requests replay identical random orderings — and the limits,
+/// so one backend value can serve many differently-budgeted requests.
+pub trait NetworkSearch<V: Value> {
+    /// Searches `network` for a solution using the caller's RNG and limits.
+    fn search(
+        &self,
+        network: &ConstraintNetwork<V>,
+        rng: &mut StdRng,
+        limits: &SearchLimits,
+    ) -> SolveResult<V>;
+}
 
 /// Counters describing a single solver run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -77,7 +128,7 @@ impl fmt::Display for SearchStats {
 /// The outcome of a solver run.
 #[derive(Debug, Clone)]
 pub struct SolveResult<V> {
-    /// The solution, when one exists (and the node limit was not hit).
+    /// The solution, when one exists (and no limit was hit).
     pub solution: Option<Solution<V>>,
     /// Search counters.
     pub stats: SearchStats,
@@ -85,12 +136,20 @@ pub struct SolveResult<V> {
     pub elapsed: Duration,
     /// Whether the search was cut off by the node limit before completing.
     pub hit_node_limit: bool,
+    /// Whether the search was cut off by the wall-clock deadline.
+    pub hit_deadline: bool,
 }
 
 impl<V: Value> SolveResult<V> {
     /// Whether a solution was found.
     pub fn is_satisfiable(&self) -> bool {
         self.solution.is_some()
+    }
+
+    /// Whether the search ended early because a node or time budget ran
+    /// out (a `None` solution then proves nothing about satisfiability).
+    pub fn hit_any_limit(&self) -> bool {
+        self.hit_node_limit || self.hit_deadline
     }
 }
 
@@ -207,8 +266,58 @@ impl SearchEngine {
 
     /// Solves a network, returning the first solution found (if any) along
     /// with search statistics.
+    ///
+    /// The RNG for the random orderings is seeded from [`SearchEngine::seed`]
+    /// and the node limit comes from the engine configuration; use
+    /// [`SearchEngine::solve_with`] to thread a caller-owned RNG and
+    /// request-scoped limits instead.
     pub fn solve<V: Value>(&self, network: &ConstraintNetwork<V>) -> SolveResult<V> {
-        engine::run(self, network)
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.solve_with(network, &mut rng, &self.configured_limits())
+    }
+
+    /// Solves a network with a caller-owned RNG (and the engine's own node
+    /// limit).  Identical RNG states replay identical random orderings.
+    pub fn solve_with_rng<V: Value>(
+        &self,
+        network: &ConstraintNetwork<V>,
+        rng: &mut StdRng,
+    ) -> SolveResult<V> {
+        self.solve_with(network, rng, &self.configured_limits())
+    }
+
+    /// Solves a network with a caller-owned RNG and per-run limits — the
+    /// full form of the seam behind [`NetworkSearch`].
+    pub fn solve_with<V: Value>(
+        &self,
+        network: &ConstraintNetwork<V>,
+        rng: &mut StdRng,
+        limits: &SearchLimits,
+    ) -> SolveResult<V> {
+        engine::run(self, network, rng, limits)
+    }
+
+    fn configured_limits(&self) -> SearchLimits {
+        SearchLimits {
+            node_limit: self.node_limit,
+            deadline: None,
+        }
+    }
+}
+
+impl<V: Value> NetworkSearch<V> for SearchEngine {
+    fn search(
+        &self,
+        network: &ConstraintNetwork<V>,
+        rng: &mut StdRng,
+        limits: &SearchLimits,
+    ) -> SolveResult<V> {
+        // Request limits override the engine's own configuration.
+        let merged = SearchLimits {
+            node_limit: limits.node_limit.or(self.node_limit),
+            deadline: limits.deadline,
+        };
+        self.solve_with(network, rng, &merged)
     }
 }
 
@@ -222,7 +331,10 @@ mod tests {
         assert_eq!(base.variable_ordering, VariableOrdering::Random);
         assert!(!base.backjumping);
         let enhanced = SearchEngine::with_scheme(Scheme::Enhanced);
-        assert_eq!(enhanced.variable_ordering, VariableOrdering::MostConstraining);
+        assert_eq!(
+            enhanced.variable_ordering,
+            VariableOrdering::MostConstraining
+        );
         assert_eq!(enhanced.value_ordering, ValueOrdering::LeastConstraining);
         assert!(enhanced.backjumping);
         assert!(!enhanced.forward_checking);
@@ -230,7 +342,10 @@ mod tests {
         assert!(fc.forward_checking && !fc.ac3_preprocessing);
         let full = SearchEngine::with_scheme(Scheme::FullPropagation);
         assert!(full.forward_checking && full.ac3_preprocessing);
-        assert_eq!(SearchEngine::default().variable_ordering, enhanced.variable_ordering);
+        assert_eq!(
+            SearchEngine::default().variable_ordering,
+            enhanced.variable_ordering
+        );
     }
 
     #[test]
@@ -268,7 +383,9 @@ mod tests {
 
     #[test]
     fn builder_style_setters() {
-        let e = SearchEngine::with_scheme(Scheme::Base).seed(42).node_limit(100);
+        let e = SearchEngine::with_scheme(Scheme::Base)
+            .seed(42)
+            .node_limit(100);
         assert_eq!(e.seed, 42);
         assert_eq!(e.node_limit, Some(100));
     }

@@ -74,8 +74,7 @@ pub fn select_variable<V: Value>(
                 let better = match best {
                     None => true,
                     Some((_, best_degree, best_domain)) => {
-                        degree > best_degree
-                            || (degree == best_degree && domain_size < best_domain)
+                        degree > best_degree || (degree == best_degree && domain_size < best_domain)
                     }
                 };
                 if better {
@@ -127,7 +126,7 @@ pub fn order_values<V: Value>(
                 })
                 .collect();
             // Stable sort: descending score, ties keep domain order.
-            scored.sort_by(|a, b| b.1.cmp(&a.1));
+            scored.sort_by_key(|&(_, score)| std::cmp::Reverse(score));
             scored.into_iter().map(|(v, _)| v).collect()
         }
     }
@@ -240,7 +239,8 @@ mod tests {
         let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
         let a = net.add_variable("a", vec![0, 1]);
         let b = net.add_variable("b", vec![0, 1, 2]);
-        net.add_constraint(a, b, vec![(0, 0), (0, 1), (1, 2)]).unwrap();
+        net.add_constraint(a, b, vec![(0, 0), (0, 1), (1, 2)])
+            .unwrap();
         let asg = Assignment::new(2);
         let live = full_domains(&net);
         let mut rng = StdRng::seed_from_u64(1);
@@ -258,7 +258,8 @@ mod tests {
         let mut net2: ConstraintNetwork<i32> = ConstraintNetwork::new();
         let a2 = net2.add_variable("a", vec![0, 1]);
         let b2 = net2.add_variable("b", vec![0, 1, 2]);
-        net2.add_constraint(a2, b2, vec![(1, 0), (1, 1), (0, 2)]).unwrap();
+        net2.add_constraint(a2, b2, vec![(1, 0), (1, 1), (0, 2)])
+            .unwrap();
         let live2 = full_domains(&net2);
         let ordered2 = order_values(
             ValueOrdering::LeastConstraining,

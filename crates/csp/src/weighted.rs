@@ -10,10 +10,20 @@
 
 use crate::assignment::{Assignment, Solution};
 use crate::network::{ConstraintNetwork, VarId};
-use crate::solver::SearchStats;
+use crate::solver::{SearchLimits, SearchStats};
 use crate::Value;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// How often (in visited nodes) the wall-clock deadline is polled.
+const DEADLINE_POLL_MASK: u64 = 0x7F;
+
+/// Which limit (if any) cut the branch-and-bound search short.
+#[derive(Debug, Default, Clone, Copy)]
+struct Cutoff {
+    node: bool,
+    deadline: bool,
+}
 
 /// A constraint network whose allowed pairs carry weights.
 #[derive(Debug, Clone)]
@@ -46,31 +56,38 @@ impl<V: Value> WeightedNetwork<V> {
     ///
     /// Returns an error when no constraint exists between the variables or
     /// the values are not in their domains.
-    pub fn set_weight(&mut self, a: VarId, b: VarId, value_a: &V, value_b: &V, weight: f64) -> crate::Result<()> {
+    pub fn set_weight(
+        &mut self,
+        a: VarId,
+        b: VarId,
+        value_a: &V,
+        value_b: &V,
+        weight: f64,
+    ) -> crate::Result<()> {
         let ci = self
             .network
             .constraints()
             .iter()
             .position(|c| c.involves(a) && c.involves(b))
             .ok_or(crate::CspError::UnknownVariable(b))?;
-        let ia = self
-            .network
-            .domain(a)
-            .index_of(value_a)
-            .ok_or_else(|| crate::CspError::ValueNotInDomain {
+        let ia = self.network.domain(a).index_of(value_a).ok_or_else(|| {
+            crate::CspError::ValueNotInDomain {
                 variable: a,
                 value: format!("{value_a:?}"),
-            })?;
-        let ib = self
-            .network
-            .domain(b)
-            .index_of(value_b)
-            .ok_or_else(|| crate::CspError::ValueNotInDomain {
+            }
+        })?;
+        let ib = self.network.domain(b).index_of(value_b).ok_or_else(|| {
+            crate::CspError::ValueNotInDomain {
                 variable: b,
                 value: format!("{value_b:?}"),
-            })?;
+            }
+        })?;
         let constraint = &self.network.constraints()[ci];
-        let pair = if constraint.first() == a { (ia, ib) } else { (ib, ia) };
+        let pair = if constraint.first() == a {
+            (ia, ib)
+        } else {
+            (ib, ia)
+        };
         self.weights.insert((ci, pair), weight);
         Ok(())
     }
@@ -110,6 +127,11 @@ pub struct OptimizeResult<V> {
     pub stats: SearchStats,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// Whether the search was cut off by the node limit before exploring
+    /// the whole tree (a `None` solution then proves nothing).
+    pub hit_node_limit: bool,
+    /// Whether the search was cut off by the wall-clock deadline.
+    pub hit_deadline: bool,
 }
 
 /// Depth-first branch and bound over a [`WeightedNetwork`].
@@ -127,12 +149,28 @@ impl BranchAndBound {
 
     /// Finds the maximum-weight solution of the weighted network.
     pub fn optimize<V: Value>(&self, weighted: &WeightedNetwork<V>) -> OptimizeResult<V> {
+        let limits = SearchLimits {
+            node_limit: self.node_limit,
+            deadline: None,
+        };
+        self.optimize_with(weighted, &limits)
+    }
+
+    /// Finds the maximum-weight solution under per-run limits (node budget
+    /// and/or wall-clock deadline) — the request-scoped form `mlo-core`
+    /// strategies use.
+    pub fn optimize_with<V: Value>(
+        &self,
+        weighted: &WeightedNetwork<V>,
+        limits: &SearchLimits,
+    ) -> OptimizeResult<V> {
         let start = Instant::now();
         let network = weighted.network();
         let mut stats = SearchStats::default();
         let mut best_weight = f64::NEG_INFINITY;
         let mut best_assignment: Option<Assignment> = None;
         let mut assignment = Assignment::new(network.variable_count());
+        let mut cutoff = Cutoff::default();
 
         // Static most-constrained-first order keeps the bound tight early.
         let mut order: Vec<VarId> = network.variables().collect();
@@ -153,6 +191,7 @@ impl BranchAndBound {
 
         self.recurse(
             weighted,
+            limits,
             &order,
             0,
             &mut assignment,
@@ -161,14 +200,21 @@ impl BranchAndBound {
             &mut best_weight,
             &mut best_assignment,
             &mut stats,
+            &mut cutoff,
         );
 
         let solution = best_assignment.map(|a| Solution::from_assignment(network, &a));
         OptimizeResult {
             solution,
-            best_weight: if best_weight.is_finite() { best_weight } else { 0.0 },
+            best_weight: if best_weight.is_finite() {
+                best_weight
+            } else {
+                0.0
+            },
             stats,
             elapsed: start.elapsed(),
+            hit_node_limit: cutoff.node,
+            hit_deadline: cutoff.deadline,
         }
     }
 
@@ -176,6 +222,7 @@ impl BranchAndBound {
     fn recurse<V: Value>(
         &self,
         weighted: &WeightedNetwork<V>,
+        limits: &SearchLimits,
         order: &[VarId],
         depth: usize,
         assignment: &mut Assignment,
@@ -184,9 +231,20 @@ impl BranchAndBound {
         best_weight: &mut f64,
         best_assignment: &mut Option<Assignment>,
         stats: &mut SearchStats,
+        cutoff: &mut Cutoff,
     ) {
-        if let Some(limit) = self.node_limit {
+        if cutoff.node || cutoff.deadline {
+            return;
+        }
+        if let Some(limit) = limits.node_limit {
             if stats.nodes_visited >= limit {
+                cutoff.node = true;
+                return;
+            }
+        }
+        if let Some(deadline) = limits.deadline {
+            if stats.nodes_visited & DEADLINE_POLL_MASK == 0 && Instant::now() >= deadline {
+                cutoff.deadline = true;
                 return;
             }
         }
@@ -242,6 +300,7 @@ impl BranchAndBound {
             assignment.assign(var, value);
             self.recurse(
                 weighted,
+                limits,
                 order,
                 depth + 1,
                 assignment,
@@ -250,6 +309,7 @@ impl BranchAndBound {
                 best_weight,
                 best_assignment,
                 stats,
+                cutoff,
             );
             assignment.unassign(var);
         }
@@ -268,7 +328,8 @@ mod tests {
         let mut net: ConstraintNetwork<&'static str> = ConstraintNetwork::new();
         let a = net.add_variable("A", vec!["r", "c"]);
         let b = net.add_variable("B", vec!["r", "c"]);
-        net.add_constraint(a, b, vec![("r", "r"), ("c", "c")]).unwrap();
+        net.add_constraint(a, b, vec![("r", "r"), ("c", "c")])
+            .unwrap();
         let mut w = WeightedNetwork::new(net, 0.0);
         w.set_weight(a, b, &"r", &"r", 1.0).unwrap();
         w.set_weight(a, b, &"c", &"c", 5.0).unwrap();
@@ -338,7 +399,9 @@ mod tests {
     #[test]
     fn node_limit_is_respected() {
         let (w, _) = simple_weighted();
-        let bb = BranchAndBound { node_limit: Some(1) };
+        let bb = BranchAndBound {
+            node_limit: Some(1),
+        };
         let result = bb.optimize(&w);
         assert!(result.stats.nodes_visited <= 2);
     }

@@ -113,15 +113,14 @@ impl AffineAccess {
     /// transformation `T` that maps old iterations to new ones):
     /// if `I' = T · I` then the new access matrix is `A · T⁻¹`.
     pub fn transformed(&self, t_inverse: &IntMat) -> crate::Result<AffineAccess> {
-        let m = self
-            .matrix
-            .mul_mat(t_inverse)
-            .map_err(|_| crate::IrError::InvalidTransform(format!(
+        let m = self.matrix.mul_mat(t_inverse).map_err(|_| {
+            crate::IrError::InvalidTransform(format!(
                 "access with {} columns cannot be composed with a {}x{} inverse transform",
                 self.matrix.cols(),
                 t_inverse.rows(),
                 t_inverse.cols()
-            )))?;
+            ))
+        })?;
         Ok(AffineAccess::new(m, self.offset.clone()))
     }
 
@@ -234,10 +233,16 @@ mod tests {
     #[test]
     fn figure2_accesses() {
         // Q1[i1+i2][i2]
-        let q1 = AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build();
+        let q1 = AccessBuilder::new(2, 2)
+            .row(0, [1, 1])
+            .row(1, [0, 1])
+            .build();
         assert_eq!(q1.innermost_direction().as_slice(), &[1, 1]);
         // Q2[i1+i2][i1]
-        let q2 = AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build();
+        let q2 = AccessBuilder::new(2, 2)
+            .row(0, [1, 1])
+            .row(1, [1, 0])
+            .build();
         assert_eq!(q2.innermost_direction().as_slice(), &[1, 0]);
         // Outer-loop directions (used when considering loop interchange).
         assert_eq!(q1.direction_for_level(0).as_slice(), &[1, 0]);
@@ -251,10 +256,16 @@ mod tests {
             .row(1, [0, 1])
             .offset(0, 1)
             .build();
-        let b = AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build();
+        let b = AccessBuilder::new(2, 2)
+            .row(0, [1, 0])
+            .row(1, [0, 1])
+            .build();
         assert!(a.is_uniform_with(&b));
         assert_eq!(a.index_for(&IntVec::from(vec![2, 3])).as_slice(), &[3, 3]);
-        let c = AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build();
+        let c = AccessBuilder::new(2, 2)
+            .row(0, [0, 1])
+            .row(1, [1, 0])
+            .build();
         assert!(!a.is_uniform_with(&c));
     }
 
@@ -263,7 +274,10 @@ mod tests {
         // Interchanging the two loops of Figure 2: T = [[0,1],[1,0]],
         // T^{-1} = T.  Q1's new innermost direction becomes its old outer
         // direction.
-        let q1 = AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build();
+        let q1 = AccessBuilder::new(2, 2)
+            .row(0, [1, 1])
+            .row(1, [0, 1])
+            .build();
         let t_inv = IntMat::from_array([[0, 1], [1, 0]]);
         let q1t = q1.transformed(&t_inv).unwrap();
         assert_eq!(q1t.innermost_direction().as_slice(), &[1, 0]);
@@ -273,7 +287,10 @@ mod tests {
 
     #[test]
     fn display_contains_matrix_and_offset() {
-        let a = AccessBuilder::new(1, 2).row(0, [1, -1]).offset(0, 3).build();
+        let a = AccessBuilder::new(1, 2)
+            .row(0, [1, -1])
+            .offset(0, 3)
+            .build();
         let s = a.to_string();
         assert!(s.contains("(1 -1)"));
         assert!(s.contains("(3)"));

@@ -41,9 +41,15 @@ impl ProgramBuilder {
     }
 
     /// Declares an array and returns its id.
-    pub fn array(&mut self, name: impl Into<String>, extents: Vec<i64>, element_size: u32) -> ArrayId {
+    pub fn array(
+        &mut self,
+        name: impl Into<String>,
+        extents: Vec<i64>,
+        element_size: u32,
+    ) -> ArrayId {
         let id = ArrayId::new(self.arrays.len());
-        self.arrays.push(ArrayDecl::new(id, name, extents, element_size));
+        self.arrays
+            .push(ArrayDecl::new(id, name, extents, element_size));
         id
     }
 
@@ -138,7 +144,13 @@ mod tests {
             n.compute(7);
         });
         let n1 = b.nest("second", vec![("i", 0, 8), ("j", 0, 8)], |n| {
-            n.write(a1, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+            n.write(
+                a1,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
         });
         assert_eq!(n0.index(), 0);
         assert_eq!(n1.index(), 1);

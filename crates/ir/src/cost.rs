@@ -40,11 +40,29 @@ mod tests {
         let mut b = ProgramBuilder::new("p");
         let a = b.array("A", vec![64, 64], 4);
         b.nest("small", vec![("i", 0, 8), ("j", 0, 8)], |n| {
-            n.read(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+            n.read(
+                a,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
         });
         b.nest("large", vec![("i", 0, 64), ("j", 0, 64)], |n| {
-            n.read(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
-            n.write(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+            n.read(
+                a,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
+            n.write(
+                a,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
         });
         let p = b.build();
         let c_small = nest_cost(&p.nests()[0]);
@@ -62,7 +80,13 @@ mod tests {
             n.read(a, AccessBuilder::new(2, 1).row(0, [1]).row(1, [0]).build());
         });
         b.nest("n1", vec![("i", 0, 32), ("j", 0, 32)], |n| {
-            n.read(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+            n.read(
+                a,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
         });
         b.nest("n2", vec![("i", 0, 4)], |n| {
             n.read(a, AccessBuilder::new(2, 1).row(0, [1]).row(1, [0]).build());

@@ -263,7 +263,10 @@ mod tests {
     }
 
     fn ident2() -> crate::AffineAccess {
-        AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build()
+        AccessBuilder::new(2, 2)
+            .row(0, [1, 0])
+            .row(1, [0, 1])
+            .build()
     }
 
     #[test]
@@ -353,7 +356,10 @@ mod tests {
         // A[2i][j] written, A[2i'+1][j'] read: first dimension 2i = 2i'+1 has
         // no integer solution, so there is no dependence even though the
         // accesses are not uniform.
-        let write = AccessBuilder::new(2, 2).row(0, [2, 0]).row(1, [0, 1]).build();
+        let write = AccessBuilder::new(2, 2)
+            .row(0, [2, 0])
+            .row(1, [0, 1])
+            .build();
         let read = AccessBuilder::new(2, 2)
             .row(0, [2, 0])
             .row(1, [0, 1])
@@ -383,7 +389,10 @@ mod tests {
         // A[i][j] written, A[j][i] read: not uniform, GCD test cannot prove
         // independence, so a conservative unknown dependence is recorded.
         let write = ident2();
-        let read = AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build();
+        let read = AccessBuilder::new(2, 2)
+            .row(0, [0, 1])
+            .row(1, [1, 0])
+            .build();
         let nest = nest_with(vec![
             (ArrayId::new(0), write, AccessKind::Write),
             (ArrayId::new(0), read, AccessKind::Read),

@@ -192,10 +192,7 @@ mod tests {
             .map(IntVec::into_inner)
             .collect();
         // Loop order is (j, i): i (original loop 0) now varies fastest.
-        assert_eq!(
-            pts,
-            vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![1, 1]]
-        );
+        assert_eq!(pts, vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![1, 1]]);
     }
 
     #[test]

@@ -177,7 +177,10 @@ impl LoopNest {
 
     /// All references to a particular array.
     pub fn references_to(&self, array: ArrayId) -> Vec<&ArrayRef> {
-        self.references.iter().filter(|r| r.array() == array).collect()
+        self.references
+            .iter()
+            .filter(|r| r.array() == array)
+            .collect()
     }
 
     /// Returns the trip count of the innermost loop (1 for an empty nest).
@@ -212,17 +215,27 @@ mod tests {
         );
         nest.add_reference(
             ArrayId::new(0),
-            AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build(),
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 0])
+                .row(1, [0, 1])
+                .build(),
             AccessKind::Read,
         );
         nest.add_reference(
             ArrayId::new(1),
-            AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build(),
+            AccessBuilder::new(2, 2)
+                .row(0, [0, 1])
+                .row(1, [1, 0])
+                .build(),
             AccessKind::Write,
         );
         nest.add_reference(
             ArrayId::new(0),
-            AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).offset(1, 1).build(),
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 0])
+                .row(1, [0, 1])
+                .offset(1, 1)
+                .build(),
             AccessKind::Write,
         );
         nest
@@ -249,7 +262,10 @@ mod tests {
         assert_eq!(nest.iteration_count(), 40);
         assert_eq!(nest.innermost_trip_count(), 4);
         assert_eq!(nest.references().len(), 3);
-        assert_eq!(nest.referenced_arrays(), vec![ArrayId::new(0), ArrayId::new(1)]);
+        assert_eq!(
+            nest.referenced_arrays(),
+            vec![ArrayId::new(0), ArrayId::new(1)]
+        );
         assert_eq!(nest.references_to(ArrayId::new(0)).len(), 2);
         assert_eq!(nest.compute_per_iteration(), 4);
         assert!(nest.to_string().contains("for i in 0..10"));

@@ -149,8 +149,20 @@ mod tests {
         let c = b.array("C", vec![32, 32], 8);
         let d = b.array("D", vec![64], 4);
         b.nest("n0", vec![("i", 0, 32), ("j", 0, 32)], |n| {
-            n.read(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
-            n.write(c, AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build());
+            n.read(
+                a,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
+            n.write(
+                c,
+                AccessBuilder::new(2, 2)
+                    .row(0, [0, 1])
+                    .row(1, [1, 0])
+                    .build(),
+            );
         });
         b.nest("n1", vec![("i", 0, 64)], |n| {
             n.read(d, AccessBuilder::new(1, 1).row(0, [1]).build());

@@ -118,7 +118,10 @@ mod tests {
         ArrayRef::new(
             RefId::new(3),
             ArrayId::new(2),
-            AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build(),
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 1])
+                .row(1, [0, 1])
+                .build(),
             kind,
         )
     }

@@ -282,7 +282,10 @@ mod tests {
         );
         free.add_reference(
             ArrayId::new(0),
-            AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build(),
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 0])
+                .row(1, [0, 1])
+                .build(),
             AccessKind::Read,
         );
         let legal = legal_permutations(&free);
@@ -297,7 +300,10 @@ mod tests {
         );
         constrained.add_reference(
             ArrayId::new(0),
-            AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build(),
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 0])
+                .row(1, [0, 1])
+                .build(),
             AccessKind::Write,
         );
         constrained.add_reference(

@@ -292,7 +292,10 @@ mod tests {
                 for j in 0..7 {
                     let off = map.element_offset(&IntVec::from(vec![i, j]));
                     assert!(off >= 0, "negative offset under {layout}");
-                    assert!(off < map.span_elements(), "offset beyond span under {layout}");
+                    assert!(
+                        off < map.span_elements(),
+                        "offset beyond span under {layout}"
+                    );
                     assert!(seen.insert(off), "duplicate offset under {layout}");
                 }
             }
@@ -348,10 +351,7 @@ mod tests {
         let p = b.build();
         let asg = LayoutAssignment::all_row_major(&p);
         assert_eq!(asg.len(), 2);
-        assert_eq!(
-            asg.layout_of(ArrayId::new(1)),
-            Some(&Layout::row_major(1))
-        );
+        assert_eq!(asg.layout_of(ArrayId::new(1)), Some(&Layout::row_major(1)));
     }
 
     proptest! {

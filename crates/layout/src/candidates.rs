@@ -87,6 +87,61 @@ pub fn total_domain_size(program: &Program, options: &CandidateOptions) -> usize
         .sum()
 }
 
+/// The candidate layouts of every array of one program, enumerated once and
+/// reusable across many network builds.
+///
+/// Candidate enumeration walks every (nest, legal restructuring) pair and is
+/// the most expensive part of network construction; sessions (`mlo-core`)
+/// enumerate once per program and then build networks from the borrowed set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateSet {
+    options: CandidateOptions,
+    per_array: Vec<Vec<Layout>>,
+}
+
+impl CandidateSet {
+    /// Enumerates the candidate layouts of every array of `program`.
+    pub fn enumerate(program: &Program, options: &CandidateOptions) -> Self {
+        let per_array = program
+            .arrays()
+            .iter()
+            .map(|a| candidate_layouts(program, a.id(), options))
+            .collect();
+        CandidateSet {
+            options: *options,
+            per_array,
+        }
+    }
+
+    /// The options the set was enumerated with.
+    pub fn options(&self) -> &CandidateOptions {
+        &self.options
+    }
+
+    /// The candidate layouts of one array (empty for unknown arrays).
+    pub fn of(&self, array: ArrayId) -> &[Layout] {
+        self.per_array
+            .get(array.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of arrays covered.
+    pub fn len(&self) -> usize {
+        self.per_array.len()
+    }
+
+    /// Whether the set covers no arrays.
+    pub fn is_empty(&self) -> bool {
+        self.per_array.is_empty()
+    }
+
+    /// The paper's Table 1 "Domain Size" over the cached set.
+    pub fn total_domain_size(&self) -> usize {
+        self.per_array.iter().map(Vec::len).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,8 +153,20 @@ mod tests {
         let q1 = b.array("Q1", vec![2 * n, n], 4);
         let q2 = b.array("Q2", vec![2 * n, n], 4);
         b.nest("main", vec![("i1", 0, n), ("i2", 0, n)], |nest| {
-            nest.read(q1, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build());
-            nest.read(q2, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build());
+            nest.read(
+                q1,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 1])
+                    .row(1, [0, 1])
+                    .build(),
+            );
+            nest.read(
+                q2,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 1])
+                    .row(1, [1, 0])
+                    .build(),
+            );
         });
         b.build()
     }

@@ -4,7 +4,7 @@
 //! and every constraint pair records the preferred layouts of two arrays
 //! under one legal restructuring of one nest that references both.
 
-use crate::candidates::{candidate_layouts, CandidateOptions};
+use crate::candidates::{CandidateOptions, CandidateSet};
 use crate::hyperplane::Layout;
 use crate::locality::preferred_layout_for_array;
 use mlo_csp::{ConstraintNetwork, VarId};
@@ -68,23 +68,34 @@ impl LayoutNetwork {
 
 /// Builds the constraint network of a program.
 ///
+/// Candidate layouts are enumerated on the spot; callers that build several
+/// networks for one program (sessions, weighting experiments) should
+/// enumerate a [`CandidateSet`] once and use [`build_network_from`].
+pub fn build_network(program: &Program, options: &CandidateOptions) -> LayoutNetwork {
+    build_network_from(program, &CandidateSet::enumerate(program, options))
+}
+
+/// Builds the constraint network of a program from a borrowed, pre-computed
+/// candidate set.
+///
 /// Every array becomes a variable whose domain is its candidate layouts.
 /// For every nest and every legal loop permutation of that nest, the
 /// preferred layouts of the referenced arrays are computed; each pair of
 /// arrays with a preference contributes one allowed pair to the constraint
 /// between them (accumulated across nests and restructurings).
-pub fn build_network(program: &Program, options: &CandidateOptions) -> LayoutNetwork {
+pub fn build_network_from(program: &Program, candidates: &CandidateSet) -> LayoutNetwork {
+    let options = candidates.options();
     let mut network: ConstraintNetwork<Layout> = ConstraintNetwork::new();
     let mut variable_of_array: Vec<Option<VarId>> = vec![None; program.arrays().len()];
     let mut array_of_variable: Vec<ArrayId> = Vec::new();
 
     // Variables and domains.
     for array in program.arrays() {
-        let candidates = candidate_layouts(program, array.id(), options);
-        if candidates.is_empty() {
+        let domain = candidates.of(array.id());
+        if domain.is_empty() {
             continue;
         }
-        let var = network.add_variable(array.name(), candidates);
+        let var = network.add_variable(array.name(), domain.to_vec());
         variable_of_array[array.id().index()] = Some(var);
         array_of_variable.push(array.id());
     }
@@ -150,13 +161,37 @@ mod tests {
         let c = b.array("C", vec![n, n], 4);
         // Nest 0: A[i][j], C[i][j] with j innermost: both want row-major.
         b.nest("n0", vec![("i", 0, n), ("j", 0, n)], |nest| {
-            nest.read(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
-            nest.write(c, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+            nest.read(
+                a,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
+            nest.write(
+                c,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
         });
         // Nest 1: A[j][i]: wants column-major for A under the original order.
         b.nest("n1", vec![("i", 0, n), ("j", 0, n)], |nest| {
-            nest.read(a, AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build());
-            nest.write(c, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+            nest.read(
+                a,
+                AccessBuilder::new(2, 2)
+                    .row(0, [0, 1])
+                    .row(1, [1, 0])
+                    .build(),
+            );
+            nest.write(
+                c,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
         });
         b.build()
     }
@@ -168,8 +203,20 @@ mod tests {
         let q1 = b.array("Q1", vec![2 * n, n], 4);
         let q2 = b.array("Q2", vec![2 * n, n], 4);
         b.nest("main", vec![("i1", 0, n), ("i2", 0, n)], |nest| {
-            nest.read(q1, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build());
-            nest.read(q2, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build());
+            nest.read(
+                q1,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 1])
+                    .row(1, [0, 1])
+                    .build(),
+            );
+            nest.read(
+                q2,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 1])
+                    .row(1, [1, 0])
+                    .build(),
+            );
         });
         let p = b.build();
         let ln = build_network(&p, &CandidateOptions::default());
@@ -225,10 +272,7 @@ mod tests {
     fn contributions_record_transform_descriptions() {
         let p = two_nest_program();
         let ln = build_network(&p, &CandidateOptions::default());
-        assert!(ln
-            .contributions()
-            .iter()
-            .any(|c| c.transform == "identity"));
+        assert!(ln.contributions().iter().any(|c| c.transform == "identity"));
         assert!(ln
             .contributions()
             .iter()

@@ -336,9 +336,9 @@ fn schedule_array(
         for c in 0..k {
             let mut best_prev = f64::INFINITY;
             let mut best_prev_c = 0usize;
-            for p in 0..k {
+            for (p, &prev) in best[s - 1].iter().enumerate() {
                 let transition = if p == c { 0.0 } else { copy_cost };
-                let total = best[s - 1][p] + transition;
+                let total = prev + transition;
                 if total < best_prev {
                     best_prev = total;
                     best_prev_c = p;
@@ -393,7 +393,12 @@ pub fn sweep_windows(
     windows
         .iter()
         .filter(|&&w| w > 0)
-        .map(|&w| (w, dynamic_plan(program, &Segmentation::by_window(program, w), options)))
+        .map(|&w| {
+            (
+                w,
+                dynamic_plan(program, &Segmentation::by_window(program, w), options),
+            )
+        })
         .collect()
 }
 
@@ -413,7 +418,10 @@ mod tests {
         let pin_row = |nest: &mut mlo_ir::NestBuilder| {
             nest.write(
                 mlo_ir::ArrayId::new(0),
-                AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build(),
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
             );
             nest.read(
                 mlo_ir::ArrayId::new(0),
@@ -429,7 +437,10 @@ mod tests {
         let pin_col = |nest: &mut mlo_ir::NestBuilder| {
             nest.write(
                 mlo_ir::ArrayId::new(0),
-                AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build(),
+                AccessBuilder::new(2, 2)
+                    .row(0, [0, 1])
+                    .row(1, [1, 0])
+                    .build(),
             );
             nest.read(
                 mlo_ir::ArrayId::new(0),
@@ -442,16 +453,36 @@ mod tests {
             );
         };
         for k in 0..nests_per_phase {
-            b.nest(format!("row_phase{k}"), vec![("i", 0, n), ("j", 0, n)], |nest| {
-                nest.read(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
-                pin_row(nest);
-            });
+            b.nest(
+                format!("row_phase{k}"),
+                vec![("i", 0, n), ("j", 0, n)],
+                |nest| {
+                    nest.read(
+                        a,
+                        AccessBuilder::new(2, 2)
+                            .row(0, [1, 0])
+                            .row(1, [0, 1])
+                            .build(),
+                    );
+                    pin_row(nest);
+                },
+            );
         }
         for k in 0..nests_per_phase {
-            b.nest(format!("col_phase{k}"), vec![("i", 0, n), ("j", 0, n)], |nest| {
-                nest.read(a, AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build());
-                pin_col(nest);
-            });
+            b.nest(
+                format!("col_phase{k}"),
+                vec![("i", 0, n), ("j", 0, n)],
+                |nest| {
+                    nest.read(
+                        a,
+                        AccessBuilder::new(2, 2)
+                            .row(0, [0, 1])
+                            .row(1, [1, 0])
+                            .build(),
+                    );
+                    pin_col(nest);
+                },
+            );
         }
         b.build()
     }

@@ -30,6 +30,9 @@ pub struct HeuristicResult {
     pub elapsed: Duration,
 }
 
+/// The best (restructuring, score, newly fixed layouts) choice for a nest.
+type NestChoice = Option<(String, i64, Vec<(ArrayId, Layout)>)>;
+
 /// Runs the heuristic baseline on a program.
 ///
 /// Arrays that remain without a preference after all nests are processed
@@ -43,7 +46,7 @@ pub fn heuristic_assignment(program: &Program) -> HeuristicResult {
 
     for &nest_id in &order {
         let nest = &program.nests()[nest_id.index()];
-        let mut best: Option<(String, i64, Vec<(ArrayId, Layout)>)> = None;
+        let mut best: NestChoice = None;
         for transform in legal_permutations(nest) {
             // Tentatively give every not-yet-fixed array its preferred
             // layout under this restructuring.
@@ -103,8 +106,20 @@ mod tests {
         let q1 = b.array("Q1", vec![2 * n, n], 4);
         let q2 = b.array("Q2", vec![2 * n, n], 4);
         b.nest("main", vec![("i1", 0, n), ("i2", 0, n)], |nest| {
-            nest.read(q1, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build());
-            nest.read(q2, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build());
+            nest.read(
+                q1,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 1])
+                    .row(1, [0, 1])
+                    .build(),
+            );
+            nest.read(
+                q2,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 1])
+                    .row(1, [1, 0])
+                    .build(),
+            );
         });
         let p = b.build();
         let result = heuristic_assignment(&p);
@@ -125,14 +140,32 @@ mod tests {
         let mut b = ProgramBuilder::new("conflict");
         let a = b.array("A", vec![64, 64], 4);
         b.nest("big", vec![("i", 0, 64), ("j", 0, 64)], |nest| {
-            nest.read(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+            nest.read(
+                a,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
         });
         b.nest("small", vec![("i", 0, 8), ("j", 0, 8)], |nest| {
             // A[j][i]: wants column-major in the original order.
-            nest.read(a, AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build());
+            nest.read(
+                a,
+                AccessBuilder::new(2, 2)
+                    .row(0, [0, 1])
+                    .row(1, [1, 0])
+                    .build(),
+            );
             // A write/read pair with an anti-diagonal dependence pins the
             // loop order (interchange illegal).
-            nest.write(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+            nest.write(
+                a,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
             nest.read(
                 a,
                 AccessBuilder::new(2, 2)

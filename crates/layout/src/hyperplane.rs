@@ -38,7 +38,10 @@ impl Hyperplane {
     /// a hyperplane family).
     pub fn new(coefficients: impl Into<IntVec>) -> Self {
         let v: IntVec = coefficients.into();
-        assert!(!v.is_zero(), "a hyperplane vector cannot be the zero vector");
+        assert!(
+            !v.is_zero(),
+            "a hyperplane vector cannot be the zero vector"
+        );
         Hyperplane {
             coefficients: v.canonicalized(),
         }
@@ -132,7 +135,10 @@ impl Layout {
     /// Panics if the list is empty or the hyperplanes have differing
     /// dimensionality.
     pub fn new(hyperplanes: Vec<Hyperplane>) -> Self {
-        assert!(!hyperplanes.is_empty(), "a layout needs at least one hyperplane");
+        assert!(
+            !hyperplanes.is_empty(),
+            "a layout needs at least one hyperplane"
+        );
         let dim = hyperplanes[0].dim();
         assert!(
             hyperplanes.iter().all(|h| h.dim() == dim),

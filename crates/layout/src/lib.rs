@@ -67,13 +67,13 @@ pub mod quality;
 pub mod weights;
 
 pub use apply::{AddressMap, LayoutAssignment};
-pub use candidates::{candidate_layouts, CandidateOptions};
-pub use constraints::{build_network, LayoutNetwork};
+pub use candidates::{candidate_layouts, CandidateOptions, CandidateSet};
+pub use constraints::{build_network, build_network_from, LayoutNetwork};
 pub use dynamic::{dynamic_plan, DynamicOptions, DynamicPlan, Segmentation};
 pub use heuristic::{heuristic_assignment, HeuristicResult};
 pub use hyperplane::{Hyperplane, Layout};
 pub use quality::{assignment_score, nest_score};
-pub use weights::{weighted_assignment, WeightOptions, WeightedOutcome};
+pub use weights::{derive_weights, weighted_assignment, WeightOptions, WeightedOutcome};
 
 /// Errors produced by the layout analyses.
 #[derive(Debug, Clone, PartialEq, Eq)]

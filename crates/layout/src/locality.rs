@@ -76,7 +76,11 @@ pub fn preferred_layout_for_array(
 /// `directions`, or `None` when only the zero vector is orthogonal to all of
 /// them (no non-trivial layout exists).
 pub fn layout_orthogonal_to(directions: &[IntVec]) -> Option<Layout> {
-    let moving: Vec<IntVec> = directions.iter().filter(|d| !d.is_zero()).cloned().collect();
+    let moving: Vec<IntVec> = directions
+        .iter()
+        .filter(|d| !d.is_zero())
+        .cloned()
+        .collect();
     if moving.is_empty() {
         return None;
     }
@@ -132,13 +136,19 @@ mod tests {
         // Q1[i1+i2][i2]
         nest.add_reference(
             ArrayId::new(0),
-            AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build(),
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 1])
+                .row(1, [0, 1])
+                .build(),
             AccessKind::Read,
         );
         // Q2[i1+i2][i1]
         nest.add_reference(
             ArrayId::new(1),
-            AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build(),
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 1])
+                .row(1, [1, 0])
+                .build(),
             AccessKind::Read,
         );
         nest
@@ -177,10 +187,17 @@ mod tests {
     #[test]
     fn row_major_access_prefers_row_major() {
         // A[i][j] traversed with j innermost prefers (1 0).
-        let access = AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build();
+        let access = AccessBuilder::new(2, 2)
+            .row(0, [1, 0])
+            .row(1, [0, 1])
+            .build();
         let layout = preferred_layout(&access, &LoopTransform::identity(2)).unwrap();
         assert_eq!(layout, Layout::row_major(2));
-        assert!(has_spatial_locality(&access, &LoopTransform::identity(2), &layout));
+        assert!(has_spatial_locality(
+            &access,
+            &LoopTransform::identity(2),
+            &layout
+        ));
         assert!(!has_spatial_locality(
             &access,
             &LoopTransform::identity(2),
@@ -191,7 +208,10 @@ mod tests {
     #[test]
     fn temporal_reuse_has_no_preference() {
         // A[i][0] does not move with the innermost loop j.
-        let access = AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 0]).build();
+        let access = AccessBuilder::new(2, 2)
+            .row(0, [1, 0])
+            .row(1, [0, 0])
+            .build();
         assert_eq!(preferred_layout(&access, &LoopTransform::identity(2)), None);
         // But it counts as having locality under any layout.
         assert!(has_spatial_locality(
@@ -233,12 +253,18 @@ mod tests {
         );
         nest.add_reference(
             ArrayId::new(0),
-            AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build(),
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 0])
+                .row(1, [0, 1])
+                .build(),
             AccessKind::Read,
         );
         nest.add_reference(
             ArrayId::new(0),
-            AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build(),
+            AccessBuilder::new(2, 2)
+                .row(0, [0, 1])
+                .row(1, [1, 0])
+                .build(),
             AccessKind::Read,
         );
         let layout =

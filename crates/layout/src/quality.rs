@@ -35,10 +35,7 @@ pub fn nest_score(
 
 /// The best achievable locality score of a nest over its legal
 /// restructurings, together with the transform achieving it.
-pub fn best_nest_score(
-    nest: &LoopNest,
-    assignment: &LayoutAssignment,
-) -> (LoopTransform, i64) {
+pub fn best_nest_score(nest: &LoopNest, assignment: &LayoutAssignment) -> (LoopTransform, i64) {
     let mut best: Option<(LoopTransform, i64)> = None;
     for transform in legal_permutations(nest) {
         let score = nest_score(nest, &transform, assignment);
@@ -86,8 +83,20 @@ mod tests {
         let q1 = b.array("Q1", vec![2 * n, n], 4);
         let q2 = b.array("Q2", vec![2 * n, n], 4);
         b.nest("main", vec![("i1", 0, n), ("i2", 0, n)], |nest| {
-            nest.read(q1, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build());
-            nest.read(q2, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build());
+            nest.read(
+                q1,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 1])
+                    .row(1, [0, 1])
+                    .build(),
+            );
+            nest.read(
+                q2,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 1])
+                    .row(1, [1, 0])
+                    .build(),
+            );
         });
         b.build()
     }

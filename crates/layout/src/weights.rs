@@ -94,6 +94,25 @@ pub fn build_weighted_network(
     options: &WeightOptions,
 ) -> WeightedLayoutNetwork {
     let layout_network = build_network(program, candidates);
+    let weighted = derive_weights(program, &layout_network, options);
+    WeightedLayoutNetwork {
+        layout_network,
+        weighted,
+    }
+}
+
+/// Derives just the weighted constraint network from a borrowed, pre-built
+/// layout network, copying only the inner [`ConstraintNetwork`] (which the
+/// result must own), never the layout bookkeeping.
+///
+/// Sessions (`mlo-core`) cache the hard [`LayoutNetwork`] per program and
+/// derive weights from it on demand, so switching between weighted and
+/// unweighted strategies re-enumerates nothing.
+pub fn derive_weights(
+    program: &Program,
+    layout_network: &LayoutNetwork,
+    options: &WeightOptions,
+) -> WeightedNetwork<Layout> {
     let mut weighted =
         WeightedNetwork::new(layout_network.network().clone(), options.default_weight);
 
@@ -132,10 +151,7 @@ pub fn build_weighted_network(
             .expect("contribution pairs are allowed pairs of the hard network");
     }
 
-    WeightedLayoutNetwork {
-        layout_network,
-        weighted,
-    }
+    weighted
 }
 
 /// Solves the weighted layout problem of a program: builds the weighted
@@ -194,7 +210,10 @@ mod tests {
             // interchange illegal, pinning the nest's loop order.
             nest.write(
                 mlo_ir::ArrayId::new(0),
-                AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build(),
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
             );
             nest.read(
                 mlo_ir::ArrayId::new(0),
@@ -207,11 +226,23 @@ mod tests {
             );
         };
         b.nest("big", vec![("i", 0, big), ("j", 0, big)], |nest| {
-            nest.read(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+            nest.read(
+                a,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
             pin(nest);
         });
         b.nest("small", vec![("i", 0, small), ("j", 0, small)], |nest| {
-            nest.read(a, AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build());
+            nest.read(
+                a,
+                AccessBuilder::new(2, 2)
+                    .row(0, [0, 1])
+                    .row(1, [1, 0])
+                    .build(),
+            );
             pin(nest);
         });
         b.build()
@@ -220,7 +251,8 @@ mod tests {
     #[test]
     fn weights_accumulate_over_contributions() {
         let p = conflicting_program(32, 8);
-        let network = build_weighted_network(&p, &CandidateOptions::default(), &WeightOptions::default());
+        let network =
+            build_weighted_network(&p, &CandidateOptions::default(), &WeightOptions::default());
         // The network has a single variable pair... actually a single array,
         // so there is no binary constraint at all; weights are empty but the
         // structure is still well-formed.
@@ -237,22 +269,50 @@ mod tests {
         // Big nest: X[i][j], Y[i][j] -> both row-major (identity) or both
         // column-major (interchange).
         b.nest("big", vec![("i", 0, 64), ("j", 0, 64)], |nest| {
-            nest.read(x, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
-            nest.read(y, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+            nest.read(
+                x,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
+            nest.read(
+                y,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
         });
         // Small nest: X[j][i], Y[i][j] -> X column-major, Y row-major
         // (identity) or the swap (interchange).
         b.nest("small", vec![("i", 0, 4), ("j", 0, 4)], |nest| {
-            nest.read(x, AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build());
-            nest.read(y, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+            nest.read(
+                x,
+                AccessBuilder::new(2, 2)
+                    .row(0, [0, 1])
+                    .row(1, [1, 0])
+                    .build(),
+            );
+            nest.read(
+                y,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
         });
         let p = b.build();
-        let outcome = weighted_assignment(&p, &CandidateOptions::default(), &WeightOptions::default());
+        let outcome =
+            weighted_assignment(&p, &CandidateOptions::default(), &WeightOptions::default());
         assert!(outcome.satisfiable);
         // X and Y must agree with the big nest: identical canonical layouts.
         let lx = outcome.assignment.layout_of(x).unwrap();
         let ly = outcome.assignment.layout_of(y).unwrap();
-        assert_eq!(lx, ly, "the costly nest's preference must win: {lx} vs {ly}");
+        assert_eq!(
+            lx, ly,
+            "the costly nest's preference must win: {lx} vs {ly}"
+        );
         assert!(outcome.weight > 0.0);
         assert!(outcome.stats.nodes_visited > 0);
     }
@@ -260,7 +320,8 @@ mod tests {
     #[test]
     fn assignment_is_always_complete() {
         let p = conflicting_program(16, 4);
-        let outcome = weighted_assignment(&p, &CandidateOptions::default(), &WeightOptions::default());
+        let outcome =
+            weighted_assignment(&p, &CandidateOptions::default(), &WeightOptions::default());
         for array in p.arrays() {
             assert!(outcome.assignment.contains(array.id()));
         }
@@ -273,11 +334,24 @@ mod tests {
         let q1 = b.array("Q1", vec![2 * n, n], 4);
         let q2 = b.array("Q2", vec![2 * n, n], 4);
         b.nest("main", vec![("i1", 0, n), ("i2", 0, n)], |nest| {
-            nest.read(q1, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build());
-            nest.read(q2, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build());
+            nest.read(
+                q1,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 1])
+                    .row(1, [0, 1])
+                    .build(),
+            );
+            nest.read(
+                q2,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 1])
+                    .row(1, [1, 0])
+                    .build(),
+            );
         });
         let p = b.build();
-        let outcome = weighted_assignment(&p, &CandidateOptions::default(), &WeightOptions::default());
+        let outcome =
+            weighted_assignment(&p, &CandidateOptions::default(), &WeightOptions::default());
         assert!(outcome.satisfiable);
         assert_eq!(assignment_score(&p, &outcome.assignment), ideal_score(&p));
     }

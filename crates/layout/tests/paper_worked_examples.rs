@@ -30,8 +30,14 @@ fn figure1_hyperplane_families() {
 /// (1 -1) respectively.
 #[test]
 fn figure2_preferred_layouts_before_and_after_interchange() {
-    let q1_access = AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build();
-    let q2_access = AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build();
+    let q1_access = AccessBuilder::new(2, 2)
+        .row(0, [1, 1])
+        .row(1, [0, 1])
+        .build();
+    let q2_access = AccessBuilder::new(2, 2)
+        .row(0, [1, 1])
+        .row(1, [1, 0])
+        .build();
     let identity = LoopTransform::identity(2);
     let interchange = LoopTransform::permutation(&[1, 0]);
 
@@ -57,7 +63,10 @@ fn figure2_preferred_layouts_before_and_after_interchange() {
 /// that defines Q1's layout — checked directly on concrete iterations.
 #[test]
 fn figure2_successive_iterations_share_a_hyperplane() {
-    let q1_access = AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build();
+    let q1_access = AccessBuilder::new(2, 2)
+        .row(0, [1, 1])
+        .row(1, [0, 1])
+        .build();
     let diag = Layout::diagonal();
     for i1 in 0..8i64 {
         for i2 in 0..7i64 {
@@ -77,7 +86,10 @@ fn section2_three_dimensional_layouts() {
     let cm3 = Layout::column_major(3);
     assert_eq!(
         cm3.hyperplanes(),
-        &[Hyperplane::new(vec![0, 0, 1]), Hyperplane::new(vec![0, 1, 0])]
+        &[
+            Hyperplane::new(vec![0, 0, 1]),
+            Hyperplane::new(vec![0, 1, 0])
+        ]
     );
     assert!(cm3.same_block(&[0, 2, 3], &[7, 2, 3]));
     assert!(!cm3.same_block(&[0, 2, 3], &[0, 2, 4]));
@@ -93,8 +105,20 @@ fn section3_constraint_pairs_from_figure2() {
     let q1 = builder.array("Q1", vec![2 * n, n], 4);
     let q2 = builder.array("Q2", vec![2 * n, n], 4);
     builder.nest("main", vec![("i1", 0, n), ("i2", 0, n)], |nest| {
-        nest.read(q1, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build());
-        nest.read(q2, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build());
+        nest.read(
+            q1,
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 1])
+                .row(1, [0, 1])
+                .build(),
+        );
+        nest.read(
+            q2,
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 1])
+                .row(1, [1, 0])
+                .build(),
+        );
     });
     let program = builder.build();
     let network = build_network(&program, &CandidateOptions::default());
@@ -127,7 +151,10 @@ fn dependences_restrict_the_candidate_restructurings() {
     // A[i][j] written, A[i-1][j+1] read: interchange is illegal.
     nest.add_reference(
         ArrayId::new(0),
-        AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build(),
+        AccessBuilder::new(2, 2)
+            .row(0, [1, 0])
+            .row(1, [0, 1])
+            .build(),
         mlo_ir::AccessKind::Write,
     );
     nest.add_reference(

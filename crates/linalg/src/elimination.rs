@@ -195,7 +195,10 @@ mod tests {
     fn rank_examples() {
         assert_eq!(rank(&IntMat::identity(4)), 4);
         assert_eq!(rank(&IntMat::zeros(3, 5)), 0);
-        assert_eq!(rank(&IntMat::from_array([[1, 2, 3], [2, 4, 6], [1, 0, 0]])), 2);
+        assert_eq!(
+            rank(&IntMat::from_array([[1, 2, 3], [2, 4, 6], [1, 0, 0]])),
+            2
+        );
         assert_eq!(rank(&IntMat::from_array([[1, 1], [1, -1]])), 2);
         assert_eq!(rank(&IntMat::default()), 0);
     }
@@ -244,11 +247,8 @@ mod tests {
     }
 
     fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = IntMat> {
-        proptest::collection::vec(
-            proptest::collection::vec(-6i64..6, cols),
-            rows,
-        )
-        .prop_map(|rows| IntMat::from_rows(rows.into_iter().map(IntVec::from).collect()))
+        proptest::collection::vec(proptest::collection::vec(-6i64..6, cols), rows)
+            .prop_map(|rows| IntMat::from_rows(rows.into_iter().map(IntVec::from).collect()))
     }
 
     proptest! {
@@ -274,8 +274,8 @@ mod tests {
             let x = solve(&m, &b).unwrap();
             for r in 0..m.rows() {
                 let mut acc = Rational::ZERO;
-                for c in 0..m.cols() {
-                    acc = acc + Rational::from_int(m.get(r, c)) * x[c];
+                for (c, &xc) in x.iter().enumerate() {
+                    acc = acc + Rational::from_int(m.get(r, c)) * xc;
                 }
                 prop_assert_eq!(acc, Rational::from_int(b[r]));
             }

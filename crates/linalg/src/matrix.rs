@@ -170,11 +170,7 @@ impl IntMat {
             });
         }
         Ok((0..self.rows)
-            .map(|r| {
-                (0..self.cols)
-                    .map(|c| self.get(r, c) * v[c])
-                    .sum::<i64>()
-            })
+            .map(|r| (0..self.cols).map(|c| self.get(r, c) * v[c]).sum::<i64>())
             .collect())
     }
 
@@ -377,10 +373,7 @@ mod tests {
         let a = IntMat::from_array([[1, 2], [3, 4]]);
         let b = IntMat::from_array([[0, 1], [1, 0]]);
         assert_eq!(a.mul_mat(&b).unwrap(), IntMat::from_array([[2, 1], [4, 3]]));
-        assert_eq!(
-            a.clone() * IntMat::identity(2),
-            a.clone()
-        );
+        assert_eq!(a.clone() * IntMat::identity(2), a.clone());
         assert!(a.mul_mat(&IntMat::identity(3)).is_err());
     }
 

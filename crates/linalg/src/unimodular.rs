@@ -93,6 +93,9 @@ pub fn is_unimodular(m: &IntMat) -> bool {
 /// let inv = unimodular_inverse(&skew).unwrap();
 /// assert_eq!(skew.mul_mat(&inv).unwrap(), IntMat::identity(2));
 /// ```
+// Explicit indices mirror the Gauss-Jordan formulation; iterator forms would
+// obscure the row/column arithmetic.
+#[allow(clippy::needless_range_loop)]
 pub fn unimodular_inverse(m: &IntMat) -> crate::Result<IntMat> {
     if !m.is_square() {
         return Err(LinalgError::NotSquare {
@@ -168,10 +171,7 @@ mod tests {
     fn determinant_examples() {
         assert_eq!(determinant(&IntMat::identity(1)), Ok(1));
         assert_eq!(determinant(&IntMat::from_array([[3]])), Ok(3));
-        assert_eq!(
-            determinant(&IntMat::from_array([[1, 2], [3, 4]])),
-            Ok(-2)
-        );
+        assert_eq!(determinant(&IntMat::from_array([[1, 2], [3, 4]])), Ok(-2));
         assert_eq!(
             determinant(&IntMat::from_array([[1, 2, 3], [4, 5, 6], [7, 8, 9]])),
             Ok(0)

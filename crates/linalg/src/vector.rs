@@ -33,9 +33,7 @@ impl IntVec {
 
     /// Creates a zero vector of the given dimension.
     pub fn zeros(dim: usize) -> Self {
-        IntVec {
-            data: vec![0; dim],
-        }
+        IntVec { data: vec![0; dim] }
     }
 
     /// Creates the `i`-th standard basis vector of the given dimension.

@@ -29,16 +29,44 @@ fn main() {
     let b = builder.array("B", vec![n, n], 4);
     let c = builder.array("C", vec![n, n], 4);
     builder.nest("smooth", vec![("i", 0, n), ("j", 1, n)], |nest| {
-        nest.read(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
         nest.read(
             a,
-            AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).offset(1, -1).build(),
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 0])
+                .row(1, [0, 1])
+                .build(),
         );
-        nest.write(b, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+        nest.read(
+            a,
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 0])
+                .row(1, [0, 1])
+                .offset(1, -1)
+                .build(),
+        );
+        nest.write(
+            b,
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 0])
+                .row(1, [0, 1])
+                .build(),
+        );
     });
     builder.nest("transpose", vec![("i", 0, n), ("j", 0, n)], |nest| {
-        nest.read(b, AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build());
-        nest.write(c, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+        nest.read(
+            b,
+            AccessBuilder::new(2, 2)
+                .row(0, [0, 1])
+                .row(1, [1, 0])
+                .build(),
+        );
+        nest.write(
+            c,
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 0])
+                .row(1, [0, 1])
+                .build(),
+        );
     });
     let program = builder.build();
 
@@ -55,13 +83,16 @@ fn main() {
     }
 
     println!("\n== Derived constraint network ==");
-    let optimizer = Optimizer::new(OptimizerScheme::Enhanced);
-    let network = optimizer.network(&program);
-    for constraint in network.network().constraints() {
+    let session = Engine::new().session();
+    let request = OptimizeRequest::strategy("enhanced");
+    let prepared = session.prepared(&program, &request.candidates);
+    for constraint in prepared.network(&program).network().constraints() {
         println!("  {constraint}");
     }
 
-    let outcome = optimizer.optimize(&program);
+    let outcome = session
+        .optimize(&program, &request)
+        .expect("the kernel's network is satisfiable");
     println!("\n== Chosen layouts ==");
     for array in program.arrays() {
         println!(

@@ -23,36 +23,68 @@ fn two_phase_program(n: i64, phases: usize) -> Program {
     let mut b = ProgramBuilder::new("two_phase");
     let a = b.array("A", vec![n, n], 4);
     for k in 0..phases {
-        b.nest(format!("row_phase{k}"), vec![("i", 0, n), ("j", 0, n)], |nest| {
-            nest.read(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
-            nest.write(a, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
-            nest.read(
-                a,
-                AccessBuilder::new(2, 2)
-                    .row(0, [1, 0])
-                    .row(1, [0, 1])
-                    .offset(0, -1)
-                    .offset(1, 1)
-                    .build(),
-            );
-            nest.compute(4);
-        });
+        b.nest(
+            format!("row_phase{k}"),
+            vec![("i", 0, n), ("j", 0, n)],
+            |nest| {
+                nest.read(
+                    a,
+                    AccessBuilder::new(2, 2)
+                        .row(0, [1, 0])
+                        .row(1, [0, 1])
+                        .build(),
+                );
+                nest.write(
+                    a,
+                    AccessBuilder::new(2, 2)
+                        .row(0, [1, 0])
+                        .row(1, [0, 1])
+                        .build(),
+                );
+                nest.read(
+                    a,
+                    AccessBuilder::new(2, 2)
+                        .row(0, [1, 0])
+                        .row(1, [0, 1])
+                        .offset(0, -1)
+                        .offset(1, 1)
+                        .build(),
+                );
+                nest.compute(4);
+            },
+        );
     }
     for k in 0..phases {
-        b.nest(format!("col_phase{k}"), vec![("i", 0, n), ("j", 0, n)], |nest| {
-            nest.read(a, AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build());
-            nest.write(a, AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build());
-            nest.read(
-                a,
-                AccessBuilder::new(2, 2)
-                    .row(0, [0, 1])
-                    .row(1, [1, 0])
-                    .offset(0, 1)
-                    .offset(1, -1)
-                    .build(),
-            );
-            nest.compute(4);
-        });
+        b.nest(
+            format!("col_phase{k}"),
+            vec![("i", 0, n), ("j", 0, n)],
+            |nest| {
+                nest.read(
+                    a,
+                    AccessBuilder::new(2, 2)
+                        .row(0, [0, 1])
+                        .row(1, [1, 0])
+                        .build(),
+                );
+                nest.write(
+                    a,
+                    AccessBuilder::new(2, 2)
+                        .row(0, [0, 1])
+                        .row(1, [1, 0])
+                        .build(),
+                );
+                nest.read(
+                    a,
+                    AccessBuilder::new(2, 2)
+                        .row(0, [0, 1])
+                        .row(1, [1, 0])
+                        .offset(0, 1)
+                        .offset(1, -1)
+                        .build(),
+                );
+                nest.compute(4);
+            },
+        );
     }
     b.build()
 }
@@ -71,7 +103,9 @@ fn main() {
     // 1. The static optimizer must compromise: whichever layout it picks,
     //    one phase traverses the array against the layout.
     // ------------------------------------------------------------------
-    let static_outcome = Optimizer::new(OptimizerScheme::Enhanced).optimize(&program);
+    let static_outcome = Engine::new()
+        .optimize(&program, &OptimizeRequest::strategy("enhanced"))
+        .expect("the two-phase program optimizes");
     println!(
         "Static constraint-network layout for A: {}",
         static_outcome
@@ -87,9 +121,7 @@ fn main() {
     let segmentation = Segmentation::by_window(&program, phases);
     let plan = dynamic_plan(&program, &segmentation, &DynamicOptions::default());
     println!("\n{plan}");
-    let schedule = plan
-        .schedule_of(ArrayId::new(0))
-        .expect("A is scheduled");
+    let schedule = plan.schedule_of(ArrayId::new(0)).expect("A is scheduled");
     for (s, layout) in schedule.per_segment.iter().enumerate() {
         println!("  segment {s}: A uses {layout}");
     }

@@ -38,18 +38,16 @@ fn main() {
         original.l1_data.miss_rate() * 100.0
     );
 
-    for scheme in [
-        OptimizerScheme::Heuristic,
-        OptimizerScheme::Base,
-        OptimizerScheme::Enhanced,
-        OptimizerScheme::ForwardChecking,
-    ] {
-        let outcome = Optimizer::with_options(mlo_core::OptimizerOptions {
-            scheme,
-            candidates: benchmark.candidate_options(),
-            ..Default::default()
-        })
-        .optimize(&program);
+    // One session: the four strategies share the candidate enumeration and
+    // the constraint network of the pipeline.
+    let session = Engine::new().session();
+    for strategy in ["heuristic", "base", "enhanced", "forward-checking"] {
+        let outcome = session
+            .optimize(
+                &program,
+                &OptimizeRequest::strategy(strategy).candidates(benchmark.candidate_options()),
+            )
+            .expect("Med-Im04 is satisfiable; no request errors");
         let report = simulator
             .simulate(&program, &outcome.assignment)
             .expect("optimized layouts simulate");
@@ -59,7 +57,7 @@ fn main() {
             .unwrap_or_else(|| "no search".to_string());
         println!(
             "{:<17} solved in {:>10.2?} ({:<28}) -> {:>12} cycles ({:.1}% better than original)",
-            scheme.to_string(),
+            outcome.strategy,
             outcome.solution_time,
             nodes,
             report.total_cycles,

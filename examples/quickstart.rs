@@ -40,8 +40,20 @@ fn main() {
     let q1 = builder.array("Q1", vec![2 * n, n], 4);
     let q2 = builder.array("Q2", vec![2 * n, n], 4);
     builder.nest("main", vec![("i1", 0, n), ("i2", 0, n)], |nest| {
-        nest.read(q1, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build());
-        nest.read(q2, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build());
+        nest.read(
+            q1,
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 1])
+                .row(1, [0, 1])
+                .build(),
+        );
+        nest.read(
+            q2,
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 1])
+                .row(1, [1, 0])
+                .build(),
+        );
     });
     let program = builder.build();
     let nest = &program.nests()[0];
@@ -60,26 +72,34 @@ fn main() {
     // Section 3/4: build the constraint network and solve it.
     // ------------------------------------------------------------------
     println!("\n== Constraint network and solution ==");
-    let optimizer = Optimizer::new(OptimizerScheme::Enhanced);
-    let network = optimizer.network(&program);
+    let session = Engine::new().session();
+    let request = OptimizeRequest::strategy("enhanced");
+    let prepared = session.prepared(&program, &request.candidates);
+    let network = prepared.network(&program);
     println!(
         "  variables: {}, constraints: {}, total domain size: {}",
         network.network().variable_count(),
         network.network().constraint_count(),
         network.total_domain_size()
     );
-    let outcome = optimizer.optimize(&program);
+    let report = session
+        .optimize(&program, &request)
+        .expect("figure 2 is satisfiable");
     println!(
-        "  solved with the {} scheme in {:?} ({} nodes visited)",
-        outcome.scheme,
-        outcome.solution_time,
-        outcome.search_stats.map(|s| s.nodes_visited).unwrap_or(0)
+        "  solved with the {} strategy in {:?} ({} nodes visited)",
+        report.strategy,
+        report.solution_time,
+        report.search_stats.map(|s| s.nodes_visited).unwrap_or(0)
     );
+    let outcome = &report;
     for array in program.arrays() {
         println!(
             "  {} -> {}",
             array.name(),
-            outcome.assignment.layout_of(array.id()).expect("complete assignment")
+            outcome
+                .assignment
+                .layout_of(array.id())
+                .expect("complete assignment")
         );
     }
     println!(

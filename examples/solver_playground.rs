@@ -18,14 +18,22 @@ fn paper_network() -> (ConstraintNetwork<(i64, i64)>, [mlo_csp::VarId; 4]) {
     let q2 = net.add_variable("Q2", vec![(1, -1), (1, 1)]);
     let q3 = net.add_variable("Q3", vec![(0, 1), (1, 1), (1, 2)]);
     let q4 = net.add_variable("Q4", vec![(1, 0), (0, 1), (1, 1)]);
-    net.add_constraint(q1, q2, vec![((1, 0), (1, 1)), ((0, 1), (1, -1))]).unwrap();
-    net.add_constraint(q1, q3, vec![((1, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (1, 2))])
+    net.add_constraint(q1, q2, vec![((1, 0), (1, 1)), ((0, 1), (1, -1))])
         .unwrap();
-    net.add_constraint(q1, q4, vec![((1, 0), (1, 0)), ((0, 1), (0, 1))]).unwrap();
-    net.add_constraint(q2, q3, vec![((1, 1), (0, 1)), ((1, -1), (1, 1))]).unwrap();
+    net.add_constraint(
+        q1,
+        q3,
+        vec![((1, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (1, 2))],
+    )
+    .unwrap();
+    net.add_constraint(q1, q4, vec![((1, 0), (1, 0)), ((0, 1), (0, 1))])
+        .unwrap();
+    net.add_constraint(q2, q3, vec![((1, 1), (0, 1)), ((1, -1), (1, 1))])
+        .unwrap();
     // The paper's S24 lists [(1 0), (0 1)], but (1 0) is not in M2 (a typo in
     // the published example); (1 -1) keeps the published solution.
-    net.add_constraint(q2, q4, vec![((1, -1), (0, 1)), ((1, 1), (1, 0))]).unwrap();
+    net.add_constraint(q2, q4, vec![((1, -1), (0, 1)), ((1, 1), (1, 0))])
+        .unwrap();
     net.add_constraint(q3, q4, vec![((0, 1), (1, 0))]).unwrap();
     (net, [q1, q2, q3, q4])
 }
@@ -97,4 +105,30 @@ fn main() {
             result.stats
         );
     }
+
+    // The narrow search seam: the caller owns the RNG and the limits, so
+    // one engine value serves many differently-budgeted runs and identical
+    // RNG states replay identical searches (this is what `mlo-core`
+    // strategies program against).
+    println!("\nCaller-owned RNG and per-run limits (the mlo-core seam):");
+    use mlo_csp::SearchLimits;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let engine = SearchEngine::with_scheme(Scheme::Base);
+    let mut rng_a = StdRng::seed_from_u64(99);
+    let mut rng_b = StdRng::seed_from_u64(99);
+    let a = engine.solve_with_rng(&random_net, &mut rng_a);
+    let b = engine.solve_with_rng(&random_net, &mut rng_b);
+    assert_eq!(a.stats, b.stats, "identical RNG states replay identically");
+    println!("  replayed: {}", a.stats);
+    let capped = engine.solve_with(
+        &random_net,
+        &mut StdRng::seed_from_u64(99),
+        &SearchLimits::none().with_node_limit(10),
+    );
+    println!(
+        "  capped at 10 nodes: satisfiable={} hit_node_limit={}",
+        capped.is_satisfiable(),
+        capped.hit_node_limit
+    );
 }

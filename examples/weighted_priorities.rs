@@ -29,13 +29,37 @@ fn build_program(hot: i64, cold: i64) -> Program {
     let x = b.array("X", vec![512, 512], 4);
     let y = b.array("Y", vec![512, 512], 4);
     b.nest("hot", vec![("i", 0, hot), ("j", 0, hot)], |nest| {
-        nest.read(x, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
-        nest.read(y, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+        nest.read(
+            x,
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 0])
+                .row(1, [0, 1])
+                .build(),
+        );
+        nest.read(
+            y,
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 0])
+                .row(1, [0, 1])
+                .build(),
+        );
         nest.compute(4);
     });
     b.nest("cold", vec![("i", 0, cold), ("j", 0, cold)], |nest| {
-        nest.read(x, AccessBuilder::new(2, 2).row(0, [0, 1]).row(1, [1, 0]).build());
-        nest.read(y, AccessBuilder::new(2, 2).row(0, [1, 0]).row(1, [0, 1]).build());
+        nest.read(
+            x,
+            AccessBuilder::new(2, 2)
+                .row(0, [0, 1])
+                .row(1, [1, 0])
+                .build(),
+        );
+        nest.read(
+            y,
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 0])
+                .row(1, [0, 1])
+                .build(),
+        );
         nest.compute(4);
     });
     b.build()
@@ -43,14 +67,15 @@ fn build_program(hot: i64, cold: i64) -> Program {
 
 fn main() {
     let program = build_program(512, 64);
-    println!(
-        "Two-nest program: a hot 512x512 nest and a cold 64x64 nest share X and Y.\n"
-    );
+    println!("Two-nest program: a hot 512x512 nest and a cold 64x64 nest share X and Y.\n");
 
     // ------------------------------------------------------------------
     // 1. Unweighted constraint network: any consistent combination will do.
     // ------------------------------------------------------------------
-    let enhanced = Optimizer::new(OptimizerScheme::Enhanced).optimize(&program);
+    let session = Engine::new().session();
+    let enhanced = session
+        .optimize(&program, &OptimizeRequest::strategy("enhanced"))
+        .expect("the two-nest network is satisfiable");
     println!("Enhanced (unweighted) solution:");
     println!("  {}", enhanced.assignment);
 
@@ -70,9 +95,11 @@ fn main() {
         weighted.weight, weighted.satisfiable
     );
 
-    // The core optimizer exposes the same thing as a scheme.
-    let via_scheme = Optimizer::new(OptimizerScheme::Weighted).optimize(&program);
-    assert_eq!(via_scheme.assignment, weighted.assignment);
+    // The engine exposes the same thing as the "weighted" strategy.
+    let via_strategy = session
+        .optimize(&program, &OptimizeRequest::strategy("weighted"))
+        .expect("weighted request succeeds");
+    assert_eq!(via_strategy.assignment, weighted.assignment);
 
     // ------------------------------------------------------------------
     // 3. Compare the static locality scores and the simulated cycles.

@@ -10,8 +10,10 @@
 //! use constraint_layout::prelude::*;
 //!
 //! let program = Benchmark::MxM.program();
-//! let outcome = Optimizer::new(OptimizerScheme::Heuristic).optimize(&program);
-//! assert!(outcome.assignment.len() >= program.arrays().len());
+//! let report = Engine::new()
+//!     .optimize(&program, &OptimizeRequest::strategy("heuristic"))
+//!     .unwrap();
+//! assert!(report.assignment.len() >= program.arrays().len());
 //! ```
 
 #![forbid(unsafe_code)]

@@ -94,7 +94,9 @@ proptest! {
             seed,
         };
         let program = constraint_layout::benchmarks::random_program(&spec);
-        let outcome = Optimizer::new(OptimizerScheme::Enhanced).optimize(&program);
+        let outcome = Engine::new()
+            .optimize(&program, &OptimizeRequest::strategy("enhanced"))
+            .expect("random-program requests use the fallback policy");
         for array in program.arrays() {
             let layout = outcome.assignment.layout_of(array.id()).expect("complete");
             let map = AddressMap::new(array, layout).expect("chosen layouts must linearize");

@@ -1,10 +1,13 @@
 //! Cross-crate integration tests: the full pipeline from program IR through
 //! constraint solving to cache simulation, on the paper's running example
-//! and on the reconstructed benchmarks.
+//! and on the reconstructed benchmarks — driven through the session-based
+//! engine API (with one legacy-shim check for the deprecated `Optimizer`).
 
 use constraint_layout::prelude::*;
-use mlo_core::OptimizerOptions;
+use mlo_core::error::OptimizeError;
+use mlo_core::strategy::{SchemeStrategy, StrategyContext, StrategyOutcome};
 use mlo_layout::quality::{assignment_score, ideal_score};
+use std::sync::Arc;
 
 /// Builds the Figure 2 program of the paper.
 fn figure2_program(n: i64) -> Program {
@@ -12,14 +15,26 @@ fn figure2_program(n: i64) -> Program {
     let q1 = builder.array("Q1", vec![2 * n, n], 4);
     let q2 = builder.array("Q2", vec![2 * n, n], 4);
     builder.nest("main", vec![("i1", 0, n), ("i2", 0, n)], |nest| {
-        nest.read(q1, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [0, 1]).build());
-        nest.read(q2, AccessBuilder::new(2, 2).row(0, [1, 1]).row(1, [1, 0]).build());
+        nest.read(
+            q1,
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 1])
+                .row(1, [0, 1])
+                .build(),
+        );
+        nest.read(
+            q2,
+            AccessBuilder::new(2, 2)
+                .row(0, [1, 1])
+                .row(1, [1, 0])
+                .build(),
+        );
     });
     builder.build()
 }
 
 #[test]
-fn figure2_all_schemes_reach_ideal_locality_and_beat_row_major() {
+fn figure2_all_strategies_reach_ideal_locality_and_beat_row_major() {
     let program = figure2_program(64);
     let simulator = Simulator::new(MachineConfig::date05());
     let baseline = simulator
@@ -27,40 +42,47 @@ fn figure2_all_schemes_reach_ideal_locality_and_beat_row_major() {
         .without_restructuring()
         .simulate(&program, &LayoutAssignment::all_row_major(&program))
         .expect("baseline simulates");
-    for scheme in [
-        OptimizerScheme::Heuristic,
-        OptimizerScheme::Base,
-        OptimizerScheme::Enhanced,
-        OptimizerScheme::ForwardChecking,
-        OptimizerScheme::FullPropagation,
-        OptimizerScheme::Weighted,
+    let session = Engine::new().session();
+    for strategy in [
+        "heuristic",
+        "base",
+        "enhanced",
+        "forward-checking",
+        "full-propagation",
+        "weighted",
     ] {
-        let outcome = Optimizer::new(scheme).optimize(&program);
+        let outcome = session
+            .optimize(&program, &OptimizeRequest::strategy(strategy))
+            .expect("figure 2 requests succeed");
         assert_eq!(
             assignment_score(&program, &outcome.assignment),
             ideal_score(&program),
-            "{scheme} did not reach the ideal locality score"
+            "{strategy} did not reach the ideal locality score"
         );
         let report = simulator
             .simulate(&program, &outcome.assignment)
             .expect("optimized layouts simulate");
         assert!(
             report.total_cycles < baseline.total_cycles,
-            "{scheme}: optimized ({}) not faster than row-major baseline ({})",
+            "{strategy}: optimized ({}) not faster than row-major baseline ({})",
             report.total_cycles,
             baseline.total_cycles
         );
         assert!(report.l1_data.miss_rate() < baseline.l1_data.miss_rate());
     }
+    // One program, many strategies: the session built the network once.
+    assert_eq!(session.prepared_programs(), 1);
 }
 
 #[test]
 fn figure2_solution_matches_the_paper() {
-    // The enhanced scheme must find Q1 = diagonal, Q2 = column-major (the
+    // The enhanced strategy must find Q1 = diagonal, Q2 = column-major (the
     // derivation of Section 2) or the interchanged pair — and with the
     // deterministic enhanced orderings it finds the original-order pair.
     let program = figure2_program(32);
-    let outcome = Optimizer::new(OptimizerScheme::Enhanced).optimize(&program);
+    let outcome = Engine::new()
+        .optimize(&program, &OptimizeRequest::strategy("enhanced"))
+        .expect("figure 2 is satisfiable");
     let q1 = outcome.assignment.layout_of(ArrayId::new(0)).unwrap();
     let q2 = outcome.assignment.layout_of(ArrayId::new(1)).unwrap();
     assert!(
@@ -68,51 +90,53 @@ fn figure2_solution_matches_the_paper() {
             || (q1 == &Layout::column_major(2) && q2 == &Layout::diagonal())
     );
     assert_eq!(outcome.satisfiable, Some(true));
-    assert!(!outcome.fell_back_to_heuristic);
+    assert!(!outcome.fell_back());
 }
 
 #[test]
-fn every_benchmark_runs_through_every_scheme() {
+fn every_benchmark_runs_through_every_strategy() {
     // The base scheme's random-order chronological backtracking can take
     // minutes on the larger benchmark networks in debug builds (that is the
     // very point of Table 2), so this debug-mode test exercises it only on
     // the smallest network; the release harness runs the full matrix.
+    let session = Engine::new().session();
     for benchmark in Benchmark::all() {
         let program = benchmark.program();
-        let schemes: &[OptimizerScheme] = if benchmark == Benchmark::MxM {
-            &[
-                OptimizerScheme::Heuristic,
-                OptimizerScheme::Base,
-                OptimizerScheme::Enhanced,
-            ]
+        let strategies: &[&str] = if benchmark == Benchmark::MxM {
+            &["heuristic", "base", "enhanced"]
         } else {
-            &[OptimizerScheme::Heuristic, OptimizerScheme::Enhanced]
+            &["heuristic", "enhanced"]
         };
-        for &scheme in schemes {
-            let outcome = Optimizer::with_options(OptimizerOptions {
-                scheme,
-                candidates: benchmark.candidate_options(),
-                ..OptimizerOptions::default()
-            })
-            .optimize(&program);
+        let heuristic = session
+            .optimize(
+                &program,
+                &OptimizeRequest::strategy("heuristic").candidates(benchmark.candidate_options()),
+            )
+            .expect("heuristic requests always succeed");
+        for &strategy in strategies {
+            let outcome = session
+                .optimize(
+                    &program,
+                    &OptimizeRequest::strategy(strategy).candidates(benchmark.candidate_options()),
+                )
+                .expect("benchmark requests use the fallback policy");
             // Assignments are always complete, whatever happened during the
             // search.
             for array in program.arrays() {
                 assert!(
                     outcome.assignment.contains(array.id()),
-                    "{benchmark}/{scheme}: array {} missing a layout",
+                    "{benchmark}/{strategy}: array {} missing a layout",
                     array.name()
                 );
             }
-            // Constraint schemes never do worse than the heuristic in the
-            // static locality score: when the network is unsatisfiable they
-            // fall back to exactly the heuristic assignment.
-            if scheme != OptimizerScheme::Heuristic {
-                let heuristic = Optimizer::new(OptimizerScheme::Heuristic).optimize(&program);
+            // Constraint strategies never do worse than the heuristic in
+            // the static locality score: when the network is unsatisfiable
+            // they fall back to exactly the heuristic assignment.
+            if strategy != "heuristic" {
                 assert!(
                     assignment_score(&program, &outcome.assignment)
                         >= assignment_score(&program, &heuristic.assignment),
-                    "{benchmark}/{scheme} lost to the heuristic"
+                    "{benchmark}/{strategy} lost to the heuristic"
                 );
             }
         }
@@ -121,23 +145,31 @@ fn every_benchmark_runs_through_every_scheme() {
 
 #[test]
 fn pipeline_benchmarks_have_satisfiable_networks_and_mxm_does_not() {
+    let session = Engine::new().session();
     for benchmark in Benchmark::all() {
         let program = benchmark.program();
-        let outcome = Optimizer::with_options(OptimizerOptions {
-            scheme: OptimizerScheme::Enhanced,
-            candidates: benchmark.candidate_options(),
-            ..OptimizerOptions::default()
-        })
-        .optimize(&program);
+        let outcome = session
+            .optimize(
+                &program,
+                &OptimizeRequest::strategy("enhanced").candidates(benchmark.candidate_options()),
+            )
+            .expect("enhanced requests use the fallback policy");
         match benchmark {
             Benchmark::MxM => {
                 // No loop order gives all three matrices of a matrix product
                 // spatial locality at once, so the hard network is
-                // unsatisfiable and the optimizer falls back (which is why
-                // the paper's Table 3 shows identical times for all three
-                // schemes on MxM).
-                assert_eq!(outcome.satisfiable, Some(false), "MxM should be unsatisfiable");
-                assert!(outcome.fell_back_to_heuristic);
+                // unsatisfiable and the engine falls back with a typed
+                // reason (which is why the paper's Table 3 shows identical
+                // times for all three schemes on MxM).
+                assert_eq!(
+                    outcome.satisfiable,
+                    Some(false),
+                    "MxM should be unsatisfiable"
+                );
+                assert_eq!(
+                    outcome.fallback,
+                    Fallback::Heuristic(FallbackReason::Unsatisfiable)
+                );
             }
             _ => {
                 assert_eq!(
@@ -145,7 +177,7 @@ fn pipeline_benchmarks_have_satisfiable_networks_and_mxm_does_not() {
                     Some(true),
                     "{benchmark} should be satisfiable"
                 );
-                assert!(!outcome.fell_back_to_heuristic);
+                assert!(!outcome.fell_back());
                 // A constraint-network solution realizes full static
                 // locality on the pipeline benchmarks.
                 assert_eq!(
@@ -161,10 +193,11 @@ fn pipeline_benchmarks_have_satisfiable_networks_and_mxm_does_not() {
 #[test]
 fn base_and_enhanced_agree_on_satisfiability() {
     // One unsatisfiable network (MxM) and one satisfiable one (the paper's
-    // Figure 2): both schemes must agree in both directions.  The larger
+    // Figure 2): both strategies must agree in both directions.  The larger
     // benchmarks are covered by the release harness — the base scheme's
     // random search on them is exactly the multi-minute column of Table 2.
-    let cases: Vec<(String, Program, mlo_layout::CandidateOptions)> = vec![
+    let session = Engine::new().session();
+    let cases: Vec<(String, Program, CandidateOptions)> = vec![
         (
             "MxM".to_string(),
             Benchmark::MxM.program(),
@@ -173,24 +206,151 @@ fn base_and_enhanced_agree_on_satisfiability() {
         (
             "figure2".to_string(),
             figure2_program(16),
-            mlo_layout::CandidateOptions::default(),
+            CandidateOptions::default(),
         ),
     ];
     for (name, program, candidates) in cases {
-        let run = |scheme| {
-            Optimizer::with_options(OptimizerOptions {
-                scheme,
-                candidates,
-                seed: 99,
-                ..OptimizerOptions::default()
-            })
-            .optimize(&program)
-            .satisfiable
+        let run = |strategy: &str| {
+            session
+                .optimize(
+                    &program,
+                    &OptimizeRequest::strategy(strategy)
+                        .candidates(candidates)
+                        .seed(99),
+                )
+                .expect("requests use the fallback policy")
+                .satisfiable
         };
         assert_eq!(
-            run(OptimizerScheme::Base),
-            run(OptimizerScheme::Enhanced),
+            run("base"),
+            run("enhanced"),
             "{name}: base and enhanced disagree on satisfiability"
         );
     }
+}
+
+/// A user-defined strategy: try the enhanced scheme under a small node
+/// budget, escalate to full propagation when the budget runs out.
+#[derive(Debug)]
+struct EscalatingStrategy;
+
+impl mlo_core::LayoutStrategy for EscalatingStrategy {
+    fn name(&self) -> &str {
+        "escalating"
+    }
+
+    fn description(&self) -> &str {
+        "enhanced first, full propagation on budget exhaustion"
+    }
+
+    fn determine(&self, ctx: &StrategyContext<'_>) -> Result<StrategyOutcome, OptimizeError> {
+        match SchemeStrategy::enhanced().determine(ctx)? {
+            StrategyOutcome::Exhausted { .. } => SchemeStrategy::full_propagation().determine(ctx),
+            done => Ok(done),
+        }
+    }
+}
+
+#[test]
+fn registry_strategies_and_a_custom_one_solve_figure2() {
+    // Iterate the *registry* (not a hard-coded list): all seven built-ins
+    // plus one user-defined strategy must produce complete assignments, and
+    // every strategy that claims a proof must reach the ideal score.
+    let engine = Engine::builder()
+        .strategy(Arc::new(EscalatingStrategy))
+        .build();
+    let names = engine.registry().names();
+    assert_eq!(
+        names,
+        vec![
+            "heuristic",
+            "base",
+            "enhanced",
+            "forward-checking",
+            "full-propagation",
+            "weighted",
+            "local-search",
+            "escalating",
+        ],
+        "seven built-ins plus the custom strategy, in registration order"
+    );
+    let session = engine.session();
+    let program = figure2_program(16);
+    for name in &names {
+        let outcome = session
+            .optimize(&program, &OptimizeRequest::strategy(name))
+            .unwrap_or_else(|error| panic!("{name} failed on figure 2: {error}"));
+        assert_eq!(outcome.strategy, *name);
+        for array in program.arrays() {
+            assert!(
+                outcome.assignment.contains(array.id()),
+                "{name} left {} without a layout",
+                array.name()
+            );
+        }
+        assert!(
+            !outcome.fell_back(),
+            "{name} fell back on a satisfiable network"
+        );
+        assert_eq!(
+            assignment_score(&program, &outcome.assignment),
+            ideal_score(&program),
+            "{name} missed the ideal score"
+        );
+    }
+    assert_eq!(session.prepared_programs(), 1);
+}
+
+#[test]
+fn batch_results_match_sequential_results() {
+    // The full (benchmark × strategy) matrix through optimize_many must be
+    // job-for-job identical to sequential optimize calls on the same
+    // session — same assignments, same satisfiability, same fallback.
+    let engine = Engine::new();
+    let batch_session = engine.session();
+    let sequential_session = engine.session();
+    let benchmarks = [Benchmark::MxM, Benchmark::MedIm04, Benchmark::Shape];
+    let programs: Vec<Program> = benchmarks.iter().map(|b| b.program()).collect();
+    let mut jobs: Vec<(&Program, OptimizeRequest)> = Vec::new();
+    for (benchmark, program) in benchmarks.iter().zip(&programs) {
+        for strategy in ["heuristic", "enhanced", "local-search"] {
+            jobs.push((
+                program,
+                OptimizeRequest::strategy(strategy)
+                    .candidates(benchmark.candidate_options())
+                    .seed(1),
+            ));
+        }
+    }
+    let batch = batch_session.optimize_many(&jobs);
+    assert_eq!(batch.len(), jobs.len());
+    for ((program, request), batched) in jobs.iter().zip(batch) {
+        let sequential = sequential_session
+            .optimize(program, request)
+            .expect("sequential requests succeed");
+        let batched = batched.expect("batch requests succeed");
+        assert_eq!(batched.assignment, sequential.assignment);
+        assert_eq!(batched.satisfiable, sequential.satisfiable);
+        assert_eq!(batched.fallback, sequential.fallback);
+        assert_eq!(batched.search_stats, sequential.search_stats);
+    }
+    // Both sessions prepared one entry per benchmark.
+    assert_eq!(batch_session.prepared_programs(), 3);
+    assert_eq!(sequential_session.prepared_programs(), 3);
+}
+
+#[test]
+#[allow(deprecated)]
+fn legacy_optimizer_shim_delegates_to_the_engine() {
+    // The deprecated facade must keep compiling and agree with the engine
+    // it delegates to.
+    let program = figure2_program(16);
+    let legacy = Optimizer::new(OptimizerScheme::Enhanced).optimize(&program);
+    let modern = Engine::new()
+        .optimize(&program, &OptimizeRequest::strategy("enhanced"))
+        .expect("figure 2 is satisfiable");
+    assert_eq!(legacy.assignment, modern.assignment);
+    assert_eq!(legacy.satisfiable, modern.satisfiable);
+    assert!(!legacy.fell_back_to_heuristic);
+    assert_eq!(legacy.scheme.strategy_name(), modern.strategy);
 }

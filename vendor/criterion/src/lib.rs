@@ -1,0 +1,199 @@
+//! Vendored, dependency-free stand-in for the subset of the `criterion`
+//! benchmarking API used by this workspace (`Criterion::benchmark_group`,
+//! `BenchmarkGroup::bench_with_input`, `Bencher::iter`, the `criterion_group!`
+//! / `criterion_main!` macros).
+//!
+//! The build environment has no network access, so the real crates.io
+//! `criterion` cannot be fetched.  This stand-in performs a simple
+//! mean-of-N timing loop and prints one line per benchmark — enough to run
+//! `cargo bench` offline and compare hot paths, without criterion's
+//! statistics, plots or regression tracking.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value only.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: u64,
+    /// Mean duration of one iteration, filled in by [`Bencher::iter`].
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly and records the mean iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One untimed warm-up iteration.
+        black_box(body());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(body());
+        }
+        self.last_mean = Some(start.elapsed() / self.samples.max(1) as u32);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Benchmarks `body` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last_mean: None,
+        };
+        body(&mut bencher, input);
+        self.report(&id.to_string(), bencher.last_mean);
+        self
+    }
+
+    /// Benchmarks `body` without an input value.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last_mean: None,
+        };
+        body(&mut bencher);
+        self.report(&id.to_string(), bencher.last_mean);
+        self
+    }
+
+    /// Flushes the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &str, mean: Option<Duration>) {
+        match mean {
+            Some(mean) => println!("bench: {}/{id} ... {mean:?}/iter", self.name),
+            None => println!("bench: {}/{id} ... no measurement", self.name),
+        }
+        self.criterion.benchmarks_run += 1;
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks `body` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("", body);
+        self
+    }
+}
+
+/// Declares a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_counts_benchmarks() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("add", 2), &2u64, |b, &x| b.iter(|| x + 1));
+            g.finish();
+        }
+        assert_eq!(c.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}
