@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_microbench-4c304931952cac8a.d: crates/bench/benches/cache_microbench.rs
+
+/root/repo/target/debug/deps/cache_microbench-4c304931952cac8a: crates/bench/benches/cache_microbench.rs
+
+crates/bench/benches/cache_microbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_microbench-ab83e8952c69ccb9.d: crates/bench/benches/cache_microbench.rs
+
+/root/repo/target/debug/deps/libcache_microbench-ab83e8952c69ccb9.rmeta: crates/bench/benches/cache_microbench.rs
+
+crates/bench/benches/cache_microbench.rs:

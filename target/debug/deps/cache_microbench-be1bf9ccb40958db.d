@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_microbench-be1bf9ccb40958db.d: crates/bench/benches/cache_microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_microbench-be1bf9ccb40958db.rmeta: crates/bench/benches/cache_microbench.rs Cargo.toml
+
+crates/bench/benches/cache_microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/constraint_layout-0424a724a7999d1e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libconstraint_layout-0424a724a7999d1e.rmeta: src/lib.rs
+
+src/lib.rs:

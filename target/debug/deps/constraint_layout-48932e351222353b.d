@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/constraint_layout-48932e351222353b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libconstraint_layout-48932e351222353b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/constraint_layout-871df42aad9576d6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libconstraint_layout-871df42aad9576d6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libconstraint_layout-871df42aad9576d6.rmeta: src/lib.rs
+
+src/lib.rs:

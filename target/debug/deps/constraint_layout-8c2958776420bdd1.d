@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/constraint_layout-8c2958776420bdd1.d: src/lib.rs
+
+/root/repo/target/debug/deps/constraint_layout-8c2958776420bdd1: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/constraint_layout-f0ca35e66a7f8b47.d: src/lib.rs
+
+/root/repo/target/debug/deps/constraint_layout-f0ca35e66a7f8b47: src/lib.rs
+
+src/lib.rs:

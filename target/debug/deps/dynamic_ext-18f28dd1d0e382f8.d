@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_ext-18f28dd1d0e382f8.d: crates/bench/src/bin/dynamic_ext.rs
+
+/root/repo/target/debug/deps/libdynamic_ext-18f28dd1d0e382f8.rmeta: crates/bench/src/bin/dynamic_ext.rs
+
+crates/bench/src/bin/dynamic_ext.rs:

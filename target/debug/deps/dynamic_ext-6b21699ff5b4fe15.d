@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_ext-6b21699ff5b4fe15.d: crates/bench/src/bin/dynamic_ext.rs
+
+/root/repo/target/debug/deps/dynamic_ext-6b21699ff5b4fe15: crates/bench/src/bin/dynamic_ext.rs
+
+crates/bench/src/bin/dynamic_ext.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_ext-82a5d51afb44f44b.d: crates/bench/src/bin/dynamic_ext.rs
+
+/root/repo/target/debug/deps/dynamic_ext-82a5d51afb44f44b: crates/bench/src/bin/dynamic_ext.rs
+
+crates/bench/src/bin/dynamic_ext.rs:

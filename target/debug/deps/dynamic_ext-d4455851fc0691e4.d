@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_ext-d4455851fc0691e4.d: crates/bench/src/bin/dynamic_ext.rs
+
+/root/repo/target/debug/deps/libdynamic_ext-d4455851fc0691e4.rmeta: crates/bench/src/bin/dynamic_ext.rs
+
+crates/bench/src/bin/dynamic_ext.rs:

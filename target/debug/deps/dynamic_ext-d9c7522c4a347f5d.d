@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamic_ext-d9c7522c4a347f5d.d: crates/bench/src/bin/dynamic_ext.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamic_ext-d9c7522c4a347f5d.rmeta: crates/bench/src/bin/dynamic_ext.rs Cargo.toml
+
+crates/bench/src/bin/dynamic_ext.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

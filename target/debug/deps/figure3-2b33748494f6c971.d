@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-2b33748494f6c971.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/libfigure3-2b33748494f6c971.rmeta: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-3b99073019f9996f.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/libfigure3-3b99073019f9996f.rmeta: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-5fabad4972a4ab7d.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-5fabad4972a4ab7d: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-b1f70748608024b7.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-b1f70748608024b7: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

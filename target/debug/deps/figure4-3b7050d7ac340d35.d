@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-3b7050d7ac340d35.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/libfigure4-3b7050d7ac340d35.rmeta: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

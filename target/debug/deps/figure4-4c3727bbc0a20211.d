@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-4c3727bbc0a20211.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-4c3727bbc0a20211: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-bfe3d3b324ac153c.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-bfe3d3b324ac153c: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

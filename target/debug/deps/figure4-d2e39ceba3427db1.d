@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-d2e39ceba3427db1.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/libfigure4-d2e39ceba3427db1.rmeta: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

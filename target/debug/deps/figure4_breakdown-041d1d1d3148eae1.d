@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure4_breakdown-041d1d1d3148eae1.d: crates/bench/benches/figure4_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure4_breakdown-041d1d1d3148eae1.rmeta: crates/bench/benches/figure4_breakdown.rs Cargo.toml
+
+crates/bench/benches/figure4_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4_breakdown-7aabde9711dbd48f.d: crates/bench/benches/figure4_breakdown.rs
+
+/root/repo/target/debug/deps/libfigure4_breakdown-7aabde9711dbd48f.rmeta: crates/bench/benches/figure4_breakdown.rs
+
+crates/bench/benches/figure4_breakdown.rs:

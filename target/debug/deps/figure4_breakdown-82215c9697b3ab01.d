@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4_breakdown-82215c9697b3ab01.d: crates/bench/benches/figure4_breakdown.rs
+
+/root/repo/target/debug/deps/figure4_breakdown-82215c9697b3ab01: crates/bench/benches/figure4_breakdown.rs
+
+crates/bench/benches/figure4_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/layout_roundtrip-504e4cf9c46ce370.d: tests/layout_roundtrip.rs
+
+/root/repo/target/debug/deps/layout_roundtrip-504e4cf9c46ce370: tests/layout_roundtrip.rs
+
+tests/layout_roundtrip.rs:

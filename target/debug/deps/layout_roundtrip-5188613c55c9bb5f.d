@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/layout_roundtrip-5188613c55c9bb5f.d: tests/layout_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblayout_roundtrip-5188613c55c9bb5f.rmeta: tests/layout_roundtrip.rs Cargo.toml
+
+tests/layout_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

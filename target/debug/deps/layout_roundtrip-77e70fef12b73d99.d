@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/layout_roundtrip-77e70fef12b73d99.d: tests/layout_roundtrip.rs
+
+/root/repo/target/debug/deps/layout_roundtrip-77e70fef12b73d99: tests/layout_roundtrip.rs
+
+tests/layout_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/layout_roundtrip-a050e657481867c2.d: tests/layout_roundtrip.rs
+
+/root/repo/target/debug/deps/liblayout_roundtrip-a050e657481867c2.rmeta: tests/layout_roundtrip.rs
+
+tests/layout_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/locality_scenarios-19da40400c4476f7.d: crates/cachesim/tests/locality_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocality_scenarios-19da40400c4476f7.rmeta: crates/cachesim/tests/locality_scenarios.rs Cargo.toml
+
+crates/cachesim/tests/locality_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

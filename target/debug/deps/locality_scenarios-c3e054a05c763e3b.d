@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/locality_scenarios-c3e054a05c763e3b.d: crates/cachesim/tests/locality_scenarios.rs
+
+/root/repo/target/debug/deps/liblocality_scenarios-c3e054a05c763e3b.rmeta: crates/cachesim/tests/locality_scenarios.rs
+
+crates/cachesim/tests/locality_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/locality_scenarios-ebc91dd40bd060a5.d: crates/cachesim/tests/locality_scenarios.rs
+
+/root/repo/target/debug/deps/locality_scenarios-ebc91dd40bd060a5: crates/cachesim/tests/locality_scenarios.rs
+
+crates/cachesim/tests/locality_scenarios.rs:

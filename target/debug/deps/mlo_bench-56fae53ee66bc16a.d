@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mlo_bench-56fae53ee66bc16a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmlo_bench-56fae53ee66bc16a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

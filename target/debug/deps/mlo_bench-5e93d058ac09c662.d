@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mlo_bench-5e93d058ac09c662.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmlo_bench-5e93d058ac09c662.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmlo_bench-5e93d058ac09c662.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mlo_bench-7ce1aff020ebb9f8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmlo_bench-7ce1aff020ebb9f8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

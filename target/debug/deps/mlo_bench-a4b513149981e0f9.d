@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mlo_bench-a4b513149981e0f9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mlo_bench-a4b513149981e0f9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

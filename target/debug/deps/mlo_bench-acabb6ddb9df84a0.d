@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mlo_bench-acabb6ddb9df84a0.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlo_bench-acabb6ddb9df84a0.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

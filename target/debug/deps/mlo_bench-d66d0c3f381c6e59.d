@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mlo_bench-d66d0c3f381c6e59.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlo_bench-d66d0c3f381c6e59.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

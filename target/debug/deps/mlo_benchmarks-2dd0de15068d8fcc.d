@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mlo_benchmarks-2dd0de15068d8fcc.d: crates/benchmarks/src/lib.rs crates/benchmarks/src/generators.rs crates/benchmarks/src/random.rs crates/benchmarks/src/suite.rs
+
+/root/repo/target/debug/deps/mlo_benchmarks-2dd0de15068d8fcc: crates/benchmarks/src/lib.rs crates/benchmarks/src/generators.rs crates/benchmarks/src/random.rs crates/benchmarks/src/suite.rs
+
+crates/benchmarks/src/lib.rs:
+crates/benchmarks/src/generators.rs:
+crates/benchmarks/src/random.rs:
+crates/benchmarks/src/suite.rs:

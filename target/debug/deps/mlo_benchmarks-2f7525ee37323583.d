@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mlo_benchmarks-2f7525ee37323583.d: crates/benchmarks/src/lib.rs crates/benchmarks/src/generators.rs crates/benchmarks/src/random.rs crates/benchmarks/src/suite.rs
+
+/root/repo/target/debug/deps/libmlo_benchmarks-2f7525ee37323583.rlib: crates/benchmarks/src/lib.rs crates/benchmarks/src/generators.rs crates/benchmarks/src/random.rs crates/benchmarks/src/suite.rs
+
+/root/repo/target/debug/deps/libmlo_benchmarks-2f7525ee37323583.rmeta: crates/benchmarks/src/lib.rs crates/benchmarks/src/generators.rs crates/benchmarks/src/random.rs crates/benchmarks/src/suite.rs
+
+crates/benchmarks/src/lib.rs:
+crates/benchmarks/src/generators.rs:
+crates/benchmarks/src/random.rs:
+crates/benchmarks/src/suite.rs:

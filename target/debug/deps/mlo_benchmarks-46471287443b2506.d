@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mlo_benchmarks-46471287443b2506.d: crates/benchmarks/src/lib.rs crates/benchmarks/src/generators.rs crates/benchmarks/src/random.rs crates/benchmarks/src/suite.rs
+
+/root/repo/target/debug/deps/libmlo_benchmarks-46471287443b2506.rmeta: crates/benchmarks/src/lib.rs crates/benchmarks/src/generators.rs crates/benchmarks/src/random.rs crates/benchmarks/src/suite.rs
+
+crates/benchmarks/src/lib.rs:
+crates/benchmarks/src/generators.rs:
+crates/benchmarks/src/random.rs:
+crates/benchmarks/src/suite.rs:

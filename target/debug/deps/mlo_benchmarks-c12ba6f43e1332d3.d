@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mlo_benchmarks-c12ba6f43e1332d3.d: crates/benchmarks/src/lib.rs crates/benchmarks/src/generators.rs crates/benchmarks/src/random.rs crates/benchmarks/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlo_benchmarks-c12ba6f43e1332d3.rmeta: crates/benchmarks/src/lib.rs crates/benchmarks/src/generators.rs crates/benchmarks/src/random.rs crates/benchmarks/src/suite.rs Cargo.toml
+
+crates/benchmarks/src/lib.rs:
+crates/benchmarks/src/generators.rs:
+crates/benchmarks/src/random.rs:
+crates/benchmarks/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

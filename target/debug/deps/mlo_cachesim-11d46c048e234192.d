@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mlo_cachesim-11d46c048e234192.d: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/config.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/prefetch.rs crates/cachesim/src/simulator.rs crates/cachesim/src/stats.rs crates/cachesim/src/trace.rs
+
+/root/repo/target/debug/deps/mlo_cachesim-11d46c048e234192: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/config.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/prefetch.rs crates/cachesim/src/simulator.rs crates/cachesim/src/stats.rs crates/cachesim/src/trace.rs
+
+crates/cachesim/src/lib.rs:
+crates/cachesim/src/cache.rs:
+crates/cachesim/src/config.rs:
+crates/cachesim/src/hierarchy.rs:
+crates/cachesim/src/prefetch.rs:
+crates/cachesim/src/simulator.rs:
+crates/cachesim/src/stats.rs:
+crates/cachesim/src/trace.rs:

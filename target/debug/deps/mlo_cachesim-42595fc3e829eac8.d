@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mlo_cachesim-42595fc3e829eac8.d: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/config.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/prefetch.rs crates/cachesim/src/simulator.rs crates/cachesim/src/stats.rs crates/cachesim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlo_cachesim-42595fc3e829eac8.rmeta: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/config.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/prefetch.rs crates/cachesim/src/simulator.rs crates/cachesim/src/stats.rs crates/cachesim/src/trace.rs Cargo.toml
+
+crates/cachesim/src/lib.rs:
+crates/cachesim/src/cache.rs:
+crates/cachesim/src/config.rs:
+crates/cachesim/src/hierarchy.rs:
+crates/cachesim/src/prefetch.rs:
+crates/cachesim/src/simulator.rs:
+crates/cachesim/src/stats.rs:
+crates/cachesim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

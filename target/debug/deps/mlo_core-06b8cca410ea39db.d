@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mlo_core-06b8cca410ea39db.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/experiments.rs crates/core/src/optimizer.rs crates/core/src/prelude.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/strategy.rs
+
+/root/repo/target/debug/deps/libmlo_core-06b8cca410ea39db.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/experiments.rs crates/core/src/optimizer.rs crates/core/src/prelude.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/strategy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/experiments.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/prelude.rs:
+crates/core/src/report.rs:
+crates/core/src/request.rs:
+crates/core/src/strategy.rs:

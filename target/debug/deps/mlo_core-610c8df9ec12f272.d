@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mlo_core-610c8df9ec12f272.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/experiments.rs crates/core/src/optimizer.rs crates/core/src/prelude.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/strategy.rs
+
+/root/repo/target/debug/deps/mlo_core-610c8df9ec12f272: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/experiments.rs crates/core/src/optimizer.rs crates/core/src/prelude.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/strategy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/experiments.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/prelude.rs:
+crates/core/src/report.rs:
+crates/core/src/request.rs:
+crates/core/src/strategy.rs:

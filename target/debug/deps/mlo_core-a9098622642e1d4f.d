@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mlo_core-a9098622642e1d4f.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/experiments.rs crates/core/src/optimizer.rs crates/core/src/prelude.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlo_core-a9098622642e1d4f.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/experiments.rs crates/core/src/optimizer.rs crates/core/src/prelude.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/strategy.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/experiments.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/prelude.rs:
+crates/core/src/report.rs:
+crates/core/src/request.rs:
+crates/core/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/mlo_csp-2bc4e1ad39485732.d: crates/csp/src/lib.rs crates/csp/src/analysis.rs crates/csp/src/assignment.rs crates/csp/src/constraint.rs crates/csp/src/domain.rs crates/csp/src/network.rs crates/csp/src/random.rs crates/csp/src/solver/mod.rs crates/csp/src/solver/ac3.rs crates/csp/src/solver/engine.rs crates/csp/src/solver/enumerate.rs crates/csp/src/solver/local.rs crates/csp/src/solver/ordering.rs crates/csp/src/weighted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlo_csp-2bc4e1ad39485732.rmeta: crates/csp/src/lib.rs crates/csp/src/analysis.rs crates/csp/src/assignment.rs crates/csp/src/constraint.rs crates/csp/src/domain.rs crates/csp/src/network.rs crates/csp/src/random.rs crates/csp/src/solver/mod.rs crates/csp/src/solver/ac3.rs crates/csp/src/solver/engine.rs crates/csp/src/solver/enumerate.rs crates/csp/src/solver/local.rs crates/csp/src/solver/ordering.rs crates/csp/src/weighted.rs Cargo.toml
+
+crates/csp/src/lib.rs:
+crates/csp/src/analysis.rs:
+crates/csp/src/assignment.rs:
+crates/csp/src/constraint.rs:
+crates/csp/src/domain.rs:
+crates/csp/src/network.rs:
+crates/csp/src/random.rs:
+crates/csp/src/solver/mod.rs:
+crates/csp/src/solver/ac3.rs:
+crates/csp/src/solver/engine.rs:
+crates/csp/src/solver/enumerate.rs:
+crates/csp/src/solver/local.rs:
+crates/csp/src/solver/ordering.rs:
+crates/csp/src/weighted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

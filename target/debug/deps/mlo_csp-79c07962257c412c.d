@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mlo_csp-79c07962257c412c.d: crates/csp/src/lib.rs crates/csp/src/analysis.rs crates/csp/src/assignment.rs crates/csp/src/constraint.rs crates/csp/src/domain.rs crates/csp/src/network.rs crates/csp/src/random.rs crates/csp/src/solver/mod.rs crates/csp/src/solver/ac3.rs crates/csp/src/solver/engine.rs crates/csp/src/solver/enumerate.rs crates/csp/src/solver/local.rs crates/csp/src/solver/ordering.rs crates/csp/src/weighted.rs
+
+/root/repo/target/debug/deps/libmlo_csp-79c07962257c412c.rmeta: crates/csp/src/lib.rs crates/csp/src/analysis.rs crates/csp/src/assignment.rs crates/csp/src/constraint.rs crates/csp/src/domain.rs crates/csp/src/network.rs crates/csp/src/random.rs crates/csp/src/solver/mod.rs crates/csp/src/solver/ac3.rs crates/csp/src/solver/engine.rs crates/csp/src/solver/enumerate.rs crates/csp/src/solver/local.rs crates/csp/src/solver/ordering.rs crates/csp/src/weighted.rs
+
+crates/csp/src/lib.rs:
+crates/csp/src/analysis.rs:
+crates/csp/src/assignment.rs:
+crates/csp/src/constraint.rs:
+crates/csp/src/domain.rs:
+crates/csp/src/network.rs:
+crates/csp/src/random.rs:
+crates/csp/src/solver/mod.rs:
+crates/csp/src/solver/ac3.rs:
+crates/csp/src/solver/engine.rs:
+crates/csp/src/solver/enumerate.rs:
+crates/csp/src/solver/local.rs:
+crates/csp/src/solver/ordering.rs:
+crates/csp/src/weighted.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mlo_ir-d62bd4aff1a3e02c.d: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/array.rs crates/ir/src/builder.rs crates/ir/src/cost.rs crates/ir/src/dependence.rs crates/ir/src/ids.rs crates/ir/src/iteration.rs crates/ir/src/nest.rs crates/ir/src/program.rs crates/ir/src/reference.rs crates/ir/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlo_ir-d62bd4aff1a3e02c.rmeta: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/array.rs crates/ir/src/builder.rs crates/ir/src/cost.rs crates/ir/src/dependence.rs crates/ir/src/ids.rs crates/ir/src/iteration.rs crates/ir/src/nest.rs crates/ir/src/program.rs crates/ir/src/reference.rs crates/ir/src/transform.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/access.rs:
+crates/ir/src/array.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/cost.rs:
+crates/ir/src/dependence.rs:
+crates/ir/src/ids.rs:
+crates/ir/src/iteration.rs:
+crates/ir/src/nest.rs:
+crates/ir/src/program.rs:
+crates/ir/src/reference.rs:
+crates/ir/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mlo_ir-f90ae5bda5a0f5fd.d: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/array.rs crates/ir/src/builder.rs crates/ir/src/cost.rs crates/ir/src/dependence.rs crates/ir/src/ids.rs crates/ir/src/iteration.rs crates/ir/src/nest.rs crates/ir/src/program.rs crates/ir/src/reference.rs crates/ir/src/transform.rs
+
+/root/repo/target/debug/deps/libmlo_ir-f90ae5bda5a0f5fd.rmeta: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/array.rs crates/ir/src/builder.rs crates/ir/src/cost.rs crates/ir/src/dependence.rs crates/ir/src/ids.rs crates/ir/src/iteration.rs crates/ir/src/nest.rs crates/ir/src/program.rs crates/ir/src/reference.rs crates/ir/src/transform.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/access.rs:
+crates/ir/src/array.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/cost.rs:
+crates/ir/src/dependence.rs:
+crates/ir/src/ids.rs:
+crates/ir/src/iteration.rs:
+crates/ir/src/nest.rs:
+crates/ir/src/program.rs:
+crates/ir/src/reference.rs:
+crates/ir/src/transform.rs:

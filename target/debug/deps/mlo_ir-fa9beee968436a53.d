@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mlo_ir-fa9beee968436a53.d: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/array.rs crates/ir/src/builder.rs crates/ir/src/cost.rs crates/ir/src/dependence.rs crates/ir/src/ids.rs crates/ir/src/iteration.rs crates/ir/src/nest.rs crates/ir/src/program.rs crates/ir/src/reference.rs crates/ir/src/transform.rs
+
+/root/repo/target/debug/deps/libmlo_ir-fa9beee968436a53.rlib: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/array.rs crates/ir/src/builder.rs crates/ir/src/cost.rs crates/ir/src/dependence.rs crates/ir/src/ids.rs crates/ir/src/iteration.rs crates/ir/src/nest.rs crates/ir/src/program.rs crates/ir/src/reference.rs crates/ir/src/transform.rs
+
+/root/repo/target/debug/deps/libmlo_ir-fa9beee968436a53.rmeta: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/array.rs crates/ir/src/builder.rs crates/ir/src/cost.rs crates/ir/src/dependence.rs crates/ir/src/ids.rs crates/ir/src/iteration.rs crates/ir/src/nest.rs crates/ir/src/program.rs crates/ir/src/reference.rs crates/ir/src/transform.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/access.rs:
+crates/ir/src/array.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/cost.rs:
+crates/ir/src/dependence.rs:
+crates/ir/src/ids.rs:
+crates/ir/src/iteration.rs:
+crates/ir/src/nest.rs:
+crates/ir/src/program.rs:
+crates/ir/src/reference.rs:
+crates/ir/src/transform.rs:

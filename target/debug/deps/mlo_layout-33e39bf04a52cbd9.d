@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mlo_layout-33e39bf04a52cbd9.d: crates/layout/src/lib.rs crates/layout/src/apply.rs crates/layout/src/candidates.rs crates/layout/src/constraints.rs crates/layout/src/dynamic.rs crates/layout/src/heuristic.rs crates/layout/src/hyperplane.rs crates/layout/src/locality.rs crates/layout/src/quality.rs crates/layout/src/weights.rs
+
+/root/repo/target/debug/deps/mlo_layout-33e39bf04a52cbd9: crates/layout/src/lib.rs crates/layout/src/apply.rs crates/layout/src/candidates.rs crates/layout/src/constraints.rs crates/layout/src/dynamic.rs crates/layout/src/heuristic.rs crates/layout/src/hyperplane.rs crates/layout/src/locality.rs crates/layout/src/quality.rs crates/layout/src/weights.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/apply.rs:
+crates/layout/src/candidates.rs:
+crates/layout/src/constraints.rs:
+crates/layout/src/dynamic.rs:
+crates/layout/src/heuristic.rs:
+crates/layout/src/hyperplane.rs:
+crates/layout/src/locality.rs:
+crates/layout/src/quality.rs:
+crates/layout/src/weights.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mlo_layout-4cae945e164d20f5.d: crates/layout/src/lib.rs crates/layout/src/apply.rs crates/layout/src/candidates.rs crates/layout/src/constraints.rs crates/layout/src/dynamic.rs crates/layout/src/heuristic.rs crates/layout/src/hyperplane.rs crates/layout/src/locality.rs crates/layout/src/quality.rs crates/layout/src/weights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlo_layout-4cae945e164d20f5.rmeta: crates/layout/src/lib.rs crates/layout/src/apply.rs crates/layout/src/candidates.rs crates/layout/src/constraints.rs crates/layout/src/dynamic.rs crates/layout/src/heuristic.rs crates/layout/src/hyperplane.rs crates/layout/src/locality.rs crates/layout/src/quality.rs crates/layout/src/weights.rs Cargo.toml
+
+crates/layout/src/lib.rs:
+crates/layout/src/apply.rs:
+crates/layout/src/candidates.rs:
+crates/layout/src/constraints.rs:
+crates/layout/src/dynamic.rs:
+crates/layout/src/heuristic.rs:
+crates/layout/src/hyperplane.rs:
+crates/layout/src/locality.rs:
+crates/layout/src/quality.rs:
+crates/layout/src/weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

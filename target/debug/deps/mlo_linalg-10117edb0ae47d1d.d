@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mlo_linalg-10117edb0ae47d1d.d: crates/linalg/src/lib.rs crates/linalg/src/elimination.rs crates/linalg/src/gcd.rs crates/linalg/src/hermite.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/rational.rs crates/linalg/src/unimodular.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libmlo_linalg-10117edb0ae47d1d.rmeta: crates/linalg/src/lib.rs crates/linalg/src/elimination.rs crates/linalg/src/gcd.rs crates/linalg/src/hermite.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/rational.rs crates/linalg/src/unimodular.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/elimination.rs:
+crates/linalg/src/gcd.rs:
+crates/linalg/src/hermite.rs:
+crates/linalg/src/kernel.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/rational.rs:
+crates/linalg/src/unimodular.rs:
+crates/linalg/src/vector.rs:

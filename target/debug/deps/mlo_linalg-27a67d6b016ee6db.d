@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mlo_linalg-27a67d6b016ee6db.d: crates/linalg/src/lib.rs crates/linalg/src/elimination.rs crates/linalg/src/gcd.rs crates/linalg/src/hermite.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/rational.rs crates/linalg/src/unimodular.rs crates/linalg/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlo_linalg-27a67d6b016ee6db.rmeta: crates/linalg/src/lib.rs crates/linalg/src/elimination.rs crates/linalg/src/gcd.rs crates/linalg/src/hermite.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/rational.rs crates/linalg/src/unimodular.rs crates/linalg/src/vector.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/elimination.rs:
+crates/linalg/src/gcd.rs:
+crates/linalg/src/hermite.rs:
+crates/linalg/src/kernel.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/rational.rs:
+crates/linalg/src/unimodular.rs:
+crates/linalg/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mlo_linalg-3cb0926d995e9330.d: crates/linalg/src/lib.rs crates/linalg/src/elimination.rs crates/linalg/src/gcd.rs crates/linalg/src/hermite.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/rational.rs crates/linalg/src/unimodular.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libmlo_linalg-3cb0926d995e9330.rlib: crates/linalg/src/lib.rs crates/linalg/src/elimination.rs crates/linalg/src/gcd.rs crates/linalg/src/hermite.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/rational.rs crates/linalg/src/unimodular.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libmlo_linalg-3cb0926d995e9330.rmeta: crates/linalg/src/lib.rs crates/linalg/src/elimination.rs crates/linalg/src/gcd.rs crates/linalg/src/hermite.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/rational.rs crates/linalg/src/unimodular.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/elimination.rs:
+crates/linalg/src/gcd.rs:
+crates/linalg/src/hermite.rs:
+crates/linalg/src/kernel.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/rational.rs:
+crates/linalg/src/unimodular.rs:
+crates/linalg/src/vector.rs:

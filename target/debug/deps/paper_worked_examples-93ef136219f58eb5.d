@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_worked_examples-93ef136219f58eb5.d: crates/layout/tests/paper_worked_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_worked_examples-93ef136219f58eb5.rmeta: crates/layout/tests/paper_worked_examples.rs Cargo.toml
+
+crates/layout/tests/paper_worked_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

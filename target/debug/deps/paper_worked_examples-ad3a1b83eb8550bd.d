@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_worked_examples-ad3a1b83eb8550bd.d: crates/layout/tests/paper_worked_examples.rs
+
+/root/repo/target/debug/deps/paper_worked_examples-ad3a1b83eb8550bd: crates/layout/tests/paper_worked_examples.rs
+
+crates/layout/tests/paper_worked_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_worked_examples-d4ade84d5473d044.d: crates/layout/tests/paper_worked_examples.rs
+
+/root/repo/target/debug/deps/libpaper_worked_examples-d4ade84d5473d044.rmeta: crates/layout/tests/paper_worked_examples.rs
+
+crates/layout/tests/paper_worked_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-7a44c72fea792b5d.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/pipeline_end_to_end-7a44c72fea792b5d: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-cf1d863140279e65.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/pipeline_end_to_end-cf1d863140279e65: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-0252f9fb88105d6d.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/libscaling-0252f9fb88105d6d.rmeta: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

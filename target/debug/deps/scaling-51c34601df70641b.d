@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-51c34601df70641b.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-51c34601df70641b: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

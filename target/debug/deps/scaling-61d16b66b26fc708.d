@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-61d16b66b26fc708.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/libscaling-61d16b66b26fc708.rmeta: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

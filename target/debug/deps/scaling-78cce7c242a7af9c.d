@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-78cce7c242a7af9c.d: crates/bench/benches/scaling.rs
+
+/root/repo/target/debug/deps/scaling-78cce7c242a7af9c: crates/bench/benches/scaling.rs
+
+crates/bench/benches/scaling.rs:

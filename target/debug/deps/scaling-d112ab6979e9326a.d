@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-d112ab6979e9326a.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-d112ab6979e9326a: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

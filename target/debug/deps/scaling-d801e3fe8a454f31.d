@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-d801e3fe8a454f31.d: crates/bench/benches/scaling.rs
+
+/root/repo/target/debug/deps/libscaling-d801e3fe8a454f31.rmeta: crates/bench/benches/scaling.rs
+
+crates/bench/benches/scaling.rs:

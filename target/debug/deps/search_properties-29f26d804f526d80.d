@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_properties-29f26d804f526d80.d: crates/csp/tests/search_properties.rs
+
+/root/repo/target/debug/deps/libsearch_properties-29f26d804f526d80.rmeta: crates/csp/tests/search_properties.rs
+
+crates/csp/tests/search_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_properties-8478b6f24fa3b7c6.d: crates/csp/tests/search_properties.rs
+
+/root/repo/target/debug/deps/search_properties-8478b6f24fa3b7c6: crates/csp/tests/search_properties.rs
+
+crates/csp/tests/search_properties.rs:

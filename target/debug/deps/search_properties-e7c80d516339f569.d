@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search_properties-e7c80d516339f569.d: crates/csp/tests/search_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_properties-e7c80d516339f569.rmeta: crates/csp/tests/search_properties.rs Cargo.toml
+
+crates/csp/tests/search_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

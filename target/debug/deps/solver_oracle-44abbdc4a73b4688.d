@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_oracle-44abbdc4a73b4688.d: tests/solver_oracle.rs
+
+/root/repo/target/debug/deps/solver_oracle-44abbdc4a73b4688: tests/solver_oracle.rs
+
+tests/solver_oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_oracle-4c3e6168ef0b0838.d: tests/solver_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_oracle-4c3e6168ef0b0838.rmeta: tests/solver_oracle.rs Cargo.toml
+
+tests/solver_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

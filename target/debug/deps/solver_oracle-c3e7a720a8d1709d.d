@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_oracle-c3e7a720a8d1709d.d: tests/solver_oracle.rs
+
+/root/repo/target/debug/deps/solver_oracle-c3e7a720a8d1709d: tests/solver_oracle.rs
+
+tests/solver_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_oracle-e5a6804268946d34.d: tests/solver_oracle.rs
+
+/root/repo/target/debug/deps/libsolver_oracle-e5a6804268946d34.rmeta: tests/solver_oracle.rs
+
+tests/solver_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-20cd5de641a347db.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-20cd5de641a347db: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-555c2f313cc46232.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-555c2f313cc46232.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

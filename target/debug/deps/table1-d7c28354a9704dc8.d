@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-d7c28354a9704dc8.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-d7c28354a9704dc8: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

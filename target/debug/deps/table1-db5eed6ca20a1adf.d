@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-db5eed6ca20a1adf.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-db5eed6ca20a1adf.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

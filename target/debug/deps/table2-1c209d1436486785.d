@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-1c209d1436486785.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-1c209d1436486785: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

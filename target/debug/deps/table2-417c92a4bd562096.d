@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-417c92a4bd562096.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-417c92a4bd562096: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

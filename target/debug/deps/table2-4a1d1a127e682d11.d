@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-4a1d1a127e682d11.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-4a1d1a127e682d11.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

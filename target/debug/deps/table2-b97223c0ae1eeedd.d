@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-b97223c0ae1eeedd.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-b97223c0ae1eeedd.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_solution_time-557a5c9892d8960b.d: crates/bench/benches/table2_solution_time.rs
+
+/root/repo/target/debug/deps/table2_solution_time-557a5c9892d8960b: crates/bench/benches/table2_solution_time.rs
+
+crates/bench/benches/table2_solution_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_solution_time-b282fba1f39de467.d: crates/bench/benches/table2_solution_time.rs
+
+/root/repo/target/debug/deps/libtable2_solution_time-b282fba1f39de467.rmeta: crates/bench/benches/table2_solution_time.rs
+
+crates/bench/benches/table2_solution_time.rs:

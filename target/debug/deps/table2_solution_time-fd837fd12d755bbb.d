@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_solution_time-fd837fd12d755bbb.d: crates/bench/benches/table2_solution_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_solution_time-fd837fd12d755bbb.rmeta: crates/bench/benches/table2_solution_time.rs Cargo.toml
+
+crates/bench/benches/table2_solution_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-1f65301f08fadd6f.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-1f65301f08fadd6f.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

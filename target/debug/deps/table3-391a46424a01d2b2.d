@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-391a46424a01d2b2.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-391a46424a01d2b2: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-9af08112815abe66.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-9af08112815abe66.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-d74631d6d9d73912.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-d74631d6d9d73912: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_execution_time-a2b5c8a1cb07f664.d: crates/bench/benches/table3_execution_time.rs
+
+/root/repo/target/debug/deps/table3_execution_time-a2b5c8a1cb07f664: crates/bench/benches/table3_execution_time.rs
+
+crates/bench/benches/table3_execution_time.rs:

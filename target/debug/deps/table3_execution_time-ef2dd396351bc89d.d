@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_execution_time-ef2dd396351bc89d.d: crates/bench/benches/table3_execution_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_execution_time-ef2dd396351bc89d.rmeta: crates/bench/benches/table3_execution_time.rs Cargo.toml
+
+crates/bench/benches/table3_execution_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_execution_time-fde7cefd0edf91d1.d: crates/bench/benches/table3_execution_time.rs
+
+/root/repo/target/debug/deps/libtable3_execution_time-fde7cefd0edf91d1.rmeta: crates/bench/benches/table3_execution_time.rs
+
+crates/bench/benches/table3_execution_time.rs:

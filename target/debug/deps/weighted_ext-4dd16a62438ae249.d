@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weighted_ext-4dd16a62438ae249.d: crates/bench/src/bin/weighted_ext.rs
+
+/root/repo/target/debug/deps/libweighted_ext-4dd16a62438ae249.rmeta: crates/bench/src/bin/weighted_ext.rs
+
+crates/bench/src/bin/weighted_ext.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weighted_ext-7620d28d85e37530.d: crates/bench/src/bin/weighted_ext.rs
+
+/root/repo/target/debug/deps/libweighted_ext-7620d28d85e37530.rmeta: crates/bench/src/bin/weighted_ext.rs
+
+crates/bench/src/bin/weighted_ext.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weighted_ext-b54f416de7867b23.d: crates/bench/src/bin/weighted_ext.rs
+
+/root/repo/target/debug/deps/weighted_ext-b54f416de7867b23: crates/bench/src/bin/weighted_ext.rs
+
+crates/bench/src/bin/weighted_ext.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/weighted_ext-b770a6526e91376c.d: crates/bench/src/bin/weighted_ext.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweighted_ext-b770a6526e91376c.rmeta: crates/bench/src/bin/weighted_ext.rs Cargo.toml
+
+crates/bench/src/bin/weighted_ext.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

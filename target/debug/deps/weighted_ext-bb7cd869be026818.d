@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weighted_ext-bb7cd869be026818.d: crates/bench/src/bin/weighted_ext.rs
+
+/root/repo/target/debug/deps/weighted_ext-bb7cd869be026818: crates/bench/src/bin/weighted_ext.rs
+
+crates/bench/src/bin/weighted_ext.rs:

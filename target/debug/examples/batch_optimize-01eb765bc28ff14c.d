@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_optimize-01eb765bc28ff14c.d: examples/batch_optimize.rs
+
+/root/repo/target/debug/examples/batch_optimize-01eb765bc28ff14c: examples/batch_optimize.rs
+
+examples/batch_optimize.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/batch_optimize-32e99cf34be2d30a.d: examples/batch_optimize.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbatch_optimize-32e99cf34be2d30a.rmeta: examples/batch_optimize.rs Cargo.toml
+
+examples/batch_optimize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_optimize-80ea1918612c75f5.d: examples/batch_optimize.rs
+
+/root/repo/target/debug/examples/libbatch_optimize-80ea1918612c75f5.rmeta: examples/batch_optimize.rs
+
+examples/batch_optimize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-8f243272295eb2a0.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/libcustom_kernel-8f243272295eb2a0.rmeta: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-d28799e1a1056795.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-d28799e1a1056795: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

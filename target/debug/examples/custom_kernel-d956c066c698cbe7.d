@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-d956c066c698cbe7.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-d956c066c698cbe7: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

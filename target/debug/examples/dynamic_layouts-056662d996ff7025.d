@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_layouts-056662d996ff7025.d: examples/dynamic_layouts.rs
+
+/root/repo/target/debug/examples/dynamic_layouts-056662d996ff7025: examples/dynamic_layouts.rs
+
+examples/dynamic_layouts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_layouts-a38db88e265af9b3.d: examples/dynamic_layouts.rs
+
+/root/repo/target/debug/examples/dynamic_layouts-a38db88e265af9b3: examples/dynamic_layouts.rs
+
+examples/dynamic_layouts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dynamic_layouts-da87b4b338fddb2f.d: examples/dynamic_layouts.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdynamic_layouts-da87b4b338fddb2f.rmeta: examples/dynamic_layouts.rs Cargo.toml
+
+examples/dynamic_layouts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

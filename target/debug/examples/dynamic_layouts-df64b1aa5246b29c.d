@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_layouts-df64b1aa5246b29c.d: examples/dynamic_layouts.rs
+
+/root/repo/target/debug/examples/libdynamic_layouts-df64b1aa5246b29c.rmeta: examples/dynamic_layouts.rs
+
+examples/dynamic_layouts.rs:

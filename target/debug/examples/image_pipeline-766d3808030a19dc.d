@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_pipeline-766d3808030a19dc.d: examples/image_pipeline.rs
+
+/root/repo/target/debug/examples/libimage_pipeline-766d3808030a19dc.rmeta: examples/image_pipeline.rs
+
+examples/image_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_pipeline-9cf37e9bd598fbff.d: examples/image_pipeline.rs
+
+/root/repo/target/debug/examples/image_pipeline-9cf37e9bd598fbff: examples/image_pipeline.rs
+
+examples/image_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_pipeline-a178f27cd321fa0d.d: examples/image_pipeline.rs
+
+/root/repo/target/debug/examples/image_pipeline-a178f27cd321fa0d: examples/image_pipeline.rs
+
+examples/image_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0b2a228c4b7e4542.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0b2a228c4b7e4542: examples/quickstart.rs
+
+examples/quickstart.rs:

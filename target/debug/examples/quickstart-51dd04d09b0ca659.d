@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-51dd04d09b0ca659.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-51dd04d09b0ca659.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-54fed36534b0b13e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-54fed36534b0b13e: examples/quickstart.rs
+
+examples/quickstart.rs:

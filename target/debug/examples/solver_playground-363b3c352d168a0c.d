@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/solver_playground-363b3c352d168a0c.d: examples/solver_playground.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsolver_playground-363b3c352d168a0c.rmeta: examples/solver_playground.rs Cargo.toml
+
+examples/solver_playground.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

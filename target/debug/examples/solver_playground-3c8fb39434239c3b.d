@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/solver_playground-3c8fb39434239c3b.d: examples/solver_playground.rs
+
+/root/repo/target/debug/examples/libsolver_playground-3c8fb39434239c3b.rmeta: examples/solver_playground.rs
+
+examples/solver_playground.rs:

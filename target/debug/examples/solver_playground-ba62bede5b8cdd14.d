@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/solver_playground-ba62bede5b8cdd14.d: examples/solver_playground.rs
+
+/root/repo/target/debug/examples/solver_playground-ba62bede5b8cdd14: examples/solver_playground.rs
+
+examples/solver_playground.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/solver_playground-d31c6303e7daa69a.d: examples/solver_playground.rs
+
+/root/repo/target/debug/examples/solver_playground-d31c6303e7daa69a: examples/solver_playground.rs
+
+examples/solver_playground.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/weighted_priorities-3a6d963b9ba284f8.d: examples/weighted_priorities.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweighted_priorities-3a6d963b9ba284f8.rmeta: examples/weighted_priorities.rs Cargo.toml
+
+examples/weighted_priorities.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weighted_priorities-415c3563e7169b6b.d: examples/weighted_priorities.rs
+
+/root/repo/target/debug/examples/libweighted_priorities-415c3563e7169b6b.rmeta: examples/weighted_priorities.rs
+
+examples/weighted_priorities.rs:

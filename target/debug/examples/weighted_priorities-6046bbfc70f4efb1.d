@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weighted_priorities-6046bbfc70f4efb1.d: examples/weighted_priorities.rs
+
+/root/repo/target/debug/examples/weighted_priorities-6046bbfc70f4efb1: examples/weighted_priorities.rs
+
+examples/weighted_priorities.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weighted_priorities-d0d9e401ef84bcc8.d: examples/weighted_priorities.rs
+
+/root/repo/target/debug/examples/weighted_priorities-d0d9e401ef84bcc8: examples/weighted_priorities.rs
+
+examples/weighted_priorities.rs:

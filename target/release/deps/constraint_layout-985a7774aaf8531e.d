@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/constraint_layout-985a7774aaf8531e.d: src/lib.rs
+
+/root/repo/target/release/deps/libconstraint_layout-985a7774aaf8531e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libconstraint_layout-985a7774aaf8531e.rmeta: src/lib.rs
+
+src/lib.rs:

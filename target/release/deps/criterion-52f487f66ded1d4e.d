@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-52f487f66ded1d4e.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-52f487f66ded1d4e.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-52f487f66ded1d4e.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dynamic_ext-eb4d2b4004bf7eea.d: crates/bench/src/bin/dynamic_ext.rs
+
+/root/repo/target/release/deps/dynamic_ext-eb4d2b4004bf7eea: crates/bench/src/bin/dynamic_ext.rs
+
+crates/bench/src/bin/dynamic_ext.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-e88ef77b63a8f0bc.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-e88ef77b63a8f0bc: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

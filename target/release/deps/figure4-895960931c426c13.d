@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-895960931c426c13.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-895960931c426c13: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

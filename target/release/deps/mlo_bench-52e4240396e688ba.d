@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mlo_bench-52e4240396e688ba.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmlo_bench-52e4240396e688ba.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmlo_bench-52e4240396e688ba.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mlo_benchmarks-8746e4b187544363.d: crates/benchmarks/src/lib.rs crates/benchmarks/src/generators.rs crates/benchmarks/src/random.rs crates/benchmarks/src/suite.rs
+
+/root/repo/target/release/deps/libmlo_benchmarks-8746e4b187544363.rlib: crates/benchmarks/src/lib.rs crates/benchmarks/src/generators.rs crates/benchmarks/src/random.rs crates/benchmarks/src/suite.rs
+
+/root/repo/target/release/deps/libmlo_benchmarks-8746e4b187544363.rmeta: crates/benchmarks/src/lib.rs crates/benchmarks/src/generators.rs crates/benchmarks/src/random.rs crates/benchmarks/src/suite.rs
+
+crates/benchmarks/src/lib.rs:
+crates/benchmarks/src/generators.rs:
+crates/benchmarks/src/random.rs:
+crates/benchmarks/src/suite.rs:

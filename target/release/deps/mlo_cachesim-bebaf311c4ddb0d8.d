@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mlo_cachesim-bebaf311c4ddb0d8.d: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/config.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/prefetch.rs crates/cachesim/src/simulator.rs crates/cachesim/src/stats.rs crates/cachesim/src/trace.rs
+
+/root/repo/target/release/deps/libmlo_cachesim-bebaf311c4ddb0d8.rlib: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/config.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/prefetch.rs crates/cachesim/src/simulator.rs crates/cachesim/src/stats.rs crates/cachesim/src/trace.rs
+
+/root/repo/target/release/deps/libmlo_cachesim-bebaf311c4ddb0d8.rmeta: crates/cachesim/src/lib.rs crates/cachesim/src/cache.rs crates/cachesim/src/config.rs crates/cachesim/src/hierarchy.rs crates/cachesim/src/prefetch.rs crates/cachesim/src/simulator.rs crates/cachesim/src/stats.rs crates/cachesim/src/trace.rs
+
+crates/cachesim/src/lib.rs:
+crates/cachesim/src/cache.rs:
+crates/cachesim/src/config.rs:
+crates/cachesim/src/hierarchy.rs:
+crates/cachesim/src/prefetch.rs:
+crates/cachesim/src/simulator.rs:
+crates/cachesim/src/stats.rs:
+crates/cachesim/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mlo_core-aef1c8dce0d87b4a.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/experiments.rs crates/core/src/optimizer.rs crates/core/src/prelude.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/strategy.rs
+
+/root/repo/target/release/deps/libmlo_core-aef1c8dce0d87b4a.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/experiments.rs crates/core/src/optimizer.rs crates/core/src/prelude.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/strategy.rs
+
+/root/repo/target/release/deps/libmlo_core-aef1c8dce0d87b4a.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/experiments.rs crates/core/src/optimizer.rs crates/core/src/prelude.rs crates/core/src/report.rs crates/core/src/request.rs crates/core/src/strategy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/experiments.rs:
+crates/core/src/optimizer.rs:
+crates/core/src/prelude.rs:
+crates/core/src/report.rs:
+crates/core/src/request.rs:
+crates/core/src/strategy.rs:

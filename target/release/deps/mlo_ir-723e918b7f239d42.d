@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/mlo_ir-723e918b7f239d42.d: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/array.rs crates/ir/src/builder.rs crates/ir/src/cost.rs crates/ir/src/dependence.rs crates/ir/src/ids.rs crates/ir/src/iteration.rs crates/ir/src/nest.rs crates/ir/src/program.rs crates/ir/src/reference.rs crates/ir/src/transform.rs
+
+/root/repo/target/release/deps/libmlo_ir-723e918b7f239d42.rlib: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/array.rs crates/ir/src/builder.rs crates/ir/src/cost.rs crates/ir/src/dependence.rs crates/ir/src/ids.rs crates/ir/src/iteration.rs crates/ir/src/nest.rs crates/ir/src/program.rs crates/ir/src/reference.rs crates/ir/src/transform.rs
+
+/root/repo/target/release/deps/libmlo_ir-723e918b7f239d42.rmeta: crates/ir/src/lib.rs crates/ir/src/access.rs crates/ir/src/array.rs crates/ir/src/builder.rs crates/ir/src/cost.rs crates/ir/src/dependence.rs crates/ir/src/ids.rs crates/ir/src/iteration.rs crates/ir/src/nest.rs crates/ir/src/program.rs crates/ir/src/reference.rs crates/ir/src/transform.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/access.rs:
+crates/ir/src/array.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/cost.rs:
+crates/ir/src/dependence.rs:
+crates/ir/src/ids.rs:
+crates/ir/src/iteration.rs:
+crates/ir/src/nest.rs:
+crates/ir/src/program.rs:
+crates/ir/src/reference.rs:
+crates/ir/src/transform.rs:

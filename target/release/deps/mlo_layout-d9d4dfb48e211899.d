@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mlo_layout-d9d4dfb48e211899.d: crates/layout/src/lib.rs crates/layout/src/apply.rs crates/layout/src/candidates.rs crates/layout/src/constraints.rs crates/layout/src/dynamic.rs crates/layout/src/heuristic.rs crates/layout/src/hyperplane.rs crates/layout/src/locality.rs crates/layout/src/quality.rs crates/layout/src/weights.rs
+
+/root/repo/target/release/deps/libmlo_layout-d9d4dfb48e211899.rlib: crates/layout/src/lib.rs crates/layout/src/apply.rs crates/layout/src/candidates.rs crates/layout/src/constraints.rs crates/layout/src/dynamic.rs crates/layout/src/heuristic.rs crates/layout/src/hyperplane.rs crates/layout/src/locality.rs crates/layout/src/quality.rs crates/layout/src/weights.rs
+
+/root/repo/target/release/deps/libmlo_layout-d9d4dfb48e211899.rmeta: crates/layout/src/lib.rs crates/layout/src/apply.rs crates/layout/src/candidates.rs crates/layout/src/constraints.rs crates/layout/src/dynamic.rs crates/layout/src/heuristic.rs crates/layout/src/hyperplane.rs crates/layout/src/locality.rs crates/layout/src/quality.rs crates/layout/src/weights.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/apply.rs:
+crates/layout/src/candidates.rs:
+crates/layout/src/constraints.rs:
+crates/layout/src/dynamic.rs:
+crates/layout/src/heuristic.rs:
+crates/layout/src/hyperplane.rs:
+crates/layout/src/locality.rs:
+crates/layout/src/quality.rs:
+crates/layout/src/weights.rs:

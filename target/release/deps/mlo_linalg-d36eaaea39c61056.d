@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mlo_linalg-d36eaaea39c61056.d: crates/linalg/src/lib.rs crates/linalg/src/elimination.rs crates/linalg/src/gcd.rs crates/linalg/src/hermite.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/rational.rs crates/linalg/src/unimodular.rs crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/libmlo_linalg-d36eaaea39c61056.rlib: crates/linalg/src/lib.rs crates/linalg/src/elimination.rs crates/linalg/src/gcd.rs crates/linalg/src/hermite.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/rational.rs crates/linalg/src/unimodular.rs crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/libmlo_linalg-d36eaaea39c61056.rmeta: crates/linalg/src/lib.rs crates/linalg/src/elimination.rs crates/linalg/src/gcd.rs crates/linalg/src/hermite.rs crates/linalg/src/kernel.rs crates/linalg/src/matrix.rs crates/linalg/src/rational.rs crates/linalg/src/unimodular.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/elimination.rs:
+crates/linalg/src/gcd.rs:
+crates/linalg/src/hermite.rs:
+crates/linalg/src/kernel.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/rational.rs:
+crates/linalg/src/unimodular.rs:
+crates/linalg/src/vector.rs:

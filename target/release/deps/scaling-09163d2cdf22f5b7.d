@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-09163d2cdf22f5b7.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-09163d2cdf22f5b7: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-727d63bde97119b1.d: crates/bench/benches/scaling.rs
+
+/root/repo/target/release/deps/scaling-727d63bde97119b1: crates/bench/benches/scaling.rs
+
+crates/bench/benches/scaling.rs:

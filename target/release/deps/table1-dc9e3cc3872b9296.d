@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-dc9e3cc3872b9296.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-dc9e3cc3872b9296: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-fcca2ac4ee857d4f.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-fcca2ac4ee857d4f: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

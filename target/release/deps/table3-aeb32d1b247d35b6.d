@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-aeb32d1b247d35b6.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-aeb32d1b247d35b6: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/weighted_ext-a9cf470b8b18cec7.d: crates/bench/src/bin/weighted_ext.rs
+
+/root/repo/target/release/deps/weighted_ext-a9cf470b8b18cec7: crates/bench/src/bin/weighted_ext.rs
+
+crates/bench/src/bin/weighted_ext.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_probe-cc4deb1d58c1572d.d: examples/_verify_probe.rs
+
+/root/repo/target/release/examples/_verify_probe-cc4deb1d58c1572d: examples/_verify_probe.rs
+
+examples/_verify_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_probe2-a6f2d469ba147884.d: examples/_verify_probe2.rs
+
+/root/repo/target/release/examples/_verify_probe2-a6f2d469ba147884: examples/_verify_probe2.rs
+
+examples/_verify_probe2.rs:

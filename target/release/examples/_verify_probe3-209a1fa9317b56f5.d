@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_probe3-209a1fa9317b56f5.d: examples/_verify_probe3.rs
+
+/root/repo/target/release/examples/_verify_probe3-209a1fa9317b56f5: examples/_verify_probe3.rs
+
+examples/_verify_probe3.rs:

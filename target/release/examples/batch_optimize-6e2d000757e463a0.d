@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/batch_optimize-6e2d000757e463a0.d: examples/batch_optimize.rs
+
+/root/repo/target/release/examples/batch_optimize-6e2d000757e463a0: examples/batch_optimize.rs
+
+examples/batch_optimize.rs:

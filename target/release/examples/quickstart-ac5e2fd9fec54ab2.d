@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ac5e2fd9fec54ab2.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ac5e2fd9fec54ab2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/solver_playground-1e5c18e5e0a61742.d: examples/solver_playground.rs
+
+/root/repo/target/release/examples/solver_playground-1e5c18e5e0a61742: examples/solver_playground.rs
+
+examples/solver_playground.rs:
