@@ -1,0 +1,416 @@
+//! Deterministic perf-gate harness: the parallel portfolio vs. the
+//! single-thread baseline, wired into CI.
+//!
+//! ```text
+//! cargo run -p mlo-bench --release --bin perf_gate -- \
+//!     [--threads N] [--out BENCH_2.json] [--min-speedup X]
+//! ```
+//!
+//! Three benchmark groups run **at 1 worker and at N workers with the same
+//! fixed seeds**:
+//!
+//! * `table2` — the paper benchmarks through the `portfolio` strategy
+//!   (solution cost = layout quality score),
+//! * `table3` — the paper benchmarks through the parallel `weighted`
+//!   strategy, evaluated on the simulated DATE'05 machine (solution cost =
+//!   simulated cycles),
+//! * `scaling` — planted-optimum random weighted networks through the
+//!   branch-and-bound portfolio (solution cost = canonical solution
+//!   weight), the workload where cooperative bound sharing shows its
+//!   wall-clock speedup.
+//!
+//! The harness emits `BENCH_2.json` (wall time, nodes explored, solution
+//! cost, speedup per entry) and **exits nonzero when any parallel run's
+//! solution cost differs from its single-thread baseline** — that cost
+//! parity is the determinism contract of `mlo_csp::solver::portfolio`, and
+//! it is what CI gates on.  Wall-clock numbers are reported for trend
+//! tracking; `--min-speedup` optionally turns the aggregate `scaling`
+//! speedup into a hard failure too.
+
+use mlo_benchmarks::Benchmark;
+use mlo_core::{Engine, EvaluationOptions, OptimizeRequest, TextTable};
+use mlo_csp::random::{planted_weighted_network, RandomNetworkSpec};
+use mlo_csp::{ParallelBranchAndBound, SearchLimits, WorkerPool};
+use mlo_layout::quality::assignment_score;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fixed seed for every request (the gate is meaningless without one).
+const SEED: u64 = 0x0DA7_E205;
+
+/// One benchmark measured at 1 and N workers.
+struct Entry {
+    name: String,
+    wall_ms_1t: f64,
+    wall_ms_nt: f64,
+    nodes_1t: u64,
+    nodes_nt: u64,
+    cost_1t: f64,
+    cost_nt: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        if self.wall_ms_nt > 0.0 {
+            self.wall_ms_1t / self.wall_ms_nt
+        } else {
+            1.0
+        }
+    }
+
+    /// Bit-exact cost parity (all costs here are exact integer sums).
+    fn cost_match(&self) -> bool {
+        self.cost_1t == self.cost_nt
+    }
+}
+
+struct Config {
+    threads: usize,
+    out: String,
+    min_speedup: f64,
+    only: Option<String>,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        threads: 4,
+        out: "BENCH_2.json".to_string(),
+        min_speedup: 0.0,
+        only: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--threads" => {
+                config.threads = value("--threads")
+                    .parse()
+                    .expect("--threads takes a number")
+            }
+            "--out" => config.out = value("--out"),
+            "--min-speedup" => {
+                config.min_speedup = value("--min-speedup")
+                    .parse()
+                    .expect("--min-speedup takes a number")
+            }
+            "--only" => config.only = Some(value("--only")),
+            other => {
+                panic!("unknown argument {other:?} (try --threads/--out/--min-speedup/--only)")
+            }
+        }
+    }
+    config.threads = config.threads.max(2);
+    config
+}
+
+/// Runs one engine request and pulls out (wall ms, nodes, cost).
+fn measure_request(
+    session: &mlo_core::Session,
+    program: &mlo_ir::Program,
+    request: &OptimizeRequest,
+    cycles_as_cost: bool,
+) -> (f64, u64, f64) {
+    let report = session
+        .optimize(program, request)
+        .expect("perf-gate requests use the heuristic fallback policy");
+    let nodes = report.search_stats.map(|s| s.nodes_visited).unwrap_or(0);
+    let cost = if cycles_as_cost {
+        report
+            .evaluation
+            .as_ref()
+            .expect("evaluation requested")
+            .total_cycles as f64
+    } else {
+        assignment_score(program, &report.assignment) as f64
+    };
+    (report.solution_time.as_secs_f64() * 1e3, nodes, cost)
+}
+
+/// table2/table3: the paper benchmarks through a strategy at 1 vs N workers.
+fn engine_group(threads: usize, strategy: &str, cycles_as_cost: bool) -> Vec<Entry> {
+    let engine = Engine::builder().parallelism(threads).build();
+    let session = engine.session();
+    Benchmark::all()
+        .into_iter()
+        .map(|benchmark| {
+            let program = benchmark.program();
+            // Pre-build the cached network so both runs time pure search.
+            session
+                .prepared(&program, &benchmark.candidate_options())
+                .network(&program);
+            let mut request = OptimizeRequest::strategy(strategy)
+                .candidates(benchmark.candidate_options())
+                .seed(SEED);
+            if cycles_as_cost {
+                // Sub-sampled traces: the evaluation stays deterministic
+                // (and comparable across thread counts) but the whole group
+                // runs in seconds instead of minutes on one CI core.
+                let trace = mlo_cachesim::TraceOptions {
+                    max_trip_per_loop: 24,
+                    ..mlo_cachesim::TraceOptions::default()
+                };
+                request = request.evaluate(EvaluationOptions::date05().trace(trace));
+            }
+            let (wall_ms_1t, nodes_1t, cost_1t) = measure_request(
+                &session,
+                &program,
+                &request.clone().parallelism(1),
+                cycles_as_cost,
+            );
+            let (wall_ms_nt, nodes_nt, cost_nt) = measure_request(
+                &session,
+                &program,
+                &request.clone().parallelism(threads),
+                cycles_as_cost,
+            );
+            Entry {
+                name: benchmark.name().to_string(),
+                wall_ms_1t,
+                wall_ms_nt,
+                nodes_1t,
+                nodes_nt,
+                cost_1t,
+                cost_nt,
+            }
+        })
+        .collect()
+}
+
+/// scaling: planted weighted networks through the branch-and-bound
+/// portfolio.  The single-thread baseline is the plain exhaustive search;
+/// the parallel run shares one bound across greedy probes, shards and
+/// reshuffles.  Sizes are tuned so the whole group stays under ~half a
+/// minute single-threaded on one CI core.
+fn scaling_group(threads: usize, pool: &Arc<WorkerPool>) -> Vec<Entry> {
+    let specs = [
+        (
+            "scale-18",
+            RandomNetworkSpec {
+                variables: 18,
+                domain_size: 4,
+                density: 0.5,
+                tightness: 0.2,
+                seed: 1_2024,
+            },
+        ),
+        (
+            "scale-20",
+            RandomNetworkSpec {
+                variables: 20,
+                domain_size: 4,
+                density: 0.5,
+                tightness: 0.15,
+                seed: 2_2024,
+            },
+        ),
+        (
+            "scale-24",
+            RandomNetworkSpec {
+                variables: 24,
+                domain_size: 4,
+                density: 0.45,
+                tightness: 0.15,
+                seed: 3_2024,
+            },
+        ),
+        (
+            "scale-26",
+            RandomNetworkSpec {
+                variables: 26,
+                domain_size: 3,
+                density: 0.45,
+                tightness: 0.12,
+                seed: 4_2024,
+            },
+        ),
+    ];
+    specs
+        .into_iter()
+        .map(|(name, spec)| {
+            let (weighted, _) = planted_weighted_network(&spec, 60.0, 8);
+            let limits = SearchLimits::none();
+
+            let start = Instant::now();
+            let baseline = ParallelBranchAndBound::default()
+                .parallelism(1)
+                .optimize_detailed(&weighted, &limits);
+            let wall_ms_1t = start.elapsed().as_secs_f64() * 1e3;
+
+            let start = Instant::now();
+            let parallel = ParallelBranchAndBound::default()
+                .with_pool(Arc::clone(pool))
+                .parallelism(threads)
+                .optimize_detailed(&weighted, &limits);
+            let wall_ms_nt = start.elapsed().as_secs_f64() * 1e3;
+
+            assert!(
+                baseline.optimal && parallel.optimal,
+                "scaling runs must complete"
+            );
+            Entry {
+                name: name.to_string(),
+                wall_ms_1t,
+                wall_ms_nt,
+                nodes_1t: baseline.result.stats.nodes_visited,
+                nodes_nt: parallel.result.stats.nodes_visited,
+                cost_1t: baseline.canonical_weight.expect("satisfiable"),
+                cost_nt: parallel.canonical_weight.expect("satisfiable"),
+            }
+        })
+        .collect()
+}
+
+fn json_entries(buffer: &mut String, entries: &[Entry]) {
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        writeln!(
+            buffer,
+            "      {{\"name\": \"{}\", \"wall_ms_1t\": {:.3}, \"wall_ms_nt\": {:.3}, \
+             \"nodes_1t\": {}, \"nodes_nt\": {}, \"cost_1t\": {}, \"cost_nt\": {}, \
+             \"speedup\": {:.3}, \"cost_match\": {}}}{comma}",
+            e.name,
+            e.wall_ms_1t,
+            e.wall_ms_nt,
+            e.nodes_1t,
+            e.nodes_nt,
+            e.cost_1t,
+            e.cost_nt,
+            e.speedup(),
+            e.cost_match(),
+        )
+        .expect("writing to a String");
+    }
+}
+
+fn print_group(title: &str, entries: &[Entry]) {
+    println!("\n{title}");
+    let mut table = TextTable::new(vec![
+        "Benchmark",
+        "Wall 1t",
+        "Wall Nt",
+        "Nodes 1t",
+        "Nodes Nt",
+        "Cost 1t",
+        "Cost Nt",
+        "Speedup",
+        "Cost parity",
+    ]);
+    for e in entries {
+        table.row(vec![
+            e.name.clone(),
+            format!("{:.2}ms", e.wall_ms_1t),
+            format!("{:.2}ms", e.wall_ms_nt),
+            e.nodes_1t.to_string(),
+            e.nodes_nt.to_string(),
+            format!("{}", e.cost_1t),
+            format!("{}", e.cost_nt),
+            format!("{:.2}x", e.speedup()),
+            if e.cost_match() { "ok" } else { "MISMATCH" }.to_string(),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn main() -> ExitCode {
+    let config = parse_args();
+    println!(
+        "perf_gate: portfolio vs single-thread baseline at {} workers (seed {SEED:#x})",
+        config.threads
+    );
+
+    let pool = Arc::new(WorkerPool::new(config.threads));
+    let wanted = |name: &str| config.only.as_deref().is_none_or(|only| only == name);
+    let table2 = if wanted("table2") {
+        engine_group(config.threads, "portfolio", false)
+    } else {
+        Vec::new()
+    };
+    let table3 = if wanted("table3") {
+        engine_group(config.threads, "weighted", true)
+    } else {
+        Vec::new()
+    };
+    let scaling = if wanted("scaling") {
+        scaling_group(config.threads, &pool)
+    } else {
+        Vec::new()
+    };
+
+    print_group(
+        "table2 — portfolio strategy (cost = layout quality score)",
+        &table2,
+    );
+    print_group(
+        "table3 — weighted strategy (cost = simulated cycles)",
+        &table3,
+    );
+    print_group(
+        "scaling — branch-and-bound portfolio (cost = solution weight)",
+        &scaling,
+    );
+
+    let scaling_1t: f64 = scaling.iter().map(|e| e.wall_ms_1t).sum();
+    let scaling_nt: f64 = scaling.iter().map(|e| e.wall_ms_nt).sum();
+    let scaling_speedup = if scaling_nt > 0.0 {
+        scaling_1t / scaling_nt
+    } else {
+        1.0
+    };
+    let cost_parity = table2
+        .iter()
+        .chain(&table3)
+        .chain(&scaling)
+        .all(Entry::cost_match);
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"benchmark\": \"BENCH_2\",").unwrap();
+    writeln!(json, "  \"harness\": \"perf_gate\",").unwrap();
+    writeln!(json, "  \"threads\": {},", config.threads).unwrap();
+    writeln!(json, "  \"seed\": {SEED},").unwrap();
+    writeln!(json, "  \"groups\": {{").unwrap();
+    for (i, (name, entries)) in [
+        ("table2", &table2),
+        ("table3", &table3),
+        ("scaling", &scaling),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        writeln!(json, "    \"{name}\": [").unwrap();
+        json_entries(&mut json, entries);
+        writeln!(json, "    ]{}", if i < 2 { "," } else { "" }).unwrap();
+    }
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"scaling_speedup\": {scaling_speedup:.3},").unwrap();
+    writeln!(json, "  \"cost_parity\": {cost_parity}").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&config.out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", config.out));
+    println!(
+        "\nwrote {} (aggregate scaling speedup {scaling_speedup:.2}x at {} workers)",
+        config.out, config.threads
+    );
+
+    if !cost_parity {
+        eprintln!(
+            "perf_gate FAILED: a parallel run's solution cost diverged from its \
+             single-thread baseline (see the MISMATCH rows above)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if config.min_speedup > 0.0 && scaling_speedup < config.min_speedup {
+        eprintln!(
+            "perf_gate FAILED: aggregate scaling speedup {scaling_speedup:.2}x is below \
+             the required {:.2}x",
+            config.min_speedup
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf_gate passed: cost parity holds across thread counts");
+    ExitCode::SUCCESS
+}

@@ -28,13 +28,13 @@ use crate::error::{Fallback, FallbackReason, OptimizeError};
 use crate::request::OptimizeRequest;
 use crate::strategy::{LayoutStrategy, StrategyContext, StrategyOutcome, StrategyRegistry};
 use mlo_cachesim::{SimulationReport, Simulator};
-use mlo_csp::{SearchLimits, SearchStats};
+use mlo_csp::{SearchLimits, SearchStats, WorkerPool};
 use mlo_ir::Program;
 use mlo_layout::{
     heuristic_assignment, CandidateOptions, CandidateSet, LayoutAssignment, LayoutNetwork,
 };
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -168,8 +168,9 @@ impl EngineBuilder {
         self
     }
 
-    /// Caps the worker threads `optimize_many` uses (default: available
-    /// parallelism).
+    /// Sizes the session-shared worker pool: `optimize_many` batches and
+    /// parallelism-aware strategies (`portfolio`, `weighted`) all draw
+    /// their workers from it (default: available parallelism).
     pub fn parallelism(mut self, workers: usize) -> Self {
         self.parallelism = Some(workers.max(1));
         self
@@ -225,11 +226,15 @@ impl Engine {
     }
 
     /// Opens a session: requests submitted through one session share
-    /// candidate sets and constraint networks per program.
+    /// candidate sets, constraint networks *and one worker pool* per
+    /// session.
     pub fn session(&self) -> Session {
         Session {
-            engine: self.clone(),
-            prepared: Mutex::new(HashMap::new()),
+            inner: Arc::new(SessionInner {
+                engine: self.clone(),
+                prepared: Mutex::new(HashMap::new()),
+                pool: OnceLock::new(),
+            }),
         }
     }
 
@@ -242,12 +247,13 @@ impl Engine {
         self.session().optimize(program, request)
     }
 
-    fn workers_for(&self, jobs: usize) -> usize {
-        let available = self
-            .parallelism
+    /// The engine-wide worker budget: [`EngineBuilder::parallelism`] when
+    /// set, otherwise the machine's available parallelism.
+    pub(crate) fn default_parallelism(&self) -> usize {
+        self.parallelism
             .or_else(|| thread::available_parallelism().ok().map(|n| n.get()))
-            .unwrap_or(1);
-        available.min(jobs).max(1)
+            .unwrap_or(1)
+            .max(1)
     }
 }
 
@@ -264,29 +270,76 @@ fn program_key(program: &Program, options: &CandidateOptions) -> String {
     format!("{options:?}\u{1f}{program:?}")
 }
 
-/// A scope that amortizes candidate enumeration and network construction
-/// across requests, keyed by program identity.
-#[derive(Debug)]
+/// A scope that amortizes candidate enumeration, network construction and
+/// one worker pool across requests, keyed by program identity.
+///
+/// Cloning a session is cheap and shares all of that state.
+#[derive(Debug, Clone)]
 pub struct Session {
+    inner: Arc<SessionInner>,
+}
+
+/// The shared state behind a [`Session`].
+#[derive(Debug)]
+pub(crate) struct SessionInner {
     engine: Engine,
     prepared: Mutex<HashMap<String, Arc<PreparedProgram>>>,
+    /// The session's worker pool, created on first parallel use so purely
+    /// sequential sessions never spawn a thread.
+    pool: OnceLock<Arc<WorkerPool>>,
 }
 
 impl Session {
     /// The engine this session came from.
     pub fn engine(&self) -> &Engine {
-        &self.engine
+        &self.inner.engine
     }
 
     /// Number of distinct (program, candidate-options) pairs prepared so
     /// far.
     pub fn prepared_programs(&self) -> usize {
-        self.prepared.lock().expect("session cache poisoned").len()
+        self.inner
+            .prepared
+            .lock()
+            .expect("session cache poisoned")
+            .len()
     }
 
     /// The prepared (cached) state of a program under the given candidate
     /// options, building the entry on first use.
     pub fn prepared(&self, program: &Program, options: &CandidateOptions) -> Arc<PreparedProgram> {
+        self.inner.prepared(program, options)
+    }
+
+    /// The session's shared worker pool (created on first use, sized by
+    /// [`EngineBuilder::parallelism`] or the machine), serving both
+    /// [`Session::optimize_many`] batches and parallelism-aware strategies.
+    pub fn worker_pool(&self) -> Arc<WorkerPool> {
+        self.inner.worker_pool()
+    }
+
+    /// Serves one request.
+    pub fn optimize(
+        &self,
+        program: &Program,
+        request: &OptimizeRequest,
+    ) -> Result<OptimizeReport, OptimizeError> {
+        self.inner.optimize(program, request)
+    }
+}
+
+impl SessionInner {
+    pub(crate) fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    pub(crate) fn worker_pool(&self) -> Arc<WorkerPool> {
+        self.pool
+            .get_or_init(|| Arc::new(WorkerPool::new(self.engine.default_parallelism())))
+            .clone()
+    }
+
+    fn prepared(&self, program: &Program, options: &CandidateOptions) -> Arc<PreparedProgram> {
         let key = program_key(program, options);
         let mut cache = self.prepared.lock().expect("session cache poisoned");
         cache
@@ -295,8 +348,7 @@ impl Session {
             .clone()
     }
 
-    /// Serves one request.
-    pub fn optimize(
+    fn optimize(
         &self,
         program: &Program,
         request: &OptimizeRequest,
@@ -314,7 +366,7 @@ impl Session {
             node_limit: request.node_limit,
             deadline: request.time_limit.map(|budget| start + budget),
         };
-        let ctx = StrategyContext::new(program, &prepared, request, limits);
+        let ctx = StrategyContext::new(self, program, &prepared, request, limits);
         let outcome = strategy.determine(&ctx)?;
         let solution_time = start.elapsed();
 
@@ -389,47 +441,75 @@ impl Session {
         }
         Ok(report)
     }
+}
 
-    /// Serves a batch of requests across worker threads.
+impl Session {
+    /// Serves a batch of requests across the session's worker pool.
     ///
     /// Results come back in submission order, one per job, each
     /// independently a success or a typed error — one failed request never
     /// poisons the batch.  Jobs against the same program share this
-    /// session's prepared networks.
+    /// session's prepared networks, and the workers are the same pool the
+    /// `portfolio` strategy races on (nested use is deadlock-free: waiters
+    /// help drain the pool's queue).
     pub fn optimize_many(
         &self,
         jobs: &[(&Program, OptimizeRequest)],
     ) -> Vec<Result<OptimizeReport, OptimizeError>> {
-        let workers = self.engine.workers_for(jobs.len());
-        if workers <= 1 {
+        if jobs.len() <= 1 || self.inner.engine.default_parallelism() <= 1 {
             return jobs
                 .iter()
                 .map(|(program, request)| self.optimize(program, request))
                 .collect();
         }
 
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<OptimizeReport, OptimizeError>>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-        thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= jobs.len() {
-                        break;
-                    }
-                    let (program, request) = &jobs[index];
-                    let result = self.optimize(program, request);
-                    *slots[index].lock().expect("batch slot poisoned") = Some(result);
-                });
+        let pool = self.worker_pool();
+        let (tx, rx) = channel();
+        // One owned copy per *distinct* program (jobs typically submit many
+        // requests against the same few programs), shared by its jobs.
+        let mut owned: HashMap<*const Program, Arc<Program>> = HashMap::new();
+        for (index, (program, request)) in jobs.iter().enumerate() {
+            let inner = Arc::clone(&self.inner);
+            let program = owned
+                .entry(*program as *const Program)
+                .or_insert_with(|| Arc::new((*program).clone()))
+                .clone();
+            let request = request.clone();
+            let tx = tx.clone();
+            pool.execute(move || {
+                let result = inner.optimize(&program, &request);
+                // A dropped receiver just means the batch was abandoned.
+                let _ = tx.send((index, result));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<Result<OptimizeReport, OptimizeError>>> =
+            jobs.iter().map(|_| None).collect();
+        let mut received = 0usize;
+        while received < jobs.len() {
+            match rx.recv_timeout(Duration::from_micros(200)) {
+                Ok((index, result)) => {
+                    slots[index] = Some(result);
+                    received += 1;
+                }
+                // Help drain the queue so a batch submitted from inside a
+                // pool worker cannot deadlock the pool.
+                Err(RecvTimeoutError::Timeout) => {
+                    pool.help_run_one();
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
             }
-        });
+        }
         slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("batch slot poisoned")
-                    .expect("every batch slot is filled")
+            .enumerate()
+            .map(|(index, slot)| {
+                // A missing slot means that job's worker died without
+                // reporting — i.e. the strategy panicked (the pool isolates
+                // the panic; the dropped channel is how it surfaces here).
+                slot.unwrap_or_else(|| {
+                    panic!("batch job {index} panicked before reporting a result")
+                })
             })
             .collect()
     }
@@ -690,6 +770,37 @@ mod tests {
     }
 
     #[test]
+    fn optimize_many_through_the_pool_matches_sequential_results() {
+        // Force the pooled batch path (a 1-core machine would otherwise
+        // take the sequential shortcut) and include the portfolio strategy
+        // so batch jobs submit nested portfolio work to the same pool.
+        let engine = Engine::builder().parallelism(4).build();
+        let session = engine.session();
+        let programs: Vec<_> = [Benchmark::MedIm04, Benchmark::Track]
+            .iter()
+            .map(|b| (b.program(), b.candidate_options()))
+            .collect();
+        let mut jobs: Vec<(&Program, OptimizeRequest)> = Vec::new();
+        for (program, options) in &programs {
+            for strategy in ["enhanced", "portfolio", "heuristic"] {
+                jobs.push((
+                    program,
+                    OptimizeRequest::strategy(strategy).candidates(*options),
+                ));
+            }
+        }
+        let batch = session.optimize_many(&jobs);
+        assert_eq!(batch.len(), jobs.len());
+        for ((program, request), result) in jobs.iter().zip(&batch) {
+            let sequential = session.optimize(program, request).unwrap();
+            let pooled = result.as_ref().unwrap();
+            assert_eq!(pooled.assignment, sequential.assignment);
+            assert_eq!(pooled.satisfiable, sequential.satisfiable);
+            assert_eq!(pooled.fallback, sequential.fallback);
+        }
+    }
+
+    #[test]
     fn optimize_many_matches_sequential_results() {
         let engine = Engine::new();
         let session = engine.session();
@@ -742,10 +853,10 @@ mod tests {
     #[test]
     fn custom_strategies_slot_into_the_engine() {
         #[derive(Debug)]
-        struct PortfolioStrategy;
-        impl LayoutStrategy for PortfolioStrategy {
+        struct EscalatingStrategy;
+        impl LayoutStrategy for EscalatingStrategy {
             fn name(&self) -> &str {
-                "portfolio"
+                "escalating"
             }
             fn description(&self) -> &str {
                 "enhanced, then forward-checking on exhaustion"
@@ -763,23 +874,51 @@ mod tests {
             }
         }
         let engine = Engine::builder()
-            .strategy(Arc::new(PortfolioStrategy))
+            .strategy(Arc::new(EscalatingStrategy))
             .build();
-        assert_eq!(engine.registry().len(), 8);
+        assert_eq!(engine.registry().len(), 9);
         let program = Benchmark::MedIm04.program();
         let report = engine
             .optimize(
                 &program,
-                &OptimizeRequest::strategy("portfolio")
+                &OptimizeRequest::strategy("escalating")
                     .candidates(Benchmark::MedIm04.candidate_options()),
             )
             .unwrap();
-        assert_eq!(report.strategy, "portfolio");
+        assert_eq!(report.strategy, "escalating");
         assert_eq!(report.satisfiable, Some(true));
         assert_eq!(
             assignment_score(&program, &report.assignment),
             ideal_score(&program)
         );
+    }
+
+    #[test]
+    fn portfolio_strategy_is_thread_count_invariant() {
+        // The builtin portfolio must return the identical assignment and
+        // satisfiability proof at 1, 2 and 8 workers for a fixed seed —
+        // the property the CI perf gate relies on.
+        let engine = Engine::builder().parallelism(4).build();
+        let session = engine.session();
+        let program = Benchmark::MedIm04.program();
+        let request = OptimizeRequest::strategy("portfolio")
+            .candidates(Benchmark::MedIm04.candidate_options())
+            .seed(2024);
+        let baseline = session
+            .optimize(&program, &request.clone().parallelism(1))
+            .unwrap();
+        assert_eq!(baseline.satisfiable, Some(true));
+        for workers in [2usize, 8] {
+            let report = session
+                .optimize(&program, &request.clone().parallelism(workers))
+                .unwrap();
+            assert_eq!(
+                report.assignment, baseline.assignment,
+                "assignment changed at {workers} workers"
+            );
+            assert_eq!(report.satisfiable, baseline.satisfiable);
+            assert_eq!(report.fallback, baseline.fallback);
+        }
     }
 
     #[test]

@@ -84,7 +84,8 @@ pub struct Table2Row {
 /// Runs the Table 2 experiment (layout-determination time) for one
 /// benchmark.
 ///
-/// All three schemes run through one [`Session`], so the candidate sets and
+/// All three schemes run through one [`Session`](crate::Session), so the
+/// candidate sets and
 /// the constraint network are built once per benchmark; the reported times
 /// are pure layout-determination (search) times, exactly what Table 2
 /// measures.

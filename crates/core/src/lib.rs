@@ -74,8 +74,8 @@ pub use optimizer::{OptimizationOutcome, Optimizer, OptimizerOptions, OptimizerS
 pub use report::TextTable;
 pub use request::{EvaluationOptions, FallbackPolicy, OptimizeRequest};
 pub use strategy::{
-    HeuristicStrategy, LayoutStrategy, LocalSearchStrategy, SchemeStrategy, StrategyContext,
-    StrategyOutcome, StrategyRegistry, WeightedStrategy,
+    HeuristicStrategy, LayoutStrategy, LocalSearchStrategy, PortfolioStrategy, SchemeStrategy,
+    StrategyContext, StrategyOutcome, StrategyRegistry, WeightedStrategy,
 };
 
 #[cfg(test)]

@@ -1,11 +1,11 @@
 //! The legacy `Optimizer` facade, kept as a thin shim over the engine API.
 //!
 //! This module predates the session-based engine
-//! ([`Engine`](crate::Engine) / [`Session`](crate::Session)); it rebuilds
+//! ([`crate::Engine`] / [`crate::Session`]); it rebuilds
 //! the candidate sets and the constraint network on every call and reports
 //! failure through the untyped `fell_back_to_heuristic` flag.  It is kept
 //! so existing callers and the original quick start keep compiling, but
-//! new code should issue [`OptimizeRequest`](crate::OptimizeRequest)s
+//! new code should issue [`crate::OptimizeRequest`]s
 //! against a session — see the migration notes in the crate-level docs.
 
 pub use crate::engine::NetworkSummary;

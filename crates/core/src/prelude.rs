@@ -16,10 +16,15 @@ pub use crate::error::{Fallback, FallbackReason, OptimizeError};
 pub use crate::optimizer::{OptimizationOutcome, Optimizer, OptimizerOptions, OptimizerScheme};
 pub use crate::report::TextTable;
 pub use crate::request::{EvaluationOptions, FallbackPolicy, OptimizeRequest};
-pub use crate::strategy::{LayoutStrategy, StrategyContext, StrategyOutcome, StrategyRegistry};
+pub use crate::strategy::{
+    LayoutStrategy, PortfolioStrategy, StrategyContext, StrategyOutcome, StrategyRegistry,
+};
 pub use mlo_benchmarks::{Benchmark, RandomProgramSpec};
 pub use mlo_cachesim::{MachineConfig, SimulationReport, Simulator, TraceOptions};
-pub use mlo_csp::{ConstraintNetwork, Scheme, SearchEngine, SearchLimits, SearchStats};
+pub use mlo_csp::{
+    ConstraintNetwork, ParallelBranchAndBound, ParallelPortfolioSearch, Scheme, SearchEngine,
+    SearchLimits, SearchStats, WorkerPool,
+};
 pub use mlo_ir::{AccessBuilder, ArrayId, LoopTransform, Program, ProgramBuilder};
 pub use mlo_layout::{CandidateOptions, CandidateSet, Hyperplane, Layout, LayoutAssignment};
 

@@ -16,8 +16,8 @@ use std::time::Duration;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FallbackPolicy {
     /// Return the heuristic baseline's layouts, recording the reason in the
-    /// report's [`Fallback`] (the classic `Optimizer` behaviour, minus the
-    /// silence).
+    /// report's [`Fallback`](crate::Fallback) (the classic `Optimizer`
+    /// behaviour, minus the silence).
     #[default]
     Heuristic,
     /// Fail the request with a typed [`OptimizeError`](crate::OptimizeError)
@@ -95,11 +95,26 @@ pub struct OptimizeRequest {
     pub node_limit: Option<u64>,
     /// Wall-clock budget for the search (`None` = unlimited).
     pub time_limit: Option<Duration>,
+    /// How many solver workers a parallelism-aware strategy (`portfolio`,
+    /// `weighted`) may occupy on the session's shared pool (`None` = the
+    /// engine default, which is [`EngineBuilder::parallelism`] or the
+    /// machine's available parallelism; `Some(1)` = single-threaded).
+    ///
+    /// For searches that complete within their budgets, changing this knob
+    /// never changes the *result*: portfolio strategies return the same
+    /// solution and cost at every thread count for a fixed seed (see
+    /// `mlo_csp::solver::portfolio`), so it is purely a latency/throughput
+    /// trade-off.  A run truncated by a node limit or deadline returns the
+    /// best answer found in time, which — like any budget-cut search — is
+    /// not guaranteed identical across thread counts.
+    ///
+    /// [`EngineBuilder::parallelism`]: crate::engine::EngineBuilder::parallelism
+    pub parallelism: Option<usize>,
     /// What to do when the strategy cannot return its own solution.
     pub fallback: FallbackPolicy,
     /// When set, the chosen layouts are replayed on this simulated machine
-    /// and the report carries the resulting [`SimulationReport`]
-    /// (`mlo_cachesim`).
+    /// and the report carries the resulting
+    /// [`SimulationReport`](mlo_cachesim::SimulationReport).
     pub evaluation: Option<EvaluationOptions>,
 }
 
@@ -111,6 +126,7 @@ impl Default for OptimizeRequest {
             seed: 0xC0FFEE,
             node_limit: None,
             time_limit: None,
+            parallelism: None,
             fallback: FallbackPolicy::Heuristic,
             evaluation: None,
         }
@@ -147,6 +163,13 @@ impl OptimizeRequest {
     /// Sets the wall-clock budget.
     pub fn time_limit(mut self, limit: Duration) -> Self {
         self.time_limit = Some(limit);
+        self
+    }
+
+    /// Sets the solver parallelism for this request (clamped to at least
+    /// one worker).
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = Some(workers.max(1));
         self
     }
 
@@ -190,6 +213,7 @@ mod tests {
             .seed(42)
             .node_limit(10)
             .time_limit(Duration::from_millis(5))
+            .parallelism(0)
             .fail_instead_of_fallback()
             .evaluate(EvaluationOptions::date05());
         assert_eq!(r.strategy, "base");
@@ -197,6 +221,7 @@ mod tests {
         assert_eq!(r.seed, 42);
         assert_eq!(r.node_limit, Some(10));
         assert_eq!(r.time_limit, Some(Duration::from_millis(5)));
+        assert_eq!(r.parallelism, Some(1), "parallelism clamps to one");
         assert_eq!(r.fallback, FallbackPolicy::Error);
         assert!(r.evaluation.is_some());
         assert!(!r.allows_fallback(FallbackReason::Unsatisfiable));

@@ -4,19 +4,19 @@
 //! is a value implementing the object-safe [`LayoutStrategy`] trait, looked
 //! up by name in a [`StrategyRegistry`].  Downstream users register their
 //! own strategies alongside the built-ins and submit them through the same
-//! [`OptimizeRequest`](crate::OptimizeRequest) / batch machinery.
+//! [`crate::OptimizeRequest`] / batch machinery.
 //!
 //! A strategy never builds candidates or networks itself: the
 //! [`StrategyContext`] hands it the session-cached [`CandidateSet`] /
 //! [`LayoutNetwork`] plus the request's seeded RNG and budget — the
 //! narrowed `mlo-csp` seam ([`NetworkSearch`]) does the actual searching.
 
-use crate::engine::PreparedProgram;
+use crate::engine::{PreparedProgram, SessionInner};
 use crate::error::{FallbackReason, OptimizeError};
 use crate::request::OptimizeRequest;
 use mlo_csp::{
-    BranchAndBound, MinConflicts, NetworkSearch, Scheme as CspScheme, SearchEngine, SearchLimits,
-    SearchStats, SolveResult,
+    BranchAndBound, MinConflicts, NetworkSearch, ParallelBranchAndBound, ParallelPortfolioSearch,
+    Scheme as CspScheme, SearchEngine, SearchLimits, SearchStats, SolveResult, WorkerPool,
 };
 use mlo_ir::Program;
 use mlo_layout::{
@@ -33,6 +33,7 @@ use std::sync::Arc;
 /// the session and built at most once per program; the context only hands
 /// out borrows.
 pub struct StrategyContext<'a> {
+    session: &'a SessionInner,
     program: &'a Program,
     prepared: &'a PreparedProgram,
     request: &'a OptimizeRequest,
@@ -42,18 +43,37 @@ pub struct StrategyContext<'a> {
 
 impl<'a> StrategyContext<'a> {
     pub(crate) fn new(
+        session: &'a SessionInner,
         program: &'a Program,
         prepared: &'a PreparedProgram,
         request: &'a OptimizeRequest,
         limits: SearchLimits,
     ) -> Self {
         StrategyContext {
+            session,
             program,
             prepared,
             request,
             limits,
             network_used: std::cell::Cell::new(false),
         }
+    }
+
+    /// The session's shared worker pool (created on first use) — the pool
+    /// every parallelism-aware strategy and `optimize_many` batch draws
+    /// workers from.
+    pub fn worker_pool(&self) -> Arc<WorkerPool> {
+        self.session.worker_pool()
+    }
+
+    /// The worker budget for this request: the request's own
+    /// [`parallelism`](OptimizeRequest::parallelism) knob, falling back to
+    /// the engine default.
+    pub fn parallelism(&self) -> usize {
+        self.request
+            .parallelism
+            .unwrap_or_else(|| self.session.engine().default_parallelism())
+            .max(1)
     }
 
     /// Whether this request's strategy consulted the constraint network
@@ -313,7 +333,20 @@ impl LayoutStrategy for WeightedStrategy {
         let weighted = weights::derive_weights(ctx.program(), ctx.network(), &self.weights);
         let mut limits = ctx.limits();
         limits.node_limit = Some(limits.node_limit.unwrap_or(self.default_node_limit));
-        let result = BranchAndBound::new().optimize_with(&weighted, &limits);
+        let parallelism = ctx.parallelism();
+        let result = if parallelism > 1 {
+            // Portfolio branch and bound: helper shards/probes feed the
+            // shared incumbent, the exhaustive primary returns the answer —
+            // identical to the single-thread solution, sooner.
+            ParallelBranchAndBound::new(BranchAndBound::new())
+                .with_pool(ctx.worker_pool())
+                .parallelism(parallelism)
+                .seed(ctx.request().seed)
+                .optimize_detailed(&weighted, &limits)
+                .result
+        } else {
+            BranchAndBound::new().optimize_with(&weighted, &limits)
+        };
         match result.solution {
             Some(solution) => Ok(StrategyOutcome::Solved {
                 assignment: ctx.assignment_from_solution(&solution),
@@ -377,6 +410,51 @@ impl LayoutStrategy for LocalSearchStrategy {
     }
 }
 
+/// The parallel portfolio strategy: diverse solver configurations racing
+/// on the session's worker pool (the tentpole of the scaling roadmap).
+///
+/// The portfolio members are `mlo-csp`'s canonical diverse roster
+/// ([`ParallelPortfolioSearch::diverse`]): the three deterministic schemes
+/// followed by seeded base-scheme members and a local-search member.  The
+/// request's [`parallelism`](OptimizeRequest::parallelism) knob caps how
+/// many race concurrently; the *result* is identical at every setting (the
+/// winner is the lowest-index member that finds a solution, decided only
+/// after every lower member completes), so batch pipelines can tune
+/// latency without re-validating outputs.
+#[derive(Debug, Clone, Copy)]
+pub struct PortfolioStrategy {
+    /// Number of seeded base-scheme members in the race (plus one
+    /// local-search member when nonzero).
+    pub randomized: usize,
+}
+
+impl Default for PortfolioStrategy {
+    fn default() -> Self {
+        PortfolioStrategy { randomized: 4 }
+    }
+}
+
+impl LayoutStrategy for PortfolioStrategy {
+    fn name(&self) -> &str {
+        "portfolio"
+    }
+
+    fn description(&self) -> &str {
+        "parallel race of diverse schemes and seeds (thread-count-independent result)"
+    }
+
+    fn determine(&self, ctx: &StrategyContext<'_>) -> Result<StrategyOutcome, OptimizeError> {
+        let parallelism = ctx.parallelism();
+        let mut search = ParallelPortfolioSearch::diverse(self.randomized).parallelism(parallelism);
+        if parallelism > 1 {
+            search = search.with_pool(ctx.worker_pool());
+        }
+        let mut rng = ctx.rng();
+        let result = search.search(ctx.network().network(), &mut rng, &ctx.limits());
+        Ok(ctx.outcome_from_solve(result))
+    }
+}
+
 /// A name-indexed collection of strategies, preserving registration order.
 ///
 /// [`StrategyRegistry::builtin`] registers the seven strategies the old
@@ -394,9 +472,9 @@ impl StrategyRegistry {
         StrategyRegistry::default()
     }
 
-    /// The registry of the seven built-in strategies, in the canonical
+    /// The registry of the eight built-in strategies, in the canonical
     /// order (heuristic, base, enhanced, forward-checking,
-    /// full-propagation, weighted, local-search).
+    /// full-propagation, weighted, local-search, portfolio).
     pub fn builtin() -> Self {
         let mut registry = StrategyRegistry::empty();
         registry.register(Arc::new(HeuristicStrategy));
@@ -406,6 +484,7 @@ impl StrategyRegistry {
         registry.register(Arc::new(SchemeStrategy::full_propagation()));
         registry.register(Arc::new(WeightedStrategy::default()));
         registry.register(Arc::new(LocalSearchStrategy::default()));
+        registry.register(Arc::new(PortfolioStrategy::default()));
         registry
     }
 
@@ -471,7 +550,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn builtin_registry_has_the_seven_classic_strategies() {
+    fn builtin_registry_has_the_eight_builtin_strategies() {
         let registry = StrategyRegistry::builtin();
         assert_eq!(
             registry.names(),
@@ -483,11 +562,13 @@ mod tests {
                 "full-propagation",
                 "weighted",
                 "local-search",
+                "portfolio",
             ]
         );
-        assert_eq!(registry.len(), 7);
+        assert_eq!(registry.len(), 8);
         assert!(!registry.is_empty());
         assert!(registry.get("enhanced").is_some());
+        assert!(registry.get("portfolio").is_some());
         assert!(registry.get("nope").is_none());
     }
 
@@ -509,7 +590,7 @@ mod tests {
             }
         }
         registry.register(Arc::new(FakeBase));
-        assert_eq!(registry.len(), 7);
+        assert_eq!(registry.len(), 8);
         assert_eq!(registry.names()[1], "base");
         assert_eq!(
             format!("{:?}", registry.get("base").unwrap()),

@@ -5,7 +5,7 @@
 //! density, tightness, connectivity, widths — which is what determines how
 //! hard a layout-selection problem actually is.  The quantities follow the
 //! standard definitions of Dechter's *Constraint Processing* (the paper's
-//! reference [3]):
+//! reference \[3\]):
 //!
 //! * **density** — fraction of variable pairs that are constrained,
 //! * **tightness** — fraction of value pairs a constraint forbids,

@@ -20,6 +20,9 @@
 //!   * the **enhanced scheme** (most-constraining variable ordering,
 //!     least-constraining value ordering, conflict-directed backjumping),
 //!   * optional **forward checking** and **AC-3** preprocessing,
+//! * [`solver::portfolio`] — parallel portfolio search: racing diverse
+//!   solver configurations and sharded branch and bound over an internally
+//!   managed worker pool, with thread-count-independent results,
 //! * [`weighted`] — weighted constraint networks solved with branch and
 //!   bound (the paper's "give weights to constraints" future direction),
 //! * [`random`] — reproducible random-network generators for tests and
@@ -72,11 +75,13 @@ pub use assignment::{Assignment, Solution};
 pub use constraint::BinaryConstraint;
 pub use domain::Domain;
 pub use network::{ConstraintNetwork, VarId};
+pub use solver::portfolio::{ParallelBranchAndBound, WeightedPortfolioReport};
 pub use solver::{
-    Enumerator, MinConflicts, NetworkSearch, Scheme, SearchEngine, SearchLimits, SearchStats,
-    SolveResult, ValueOrdering, VariableOrdering,
+    CancelToken, Enumerator, MinConflicts, NetworkSearch, ParallelPortfolioSearch, PortfolioMember,
+    PortfolioReport, Scheme, SearchEngine, SearchLimits, SearchStats, SharedIncumbent, SolveResult,
+    ValueOrdering, VariableOrdering, WorkerPool,
 };
-pub use weighted::{BranchAndBound, WeightedNetwork};
+pub use weighted::{BnbOrder, BranchAndBound, Coop, WeightedNetwork};
 
 use std::fmt;
 use std::hash::Hash;

@@ -4,7 +4,7 @@ use crate::assignment::Assignment;
 use crate::constraint::BinaryConstraint;
 use crate::domain::Domain;
 use crate::{CspError, Value};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Identifies a variable of a [`ConstraintNetwork`].
@@ -325,6 +325,67 @@ impl<V: Value> ConstraintNetwork<V> {
         Ok(true)
     }
 
+    /// Builds a copy of the network with the domain of `var` restricted to
+    /// the given value indices (in the given order).
+    ///
+    /// Constraints keep their indices and orientation; allowed pairs whose
+    /// `var` side was dropped disappear (a constraint may end up empty,
+    /// making the restricted network trivially unsatisfiable).  This is the
+    /// sharding primitive of the portfolio solver: partitioning one
+    /// variable's domain across restricted copies partitions the whole
+    /// search space.
+    ///
+    /// # Errors
+    ///
+    /// * [`CspError::UnknownVariable`] when `var` is out of range,
+    /// * [`CspError::ValueIndexOutOfRange`] when `keep` mentions an index
+    ///   outside the domain of `var`, or mentions the same index twice (a
+    ///   duplicate would silently leave one domain copy unsupported).
+    pub fn restricted(&self, var: VarId, keep: &[usize]) -> crate::Result<ConstraintNetwork<V>> {
+        self.check_var(var)?;
+        let domain_size = self.domains[var.index()].len();
+        // Old index -> new index of the restricted variable's domain.
+        let mut remap: HashMap<usize, usize> = HashMap::with_capacity(keep.len());
+        for (new, &old) in keep.iter().enumerate() {
+            if old >= domain_size || remap.insert(old, new).is_some() {
+                return Err(CspError::ValueIndexOutOfRange {
+                    variable: var,
+                    index: old,
+                    domain_size,
+                });
+            }
+        }
+        let mut out = ConstraintNetwork::new();
+        for v in self.variables() {
+            let values: Vec<V> = if v == var {
+                keep.iter()
+                    .map(|&i| self.domains[v.index()].value(i).clone())
+                    .collect()
+            } else {
+                self.domains[v.index()].values().to_vec()
+            };
+            out.add_variable(self.names[v.index()].clone(), values);
+        }
+        for c in &self.constraints {
+            let pairs: HashSet<(usize, usize)> = c
+                .allowed_pairs()
+                .iter()
+                .filter_map(|&(a, b)| {
+                    let a = if c.first() == var { *remap.get(&a)? } else { a };
+                    let b = if c.second() == var {
+                        *remap.get(&b)?
+                    } else {
+                        b
+                    };
+                    Some((a, b))
+                })
+                .collect();
+            out.add_constraint_by_index(c.first(), c.second(), pairs)
+                .expect("restricted pairs are in range by construction");
+        }
+        Ok(out)
+    }
+
     /// Materializes an index assignment into the underlying values.
     ///
     /// # Panics
@@ -469,6 +530,33 @@ mod tests {
             vec![vars[0]]
         );
         assert!(checks > 0);
+    }
+
+    #[test]
+    fn restriction_partitions_the_search_space() {
+        let (net, vars) = paper_network();
+        // Restricting Q1 to its first value keeps the published solution.
+        let shard = net.restricted(vars[0], &[0]).unwrap();
+        assert_eq!(shard.domain(vars[0]).len(), 1);
+        assert_eq!(shard.constraint_count(), net.constraint_count());
+        assert_eq!(shard.domain(vars[0]).value(0), &(1, 0));
+        // Q1-(1 0) pairs survive with remapped indices; others are gone.
+        let c = shard.constraint_between(vars[0], vars[1]).unwrap();
+        assert_eq!(c.pair_count(), 1);
+        assert!(c.allows(vars[0], 0, vars[1], 1));
+        // Out-of-range and duplicate restrictions are rejected.
+        assert!(matches!(
+            net.restricted(vars[0], &[9]),
+            Err(CspError::ValueIndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            net.restricted(vars[0], &[0, 0]),
+            Err(CspError::ValueIndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            net.restricted(VarId::new(99), &[0]),
+            Err(CspError::UnknownVariable(_))
+        ));
     }
 
     #[test]

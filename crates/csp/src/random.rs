@@ -5,6 +5,7 @@
 //! five fixed benchmarks.
 
 use crate::network::{ConstraintNetwork, VarId};
+use crate::weighted::WeightedNetwork;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -118,6 +119,42 @@ pub fn satisfiable_network(spec: &RandomNetworkSpec) -> (ConstraintNetwork<usize
     (net, planted)
 }
 
+/// Generates a planted-satisfiable **weighted** network: the hard network
+/// comes from [`satisfiable_network`], every planted pair weighs
+/// `planted_bonus`, and every other allowed pair gets a small random
+/// integer weight in `0..noise_levels`.
+///
+/// With `planted_bonus` well above `noise_levels` the planted assignment is
+/// the unique optimum, which makes these instances ideal for exercising
+/// (and perf-gating) branch-and-bound portfolios: integer weights keep
+/// every weight sum exact, so results are bit-comparable across thread
+/// counts.
+pub fn planted_weighted_network(
+    spec: &RandomNetworkSpec,
+    planted_bonus: f64,
+    noise_levels: u32,
+) -> (WeightedNetwork<usize>, Vec<usize>) {
+    let (net, planted) = satisfiable_network(spec);
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x0DD5_EED5);
+    let mut weighted = WeightedNetwork::new(net, 0.0);
+    let network = weighted.network().clone();
+    for c in network.constraints() {
+        for &(a, b) in c.allowed_pairs() {
+            let weight = if planted[c.first().index()] == a && planted[c.second().index()] == b {
+                planted_bonus
+            } else {
+                rng.gen_range(0..noise_levels.max(1)) as f64
+            };
+            let va = *network.domain(c.first()).value(a);
+            let vb = *network.domain(c.second()).value(b);
+            weighted
+                .set_weight(c.first(), c.second(), &va, &vb, weight)
+                .expect("pairs come from the network itself");
+        }
+    }
+    (weighted, planted)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +212,36 @@ mod tests {
         // And the solver finds some solution.
         let result = SearchEngine::with_scheme(Scheme::Enhanced).solve(&net);
         assert!(result.is_satisfiable());
+    }
+
+    #[test]
+    fn planted_weighted_network_has_the_planted_optimum() {
+        let spec = RandomNetworkSpec {
+            variables: 10,
+            domain_size: 3,
+            density: 0.5,
+            tightness: 0.2,
+            seed: 77,
+        };
+        let (weighted, planted) = planted_weighted_network(&spec, 50.0, 10);
+        let mut asg = Assignment::new(weighted.network().variable_count());
+        for (i, &v) in planted.iter().enumerate() {
+            asg.assign(VarId::new(i), v);
+        }
+        assert_eq!(weighted.network().is_solution(&asg), Ok(true));
+        let result = crate::weighted::BranchAndBound::new().optimize(&weighted);
+        let solution = result.solution.expect("planted instances are satisfiable");
+        let planted_weight = weighted.assignment_weight(&asg);
+        assert!(
+            result.best_weight >= planted_weight,
+            "optimum {} below the planted weight {}",
+            result.best_weight,
+            planted_weight
+        );
+        // The bonus dominates the noise, so the optimizer lands on the
+        // planted assignment.
+        let values: Vec<usize> = solution.values().to_vec();
+        assert_eq!(values, planted);
     }
 
     #[test]

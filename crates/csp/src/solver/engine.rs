@@ -8,6 +8,7 @@
 //! not in that set is skipped without re-instantiating it (paper, Figure 3).
 
 use super::ordering::{order_values, select_variable};
+use super::portfolio::CancelToken;
 use super::{ac3, Ac3Outcome, SearchEngine, SearchLimits, SearchStats, SolveResult};
 use crate::assignment::{Assignment, Solution};
 use crate::network::{ConstraintNetwork, VarId};
@@ -27,11 +28,13 @@ pub(super) fn run<V: Value>(
     network: &ConstraintNetwork<V>,
     rng: &mut StdRng,
     limits: &SearchLimits,
+    cancel: Option<&CancelToken>,
 ) -> SolveResult<V> {
     let start = Instant::now();
     let mut stats = SearchStats::default();
     let mut hit_limit = false;
     let mut hit_deadline = false;
+    let mut was_cancelled = false;
 
     // Current (possibly pruned) candidate lists, one per variable.
     let mut live: Vec<Vec<usize>> = network
@@ -48,6 +51,7 @@ pub(super) fn run<V: Value>(
             elapsed: start.elapsed(),
             hit_node_limit: false,
             hit_deadline: false,
+            cancelled: false,
         };
     }
 
@@ -59,6 +63,7 @@ pub(super) fn run<V: Value>(
                 elapsed: start.elapsed(),
                 hit_node_limit: false,
                 hit_deadline: false,
+                cancelled: false,
             };
         }
     }
@@ -68,10 +73,12 @@ pub(super) fn run<V: Value>(
         config,
         network,
         limits,
+        cancel,
         stats: &mut stats,
         rng,
         hit_limit: &mut hit_limit,
         hit_deadline: &mut hit_deadline,
+        cancelled: &mut was_cancelled,
     };
     let outcome = search(&mut ctx, &mut assignment, &mut live);
     let solution = match outcome {
@@ -84,6 +91,7 @@ pub(super) fn run<V: Value>(
         elapsed: start.elapsed(),
         hit_node_limit: hit_limit,
         hit_deadline,
+        cancelled: was_cancelled,
     }
 }
 
@@ -100,10 +108,12 @@ struct Context<'a, V> {
     config: &'a SearchEngine,
     network: &'a ConstraintNetwork<V>,
     limits: &'a SearchLimits,
+    cancel: Option<&'a CancelToken>,
     stats: &'a mut SearchStats,
     rng: &'a mut StdRng,
     hit_limit: &'a mut bool,
     hit_deadline: &'a mut bool,
+    cancelled: &'a mut bool,
 }
 
 impl<V: Value> Context<'_, V> {
@@ -114,10 +124,18 @@ impl<V: Value> Context<'_, V> {
                 return true;
             }
         }
-        if let Some(deadline) = self.limits.deadline {
-            if self.stats.nodes_visited & DEADLINE_POLL_MASK == 0 && Instant::now() >= deadline {
-                *self.hit_deadline = true;
-                return true;
+        if self.stats.nodes_visited & DEADLINE_POLL_MASK == 0 {
+            if let Some(deadline) = self.limits.deadline {
+                if Instant::now() >= deadline {
+                    *self.hit_deadline = true;
+                    return true;
+                }
+            }
+            if let Some(cancel) = self.cancel {
+                if cancel.is_cancelled() {
+                    *self.cancelled = true;
+                    return true;
+                }
             }
         }
         false
@@ -155,7 +173,7 @@ fn search<V: Value>(
 
     let mut conflict_union: HashSet<VarId> = HashSet::new();
     for value in values {
-        if *ctx.hit_limit || *ctx.hit_deadline || ctx.limit_reached() {
+        if *ctx.hit_limit || *ctx.hit_deadline || *ctx.cancelled || ctx.limit_reached() {
             break;
         }
         ctx.stats.nodes_visited += 1;
@@ -223,7 +241,7 @@ fn search<V: Value>(
             Outcome::DeadEnd(child_conflicts) => {
                 restore(live, saved);
                 assignment.unassign(var);
-                if *ctx.hit_limit || *ctx.hit_deadline {
+                if *ctx.hit_limit || *ctx.hit_deadline || *ctx.cancelled {
                     return Outcome::DeadEnd(conflict_union);
                 }
                 if ctx.config.backjumping && !child_conflicts.contains(&var) {

@@ -11,6 +11,7 @@
 
 use crate::assignment::{Assignment, Solution};
 use crate::network::{ConstraintNetwork, VarId};
+use crate::solver::portfolio::CancelToken;
 use crate::solver::{NetworkSearch, SearchLimits, SearchStats, SolveResult};
 use crate::Value;
 use rand::rngs::StdRng;
@@ -94,6 +95,29 @@ impl MinConflicts {
         rng: &mut StdRng,
         limits: &SearchLimits,
     ) -> SolveResult<V> {
+        self.solve_inner(network, rng, limits, None)
+    }
+
+    /// Like [`MinConflicts::solve_with`], but additionally polls a
+    /// [`CancelToken`] so a portfolio can abort the walk when another member
+    /// wins; an aborted run reports [`SolveResult::cancelled`].
+    pub fn solve_cancellable<V: Value>(
+        &self,
+        network: &ConstraintNetwork<V>,
+        rng: &mut StdRng,
+        limits: &SearchLimits,
+        cancel: &CancelToken,
+    ) -> SolveResult<V> {
+        self.solve_inner(network, rng, limits, Some(cancel))
+    }
+
+    fn solve_inner<V: Value>(
+        &self,
+        network: &ConstraintNetwork<V>,
+        rng: &mut StdRng,
+        limits: &SearchLimits,
+        cancel: Option<&CancelToken>,
+    ) -> SolveResult<V> {
         let start = Instant::now();
         let mut stats = SearchStats::default();
         let n = network.variable_count();
@@ -103,6 +127,7 @@ impl MinConflicts {
             .node_limit
             .map_or(self.max_steps, |limit| limit.min(self.max_steps));
         let mut hit_deadline = false;
+        let mut was_cancelled = false;
 
         // Degenerate cases: empty networks are trivially solved; an empty
         // domain can never be assigned.
@@ -113,6 +138,7 @@ impl MinConflicts {
                 elapsed: start.elapsed(),
                 hit_node_limit: false,
                 hit_deadline: false,
+                cancelled: false,
             };
         }
 
@@ -125,10 +151,18 @@ impl MinConflicts {
                         break 'restarts;
                     }
                 }
-                if let Some(deadline) = limits.deadline {
-                    if stats.nodes_visited & DEADLINE_POLL_MASK == 0 && Instant::now() >= deadline {
-                        hit_deadline = true;
-                        break 'restarts;
+                if stats.nodes_visited & DEADLINE_POLL_MASK == 0 {
+                    if let Some(deadline) = limits.deadline {
+                        if Instant::now() >= deadline {
+                            hit_deadline = true;
+                            break 'restarts;
+                        }
+                    }
+                    if let Some(cancel) = cancel {
+                        if cancel.is_cancelled() {
+                            was_cancelled = true;
+                            break 'restarts;
+                        }
                     }
                 }
                 let conflicted = conflicted_variables(network, &assignment, &mut stats);
@@ -140,6 +174,7 @@ impl MinConflicts {
                         elapsed: start.elapsed(),
                         hit_node_limit: false,
                         hit_deadline: false,
+                        cancelled: false,
                     };
                 }
                 let var = conflicted[rng.gen_range(0..conflicted.len())];
@@ -158,8 +193,9 @@ impl MinConflicts {
             solution: None,
             stats,
             elapsed: start.elapsed(),
-            hit_node_limit: !hit_deadline,
+            hit_node_limit: !hit_deadline && !was_cancelled,
             hit_deadline,
+            cancelled: was_cancelled,
         }
     }
 }

@@ -18,11 +18,17 @@ mod engine;
 mod enumerate;
 mod local;
 mod ordering;
+pub mod pool;
+pub mod portfolio;
 
 pub use ac3::{ac3, Ac3Outcome};
 pub use enumerate::{EnumerationResult, Enumerator};
 pub use local::MinConflicts;
 pub use ordering::{order_values, select_variable, ValueOrdering, VariableOrdering};
+pub use pool::WorkerPool;
+pub use portfolio::{
+    CancelToken, ParallelPortfolioSearch, PortfolioMember, PortfolioReport, SharedIncumbent,
+};
 
 use crate::assignment::Solution;
 use crate::network::ConstraintNetwork;
@@ -138,6 +144,9 @@ pub struct SolveResult<V> {
     pub hit_node_limit: bool,
     /// Whether the search was cut off by the wall-clock deadline.
     pub hit_deadline: bool,
+    /// Whether the search was aborted by a [`CancelToken`] (portfolio
+    /// members losing the race report this).
+    pub cancelled: bool,
 }
 
 impl<V: Value> SolveResult<V> {
@@ -150,6 +159,13 @@ impl<V: Value> SolveResult<V> {
     /// out (a `None` solution then proves nothing about satisfiability).
     pub fn hit_any_limit(&self) -> bool {
         self.hit_node_limit || self.hit_deadline
+    }
+
+    /// Whether this run, having found no solution, *proves* the network
+    /// unsatisfiable: a systematic search that ran to completion (no limit,
+    /// no deadline, no cancellation) has exhausted the space.
+    pub fn proves_unsatisfiable(&self) -> bool {
+        self.solution.is_none() && !self.hit_node_limit && !self.hit_deadline && !self.cancelled
     }
 }
 
@@ -294,7 +310,21 @@ impl SearchEngine {
         rng: &mut StdRng,
         limits: &SearchLimits,
     ) -> SolveResult<V> {
-        engine::run(self, network, rng, limits)
+        engine::run(self, network, rng, limits, None)
+    }
+
+    /// Like [`SearchEngine::solve_with`], but additionally polls a
+    /// [`CancelToken`]: when another portfolio member wins the race, the
+    /// token aborts this search at the next poll point and the result comes
+    /// back with [`SolveResult::cancelled`] set.
+    pub fn solve_cancellable<V: Value>(
+        &self,
+        network: &ConstraintNetwork<V>,
+        rng: &mut StdRng,
+        limits: &SearchLimits,
+        cancel: &CancelToken,
+    ) -> SolveResult<V> {
+        engine::run(self, network, rng, limits, Some(cancel))
     }
 
     fn configured_limits(&self) -> SearchLimits {

@@ -1,0 +1,214 @@
+//! A small, self-contained worker-thread pool (std::thread + channels).
+//!
+//! The portfolio solver and `mlo-core`'s batch machinery both need to fan
+//! work out over threads without pulling in an external executor (the
+//! vendored dependency set is fixed).  [`WorkerPool`] is the shared
+//! substrate: a fixed set of worker threads draining one injector channel of
+//! boxed jobs.
+//!
+//! Two properties matter for the callers in this workspace:
+//!
+//! * **Nested submission must not deadlock.**  A batch job running *on* a
+//!   pool worker may itself submit portfolio-member jobs to the same pool
+//!   and block on their results.  Blocking callers therefore help out: while
+//!   waiting they call [`WorkerPool::help_run_one`], which pops and runs a
+//!   pending job inline instead of sleeping, so the queue always drains even
+//!   when every worker is parked on a nested wait.
+//! * **Shutdown joins.**  Dropping the pool closes the injector and joins
+//!   every worker, so tests can assert that no threads leak.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work executed by the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker-thread pool over a single injector channel.
+///
+/// Cheap to share via [`Arc`]; see the [module documentation](self) for the
+/// deadlock-freedom contract.
+#[derive(Debug)]
+pub struct WorkerPool {
+    injector: Mutex<Option<Sender<Job>>>,
+    queue: Arc<Mutex<Receiver<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (injector, receiver) = channel::<Job>();
+        let queue = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("mlo-pool-{i}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only while popping, never
+                        // while running a job.
+                        let job = match queue.lock() {
+                            Ok(receiver) => receiver.recv(),
+                            Err(_) => break,
+                        };
+                        match job {
+                            // A panicking job must not kill the worker —
+                            // that would permanently shrink the pool.  The
+                            // job's result channel closes with it, which is
+                            // how submitters observe the failure.
+                            Ok(job) => {
+                                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            }
+                            Err(_) => break, // injector closed: shut down
+                        }
+                    })
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        WorkerPool {
+            injector: Mutex::new(Some(injector)),
+            queue,
+            workers: Mutex::new(workers),
+            threads,
+        }
+    }
+
+    /// A pool sized to the machine (`std::thread::available_parallelism`,
+    /// falling back to one worker).
+    pub fn with_available_parallelism() -> Self {
+        WorkerPool::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Submits a job for execution on some worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is shutting down (only possible during `Drop`).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.injector
+            .lock()
+            .expect("pool injector poisoned")
+            .as_ref()
+            .expect("pool is shutting down")
+            .send(Box::new(job))
+            .expect("pool workers outlive the injector");
+    }
+
+    /// Pops one pending job and runs it on the *calling* thread.
+    ///
+    /// Returns `false` when no job could be claimed — either the queue is
+    /// empty, or an idle worker is parked on the queue (in which case that
+    /// worker will pick up any pending job itself, so there is nothing to
+    /// help with).  Callers blocked on results of jobs they submitted call
+    /// this in their wait loop, which keeps nested submissions
+    /// deadlock-free (see the module docs).
+    ///
+    /// `try_lock` is essential: idle workers block inside `recv()` *while
+    /// holding* the queue lock, so a blocking `lock()` here could park the
+    /// helper until the next job arrives instead of returning.
+    pub fn help_run_one(&self) -> bool {
+        let job = match self.queue.try_lock() {
+            Ok(receiver) => receiver.try_recv().ok(),
+            Err(_) => None,
+        };
+        match job {
+            Some(job) => {
+                // Same panic isolation as the worker loop: the popped job
+                // may belong to an unrelated request, whose failure must
+                // not unwind into the helping waiter.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the injector makes every worker's `recv` fail once the
+        // queue drains; joining then guarantees no leaked threads.
+        drop(self.injector.lock().expect("pool injector poisoned").take());
+        let workers = std::mem::take(&mut *self.workers.lock().expect("pool workers poisoned"));
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn executes_jobs_on_workers() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..32 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(7u32).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn help_run_one_drains_the_queue_inline() {
+        // A single-worker pool whose worker is parked on a nested wait: the
+        // waiting submitter itself must be able to run the pending job.
+        let pool = Arc::new(WorkerPool::new(1));
+        let (outer_tx, outer_rx) = channel();
+        let inner_pool = Arc::clone(&pool);
+        pool.execute(move || {
+            // This job occupies the only worker and submits a nested job,
+            // then waits for it by helping.
+            let (tx, rx) = channel();
+            inner_pool.execute(move || tx.send(41u32).unwrap());
+            let value = loop {
+                if let Ok(v) = rx.try_recv() {
+                    break v;
+                }
+                inner_pool.help_run_one();
+            };
+            outer_tx.send(value + 1).unwrap();
+        });
+        assert_eq!(outer_rx.recv().unwrap(), 42);
+    }
+}

@@ -1,0 +1,1186 @@
+//! Parallel portfolio search: racing and sharding solvers across threads
+//! with thread-count-independent results.
+//!
+//! Two portfolio shapes live here, both built on the shared
+//! [`WorkerPool`]:
+//!
+//! * [`ParallelPortfolioSearch`] — a **satisfiability race**: diverse
+//!   members (distinct schemes, orderings and restart seeds) search the
+//!   same network concurrently.  The portfolio's answer is the solution of
+//!   the *lowest-index* member that finds one, so every member with a
+//!   smaller index runs to completion before the race is decided and the
+//!   winner never depends on timing.  Members above a solution-bearing
+//!   index are cancelled cooperatively ([`CancelToken`]).
+//! * [`ParallelBranchAndBound`] — a **weighted optimization portfolio**:
+//!   one *primary* exhaustive branch-and-bound plus helper members (domain
+//!   shards, reshuffled orders, local-search primal probes) that publish
+//!   every solution they find to a [`SharedIncumbent`].  The primary prunes
+//!   against the shared bound — strictly, so subtrees that could tie are
+//!   always explored — and its first optimal solution in depth-first order
+//!   is provably independent of *when* foreign bounds arrive.  Helpers are
+//!   cancelled the moment the primary completes: the cooperative-pruning
+//!   speedup does not even require extra CPU cores, because a helper that
+//!   stumbles on a near-optimal solution early lets the primary skip the
+//!   bulk of its tree.
+//!
+//! # Determinism contract
+//!
+//! For a fixed seed and fixed limits, both portfolios return **the same
+//! solution and the same cost at any thread count** (1, 2, 8, ...),
+//! provided the search *completes within its budgets* — no wall-clock
+//! deadline fires and no node limit truncates the primary (check
+//! [`OptimizeResult::is_exhaustive`] /
+//! [`SolveResult::hit_any_limit`](super::SolveResult::hit_any_limit)) —
+//! and all pair weights are exactly representable sums (integers, or
+//! integers scaled by a dyadic factor such as the layout crate's 1.25
+//! bonus).  A truncated run returns whatever was best when the budget ran
+//! out, and *which* nodes fit in the budget depends on when foreign
+//! bounds arrived, so truncated results are best-effort at any thread
+//! count (exactly like deadline-cut results).  Search *statistics*
+//! (nodes, prunings) always vary with the thread count — they reflect the
+//! work actually performed, which cooperative pruning reduces.  This
+//! contract is what lets a CI perf gate diff solution costs across thread
+//! counts while tracking wall-clock speedups.
+
+use super::pool::WorkerPool;
+use super::{NetworkSearch, Scheme, SearchEngine, SearchLimits, SearchStats, SolveResult};
+use crate::assignment::Assignment;
+use crate::network::ConstraintNetwork;
+use crate::solver::MinConflicts;
+use crate::weighted::{BnbOrder, BranchAndBound, Coop, OptimizeResult, WeightedNetwork};
+use crate::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long result-collection loops sleep on an empty channel before
+/// helping the pool run queued jobs (keeps nested submissions live).
+const COLLECT_POLL: Duration = Duration::from_micros(200);
+
+/// A shared flag that cooperatively aborts in-flight searches.
+///
+/// Cloning shares the flag.  Solvers poll it at their deadline-poll points
+/// (every few dozen nodes), so cancellation latency is microseconds, not
+/// milliseconds.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every solver sharing the token aborts at its
+    /// next poll point.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A monotonically increasing `f64` maximum shared between portfolio
+/// members (the branch-and-bound incumbent bound).
+///
+/// Lock-free: values are stored as order-preserving bit patterns, so
+/// raising the maximum is a single `fetch_max`.
+#[derive(Debug)]
+pub struct SharedIncumbent(AtomicU64);
+
+/// Maps an `f64` to a `u64` whose unsigned order matches the `f64` order
+/// (sign bit flipped for positives, all bits flipped for negatives).
+fn f64_order_key(value: f64) -> u64 {
+    let bits = value.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+/// Inverse of [`f64_order_key`].
+fn f64_from_order_key(key: u64) -> f64 {
+    if key >> 63 == 1 {
+        f64::from_bits(key & !(1 << 63))
+    } else {
+        f64::from_bits(!key)
+    }
+}
+
+impl Default for SharedIncumbent {
+    fn default() -> Self {
+        SharedIncumbent::new()
+    }
+}
+
+impl SharedIncumbent {
+    /// A fresh incumbent at negative infinity (no solution known).
+    pub fn new() -> Self {
+        SharedIncumbent(AtomicU64::new(f64_order_key(f64::NEG_INFINITY)))
+    }
+
+    /// Offers a solution weight; the stored maximum only ever rises.
+    /// Returns `true` when the offer raised the bound.
+    pub fn offer(&self, weight: f64) -> bool {
+        let key = f64_order_key(weight);
+        self.0.fetch_max(key, Ordering::AcqRel) < key
+    }
+
+    /// The best weight offered so far (`-inf` when none).
+    pub fn get(&self) -> f64 {
+        f64_from_order_key(self.0.load(Ordering::Acquire))
+    }
+}
+
+/// Derives member seed `index` from a base seed (SplitMix64-style mixing,
+/// so neighbouring indices get unrelated streams).
+pub(crate) fn mix_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One competitor in a satisfiability race.
+#[derive(Debug, Clone)]
+pub enum PortfolioMember {
+    /// A systematic depth-first search (can prove unsatisfiability).
+    Systematic(SearchEngine),
+    /// Min-conflicts local search (fast on large satisfiable networks,
+    /// proves nothing when it fails).
+    LocalSearch(MinConflicts),
+}
+
+impl PortfolioMember {
+    /// Whether a completed, unlimited run without a solution proves the
+    /// network unsatisfiable.
+    pub fn is_systematic(&self) -> bool {
+        matches!(self, PortfolioMember::Systematic(_))
+    }
+
+    /// A short human label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            PortfolioMember::Systematic(engine) => format!(
+                "systematic({:?}/{:?}{})",
+                engine.variable_ordering,
+                engine.value_ordering,
+                if engine.forward_checking { "+fc" } else { "" }
+            ),
+            PortfolioMember::LocalSearch(_) => "local-search".to_string(),
+        }
+    }
+
+    /// Runs this member with its own seeded RNG, merged limits and a cancel
+    /// token.
+    fn solve<V: Value>(
+        &self,
+        network: &ConstraintNetwork<V>,
+        seed: u64,
+        limits: &SearchLimits,
+        cancel: &CancelToken,
+    ) -> SolveResult<V> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            PortfolioMember::Systematic(engine) => {
+                // The tighter of the member's own cap and the request's.
+                let merged = SearchLimits {
+                    node_limit: match (limits.node_limit, engine.node_limit) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    },
+                    deadline: limits.deadline,
+                };
+                engine.solve_cancellable(network, &mut rng, &merged, cancel)
+            }
+            PortfolioMember::LocalSearch(config) => {
+                config.solve_cancellable(network, &mut rng, limits, cancel)
+            }
+        }
+    }
+}
+
+/// What one portfolio run did, beyond the merged [`SolveResult`].
+#[derive(Debug, Clone)]
+pub struct PortfolioReport<V> {
+    /// The merged result (the winner's solution, everyone's counters).
+    pub result: SolveResult<V>,
+    /// Index of the member whose solution was returned.
+    pub winner: Option<usize>,
+    /// Members that ran to completion.
+    pub members_completed: usize,
+    /// Members aborted by cooperative cancellation.
+    pub members_cancelled: usize,
+    /// Members never launched because the race was already decided.
+    pub members_skipped: usize,
+}
+
+/// A portfolio of diverse solvers racing on one network.
+///
+/// See the [module documentation](self) for the determinism contract.  Use
+/// [`ParallelPortfolioSearch::with_pool`] to share one [`WorkerPool`]
+/// across many solves (and with `mlo-core`'s batch machinery); without a
+/// pool, or with `parallelism(1)`, members run sequentially in index order
+/// — by construction this produces the identical solution.
+#[derive(Debug, Clone)]
+pub struct ParallelPortfolioSearch {
+    members: Vec<PortfolioMember>,
+    parallelism: Option<usize>,
+    pool: Option<Arc<WorkerPool>>,
+}
+
+impl Default for ParallelPortfolioSearch {
+    fn default() -> Self {
+        ParallelPortfolioSearch::diverse(4)
+    }
+}
+
+impl ParallelPortfolioSearch {
+    /// A portfolio of the given members (an empty list gets the enhanced
+    /// scheme as its sole member).
+    pub fn new(mut members: Vec<PortfolioMember>) -> Self {
+        if members.is_empty() {
+            members.push(PortfolioMember::Systematic(SearchEngine::with_scheme(
+                Scheme::Enhanced,
+            )));
+        }
+        ParallelPortfolioSearch {
+            members,
+            parallelism: None,
+            pool: None,
+        }
+    }
+
+    /// The canonical diverse portfolio: the three deterministic schemes
+    /// (enhanced, forward checking, full propagation) followed by
+    /// `randomized` node-capped base-scheme members with distinct seeds and
+    /// one local-search member.
+    ///
+    /// Member 0 (enhanced, uncapped) guarantees completeness: whatever the
+    /// random members do, the portfolio still proves satisfiability or
+    /// unsatisfiability.
+    pub fn diverse(randomized: usize) -> Self {
+        let mut members = vec![
+            PortfolioMember::Systematic(SearchEngine::with_scheme(Scheme::Enhanced)),
+            PortfolioMember::Systematic(SearchEngine::with_scheme(Scheme::ForwardChecking)),
+            PortfolioMember::Systematic(SearchEngine::with_scheme(Scheme::FullPropagation)),
+        ];
+        for _ in 0..randomized {
+            members.push(PortfolioMember::Systematic(
+                SearchEngine::with_scheme(Scheme::Base).node_limit(250_000),
+            ));
+        }
+        if randomized > 0 {
+            members.push(PortfolioMember::LocalSearch(MinConflicts::default()));
+        }
+        ParallelPortfolioSearch::new(members)
+    }
+
+    /// Shares a worker pool (enables the parallel path).
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Caps the members in flight at once (default: the pool's thread
+    /// count; `1` forces the sequential path).
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = Some(parallelism.max(1));
+        self
+    }
+
+    /// The members, in race order.
+    pub fn members(&self) -> &[PortfolioMember] {
+        &self.members
+    }
+
+    fn effective_parallelism(&self) -> usize {
+        self.parallelism
+            .unwrap_or_else(|| self.pool.as_ref().map_or(1, |p| p.threads()))
+            .clamp(1, self.members.len())
+    }
+
+    /// Races the members and returns the merged result plus portfolio
+    /// bookkeeping.  The caller's RNG seeds every member (one draw), so
+    /// identical RNG states replay identical portfolios.
+    pub fn solve_detailed<V: Value + Send + Sync + 'static>(
+        &self,
+        network: &ConstraintNetwork<V>,
+        rng: &mut StdRng,
+        limits: &SearchLimits,
+    ) -> PortfolioReport<V> {
+        let base_seed: u64 = rng.gen();
+        match (&self.pool, self.effective_parallelism()) {
+            (Some(pool), parallelism) if parallelism > 1 => {
+                self.race_parallel(network, base_seed, limits, pool, parallelism)
+            }
+            _ => self.race_sequential(network, base_seed, limits),
+        }
+    }
+
+    /// The sequential reference semantics: members run in index order; the
+    /// first to find a solution (or prove unsatisfiability) ends the race.
+    fn race_sequential<V: Value>(
+        &self,
+        network: &ConstraintNetwork<V>,
+        base_seed: u64,
+        limits: &SearchLimits,
+    ) -> PortfolioReport<V> {
+        let start = Instant::now();
+        let mut stats = SearchStats::default();
+        let mut hit_node_limit = false;
+        let mut hit_deadline = false;
+        let mut completed = 0usize;
+        let never = CancelToken::new();
+        for (index, member) in self.members.iter().enumerate() {
+            let result = member.solve(network, mix_seed(base_seed, index as u64), limits, &never);
+            stats.absorb(&result.stats);
+            completed += 1;
+            let decided = result.solution.is_some()
+                || (member.is_systematic() && result.proves_unsatisfiable());
+            hit_node_limit |= result.hit_node_limit;
+            hit_deadline |= result.hit_deadline;
+            if decided || result.hit_deadline {
+                let winner = result.solution.is_some().then_some(index);
+                let proof = member.is_systematic() && result.proves_unsatisfiable();
+                return PortfolioReport {
+                    result: SolveResult {
+                        solution: result.solution,
+                        stats,
+                        elapsed: start.elapsed(),
+                        hit_node_limit: if proof { false } else { hit_node_limit },
+                        hit_deadline,
+                        cancelled: false,
+                    },
+                    winner,
+                    members_completed: completed,
+                    members_cancelled: 0,
+                    members_skipped: self.members.len() - completed,
+                };
+            }
+        }
+        PortfolioReport {
+            result: SolveResult {
+                solution: None,
+                stats,
+                elapsed: start.elapsed(),
+                hit_node_limit,
+                hit_deadline,
+                cancelled: false,
+            },
+            winner: None,
+            members_completed: completed,
+            members_cancelled: 0,
+            members_skipped: 0,
+        }
+    }
+
+    /// The parallel race.  Invariant that guarantees determinism: a member
+    /// is only ever cancelled when some *lower-index* member has reported a
+    /// solution, so every member at or below the eventual winner runs
+    /// exactly as it would alone.
+    fn race_parallel<V: Value + Send + Sync + 'static>(
+        &self,
+        network: &ConstraintNetwork<V>,
+        base_seed: u64,
+        limits: &SearchLimits,
+        pool: &Arc<WorkerPool>,
+        parallelism: usize,
+    ) -> PortfolioReport<V> {
+        let start = Instant::now();
+        let shared = Arc::new(network.clone());
+        let member_count = self.members.len();
+        let (tx, rx) = channel::<(usize, SolveResult<V>)>();
+        let tokens: Vec<CancelToken> = (0..member_count).map(|_| CancelToken::new()).collect();
+        let mut results: Vec<Option<SolveResult<V>>> = (0..member_count).map(|_| None).collect();
+        let mut launched = vec![false; member_count];
+        let mut in_flight = 0usize;
+        let mut next = 0usize;
+        let mut best_winner: Option<usize> = None;
+        let mut unsat_proven = false;
+        let mut our_deadline_hit = false;
+
+        let launch = |index: usize, in_flight: &mut usize, launched: &mut Vec<bool>| {
+            let member = self.members[index].clone();
+            let network = Arc::clone(&shared);
+            let seed = mix_seed(base_seed, index as u64);
+            let limits = *limits;
+            let token = tokens[index].clone();
+            let tx = tx.clone();
+            launched[index] = true;
+            *in_flight += 1;
+            pool.execute(move || {
+                let result = member.solve(&network, seed, &limits, &token);
+                // The collector may have returned already; a closed channel
+                // just means nobody needs this result any more.
+                let _ = tx.send((index, result));
+            });
+        };
+
+        // Launch the initial window, strictly in index order.
+        while next < member_count && in_flight < parallelism {
+            launch(next, &mut in_flight, &mut launched);
+            next += 1;
+        }
+
+        loop {
+            // Decided? The winner is final once every lower member finished
+            // (without a solution, by minimality).
+            if let Some(winner) = best_winner {
+                if results[..winner].iter().all(Option::is_some) {
+                    break;
+                }
+            }
+            if unsat_proven {
+                break;
+            }
+            if in_flight == 0 && (next >= member_count || best_winner.is_some()) {
+                break;
+            }
+            if let Some(deadline) = limits.deadline {
+                if Instant::now() >= deadline {
+                    our_deadline_hit = true;
+                    break;
+                }
+            }
+            match rx.recv_timeout(COLLECT_POLL) {
+                Ok((index, result)) => {
+                    in_flight -= 1;
+                    if result.solution.is_some() && best_winner.is_none_or(|w| index < w) {
+                        best_winner = Some(index);
+                        // The race below `index` is still open; everything
+                        // above it is now irrelevant.
+                        for (j, token) in tokens.iter().enumerate() {
+                            if j > index && launched[j] && results[j].is_none() {
+                                token.cancel();
+                            }
+                        }
+                    } else if self.members[index].is_systematic() && result.proves_unsatisfiable() {
+                        unsat_proven = true;
+                    }
+                    results[index] = Some(result);
+                    // Refill the window; members beyond a known winner are
+                    // skipped, not launched-and-cancelled.
+                    while next < member_count
+                        && in_flight < parallelism
+                        && best_winner.is_none_or(|w| next < w)
+                    {
+                        launch(next, &mut in_flight, &mut launched);
+                        next += 1;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Keep queued jobs moving even when every worker is
+                    // blocked on a nested wait.
+                    pool.help_run_one();
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        // No further launches can happen: drop the collector's own sender
+        // so that if every remaining job dies without reporting (a panicked
+        // worker), the drain sees `Disconnected` instead of spinning.
+        drop(tx);
+        // Cancel whatever is still running and drain it: cancelled members
+        // abort within one poll interval, so this is quick, and it
+        // guarantees no portfolio job outlives the call.
+        for (j, token) in tokens.iter().enumerate() {
+            if launched[j] && results[j].is_none() {
+                token.cancel();
+            }
+        }
+        drain_in_flight(&rx, &mut in_flight, pool, |index, result| {
+            results[index] = Some(result)
+        });
+
+        let mut stats = SearchStats::default();
+        let mut hit_node_limit = false;
+        let mut hit_deadline = our_deadline_hit;
+        let mut completed = 0usize;
+        let mut cancelled = 0usize;
+        for result in results.iter().flatten() {
+            stats.absorb(&result.stats);
+            if result.cancelled {
+                cancelled += 1;
+            } else {
+                completed += 1;
+            }
+            hit_node_limit |= result.hit_node_limit;
+            hit_deadline |= result.hit_deadline;
+        }
+        let solution = best_winner
+            .and_then(|w| results[w].take())
+            .and_then(|r| r.solution);
+        PortfolioReport {
+            result: SolveResult {
+                solution,
+                stats,
+                elapsed: start.elapsed(),
+                hit_node_limit: if unsat_proven { false } else { hit_node_limit },
+                hit_deadline: if unsat_proven { false } else { hit_deadline },
+                cancelled: false,
+            },
+            winner: best_winner,
+            members_completed: completed,
+            members_cancelled: cancelled,
+            members_skipped: launched.iter().filter(|&&l| !l).count(),
+        }
+    }
+}
+
+impl<V: Value + Send + Sync + 'static> NetworkSearch<V> for ParallelPortfolioSearch {
+    fn search(
+        &self,
+        network: &ConstraintNetwork<V>,
+        rng: &mut StdRng,
+        limits: &SearchLimits,
+    ) -> SolveResult<V> {
+        self.solve_detailed(network, rng, limits).result
+    }
+}
+
+/// Receives outstanding `(index, result)` messages, helping the pool while
+/// waiting so queued jobs cannot starve behind blocked workers.
+fn drain_in_flight<T>(
+    rx: &Receiver<(usize, T)>,
+    in_flight: &mut usize,
+    pool: &WorkerPool,
+    mut sink: impl FnMut(usize, T),
+) {
+    while *in_flight > 0 {
+        match rx.recv_timeout(COLLECT_POLL) {
+            Ok((index, result)) => {
+                sink(index, result);
+                *in_flight -= 1;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                pool.help_run_one();
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// A helper member of a [`ParallelBranchAndBound`] portfolio.
+#[derive(Debug, Clone)]
+enum WeightedHelper<V> {
+    /// Exhaustive search of a domain shard (or a reshuffled full space).
+    Explore {
+        solver: BranchAndBound,
+        network: Arc<WeightedNetwork<V>>,
+    },
+    /// A min-conflicts primal probe on the hard network: any solution it
+    /// finds seeds the shared bound.
+    Probe { seed: u64 },
+    /// A weight-guided greedy probe: assigns each variable the consistent
+    /// value with the best (gained + optimistic) weight, restarting with
+    /// shuffled orders.  On weight-structured instances this lands near the
+    /// optimum in microseconds, which is where most of the portfolio's
+    /// pruning power comes from.
+    Greedy { seed: u64, restarts: usize },
+}
+
+/// Runs the weight-guided greedy probe, offering every complete solution's
+/// canonical weight to the shared incumbent.
+fn greedy_probe<V: Value>(
+    weighted: &WeightedNetwork<V>,
+    seed: u64,
+    restarts: usize,
+    incumbent: &SharedIncumbent,
+    cancel: &CancelToken,
+) -> SearchStats {
+    use rand::seq::SliceRandom;
+    let network = weighted.network();
+    let mut stats = SearchStats::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<_> = network.variables().collect();
+    // First pass: most-constrained first; later passes: shuffled.
+    order.sort_by_key(|&v| std::cmp::Reverse(network.constraints_of(v).len()));
+    for restart in 0..restarts.max(1) {
+        if cancel.is_cancelled() {
+            break;
+        }
+        if restart > 0 {
+            order.shuffle(&mut rng);
+        }
+        let mut assignment = Assignment::new(network.variable_count());
+        let mut complete = true;
+        for &var in &order {
+            let mut best: Option<(f64, usize)> = None;
+            for value in 0..network.domain(var).len() {
+                stats.nodes_visited += 1;
+                if !network
+                    .conflicts_with(&assignment, var, value, &mut stats.consistency_checks)
+                    .is_empty()
+                {
+                    continue;
+                }
+                let mut score = 0.0;
+                for &ci in network.constraints_of(var) {
+                    let c = &network.constraints()[ci];
+                    let other = c.other(var).expect("adjacency is consistent");
+                    if let Some(other_value) = assignment.get(other) {
+                        let pair = if c.first() == var {
+                            (value, other_value)
+                        } else {
+                            (other_value, value)
+                        };
+                        score += weighted.weight_of(ci, pair);
+                    } else {
+                        // Optimistic potential: the best pair this value
+                        // still allows on the open constraint; a value with
+                        // no support at all is heavily penalized.
+                        let var_is_first = c.first() == var;
+                        let potential = c
+                            .allowed_pairs()
+                            .iter()
+                            .filter(|&&(a, b)| if var_is_first { a == value } else { b == value })
+                            .map(|&p| weighted.weight_of(ci, p))
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        score += if potential.is_finite() {
+                            potential
+                        } else {
+                            -1.0e12
+                        };
+                    }
+                }
+                if best.is_none_or(|(b, _)| score > b) {
+                    best = Some((score, value));
+                }
+            }
+            match best {
+                Some((_, value)) => assignment.assign(var, value),
+                None => {
+                    complete = false;
+                    stats.backtracks += 1;
+                    break;
+                }
+            }
+        }
+        if complete && assignment.is_complete() {
+            incumbent.offer(weighted.assignment_weight(&assignment));
+        }
+    }
+    stats
+}
+
+/// What a weighted-portfolio helper reports back (counters only — the
+/// helpers' solutions live on in the [`SharedIncumbent`], never in the
+/// merged result).
+struct HelperOutcome {
+    stats: SearchStats,
+}
+
+/// Result of a weighted portfolio run.
+#[derive(Debug, Clone)]
+pub struct WeightedPortfolioReport<V> {
+    /// The merged optimization result: the primary's solution, everyone's
+    /// counters.
+    pub result: OptimizeResult<V>,
+    /// The canonically recomputed weight of the returned solution
+    /// ([`WeightedNetwork::assignment_weight`]); this is the value a perf
+    /// gate should diff across thread counts.
+    pub canonical_weight: Option<f64>,
+    /// Helpers that ran (fully or until cancelled).
+    pub helpers_run: usize,
+    /// Whether the primary explored (or soundly pruned) its whole tree, so
+    /// the result is the proven optimum.
+    pub optimal: bool,
+}
+
+/// Portfolio branch and bound over a weighted network: one exhaustive
+/// primary plus bound-feeding helpers (shards, reshuffles, probes).
+///
+/// The returned solution is always the primary's, and the primary's answer
+/// is independent of helper timing (see the [module docs](self)), so runs
+/// at different thread counts return identical solutions and weights.  The
+/// helpers' contribution is *wall-clock*: their early incumbents let the
+/// primary prune — on satisfiable instances this routinely turns hours of
+/// sequential search into seconds, with no extra cores required.
+#[derive(Debug, Clone)]
+pub struct ParallelBranchAndBound {
+    /// The exhaustive primary search (its limits, its ordering).
+    pub primary: BranchAndBound,
+    /// Number of domain shards of the widest variable to explore as
+    /// helpers.
+    pub shards: usize,
+    /// Number of full-space helpers with seeded-shuffle orderings.
+    pub reorders: usize,
+    /// Number of min-conflicts primal probes.
+    pub probes: usize,
+    /// Number of weight-guided greedy probes (run first: they seed the
+    /// shared bound almost instantly).
+    pub greedy_probes: usize,
+    /// Base seed for shuffles and probes.
+    pub seed: u64,
+    parallelism: Option<usize>,
+    pool: Option<Arc<WorkerPool>>,
+}
+
+impl Default for ParallelBranchAndBound {
+    fn default() -> Self {
+        ParallelBranchAndBound {
+            primary: BranchAndBound::new(),
+            shards: 2,
+            reorders: 1,
+            probes: 1,
+            greedy_probes: 1,
+            seed: 0xC0FFEE,
+            parallelism: None,
+            pool: None,
+        }
+    }
+}
+
+impl ParallelBranchAndBound {
+    /// A portfolio around the given primary search.
+    pub fn new(primary: BranchAndBound) -> Self {
+        ParallelBranchAndBound {
+            primary,
+            ..ParallelBranchAndBound::default()
+        }
+    }
+
+    /// Shares a worker pool (enables the parallel path).
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Caps concurrently running members, primary included (default: the
+    /// pool's thread count; `1` degenerates to the plain primary search —
+    /// the single-thread baseline a perf gate compares against).
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = Some(parallelism.max(1));
+        self
+    }
+
+    /// Sets the base seed for shuffled helpers and probes.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn effective_parallelism(&self) -> usize {
+        self.parallelism
+            .unwrap_or_else(|| self.pool.as_ref().map_or(1, |p| p.threads()))
+            .max(1)
+    }
+
+    /// Builds the helper roster for one network.
+    fn helpers<V: Value>(&self, weighted: &WeightedNetwork<V>) -> Vec<WeightedHelper<V>> {
+        let mut helpers = Vec::new();
+        let network = weighted.network();
+        // Greedy probes first: they finish in microseconds and their bound
+        // is what everything else prunes against.
+        for i in 0..self.greedy_probes {
+            helpers.push(WeightedHelper::Greedy {
+                seed: mix_seed(self.seed, 0x62EED + i as u64),
+                restarts: 4,
+            });
+        }
+        // Shard the widest domain: one helper per contiguous value block.
+        if self.shards > 1 && network.variable_count() > 0 {
+            let widest = network
+                .variables()
+                .max_by_key(|&v| network.domain(v).len())
+                .expect("non-empty network");
+            let width = network.domain(widest).len();
+            let shards = self.shards.min(width.max(1));
+            if shards > 1 {
+                let indices: Vec<usize> = (0..width).collect();
+                for block in 0..shards {
+                    let lo = block * width / shards;
+                    let hi = ((block + 1) * width / shards).min(width);
+                    if lo >= hi {
+                        continue;
+                    }
+                    if let Ok(restricted) = weighted.restricted(widest, &indices[lo..hi]) {
+                        helpers.push(WeightedHelper::Explore {
+                            solver: self.primary.clone(),
+                            network: Arc::new(restricted),
+                        });
+                    }
+                }
+            }
+        }
+        for i in 0..self.reorders {
+            helpers.push(WeightedHelper::Explore {
+                solver: self
+                    .primary
+                    .clone()
+                    .order(BnbOrder::Shuffled(mix_seed(self.seed, 0x5AD + i as u64))),
+                network: Arc::new(weighted.clone()),
+            });
+        }
+        for i in 0..self.probes {
+            helpers.push(WeightedHelper::Probe {
+                seed: mix_seed(self.seed, 0x9B0 + i as u64),
+            });
+        }
+        helpers
+    }
+
+    /// Runs the portfolio and returns the merged result plus bookkeeping.
+    pub fn optimize_detailed<V: Value + Send + Sync + 'static>(
+        &self,
+        weighted: &WeightedNetwork<V>,
+        limits: &SearchLimits,
+    ) -> WeightedPortfolioReport<V> {
+        let parallelism = self.effective_parallelism();
+        let (pool, parallel) = match &self.pool {
+            Some(pool) if parallelism > 1 => (Some(Arc::clone(pool)), true),
+            _ => (None, false),
+        };
+        if !parallel {
+            // The single-thread baseline: the plain primary search.
+            let result = self.primary.optimize_with(weighted, limits);
+            return finish_weighted(weighted, result, 0);
+        }
+        let pool = pool.expect("parallel path requires a pool");
+        let start = Instant::now();
+        let incumbent = Arc::new(SharedIncumbent::new());
+        let cancel = CancelToken::new();
+        let shared = Arc::new(weighted.clone());
+        let helpers = self.helpers(weighted);
+        let helper_budget = parallelism.saturating_sub(1).min(helpers.len());
+        let (tx, rx) = channel::<(usize, Option<OptimizeResult<V>>, HelperOutcome)>();
+
+        // The primary must always run, so it is submitted first; helpers
+        // fill the remaining parallelism slots and exist purely to feed the
+        // shared bound early.
+        let mut in_flight = 0usize;
+        {
+            let primary = self.primary.clone();
+            let weighted = Arc::clone(&shared);
+            let incumbent = Arc::clone(&incumbent);
+            let limits = *limits;
+            let tx = tx.clone();
+            in_flight += 1;
+            pool.execute(move || {
+                let coop = Coop {
+                    incumbent: Some(&incumbent),
+                    cancel: None,
+                };
+                let result = primary.optimize_coop(&weighted, &limits, &coop);
+                let outcome = HelperOutcome {
+                    stats: result.stats,
+                };
+                let _ = tx.send((0, Some(result), outcome));
+            });
+        }
+        for (offset, helper) in helpers.into_iter().take(helper_budget).enumerate() {
+            let index = offset + 1;
+            let incumbent = Arc::clone(&incumbent);
+            let cancel = cancel.clone();
+            let limits = *limits;
+            let tx = tx.clone();
+            let hard = Arc::clone(&shared);
+            in_flight += 1;
+            pool.execute(move || {
+                let outcome = match helper {
+                    WeightedHelper::Explore { solver, network } => {
+                        let coop = Coop {
+                            incumbent: Some(&incumbent),
+                            cancel: Some(&cancel),
+                        };
+                        let result = solver.optimize_coop(&network, &limits, &coop);
+                        HelperOutcome {
+                            stats: result.stats,
+                        }
+                    }
+                    WeightedHelper::Probe { seed } => {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let result = MinConflicts::default().solve_cancellable(
+                            hard.network(),
+                            &mut rng,
+                            &limits,
+                            &cancel,
+                        );
+                        if let Some(solution) = &result.solution {
+                            let mut assignment = Assignment::new(hard.network().variable_count());
+                            for var in hard.network().variables() {
+                                assignment.assign(var, solution.value_index(var));
+                            }
+                            incumbent.offer(hard.assignment_weight(&assignment));
+                        }
+                        HelperOutcome {
+                            stats: result.stats,
+                        }
+                    }
+                    WeightedHelper::Greedy { seed, restarts } => HelperOutcome {
+                        stats: greedy_probe(&hard, seed, restarts, &incumbent, &cancel),
+                    },
+                };
+                let _ = tx.send((index, None, outcome));
+            });
+        }
+
+        // Everything is submitted: drop the collector's sender so a worker
+        // dying without reporting surfaces as `Disconnected` rather than an
+        // endless wait.
+        drop(tx);
+        let mut primary_result: Option<OptimizeResult<V>> = None;
+        let mut stats = SearchStats::default();
+        let mut helpers_run = 0usize;
+        while in_flight > 0 {
+            match rx.recv_timeout(COLLECT_POLL) {
+                Ok((index, result, outcome)) => {
+                    in_flight -= 1;
+                    stats.absorb(&outcome.stats);
+                    if index == 0 {
+                        primary_result = result;
+                        // The race is decided: the primary's answer is the
+                        // portfolio's answer.
+                        cancel.cancel();
+                    } else {
+                        helpers_run += 1;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    pool.help_run_one();
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        let mut result = primary_result.expect("the primary always reports");
+        stats.max_depth = stats.max_depth.max(result.stats.max_depth);
+        result.stats = stats;
+        result.elapsed = start.elapsed();
+        finish_weighted(weighted, result, helpers_run)
+    }
+}
+
+/// Wraps up a weighted run: canonical weight recomputation + report.
+fn finish_weighted<V: Value>(
+    weighted: &WeightedNetwork<V>,
+    result: OptimizeResult<V>,
+    helpers_run: usize,
+) -> WeightedPortfolioReport<V> {
+    let canonical_weight = result.solution.as_ref().map(|solution| {
+        let network = weighted.network();
+        let mut assignment = Assignment::new(network.variable_count());
+        for var in network.variables() {
+            assignment.assign(var, solution.value_index(var));
+        }
+        weighted.assignment_weight(&assignment)
+    });
+    let optimal = result.is_exhaustive() && result.solution.is_some();
+    WeightedPortfolioReport {
+        optimal,
+        canonical_weight,
+        helpers_run,
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{satisfiable_network, RandomNetworkSpec};
+
+    fn unsatisfiable_network() -> ConstraintNetwork<i32> {
+        let mut net = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0, 1]);
+        let b = net.add_variable("b", vec![0, 1]);
+        let c = net.add_variable("c", vec![0, 1]);
+        let neq = vec![(0, 1), (1, 0)];
+        net.add_constraint(a, b, neq.clone()).unwrap();
+        net.add_constraint(b, c, neq.clone()).unwrap();
+        net.add_constraint(a, c, neq).unwrap();
+        net
+    }
+
+    #[test]
+    fn cancel_token_round_trip() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn shared_incumbent_is_a_monotone_max() {
+        let incumbent = SharedIncumbent::new();
+        assert_eq!(incumbent.get(), f64::NEG_INFINITY);
+        assert!(incumbent.offer(-3.5));
+        assert_eq!(incumbent.get(), -3.5);
+        assert!(incumbent.offer(2.0));
+        assert!(!incumbent.offer(1.0));
+        assert!(!incumbent.offer(2.0));
+        assert_eq!(incumbent.get(), 2.0);
+    }
+
+    #[test]
+    fn f64_order_key_preserves_order() {
+        let values = [
+            f64::NEG_INFINITY,
+            -2.5,
+            -0.0,
+            0.0,
+            1.0e-300,
+            7.25,
+            f64::INFINITY,
+        ];
+        for pair in values.windows(2) {
+            assert!(f64_order_key(pair[0]) <= f64_order_key(pair[1]));
+        }
+        for v in values {
+            assert_eq!(f64_from_order_key(f64_order_key(v)), v);
+        }
+    }
+
+    #[test]
+    fn mix_seed_separates_indices() {
+        let a = mix_seed(42, 0);
+        let b = mix_seed(42, 1);
+        let c = mix_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, mix_seed(42, 0));
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_on_satisfiable_networks() {
+        let spec = RandomNetworkSpec {
+            variables: 16,
+            domain_size: 4,
+            density: 0.4,
+            tightness: 0.35,
+            seed: 11,
+        };
+        let (net, _) = satisfiable_network(&spec);
+        let limits = SearchLimits::none();
+        let sequential = ParallelPortfolioSearch::diverse(3).parallelism(1);
+        let mut rng = StdRng::seed_from_u64(99);
+        let lone = sequential.solve_detailed(&net, &mut rng, &limits);
+        let pool = Arc::new(WorkerPool::new(4));
+        for threads in [2usize, 4, 8] {
+            let racing = ParallelPortfolioSearch::diverse(3)
+                .with_pool(Arc::clone(&pool))
+                .parallelism(threads);
+            let mut rng = StdRng::seed_from_u64(99);
+            let report = racing.solve_detailed(&net, &mut rng, &limits);
+            assert_eq!(report.winner, lone.winner, "winner at {threads} threads");
+            assert_eq!(
+                report.result.solution.as_ref().map(|s| s.values().to_vec()),
+                lone.result.solution.as_ref().map(|s| s.values().to_vec()),
+                "solution at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn portfolio_proves_unsatisfiability() {
+        let net = unsatisfiable_network();
+        let pool = Arc::new(WorkerPool::new(4));
+        let portfolio = ParallelPortfolioSearch::diverse(2).with_pool(pool);
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = portfolio.solve_detailed(&net, &mut rng, &SearchLimits::none());
+        assert!(report.result.solution.is_none());
+        assert!(report.result.proves_unsatisfiable());
+        assert_eq!(report.winner, None);
+    }
+
+    #[test]
+    fn deadline_cancels_all_members_promptly() {
+        // A large network none of the members can finish instantly, plus an
+        // already-expired deadline: the race must come back almost at once
+        // with every launched member accounted for (completed or
+        // cancelled), which is exactly the no-leaked-work guarantee.
+        let spec = RandomNetworkSpec {
+            variables: 60,
+            domain_size: 6,
+            density: 0.3,
+            tightness: 0.45,
+            seed: 5,
+        };
+        let (net, _) = satisfiable_network(&spec);
+        let pool = Arc::new(WorkerPool::new(4));
+        let portfolio = ParallelPortfolioSearch::diverse(4).with_pool(Arc::clone(&pool));
+        let limits = SearchLimits::none().with_deadline(Instant::now());
+        let mut rng = StdRng::seed_from_u64(3);
+        let started = Instant::now();
+        let report = portfolio.solve_detailed(&net, &mut rng, &limits);
+        assert!(report.result.hit_deadline);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline cancellation took {:?}",
+            started.elapsed()
+        );
+        // After the call returns no portfolio job is still running: a fresh
+        // sentinel job gets a worker immediately.
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(()).unwrap());
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("pool workers were all released");
+    }
+
+    fn weighted_instance(seed: u64) -> WeightedNetwork<usize> {
+        // The production planted-optimum generator (also what the perf
+        // gate runs): bonus 50 dominates the 0..10 noise weights.
+        let spec = RandomNetworkSpec {
+            variables: 12,
+            domain_size: 4,
+            density: 0.5,
+            tightness: 0.3,
+            seed,
+        };
+        crate::random::planted_weighted_network(&spec, 50.0, 10).0
+    }
+
+    #[test]
+    fn weighted_portfolio_matches_single_thread_exactly() {
+        let weighted = weighted_instance(7);
+        let limits = SearchLimits::none();
+        let baseline = ParallelBranchAndBound::default()
+            .parallelism(1)
+            .optimize_detailed(&weighted, &limits);
+        assert!(baseline.optimal);
+        let pool = Arc::new(WorkerPool::new(4));
+        for threads in [2usize, 4, 8] {
+            let report = ParallelBranchAndBound::default()
+                .with_pool(Arc::clone(&pool))
+                .parallelism(threads)
+                .optimize_detailed(&weighted, &limits);
+            assert!(report.optimal);
+            assert_eq!(
+                report.canonical_weight, baseline.canonical_weight,
+                "weight at {threads} threads"
+            );
+            assert_eq!(
+                report.result.solution.as_ref().map(|s| s.values().to_vec()),
+                baseline
+                    .result
+                    .solution
+                    .as_ref()
+                    .map(|s| s.values().to_vec()),
+                "solution at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_portfolio_runs_helpers() {
+        let weighted = weighted_instance(13);
+        let pool = Arc::new(WorkerPool::new(4));
+        let report = ParallelBranchAndBound::default()
+            .with_pool(pool)
+            .parallelism(4)
+            .optimize_detailed(&weighted, &SearchLimits::none());
+        assert!(report.helpers_run > 0);
+        assert!(report.canonical_weight.is_some());
+    }
+}

@@ -10,8 +10,12 @@
 
 use crate::assignment::{Assignment, Solution};
 use crate::network::{ConstraintNetwork, VarId};
+use crate::solver::portfolio::{CancelToken, SharedIncumbent};
 use crate::solver::{SearchLimits, SearchStats};
 use crate::Value;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -23,6 +27,23 @@ const DEADLINE_POLL_MASK: u64 = 0x7F;
 struct Cutoff {
     node: bool,
     deadline: bool,
+    cancelled: bool,
+}
+
+/// Cooperation hooks for portfolio branch and bound: a shared incumbent
+/// bound published across members, and a cancellation token.
+///
+/// Pruning against the *shared* bound is strict (`<`), never `<=`: a
+/// subtree that could still *tie* the incumbent is always explored.  That
+/// discipline is what makes the portfolio's reported solution independent
+/// of when foreign bounds arrive — and therefore of the thread count (see
+/// [`crate::solver::portfolio`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Coop<'a> {
+    /// Best solution weight found by any cooperating member, if sharing.
+    pub incumbent: Option<&'a SharedIncumbent>,
+    /// Cooperative cancellation, if racing.
+    pub cancel: Option<&'a CancelToken>,
 }
 
 /// A constraint network whose allowed pairs carry weights.
@@ -101,6 +122,48 @@ impl<V: Value> WeightedNetwork<V> {
             .unwrap_or(self.default_weight)
     }
 
+    /// Builds a copy with the domain of `var` restricted to the given value
+    /// indices, remapping pair weights alongside the pairs (see
+    /// [`ConstraintNetwork::restricted`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConstraintNetwork::restricted`].
+    pub fn restricted(&self, var: VarId, keep: &[usize]) -> crate::Result<WeightedNetwork<V>> {
+        let network = self.network.restricted(var, keep)?;
+        let remap: HashMap<usize, usize> = keep
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
+        let mut weights = HashMap::new();
+        for (&(ci, (a, b)), &w) in &self.weights {
+            let c = &self.network.constraints()[ci];
+            let a = if c.first() == var {
+                match remap.get(&a) {
+                    Some(&new) => new,
+                    None => continue,
+                }
+            } else {
+                a
+            };
+            let b = if c.second() == var {
+                match remap.get(&b) {
+                    Some(&new) => new,
+                    None => continue,
+                }
+            } else {
+                b
+            };
+            weights.insert((ci, (a, b)), w);
+        }
+        Ok(WeightedNetwork {
+            network,
+            weights,
+            default_weight: self.default_weight,
+        })
+    }
+
     /// The total weight of a complete assignment (only meaningful when it is
     /// a solution of the hard network).
     pub fn assignment_weight(&self, assignment: &Assignment) -> f64 {
@@ -132,6 +195,34 @@ pub struct OptimizeResult<V> {
     pub hit_node_limit: bool,
     /// Whether the search was cut off by the wall-clock deadline.
     pub hit_deadline: bool,
+    /// Whether the search was aborted by a [`CancelToken`].
+    pub cancelled: bool,
+}
+
+impl<V: Value> OptimizeResult<V> {
+    /// Whether the search explored (or soundly pruned) the entire space:
+    /// the reported solution is then the true optimum.
+    pub fn is_exhaustive(&self) -> bool {
+        !self.hit_node_limit && !self.hit_deadline && !self.cancelled
+    }
+}
+
+/// How branch and bound orders the variables it instantiates.
+///
+/// Diverse orders are what make a branch-and-bound *portfolio* effective:
+/// an order that is pathological for one instance is usually excellent for
+/// another, and with a shared incumbent every member benefits from the
+/// first good solution any order stumbles on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BnbOrder {
+    /// Most-constrained variables first (tightest bound early); the
+    /// classic default.
+    #[default]
+    MostConstrainedFirst,
+    /// Variable declaration order.
+    Canonical,
+    /// A seeded random shuffle (deterministic per seed).
+    Shuffled(u64),
 }
 
 /// Depth-first branch and bound over a [`WeightedNetwork`].
@@ -139,12 +230,20 @@ pub struct OptimizeResult<V> {
 pub struct BranchAndBound {
     /// Give up after visiting this many nodes (`None` = unlimited).
     pub node_limit: Option<u64>,
+    /// Variable instantiation order.
+    pub order: BnbOrder,
 }
 
 impl BranchAndBound {
     /// Creates a branch-and-bound optimizer with no node limit.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets the variable instantiation order.
+    pub fn order(mut self, order: BnbOrder) -> Self {
+        self.order = order;
+        self
     }
 
     /// Finds the maximum-weight solution of the weighted network.
@@ -164,6 +263,19 @@ impl BranchAndBound {
         weighted: &WeightedNetwork<V>,
         limits: &SearchLimits,
     ) -> OptimizeResult<V> {
+        self.optimize_coop(weighted, limits, &Coop::default())
+    }
+
+    /// Finds the maximum-weight solution while cooperating with other
+    /// portfolio members: improvements are published to (and pruning reads
+    /// from) the shared incumbent, and the cancel token aborts the search
+    /// when the race is decided.
+    pub fn optimize_coop<V: Value>(
+        &self,
+        weighted: &WeightedNetwork<V>,
+        limits: &SearchLimits,
+        coop: &Coop<'_>,
+    ) -> OptimizeResult<V> {
         let start = Instant::now();
         let network = weighted.network();
         let mut stats = SearchStats::default();
@@ -172,9 +284,17 @@ impl BranchAndBound {
         let mut assignment = Assignment::new(network.variable_count());
         let mut cutoff = Cutoff::default();
 
-        // Static most-constrained-first order keeps the bound tight early.
         let mut order: Vec<VarId> = network.variables().collect();
-        order.sort_by_key(|&v| std::cmp::Reverse(network.constraints_of(v).len()));
+        match self.order {
+            // Most-constrained-first keeps the bound tight early.
+            BnbOrder::MostConstrainedFirst => {
+                order.sort_by_key(|&v| std::cmp::Reverse(network.constraints_of(v).len()));
+            }
+            BnbOrder::Canonical => {}
+            BnbOrder::Shuffled(seed) => {
+                order.shuffle(&mut StdRng::seed_from_u64(seed));
+            }
+        }
 
         // Optimistic per-constraint bound: the largest weight of any pair.
         let max_pair_weight: Vec<f64> = network
@@ -192,6 +312,7 @@ impl BranchAndBound {
         self.recurse(
             weighted,
             limits,
+            coop,
             &order,
             0,
             &mut assignment,
@@ -215,6 +336,7 @@ impl BranchAndBound {
             elapsed: start.elapsed(),
             hit_node_limit: cutoff.node,
             hit_deadline: cutoff.deadline,
+            cancelled: cutoff.cancelled,
         }
     }
 
@@ -223,6 +345,7 @@ impl BranchAndBound {
         &self,
         weighted: &WeightedNetwork<V>,
         limits: &SearchLimits,
+        coop: &Coop<'_>,
         order: &[VarId],
         depth: usize,
         assignment: &mut Assignment,
@@ -233,7 +356,7 @@ impl BranchAndBound {
         stats: &mut SearchStats,
         cutoff: &mut Cutoff,
     ) {
-        if cutoff.node || cutoff.deadline {
+        if cutoff.node || cutoff.deadline || cutoff.cancelled {
             return;
         }
         if let Some(limit) = limits.node_limit {
@@ -242,10 +365,18 @@ impl BranchAndBound {
                 return;
             }
         }
-        if let Some(deadline) = limits.deadline {
-            if stats.nodes_visited & DEADLINE_POLL_MASK == 0 && Instant::now() >= deadline {
-                cutoff.deadline = true;
-                return;
+        if stats.nodes_visited & DEADLINE_POLL_MASK == 0 {
+            if let Some(deadline) = limits.deadline {
+                if Instant::now() >= deadline {
+                    cutoff.deadline = true;
+                    return;
+                }
+            }
+            if let Some(cancel) = coop.cancel {
+                if cancel.is_cancelled() {
+                    cutoff.cancelled = true;
+                    return;
+                }
             }
         }
         let network = weighted.network();
@@ -253,6 +384,13 @@ impl BranchAndBound {
             if weight_so_far > *best_weight {
                 *best_weight = weight_so_far;
                 *best_assignment = Some(assignment.clone());
+                if let Some(incumbent) = coop.incumbent {
+                    // Publish the *canonically* recomputed weight: every
+                    // member sums constraint contributions in the same
+                    // (constraint-index) order, so equal solutions publish
+                    // bit-equal bounds regardless of search order.
+                    incumbent.offer(weighted.assignment_weight(assignment));
+                }
             }
             return;
         }
@@ -268,7 +406,17 @@ impl BranchAndBound {
             .map(|(ci, _)| max_pair_weight[ci])
             .sum();
         if weight_so_far + optimistic <= *best_weight {
-            return; // prune: cannot beat the incumbent
+            return; // prune: cannot beat this member's own incumbent
+        }
+        if let Some(incumbent) = coop.incumbent {
+            // Strictly below the shared bound: cannot even tie the best
+            // solution found anywhere, so nothing reportable lives here.
+            // (Strict `<` — ties must be explored — keeps the final
+            // solution independent of bound-arrival timing.)
+            if weight_so_far + optimistic < incumbent.get() {
+                stats.prunings += 1;
+                return;
+            }
         }
 
         let var = order[depth];
@@ -301,6 +449,7 @@ impl BranchAndBound {
             self.recurse(
                 weighted,
                 limits,
+                coop,
                 order,
                 depth + 1,
                 assignment,
@@ -401,6 +550,7 @@ mod tests {
         let (w, _) = simple_weighted();
         let bb = BranchAndBound {
             node_limit: Some(1),
+            ..BranchAndBound::default()
         };
         let result = bb.optimize(&w);
         assert!(result.stats.nodes_visited <= 2);

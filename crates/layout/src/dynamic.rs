@@ -3,7 +3,7 @@
 //! Section 6 of the paper proposes layouts that *change during execution*
 //! based on the requirements of different program segments.  This module
 //! implements the standard formulation of that idea (in the spirit of the
-//! paper's reference [5], Kandemir & Kadayif): the program's nest sequence
+//! paper's reference \[5\], Kandemir & Kadayif): the program's nest sequence
 //! is partitioned into contiguous **segments**; each array may use a
 //! different layout in each segment; switching layouts between segments
 //! costs a re-layout copy proportional to the array's size.  For every

@@ -102,8 +102,9 @@ pub fn build_weighted_network(
 }
 
 /// Derives just the weighted constraint network from a borrowed, pre-built
-/// layout network, copying only the inner [`ConstraintNetwork`] (which the
-/// result must own), never the layout bookkeeping.
+/// layout network, copying only the inner
+/// [`ConstraintNetwork`](mlo_csp::ConstraintNetwork) (which the result must
+/// own), never the layout bookkeeping.
 ///
 /// Sessions (`mlo-core`) cache the hard [`LayoutNetwork`] per program and
 /// derive weights from it on demand, so switching between weighted and

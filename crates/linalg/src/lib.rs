@@ -9,7 +9,8 @@
 //! this crate provides exact arithmetic over `i64` and over rationals, plus
 //! the handful of decompositions the rest of the workspace needs:
 //!
-//! * [`gcd`] / [`lcm`] / [`extended_gcd`] — elementary number theory,
+//! * [`gcd`](fn@gcd) / [`lcm`] / [`extended_gcd`] — elementary number
+//!   theory,
 //! * [`Rational`] — a normalized rational number,
 //! * [`IntVec`] — a dense integer vector (hyperplane vectors, offsets),
 //! * [`IntMat`] — a dense integer matrix (access matrices, transforms),

@@ -270,9 +270,10 @@ fn registry_strategies_and_a_custom_one_solve_figure2() {
             "full-propagation",
             "weighted",
             "local-search",
+            "portfolio",
             "escalating",
         ],
-        "seven built-ins plus the custom strategy, in registration order"
+        "eight built-ins plus the custom strategy, in registration order"
     );
     let session = engine.session();
     let program = figure2_program(16);
