@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run -p mlo-bench --release --bin perf_gate -- \
-//!     [--threads N] [--out BENCH_2.json] [--min-speedup X]
+//!     [--threads N] [--out BENCH_3.json] [--baseline BENCH_2.json] [--min-speedup X]
 //! ```
 //!
 //! Three benchmark groups run **at 1 worker and at N workers with the same
@@ -19,26 +19,116 @@
 //!   weight), the workload where cooperative bound sharing shows its
 //!   wall-clock speedup.
 //!
-//! The harness emits `BENCH_2.json` (wall time, nodes explored, solution
+//! A fourth, `large`, is the zero-copy shared-data-model scenario: a
+//! large planted weighted network is cloned and sharded the way the
+//! portfolio does per solve, under a counting global allocator.  It records
+//! bytes-per-clone, peak allocation and the shared-vs-rebuilt constraint
+//! table counts — the clone-elimination evidence of the Arc-backed network
+//! refactor — and fails the gate if any shard stops sharing its untouched
+//! tables.
+//!
+//! The harness emits `BENCH_3.json` (wall time, nodes explored, solution
 //! cost, speedup per entry) and **exits nonzero when any parallel run's
 //! solution cost differs from its single-thread baseline** — that cost
 //! parity is the determinism contract of `mlo_csp::solver::portfolio`, and
 //! it is what CI gates on.  Wall-clock numbers are reported for trend
-//! tracking; `--min-speedup` optionally turns the aggregate `scaling`
-//! speedup into a hard failure too.
+//! tracking: `--baseline` reads a previous `BENCH_<pr>.json` and embeds the
+//! old aggregate scaling speedup next to the new one, recording the perf
+//! trajectory across PRs; `--min-speedup` optionally turns the aggregate
+//! `scaling` speedup into a hard failure too.
 
 use mlo_benchmarks::Benchmark;
 use mlo_core::{Engine, EvaluationOptions, OptimizeRequest, TextTable};
 use mlo_csp::random::{planted_weighted_network, RandomNetworkSpec};
 use mlo_csp::{ParallelBranchAndBound, SearchLimits, WorkerPool};
 use mlo_layout::quality::assignment_score;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Fixed seed for every request (the gate is meaningless without one).
 const SEED: u64 = 0x0DA7_E205;
+
+/// Bytes currently live, total bytes ever allocated and the high-water
+/// mark, maintained by [`CountingAllocator`].
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static TOTAL_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+/// A system-allocator wrapper counting every allocation, so the `large`
+/// group can report real bytes-per-clone and peak-allocation numbers
+/// instead of estimates.
+struct CountingAllocator;
+
+/// Records a successful allocation of `size` bytes.
+fn record_alloc(size: usize) {
+    let live = LIVE_BYTES.fetch_add(size, Ordering::Relaxed) + size;
+    TOTAL_BYTES.fetch_add(size, Ordering::Relaxed);
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+// SAFETY: delegates every operation (including realloc/alloc_zeroed, so the
+// in-place-growth and calloc fast paths survive) to the system allocator
+// unchanged; the atomics only observe sizes.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            record_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            record_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            // Only growth counts toward the total; the live count follows
+            // the size delta in either direction.
+            let old_size = layout.size();
+            if new_size >= old_size {
+                let live = LIVE_BYTES.fetch_add(new_size - old_size, Ordering::Relaxed)
+                    + (new_size - old_size);
+                TOTAL_BYTES.fetch_add(new_size - old_size, Ordering::Relaxed);
+                PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE_BYTES.fetch_sub(old_size - new_size, Ordering::Relaxed);
+            }
+        }
+        new_ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and reports `(result, bytes allocated, peak live-byte growth)`.
+fn measure_alloc<T>(f: impl FnOnce() -> T) -> (T, usize, usize) {
+    let total_before = TOTAL_BYTES.load(Ordering::Relaxed);
+    let live_before = LIVE_BYTES.load(Ordering::Relaxed);
+    PEAK_BYTES.store(live_before, Ordering::Relaxed);
+    let out = f();
+    let allocated = TOTAL_BYTES.load(Ordering::Relaxed) - total_before;
+    let peak_growth = PEAK_BYTES
+        .load(Ordering::Relaxed)
+        .saturating_sub(live_before);
+    (out, allocated, peak_growth)
+}
 
 /// One benchmark measured at 1 and N workers.
 struct Entry {
@@ -69,6 +159,7 @@ impl Entry {
 struct Config {
     threads: usize,
     out: String,
+    baseline: Option<String>,
     min_speedup: f64,
     only: Option<String>,
 }
@@ -76,7 +167,8 @@ struct Config {
 fn parse_args() -> Config {
     let mut config = Config {
         threads: 4,
-        out: "BENCH_2.json".to_string(),
+        out: "BENCH_3.json".to_string(),
+        baseline: Some("BENCH_2.json".to_string()),
         min_speedup: 0.0,
         only: None,
     };
@@ -93,6 +185,8 @@ fn parse_args() -> Config {
                     .expect("--threads takes a number")
             }
             "--out" => config.out = value("--out"),
+            "--baseline" => config.baseline = Some(value("--baseline")),
+            "--no-baseline" => config.baseline = None,
             "--min-speedup" => {
                 config.min_speedup = value("--min-speedup")
                     .parse()
@@ -100,12 +194,29 @@ fn parse_args() -> Config {
             }
             "--only" => config.only = Some(value("--only")),
             other => {
-                panic!("unknown argument {other:?} (try --threads/--out/--min-speedup/--only)")
+                panic!(
+                    "unknown argument {other:?} \
+                     (try --threads/--out/--baseline/--no-baseline/--min-speedup/--only)"
+                )
             }
         }
     }
     config.threads = config.threads.max(2);
     config
+}
+
+/// Pulls one top-level numeric field out of a previous `BENCH_<pr>.json`.
+/// The *last* occurrence wins: `BENCH_3`-style files repeat the key inside
+/// their nested `"baseline"` object, which the emitter always writes
+/// before the top-level field.
+fn extract_json_number(json: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let position = json.rfind(&marker)? + marker.len();
+    let rest = json[position..].trim_start();
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Runs one engine request and pulls out (wall ms, nodes, cost).
@@ -265,6 +376,165 @@ fn scaling_group(threads: usize, pool: &Arc<WorkerPool>) -> Vec<Entry> {
         .collect()
 }
 
+/// Metrics of the `large` zero-copy scenario: what cloning and sharding a
+/// large network costs under the Arc-backed shared data model.
+struct LargeInstance {
+    variables: usize,
+    constraints: usize,
+    allowed_pairs: usize,
+    build_ms: f64,
+    clones: usize,
+    clone_total_ms: f64,
+    clone_bytes_per_clone: usize,
+    shards_built: usize,
+    shard_build_ms: f64,
+    shard_alloc_bytes: usize,
+    shard_peak_alloc_bytes: usize,
+    shared_constraint_tables: usize,
+    rebuilt_constraint_tables: usize,
+    rebuilt_pair_entries: usize,
+    total_pair_entries: usize,
+    /// Every shard shares exactly the tables the restriction leaves
+    /// untouched — the structural invariant the gate enforces.
+    sharing_ok: bool,
+}
+
+/// The clone-elimination evidence: a large planted weighted network is
+/// cloned the way every portfolio member/batch job receives its handle, and
+/// sharded the way the weighted portfolio partitions domains — both under
+/// the counting allocator.  Before the shared-storage refactor each clone
+/// and shard deep-copied every pair table; now a clone allocates only the
+/// handle spine and a shard rebuilds only the tables adjacent to the
+/// sharded variable.
+fn large_instance_group(threads: usize) -> LargeInstance {
+    let spec = RandomNetworkSpec {
+        variables: 100,
+        domain_size: 6,
+        density: 0.4,
+        tightness: 0.25,
+        seed: 5_2025,
+    };
+    let start = Instant::now();
+    let (weighted, _) = planted_weighted_network(&spec, 80.0, 8);
+    let build_ms = start.elapsed().as_secs_f64() * 1e3;
+    let network = weighted.network();
+    let constraints = network.constraint_count();
+    let total_pair_entries: usize = network.constraints().iter().map(|c| c.pair_count()).sum();
+
+    // 1. Handle clones: what every portfolio member / batch job pays.  The
+    //    result buffer is allocated outside the measurement so the counter
+    //    sees only what the clones themselves allocate.
+    const CLONES: usize = 1_000;
+    let mut handles = Vec::with_capacity(CLONES);
+    let start = Instant::now();
+    let (_, clone_bytes, _) = measure_alloc(|| {
+        for _ in 0..CLONES {
+            handles.push(weighted.clone());
+        }
+    });
+    let clone_total_ms = start.elapsed().as_secs_f64() * 1e3;
+    drop(handles);
+
+    // 2. Domain shards: what the weighted portfolio builds per solve.
+    let widest = network
+        .variables()
+        .max_by_key(|&v| network.domain(v).len())
+        .expect("non-empty network");
+    let width = network.domain(widest).len();
+    let shard_count = threads.clamp(2, width);
+    let indices: Vec<usize> = (0..width).collect();
+    let start = Instant::now();
+    let (shards, shard_alloc_bytes, shard_peak_alloc_bytes) = measure_alloc(|| {
+        let mut shards = Vec::new();
+        for block in 0..shard_count {
+            let lo = block * width / shard_count;
+            let hi = ((block + 1) * width / shard_count).min(width);
+            if lo < hi {
+                shards.push(
+                    weighted
+                        .restricted(widest, &indices[lo..hi])
+                        .expect("shard indices are in range"),
+                );
+            }
+        }
+        shards
+    });
+    let shard_build_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // 3. Structural-sharing audit: a shard must share exactly the tables
+    //    the restriction does not touch.
+    let mut shared_constraint_tables = 0usize;
+    let mut rebuilt_constraint_tables = 0usize;
+    let mut rebuilt_pair_entries = 0usize;
+    let mut sharing_ok = true;
+    for shard in &shards {
+        for ci in 0..constraints {
+            let shared = Arc::ptr_eq(
+                network.constraint_handle(ci),
+                shard.network().constraint_handle(ci),
+            ) && weighted.shares_weight_table(shard, ci);
+            if shared {
+                shared_constraint_tables += 1;
+            } else {
+                rebuilt_constraint_tables += 1;
+                rebuilt_pair_entries += shard.network().constraint(ci).pair_count();
+            }
+            if shared == network.constraint(ci).involves(widest) {
+                sharing_ok = false;
+            }
+        }
+    }
+
+    LargeInstance {
+        variables: spec.variables,
+        constraints,
+        allowed_pairs: total_pair_entries,
+        build_ms,
+        clones: CLONES,
+        clone_total_ms,
+        clone_bytes_per_clone: clone_bytes / CLONES,
+        shards_built: shards.len(),
+        shard_build_ms,
+        shard_alloc_bytes,
+        shard_peak_alloc_bytes,
+        shared_constraint_tables,
+        rebuilt_constraint_tables,
+        rebuilt_pair_entries,
+        total_pair_entries: total_pair_entries * shards.len(),
+        sharing_ok,
+    }
+}
+
+fn print_large(large: &Option<LargeInstance>) {
+    let Some(l) = large else { return };
+    println!("\nlarge — zero-copy shared data model (counting allocator)");
+    println!(
+        "  instance: {} vars, {} constraints, {} allowed pairs (built in {:.1}ms)",
+        l.variables, l.constraints, l.allowed_pairs, l.build_ms
+    );
+    println!(
+        "  clones: {} handles in {:.2}ms, {} bytes/clone (a deep copy would move \
+         >= {} pair entries each)",
+        l.clones, l.clone_total_ms, l.clone_bytes_per_clone, l.allowed_pairs
+    );
+    println!(
+        "  shards: {} views in {:.2}ms, {} bytes allocated (peak +{}), \
+         {} tables shared / {} rebuilt ({} of {} pair entries copied)",
+        l.shards_built,
+        l.shard_build_ms,
+        l.shard_alloc_bytes,
+        l.shard_peak_alloc_bytes,
+        l.shared_constraint_tables,
+        l.rebuilt_constraint_tables,
+        l.rebuilt_pair_entries,
+        l.total_pair_entries,
+    );
+    println!(
+        "  sharing audit: {}",
+        if l.sharing_ok { "ok" } else { "VIOLATED" }
+    );
+}
+
 fn json_entries(buffer: &mut String, entries: &[Entry]) {
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
@@ -340,6 +610,7 @@ fn main() -> ExitCode {
     } else {
         Vec::new()
     };
+    let large = wanted("large").then(|| large_instance_group(config.threads));
 
     print_group(
         "table2 — portfolio strategy (cost = layout quality score)",
@@ -353,6 +624,7 @@ fn main() -> ExitCode {
         "scaling — branch-and-bound portfolio (cost = solution weight)",
         &scaling,
     );
+    print_large(&large);
 
     let scaling_1t: f64 = scaling.iter().map(|e| e.wall_ms_1t).sum();
     let scaling_nt: f64 = scaling.iter().map(|e| e.wall_ms_nt).sum();
@@ -366,10 +638,22 @@ fn main() -> ExitCode {
         .chain(&table3)
         .chain(&scaling)
         .all(Entry::cost_match);
+    let sharing_ok = large.as_ref().is_none_or(|l| l.sharing_ok);
+
+    // Perf trajectory: read the previous PR's artifact (when present) and
+    // record its aggregate speedup next to this run's.
+    let baseline_speedup = config.baseline.as_ref().and_then(|path| {
+        let previous = std::fs::read_to_string(path).ok()?;
+        let speedup = extract_json_number(&previous, "scaling_speedup")?;
+        println!(
+            "trajectory: {path} scaling speedup {speedup:.2}x -> this run {scaling_speedup:.2}x"
+        );
+        Some((path.clone(), speedup))
+    });
 
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"benchmark\": \"BENCH_2\",").unwrap();
+    writeln!(json, "  \"benchmark\": \"BENCH_3\",").unwrap();
     writeln!(json, "  \"harness\": \"perf_gate\",").unwrap();
     writeln!(json, "  \"threads\": {},", config.threads).unwrap();
     writeln!(json, "  \"seed\": {SEED},").unwrap();
@@ -387,7 +671,69 @@ fn main() -> ExitCode {
         writeln!(json, "    ]{}", if i < 2 { "," } else { "" }).unwrap();
     }
     writeln!(json, "  }},").unwrap();
+    if let Some(l) = &large {
+        writeln!(json, "  \"large\": {{").unwrap();
+        writeln!(json, "    \"variables\": {},", l.variables).unwrap();
+        writeln!(json, "    \"constraints\": {},", l.constraints).unwrap();
+        writeln!(json, "    \"allowed_pairs\": {},", l.allowed_pairs).unwrap();
+        writeln!(json, "    \"build_ms\": {:.3},", l.build_ms).unwrap();
+        writeln!(json, "    \"clones\": {},", l.clones).unwrap();
+        writeln!(json, "    \"clone_total_ms\": {:.3},", l.clone_total_ms).unwrap();
+        writeln!(
+            json,
+            "    \"clone_bytes_per_clone\": {},",
+            l.clone_bytes_per_clone
+        )
+        .unwrap();
+        writeln!(json, "    \"shards_built\": {},", l.shards_built).unwrap();
+        writeln!(json, "    \"shard_build_ms\": {:.3},", l.shard_build_ms).unwrap();
+        writeln!(json, "    \"shard_alloc_bytes\": {},", l.shard_alloc_bytes).unwrap();
+        writeln!(
+            json,
+            "    \"shard_peak_alloc_bytes\": {},",
+            l.shard_peak_alloc_bytes
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "    \"shared_constraint_tables\": {},",
+            l.shared_constraint_tables
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "    \"rebuilt_constraint_tables\": {},",
+            l.rebuilt_constraint_tables
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "    \"rebuilt_pair_entries\": {},",
+            l.rebuilt_pair_entries
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "    \"total_pair_entries\": {},",
+            l.total_pair_entries
+        )
+        .unwrap();
+        writeln!(json, "    \"sharing_ok\": {}", l.sharing_ok).unwrap();
+        writeln!(json, "  }},").unwrap();
+    }
+    if let Some((path, speedup)) = &baseline_speedup {
+        writeln!(
+            json,
+            "  \"baseline\": {{\"file\": \"{path}\", \"scaling_speedup\": {speedup:.3}}},"
+        )
+        .unwrap();
+    }
     writeln!(json, "  \"scaling_speedup\": {scaling_speedup:.3},").unwrap();
+    if large.is_some() {
+        // Only claim an audit verdict when the audit actually ran (--only
+        // can skip the large group; skipped must not read as passed).
+        writeln!(json, "  \"sharing_ok\": {sharing_ok},").unwrap();
+    }
     writeln!(json, "  \"cost_parity\": {cost_parity}").unwrap();
     writeln!(json, "}}").unwrap();
     std::fs::write(&config.out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", config.out));
@@ -400,6 +746,13 @@ fn main() -> ExitCode {
         eprintln!(
             "perf_gate FAILED: a parallel run's solution cost diverged from its \
              single-thread baseline (see the MISMATCH rows above)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !sharing_ok {
+        eprintln!(
+            "perf_gate FAILED: a restricted view stopped sharing its untouched \
+             tables (see the large-instance sharing audit above)"
         );
         return ExitCode::FAILURE;
     }

@@ -25,13 +25,14 @@
 //! ```
 
 use crate::error::{Fallback, FallbackReason, OptimizeError};
-use crate::request::OptimizeRequest;
+use crate::request::{EvaluationOptions, OptimizeRequest};
 use crate::strategy::{LayoutStrategy, StrategyContext, StrategyOutcome, StrategyRegistry};
 use mlo_cachesim::{SimulationReport, Simulator};
-use mlo_csp::{SearchLimits, SearchStats, WorkerPool};
+use mlo_csp::{SearchLimits, SearchStats, WeightedNetwork, WorkerPool};
 use mlo_ir::Program;
 use mlo_layout::{
-    heuristic_assignment, CandidateOptions, CandidateSet, LayoutAssignment, LayoutNetwork,
+    heuristic_assignment, weights::WeightOptions, CandidateOptions, CandidateSet, Layout,
+    LayoutAssignment, LayoutNetwork,
 };
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, RecvTimeoutError};
@@ -64,13 +65,22 @@ impl NetworkSummary {
     }
 }
 
-/// The per-program state a session caches: candidate layouts and the
-/// constraint network, both built lazily at most once.
+/// The per-program state a session caches: candidate layouts, the
+/// constraint network and any derived weighted networks, all built lazily
+/// at most once.
+///
+/// Every cached artifact is `Arc`-backed (see `mlo_layout` / `mlo_csp`), so
+/// handing it to a strategy, a portfolio member or a batch job shares
+/// storage instead of copying tables.
 #[derive(Debug, Default)]
 pub struct PreparedProgram {
     options: CandidateOptions,
     candidates: OnceLock<CandidateSet>,
     network: OnceLock<LayoutNetwork>,
+    /// Weighted networks derived from the cached hard network, one per
+    /// distinct [`WeightOptions`] (a short linear list in practice —
+    /// requests overwhelmingly reuse the strategy default).
+    weighted: Mutex<Vec<(WeightOptions, Arc<WeightedNetwork<Layout>>)>>,
 }
 
 impl PreparedProgram {
@@ -79,6 +89,7 @@ impl PreparedProgram {
             options,
             candidates: OnceLock::new(),
             network: OnceLock::new(),
+            weighted: Mutex::new(Vec::new()),
         }
     }
 
@@ -93,6 +104,36 @@ impl PreparedProgram {
     pub fn network(&self, program: &Program) -> &LayoutNetwork {
         self.network
             .get_or_init(|| mlo_layout::build_network_from(program, self.candidates(program)))
+    }
+
+    /// The weighted network derived with `options`, deriving (and caching)
+    /// it on first use.  The returned handle shares the cached hard
+    /// network's constraint storage — repeat weighted requests copy
+    /// nothing.
+    pub fn weighted(
+        &self,
+        program: &Program,
+        options: &WeightOptions,
+    ) -> Arc<WeightedNetwork<Layout>> {
+        {
+            let cache = self.weighted.lock().expect("weighted cache poisoned");
+            if let Some((_, weighted)) = cache.iter().find(|(cached, _)| cached == options) {
+                return Arc::clone(weighted);
+            }
+        }
+        // Derive outside the lock (it can be expensive); a racing request
+        // deriving the same options loses benignly below.
+        let derived = Arc::new(mlo_layout::weights::derive_weights(
+            program,
+            self.network(program),
+            options,
+        ));
+        let mut cache = self.weighted.lock().expect("weighted cache poisoned");
+        if let Some((_, weighted)) = cache.iter().find(|(cached, _)| cached == options) {
+            return Arc::clone(weighted);
+        }
+        cache.push((*options, Arc::clone(&derived)));
+        derived
     }
 
     /// Whether the network has been built yet.
@@ -348,7 +389,44 @@ impl SessionInner {
             .clone()
     }
 
+    /// Serves one request end to end: solve, then (when requested) evaluate
+    /// inline on the calling thread.  Batches instead route the evaluation
+    /// through the worker pool — see [`Session::optimize_many`].
     fn optimize(
+        &self,
+        program: &Program,
+        request: &OptimizeRequest,
+    ) -> Result<OptimizeReport, OptimizeError> {
+        let mut report = self.solve_request(program, request)?;
+        if let Some(options) = &request.evaluation {
+            let strategy = report.strategy.clone();
+            report.evaluation =
+                Some(self.evaluate(program, &report.assignment, &strategy, options)?);
+        }
+        Ok(report)
+    }
+
+    /// Runs the cache-simulation evaluation of a chosen assignment (the
+    /// second, independently schedulable phase of a request).
+    pub(crate) fn evaluate(
+        &self,
+        program: &Program,
+        assignment: &LayoutAssignment,
+        strategy: &str,
+        options: &EvaluationOptions,
+    ) -> Result<SimulationReport, OptimizeError> {
+        let simulator = Simulator::new(options.machine).trace_options(options.trace);
+        simulator
+            .simulate(program, assignment)
+            .map_err(|error| OptimizeError::Evaluation {
+                strategy: strategy.to_string(),
+                message: error.to_string(),
+            })
+    }
+
+    /// The solve phase of a request: everything except the optional
+    /// cache-simulation evaluation (`report.evaluation` is left `None`).
+    fn solve_request(
         &self,
         program: &Program,
         request: &OptimizeRequest,
@@ -376,7 +454,7 @@ impl SessionInner {
         let network_summary = ctx
             .network_consulted()
             .then(|| NetworkSummary::of(prepared.network(program)));
-        let mut report = match outcome {
+        let report = match outcome {
             StrategyOutcome::Solved {
                 assignment,
                 stats,
@@ -429,22 +507,64 @@ impl SessionInner {
                 }
             }
         };
-
-        if let Some(evaluation) = &request.evaluation {
-            let simulator = Simulator::new(evaluation.machine).trace_options(evaluation.trace);
-            report.evaluation = Some(simulator.simulate(program, &report.assignment).map_err(
-                |error| OptimizeError::Evaluation {
-                    strategy: strategy.name().to_string(),
-                    message: error.to_string(),
-                },
-            )?);
-        }
         Ok(report)
     }
 }
 
+/// One message of the two-phase batch pipeline: a finished solve (which may
+/// announce a follow-up evaluation job) or a finished evaluation.
+enum BatchMessage {
+    /// The solve phase of job `index` completed; `evaluation_spawned` says
+    /// whether a second-stage evaluation job was submitted to the pool.
+    Solved {
+        index: usize,
+        result: Result<OptimizeReport, OptimizeError>,
+        evaluation_spawned: bool,
+    },
+    /// The evaluation phase of job `index` completed.
+    Evaluated {
+        index: usize,
+        result: Result<SimulationReport, OptimizeError>,
+    },
+}
+
 impl Session {
     /// Serves a batch of requests across the session's worker pool.
+    ///
+    /// Borrowed-program convenience over [`Session::optimize_many_shared`]:
+    /// each *distinct* program is copied into an [`Arc`] once and shared by
+    /// its jobs.  Callers that already hold `Arc<Program>` handles should
+    /// submit them directly via `optimize_many_shared`, which copies
+    /// nothing.
+    pub fn optimize_many(
+        &self,
+        jobs: &[(&Program, OptimizeRequest)],
+    ) -> Vec<Result<OptimizeReport, OptimizeError>> {
+        // Sequential batches never reach the pool, so don't pay the
+        // Arc-wrapping program copies either.
+        if jobs.len() <= 1 || self.inner.engine.default_parallelism() <= 1 {
+            return jobs
+                .iter()
+                .map(|(program, request)| self.optimize(program, request))
+                .collect();
+        }
+        let mut owned: HashMap<*const Program, Arc<Program>> = HashMap::new();
+        let shared: Vec<(Arc<Program>, OptimizeRequest)> = jobs
+            .iter()
+            .map(|(program, request)| {
+                let program = owned
+                    .entry(*program as *const Program)
+                    .or_insert_with(|| Arc::new((*program).clone()))
+                    .clone();
+                (program, request.clone())
+            })
+            .collect();
+        self.optimize_many_shared(&shared)
+    }
+
+    /// Serves a batch of requests across the session's worker pool, taking
+    /// shared program handles (the zero-copy form — nothing is cloned on
+    /// the way to the workers).
     ///
     /// Results come back in submission order, one per job, each
     /// independently a success or a typed error — one failed request never
@@ -452,9 +572,14 @@ impl Session {
     /// session's prepared networks, and the workers are the same pool the
     /// `portfolio` strategy races on (nested use is deadlock-free: waiters
     /// help drain the pool's queue).
-    pub fn optimize_many(
+    ///
+    /// Requests that ask for a cache-simulation evaluation run it as a
+    /// *separate pool job*: the solve phase frees its worker as soon as the
+    /// layouts are chosen, so long simulations interleave with the
+    /// remaining solves instead of serializing behind them.
+    pub fn optimize_many_shared(
         &self,
-        jobs: &[(&Program, OptimizeRequest)],
+        jobs: &[(Arc<Program>, OptimizeRequest)],
     ) -> Vec<Result<OptimizeReport, OptimizeError>> {
         if jobs.len() <= 1 || self.inner.engine.default_parallelism() <= 1 {
             return jobs
@@ -464,33 +589,67 @@ impl Session {
         }
 
         let pool = self.worker_pool();
-        let (tx, rx) = channel();
-        // One owned copy per *distinct* program (jobs typically submit many
-        // requests against the same few programs), shared by its jobs.
-        let mut owned: HashMap<*const Program, Arc<Program>> = HashMap::new();
+        let (tx, rx) = channel::<BatchMessage>();
         for (index, (program, request)) in jobs.iter().enumerate() {
             let inner = Arc::clone(&self.inner);
-            let program = owned
-                .entry(*program as *const Program)
-                .or_insert_with(|| Arc::new((*program).clone()))
-                .clone();
+            let program = Arc::clone(program);
             let request = request.clone();
             let tx = tx.clone();
+            let worker_pool = Arc::clone(&pool);
             pool.execute(move || {
-                let result = inner.optimize(&program, &request);
-                // A dropped receiver just means the batch was abandoned.
-                let _ = tx.send((index, result));
+                let result = inner.solve_request(&program, &request);
+                // Successful solves with an evaluation request submit the
+                // simulation as its own pool job before reporting, keeping
+                // the channel's sender count equal to the number of live
+                // jobs (a panicking worker then surfaces as a disconnect,
+                // never a hang).
+                let mut evaluation_spawned = false;
+                if let (Ok(report), Some(options)) = (&result, request.evaluation) {
+                    let strategy = report.strategy.clone();
+                    let assignment = report.assignment.clone();
+                    let eval_tx = tx.clone();
+                    let eval_inner = Arc::clone(&inner);
+                    let eval_program = Arc::clone(&program);
+                    evaluation_spawned = true;
+                    worker_pool.execute(move || {
+                        let result =
+                            eval_inner.evaluate(&eval_program, &assignment, &strategy, &options);
+                        // A dropped receiver means the batch was abandoned.
+                        let _ = eval_tx.send(BatchMessage::Evaluated { index, result });
+                    });
+                }
+                let _ = tx.send(BatchMessage::Solved {
+                    index,
+                    result,
+                    evaluation_spawned,
+                });
             });
         }
         drop(tx);
+
         let mut slots: Vec<Option<Result<OptimizeReport, OptimizeError>>> =
             jobs.iter().map(|_| None).collect();
-        let mut received = 0usize;
-        while received < jobs.len() {
+        let mut evaluations: Vec<Option<Result<SimulationReport, OptimizeError>>> =
+            jobs.iter().map(|_| None).collect();
+        let mut solves_received = 0usize;
+        let mut evaluations_expected = 0usize;
+        let mut evaluations_received = 0usize;
+        while solves_received < jobs.len() || evaluations_received < evaluations_expected {
             match rx.recv_timeout(Duration::from_micros(200)) {
-                Ok((index, result)) => {
+                Ok(BatchMessage::Solved {
+                    index,
+                    result,
+                    evaluation_spawned,
+                }) => {
                     slots[index] = Some(result);
-                    received += 1;
+                    solves_received += 1;
+                    if evaluation_spawned {
+                        evaluations_expected += 1;
+                    }
+                }
+                Ok(BatchMessage::Evaluated { index, result }) => {
+                    evaluations[index] = Some(result);
+                    evaluations_received += 1;
                 }
                 // Help drain the queue so a batch submitted from inside a
                 // pool worker cannot deadlock the pool.
@@ -500,16 +659,33 @@ impl Session {
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
+
         slots
             .into_iter()
+            .zip(evaluations)
             .enumerate()
-            .map(|(index, slot)| {
+            .map(|(index, (slot, evaluation))| {
                 // A missing slot means that job's worker died without
                 // reporting — i.e. the strategy panicked (the pool isolates
                 // the panic; the dropped channel is how it surfaces here).
-                slot.unwrap_or_else(|| {
+                let result = slot.unwrap_or_else(|| {
                     panic!("batch job {index} panicked before reporting a result")
-                })
+                });
+                match (result, evaluation) {
+                    (Ok(mut report), Some(Ok(simulation))) => {
+                        report.evaluation = Some(simulation);
+                        Ok(report)
+                    }
+                    (Ok(report), None) => {
+                        if jobs[index].1.evaluation.is_some() {
+                            // The evaluation job died without reporting.
+                            panic!("batch evaluation {index} panicked before reporting a result");
+                        }
+                        Ok(report)
+                    }
+                    (Ok(_), Some(Err(error))) => Err(error),
+                    (Err(error), _) => Err(error),
+                }
             })
             .collect()
     }
@@ -828,6 +1004,112 @@ mod tests {
         }
         // One prepared entry per program (both strategies share it).
         assert_eq!(session.prepared_programs(), 3);
+    }
+
+    #[test]
+    fn weighted_networks_are_cached_and_share_storage() {
+        // Two weighted requests against one session must reuse the identical
+        // Arc'd weighted network, and that network's hard constraint tables
+        // must share storage with the cached LayoutNetwork — zero copies on
+        // the warm path.
+        let engine = Engine::new();
+        let session = engine.session();
+        let program = Benchmark::Track.program();
+        let options = Benchmark::Track.candidate_options();
+        let prepared = session.prepared(&program, &options);
+        let weight_options = mlo_layout::weights::WeightOptions::default();
+        let a = prepared.weighted(&program, &weight_options);
+        let b = prepared.weighted(&program, &weight_options);
+        assert!(Arc::ptr_eq(&a, &b), "same options hit the cache");
+        assert!(
+            a.network()
+                .shares_storage(prepared.network(&program).network()),
+            "weighted networks share the hard network's storage"
+        );
+        // Distinct options derive a distinct network (still sharing the
+        // hard storage).
+        let unit = mlo_layout::weights::WeightOptions {
+            use_nest_cost: false,
+            ..mlo_layout::weights::WeightOptions::default()
+        };
+        let c = prepared.weighted(&program, &unit);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(c
+            .network()
+            .shares_storage(prepared.network(&program).network()));
+        // End to end: two weighted optimizations reuse the cache.
+        let request = OptimizeRequest::strategy("weighted").candidates(options);
+        let first = session.optimize(&program, &request).unwrap();
+        let second = session
+            .optimize(&program, &request.clone().seed(3))
+            .unwrap();
+        assert_eq!(first.assignment, second.assignment);
+    }
+
+    #[test]
+    fn optimize_many_shared_reuses_program_handles() {
+        let engine = Engine::builder().parallelism(4).build();
+        let session = engine.session();
+        let program = Arc::new(Benchmark::MedIm04.program());
+        let jobs: Vec<(Arc<Program>, OptimizeRequest)> = ["heuristic", "enhanced", "portfolio"]
+            .into_iter()
+            .map(|strategy| {
+                (
+                    Arc::clone(&program),
+                    OptimizeRequest::strategy(strategy)
+                        .candidates(Benchmark::MedIm04.candidate_options()),
+                )
+            })
+            .collect();
+        let batch = session.optimize_many_shared(&jobs);
+        assert_eq!(batch.len(), 3);
+        for ((_, request), result) in jobs.iter().zip(&batch) {
+            let sequential = session.optimize(&program, request).unwrap();
+            let pooled = result.as_ref().unwrap();
+            assert_eq!(pooled.assignment, sequential.assignment);
+            assert_eq!(pooled.fallback, sequential.fallback);
+        }
+        // One prepared entry: every job shared the same handle and cache.
+        assert_eq!(session.prepared_programs(), 1);
+    }
+
+    #[test]
+    fn batch_evaluations_ride_the_worker_pool_and_match_inline_results() {
+        // Requests with evaluation enabled run the cache simulation as a
+        // second-stage pool job; the merged reports must be identical to the
+        // inline (sequential) path, including evaluation errors staying
+        // per-job.
+        let engine = Engine::builder().parallelism(4).build();
+        let session = engine.session();
+        let trace = mlo_cachesim::TraceOptions {
+            max_trip_per_loop: 8,
+            array_alignment: 64,
+        };
+        let programs: Vec<_> = [Benchmark::MxM, Benchmark::Track]
+            .iter()
+            .map(|b| (b.program(), b.candidate_options()))
+            .collect();
+        let mut jobs: Vec<(&Program, OptimizeRequest)> = Vec::new();
+        for (program, options) in &programs {
+            for strategy in ["heuristic", "enhanced"] {
+                jobs.push((
+                    program,
+                    OptimizeRequest::strategy(strategy)
+                        .candidates(*options)
+                        .evaluate(EvaluationOptions::on(MachineConfig::tiny()).trace(trace)),
+                ));
+            }
+        }
+        let batch = session.optimize_many(&jobs);
+        assert_eq!(batch.len(), jobs.len());
+        for ((program, request), result) in jobs.iter().zip(&batch) {
+            let pooled = result.as_ref().unwrap();
+            let inline = session.optimize(program, request).unwrap();
+            let pooled_eval = pooled.evaluation.as_ref().expect("evaluation attached");
+            let inline_eval = inline.evaluation.as_ref().expect("evaluation attached");
+            assert_eq!(pooled_eval.total_cycles, inline_eval.total_cycles);
+            assert_eq!(pooled.assignment, inline.assignment);
+        }
     }
 
     #[test]

@@ -16,7 +16,8 @@ use crate::error::{FallbackReason, OptimizeError};
 use crate::request::OptimizeRequest;
 use mlo_csp::{
     BranchAndBound, MinConflicts, NetworkSearch, ParallelBranchAndBound, ParallelPortfolioSearch,
-    Scheme as CspScheme, SearchEngine, SearchLimits, SearchStats, SolveResult, WorkerPool,
+    Scheme as CspScheme, SearchEngine, SearchLimits, SearchStats, SolveResult, WeightedNetwork,
+    WorkerPool,
 };
 use mlo_ir::Program;
 use mlo_layout::{
@@ -102,6 +103,18 @@ impl<'a> StrategyContext<'a> {
     pub fn network(&self) -> &LayoutNetwork {
         self.network_used.set(true);
         self.prepared.network(self.program)
+    }
+
+    /// The weighted constraint network derived with `options`
+    /// (session-cached per distinct option set).  The returned `Arc` handle
+    /// shares the hard network's constraint storage — serving a weighted
+    /// request out of a warm session copies no tables at all.
+    pub fn weighted_network(
+        &self,
+        options: &weights::WeightOptions,
+    ) -> Arc<WeightedNetwork<Layout>> {
+        self.network_used.set(true);
+        self.prepared.weighted(self.program, options)
     }
 
     /// The request's node/time budget in `mlo-csp` form.
@@ -328,9 +341,11 @@ impl LayoutStrategy for WeightedStrategy {
     }
 
     fn determine(&self, ctx: &StrategyContext<'_>) -> Result<StrategyOutcome, OptimizeError> {
-        // Only the inner constraint network is copied (branch and bound
-        // must own one); the session-cached layout bookkeeping is borrowed.
-        let weighted = weights::derive_weights(ctx.program(), ctx.network(), &self.weights);
+        // An Arc handle onto the session-cached weighted network: nothing is
+        // copied — the hard constraint tables are shared with the cached
+        // LayoutNetwork and the weight tables are derived at most once per
+        // (program, options) pair.
+        let weighted = ctx.weighted_network(&self.weights);
         let mut limits = ctx.limits();
         limits.node_limit = Some(limits.node_limit.unwrap_or(self.default_node_limit));
         let parallelism = ctx.parallelism();

@@ -74,14 +74,14 @@ pub use analysis::NetworkProfile;
 pub use assignment::{Assignment, Solution};
 pub use constraint::BinaryConstraint;
 pub use domain::Domain;
-pub use network::{ConstraintNetwork, VarId};
+pub use network::{ConstraintNetwork, NetworkStorage, VarId};
 pub use solver::portfolio::{ParallelBranchAndBound, WeightedPortfolioReport};
 pub use solver::{
     CancelToken, Enumerator, MinConflicts, NetworkSearch, ParallelPortfolioSearch, PortfolioMember,
     PortfolioReport, Scheme, SearchEngine, SearchLimits, SearchStats, SharedIncumbent, SolveResult,
     ValueOrdering, VariableOrdering, WorkerPool,
 };
-pub use weighted::{BnbOrder, BranchAndBound, Coop, WeightedNetwork};
+pub use weighted::{BnbOrder, BranchAndBound, Coop, PairWeights, WeightedNetwork};
 
 use std::fmt;
 use std::hash::Hash;

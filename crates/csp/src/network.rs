@@ -1,4 +1,25 @@
 //! The constraint network itself: variables, domains and constraints.
+//!
+//! # Shared storage and copy-on-write
+//!
+//! A [`ConstraintNetwork`] is a thin handle over an [`Arc`]'d
+//! [`NetworkStorage`]: cloning a network is a single reference-count bump,
+//! never a deep copy of the domain/constraint tables.  Mutators
+//! (`add_variable`, `add_constraint`, ...) are copy-on-write — they mutate
+//! in place while the handle is unique (the normal building phase) and make
+//! a private copy only when the storage is shared.  This is what lets the
+//! parallel portfolio hand the same network to every racing member, and
+//! batch sessions cache one network per program, without any per-solve
+//! cloning.
+//!
+//! [`ConstraintNetwork::restricted`] produces a *view*, not a copy: the
+//! restricted network shares the name table, the adjacency table, every
+//! untouched domain and every constraint that does not involve the
+//! restricted variable with its parent.  Only the restricted variable's
+//! domain and the constraints adjacent to it are materialized.  Domain
+//! sharding — the portfolio's space-partitioning primitive — therefore costs
+//! `O(vars + constraints)` pointer copies plus the handful of rebuilt
+//! tables, independent of the total pair-table volume.
 
 use crate::assignment::Assignment;
 use crate::constraint::BinaryConstraint;
@@ -6,6 +27,7 @@ use crate::domain::Domain;
 use crate::{CspError, Value};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifies a variable of a [`ConstraintNetwork`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
@@ -35,17 +57,42 @@ impl From<usize> for VarId {
     }
 }
 
+/// The shared tables behind a [`ConstraintNetwork`]: names, domains,
+/// constraints and the per-variable adjacency lists.
+///
+/// Storage is structural-sharing friendly at two granularities: the whole
+/// struct lives behind one `Arc` (so network clones are free and
+/// [`ConstraintNetwork::shares_storage`] can assert wholesale sharing), and
+/// each domain / constraint table is individually `Arc`'d (so restricted
+/// views share every entry the restriction does not touch).
+#[derive(Debug, Clone)]
+pub struct NetworkStorage<V> {
+    names: Arc<Vec<String>>,
+    domains: Vec<Arc<Domain<V>>>,
+    constraints: Vec<Arc<BinaryConstraint>>,
+    /// For each variable, the indices of the constraints that involve it.
+    adjacency: Arc<Vec<Vec<usize>>>,
+}
+
+impl<V> NetworkStorage<V> {
+    fn empty() -> Self {
+        NetworkStorage {
+            names: Arc::new(Vec::new()),
+            domains: Vec::new(),
+            constraints: Vec::new(),
+            adjacency: Arc::new(Vec::new()),
+        }
+    }
+}
+
 /// A binary constraint network `<P, M, S>`.
 ///
 /// See the [crate-level documentation](crate) for the correspondence with
-/// the paper and a complete example.
+/// the paper and a complete example, and the [module docs](self) for the
+/// shared-storage / copy-on-write representation.
 #[derive(Debug, Clone)]
 pub struct ConstraintNetwork<V> {
-    names: Vec<String>,
-    domains: Vec<Domain<V>>,
-    constraints: Vec<BinaryConstraint>,
-    /// For each variable, the indices of the constraints that involve it.
-    adjacency: Vec<Vec<usize>>,
+    storage: Arc<NetworkStorage<V>>,
 }
 
 impl<V: Value> Default for ConstraintNetwork<V> {
@@ -58,19 +105,60 @@ impl<V: Value> ConstraintNetwork<V> {
     /// Creates an empty network.
     pub fn new() -> Self {
         ConstraintNetwork {
-            names: Vec::new(),
-            domains: Vec::new(),
-            constraints: Vec::new(),
-            adjacency: Vec::new(),
+            storage: Arc::new(NetworkStorage::empty()),
         }
+    }
+
+    /// The shared storage handle.
+    ///
+    /// Two networks returning pointer-equal handles (`Arc::ptr_eq`) are
+    /// guaranteed to be views of the identical tables; tests use this to
+    /// verify that clones and cached artifacts share rather than copy.
+    pub fn storage(&self) -> &Arc<NetworkStorage<V>> {
+        &self.storage
+    }
+
+    /// Whether `self` and `other` share their entire storage (the
+    /// post-clone state — no table was copied).
+    pub fn shares_storage(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.storage, &other.storage)
+    }
+
+    /// The shared handle of one domain table (for structural-sharing
+    /// assertions; use [`ConstraintNetwork::domain`] to read values).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn domain_handle(&self, var: VarId) -> &Arc<Domain<V>> {
+        &self.storage.domains[var.index()]
+    }
+
+    /// The shared handle of one constraint table (for structural-sharing
+    /// assertions; use [`ConstraintNetwork::constraint`] to query pairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is out of range.
+    pub fn constraint_handle(&self, index: usize) -> &Arc<BinaryConstraint> {
+        &self.storage.constraints[index]
+    }
+
+    /// Copy-on-write access to the storage: in-place while unique, a
+    /// private copy (of the `Arc` spine only — the tables themselves are
+    /// still shared until individually touched) once the storage is shared.
+    fn storage_mut(&mut self) -> &mut NetworkStorage<V> {
+        Arc::make_mut(&mut self.storage)
     }
 
     /// Adds a variable with the given name and domain values; returns its id.
     pub fn add_variable(&mut self, name: impl Into<String>, domain: Vec<V>) -> VarId {
-        let id = VarId::new(self.domains.len());
-        self.names.push(name.into());
-        self.domains.push(Domain::new(domain));
-        self.adjacency.push(Vec::new());
+        let name = name.into();
+        let storage = self.storage_mut();
+        let id = VarId::new(storage.domains.len());
+        Arc::make_mut(&mut storage.names).push(name);
+        storage.domains.push(Arc::new(Domain::new(domain)));
+        Arc::make_mut(&mut storage.adjacency).push(Vec::new());
         id
     }
 
@@ -95,18 +183,20 @@ impl<V: Value> ConstraintNetwork<V> {
         self.check_var(b)?;
         let mut index_pairs = HashSet::with_capacity(pairs.len());
         for (va, vb) in pairs {
-            let ia = self.domains[a.index()].index_of(&va).ok_or_else(|| {
-                CspError::ValueNotInDomain {
+            let ia = self
+                .domain(a)
+                .index_of(&va)
+                .ok_or_else(|| CspError::ValueNotInDomain {
                     variable: a,
                     value: format!("{va:?}"),
-                }
-            })?;
-            let ib = self.domains[b.index()].index_of(&vb).ok_or_else(|| {
-                CspError::ValueNotInDomain {
+                })?;
+            let ib = self
+                .domain(b)
+                .index_of(&vb)
+                .ok_or_else(|| CspError::ValueNotInDomain {
                     variable: b,
                     value: format!("{vb:?}"),
-                }
-            })?;
+                })?;
             index_pairs.insert((ia, ib));
         }
         self.add_constraint_by_index(a, b, index_pairs)
@@ -130,24 +220,25 @@ impl<V: Value> ConstraintNetwork<V> {
         self.check_var(a)?;
         self.check_var(b)?;
         for &(ia, ib) in &pairs {
-            if ia >= self.domains[a.index()].len() {
+            if ia >= self.domain(a).len() {
                 return Err(CspError::ValueIndexOutOfRange {
                     variable: a,
                     index: ia,
-                    domain_size: self.domains[a.index()].len(),
+                    domain_size: self.domain(a).len(),
                 });
             }
-            if ib >= self.domains[b.index()].len() {
+            if ib >= self.domain(b).len() {
                 return Err(CspError::ValueIndexOutOfRange {
                     variable: b,
                     index: ib,
-                    domain_size: self.domains[b.index()].len(),
+                    domain_size: self.domain(b).len(),
                 });
             }
         }
         // Merge with an existing constraint over the same scope if present.
         if let Some(ci) = self.constraint_index_between(a, b) {
-            let existing = &self.constraints[ci];
+            let storage = self.storage_mut();
+            let existing = &storage.constraints[ci];
             let mut merged = existing.allowed_pairs().clone();
             if existing.first() == a {
                 merged.extend(pairs);
@@ -155,18 +246,22 @@ impl<V: Value> ConstraintNetwork<V> {
                 merged.extend(pairs.into_iter().map(|(x, y)| (y, x)));
             }
             let (fst, snd) = (existing.first(), existing.second());
-            self.constraints[ci] = BinaryConstraint::new(fst, snd, merged);
+            storage.constraints[ci] = Arc::new(BinaryConstraint::new(fst, snd, merged));
             return Ok(());
         }
-        let ci = self.constraints.len();
-        self.constraints.push(BinaryConstraint::new(a, b, pairs));
-        self.adjacency[a.index()].push(ci);
-        self.adjacency[b.index()].push(ci);
+        let storage = self.storage_mut();
+        let ci = storage.constraints.len();
+        storage
+            .constraints
+            .push(Arc::new(BinaryConstraint::new(a, b, pairs)));
+        let adjacency = Arc::make_mut(&mut storage.adjacency);
+        adjacency[a.index()].push(ci);
+        adjacency[b.index()].push(ci);
         Ok(())
     }
 
     fn check_var(&self, v: VarId) -> crate::Result<()> {
-        if v.index() >= self.domains.len() {
+        if v.index() >= self.storage.domains.len() {
             Err(CspError::UnknownVariable(v))
         } else {
             Ok(())
@@ -175,12 +270,12 @@ impl<V: Value> ConstraintNetwork<V> {
 
     /// Number of variables.
     pub fn variable_count(&self) -> usize {
-        self.domains.len()
+        self.storage.domains.len()
     }
 
     /// Iterator over all variable ids.
     pub fn variables(&self) -> impl Iterator<Item = VarId> {
-        (0..self.domains.len()).map(VarId::new)
+        (0..self.storage.domains.len()).map(VarId::new)
     }
 
     /// A variable's name.
@@ -189,7 +284,7 @@ impl<V: Value> ConstraintNetwork<V> {
     ///
     /// Panics when the id is out of range.
     pub fn name(&self, var: VarId) -> &str {
-        &self.names[var.index()]
+        &self.storage.names[var.index()]
     }
 
     /// A variable's domain.
@@ -198,17 +293,27 @@ impl<V: Value> ConstraintNetwork<V> {
     ///
     /// Panics when the id is out of range.
     pub fn domain(&self, var: VarId) -> &Domain<V> {
-        &self.domains[var.index()]
+        &self.storage.domains[var.index()]
     }
 
-    /// All constraints.
-    pub fn constraints(&self) -> &[BinaryConstraint] {
-        &self.constraints
+    /// All constraints, as shared table handles (deref to
+    /// [`BinaryConstraint`]; indexing and iteration work as before).
+    pub fn constraints(&self) -> &[Arc<BinaryConstraint>] {
+        &self.storage.constraints
+    }
+
+    /// The constraint at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is out of range.
+    pub fn constraint(&self, index: usize) -> &BinaryConstraint {
+        &self.storage.constraints[index]
     }
 
     /// Number of constraints.
     pub fn constraint_count(&self) -> usize {
-        self.constraints.len()
+        self.storage.constraints.len()
     }
 
     /// The indices (into [`ConstraintNetwork::constraints`]) of the
@@ -218,23 +323,24 @@ impl<V: Value> ConstraintNetwork<V> {
     ///
     /// Panics when the id is out of range.
     pub fn constraints_of(&self, var: VarId) -> &[usize] {
-        &self.adjacency[var.index()]
+        &self.storage.adjacency[var.index()]
     }
 
     /// The constraint between two variables, if any.
     pub fn constraint_between(&self, a: VarId, b: VarId) -> Option<&BinaryConstraint> {
         self.constraint_index_between(a, b)
-            .map(|i| &self.constraints[i])
+            .map(|i| &*self.storage.constraints[i])
     }
 
     fn constraint_index_between(&self, a: VarId, b: VarId) -> Option<usize> {
-        if a == b || a.index() >= self.adjacency.len() || b.index() >= self.adjacency.len() {
+        let adjacency = &self.storage.adjacency;
+        if a == b || a.index() >= adjacency.len() || b.index() >= adjacency.len() {
             return None;
         }
-        self.adjacency[a.index()]
+        adjacency[a.index()]
             .iter()
             .copied()
-            .find(|&ci| self.constraints[ci].involves(b))
+            .find(|&ci| self.storage.constraints[ci].involves(b))
     }
 
     /// The neighbours of `var` in the constraint graph (variables sharing at
@@ -242,7 +348,7 @@ impl<V: Value> ConstraintNetwork<V> {
     pub fn neighbours(&self, var: VarId) -> Vec<VarId> {
         let mut out = Vec::new();
         for &ci in self.constraints_of(var) {
-            if let Some(o) = self.constraints[ci].other(var) {
+            if let Some(o) = self.storage.constraints[ci].other(var) {
                 if !out.contains(&o) {
                     out.push(o);
                 }
@@ -254,13 +360,17 @@ impl<V: Value> ConstraintNetwork<V> {
     /// The total search-space measure the paper's Table 1 calls *domain
     /// size*: the sum of the domain sizes of all variables.
     pub fn total_domain_size(&self) -> usize {
-        self.domains.iter().map(Domain::len).sum()
+        self.storage.domains.iter().map(|d| d.len()).sum()
     }
 
     /// The number of leaves of the naive search tree (product of domain
     /// sizes), as `f64` because it overflows quickly.
     pub fn search_space_size(&self) -> f64 {
-        self.domains.iter().map(|d| d.len() as f64).product()
+        self.storage
+            .domains
+            .iter()
+            .map(|d| d.len() as f64)
+            .product()
     }
 
     /// Checks whether assigning `value` (an index into the domain of `var`)
@@ -283,7 +393,7 @@ impl<V: Value> ConstraintNetwork<V> {
     ) -> Vec<VarId> {
         let mut conflicts = Vec::new();
         for &ci in self.constraints_of(var) {
-            let c = &self.constraints[ci];
+            let c = &self.storage.constraints[ci];
             let other = c.other(var).expect("constraint adjacency is consistent");
             if let Some(other_value) = assignment.get(other) {
                 *checks += 1;
@@ -315,7 +425,7 @@ impl<V: Value> ConstraintNetwork<V> {
                 });
             }
         }
-        for c in &self.constraints {
+        for c in &self.storage.constraints {
             let a = assignment.get(c.first()).expect("complete");
             let b = assignment.get(c.second()).expect("complete");
             if !c.allows(c.first(), a, c.second(), b) {
@@ -325,15 +435,23 @@ impl<V: Value> ConstraintNetwork<V> {
         Ok(true)
     }
 
-    /// Builds a copy of the network with the domain of `var` restricted to
-    /// the given value indices (in the given order).
+    /// Builds a lightweight *view* of the network with the domain of `var`
+    /// restricted to the given value indices (in the given order).
     ///
     /// Constraints keep their indices and orientation; allowed pairs whose
     /// `var` side was dropped disappear (a constraint may end up empty,
     /// making the restricted network trivially unsatisfiable).  This is the
     /// sharding primitive of the portfolio solver: partitioning one
-    /// variable's domain across restricted copies partitions the whole
+    /// variable's domain across restricted views partitions the whole
     /// search space.
+    ///
+    /// The view shares storage with `self` wherever the restriction changes
+    /// nothing: names, adjacency, every other variable's domain and every
+    /// constraint not involving `var` are the *same* `Arc`'d tables
+    /// (verifiable through [`ConstraintNetwork::domain_handle`] /
+    /// [`ConstraintNetwork::constraint_handle`]).  A restriction that keeps
+    /// the full domain in order shares everything —
+    /// [`ConstraintNetwork::shares_storage`] returns `true`.
     ///
     /// # Errors
     ///
@@ -343,7 +461,9 @@ impl<V: Value> ConstraintNetwork<V> {
     ///   duplicate would silently leave one domain copy unsupported).
     pub fn restricted(&self, var: VarId, keep: &[usize]) -> crate::Result<ConstraintNetwork<V>> {
         self.check_var(var)?;
-        let domain_size = self.domains[var.index()].len();
+        let storage = &*self.storage;
+        let base_domain = &storage.domains[var.index()];
+        let domain_size = base_domain.len();
         // Old index -> new index of the restricted variable's domain.
         let mut remap: HashMap<usize, usize> = HashMap::with_capacity(keep.len());
         for (new, &old) in keep.iter().enumerate() {
@@ -355,18 +475,19 @@ impl<V: Value> ConstraintNetwork<V> {
                 });
             }
         }
-        let mut out = ConstraintNetwork::new();
-        for v in self.variables() {
-            let values: Vec<V> = if v == var {
-                keep.iter()
-                    .map(|&i| self.domains[v.index()].value(i).clone())
-                    .collect()
-            } else {
-                self.domains[v.index()].values().to_vec()
-            };
-            out.add_variable(self.names[v.index()].clone(), values);
+        // The identity restriction changes nothing: share everything.
+        if keep.len() == domain_size && keep.iter().enumerate().all(|(new, &old)| new == old) {
+            return Ok(self.clone());
         }
-        for c in &self.constraints {
+        // Materialize only the restricted domain and the touched
+        // constraints; share every other table with the parent.
+        let mut domains = storage.domains.clone();
+        domains[var.index()] = Arc::new(Domain::new(
+            keep.iter().map(|&i| base_domain.value(i).clone()).collect(),
+        ));
+        let mut constraints = storage.constraints.clone();
+        for &ci in &storage.adjacency[var.index()] {
+            let c = &storage.constraints[ci];
             let pairs: HashSet<(usize, usize)> = c
                 .allowed_pairs()
                 .iter()
@@ -380,10 +501,16 @@ impl<V: Value> ConstraintNetwork<V> {
                     Some((a, b))
                 })
                 .collect();
-            out.add_constraint_by_index(c.first(), c.second(), pairs)
-                .expect("restricted pairs are in range by construction");
+            constraints[ci] = Arc::new(BinaryConstraint::new(c.first(), c.second(), pairs));
         }
-        Ok(out)
+        Ok(ConstraintNetwork {
+            storage: Arc::new(NetworkStorage {
+                names: Arc::clone(&storage.names),
+                domains,
+                constraints,
+                adjacency: Arc::clone(&storage.adjacency),
+            }),
+        })
     }
 
     /// Materializes an index assignment into the underlying values.
@@ -405,11 +532,12 @@ impl<V: Value> ConstraintNetwork<V> {
 
 impl<V: Value + fmt::Display> fmt::Display for ConstraintNetwork<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "P = {{{}}}", self.names.join(", "))?;
-        for (i, d) in self.domains.iter().enumerate() {
-            writeln!(f, "M_{} ({}) = {}", i, self.names[i], d)?;
+        let storage = &*self.storage;
+        writeln!(f, "P = {{{}}}", storage.names.join(", "))?;
+        for (i, d) in storage.domains.iter().enumerate() {
+            writeln!(f, "M_{} ({}) = {}", i, storage.names[i], d)?;
         }
-        for c in &self.constraints {
+        for c in &storage.constraints {
             writeln!(f, "{c}")?;
         }
         Ok(())
@@ -557,6 +685,58 @@ mod tests {
             net.restricted(VarId::new(99), &[0]),
             Err(CspError::UnknownVariable(_))
         ));
+    }
+
+    #[test]
+    fn clones_share_storage_until_mutated() {
+        let (net, vars) = paper_network();
+        let clone = net.clone();
+        assert!(net.shares_storage(&clone));
+        // Mutating the clone detaches it without disturbing the original.
+        let mut fork = clone.clone();
+        fork.add_variable("Q5", vec![(9, 9)]);
+        assert!(!fork.shares_storage(&net));
+        assert!(net.shares_storage(&clone));
+        assert_eq!(net.variable_count(), 4);
+        assert_eq!(fork.variable_count(), 5);
+        // The untouched tables of the fork are still the parent's tables.
+        for v in &vars {
+            assert!(Arc::ptr_eq(net.domain_handle(*v), fork.domain_handle(*v)));
+        }
+        for ci in 0..net.constraint_count() {
+            assert!(Arc::ptr_eq(
+                net.constraint_handle(ci),
+                fork.constraint_handle(ci)
+            ));
+        }
+    }
+
+    #[test]
+    fn restricted_views_share_untouched_tables() {
+        let (net, vars) = paper_network();
+        let shard = net.restricted(vars[0], &[0, 1]).unwrap();
+        assert!(!shard.shares_storage(&net));
+        // Every other variable's domain is the same Arc'd table.
+        for &v in &vars[1..] {
+            assert!(Arc::ptr_eq(net.domain_handle(v), shard.domain_handle(v)));
+        }
+        assert!(!Arc::ptr_eq(
+            net.domain_handle(vars[0]),
+            shard.domain_handle(vars[0])
+        ));
+        // Constraints not involving Q1 are shared; the touched ones are not.
+        for ci in 0..net.constraint_count() {
+            let touches = net.constraint(ci).involves(vars[0]);
+            assert_eq!(
+                !touches,
+                Arc::ptr_eq(net.constraint_handle(ci), shard.constraint_handle(ci)),
+                "constraint {ci} sharing"
+            );
+        }
+        // An identity restriction shares everything.
+        let full: Vec<usize> = (0..net.domain(vars[0]).len()).collect();
+        let identity = net.restricted(vars[0], &full).unwrap();
+        assert!(identity.shares_storage(&net));
     }
 
     #[test]

@@ -397,7 +397,9 @@ impl ParallelPortfolioSearch {
         parallelism: usize,
     ) -> PortfolioReport<V> {
         let start = Instant::now();
-        let shared = Arc::new(network.clone());
+        // Networks are Arc-backed: every member's handle shares the caller's
+        // storage (a clone is one reference-count bump, not a table copy).
+        let shared = network.clone();
         let member_count = self.members.len();
         let (tx, rx) = channel::<(usize, SolveResult<V>)>();
         let tokens: Vec<CancelToken> = (0..member_count).map(|_| CancelToken::new()).collect();
@@ -411,7 +413,7 @@ impl ParallelPortfolioSearch {
 
         let launch = |index: usize, in_flight: &mut usize, launched: &mut Vec<bool>| {
             let member = self.members[index].clone();
-            let network = Arc::clone(&shared);
+            let network = shared.clone();
             let seed = mix_seed(base_seed, index as u64);
             let limits = *limits;
             let token = tokens[index].clone();
@@ -575,9 +577,11 @@ fn drain_in_flight<T>(
 #[derive(Debug, Clone)]
 enum WeightedHelper<V> {
     /// Exhaustive search of a domain shard (or a reshuffled full space).
+    /// The network is a cheap Arc-backed handle: shards share every table
+    /// the restriction does not touch with the parent network.
     Explore {
         solver: BranchAndBound,
-        network: Arc<WeightedNetwork<V>>,
+        network: WeightedNetwork<V>,
     },
     /// A min-conflicts primal probe on the hard network: any solution it
     /// finds seeds the shared bound.
@@ -808,7 +812,7 @@ impl ParallelBranchAndBound {
                     if let Ok(restricted) = weighted.restricted(widest, &indices[lo..hi]) {
                         helpers.push(WeightedHelper::Explore {
                             solver: self.primary.clone(),
-                            network: Arc::new(restricted),
+                            network: restricted,
                         });
                     }
                 }
@@ -820,7 +824,7 @@ impl ParallelBranchAndBound {
                     .primary
                     .clone()
                     .order(BnbOrder::Shuffled(mix_seed(self.seed, 0x5AD + i as u64))),
-                network: Arc::new(weighted.clone()),
+                network: weighted.clone(),
             });
         }
         for i in 0..self.probes {
@@ -851,7 +855,9 @@ impl ParallelBranchAndBound {
         let start = Instant::now();
         let incumbent = Arc::new(SharedIncumbent::new());
         let cancel = CancelToken::new();
-        let shared = Arc::new(weighted.clone());
+        // A cheap Arc-backed handle — the primary and every probe share the
+        // caller's tables instead of receiving deep copies.
+        let shared = weighted.clone();
         let helpers = self.helpers(weighted);
         let helper_budget = parallelism.saturating_sub(1).min(helpers.len());
         let (tx, rx) = channel::<(usize, Option<OptimizeResult<V>>, HelperOutcome)>();
@@ -862,7 +868,7 @@ impl ParallelBranchAndBound {
         let mut in_flight = 0usize;
         {
             let primary = self.primary.clone();
-            let weighted = Arc::clone(&shared);
+            let weighted = shared.clone();
             let incumbent = Arc::clone(&incumbent);
             let limits = *limits;
             let tx = tx.clone();
@@ -885,7 +891,7 @@ impl ParallelBranchAndBound {
             let cancel = cancel.clone();
             let limits = *limits;
             let tx = tx.clone();
-            let hard = Arc::clone(&shared);
+            let hard = shared.clone();
             in_flight += 1;
             pool.execute(move || {
                 let outcome = match helper {
@@ -1170,6 +1176,59 @@ mod tests {
                 "solution at {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn helper_networks_share_storage_with_the_parent() {
+        // The portfolio's shards and reshuffles must be views over the
+        // caller's tables, not deep copies: full-space helpers share the
+        // whole storage, and shard helpers share every constraint table the
+        // restriction does not touch.
+        let weighted = weighted_instance(7);
+        let portfolio = ParallelBranchAndBound::default();
+        let helpers = portfolio.helpers(&weighted);
+        let mut full_space = 0usize;
+        let mut shards = 0usize;
+        for helper in &helpers {
+            let WeightedHelper::Explore { network, .. } = helper else {
+                continue;
+            };
+            if network.network().shares_storage(weighted.network()) {
+                full_space += 1;
+                continue;
+            }
+            shards += 1;
+            let total = weighted.network().constraint_count();
+            let shared_tables = (0..total)
+                .filter(|&ci| {
+                    Arc::ptr_eq(
+                        weighted.network().constraint_handle(ci),
+                        network.network().constraint_handle(ci),
+                    ) && weighted.shares_weight_table(network, ci)
+                })
+                .count();
+            let touched = weighted
+                .network()
+                .constraints()
+                .iter()
+                .filter(|c| {
+                    c.involves(
+                        weighted
+                            .network()
+                            .variables()
+                            .max_by_key(|&v| weighted.network().domain(v).len())
+                            .expect("non-empty"),
+                    )
+                })
+                .count();
+            assert_eq!(
+                shared_tables,
+                total - touched,
+                "a shard materializes exactly the touched constraint tables"
+            );
+        }
+        assert!(full_space > 0, "reshuffle helpers exist");
+        assert!(shards > 0, "shard helpers exist");
     }
 
     #[test]

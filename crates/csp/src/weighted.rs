@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How often (in visited nodes) the wall-clock deadline is polled.
@@ -46,21 +47,38 @@ pub struct Coop<'a> {
     pub cancel: Option<&'a CancelToken>,
 }
 
+/// The per-constraint weight table: pair (oriented like the constraint) to
+/// weight.  Tables are individually `Arc`'d inside [`WeightedNetwork`] so
+/// clones and restricted views share every table the mutation / restriction
+/// does not touch.
+pub type PairWeights = HashMap<(usize, usize), f64>;
+
 /// A constraint network whose allowed pairs carry weights.
+///
+/// Like [`ConstraintNetwork`], a weighted network is copy-on-write: cloning
+/// shares the hard network's storage and every per-constraint weight table;
+/// [`WeightedNetwork::set_weight`] copies only the one table it touches and
+/// [`WeightedNetwork::restricted`] materializes only the tables of
+/// constraints adjacent to the restricted variable.
 #[derive(Debug, Clone)]
 pub struct WeightedNetwork<V> {
     network: ConstraintNetwork<V>,
-    /// weight[(constraint index, pair)] — pairs oriented like the constraint.
-    weights: HashMap<(usize, (usize, usize)), f64>,
+    /// One shared weight table per constraint (same indices as
+    /// `network.constraints()`), behind a shared spine so cloning the
+    /// whole network is two reference-count bumps, independent of the
+    /// constraint count.
+    weights: Arc<Vec<Arc<PairWeights>>>,
     default_weight: f64,
 }
 
 impl<V: Value> WeightedNetwork<V> {
     /// Wraps a network; pairs start with the given default weight.
     pub fn new(network: ConstraintNetwork<V>, default_weight: f64) -> Self {
+        let empty = Arc::new(PairWeights::new());
+        let weights = Arc::new(vec![empty; network.constraint_count()]);
         WeightedNetwork {
             network,
-            weights: HashMap::new(),
+            weights,
             default_weight,
         }
     }
@@ -68,6 +86,19 @@ impl<V: Value> WeightedNetwork<V> {
     /// The underlying (hard) constraint network.
     pub fn network(&self) -> &ConstraintNetwork<V> {
         &self.network
+    }
+
+    /// Whether `self` and `other` share the weight table of constraint
+    /// `constraint_index` (a structural-sharing assertion for tests; out of
+    /// range on either side counts as not shared).
+    pub fn shares_weight_table(&self, other: &Self, constraint_index: usize) -> bool {
+        match (
+            self.weights.get(constraint_index),
+            other.weights.get(constraint_index),
+        ) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     /// Sets the weight of one allowed pair of the constraint between `a` and
@@ -109,7 +140,10 @@ impl<V: Value> WeightedNetwork<V> {
         } else {
             (ib, ia)
         };
-        self.weights.insert((ci, pair), weight);
+        // Copy-on-write at both levels: the spine (pointer vector) detaches
+        // if shared, then only the touched constraint's table.
+        let tables = Arc::make_mut(&mut self.weights);
+        Arc::make_mut(&mut tables[ci]).insert(pair, weight);
         Ok(())
     }
 
@@ -117,45 +151,61 @@ impl<V: Value> WeightedNetwork<V> {
     /// oriented like the constraint).
     pub fn weight_of(&self, constraint_index: usize, pair: (usize, usize)) -> f64 {
         self.weights
-            .get(&(constraint_index, pair))
+            .get(constraint_index)
+            .and_then(|table| table.get(&pair))
             .copied()
             .unwrap_or(self.default_weight)
     }
 
-    /// Builds a copy with the domain of `var` restricted to the given value
-    /// indices, remapping pair weights alongside the pairs (see
+    /// Builds a restricted *view* with the domain of `var` restricted to the
+    /// given value indices, remapping pair weights alongside the pairs (see
     /// [`ConstraintNetwork::restricted`]).
+    ///
+    /// Copy-on-write: the hard network is the shared view
+    /// [`ConstraintNetwork::restricted`] produces, and only the weight
+    /// tables of constraints involving `var` are rebuilt — every other
+    /// table is shared with `self` (an identity restriction shares them
+    /// all).
     ///
     /// # Errors
     ///
     /// Same conditions as [`ConstraintNetwork::restricted`].
     pub fn restricted(&self, var: VarId, keep: &[usize]) -> crate::Result<WeightedNetwork<V>> {
         let network = self.network.restricted(var, keep)?;
-        let remap: HashMap<usize, usize> = keep
-            .iter()
-            .enumerate()
-            .map(|(new, &old)| (old, new))
-            .collect();
-        let mut weights = HashMap::new();
-        for (&(ci, (a, b)), &w) in &self.weights {
-            let c = &self.network.constraints()[ci];
-            let a = if c.first() == var {
-                match remap.get(&a) {
-                    Some(&new) => new,
-                    None => continue,
+        let mut weights = Arc::clone(&self.weights);
+        // When the restriction left the network untouched (identity keep),
+        // the whole weight spine is reusable as-is.
+        if !network.shares_storage(&self.network) {
+            let tables = Arc::make_mut(&mut weights);
+            let remap: HashMap<usize, usize> = keep
+                .iter()
+                .enumerate()
+                .map(|(new, &old)| (old, new))
+                .collect();
+            for &ci in self.network.constraints_of(var) {
+                let c = self.network.constraint(ci);
+                let mut table = PairWeights::with_capacity(self.weights[ci].len());
+                for (&(a, b), &w) in self.weights[ci].iter() {
+                    let a = if c.first() == var {
+                        match remap.get(&a) {
+                            Some(&new) => new,
+                            None => continue,
+                        }
+                    } else {
+                        a
+                    };
+                    let b = if c.second() == var {
+                        match remap.get(&b) {
+                            Some(&new) => new,
+                            None => continue,
+                        }
+                    } else {
+                        b
+                    };
+                    table.insert((a, b), w);
                 }
-            } else {
-                a
-            };
-            let b = if c.second() == var {
-                match remap.get(&b) {
-                    Some(&new) => new,
-                    None => continue,
-                }
-            } else {
-                b
-            };
-            weights.insert((ci, (a, b)), w);
+                tables[ci] = Arc::new(table);
+            }
         }
         Ok(WeightedNetwork {
             network,
@@ -543,6 +593,83 @@ mod tests {
         assert!(w.set_weight(a, c, &0, &0, 1.0).is_err());
         assert!(w.set_weight(a, b, &7, &0, 1.0).is_err());
         assert!(w.set_weight(a, b, &0, &0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn restricted_views_share_untouched_weight_tables() {
+        // a -(c0)- b -(c1)- c: restricting `a` must rebuild only c0's table.
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0, 1, 2]);
+        let b = net.add_variable("b", vec![0, 1]);
+        let c = net.add_variable("c", vec![0, 1]);
+        net.add_constraint(a, b, vec![(0, 0), (1, 1), (2, 0)])
+            .unwrap();
+        net.add_constraint(b, c, vec![(0, 1), (1, 0)]).unwrap();
+        let mut w = WeightedNetwork::new(net, 0.0);
+        w.set_weight(a, b, &1, &1, 3.0).unwrap();
+        w.set_weight(a, b, &2, &0, 7.0).unwrap();
+        w.set_weight(b, c, &0, &1, 5.0).unwrap();
+
+        let shard = w.restricted(a, &[2, 1]).unwrap();
+        assert!(!shard.shares_weight_table(&w, 0), "touched table rebuilt");
+        assert!(shard.shares_weight_table(&w, 1), "untouched table shared");
+        // Weights follow the index remap (old 2 -> new 0, old 1 -> new 1).
+        assert_eq!(shard.weight_of(0, (0, 0)), 7.0);
+        assert_eq!(shard.weight_of(0, (1, 1)), 3.0);
+        assert_eq!(shard.weight_of(1, (0, 1)), 5.0);
+
+        // The identity restriction shares everything, hard network included.
+        let identity = w.restricted(a, &[0, 1, 2]).unwrap();
+        assert!(identity.network().shares_storage(w.network()));
+        assert!(identity.shares_weight_table(&w, 0));
+        assert!(identity.shares_weight_table(&w, 1));
+    }
+
+    #[test]
+    fn clones_share_weight_tables_until_mutated() {
+        let (w, vars) = simple_weighted();
+        let mut clone = w.clone();
+        assert!(clone.network().shares_storage(w.network()));
+        assert!(clone.shares_weight_table(&w, 0));
+        // set_weight detaches only the touched table.
+        clone.set_weight(vars[0], vars[1], &"r", &"r", 9.0).unwrap();
+        assert!(!clone.shares_weight_table(&w, 0));
+        assert_eq!(w.weight_of(0, (0, 0)), 1.0, "original untouched");
+        assert_eq!(clone.weight_of(0, (0, 0)), 9.0);
+    }
+
+    #[test]
+    fn restricted_view_optimum_matches_materialized_restriction() {
+        // Solving a restricted view must equal solving a from-scratch
+        // network holding only the kept values.
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![10, 20, 30]);
+        let b = net.add_variable("b", vec![1, 2]);
+        net.add_constraint(a, b, vec![(10, 1), (20, 2), (30, 1), (30, 2)])
+            .unwrap();
+        let mut w = WeightedNetwork::new(net, 0.0);
+        w.set_weight(a, b, &10, &1, 1.0).unwrap();
+        w.set_weight(a, b, &20, &2, 8.0).unwrap();
+        w.set_weight(a, b, &30, &2, 4.0).unwrap();
+        let view = w.restricted(a, &[0, 2]).unwrap();
+
+        let mut materialized_net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let ma = materialized_net.add_variable("a", vec![10, 30]);
+        let mb = materialized_net.add_variable("b", vec![1, 2]);
+        materialized_net
+            .add_constraint(ma, mb, vec![(10, 1), (30, 1), (30, 2)])
+            .unwrap();
+        let mut materialized = WeightedNetwork::new(materialized_net, 0.0);
+        materialized.set_weight(ma, mb, &10, &1, 1.0).unwrap();
+        materialized.set_weight(ma, mb, &30, &2, 4.0).unwrap();
+
+        let from_view = BranchAndBound::new().optimize(&view);
+        let from_scratch = BranchAndBound::new().optimize(&materialized);
+        assert_eq!(from_view.best_weight, from_scratch.best_weight);
+        assert_eq!(
+            from_view.solution.unwrap().values(),
+            from_scratch.solution.unwrap().values()
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::hyperplane::Layout;
 use crate::locality::preferred_layout_for_array;
 use mlo_ir::{legal_permutations, ArrayId, Program};
+use std::sync::Arc;
 
 /// Options controlling candidate enumeration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,10 +94,12 @@ pub fn total_domain_size(program: &Program, options: &CandidateOptions) -> usize
 /// Candidate enumeration walks every (nest, legal restructuring) pair and is
 /// the most expensive part of network construction; sessions (`mlo-core`)
 /// enumerate once per program and then build networks from the borrowed set.
+/// The per-array tables live behind shared `Arc` storage, so cloning a set
+/// (e.g. out of a session cache) never copies a layout.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CandidateSet {
     options: CandidateOptions,
-    per_array: Vec<Vec<Layout>>,
+    per_array: Arc<Vec<Vec<Layout>>>,
 }
 
 impl CandidateSet {
@@ -109,8 +112,14 @@ impl CandidateSet {
             .collect();
         CandidateSet {
             options: *options,
-            per_array,
+            per_array: Arc::new(per_array),
         }
+    }
+
+    /// Whether `self` and `other` share the per-array candidate storage
+    /// (clones do; independently enumerated sets do not).
+    pub fn shares_storage(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.per_array, &other.per_array)
     }
 
     /// The options the set was enumerated with.

@@ -9,17 +9,24 @@ use crate::hyperplane::Layout;
 use crate::locality::preferred_layout_for_array;
 use mlo_csp::{ConstraintNetwork, VarId};
 use mlo_ir::{legal_permutations, ArrayId, NestId, Program};
+use std::sync::Arc;
 
 /// The constraint network derived from a program plus the bookkeeping to map
 /// network variables back to arrays.
+///
+/// Every table — the `Arc`-backed [`ConstraintNetwork`] and the
+/// array/variable/contribution bookkeeping — lives behind shared storage, so
+/// cloning a `LayoutNetwork` is a handful of reference-count bumps.
+/// Sessions (`mlo-core`) cache one per program and hand out clones without
+/// re-copying anything.
 #[derive(Debug, Clone)]
 pub struct LayoutNetwork {
     network: ConstraintNetwork<Layout>,
-    variable_of_array: Vec<Option<VarId>>,
-    array_of_variable: Vec<ArrayId>,
+    variable_of_array: Arc<Vec<Option<VarId>>>,
+    array_of_variable: Arc<Vec<ArrayId>>,
     /// For every (nest, transform) considered, the preferred layout pairs it
     /// contributed; useful for weighting constraints (future-work extension).
-    contributions: Vec<Contribution>,
+    contributions: Arc<Vec<Contribution>>,
 }
 
 /// One (nest, restructuring) contribution to the network.
@@ -63,6 +70,16 @@ impl LayoutNetwork {
     /// The paper's Table 1 "Domain Size": total number of candidate layouts.
     pub fn total_domain_size(&self) -> usize {
         self.network.total_domain_size()
+    }
+
+    /// Whether `self` and `other` are clones sharing all storage — the
+    /// constraint-network tables and every bookkeeping table (a
+    /// structural-sharing assertion for session-cache tests).
+    pub fn shares_storage(&self, other: &Self) -> bool {
+        self.network.shares_storage(&other.network)
+            && Arc::ptr_eq(&self.variable_of_array, &other.variable_of_array)
+            && Arc::ptr_eq(&self.array_of_variable, &other.array_of_variable)
+            && Arc::ptr_eq(&self.contributions, &other.contributions)
     }
 }
 
@@ -140,9 +157,9 @@ pub fn build_network_from(program: &Program, candidates: &CandidateSet) -> Layou
 
     LayoutNetwork {
         network,
-        variable_of_array,
-        array_of_variable,
-        contributions,
+        variable_of_array: Arc::new(variable_of_array),
+        array_of_variable: Arc::new(array_of_variable),
+        contributions: Arc::new(contributions),
     }
 }
 

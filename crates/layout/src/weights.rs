@@ -48,6 +48,10 @@ impl Default for WeightOptions {
 }
 
 /// A layout constraint network with per-pair weights.
+///
+/// Both components are `Arc`-backed: the weighted network's hard constraint
+/// tables share storage with the layout network's, and cloning the whole
+/// artifact is a few reference-count bumps.
 #[derive(Debug, Clone)]
 pub struct WeightedLayoutNetwork {
     layout_network: LayoutNetwork,
@@ -102,13 +106,15 @@ pub fn build_weighted_network(
 }
 
 /// Derives just the weighted constraint network from a borrowed, pre-built
-/// layout network, copying only the inner
-/// [`ConstraintNetwork`](mlo_csp::ConstraintNetwork) (which the result must
-/// own), never the layout bookkeeping.
+/// layout network.  Nothing is deep-copied: the result's inner
+/// [`ConstraintNetwork`](mlo_csp::ConstraintNetwork) is an `Arc`-backed
+/// handle sharing the layout network's storage (verifiable with
+/// [`ConstraintNetwork::shares_storage`](mlo_csp::ConstraintNetwork::shares_storage)),
+/// and only the per-constraint weight tables are materialized.
 ///
-/// Sessions (`mlo-core`) cache the hard [`LayoutNetwork`] per program and
-/// derive weights from it on demand, so switching between weighted and
-/// unweighted strategies re-enumerates nothing.
+/// Sessions (`mlo-core`) cache the hard [`LayoutNetwork`] *and* the derived
+/// weighted network per program, so switching between weighted and
+/// unweighted strategies re-enumerates and re-derives nothing.
 pub fn derive_weights(
     program: &Program,
     layout_network: &LayoutNetwork,

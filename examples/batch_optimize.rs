@@ -7,11 +7,17 @@
 //! [`Fallback`] reason, or an [`OptimizeError`] for the requests that asked
 //! to fail instead of falling back.
 //!
+//! Programs are submitted as `Arc` handles through
+//! [`Session::optimize_many_shared`], the zero-copy batch entry point:
+//! every job and every portfolio member borrows the same shared storage —
+//! nothing is cloned on the way to the workers.
+//!
 //! ```text
 //! cargo run --release --example batch_optimize
 //! ```
 
 use constraint_layout::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let engine = Engine::new();
@@ -20,13 +26,13 @@ fn main() {
     // Three benchmarks × three strategies, one batch.
     let benchmarks = [Benchmark::MxM, Benchmark::MedIm04, Benchmark::Track];
     let strategies = ["heuristic", "enhanced", "local-search"];
-    let programs: Vec<Program> = benchmarks.iter().map(|b| b.program()).collect();
+    let programs: Vec<Arc<Program>> = benchmarks.iter().map(|b| Arc::new(b.program())).collect();
 
-    let mut jobs: Vec<(&Program, OptimizeRequest)> = Vec::new();
+    let mut jobs: Vec<(Arc<Program>, OptimizeRequest)> = Vec::new();
     for (benchmark, program) in benchmarks.iter().zip(&programs) {
         for strategy in strategies {
             jobs.push((
-                program,
+                Arc::clone(program),
                 OptimizeRequest::strategy(strategy)
                     .candidates(benchmark.candidate_options())
                     .seed(0xBA7C4),
@@ -40,7 +46,7 @@ fn main() {
         benchmarks.len(),
         strategies.len()
     );
-    let results = session.optimize_many(&jobs);
+    let results = session.optimize_many_shared(&jobs);
 
     let mut table = TextTable::new(vec![
         "Benchmark",
