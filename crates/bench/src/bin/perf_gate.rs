@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run -p mlo-bench --release --bin perf_gate -- \
-//!     [--threads N] [--out BENCH_3.json] [--baseline BENCH_2.json] [--min-speedup X]
+//!     [--threads N] [--out BENCH_4.json] [--baseline BENCH_3.json] [--min-speedup X]
 //! ```
 //!
 //! Three benchmark groups run **at 1 worker and at N workers with the same
@@ -21,25 +21,32 @@
 //!
 //! A fourth, `large`, is the zero-copy shared-data-model scenario: a
 //! large planted weighted network is cloned and sharded the way the
-//! portfolio does per solve, under a counting global allocator.  It records
-//! bytes-per-clone, peak allocation and the shared-vs-rebuilt constraint
-//! table counts — the clone-elimination evidence of the Arc-backed network
-//! refactor — and fails the gate if any shard stops sharing its untouched
-//! tables.
+//! portfolio does per solve, under a counting global allocator.  With
+//! mask-based restriction a shard shares **every** constraint and weight
+//! table (and the compiled bitset kernel) with its parent; the audit fails
+//! the gate if a single table stops being shared.
 //!
-//! The harness emits `BENCH_3.json` (wall time, nodes explored, solution
+//! A fifth, `propagation`, is the bitset-kernel microbench: steady-state
+//! AC-3 revision throughput on the compiled kernel (revisions/second —
+//! each revision is one word-AND support sweep of a constraint arc), and
+//! the allocation cost of a mask-based domain shard split, which must copy
+//! **zero pair entries** (the gate fails otherwise).
+//!
+//! The harness emits `BENCH_4.json` (wall time, nodes explored, solution
 //! cost, speedup per entry) and **exits nonzero when any parallel run's
 //! solution cost differs from its single-thread baseline** — that cost
 //! parity is the determinism contract of `mlo_csp::solver::portfolio`, and
 //! it is what CI gates on.  Wall-clock numbers are reported for trend
 //! tracking: `--baseline` reads a previous `BENCH_<pr>.json` and embeds the
-//! old aggregate scaling speedup next to the new one, recording the perf
-//! trajectory across PRs; `--min-speedup` optionally turns the aggregate
-//! `scaling` speedup into a hard failure too.
+//! old aggregate scaling speedup — plus the old single-thread table2+table3
+//! wall time, the kernel refactor's headline metric — next to the new
+//! numbers; `--min-speedup` optionally turns the aggregate `scaling`
+//! speedup into a hard failure too.
 
 use mlo_benchmarks::Benchmark;
 use mlo_core::{Engine, EvaluationOptions, OptimizeRequest, TextTable};
 use mlo_csp::random::{planted_weighted_network, RandomNetworkSpec};
+use mlo_csp::solver::{ac3_kernel, Ac3Outcome, SearchStats};
 use mlo_csp::{ParallelBranchAndBound, SearchLimits, WorkerPool};
 use mlo_layout::quality::assignment_score;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -167,8 +174,8 @@ struct Config {
 fn parse_args() -> Config {
     let mut config = Config {
         threads: 4,
-        out: "BENCH_3.json".to_string(),
-        baseline: Some("BENCH_2.json".to_string()),
+        out: "BENCH_4.json".to_string(),
+        baseline: Some("BENCH_3.json".to_string()),
         min_speedup: 0.0,
         only: None,
     };
@@ -217,6 +224,29 @@ fn extract_json_number(json: &str, key: &str) -> Option<f64> {
         .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Sums every `"wall_ms_1t"` value inside one `"<group>": [...]` section of
+/// a previous `BENCH_<pr>.json` — the single-thread wall-clock aggregate
+/// the kernel refactor is measured against.
+fn extract_group_wall_1t_sum(json: &str, group: &str) -> Option<f64> {
+    let start = json.find(&format!("\"{group}\": ["))?;
+    let section = &json[start..];
+    let section = &section[..section.find(']')?];
+    let marker = "\"wall_ms_1t\":";
+    let mut sum = 0.0;
+    let mut found = false;
+    let mut rest = section;
+    while let Some(position) = rest.find(marker) {
+        let tail = rest[position + marker.len()..].trim_start();
+        let end = tail.find([',', '}']).unwrap_or(tail.len());
+        if let Ok(value) = tail[..end].trim().parse::<f64>() {
+            sum += value;
+            found = true;
+        }
+        rest = &tail[end..];
+    }
+    found.then_some(sum)
 }
 
 /// Runs one engine request and pulls out (wall ms, nodes, cost).
@@ -295,48 +325,51 @@ fn engine_group(threads: usize, strategy: &str, cycles_as_cost: bool) -> Vec<Ent
 /// scaling: planted weighted networks through the branch-and-bound
 /// portfolio.  The single-thread baseline is the plain exhaustive search;
 /// the parallel run shares one bound across greedy probes, shards and
-/// reshuffles.  Sizes are tuned so the whole group stays under ~half a
-/// minute single-threaded on one CI core.
+/// reshuffles.  The instances were resized for the bitset kernel (which
+/// made the sequential baseline ~3x faster and shrank the old instances
+/// into the dispatch-overhead regime): the group now stays under ~1s
+/// single-threaded on one CI core while each entry is large enough for
+/// cooperative pruning to dominate.
 fn scaling_group(threads: usize, pool: &Arc<WorkerPool>) -> Vec<Entry> {
     let specs = [
-        (
-            "scale-18",
-            RandomNetworkSpec {
-                variables: 18,
-                domain_size: 4,
-                density: 0.5,
-                tightness: 0.2,
-                seed: 1_2024,
-            },
-        ),
-        (
-            "scale-20",
-            RandomNetworkSpec {
-                variables: 20,
-                domain_size: 4,
-                density: 0.5,
-                tightness: 0.15,
-                seed: 2_2024,
-            },
-        ),
-        (
-            "scale-24",
-            RandomNetworkSpec {
-                variables: 24,
-                domain_size: 4,
-                density: 0.45,
-                tightness: 0.15,
-                seed: 3_2024,
-            },
-        ),
         (
             "scale-26",
             RandomNetworkSpec {
                 variables: 26,
+                domain_size: 4,
+                density: 0.5,
+                tightness: 0.15,
+                seed: 9_2024,
+            },
+        ),
+        (
+            "scale-28",
+            RandomNetworkSpec {
+                variables: 28,
+                domain_size: 4,
+                density: 0.5,
+                tightness: 0.12,
+                seed: 10_2024,
+            },
+        ),
+        (
+            "scale-30",
+            RandomNetworkSpec {
+                variables: 30,
+                domain_size: 4,
+                density: 0.4,
+                tightness: 0.15,
+                seed: 7_2024,
+            },
+        ),
+        (
+            "scale-32",
+            RandomNetworkSpec {
+                variables: 32,
                 domain_size: 3,
                 density: 0.45,
                 tightness: 0.12,
-                seed: 4_2024,
+                seed: 8_2024,
             },
         ),
     ];
@@ -394,8 +427,9 @@ struct LargeInstance {
     rebuilt_constraint_tables: usize,
     rebuilt_pair_entries: usize,
     total_pair_entries: usize,
-    /// Every shard shares exactly the tables the restriction leaves
-    /// untouched — the structural invariant the gate enforces.
+    /// Every shard shares **every** table with the parent (mask-based
+    /// restriction rebuilds nothing) — the structural invariant the gate
+    /// enforces.
     sharing_ok: bool,
 }
 
@@ -403,9 +437,9 @@ struct LargeInstance {
 /// cloned the way every portfolio member/batch job receives its handle, and
 /// sharded the way the weighted portfolio partitions domains — both under
 /// the counting allocator.  Before the shared-storage refactor each clone
-/// and shard deep-copied every pair table; now a clone allocates only the
-/// handle spine and a shard rebuilds only the tables adjacent to the
-/// sharded variable.
+/// and shard deep-copied every pair table; since the mask-based restriction
+/// a clone allocates only the handle spine and a shard allocates only its
+/// domain-mask overlay — zero constraint or weight tables.
 fn large_instance_group(threads: usize) -> LargeInstance {
     let spec = RandomNetworkSpec {
         variables: 100,
@@ -461,8 +495,9 @@ fn large_instance_group(threads: usize) -> LargeInstance {
     });
     let shard_build_ms = start.elapsed().as_secs_f64() * 1e3;
 
-    // 3. Structural-sharing audit: a shard must share exactly the tables
-    //    the restriction does not touch.
+    // 3. Structural-sharing audit: a mask-based shard must share *every*
+    //    constraint and weight table (and the compiled kernel) with the
+    //    parent — the restriction lives entirely in the domain mask.
     let mut shared_constraint_tables = 0usize;
     let mut rebuilt_constraint_tables = 0usize;
     let mut rebuilt_pair_entries = 0usize;
@@ -478,10 +513,13 @@ fn large_instance_group(threads: usize) -> LargeInstance {
             } else {
                 rebuilt_constraint_tables += 1;
                 rebuilt_pair_entries += shard.network().constraint(ci).pair_count();
-            }
-            if shared == network.constraint(ci).involves(widest) {
                 sharing_ok = false;
             }
+        }
+        if !shard.network().shares_storage(network)
+            || !Arc::ptr_eq(network.kernel(), shard.network().kernel())
+        {
+            sharing_ok = false;
         }
     }
 
@@ -503,6 +541,165 @@ fn large_instance_group(threads: usize) -> LargeInstance {
         total_pair_entries: total_pair_entries * shards.len(),
         sharing_ok,
     }
+}
+
+/// Metrics of the `propagation` bitset-kernel microbench.
+struct Propagation {
+    variables: usize,
+    constraints: usize,
+    allowed_pairs: usize,
+    /// Cold kernel-compilation time (bit-matrices + support counts).
+    kernel_build_ms: f64,
+    /// Full AC-3 passes measured at the arc-consistency fixpoint.
+    ac3_runs: usize,
+    /// Arc revisions performed (exactly `2 × constraints` per run at the
+    /// fixpoint — nothing is removed, so nothing is re-queued).
+    revisions: u64,
+    ac3_total_ms: f64,
+    revisions_per_sec: f64,
+    checks_per_sec: f64,
+    /// Mask-based shard splits measured under the counting allocator.
+    shard_splits: usize,
+    shard_alloc_bytes: usize,
+    shard_bytes_per_split: usize,
+    /// Pair entries copied across all splits — the headline number, which
+    /// must be exactly zero for mask-based views.
+    shard_pair_entries_allocated: usize,
+    /// Every split shares all tables + kernel and carries a mask.
+    masks_ok: bool,
+}
+
+/// The propagation-throughput scenario: steady-state AC-3 revisions per
+/// second on the compiled kernel, plus the allocation bill of mask-based
+/// domain shard splits (which must copy zero pair entries).
+fn propagation_group(threads: usize) -> Propagation {
+    let spec = RandomNetworkSpec {
+        variables: 100,
+        domain_size: 6,
+        density: 0.4,
+        tightness: 0.25,
+        seed: 6_2025,
+    };
+    let (weighted, _) = planted_weighted_network(&spec, 80.0, 8);
+    let network = weighted.network();
+    let constraints = network.constraint_count();
+    let allowed_pairs: usize = network.constraints().iter().map(|c| c.pair_count()).sum();
+
+    // Cold kernel compile (the once-per-storage cost every solve amortizes).
+    let start = Instant::now();
+    let kernel = Arc::clone(network.kernel());
+    let kernel_build_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Drive AC-3 to its fixpoint once; at the fixpoint each subsequent run
+    // performs exactly 2 revisions per constraint (no removals, no
+    // re-queues), so revisions/sec is an exact steady-state measure.
+    let mut warm = kernel.full_domains();
+    let mut warm_stats = SearchStats::default();
+    let outcome = ac3_kernel(&kernel, &mut warm, &mut warm_stats);
+    assert!(
+        matches!(outcome, Ac3Outcome::Consistent),
+        "the propagation instance must be satisfiable at the fixpoint"
+    );
+    const RUNS: usize = 400;
+    let mut total_checks = 0u64;
+    let start = Instant::now();
+    for _ in 0..RUNS {
+        let mut live = warm.clone();
+        let mut stats = SearchStats::default();
+        let outcome = ac3_kernel(&kernel, &mut live, &mut stats);
+        assert!(matches!(outcome, Ac3Outcome::Consistent));
+        total_checks += stats.consistency_checks;
+    }
+    let ac3_total_ms = start.elapsed().as_secs_f64() * 1e3;
+    let revisions = (2 * constraints * RUNS) as u64;
+    let seconds = (ac3_total_ms / 1e3).max(1e-9);
+
+    // Mask-based shard splits under the counting allocator: the weighted
+    // portfolio's per-solve partitioning step.
+    let widest = network
+        .variables()
+        .max_by_key(|&v| network.domain(v).len())
+        .expect("non-empty network");
+    let width = network.domain(widest).len();
+    let shard_count = threads.clamp(2, width);
+    let indices: Vec<usize> = (0..width).collect();
+    let (shards, shard_alloc_bytes, _) = measure_alloc(|| {
+        let mut shards = Vec::new();
+        for block in 0..shard_count {
+            let lo = block * width / shard_count;
+            let hi = ((block + 1) * width / shard_count).min(width);
+            if lo < hi {
+                shards.push(
+                    weighted
+                        .restricted(widest, &indices[lo..hi])
+                        .expect("shard indices are in range"),
+                );
+            }
+        }
+        shards
+    });
+    let mut shard_pair_entries_allocated = 0usize;
+    let mut masks_ok = true;
+    for shard in &shards {
+        for ci in 0..constraints {
+            let shared = Arc::ptr_eq(
+                network.constraint_handle(ci),
+                shard.network().constraint_handle(ci),
+            ) && weighted.shares_weight_table(shard, ci);
+            if !shared {
+                shard_pair_entries_allocated += shard.network().constraint(ci).pair_count();
+                masks_ok = false;
+            }
+        }
+        masks_ok &= shard.network().mask().is_some();
+        masks_ok &= Arc::ptr_eq(network.kernel(), shard.network().kernel());
+    }
+
+    Propagation {
+        variables: spec.variables,
+        constraints,
+        allowed_pairs,
+        kernel_build_ms,
+        ac3_runs: RUNS,
+        revisions,
+        ac3_total_ms,
+        revisions_per_sec: revisions as f64 / seconds,
+        checks_per_sec: total_checks as f64 / seconds,
+        shard_splits: shards.len(),
+        shard_alloc_bytes,
+        shard_bytes_per_split: shard_alloc_bytes / shards.len().max(1),
+        shard_pair_entries_allocated,
+        masks_ok,
+    }
+}
+
+fn print_propagation(propagation: &Option<Propagation>) {
+    let Some(p) = propagation else { return };
+    println!("\npropagation — bitset kernel microbench");
+    println!(
+        "  instance: {} vars, {} constraints, {} allowed pairs (kernel compiled in {:.2}ms)",
+        p.variables, p.constraints, p.allowed_pairs, p.kernel_build_ms
+    );
+    println!(
+        "  ac3: {} fixpoint passes, {} revisions in {:.1}ms -> {:.2}M revisions/s \
+         ({:.1}M checks/s)",
+        p.ac3_runs,
+        p.revisions,
+        p.ac3_total_ms,
+        p.revisions_per_sec / 1e6,
+        p.checks_per_sec / 1e6,
+    );
+    println!(
+        "  mask shards: {} splits, {} bytes total ({} bytes/split), {} pair entries copied",
+        p.shard_splits,
+        p.shard_alloc_bytes,
+        p.shard_bytes_per_split,
+        p.shard_pair_entries_allocated
+    );
+    println!(
+        "  mask audit: {}",
+        if p.masks_ok { "ok" } else { "VIOLATED" }
+    );
 }
 
 fn print_large(large: &Option<LargeInstance>) {
@@ -611,6 +808,7 @@ fn main() -> ExitCode {
         Vec::new()
     };
     let large = wanted("large").then(|| large_instance_group(config.threads));
+    let propagation = wanted("propagation").then(|| propagation_group(config.threads));
 
     print_group(
         "table2 — portfolio strategy (cost = layout quality score)",
@@ -625,6 +823,7 @@ fn main() -> ExitCode {
         &scaling,
     );
     print_large(&large);
+    print_propagation(&propagation);
 
     let scaling_1t: f64 = scaling.iter().map(|e| e.wall_ms_1t).sum();
     let scaling_nt: f64 = scaling.iter().map(|e| e.wall_ms_nt).sum();
@@ -639,21 +838,50 @@ fn main() -> ExitCode {
         .chain(&scaling)
         .all(Entry::cost_match);
     let sharing_ok = large.as_ref().is_none_or(|l| l.sharing_ok);
+    let masks_ok = propagation
+        .as_ref()
+        .is_none_or(|p| p.masks_ok && p.shard_pair_entries_allocated == 0);
+
+    // The kernel refactor's headline metric: single-thread table2+table3
+    // wall clock, compared against the previous PR's artifact.
+    let single_thread_ms: f64 = table2
+        .iter()
+        .chain(&table3)
+        .map(|e| e.wall_ms_1t)
+        .sum::<f64>();
 
     // Perf trajectory: read the previous PR's artifact (when present) and
-    // record its aggregate speedup next to this run's.
-    let baseline_speedup = config.baseline.as_ref().and_then(|path| {
+    // record its aggregate speedup — and its single-thread wall clock —
+    // next to this run's.
+    let baseline_stats = config.baseline.as_ref().and_then(|path| {
         let previous = std::fs::read_to_string(path).ok()?;
         let speedup = extract_json_number(&previous, "scaling_speedup")?;
         println!(
             "trajectory: {path} scaling speedup {speedup:.2}x -> this run {scaling_speedup:.2}x"
         );
-        Some((path.clone(), speedup))
+        let single_thread = match (
+            extract_group_wall_1t_sum(&previous, "table2"),
+            extract_group_wall_1t_sum(&previous, "table3"),
+        ) {
+            (Some(t2), Some(t3)) => {
+                let total = t2 + t3;
+                if single_thread_ms > 0.0 {
+                    println!(
+                        "trajectory: {path} table2+table3 single-thread {total:.2}ms -> \
+                         this run {single_thread_ms:.2}ms ({:.2}x)",
+                        total / single_thread_ms
+                    );
+                }
+                Some(total)
+            }
+            _ => None,
+        };
+        Some((path.clone(), speedup, single_thread))
     });
 
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"benchmark\": \"BENCH_3\",").unwrap();
+    writeln!(json, "  \"benchmark\": \"BENCH_4\",").unwrap();
     writeln!(json, "  \"harness\": \"perf_gate\",").unwrap();
     writeln!(json, "  \"threads\": {},", config.threads).unwrap();
     writeln!(json, "  \"seed\": {SEED},").unwrap();
@@ -721,18 +949,75 @@ fn main() -> ExitCode {
         writeln!(json, "    \"sharing_ok\": {}", l.sharing_ok).unwrap();
         writeln!(json, "  }},").unwrap();
     }
-    if let Some((path, speedup)) = &baseline_speedup {
+    if let Some(p) = &propagation {
+        writeln!(json, "  \"propagation\": {{").unwrap();
+        writeln!(json, "    \"variables\": {},", p.variables).unwrap();
+        writeln!(json, "    \"constraints\": {},", p.constraints).unwrap();
+        writeln!(json, "    \"allowed_pairs\": {},", p.allowed_pairs).unwrap();
+        writeln!(json, "    \"kernel_build_ms\": {:.3},", p.kernel_build_ms).unwrap();
+        writeln!(json, "    \"ac3_runs\": {},", p.ac3_runs).unwrap();
+        writeln!(json, "    \"revisions\": {},", p.revisions).unwrap();
+        writeln!(json, "    \"ac3_total_ms\": {:.3},", p.ac3_total_ms).unwrap();
         writeln!(
             json,
-            "  \"baseline\": {{\"file\": \"{path}\", \"scaling_speedup\": {speedup:.3}}},"
+            "    \"revisions_per_sec\": {:.0},",
+            p.revisions_per_sec
         )
         .unwrap();
+        writeln!(json, "    \"checks_per_sec\": {:.0},", p.checks_per_sec).unwrap();
+        writeln!(json, "    \"shard_splits\": {},", p.shard_splits).unwrap();
+        writeln!(json, "    \"shard_alloc_bytes\": {},", p.shard_alloc_bytes).unwrap();
+        writeln!(
+            json,
+            "    \"shard_bytes_per_split\": {},",
+            p.shard_bytes_per_split
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "    \"shard_pair_entries_allocated\": {},",
+            p.shard_pair_entries_allocated
+        )
+        .unwrap();
+        writeln!(json, "    \"masks_ok\": {}", p.masks_ok).unwrap();
+        writeln!(json, "  }},").unwrap();
+    }
+    if let Some((path, speedup, single_thread)) = &baseline_stats {
+        match single_thread {
+            Some(previous_ms) => writeln!(
+                json,
+                "  \"baseline\": {{\"file\": \"{path}\", \"scaling_speedup\": {speedup:.3}, \
+                 \"single_thread_wall_ms\": {previous_ms:.3}}},"
+            )
+            .unwrap(),
+            None => writeln!(
+                json,
+                "  \"baseline\": {{\"file\": \"{path}\", \"scaling_speedup\": {speedup:.3}}},"
+            )
+            .unwrap(),
+        }
+        if let Some(previous_ms) = single_thread {
+            if single_thread_ms > 0.0 {
+                writeln!(
+                    json,
+                    "  \"single_thread_improvement\": {:.3},",
+                    previous_ms / single_thread_ms
+                )
+                .unwrap();
+            }
+        }
+    }
+    if !table2.is_empty() || !table3.is_empty() {
+        writeln!(json, "  \"single_thread_wall_ms\": {single_thread_ms:.3},").unwrap();
     }
     writeln!(json, "  \"scaling_speedup\": {scaling_speedup:.3},").unwrap();
     if large.is_some() {
         // Only claim an audit verdict when the audit actually ran (--only
         // can skip the large group; skipped must not read as passed).
         writeln!(json, "  \"sharing_ok\": {sharing_ok},").unwrap();
+    }
+    if propagation.is_some() {
+        writeln!(json, "  \"masks_ok\": {masks_ok},").unwrap();
     }
     writeln!(json, "  \"cost_parity\": {cost_parity}").unwrap();
     writeln!(json, "}}").unwrap();
@@ -751,8 +1036,15 @@ fn main() -> ExitCode {
     }
     if !sharing_ok {
         eprintln!(
-            "perf_gate FAILED: a restricted view stopped sharing its untouched \
-             tables (see the large-instance sharing audit above)"
+            "perf_gate FAILED: a restricted view stopped sharing its tables \
+             (see the large-instance sharing audit above)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !masks_ok {
+        eprintln!(
+            "perf_gate FAILED: a mask-based shard split copied pair entries or \
+             dropped table/kernel sharing (see the propagation audit above)"
         );
         return ExitCode::FAILURE;
     }

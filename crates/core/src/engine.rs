@@ -35,6 +35,7 @@ use mlo_layout::{
     LayoutAssignment, LayoutNetwork,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
@@ -66,30 +67,47 @@ impl NetworkSummary {
 }
 
 /// The per-program state a session caches: candidate layouts, the
-/// constraint network and any derived weighted networks, all built lazily
-/// at most once.
+/// constraint network (whose storage also carries the compiled bitset
+/// kernel) and any derived weighted networks, all built lazily at most
+/// once.
 ///
 /// Every cached artifact is `Arc`-backed (see `mlo_layout` / `mlo_csp`), so
 /// handing it to a strategy, a portfolio member or a batch job shares
-/// storage instead of copying tables.
-#[derive(Debug, Default)]
+/// storage instead of copying tables.  The weighted-network cache is a
+/// small LRU capped by the session's
+/// [`weighted_cache_cap`](Session::weighted_cache_cap), so long-lived
+/// serving sessions that sweep many [`WeightOptions`] cannot grow it
+/// without bound.
+#[derive(Debug)]
 pub struct PreparedProgram {
     options: CandidateOptions,
     candidates: OnceLock<CandidateSet>,
     network: OnceLock<LayoutNetwork>,
     /// Weighted networks derived from the cached hard network, one per
-    /// distinct [`WeightOptions`] (a short linear list in practice —
+    /// distinct [`WeightOptions`], most recently used first (a short list:
     /// requests overwhelmingly reuse the strategy default).
     weighted: Mutex<Vec<(WeightOptions, Arc<WeightedNetwork<Layout>>)>>,
+    /// Shared with the owning session: the LRU capacity of `weighted`.
+    weighted_cap: Arc<AtomicUsize>,
+}
+
+impl Default for PreparedProgram {
+    fn default() -> Self {
+        PreparedProgram::new(
+            CandidateOptions::default(),
+            Arc::new(AtomicUsize::new(Session::DEFAULT_WEIGHTED_CACHE_CAP)),
+        )
+    }
 }
 
 impl PreparedProgram {
-    fn new(options: CandidateOptions) -> Self {
+    fn new(options: CandidateOptions, weighted_cap: Arc<AtomicUsize>) -> Self {
         PreparedProgram {
             options,
             candidates: OnceLock::new(),
             network: OnceLock::new(),
             weighted: Mutex::new(Vec::new()),
+            weighted_cap,
         }
     }
 
@@ -106,20 +124,26 @@ impl PreparedProgram {
             .get_or_init(|| mlo_layout::build_network_from(program, self.candidates(program)))
     }
 
+    /// The compiled execution kernel of the cached network (forced on
+    /// first use, then cached inside the shared network storage: every
+    /// strategy, portfolio member and weighted derivation of this program
+    /// reuses the identical `Arc`).
+    pub fn kernel(&self, program: &Program) -> Arc<mlo_csp::BitKernel> {
+        Arc::clone(self.network(program).kernel())
+    }
+
     /// The weighted network derived with `options`, deriving (and caching)
     /// it on first use.  The returned handle shares the cached hard
     /// network's constraint storage — repeat weighted requests copy
-    /// nothing.
+    /// nothing.  The cache is LRU: the least recently used entry is
+    /// evicted once the session cap is exceeded.
     pub fn weighted(
         &self,
         program: &Program,
         options: &WeightOptions,
     ) -> Arc<WeightedNetwork<Layout>> {
-        {
-            let cache = self.weighted.lock().expect("weighted cache poisoned");
-            if let Some((_, weighted)) = cache.iter().find(|(cached, _)| cached == options) {
-                return Arc::clone(weighted);
-            }
+        if let Some(weighted) = self.weighted_hit(options) {
+            return weighted;
         }
         // Derive outside the lock (it can be expensive); a racing request
         // deriving the same options loses benignly below.
@@ -129,11 +153,39 @@ impl PreparedProgram {
             options,
         ));
         let mut cache = self.weighted.lock().expect("weighted cache poisoned");
-        if let Some((_, weighted)) = cache.iter().find(|(cached, _)| cached == options) {
-            return Arc::clone(weighted);
+        if let Some(existing) = Self::promote(&mut cache, options) {
+            return existing;
         }
-        cache.push((*options, Arc::clone(&derived)));
+        cache.insert(0, (*options, Arc::clone(&derived)));
+        let cap = self.weighted_cap.load(Ordering::Relaxed).max(1);
+        cache.truncate(cap);
         derived
+    }
+
+    /// Cache lookup with LRU promotion (most recent at the front).
+    fn weighted_hit(&self, options: &WeightOptions) -> Option<Arc<WeightedNetwork<Layout>>> {
+        Self::promote(
+            &mut self.weighted.lock().expect("weighted cache poisoned"),
+            options,
+        )
+    }
+
+    /// The one copy of the LRU discipline: finds `options`, moves its
+    /// entry to the front and returns the shared handle.
+    fn promote(
+        cache: &mut Vec<(WeightOptions, Arc<WeightedNetwork<Layout>>)>,
+        options: &WeightOptions,
+    ) -> Option<Arc<WeightedNetwork<Layout>>> {
+        let position = cache.iter().position(|(cached, _)| cached == options)?;
+        let entry = cache.remove(position);
+        let weighted = Arc::clone(&entry.1);
+        cache.insert(0, entry);
+        Some(weighted)
+    }
+
+    /// Number of weighted networks currently cached.
+    pub fn weighted_cached(&self) -> usize {
+        self.weighted.lock().expect("weighted cache poisoned").len()
     }
 
     /// Whether the network has been built yet.
@@ -275,6 +327,7 @@ impl Engine {
                 engine: self.clone(),
                 prepared: Mutex::new(HashMap::new()),
                 pool: OnceLock::new(),
+                weighted_cache_cap: Arc::new(AtomicUsize::new(Session::DEFAULT_WEIGHTED_CACHE_CAP)),
             }),
         }
     }
@@ -328,12 +381,34 @@ pub(crate) struct SessionInner {
     /// The session's worker pool, created on first parallel use so purely
     /// sequential sessions never spawn a thread.
     pool: OnceLock<Arc<WorkerPool>>,
+    /// Per-program weighted-network LRU capacity, shared with every
+    /// [`PreparedProgram`] this session creates.
+    weighted_cache_cap: Arc<AtomicUsize>,
 }
 
 impl Session {
+    /// Default LRU capacity of the per-program weighted-network cache:
+    /// plenty for benchmark sweeps (which reuse one or two
+    /// [`WeightOptions`]) while bounding long-lived serving sessions.
+    pub const DEFAULT_WEIGHTED_CACHE_CAP: usize = 8;
+
     /// The engine this session came from.
     pub fn engine(&self) -> &Engine {
         &self.inner.engine
+    }
+
+    /// The current per-program weighted-network LRU capacity.
+    pub fn weighted_cache_cap(&self) -> usize {
+        self.inner.weighted_cache_cap.load(Ordering::Relaxed)
+    }
+
+    /// Caps the per-program weighted-network cache (clamped to at least 1;
+    /// applies to existing prepared programs too — the next insert evicts
+    /// down to the new cap).
+    pub fn set_weighted_cache_cap(&self, cap: usize) {
+        self.inner
+            .weighted_cache_cap
+            .store(cap.max(1), Ordering::Relaxed);
     }
 
     /// Number of distinct (program, candidate-options) pairs prepared so
@@ -385,7 +460,12 @@ impl SessionInner {
         let mut cache = self.prepared.lock().expect("session cache poisoned");
         cache
             .entry(key)
-            .or_insert_with(|| Arc::new(PreparedProgram::new(*options)))
+            .or_insert_with(|| {
+                Arc::new(PreparedProgram::new(
+                    *options,
+                    Arc::clone(&self.weighted_cache_cap),
+                ))
+            })
             .clone()
     }
 
@@ -1044,6 +1124,109 @@ mod tests {
             .optimize(&program, &request.clone().seed(3))
             .unwrap();
         assert_eq!(first.assignment, second.assignment);
+    }
+
+    #[test]
+    fn weighted_cache_is_a_capped_lru() {
+        let engine = Engine::new();
+        let session = engine.session();
+        assert_eq!(
+            session.weighted_cache_cap(),
+            Session::DEFAULT_WEIGHTED_CACHE_CAP
+        );
+        session.set_weighted_cache_cap(0); // clamps to 1
+        session.set_weighted_cache_cap(2);
+        assert_eq!(session.weighted_cache_cap(), 2);
+        let program = Benchmark::Track.program();
+        let options = Benchmark::Track.candidate_options();
+        let prepared = session.prepared(&program, &options);
+        let mk = |bonus: f64| mlo_layout::weights::WeightOptions {
+            identity_bonus: bonus,
+            ..mlo_layout::weights::WeightOptions::default()
+        };
+        let a = prepared.weighted(&program, &mk(1.25));
+        let b = prepared.weighted(&program, &mk(2.0));
+        assert_eq!(prepared.weighted_cached(), 2);
+        // Touch `a` so `b` becomes the LRU entry, then overflow the cap.
+        let a_again = prepared.weighted(&program, &mk(1.25));
+        assert!(Arc::ptr_eq(&a, &a_again));
+        let _c = prepared.weighted(&program, &mk(3.0));
+        assert_eq!(prepared.weighted_cached(), 2, "cap enforced");
+        // `a` survived (recently used), `b` was evicted: re-deriving `b`
+        // yields a fresh Arc while `a` still hits.
+        let a_third = prepared.weighted(&program, &mk(1.25));
+        assert!(Arc::ptr_eq(&a, &a_third), "recently used entry survives");
+        let b_again = prepared.weighted(&program, &mk(2.0));
+        assert!(!Arc::ptr_eq(&b, &b_again), "LRU entry was evicted");
+    }
+
+    #[test]
+    fn sessions_cache_the_compiled_kernel_alongside_the_network() {
+        // The kernel is compiled once per cached network and shared by
+        // every request artifact: the prepared program, the derived
+        // weighted network and repeat calls all return the identical Arc.
+        let engine = Engine::new();
+        let session = engine.session();
+        let program = Benchmark::Track.program();
+        let options = Benchmark::Track.candidate_options();
+        let prepared = session.prepared(&program, &options);
+        let kernel = prepared.kernel(&program);
+        assert!(Arc::ptr_eq(&kernel, prepared.network(&program).kernel()));
+        let weighted = prepared.weighted(&program, &mlo_layout::weights::WeightOptions::default());
+        assert!(Arc::ptr_eq(&kernel, weighted.network().kernel()));
+        assert!(Arc::ptr_eq(&kernel, &prepared.kernel(&program)));
+    }
+
+    #[test]
+    fn small_instances_fall_back_to_sequential_parallelism() {
+        // Every paper benchmark completes the sequential probe within the
+        // default node budget, so a parallel request must (a) return the
+        // identical result to both the probe-disabled parallel path and
+        // the parallelism(1) path, and (b) do the sequential amount of
+        // search work (the BENCH_3 symptom was parallel node counts an
+        // order of magnitude above sequential ones).
+        let engine = Engine::builder().parallelism(4).build();
+        let session = engine.session();
+        let program = Benchmark::MedIm04.program();
+        let options = Benchmark::MedIm04.candidate_options();
+        for strategy in ["portfolio", "weighted"] {
+            let request = OptimizeRequest::strategy(strategy)
+                .candidates(options)
+                .seed(7);
+            let adaptive = session.optimize(&program, &request).unwrap();
+            let forced = session
+                .optimize(&program, &request.clone().parallel_threshold(0))
+                .unwrap();
+            let sequential = session
+                .optimize(&program, &request.clone().parallelism(1))
+                .unwrap();
+            assert_eq!(adaptive.assignment, forced.assignment, "{strategy}");
+            assert_eq!(adaptive.assignment, sequential.assignment, "{strategy}");
+            assert_eq!(adaptive.satisfiable, forced.satisfiable);
+            let adaptive_nodes = adaptive.search_stats.unwrap().nodes_visited;
+            let sequential_nodes = sequential.search_stats.unwrap().nodes_visited;
+            assert_eq!(
+                adaptive_nodes, sequential_nodes,
+                "{strategy}: the probe must do exactly the sequential work"
+            );
+        }
+        // The probe-limit arithmetic itself.
+        let request = OptimizeRequest::strategy("portfolio")
+            .candidates(options)
+            .node_limit(10);
+        let prepared = session.prepared(&program, &options);
+        let limits = SearchLimits::default().with_node_limit(10);
+        let ctx = StrategyContext::new(&session.inner, &program, &prepared, &request, limits);
+        assert_eq!(ctx.parallelism(), 4);
+        assert_eq!(
+            ctx.parallel_threshold(),
+            OptimizeRequest::DEFAULT_PARALLEL_THRESHOLD
+        );
+        assert_eq!(
+            ctx.probe_limits().node_limit,
+            Some(10),
+            "the request's own tighter budget wins"
+        );
     }
 
     #[test]

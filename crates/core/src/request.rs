@@ -110,6 +110,18 @@ pub struct OptimizeRequest {
     ///
     /// [`EngineBuilder::parallelism`]: crate::engine::EngineBuilder::parallelism
     pub parallelism: Option<usize>,
+    /// Adaptive-parallelism threshold, in search nodes: a
+    /// parallelism-aware strategy (`portfolio`, `weighted`) first runs its
+    /// *sequential* path under this node budget and only escalates to the
+    /// parallel machinery when the budget is exhausted, so small instances
+    /// (every paper benchmark solves in a few thousand nodes) stop paying
+    /// worker-dispatch overhead.  The escalation never changes the result:
+    /// a sequential probe that completes returns exactly the answer the
+    /// parallel portfolio is contractually bound to return.  `None` = the
+    /// strategy default, [`OptimizeRequest::DEFAULT_PARALLEL_THRESHOLD`];
+    /// `Some(0)` disables the probe (always parallel when
+    /// `parallelism > 1`).
+    pub parallel_threshold: Option<u64>,
     /// What to do when the strategy cannot return its own solution.
     pub fallback: FallbackPolicy,
     /// When set, the chosen layouts are replayed on this simulated machine
@@ -127,6 +139,7 @@ impl Default for OptimizeRequest {
             node_limit: None,
             time_limit: None,
             parallelism: None,
+            parallel_threshold: None,
             fallback: FallbackPolicy::Heuristic,
             evaluation: None,
         }
@@ -134,6 +147,13 @@ impl Default for OptimizeRequest {
 }
 
 impl OptimizeRequest {
+    /// The default adaptive-parallelism probe budget, in search nodes.
+    /// Every paper benchmark completes sequentially within a few thousand
+    /// nodes on the bitset kernel (well under a millisecond — BENCH_3
+    /// measured 0.24–0.75x "speedups" when those solves were raced across
+    /// workers anyway), while the workloads that benefit from the
+    /// portfolio burn through this budget almost immediately.
+    pub const DEFAULT_PARALLEL_THRESHOLD: u64 = 50_000;
     /// A request running the named strategy with default knobs.
     pub fn strategy(name: impl Into<String>) -> Self {
         OptimizeRequest {
@@ -170,6 +190,13 @@ impl OptimizeRequest {
     /// one worker).
     pub fn parallelism(mut self, workers: usize) -> Self {
         self.parallelism = Some(workers.max(1));
+        self
+    }
+
+    /// Overrides the adaptive-parallelism probe budget in nodes (`0`
+    /// always runs the parallel path, `u64::MAX` effectively never does).
+    pub fn parallel_threshold(mut self, threshold: u64) -> Self {
+        self.parallel_threshold = Some(threshold);
         self
     }
 
@@ -214,6 +241,7 @@ mod tests {
             .node_limit(10)
             .time_limit(Duration::from_millis(5))
             .parallelism(0)
+            .parallel_threshold(0)
             .fail_instead_of_fallback()
             .evaluate(EvaluationOptions::date05());
         assert_eq!(r.strategy, "base");
@@ -222,6 +250,7 @@ mod tests {
         assert_eq!(r.node_limit, Some(10));
         assert_eq!(r.time_limit, Some(Duration::from_millis(5)));
         assert_eq!(r.parallelism, Some(1), "parallelism clamps to one");
+        assert_eq!(r.parallel_threshold, Some(0));
         assert_eq!(r.fallback, FallbackPolicy::Error);
         assert!(r.evaluation.is_some());
         assert!(!r.allows_fallback(FallbackReason::Unsatisfiable));

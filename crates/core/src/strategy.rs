@@ -77,6 +77,44 @@ impl<'a> StrategyContext<'a> {
             .max(1)
     }
 
+    /// The adaptive-parallelism probe budget in search nodes: the
+    /// request's [`parallel_threshold`](OptimizeRequest::parallel_threshold)
+    /// or the default.  Parallelism-aware strategies run their sequential
+    /// path under this budget first and fan out only when it is exhausted
+    /// ([`StrategyContext::probe_limits`] builds the capped limits);
+    /// `0` disables the probe.
+    pub fn parallel_threshold(&self) -> u64 {
+        self.request
+            .parallel_threshold
+            .unwrap_or(OptimizeRequest::DEFAULT_PARALLEL_THRESHOLD)
+    }
+
+    /// Whether the adaptive sequential probe pays off under the given
+    /// effective node budget: when the request's own budget is at or below
+    /// the probe threshold, a probe that fails would escalate to a
+    /// parallel run of the *identical* budget — doubling the work for
+    /// nothing — so the probe is only worthwhile while the threshold is
+    /// the binding limit.
+    pub fn probe_is_worthwhile(&self, effective_node_limit: Option<u64>) -> bool {
+        let threshold = self.parallel_threshold();
+        threshold > 0 && effective_node_limit.is_none_or(|own| own > threshold)
+    }
+
+    /// The request limits with the node budget tightened to the adaptive
+    /// probe threshold.  A probe cut off by this node budget escalates to
+    /// the parallel path (which re-applies the request's own limits); any
+    /// other probe outcome — solved, proven unsatisfiable, deadline — is
+    /// final and identical to what the parallel path would return.
+    pub fn probe_limits(&self) -> SearchLimits {
+        let limits = self.limits();
+        SearchLimits {
+            node_limit: Some(limits.node_limit.map_or(self.parallel_threshold(), |own| {
+                own.min(self.parallel_threshold())
+            })),
+            deadline: limits.deadline,
+        }
+    }
+
     /// Whether this request's strategy consulted the constraint network
     /// (drives the report's `network` field — session cache state from
     /// earlier requests does not count).
@@ -349,18 +387,40 @@ impl LayoutStrategy for WeightedStrategy {
         let mut limits = ctx.limits();
         limits.node_limit = Some(limits.node_limit.unwrap_or(self.default_node_limit));
         let parallelism = ctx.parallelism();
-        let result = if parallelism > 1 {
-            // Portfolio branch and bound: helper shards/probes feed the
-            // shared incumbent, the exhaustive primary returns the answer —
-            // identical to the single-thread solution, sooner.
-            ParallelBranchAndBound::new(BranchAndBound::new())
-                .with_pool(ctx.worker_pool())
-                .parallelism(parallelism)
-                .seed(ctx.request().seed)
-                .optimize_detailed(&weighted, &limits)
-                .result
+        // Adaptive sequential probe: paper-sized instances finish an
+        // exhaustive branch and bound within the probe budget, and an
+        // exhaustive result *is* the optimum the portfolio's primary would
+        // return — so only instances that burn the budget fan out.
+        // Skipped when the request's own (effective) budget is no larger
+        // than the threshold: escalating would just re-run that budget.
+        let probe = if parallelism > 1 && ctx.probe_is_worthwhile(limits.node_limit) {
+            let mut probe_limits = ctx.probe_limits();
+            probe_limits.node_limit = probe_limits
+                .node_limit
+                .map(|cap| cap.min(limits.node_limit.unwrap_or(u64::MAX)));
+            let result = BranchAndBound::new().optimize_with(&weighted, &probe_limits);
+            if result.hit_node_limit {
+                None // escalate: the instance outgrew the probe budget
+            } else {
+                Some(result)
+            }
         } else {
-            BranchAndBound::new().optimize_with(&weighted, &limits)
+            None
+        };
+        let result = match probe {
+            Some(result) => result,
+            None if parallelism > 1 => {
+                // Portfolio branch and bound: helper shards/probes feed the
+                // shared incumbent, the exhaustive primary returns the
+                // answer — identical to the single-thread solution, sooner.
+                ParallelBranchAndBound::new(BranchAndBound::new())
+                    .with_pool(ctx.worker_pool())
+                    .parallelism(parallelism)
+                    .seed(ctx.request().seed)
+                    .optimize_detailed(&weighted, &limits)
+                    .result
+            }
+            None => BranchAndBound::new().optimize_with(&weighted, &limits),
         };
         match result.solution {
             Some(solution) => Ok(StrategyOutcome::Solved {
@@ -459,13 +519,32 @@ impl LayoutStrategy for PortfolioStrategy {
     }
 
     fn determine(&self, ctx: &StrategyContext<'_>) -> Result<StrategyOutcome, OptimizeError> {
+        let network = ctx.network().network();
         let parallelism = ctx.parallelism();
+        // Adaptive sequential probe: member 0 of the diverse race is the
+        // deterministic enhanced scheme, and the race's
+        // lowest-index-winner rule makes its verdict final — so running it
+        // alone under the probe budget either decides the whole race
+        // sequentially (every paper benchmark does) or proves the instance
+        // big enough to be worth fanning out.  Skipped when the request's
+        // own node budget is no larger than the threshold: a failed probe
+        // would escalate to a race under the identical budget.
+        if parallelism > 1 && ctx.probe_is_worthwhile(ctx.limits().node_limit) {
+            let probe_limits = ctx.probe_limits();
+            let engine = SearchEngine::with_scheme(CspScheme::Enhanced);
+            let mut rng = ctx.rng();
+            let probe = engine.solve_with(network, &mut rng, &probe_limits);
+            if !probe.hit_node_limit {
+                return Ok(ctx.outcome_from_solve(probe));
+            }
+            // Budget exhausted without a verdict: fall through to the race.
+        }
         let mut search = ParallelPortfolioSearch::diverse(self.randomized).parallelism(parallelism);
         if parallelism > 1 {
             search = search.with_pool(ctx.worker_pool());
         }
         let mut rng = ctx.rng();
-        let result = search.search(ctx.network().network(), &mut rng, &ctx.limits());
+        let result = search.search(network, &mut rng, &ctx.limits());
         Ok(ctx.outcome_from_solve(result))
     }
 }

@@ -1,0 +1,756 @@
+//! The word-packed execution kernel behind every solver hot path.
+//!
+//! A [`crate::ConstraintNetwork`] is the *builder-facing* form of a network:
+//! domains hold real values, constraints are `HashSet`s of allowed index
+//! pairs.  That shape is convenient to construct and query one pair at a
+//! time, but the solvers ask "does `S_ij` allow `(a, b)`?" millions of times
+//! per solve, and a hash probe per query is where nearly all of the solve
+//! time goes.
+//!
+//! The [`BitKernel`] is the *execution* form the network compiles itself
+//! into, lazily and at most once per storage (the handle is cached inside
+//! the shared [`crate::NetworkStorage`], so clones, restricted views and
+//! session-cached networks all reuse the identical kernel —
+//! `Arc::ptr_eq`-verifiable):
+//!
+//! * every constraint becomes a pair of **bit-matrices** ([`BitConstraint`]):
+//!   for each value of one endpoint, a row of `u64` words whose set bits are
+//!   the supported values of the other endpoint — both orientations are
+//!   precomputed, so `allows` is a shift-and-mask and "revise `x` against
+//!   `y`" is a word-AND plus popcount,
+//! * per-value **support counts** over the full domains are precomputed,
+//!   giving the value-ordering heuristics an O(1) fast path while domains
+//!   are unpruned,
+//! * live domains become word-packed masks ([`BitDomains`]): forward
+//!   checking is `live &= row`, wipeout detection is a zero test, and
+//!   saving/restoring a domain is a copy of a handful of words.
+//!
+//! [`DomainMask`] is the persistent overlay behind mask-based restricted
+//! views ([`crate::ConstraintNetwork::restricted`]): a tiny sorted list of
+//! `(variable, bit-mask)` entries that the solvers intersect into their
+//! initial live domains.  A domain shard therefore allocates a few words —
+//! never a pair table.
+
+use crate::assignment::Assignment;
+use crate::constraint::BinaryConstraint;
+use crate::network::VarId;
+use std::sync::Arc;
+
+/// Bits per mask word.
+const WORD_BITS: usize = 64;
+
+/// Number of `u64` words needed to hold `bits` bits.
+fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+/// A full mask for `bits` bits, one valid word at a time.
+fn full_word(bits_left: usize) -> u64 {
+    if bits_left >= WORD_BITS {
+        u64::MAX
+    } else {
+        (1u64 << bits_left) - 1
+    }
+}
+
+/// Iterates the set bits of a word slice in ascending order.
+fn for_each_set_bit(words: &[u64], mut f: impl FnMut(usize)) {
+    for (wi, &word) in words.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            f(wi * WORD_BITS + bit);
+            w &= w - 1;
+        }
+    }
+}
+
+/// Collects the set bits of a word slice in ascending order.
+fn set_bits(words: &[u64]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(words.iter().map(|w| w.count_ones() as usize).sum());
+    for_each_set_bit(words, |i| out.push(i));
+    out
+}
+
+/// The per-variable word layout shared by a kernel and every
+/// [`BitDomains`] working set derived from it.
+#[derive(Debug)]
+pub struct DomainShape {
+    /// Domain size of each variable.
+    sizes: Vec<usize>,
+    /// Start word of each variable's mask in the flat word vector.
+    offsets: Vec<usize>,
+    /// Total number of words across all variables.
+    total_words: usize,
+}
+
+impl DomainShape {
+    fn new(sizes: Vec<usize>) -> Self {
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut total = 0usize;
+        for &size in &sizes {
+            offsets.push(total);
+            total += words_for(size);
+        }
+        DomainShape {
+            sizes,
+            offsets,
+            total_words: total,
+        }
+    }
+
+    fn word_range(&self, var: usize) -> std::ops::Range<usize> {
+        let start = self.offsets[var];
+        start..start + words_for(self.sizes[var])
+    }
+}
+
+/// One constraint compiled to bit-matrices, both orientations precomputed.
+#[derive(Debug)]
+pub struct BitConstraint {
+    first: VarId,
+    second: VarId,
+    second_size: usize,
+    /// Words per `fwd` row (`ceil(second_size / 64)`).
+    fwd_stride: usize,
+    /// Words per `rev` row (`ceil(first_size / 64)`).
+    rev_stride: usize,
+    /// Row `a`: the values of `second` allowed with `first = a`.
+    fwd: Vec<u64>,
+    /// Row `b`: the values of `first` allowed with `second = b`.
+    rev: Vec<u64>,
+    /// Per-value support counts over the *full* domains: `support_fwd[a]`
+    /// is the number of `second` values allowed with `first = a`.
+    support_fwd: Vec<u32>,
+    /// `support_rev[b]` is the number of `first` values allowed with
+    /// `second = b`.
+    support_rev: Vec<u32>,
+}
+
+impl BitConstraint {
+    fn build(constraint: &BinaryConstraint, first_size: usize, second_size: usize) -> Self {
+        let fwd_stride = words_for(second_size).max(1);
+        let rev_stride = words_for(first_size).max(1);
+        let mut fwd = vec![0u64; first_size * fwd_stride];
+        let mut rev = vec![0u64; second_size * rev_stride];
+        let mut support_fwd = vec![0u32; first_size];
+        let mut support_rev = vec![0u32; second_size];
+        for &(a, b) in constraint.allowed_pairs() {
+            fwd[a * fwd_stride + b / WORD_BITS] |= 1 << (b % WORD_BITS);
+            rev[b * rev_stride + a / WORD_BITS] |= 1 << (a % WORD_BITS);
+            support_fwd[a] += 1;
+            support_rev[b] += 1;
+        }
+        BitConstraint {
+            first: constraint.first(),
+            second: constraint.second(),
+            second_size,
+            fwd_stride,
+            rev_stride,
+            fwd,
+            rev,
+            support_fwd,
+            support_rev,
+        }
+    }
+
+    /// The first endpoint.
+    pub fn first(&self) -> VarId {
+        self.first
+    }
+
+    /// The second endpoint.
+    pub fn second(&self) -> VarId {
+        self.second
+    }
+
+    /// The support row of `value` of the endpoint selected by
+    /// `var_is_first`: the set bits are the values of the *other* endpoint
+    /// compatible with it.
+    pub fn row(&self, var_is_first: bool, value: usize) -> &[u64] {
+        if var_is_first {
+            &self.fwd[value * self.fwd_stride..(value + 1) * self.fwd_stride]
+        } else {
+            &self.rev[value * self.rev_stride..(value + 1) * self.rev_stride]
+        }
+    }
+
+    /// Whether the pair `(a, b)` (oriented `first → second`) is allowed.
+    pub fn allows(&self, a: usize, b: usize) -> bool {
+        debug_assert!(b < self.second_size);
+        self.fwd[a * self.fwd_stride + b / WORD_BITS] >> (b % WORD_BITS) & 1 == 1
+    }
+
+    /// The number of values of the *other* endpoint supporting `value` of
+    /// the endpoint selected by `var_is_first`, over the full domain.
+    pub fn full_support(&self, var_is_first: bool, value: usize) -> u32 {
+        if var_is_first {
+            self.support_fwd[value]
+        } else {
+            self.support_rev[value]
+        }
+    }
+}
+
+/// One entry of a variable's kernel adjacency list: the constraint, the
+/// neighbour it leads to, and the orientation of this variable in it.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelEdge {
+    /// Index of the constraint (same indexing as the network's constraint
+    /// list).
+    pub constraint: usize,
+    /// The other endpoint.
+    pub other: VarId,
+    /// Whether the variable owning this adjacency list is the constraint's
+    /// `first` endpoint.
+    pub var_is_first: bool,
+}
+
+/// The compiled execution form of a constraint network: bit-matrix
+/// constraints, per-value support counts and the word layout of the live
+/// domains.
+///
+/// Built once per [`crate::NetworkStorage`] (see
+/// [`crate::ConstraintNetwork::kernel`]) and shared by every clone and
+/// restricted view of the network.
+#[derive(Debug)]
+pub struct BitKernel {
+    shape: Arc<DomainShape>,
+    constraints: Vec<BitConstraint>,
+    adjacency: Vec<Vec<KernelEdge>>,
+}
+
+impl BitKernel {
+    /// Compiles a kernel from the storage-level tables.
+    pub(crate) fn build(
+        domain_sizes: Vec<usize>,
+        constraints: &[Arc<BinaryConstraint>],
+        adjacency: &[Vec<usize>],
+    ) -> Self {
+        let compiled: Vec<BitConstraint> = constraints
+            .iter()
+            .map(|c| {
+                BitConstraint::build(
+                    c,
+                    domain_sizes[c.first().index()],
+                    domain_sizes[c.second().index()],
+                )
+            })
+            .collect();
+        // The kernel adjacency mirrors the network's per-variable constraint
+        // lists (same order), with the orientation resolved once.
+        let edges: Vec<Vec<KernelEdge>> = adjacency
+            .iter()
+            .enumerate()
+            .map(|(v, list)| {
+                list.iter()
+                    .map(|&ci| {
+                        let c = &compiled[ci];
+                        let var_is_first = c.first().index() == v;
+                        KernelEdge {
+                            constraint: ci,
+                            other: if var_is_first { c.second() } else { c.first() },
+                            var_is_first,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        BitKernel {
+            shape: Arc::new(DomainShape::new(domain_sizes)),
+            constraints: compiled,
+            adjacency: edges,
+        }
+    }
+
+    /// Number of variables.
+    pub fn variable_count(&self) -> usize {
+        self.shape.sizes.len()
+    }
+
+    /// Full domain size of a variable.
+    pub fn domain_size(&self, var: VarId) -> usize {
+        self.shape.sizes[var.index()]
+    }
+
+    /// Number of constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The compiled constraint at `index` (same indexing as
+    /// [`crate::ConstraintNetwork::constraints`]).
+    pub fn constraint(&self, index: usize) -> &BitConstraint {
+        &self.constraints[index]
+    }
+
+    /// The kernel adjacency of `var`: one edge per constraint involving it,
+    /// in the network's adjacency order.
+    pub fn edges(&self, var: VarId) -> &[KernelEdge] {
+        &self.adjacency[var.index()]
+    }
+
+    /// Whether constraint `ci` allows `var = value` together with
+    /// `other = other_value` (`var` may be either endpoint).
+    pub fn allows(&self, ci: usize, var: VarId, value: usize, other_value: usize) -> bool {
+        let c = &self.constraints[ci];
+        if var == c.first {
+            c.allows(value, other_value)
+        } else {
+            c.allows(other_value, value)
+        }
+    }
+
+    /// Whether assigning `value` to `var` violates some constraint against
+    /// an already-assigned variable (early exit on the first conflict; one
+    /// consistency check is counted per probed neighbour).
+    pub fn conflicts_any(
+        &self,
+        assignment: &Assignment,
+        var: VarId,
+        value: usize,
+        checks: &mut u64,
+    ) -> bool {
+        for edge in self.edges(var) {
+            if let Some(other_value) = assignment.get(edge.other) {
+                *checks += 1;
+                let c = &self.constraints[edge.constraint];
+                let allowed = if edge.var_is_first {
+                    c.allows(value, other_value)
+                } else {
+                    c.allows(other_value, value)
+                };
+                if !allowed {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// The consistent-partial-instantiation test in conflict-set form:
+    /// appends every already-assigned variable whose constraint rejects
+    /// `var = value` to `conflicts` (no early exit — backjumping needs the
+    /// full set); counts one consistency check per probed neighbour.
+    pub fn collect_conflicts(
+        &self,
+        assignment: &Assignment,
+        var: VarId,
+        value: usize,
+        checks: &mut u64,
+        conflicts: &mut Vec<VarId>,
+    ) {
+        for edge in self.edges(var) {
+            if let Some(other_value) = assignment.get(edge.other) {
+                *checks += 1;
+                let c = &self.constraints[edge.constraint];
+                let allowed = if edge.var_is_first {
+                    c.allows(value, other_value)
+                } else {
+                    c.allows(other_value, value)
+                };
+                if !allowed {
+                    conflicts.push(edge.other);
+                }
+            }
+        }
+    }
+
+    /// A fresh live-domain working set with every value of every variable
+    /// present.
+    pub fn full_domains(&self) -> BitDomains {
+        let mut words = vec![0u64; self.shape.total_words];
+        for (v, &size) in self.shape.sizes.iter().enumerate() {
+            let range = self.shape.word_range(v);
+            let mut left = size;
+            for w in &mut words[range] {
+                *w = full_word(left);
+                left = left.saturating_sub(WORD_BITS);
+            }
+        }
+        BitDomains {
+            shape: Arc::clone(&self.shape),
+            words,
+        }
+    }
+
+    /// [`BitKernel::full_domains`] with an optional [`DomainMask`] overlay
+    /// already intersected in — the starting point of every solver run on a
+    /// (possibly restricted) network.
+    pub fn masked_domains(&self, mask: Option<&DomainMask>) -> BitDomains {
+        let mut domains = self.full_domains();
+        if let Some(mask) = mask {
+            mask.apply(&mut domains);
+        }
+        domains
+    }
+}
+
+/// Word-packed live domains: one bit per (variable, value-index), the
+/// working set every kernel-based solver prunes and restores.
+#[derive(Debug, Clone)]
+pub struct BitDomains {
+    shape: Arc<DomainShape>,
+    words: Vec<u64>,
+}
+
+impl BitDomains {
+    /// The live-value words of `var`.
+    pub fn words(&self, var: VarId) -> &[u64] {
+        &self.words[self.shape.word_range(var.index())]
+    }
+
+    /// Number of live values of `var`.
+    pub fn count(&self, var: VarId) -> usize {
+        self.words(var)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `var` has no live value left (a wipeout).
+    pub fn is_empty(&self, var: VarId) -> bool {
+        self.words(var).iter().all(|&w| w == 0)
+    }
+
+    /// Whether value `index` of `var` is live.
+    pub fn contains(&self, var: VarId, index: usize) -> bool {
+        let words = self.words(var);
+        index < self.shape.sizes[var.index()]
+            && words[index / WORD_BITS] >> (index % WORD_BITS) & 1 == 1
+    }
+
+    /// Removes value `index` of `var`; returns whether it was live.
+    pub fn remove(&mut self, var: VarId, index: usize) -> bool {
+        let range = self.shape.word_range(var.index());
+        let word = &mut self.words[range][index / WORD_BITS];
+        let bit = 1u64 << (index % WORD_BITS);
+        let was = *word & bit != 0;
+        *word &= !bit;
+        was
+    }
+
+    /// The live values of `var` in ascending index order.
+    pub fn live_values(&self, var: VarId) -> Vec<usize> {
+        set_bits(self.words(var))
+    }
+
+    /// Calls `f` for every live value of `var` in ascending index order.
+    pub fn for_each_live(&self, var: VarId, f: impl FnMut(usize)) {
+        for_each_set_bit(self.words(var), f);
+    }
+
+    /// Copies out the live-word snapshot of `var` (for save/restore around
+    /// forward checking).
+    pub fn save(&self, var: VarId) -> Vec<u64> {
+        self.words(var).to_vec()
+    }
+
+    /// Restores a snapshot taken by [`BitDomains::save`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot width does not match the variable.
+    pub fn restore(&mut self, var: VarId, saved: &[u64]) {
+        let range = self.shape.word_range(var.index());
+        self.words[range].copy_from_slice(saved);
+    }
+
+    /// How many live values of `var` the row `row` would remove
+    /// (`live & !row`), without modifying anything.
+    pub fn would_remove(&self, var: VarId, row: &[u64]) -> usize {
+        self.words(var)
+            .iter()
+            .zip(row)
+            .map(|(&w, &r)| (w & !r).count_ones() as usize)
+            .sum()
+    }
+
+    /// Intersects the live values of `var` with `row` (`live &= row`);
+    /// returns how many values were removed.
+    pub fn intersect(&mut self, var: VarId, row: &[u64]) -> usize {
+        let range = self.shape.word_range(var.index());
+        let mut removed = 0usize;
+        for (w, &r) in self.words[range].iter_mut().zip(row) {
+            removed += (*w & !r).count_ones() as usize;
+            *w &= r;
+        }
+        removed
+    }
+
+    /// Whether `row` has at least one bit in common with the live values of
+    /// `var` — the bitset form of "does this value still have support?".
+    pub fn intersects(&self, var: VarId, row: &[u64]) -> bool {
+        self.words(var).iter().zip(row).any(|(&w, &r)| w & r != 0)
+    }
+
+    /// Calls `f` for every live value of `var` that is also set in `row`,
+    /// in ascending index order.
+    pub fn for_each_common(&self, var: VarId, row: &[u64], mut f: impl FnMut(usize)) {
+        for (wi, (&w, &r)) in self.words(var).iter().zip(row).enumerate() {
+            let mut common = w & r;
+            while common != 0 {
+                let bit = common.trailing_zeros() as usize;
+                f(wi * WORD_BITS + bit);
+                common &= common - 1;
+            }
+        }
+    }
+
+    /// Popcount of `live(var) & row` — the number of live supports.
+    pub fn intersection_count(&self, var: VarId, row: &[u64]) -> usize {
+        self.words(var)
+            .iter()
+            .zip(row)
+            .map(|(&w, &r)| (w & r).count_ones() as usize)
+            .sum()
+    }
+
+    /// Restricts `var` to the given value indices (everything else is
+    /// removed; indices outside the current live set stay dead).
+    pub fn restrict_to(&mut self, var: VarId, keep: &[usize]) {
+        let range = self.shape.word_range(var.index());
+        let words = &mut self.words[range];
+        let mut mask = vec![0u64; words.len()];
+        for &index in keep {
+            mask[index / WORD_BITS] |= 1 << (index % WORD_BITS);
+        }
+        for (w, m) in words.iter_mut().zip(mask) {
+            *w &= m;
+        }
+    }
+}
+
+/// One masked variable of a [`DomainMask`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MaskEntry {
+    var: usize,
+    /// Live-value words (`ceil(domain_size / 64)` of them).
+    words: Box<[u64]>,
+    /// Popcount of `words`, cached.
+    live: usize,
+}
+
+/// A sparse live-domain overlay: the entire state of a mask-based
+/// restricted view.
+///
+/// Only restricted variables have entries (a variable without one is fully
+/// live), so a single-variable domain shard is one entry of a few words —
+/// independent of how many pair entries the network's constraints hold.
+/// Value indices are *original* domain indices: a mask never remaps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DomainMask {
+    /// Sorted by variable index.
+    entries: Vec<MaskEntry>,
+}
+
+impl DomainMask {
+    /// A mask restricting nothing.
+    pub fn new() -> Self {
+        DomainMask::default()
+    }
+
+    /// Whether no variable is restricted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The variables this mask restricts, in ascending order.
+    pub fn masked_variables(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.entries.iter().map(|e| VarId::new(e.var))
+    }
+
+    fn entry(&self, var: usize) -> Option<&MaskEntry> {
+        self.entries
+            .binary_search_by_key(&var, |e| e.var)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Intersects the mask of `var` (domain size `domain_size`) with the
+    /// set of `keep` indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending index when `keep` mentions an index outside
+    /// the domain or mentions the same index twice.
+    pub fn restrict(
+        &mut self,
+        var: VarId,
+        domain_size: usize,
+        keep: &[usize],
+    ) -> Result<(), usize> {
+        let width = words_for(domain_size).max(1);
+        let mut words = vec![0u64; width].into_boxed_slice();
+        for &index in keep {
+            if index >= domain_size {
+                return Err(index);
+            }
+            let bit = 1u64 << (index % WORD_BITS);
+            if words[index / WORD_BITS] & bit != 0 {
+                return Err(index);
+            }
+            words[index / WORD_BITS] |= bit;
+        }
+        match self.entries.binary_search_by_key(&var.index(), |e| e.var) {
+            Ok(i) => {
+                let entry = &mut self.entries[i];
+                for (w, &k) in entry.words.iter_mut().zip(words.iter()) {
+                    *w &= k;
+                }
+                entry.live = entry.words.iter().map(|w| w.count_ones() as usize).sum();
+            }
+            Err(i) => {
+                let live = words.iter().map(|w| w.count_ones() as usize).sum();
+                self.entries.insert(
+                    i,
+                    MaskEntry {
+                        var: var.index(),
+                        words,
+                        live,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of live values of `var`, given its full domain size.
+    pub fn live_count(&self, var: VarId, domain_size: usize) -> usize {
+        self.entry(var.index()).map_or(domain_size, |e| e.live)
+    }
+
+    /// Whether value `index` of `var` is live under this mask.
+    pub fn is_live(&self, var: VarId, index: usize) -> bool {
+        match self.entry(var.index()) {
+            Some(e) => e.words[index / WORD_BITS] >> (index % WORD_BITS) & 1 == 1,
+            None => true,
+        }
+    }
+
+    /// The live values of `var` in ascending index order, given its full
+    /// domain size.
+    pub fn live_values(&self, var: VarId, domain_size: usize) -> Vec<usize> {
+        match self.entry(var.index()) {
+            Some(e) => set_bits(&e.words),
+            None => (0..domain_size).collect(),
+        }
+    }
+
+    /// Intersects this mask into a live-domain working set.
+    pub fn apply(&self, domains: &mut BitDomains) {
+        for entry in &self.entries {
+            domains.intersect(VarId::new(entry.var), &entry.words);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn constraint(pairs: &[(usize, usize)]) -> BinaryConstraint {
+        BinaryConstraint::new(
+            VarId::new(0),
+            VarId::new(1),
+            pairs.iter().copied().collect::<HashSet<_>>(),
+        )
+    }
+
+    fn kernel_2x(sizes: (usize, usize), pairs: &[(usize, usize)]) -> BitKernel {
+        let c = Arc::new(constraint(pairs));
+        BitKernel::build(
+            vec![sizes.0, sizes.1],
+            std::slice::from_ref(&c),
+            &[vec![0], vec![0]],
+        )
+    }
+
+    #[test]
+    fn bit_constraint_matches_pairs_in_both_orientations() {
+        let kernel = kernel_2x((3, 2), &[(0, 1), (1, 0), (2, 1)]);
+        let c = kernel.constraint(0);
+        assert!(c.allows(0, 1));
+        assert!(!c.allows(0, 0));
+        assert!(c.allows(2, 1));
+        assert!(kernel.allows(0, VarId::new(0), 1, 0));
+        assert!(kernel.allows(0, VarId::new(1), 0, 1));
+        assert!(!kernel.allows(0, VarId::new(1), 1, 1));
+        // Rows agree with the pair list.
+        assert_eq!(set_bits(c.row(true, 0)), vec![1]);
+        assert_eq!(set_bits(c.row(false, 1)), vec![0, 2]);
+        // Full-domain support counts.
+        assert_eq!(c.full_support(true, 0), 1);
+        assert_eq!(c.full_support(false, 1), 2);
+        assert_eq!(c.full_support(false, 0), 1);
+    }
+
+    #[test]
+    fn full_domains_round_trip_and_prune() {
+        let kernel = kernel_2x((70, 3), &[(0, 0)]);
+        let mut live = kernel.full_domains();
+        let a = VarId::new(0);
+        assert_eq!(live.count(a), 70);
+        assert!(live.contains(a, 69));
+        assert!(!live.contains(a, 70));
+        assert!(live.remove(a, 69));
+        assert!(!live.remove(a, 69));
+        assert_eq!(live.count(a), 69);
+        let saved = live.save(a);
+        live.restrict_to(a, &[1, 5, 64]);
+        assert_eq!(live.live_values(a), vec![1, 5, 64]);
+        live.restore(a, &saved);
+        assert_eq!(live.count(a), 69);
+    }
+
+    #[test]
+    fn intersect_counts_removals() {
+        let kernel = kernel_2x((5, 5), &[(0, 0), (1, 1), (4, 4)]);
+        let mut live = kernel.full_domains();
+        let b = VarId::new(1);
+        // Row of first=0 supports only second=0.
+        let row: Vec<u64> = kernel.constraint(0).row(true, 0).to_vec();
+        assert_eq!(live.would_remove(b, &row), 4);
+        assert!(live.intersects(b, &row));
+        assert_eq!(live.intersection_count(b, &row), 1);
+        assert_eq!(live.intersect(b, &row), 4);
+        assert_eq!(live.live_values(b), vec![0]);
+        assert!(!live.is_empty(b));
+        let empty_row = vec![0u64; row.len()];
+        live.intersect(b, &empty_row);
+        assert!(live.is_empty(b));
+    }
+
+    #[test]
+    fn domain_mask_restricts_and_intersects() {
+        let mut mask = DomainMask::new();
+        assert!(mask.is_empty());
+        let v = VarId::new(0);
+        mask.restrict(v, 5, &[0, 3, 4]).unwrap();
+        assert_eq!(mask.live_count(v, 5), 3);
+        assert!(mask.is_live(v, 3));
+        assert!(!mask.is_live(v, 1));
+        // A second restriction intersects.
+        mask.restrict(v, 5, &[3, 1]).unwrap();
+        assert_eq!(mask.live_values(v, 5), vec![3]);
+        // Unmasked variables are fully live.
+        assert_eq!(mask.live_values(VarId::new(1), 2), vec![0, 1]);
+        assert_eq!(mask.masked_variables().collect::<Vec<_>>(), vec![v]);
+        // Errors: out of range and duplicates.
+        assert_eq!(mask.restrict(v, 5, &[9]), Err(9));
+        assert_eq!(mask.restrict(v, 5, &[2, 2]), Err(2));
+    }
+
+    #[test]
+    fn mask_applies_to_domains() {
+        let kernel = kernel_2x((4, 3), &[(0, 0)]);
+        let mut mask = DomainMask::new();
+        mask.restrict(VarId::new(0), 4, &[1, 2]).unwrap();
+        let live = kernel.masked_domains(Some(&mask));
+        assert_eq!(live.live_values(VarId::new(0)), vec![1, 2]);
+        assert_eq!(live.count(VarId::new(1)), 3);
+        let unmasked = kernel.masked_domains(None);
+        assert_eq!(unmasked.count(VarId::new(0)), 4);
+    }
+}

@@ -25,6 +25,9 @@
 //!   managed worker pool, with thread-count-independent results,
 //! * [`weighted`] — weighted constraint networks solved with branch and
 //!   bound (the paper's "give weights to constraints" future direction),
+//! * [`bitset`] — the word-packed execution kernel every solver hot path
+//!   runs on: per-constraint bit-matrices, per-value support counts and
+//!   mask-based domain restriction (allocation-free domain shards),
 //! * [`random`] — reproducible random-network generators for tests and
 //!   scaling benchmarks.
 //!
@@ -63,6 +66,7 @@
 
 pub mod analysis;
 pub mod assignment;
+pub mod bitset;
 pub mod constraint;
 pub mod domain;
 pub mod network;
@@ -72,6 +76,7 @@ pub mod weighted;
 
 pub use analysis::NetworkProfile;
 pub use assignment::{Assignment, Solution};
+pub use bitset::{BitConstraint, BitDomains, BitKernel, DomainMask, KernelEdge};
 pub use constraint::BinaryConstraint;
 pub use domain::Domain;
 pub use network::{ConstraintNetwork, NetworkStorage, VarId};

@@ -12,22 +12,34 @@
 //! batch sessions cache one network per program, without any per-solve
 //! cloning.
 //!
-//! [`ConstraintNetwork::restricted`] produces a *view*, not a copy: the
-//! restricted network shares the name table, the adjacency table, every
-//! untouched domain and every constraint that does not involve the
-//! restricted variable with its parent.  Only the restricted variable's
-//! domain and the constraints adjacent to it are materialized.  Domain
-//! sharding — the portfolio's space-partitioning primitive — therefore costs
-//! `O(vars + constraints)` pointer copies plus the handful of rebuilt
-//! tables, independent of the total pair-table volume.
+//! [`ConstraintNetwork::restricted`] produces a **mask-based view**: the
+//! restricted network shares the *entire* storage with its parent — every
+//! name, domain, constraint and adjacency table, by pointer — plus a tiny
+//! [`DomainMask`] overlay recording which value indices are live.  Nothing
+//! is remapped: a restricted view keeps the original domain indices (dead
+//! ones simply never appear in solver iterations), so domain sharding — the
+//! portfolio's space-partitioning primitive — allocates a few mask words
+//! per split and **zero pair entries**, independent of the pair-table
+//! volume.
+//!
+//! # The execution kernel
+//!
+//! Solvers do not probe the `HashSet` pair tables: the network lazily
+//! compiles itself into a [`BitKernel`] (word-packed bit-matrices plus
+//! per-value support counts, see [`crate::bitset`]) cached inside the
+//! shared storage.  Clones, restricted views and session-cached networks
+//! all reuse the identical kernel (`Arc::ptr_eq`-verifiable through
+//! [`ConstraintNetwork::kernel`]); any copy-on-write mutation invalidates
+//! it, and the next solve recompiles.
 
 use crate::assignment::Assignment;
+use crate::bitset::{BitKernel, DomainMask};
 use crate::constraint::BinaryConstraint;
 use crate::domain::Domain;
 use crate::{CspError, Value};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Identifies a variable of a [`ConstraintNetwork`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
@@ -65,13 +77,16 @@ impl From<usize> for VarId {
 /// [`ConstraintNetwork::shares_storage`] can assert wholesale sharing), and
 /// each domain / constraint table is individually `Arc`'d (so restricted
 /// views share every entry the restriction does not touch).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct NetworkStorage<V> {
     names: Arc<Vec<String>>,
     domains: Vec<Arc<Domain<V>>>,
     constraints: Vec<Arc<BinaryConstraint>>,
     /// For each variable, the indices of the constraints that involve it.
     adjacency: Arc<Vec<Vec<usize>>>,
+    /// The compiled execution form (see [`crate::bitset`]), built lazily at
+    /// most once per storage and shared by every handle over it.
+    kernel: OnceLock<Arc<BitKernel>>,
 }
 
 impl<V> NetworkStorage<V> {
@@ -81,6 +96,22 @@ impl<V> NetworkStorage<V> {
             domains: Vec::new(),
             constraints: Vec::new(),
             adjacency: Arc::new(Vec::new()),
+            kernel: OnceLock::new(),
+        }
+    }
+}
+
+impl<V: Clone> Clone for NetworkStorage<V> {
+    fn clone(&self) -> Self {
+        // Cloning storage only happens on the copy-on-write path (a handle
+        // about to be mutated): the fork must not inherit a kernel compiled
+        // from tables it is about to change.
+        NetworkStorage {
+            names: Arc::clone(&self.names),
+            domains: self.domains.clone(),
+            constraints: self.constraints.clone(),
+            adjacency: Arc::clone(&self.adjacency),
+            kernel: OnceLock::new(),
         }
     }
 }
@@ -93,6 +124,9 @@ impl<V> NetworkStorage<V> {
 #[derive(Debug, Clone)]
 pub struct ConstraintNetwork<V> {
     storage: Arc<NetworkStorage<V>>,
+    /// Live-domain overlay of a restricted view (`None` = every value of
+    /// every domain is live).
+    mask: Option<Arc<DomainMask>>,
 }
 
 impl<V: Value> Default for ConstraintNetwork<V> {
@@ -106,6 +140,7 @@ impl<V: Value> ConstraintNetwork<V> {
     pub fn new() -> Self {
         ConstraintNetwork {
             storage: Arc::new(NetworkStorage::empty()),
+            mask: None,
         }
     }
 
@@ -119,7 +154,9 @@ impl<V: Value> ConstraintNetwork<V> {
     }
 
     /// Whether `self` and `other` share their entire storage (the
-    /// post-clone state — no table was copied).
+    /// post-clone state — no table was copied).  Restricted views share
+    /// storage with their parent too: only their
+    /// [`ConstraintNetwork::mask`] differs.
     pub fn shares_storage(&self, other: &Self) -> bool {
         Arc::ptr_eq(&self.storage, &other.storage)
     }
@@ -147,8 +184,75 @@ impl<V: Value> ConstraintNetwork<V> {
     /// Copy-on-write access to the storage: in-place while unique, a
     /// private copy (of the `Arc` spine only — the tables themselves are
     /// still shared until individually touched) once the storage is shared.
+    ///
+    /// Any mutation invalidates the cached execution kernel: the next
+    /// solver run recompiles it from the updated tables.
     fn storage_mut(&mut self) -> &mut NetworkStorage<V> {
-        Arc::make_mut(&mut self.storage)
+        let storage = Arc::make_mut(&mut self.storage);
+        storage.kernel.take();
+        storage
+    }
+
+    /// The compiled execution kernel of this network (word-packed
+    /// bit-matrices and support counts, see [`crate::bitset`]), building it
+    /// on first use and caching it inside the shared storage.
+    ///
+    /// Every handle over the same storage — clones, restricted views,
+    /// session-cached networks — returns the *same* `Arc` (verify with
+    /// `Arc::ptr_eq`); a restricted view differs from its parent only in
+    /// its [`ConstraintNetwork::mask`].
+    pub fn kernel(&self) -> &Arc<BitKernel> {
+        self.storage.kernel.get_or_init(|| {
+            Arc::new(BitKernel::build(
+                self.storage.domains.iter().map(|d| d.len()).collect(),
+                &self.storage.constraints,
+                &self.storage.adjacency,
+            ))
+        })
+    }
+
+    /// The live-domain mask of a restricted view (`None` when every value
+    /// is live — the network is not a restriction).
+    pub fn mask(&self) -> Option<&Arc<DomainMask>> {
+        self.mask.as_ref()
+    }
+
+    /// Number of *live* values of `var`: the full domain size unless a
+    /// restriction masked some values off.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn live_count(&self, var: VarId) -> usize {
+        let full = self.storage.domains[var.index()].len();
+        match &self.mask {
+            Some(mask) => mask.live_count(var, full),
+            None => full,
+        }
+    }
+
+    /// The live value indices of `var` in ascending order (original domain
+    /// indices — masks never remap).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn live_values(&self, var: VarId) -> Vec<usize> {
+        let full = self.storage.domains[var.index()].len();
+        match &self.mask {
+            Some(mask) => mask.live_values(var, full),
+            None => (0..full).collect(),
+        }
+    }
+
+    /// Whether value `index` of `var` is live under this network's mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn is_live(&self, var: VarId, index: usize) -> bool {
+        index < self.storage.domains[var.index()].len()
+            && self.mask.as_ref().is_none_or(|m| m.is_live(var, index))
     }
 
     /// Adds a variable with the given name and domain values; returns its id.
@@ -358,18 +462,16 @@ impl<V: Value> ConstraintNetwork<V> {
     }
 
     /// The total search-space measure the paper's Table 1 calls *domain
-    /// size*: the sum of the domain sizes of all variables.
+    /// size*: the sum of the (live) domain sizes of all variables.
     pub fn total_domain_size(&self) -> usize {
-        self.storage.domains.iter().map(|d| d.len()).sum()
+        self.variables().map(|v| self.live_count(v)).sum()
     }
 
-    /// The number of leaves of the naive search tree (product of domain
-    /// sizes), as `f64` because it overflows quickly.
+    /// The number of leaves of the naive search tree (product of live
+    /// domain sizes), as `f64` because it overflows quickly.
     pub fn search_space_size(&self) -> f64 {
-        self.storage
-            .domains
-            .iter()
-            .map(|d| d.len() as f64)
+        self.variables()
+            .map(|v| self.live_count(v) as f64)
             .product()
     }
 
@@ -424,6 +526,11 @@ impl<V: Value> ConstraintNetwork<V> {
                     domain_size: self.domain(var).len(),
                 });
             }
+            // A masked-off value can never be part of a solution of the
+            // restricted view.
+            if !self.is_live(var, value) {
+                return Ok(false);
+            }
         }
         for c in &self.storage.constraints {
             let a = assignment.get(c.first()).expect("complete");
@@ -435,81 +542,51 @@ impl<V: Value> ConstraintNetwork<V> {
         Ok(true)
     }
 
-    /// Builds a lightweight *view* of the network with the domain of `var`
-    /// restricted to the given value indices (in the given order).
+    /// Builds a **mask-based view** of the network with the domain of `var`
+    /// restricted to the given value indices.
     ///
-    /// Constraints keep their indices and orientation; allowed pairs whose
-    /// `var` side was dropped disappear (a constraint may end up empty,
-    /// making the restricted network trivially unsatisfiable).  This is the
-    /// sharding primitive of the portfolio solver: partitioning one
-    /// variable's domain across restricted views partitions the whole
-    /// search space.
+    /// The view shares the *entire* storage with `self` — every domain,
+    /// constraint and adjacency table, and the compiled
+    /// [`ConstraintNetwork::kernel`] — and carries only a small
+    /// [`DomainMask`] overlay.  No pair entry is copied or remapped:
+    /// **value indices are preserved**, so `keep` is treated as a set (its
+    /// order is irrelevant) of original domain indices, and solutions of
+    /// the view report the same indices the parent would.  Restricting an
+    /// already-restricted view intersects the masks (again in original
+    /// indices).  This is the sharding primitive of the portfolio solver:
+    /// partitioning one variable's live values across views partitions the
+    /// whole search space at the cost of a few mask words per shard.
     ///
-    /// The view shares storage with `self` wherever the restriction changes
-    /// nothing: names, adjacency, every other variable's domain and every
-    /// constraint not involving `var` are the *same* `Arc`'d tables
-    /// (verifiable through [`ConstraintNetwork::domain_handle`] /
-    /// [`ConstraintNetwork::constraint_handle`]).  A restriction that keeps
-    /// the full domain in order shares everything —
-    /// [`ConstraintNetwork::shares_storage`] returns `true`.
+    /// A restriction that keeps the full domain returns a plain clone
+    /// ([`ConstraintNetwork::mask`] stays `None`).
     ///
     /// # Errors
     ///
     /// * [`CspError::UnknownVariable`] when `var` is out of range,
     /// * [`CspError::ValueIndexOutOfRange`] when `keep` mentions an index
     ///   outside the domain of `var`, or mentions the same index twice (a
-    ///   duplicate would silently leave one domain copy unsupported).
+    ///   duplicate usually indicates a buggy shard split).
     pub fn restricted(&self, var: VarId, keep: &[usize]) -> crate::Result<ConstraintNetwork<V>> {
         self.check_var(var)?;
-        let storage = &*self.storage;
-        let base_domain = &storage.domains[var.index()];
-        let domain_size = base_domain.len();
-        // Old index -> new index of the restricted variable's domain.
-        let mut remap: HashMap<usize, usize> = HashMap::with_capacity(keep.len());
-        for (new, &old) in keep.iter().enumerate() {
-            if old >= domain_size || remap.insert(old, new).is_some() {
-                return Err(CspError::ValueIndexOutOfRange {
-                    variable: var,
-                    index: old,
-                    domain_size,
-                });
-            }
-        }
-        // The identity restriction changes nothing: share everything.
-        if keep.len() == domain_size && keep.iter().enumerate().all(|(new, &old)| new == old) {
+        let domain_size = self.storage.domains[var.index()].len();
+        let mut mask = match &self.mask {
+            Some(existing) => (**existing).clone(),
+            None => DomainMask::new(),
+        };
+        mask.restrict(var, domain_size, keep)
+            .map_err(|index| CspError::ValueIndexOutOfRange {
+                variable: var,
+                index,
+                domain_size,
+            })?;
+        // The identity restriction changes nothing: stay mask-free (or keep
+        // the existing mask untouched).
+        if keep.len() == domain_size && self.mask.is_none() {
             return Ok(self.clone());
         }
-        // Materialize only the restricted domain and the touched
-        // constraints; share every other table with the parent.
-        let mut domains = storage.domains.clone();
-        domains[var.index()] = Arc::new(Domain::new(
-            keep.iter().map(|&i| base_domain.value(i).clone()).collect(),
-        ));
-        let mut constraints = storage.constraints.clone();
-        for &ci in &storage.adjacency[var.index()] {
-            let c = &storage.constraints[ci];
-            let pairs: HashSet<(usize, usize)> = c
-                .allowed_pairs()
-                .iter()
-                .filter_map(|&(a, b)| {
-                    let a = if c.first() == var { *remap.get(&a)? } else { a };
-                    let b = if c.second() == var {
-                        *remap.get(&b)?
-                    } else {
-                        b
-                    };
-                    Some((a, b))
-                })
-                .collect();
-            constraints[ci] = Arc::new(BinaryConstraint::new(c.first(), c.second(), pairs));
-        }
         Ok(ConstraintNetwork {
-            storage: Arc::new(NetworkStorage {
-                names: Arc::clone(&storage.names),
-                domains,
-                constraints,
-                adjacency: Arc::clone(&storage.adjacency),
-            }),
+            storage: Arc::clone(&self.storage),
+            mask: Some(Arc::new(mask)),
         })
     }
 
@@ -665,13 +742,25 @@ mod tests {
         let (net, vars) = paper_network();
         // Restricting Q1 to its first value keeps the published solution.
         let shard = net.restricted(vars[0], &[0]).unwrap();
-        assert_eq!(shard.domain(vars[0]).len(), 1);
+        assert_eq!(shard.live_count(vars[0]), 1);
+        assert_eq!(shard.live_values(vars[0]), vec![0]);
+        assert!(shard.is_live(vars[0], 0));
+        assert!(!shard.is_live(vars[0], 1));
         assert_eq!(shard.constraint_count(), net.constraint_count());
+        // The full domain is still addressable — masks never remap — and
+        // the pair tables are untouched.
+        assert_eq!(shard.domain(vars[0]).len(), 3);
         assert_eq!(shard.domain(vars[0]).value(0), &(1, 0));
-        // Q1-(1 0) pairs survive with remapped indices; others are gone.
         let c = shard.constraint_between(vars[0], vars[1]).unwrap();
-        assert_eq!(c.pair_count(), 1);
+        assert_eq!(c.pair_count(), 2);
         assert!(c.allows(vars[0], 0, vars[1], 1));
+        // Search-space measures follow the live counts.
+        assert_eq!(shard.total_domain_size(), 1 + 2 + 3 + 3);
+        assert_eq!(shard.search_space_size(), 18.0);
+        // Restricting a view intersects masks (original indices).
+        let narrower = shard.restricted(vars[1], &[1]).unwrap();
+        assert_eq!(narrower.live_values(vars[0]), vec![0]);
+        assert_eq!(narrower.live_values(vars[1]), vec![1]);
         // Out-of-range and duplicate restrictions are rejected.
         assert!(matches!(
             net.restricted(vars[0], &[9]),
@@ -685,6 +774,21 @@ mod tests {
             net.restricted(VarId::new(99), &[0]),
             Err(CspError::UnknownVariable(_))
         ));
+    }
+
+    #[test]
+    fn masked_solutions_respect_the_mask() {
+        let (net, vars) = paper_network();
+        // The published solution assigns Q1 = index 0; masking index 0 off
+        // makes that assignment a non-solution of the view.
+        let shard = net.restricted(vars[0], &[1, 2]).unwrap();
+        let mut asg = Assignment::new(4);
+        asg.assign(vars[0], 0);
+        asg.assign(vars[1], 1);
+        asg.assign(vars[2], 0);
+        asg.assign(vars[3], 0);
+        assert_eq!(net.is_solution(&asg), Ok(true));
+        assert_eq!(shard.is_solution(&asg), Ok(false));
     }
 
     #[test]
@@ -712,31 +816,62 @@ mod tests {
     }
 
     #[test]
-    fn restricted_views_share_untouched_tables() {
+    fn restricted_views_share_all_tables_and_the_kernel() {
         let (net, vars) = paper_network();
+        let parent_kernel = Arc::clone(net.kernel());
         let shard = net.restricted(vars[0], &[0, 1]).unwrap();
-        assert!(!shard.shares_storage(&net));
-        // Every other variable's domain is the same Arc'd table.
-        for &v in &vars[1..] {
+        // A mask-based view shares the whole storage: every domain table,
+        // every constraint table, and the compiled kernel.
+        assert!(shard.shares_storage(&net));
+        for &v in &vars {
             assert!(Arc::ptr_eq(net.domain_handle(v), shard.domain_handle(v)));
         }
-        assert!(!Arc::ptr_eq(
-            net.domain_handle(vars[0]),
-            shard.domain_handle(vars[0])
-        ));
-        // Constraints not involving Q1 are shared; the touched ones are not.
         for ci in 0..net.constraint_count() {
-            let touches = net.constraint(ci).involves(vars[0]);
-            assert_eq!(
-                !touches,
-                Arc::ptr_eq(net.constraint_handle(ci), shard.constraint_handle(ci)),
-                "constraint {ci} sharing"
-            );
+            assert!(Arc::ptr_eq(
+                net.constraint_handle(ci),
+                shard.constraint_handle(ci)
+            ));
         }
-        // An identity restriction shares everything.
+        assert!(Arc::ptr_eq(&parent_kernel, shard.kernel()));
+        assert!(shard.mask().is_some());
+        // An identity restriction is a plain clone: no mask at all.
         let full: Vec<usize> = (0..net.domain(vars[0]).len()).collect();
         let identity = net.restricted(vars[0], &full).unwrap();
         assert!(identity.shares_storage(&net));
+        assert!(identity.mask().is_none());
+    }
+
+    #[test]
+    fn mutation_invalidates_the_cached_kernel() {
+        let (net, vars) = paper_network();
+        let kernel = Arc::clone(net.kernel());
+        // A clone keeps the compiled kernel (same storage).
+        let clone = net.clone();
+        assert!(Arc::ptr_eq(&kernel, clone.kernel()));
+        // Mutating a fork recompiles: the fork's kernel reflects the new
+        // tables, the parent keeps the original.
+        let mut fork = net.clone();
+        fork.add_variable("Q5", vec![(9, 9)]);
+        assert!(!Arc::ptr_eq(&kernel, fork.kernel()));
+        assert_eq!(fork.kernel().variable_count(), 5);
+        assert!(Arc::ptr_eq(&kernel, net.kernel()));
+        // The kernel agrees with the constraint tables.
+        let c = net.constraint_between(vars[0], vars[1]).unwrap();
+        let ci = net
+            .constraints_of(vars[0])
+            .iter()
+            .copied()
+            .find(|&i| net.constraint(i).involves(vars[1]))
+            .unwrap();
+        for a in 0..net.domain(vars[0]).len() {
+            for b in 0..net.domain(vars[1]).len() {
+                assert_eq!(
+                    c.allows(vars[0], a, vars[1], b),
+                    net.kernel().allows(ci, vars[0], a, b),
+                    "pair ({a}, {b})"
+                );
+            }
+        }
     }
 
     #[test]

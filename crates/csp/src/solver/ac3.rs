@@ -3,8 +3,14 @@
 //! Not part of the paper's schemes, but a natural extension: removing values
 //! that have no support in a neighbouring domain before the search starts
 //! can only shrink the search tree, never change satisfiability.
+//!
+//! The revise step runs on the compiled kernel: "does value `a` of `x` have
+//! support among the live values of `y`?" is `support_row(a) & live(y) != 0`
+//! — a handful of word-ANDs — with the kernel's precomputed full-domain
+//! support counts answering it in O(1) while `y` is unpruned.
 
 use super::SearchStats;
+use crate::bitset::{BitDomains, BitKernel};
 use crate::network::{ConstraintNetwork, VarId};
 use crate::Value;
 use std::collections::VecDeque;
@@ -23,28 +29,54 @@ pub enum Ac3Outcome {
 ///
 /// Returns [`Ac3Outcome::Wipeout`] as soon as a domain becomes empty.
 /// Pruning counts and consistency checks are recorded in `stats`.
+///
+/// Convenience wrapper over [`ac3_kernel`] for callers holding candidate
+/// index lists; the lists come back in ascending index order.  On a
+/// mask-based restricted view the restriction mask is intersected in
+/// first, so masked-off values are neither kept nor counted as supports.
 pub fn ac3<V: Value>(
     network: &ConstraintNetwork<V>,
     live: &mut [Vec<usize>],
     stats: &mut SearchStats,
 ) -> Ac3Outcome {
-    // Work list of directed arcs (x, y) meaning "revise x against y".
-    let mut queue: VecDeque<(VarId, VarId)> = VecDeque::new();
-    for c in network.constraints() {
-        queue.push_back((c.first(), c.second()));
-        queue.push_back((c.second(), c.first()));
+    let kernel = network.kernel();
+    let mut domains = kernel.masked_domains(network.mask().map(|m| &**m));
+    for (v, list) in live.iter().enumerate() {
+        domains.restrict_to(VarId::new(v), list);
     }
-    while let Some((x, y)) = queue.pop_front() {
-        if revise(network, live, x, y, stats) {
-            if live[x.index()].is_empty() {
+    let outcome = ac3_kernel(kernel, &mut domains, stats);
+    for (v, list) in live.iter_mut().enumerate() {
+        *list = domains.live_values(VarId::new(v));
+    }
+    outcome
+}
+
+/// The kernel form of AC-3: makes a word-packed live-domain working set arc
+/// consistent with respect to every constraint of the kernel.
+///
+/// Returns [`Ac3Outcome::Wipeout`] as soon as a domain becomes empty.
+pub fn ac3_kernel(
+    kernel: &BitKernel,
+    live: &mut BitDomains,
+    stats: &mut SearchStats,
+) -> Ac3Outcome {
+    // Work list of directed arcs (x, y, constraint) meaning "revise x
+    // against y".
+    let mut queue: VecDeque<(VarId, VarId, usize)> = VecDeque::new();
+    for ci in 0..kernel.constraint_count() {
+        let c = kernel.constraint(ci);
+        queue.push_back((c.first(), c.second(), ci));
+        queue.push_back((c.second(), c.first(), ci));
+    }
+    while let Some((x, y, ci)) = queue.pop_front() {
+        if revise(kernel, live, x, y, ci, stats) {
+            if live.is_empty(x) {
                 return Ac3Outcome::Wipeout(x);
             }
             // Re-examine every arc pointing at x (other than from y).
-            for &ci in network.constraints_of(x) {
-                let c = &network.constraints()[ci];
-                let z = c.other(x).expect("adjacency is consistent");
-                if z != y {
-                    queue.push_back((z, x));
+            for edge in kernel.edges(x) {
+                if edge.other != y {
+                    queue.push_back((edge.other, x, edge.constraint));
                 }
             }
         }
@@ -53,23 +85,36 @@ pub fn ac3<V: Value>(
 }
 
 /// Removes the values of `x` that have no support among the live values of
-/// `y`; returns whether anything was removed.
-fn revise<V: Value>(
-    network: &ConstraintNetwork<V>,
-    live: &mut [Vec<usize>],
+/// `y` under constraint `ci`; returns whether anything was removed.
+fn revise(
+    kernel: &BitKernel,
+    live: &mut BitDomains,
     x: VarId,
     y: VarId,
+    ci: usize,
     stats: &mut SearchStats,
 ) -> bool {
-    let Some(constraint) = network.constraint_between(x, y) else {
-        return false;
-    };
-    let y_values = live[y.index()].clone();
-    let before = live[x.index()].len();
-    stats.consistency_checks += (before * y_values.len()) as u64;
-    live[x.index()].retain(|&xv| constraint.has_support(x, xv, &y_values));
-    let removed = before - live[x.index()].len();
-    stats.prunings += removed as u64;
+    let constraint = kernel.constraint(ci);
+    let x_is_first = constraint.first() == x;
+    let y_count = live.count(y);
+    // While y is unpruned, the precomputed full-domain support count
+    // decides support without touching y's words at all.
+    let y_is_full = y_count == kernel.domain_size(y);
+    let x_values = live.live_values(x);
+    stats.consistency_checks += (x_values.len() * y_count) as u64;
+    let mut removed = 0u64;
+    for value in x_values {
+        let supported = if y_is_full {
+            constraint.full_support(x_is_first, value) > 0
+        } else {
+            live.intersects(y, constraint.row(x_is_first, value))
+        };
+        if !supported {
+            live.remove(x, value);
+            removed += 1;
+        }
+    }
+    stats.prunings += removed;
     removed > 0
 }
 
@@ -128,6 +173,33 @@ mod tests {
         assert_eq!(ac3(&net, &mut live, &mut stats), Ac3Outcome::Consistent);
         assert_eq!(live[a.index()], vec![1]);
         assert_eq!(live[b.index()], vec![1]);
+    }
+
+    #[test]
+    fn ac3_respects_restriction_masks() {
+        // a == b over {0,1,2}; restricting `a` to {2} must propagate: b's
+        // values 0 and 1 lose their (masked-off) supports even though the
+        // caller passed full candidate lists.
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0, 1, 2]);
+        let b = net.add_variable("b", vec![0, 1, 2]);
+        net.add_constraint(a, b, vec![(0, 0), (1, 1), (2, 2)])
+            .unwrap();
+        let view = net.restricted(a, &[2]).unwrap();
+        let mut live = full_domains(&view);
+        let mut stats = SearchStats::default();
+        assert_eq!(ac3(&view, &mut live, &mut stats), Ac3Outcome::Consistent);
+        assert_eq!(live[a.index()], vec![2]);
+        assert_eq!(live[b.index()], vec![2]);
+        // A restriction that wipes the domain out is detected.
+        let wiped = net.restricted(a, &[0]).unwrap().restricted(a, &[1]);
+        let wiped = wiped.unwrap();
+        let mut live = full_domains(&wiped);
+        let mut stats = SearchStats::default();
+        assert!(matches!(
+            ac3(&wiped, &mut live, &mut stats),
+            Ac3Outcome::Wipeout(_)
+        ));
     }
 
     #[test]

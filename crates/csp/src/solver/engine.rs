@@ -6,15 +6,24 @@
 //! classic formulation: a dead end reports the set of assigned variables
 //! that contributed to it, and with backjumping enabled an ancestor that is
 //! not in that set is skipped without re-instantiating it (paper, Figure 3).
+//!
+//! The inner loops run entirely on the network's compiled
+//! [`BitKernel`](crate::bitset::BitKernel): consistency tests are bit
+//! probes, live domains are word-packed masks, and forward checking is one
+//! word-AND per neighbour — the [`BinaryConstraint`](crate::BinaryConstraint)
+//! hash tables are never touched after the kernel is built.
 
+use super::ac3::ac3_kernel;
 use super::ordering::{order_values, select_variable};
 use super::portfolio::CancelToken;
-use super::{ac3, Ac3Outcome, SearchEngine, SearchLimits, SearchStats, SolveResult};
+use super::{Ac3Outcome, SearchEngine, SearchLimits, SearchStats, SolveResult};
 use crate::assignment::{Assignment, Solution};
+use crate::bitset::{BitDomains, BitKernel};
 use crate::network::{ConstraintNetwork, VarId};
 use crate::Value;
 use rand::rngs::StdRng;
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How often (in visited nodes) the wall-clock deadline is polled; keeps
@@ -36,15 +45,15 @@ pub(super) fn run<V: Value>(
     let mut hit_deadline = false;
     let mut was_cancelled = false;
 
-    // Current (possibly pruned) candidate lists, one per variable.
-    let mut live: Vec<Vec<usize>> = network
-        .variables()
-        .map(|v| (0..network.domain(v).len()).collect())
-        .collect();
+    // The compiled execution kernel (cached in the shared storage) and the
+    // word-packed live domains, with the restriction mask of a view
+    // already intersected in.
+    let kernel = Arc::clone(network.kernel());
+    let mut live = kernel.masked_domains(network.mask().map(|m| &**m));
 
-    // A variable with an empty domain makes the network trivially
+    // A variable with an empty (live) domain makes the network trivially
     // unsatisfiable.
-    if live.iter().any(Vec::is_empty) {
+    if network.variables().any(|v| live.is_empty(v)) {
         return SolveResult {
             solution: None,
             stats,
@@ -56,7 +65,7 @@ pub(super) fn run<V: Value>(
     }
 
     if config.ac3_preprocessing {
-        if let Ac3Outcome::Wipeout(_) = ac3(network, &mut live, &mut stats) {
+        if let Ac3Outcome::Wipeout(_) = ac3_kernel(&kernel, &mut live, &mut stats) {
             return SolveResult {
                 solution: None,
                 stats,
@@ -71,7 +80,7 @@ pub(super) fn run<V: Value>(
     let mut assignment = Assignment::new(network.variable_count());
     let mut ctx = Context {
         config,
-        network,
+        kernel: &kernel,
         limits,
         cancel,
         stats: &mut stats,
@@ -104,9 +113,9 @@ enum Outcome {
     DeadEnd(HashSet<VarId>),
 }
 
-struct Context<'a, V> {
+struct Context<'a> {
     config: &'a SearchEngine,
-    network: &'a ConstraintNetwork<V>,
+    kernel: &'a BitKernel,
     limits: &'a SearchLimits,
     cancel: Option<&'a CancelToken>,
     stats: &'a mut SearchStats,
@@ -116,7 +125,7 @@ struct Context<'a, V> {
     cancelled: &'a mut bool,
 }
 
-impl<V: Value> Context<'_, V> {
+impl Context<'_> {
     fn limit_reached(&mut self) -> bool {
         if let Some(limit) = self.limits.node_limit {
             if self.stats.nodes_visited >= limit {
@@ -142,17 +151,13 @@ impl<V: Value> Context<'_, V> {
     }
 }
 
-fn search<V: Value>(
-    ctx: &mut Context<'_, V>,
-    assignment: &mut Assignment,
-    live: &mut Vec<Vec<usize>>,
-) -> Outcome {
+fn search(ctx: &mut Context<'_>, assignment: &mut Assignment, live: &mut BitDomains) -> Outcome {
     if assignment.is_complete() {
         return Outcome::Found;
     }
     let var = match select_variable(
         ctx.config.variable_ordering,
-        ctx.network,
+        ctx.kernel,
         assignment,
         live,
         ctx.rng,
@@ -160,10 +165,10 @@ fn search<V: Value>(
         Some(v) => v,
         None => return Outcome::Found,
     };
-    let candidates = live[var.index()].clone();
+    let candidates = live.live_values(var);
     let values = order_values(
         ctx.config.value_ordering,
-        ctx.network,
+        ctx.kernel,
         assignment,
         live,
         var,
@@ -172,6 +177,7 @@ fn search<V: Value>(
     );
 
     let mut conflict_union: HashSet<VarId> = HashSet::new();
+    let mut conflicts: Vec<VarId> = Vec::new();
     for value in values {
         if *ctx.hit_limit || *ctx.hit_deadline || *ctx.cancelled || ctx.limit_reached() {
             break;
@@ -180,42 +186,44 @@ fn search<V: Value>(
         ctx.stats.max_depth = ctx.stats.max_depth.max(assignment.assigned_count() + 1);
 
         // Consistent-partial-instantiation test against the variables
-        // already assigned (paper, Section 4).
-        let conflicts =
-            ctx.network
-                .conflicts_with(assignment, var, value, &mut ctx.stats.consistency_checks);
+        // already assigned (paper, Section 4) — one bit probe per assigned
+        // neighbour.
+        conflicts.clear();
+        ctx.kernel.collect_conflicts(
+            assignment,
+            var,
+            value,
+            &mut ctx.stats.consistency_checks,
+            &mut conflicts,
+        );
         if !conflicts.is_empty() {
-            conflict_union.extend(conflicts);
+            conflict_union.extend(conflicts.iter().copied());
             continue;
         }
 
         assignment.assign(var, value);
 
         // Forward checking: restrict unassigned neighbours to values
-        // compatible with this assignment.
-        let mut saved: Vec<(usize, Vec<usize>)> = Vec::new();
+        // compatible with this assignment — `live &= support_row`, one
+        // word-AND per neighbour.
+        let mut saved: Vec<(VarId, Vec<u64>)> = Vec::new();
         let mut wiped_out: Option<VarId> = None;
         if ctx.config.forward_checking {
-            for neighbour in ctx.network.neighbours(var) {
+            for edge in ctx.kernel.edges(var) {
+                let neighbour = edge.other;
                 if assignment.is_assigned(neighbour) {
                     continue;
                 }
-                let constraint = ctx
-                    .network
-                    .constraint_between(var, neighbour)
-                    .expect("neighbour implies a constraint");
-                let before = &live[neighbour.index()];
-                ctx.stats.consistency_checks += before.len() as u64;
-                let after: Vec<usize> = before
-                    .iter()
-                    .copied()
-                    .filter(|&other| constraint.allows(var, value, neighbour, other))
-                    .collect();
-                if after.len() != before.len() {
-                    ctx.stats.prunings += (before.len() - after.len()) as u64;
-                    saved.push((neighbour.index(), before.clone()));
-                    live[neighbour.index()] = after;
-                    if live[neighbour.index()].is_empty() {
+                let row = ctx
+                    .kernel
+                    .constraint(edge.constraint)
+                    .row(edge.var_is_first, value);
+                ctx.stats.consistency_checks += live.count(neighbour) as u64;
+                if live.would_remove(neighbour, row) > 0 {
+                    saved.push((neighbour, live.save(neighbour)));
+                    let removed = live.intersect(neighbour, row);
+                    ctx.stats.prunings += removed as u64;
+                    if live.is_empty(neighbour) {
                         wiped_out = Some(neighbour);
                         break;
                     }
@@ -226,9 +234,9 @@ fn search<V: Value>(
         if let Some(victim) = wiped_out {
             // The wipeout implicates this variable and every assigned
             // variable constraining the victim.
-            for assigned in assignment.assigned() {
-                if assigned != var && ctx.network.constraint_between(assigned, victim).is_some() {
-                    conflict_union.insert(assigned);
+            for edge in ctx.kernel.edges(victim) {
+                if edge.other != var && assignment.is_assigned(edge.other) {
+                    conflict_union.insert(edge.other);
                 }
             }
             restore(live, saved);
@@ -260,9 +268,9 @@ fn search<V: Value>(
     Outcome::DeadEnd(conflict_union)
 }
 
-fn restore(live: &mut [Vec<usize>], saved: Vec<(usize, Vec<usize>)>) {
-    for (index, domain) in saved {
-        live[index] = domain;
+fn restore(live: &mut BitDomains, saved: Vec<(VarId, Vec<u64>)>) {
+    for (var, words) in saved {
+        live.restore(var, &words);
     }
 }
 

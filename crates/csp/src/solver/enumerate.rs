@@ -70,14 +70,15 @@ impl Enumerator {
         }
     }
 
-    /// Enumerates the solutions of a network.
+    /// Enumerates the solutions of a network (mask-based restricted views
+    /// enumerate only assignments over their live values).
     pub fn enumerate<V: Value>(&self, network: &ConstraintNetwork<V>) -> EnumerationResult<V> {
         let start = Instant::now();
         let mut stats = SearchStats::default();
         let mut solutions = Vec::new();
         let mut truncated = false;
 
-        if network.variables().any(|v| network.domain(v).is_empty()) {
+        if network.variables().any(|v| network.live_count(v) == 0) {
             return EnumerationResult {
                 solutions,
                 truncated,
@@ -91,14 +92,24 @@ impl Enumerator {
         order.sort_by_key(|&v| {
             (
                 std::cmp::Reverse(network.neighbours(v).len()),
-                network.domain(v).len(),
+                network.live_count(v),
                 v,
             )
         });
 
+        // The compiled kernel answers every consistency probe; live value
+        // lists honour a restricted view's mask.
+        let kernel = std::sync::Arc::clone(network.kernel());
+        let live: Vec<Vec<usize>> = network
+            .variables()
+            .map(|v| network.live_values(v))
+            .collect();
+
         let mut assignment = Assignment::new(network.variable_count());
         self.descend(
             network,
+            &kernel,
+            &live,
             &order,
             0,
             &mut assignment,
@@ -148,6 +159,8 @@ impl Enumerator {
     fn descend<V: Value>(
         &self,
         network: &ConstraintNetwork<V>,
+        kernel: &crate::bitset::BitKernel,
+        live: &[Vec<usize>],
         order: &[VarId],
         depth: usize,
         assignment: &mut Assignment,
@@ -167,20 +180,20 @@ impl Enumerator {
         }
         let var = order[depth];
         stats.max_depth = stats.max_depth.max(depth + 1);
-        for value in 0..network.domain(var).len() {
+        for &value in &live[var.index()] {
             if stats.nodes_visited >= self.node_limit {
                 *truncated = true;
                 return;
             }
             stats.nodes_visited += 1;
-            let conflicts =
-                network.conflicts_with(assignment, var, value, &mut stats.consistency_checks);
-            if !conflicts.is_empty() {
+            if kernel.conflicts_any(assignment, var, value, &mut stats.consistency_checks) {
                 continue;
             }
             assignment.assign(var, value);
             self.descend(
                 network,
+                kernel,
+                live,
                 order,
                 depth + 1,
                 assignment,

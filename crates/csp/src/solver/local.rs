@@ -10,12 +10,14 @@
 //! solution after visiting far fewer states than systematic search.
 
 use crate::assignment::{Assignment, Solution};
+use crate::bitset::BitKernel;
 use crate::network::{ConstraintNetwork, VarId};
 use crate::solver::portfolio::CancelToken;
 use crate::solver::{NetworkSearch, SearchLimits, SearchStats, SolveResult};
 use crate::Value;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How often (in repair steps) the wall-clock deadline is polled.
@@ -129,9 +131,18 @@ impl MinConflicts {
         let mut hit_deadline = false;
         let mut was_cancelled = false;
 
+        // The compiled kernel (bit probes for conflict counting) and the
+        // live values of every variable — a restricted view's repair walk
+        // never leaves the mask.
+        let kernel = Arc::clone(network.kernel());
+        let live: Vec<Vec<usize>> = network
+            .variables()
+            .map(|v| network.live_values(v))
+            .collect();
+
         // Degenerate cases: empty networks are trivially solved; an empty
-        // domain can never be assigned.
-        if network.variables().any(|v| network.domain(v).is_empty()) {
+        // (live) domain can never be assigned.
+        if live.iter().any(Vec::is_empty) {
             return SolveResult {
                 solution: None,
                 stats,
@@ -143,7 +154,7 @@ impl MinConflicts {
         }
 
         'restarts: for _restart in 0..self.max_restarts.max(1) {
-            let mut assignment = random_complete_assignment(network, rng);
+            let mut assignment = random_complete_assignment(&live, rng);
             stats.max_depth = n;
             for _step in 0..max_steps {
                 if let Some(limit) = limits.node_limit {
@@ -165,7 +176,7 @@ impl MinConflicts {
                         }
                     }
                 }
-                let conflicted = conflicted_variables(network, &assignment, &mut stats);
+                let conflicted = conflicted_variables(&kernel, &assignment, &mut stats);
                 if conflicted.is_empty() {
                     let solution = Solution::from_assignment(network, &assignment);
                     return SolveResult {
@@ -178,10 +189,11 @@ impl MinConflicts {
                     };
                 }
                 let var = conflicted[rng.gen_range(0..conflicted.len())];
+                let choices = &live[var.index()];
                 let value = if rng.gen_range(0..100u8) < self.noise_percent {
-                    rng.gen_range(0..network.domain(var).len())
+                    choices[rng.gen_range(0..choices.len())]
                 } else {
-                    min_conflict_value(network, &assignment, var, rng, &mut stats)
+                    min_conflict_value(&kernel, &assignment, var, choices, rng, &mut stats)
                 };
                 assignment.assign(var, value);
                 stats.nodes_visited += 1;
@@ -211,28 +223,25 @@ impl<V: Value> NetworkSearch<V> for MinConflicts {
     }
 }
 
-/// A uniformly random complete assignment.
-fn random_complete_assignment<V: Value>(
-    network: &ConstraintNetwork<V>,
-    rng: &mut StdRng,
-) -> Assignment {
-    let mut assignment = Assignment::new(network.variable_count());
-    for v in network.variables() {
-        assignment.assign(v, rng.gen_range(0..network.domain(v).len()));
+/// A uniformly random complete assignment over the live values.
+fn random_complete_assignment(live: &[Vec<usize>], rng: &mut StdRng) -> Assignment {
+    let mut assignment = Assignment::new(live.len());
+    for (v, choices) in live.iter().enumerate() {
+        assignment.assign(VarId::new(v), choices[rng.gen_range(0..choices.len())]);
     }
     assignment
 }
 
 /// Variables participating in at least one violated constraint.
-fn conflicted_variables<V: Value>(
-    network: &ConstraintNetwork<V>,
+fn conflicted_variables(
+    kernel: &BitKernel,
     assignment: &Assignment,
     stats: &mut SearchStats,
 ) -> Vec<VarId> {
     let mut conflicted = Vec::new();
-    for v in network.variables() {
+    for v in (0..kernel.variable_count()).map(VarId::new) {
         if variable_conflicts(
-            network,
+            kernel,
             assignment,
             v,
             assignment.get(v).expect("complete"),
@@ -246,41 +255,45 @@ fn conflicted_variables<V: Value>(
 }
 
 /// Number of constraints violated by `var = value` against the rest of a
-/// complete assignment.
-fn variable_conflicts<V: Value>(
-    network: &ConstraintNetwork<V>,
+/// complete assignment — one bit probe per adjacent constraint.
+fn variable_conflicts(
+    kernel: &BitKernel,
     assignment: &Assignment,
     var: VarId,
     value: usize,
     stats: &mut SearchStats,
 ) -> usize {
     let mut count = 0usize;
-    for &ci in network.constraints_of(var) {
-        let constraint = &network.constraints()[ci];
-        let other = constraint.other(var).expect("adjacency is consistent");
-        let other_value = assignment.get(other).expect("complete assignment");
+    for edge in kernel.edges(var) {
+        let other_value = assignment.get(edge.other).expect("complete assignment");
         stats.consistency_checks += 1;
-        if !constraint.allows(var, value, other, other_value) {
+        let constraint = kernel.constraint(edge.constraint);
+        let allowed = if edge.var_is_first {
+            constraint.allows(value, other_value)
+        } else {
+            constraint.allows(other_value, value)
+        };
+        if !allowed {
             count += 1;
         }
     }
     count
 }
 
-/// The value of `var` with the fewest conflicts (ties broken uniformly at
-/// random).
-fn min_conflict_value<V: Value>(
-    network: &ConstraintNetwork<V>,
+/// The live value of `var` with the fewest conflicts (ties broken uniformly
+/// at random).
+fn min_conflict_value(
+    kernel: &BitKernel,
     assignment: &Assignment,
     var: VarId,
+    choices: &[usize],
     rng: &mut StdRng,
     stats: &mut SearchStats,
 ) -> usize {
-    let domain_size = network.domain(var).len();
     let mut best_values = Vec::new();
     let mut best_conflicts = usize::MAX;
-    for value in 0..domain_size {
-        let conflicts = variable_conflicts(network, assignment, var, value, stats);
+    for &value in choices {
+        let conflicts = variable_conflicts(kernel, assignment, var, value, stats);
         match conflicts.cmp(&best_conflicts) {
             std::cmp::Ordering::Less => {
                 best_conflicts = conflicts;

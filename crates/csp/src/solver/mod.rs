@@ -21,7 +21,7 @@ mod ordering;
 pub mod pool;
 pub mod portfolio;
 
-pub use ac3::{ac3, Ac3Outcome};
+pub use ac3::{ac3, ac3_kernel, Ac3Outcome};
 pub use enumerate::{EnumerationResult, Enumerator};
 pub use local::MinConflicts;
 pub use ordering::{order_values, select_variable, ValueOrdering, VariableOrdering};

@@ -9,10 +9,16 @@
 //! * *value selection* — "select the value that maximizes the number of
 //!   options available for future assignments", so a solution is found
 //!   quickly when one exists.
+//!
+//! Both heuristics run on the compiled [`BitKernel`]: degrees come from the
+//! kernel adjacency, remaining-domain sizes are mask popcounts, and the
+//! least-constraining score is a word-AND popcount per neighbour — with the
+//! kernel's precomputed full-domain support counts as an O(1) fast path
+//! while a neighbour's domain is unpruned.
 
 use crate::assignment::Assignment;
-use crate::network::{ConstraintNetwork, VarId};
-use crate::Value;
+use crate::bitset::{BitDomains, BitKernel};
+use crate::network::VarId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
@@ -42,35 +48,40 @@ pub enum ValueOrdering {
     LeastConstraining,
 }
 
-/// Selects the next variable to instantiate from `live` (the unassigned
-/// variables), honouring the configured ordering.
-///
-/// `live_domains` holds the *current* (possibly pruned) candidate values of
+/// Selects the next variable to instantiate, honouring the configured
+/// ordering.  `live` holds the current (possibly pruned) candidate masks of
 /// every variable, used for domain-size tie-breaking.
-pub fn select_variable<V: Value>(
+pub fn select_variable(
     ordering: VariableOrdering,
-    network: &ConstraintNetwork<V>,
+    kernel: &BitKernel,
     assignment: &Assignment,
-    live_domains: &[Vec<usize>],
+    live: &BitDomains,
     rng: &mut StdRng,
 ) -> Option<VarId> {
-    let unassigned = assignment.unassigned();
-    if unassigned.is_empty() {
-        return None;
-    }
     match ordering {
-        VariableOrdering::Lexicographic => Some(unassigned[0]),
-        VariableOrdering::Random => unassigned.choose(rng).copied(),
+        VariableOrdering::Lexicographic => (0..kernel.variable_count())
+            .map(VarId::new)
+            .find(|&v| !assignment.is_assigned(v)),
+        VariableOrdering::Random => {
+            let unassigned: Vec<VarId> = (0..kernel.variable_count())
+                .map(VarId::new)
+                .filter(|&v| !assignment.is_assigned(v))
+                .collect();
+            unassigned.choose(rng).copied()
+        }
         VariableOrdering::MostConstraining => {
             let mut best: Option<(VarId, usize, usize)> = None;
-            for &v in &unassigned {
+            for v in (0..kernel.variable_count()).map(VarId::new) {
+                if assignment.is_assigned(v) {
+                    continue;
+                }
                 // Constraints to unassigned neighbours.
-                let degree = network
-                    .neighbours(v)
+                let degree = kernel
+                    .edges(v)
                     .iter()
-                    .filter(|n| !assignment.is_assigned(**n))
+                    .filter(|e| !assignment.is_assigned(e.other))
                     .count();
-                let domain_size = live_domains[v.index()].len();
+                let domain_size = live.count(v);
                 let better = match best {
                     None => true,
                     Some((_, best_degree, best_domain)) => {
@@ -89,11 +100,11 @@ pub fn select_variable<V: Value>(
 /// Orders the candidate values of `var` according to the configured value
 /// ordering.  `candidates` are indices into the variable's domain (already
 /// restricted by forward checking when enabled).
-pub fn order_values<V: Value>(
+pub fn order_values(
     ordering: ValueOrdering,
-    network: &ConstraintNetwork<V>,
+    kernel: &BitKernel,
     assignment: &Assignment,
-    live_domains: &[Vec<usize>],
+    live: &BitDomains,
     var: VarId,
     candidates: &[usize],
     rng: &mut StdRng,
@@ -108,19 +119,25 @@ pub fn order_values<V: Value>(
         ValueOrdering::LeastConstraining => {
             // Score = total number of still-supported options across
             // unassigned neighbours; higher is better.
-            let neighbours: Vec<VarId> = network
-                .neighbours(var)
-                .into_iter()
-                .filter(|n| !assignment.is_assigned(*n))
-                .collect();
             let mut scored: Vec<(usize, usize)> = values
                 .iter()
                 .map(|&value| {
                     let mut score = 0usize;
-                    for &n in &neighbours {
-                        if let Some(c) = network.constraint_between(var, n) {
-                            score += c.support_count(var, value, &live_domains[n.index()]);
+                    for edge in kernel.edges(var) {
+                        if assignment.is_assigned(edge.other) {
+                            continue;
                         }
+                        let constraint = kernel.constraint(edge.constraint);
+                        // Unpruned neighbour: the precomputed full-domain
+                        // support count, no word scan needed.
+                        score += if live.count(edge.other) == kernel.domain_size(edge.other) {
+                            constraint.full_support(edge.var_is_first, value) as usize
+                        } else {
+                            live.intersection_count(
+                                edge.other,
+                                constraint.row(edge.var_is_first, value),
+                            )
+                        };
                     }
                     (value, score)
                 })
@@ -135,6 +152,7 @@ pub fn order_values<V: Value>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::ConstraintNetwork;
     use rand::SeedableRng;
 
     fn chain_network() -> (ConstraintNetwork<i32>, Vec<VarId>) {
@@ -148,25 +166,32 @@ mod tests {
         (net, vec![a, b, c])
     }
 
-    fn full_domains(net: &ConstraintNetwork<i32>) -> Vec<Vec<usize>> {
-        net.variables()
-            .map(|v| (0..net.domain(v).len()).collect())
-            .collect()
-    }
-
     #[test]
     fn lexicographic_picks_first_unassigned() {
         let (net, vars) = chain_network();
+        let kernel = net.kernel();
+        let live = kernel.full_domains();
         let mut asg = Assignment::new(3);
         let mut rng = StdRng::seed_from_u64(1);
-        let live = full_domains(&net);
         assert_eq!(
-            select_variable(VariableOrdering::Lexicographic, &net, &asg, &live, &mut rng),
+            select_variable(
+                VariableOrdering::Lexicographic,
+                kernel,
+                &asg,
+                &live,
+                &mut rng
+            ),
             Some(vars[0])
         );
         asg.assign(vars[0], 0);
         assert_eq!(
-            select_variable(VariableOrdering::Lexicographic, &net, &asg, &live, &mut rng),
+            select_variable(
+                VariableOrdering::Lexicographic,
+                kernel,
+                &asg,
+                &live,
+                &mut rng
+            ),
             Some(vars[1])
         );
     }
@@ -174,14 +199,15 @@ mod tests {
     #[test]
     fn most_constraining_prefers_high_degree() {
         let (net, vars) = chain_network();
+        let kernel = net.kernel();
+        let live = kernel.full_domains();
         let asg = Assignment::new(3);
         let mut rng = StdRng::seed_from_u64(1);
-        let live = full_domains(&net);
         // x1 touches two constraints, x0 and x2 only one each.
         assert_eq!(
             select_variable(
                 VariableOrdering::MostConstraining,
-                &net,
+                kernel,
                 &asg,
                 &live,
                 &mut rng
@@ -196,14 +222,15 @@ mod tests {
         let a = net.add_variable("a", vec![0, 1, 2]);
         let b = net.add_variable("b", vec![0, 1]);
         net.add_constraint(a, b, vec![(0, 0)]).unwrap();
+        let kernel = net.kernel();
+        let live = kernel.full_domains();
         let asg = Assignment::new(2);
         let mut rng = StdRng::seed_from_u64(1);
-        let live = full_domains(&net);
         // Equal degree (1 each); b has the smaller domain.
         assert_eq!(
             select_variable(
                 VariableOrdering::MostConstraining,
-                &net,
+                kernel,
                 &asg,
                 &live,
                 &mut rng
@@ -215,19 +242,21 @@ mod tests {
     #[test]
     fn random_selection_returns_unassigned_variable() {
         let (net, vars) = chain_network();
+        let kernel = net.kernel();
+        let live = kernel.full_domains();
         let mut asg = Assignment::new(3);
         asg.assign(vars[0], 0);
-        let live = full_domains(&net);
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..10 {
-            let v = select_variable(VariableOrdering::Random, &net, &asg, &live, &mut rng).unwrap();
+            let v =
+                select_variable(VariableOrdering::Random, kernel, &asg, &live, &mut rng).unwrap();
             assert_ne!(v, vars[0]);
         }
         // Fully assigned -> no selection.
         asg.assign(vars[1], 0);
         asg.assign(vars[2], 0);
         assert_eq!(
-            select_variable(VariableOrdering::Random, &net, &asg, &live, &mut rng),
+            select_variable(VariableOrdering::Random, kernel, &asg, &live, &mut rng),
             None
         );
     }
@@ -241,12 +270,13 @@ mod tests {
         let b = net.add_variable("b", vec![0, 1, 2]);
         net.add_constraint(a, b, vec![(0, 0), (0, 1), (1, 2)])
             .unwrap();
+        let kernel = net.kernel();
+        let live = kernel.full_domains();
         let asg = Assignment::new(2);
-        let live = full_domains(&net);
         let mut rng = StdRng::seed_from_u64(1);
         let ordered = order_values(
             ValueOrdering::LeastConstraining,
-            &net,
+            kernel,
             &asg,
             &live,
             a,
@@ -260,10 +290,11 @@ mod tests {
         let b2 = net2.add_variable("b", vec![0, 1, 2]);
         net2.add_constraint(a2, b2, vec![(1, 0), (1, 1), (0, 2)])
             .unwrap();
-        let live2 = full_domains(&net2);
+        let kernel2 = net2.kernel();
+        let live2 = kernel2.full_domains();
         let ordered2 = order_values(
             ValueOrdering::LeastConstraining,
-            &net2,
+            kernel2,
             &Assignment::new(2),
             &live2,
             a2,
@@ -274,15 +305,42 @@ mod tests {
     }
 
     #[test]
+    fn least_constraining_counts_only_live_supports() {
+        // With x1's value 0 pruned, x0's value 0 loses one support and the
+        // order flips — the heuristic must consult the live mask, not the
+        // full-domain count.
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0, 1]);
+        let b = net.add_variable("b", vec![0, 1, 2]);
+        net.add_constraint(a, b, vec![(0, 0), (0, 1), (1, 1), (1, 2)])
+            .unwrap();
+        let kernel = net.kernel();
+        let mut live = kernel.full_domains();
+        let mut rng = StdRng::seed_from_u64(1);
+        live.remove(b, 0);
+        let ordered = order_values(
+            ValueOrdering::LeastConstraining,
+            kernel,
+            &Assignment::new(2),
+            &live,
+            a,
+            &[0, 1],
+            &mut rng,
+        );
+        assert_eq!(ordered, vec![1, 0]);
+    }
+
+    #[test]
     fn domain_order_is_preserved_and_random_is_permutation() {
         let (net, vars) = chain_network();
+        let kernel = net.kernel();
+        let live = kernel.full_domains();
         let asg = Assignment::new(3);
-        let live = full_domains(&net);
         let mut rng = StdRng::seed_from_u64(3);
         assert_eq!(
             order_values(
                 ValueOrdering::DomainOrder,
-                &net,
+                kernel,
                 &asg,
                 &live,
                 vars[1],
@@ -293,7 +351,7 @@ mod tests {
         );
         let mut shuffled = order_values(
             ValueOrdering::Random,
-            &net,
+            kernel,
             &asg,
             &live,
             vars[1],

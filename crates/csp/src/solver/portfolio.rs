@@ -610,6 +610,14 @@ fn greedy_probe<V: Value>(
     let mut order: Vec<_> = network.variables().collect();
     // First pass: most-constrained first; later passes: shuffled.
     order.sort_by_key(|&v| std::cmp::Reverse(network.constraints_of(v).len()));
+    // Kernel probes for conflicts; live masks keep a restricted view's
+    // dead values out of both the value loop and the optimistic potential.
+    let kernel = Arc::clone(network.kernel());
+    let domains = kernel.masked_domains(network.mask().map(|m| &**m));
+    let live: Vec<Vec<usize>> = network
+        .variables()
+        .map(|v| domains.live_values(v))
+        .collect();
     for restart in 0..restarts.max(1) {
         if cancel.is_cancelled() {
             break;
@@ -621,36 +629,37 @@ fn greedy_probe<V: Value>(
         let mut complete = true;
         for &var in &order {
             let mut best: Option<(f64, usize)> = None;
-            for value in 0..network.domain(var).len() {
+            for &value in &live[var.index()] {
                 stats.nodes_visited += 1;
-                if !network
-                    .conflicts_with(&assignment, var, value, &mut stats.consistency_checks)
-                    .is_empty()
-                {
+                if kernel.conflicts_any(&assignment, var, value, &mut stats.consistency_checks) {
                     continue;
                 }
                 let mut score = 0.0;
-                for &ci in network.constraints_of(var) {
-                    let c = &network.constraints()[ci];
-                    let other = c.other(var).expect("adjacency is consistent");
-                    if let Some(other_value) = assignment.get(other) {
-                        let pair = if c.first() == var {
+                for edge in kernel.edges(var) {
+                    if let Some(other_value) = assignment.get(edge.other) {
+                        let pair = if edge.var_is_first {
                             (value, other_value)
                         } else {
                             (other_value, value)
                         };
-                        score += weighted.weight_of(ci, pair);
+                        score += weighted.weight_of(edge.constraint, pair);
                     } else {
                         // Optimistic potential: the best pair this value
-                        // still allows on the open constraint; a value with
-                        // no support at all is heavily penalized.
-                        let var_is_first = c.first() == var;
-                        let potential = c
-                            .allowed_pairs()
-                            .iter()
-                            .filter(|&&(a, b)| if var_is_first { a == value } else { b == value })
-                            .map(|&p| weighted.weight_of(ci, p))
-                            .fold(f64::NEG_INFINITY, f64::max);
+                        // still allows on the open constraint (live other
+                        // side only); a value with no support at all is
+                        // heavily penalized.
+                        let row = kernel
+                            .constraint(edge.constraint)
+                            .row(edge.var_is_first, value);
+                        let mut potential = f64::NEG_INFINITY;
+                        domains.for_each_common(edge.other, row, |b| {
+                            let pair = if edge.var_is_first {
+                                (value, b)
+                            } else {
+                                (b, value)
+                            };
+                            potential = potential.max(weighted.weight_of(edge.constraint, pair));
+                        });
                         score += if potential.is_finite() {
                             potential
                         } else {
@@ -1180,10 +1189,10 @@ mod tests {
 
     #[test]
     fn helper_networks_share_storage_with_the_parent() {
-        // The portfolio's shards and reshuffles must be views over the
-        // caller's tables, not deep copies: full-space helpers share the
-        // whole storage, and shard helpers share every constraint table the
-        // restriction does not touch.
+        // The portfolio's shards and reshuffles are mask-based views over
+        // the caller's tables: every helper shares the *whole* storage
+        // (constraint tables, weight tables and the compiled kernel); a
+        // shard differs only in its domain mask.
         let weighted = weighted_instance(7);
         let portfolio = ParallelBranchAndBound::default();
         let helpers = portfolio.helpers(&weighted);
@@ -1193,39 +1202,27 @@ mod tests {
             let WeightedHelper::Explore { network, .. } = helper else {
                 continue;
             };
-            if network.network().shares_storage(weighted.network()) {
-                full_space += 1;
-                continue;
-            }
-            shards += 1;
-            let total = weighted.network().constraint_count();
-            let shared_tables = (0..total)
-                .filter(|&ci| {
-                    Arc::ptr_eq(
-                        weighted.network().constraint_handle(ci),
-                        network.network().constraint_handle(ci),
-                    ) && weighted.shares_weight_table(network, ci)
-                })
-                .count();
-            let touched = weighted
-                .network()
-                .constraints()
-                .iter()
-                .filter(|c| {
-                    c.involves(
-                        weighted
-                            .network()
-                            .variables()
-                            .max_by_key(|&v| weighted.network().domain(v).len())
-                            .expect("non-empty"),
-                    )
-                })
-                .count();
-            assert_eq!(
-                shared_tables,
-                total - touched,
-                "a shard materializes exactly the touched constraint tables"
+            assert!(
+                network.network().shares_storage(weighted.network()),
+                "every helper shares the parent storage"
             );
+            assert!(Arc::ptr_eq(
+                weighted.network().kernel(),
+                network.network().kernel()
+            ));
+            let total = weighted.network().constraint_count();
+            for ci in 0..total {
+                assert!(Arc::ptr_eq(
+                    weighted.network().constraint_handle(ci),
+                    network.network().constraint_handle(ci),
+                ));
+                assert!(weighted.shares_weight_table(network, ci));
+            }
+            if network.network().mask().is_some() {
+                shards += 1;
+            } else {
+                full_space += 1;
+            }
         }
         assert!(full_space > 0, "reshuffle helpers exist");
         assert!(shards > 0, "shard helpers exist");

@@ -157,59 +157,21 @@ impl<V: Value> WeightedNetwork<V> {
             .unwrap_or(self.default_weight)
     }
 
-    /// Builds a restricted *view* with the domain of `var` restricted to the
-    /// given value indices, remapping pair weights alongside the pairs (see
+    /// Builds a mask-based restricted *view* with the domain of `var`
+    /// restricted to the given value indices (see
     /// [`ConstraintNetwork::restricted`]).
     ///
-    /// Copy-on-write: the hard network is the shared view
-    /// [`ConstraintNetwork::restricted`] produces, and only the weight
-    /// tables of constraints involving `var` are rebuilt — every other
-    /// table is shared with `self` (an identity restriction shares them
-    /// all).
+    /// Because a mask never remaps indices, **every** weight table is
+    /// shared with `self` by pointer — a weighted domain shard allocates a
+    /// few mask words and zero pair or weight entries.
     ///
     /// # Errors
     ///
     /// Same conditions as [`ConstraintNetwork::restricted`].
     pub fn restricted(&self, var: VarId, keep: &[usize]) -> crate::Result<WeightedNetwork<V>> {
-        let network = self.network.restricted(var, keep)?;
-        let mut weights = Arc::clone(&self.weights);
-        // When the restriction left the network untouched (identity keep),
-        // the whole weight spine is reusable as-is.
-        if !network.shares_storage(&self.network) {
-            let tables = Arc::make_mut(&mut weights);
-            let remap: HashMap<usize, usize> = keep
-                .iter()
-                .enumerate()
-                .map(|(new, &old)| (old, new))
-                .collect();
-            for &ci in self.network.constraints_of(var) {
-                let c = self.network.constraint(ci);
-                let mut table = PairWeights::with_capacity(self.weights[ci].len());
-                for (&(a, b), &w) in self.weights[ci].iter() {
-                    let a = if c.first() == var {
-                        match remap.get(&a) {
-                            Some(&new) => new,
-                            None => continue,
-                        }
-                    } else {
-                        a
-                    };
-                    let b = if c.second() == var {
-                        match remap.get(&b) {
-                            Some(&new) => new,
-                            None => continue,
-                        }
-                    } else {
-                        b
-                    };
-                    table.insert((a, b), w);
-                }
-                tables[ci] = Arc::new(table);
-            }
-        }
         Ok(WeightedNetwork {
-            network,
-            weights,
+            network: self.network.restricted(var, keep)?,
+            weights: Arc::clone(&self.weights),
             default_weight: self.default_weight,
         })
     }
@@ -346,7 +308,19 @@ impl BranchAndBound {
             }
         }
 
-        // Optimistic per-constraint bound: the largest weight of any pair.
+        // The execution kernel (shared, compiled at most once per storage)
+        // and the live values of every variable — on a mask-based
+        // restricted view this is where the restriction takes effect.
+        let kernel = Arc::clone(network.kernel());
+        let live: Vec<Vec<usize>> = network
+            .variables()
+            .map(|v| network.live_values(v))
+            .collect();
+
+        // Optimistic per-constraint bound: the largest weight of any pair
+        // whose endpoints are both live (dead pairs of a restricted view
+        // must not loosen the bound — a materialized restriction would not
+        // contain them at all).
         let max_pair_weight: Vec<f64> = network
             .constraints()
             .iter()
@@ -354,20 +328,28 @@ impl BranchAndBound {
             .map(|(ci, c)| {
                 c.allowed_pairs()
                     .iter()
+                    .filter(|&&(a, b)| {
+                        network.is_live(c.first(), a) && network.is_live(c.second(), b)
+                    })
                     .map(|&p| weighted.weight_of(ci, p))
                     .fold(weighted.default_weight.max(0.0), f64::max)
             })
             .collect();
 
-        self.recurse(
+        let ctx = BnbContext {
             weighted,
+            kernel: &kernel,
+            live,
             limits,
             coop,
-            &order,
+            order,
+            max_pair_weight,
+        };
+        self.recurse(
+            &ctx,
             0,
             &mut assignment,
             0.0,
-            &max_pair_weight,
             &mut best_weight,
             &mut best_assignment,
             &mut stats,
@@ -393,14 +375,10 @@ impl BranchAndBound {
     #[allow(clippy::too_many_arguments)]
     fn recurse<V: Value>(
         &self,
-        weighted: &WeightedNetwork<V>,
-        limits: &SearchLimits,
-        coop: &Coop<'_>,
-        order: &[VarId],
+        ctx: &BnbContext<'_, V>,
         depth: usize,
         assignment: &mut Assignment,
         weight_so_far: f64,
-        max_pair_weight: &[f64],
         best_weight: &mut f64,
         best_assignment: &mut Option<Assignment>,
         stats: &mut SearchStats,
@@ -409,32 +387,33 @@ impl BranchAndBound {
         if cutoff.node || cutoff.deadline || cutoff.cancelled {
             return;
         }
-        if let Some(limit) = limits.node_limit {
+        if let Some(limit) = ctx.limits.node_limit {
             if stats.nodes_visited >= limit {
                 cutoff.node = true;
                 return;
             }
         }
         if stats.nodes_visited & DEADLINE_POLL_MASK == 0 {
-            if let Some(deadline) = limits.deadline {
+            if let Some(deadline) = ctx.limits.deadline {
                 if Instant::now() >= deadline {
                     cutoff.deadline = true;
                     return;
                 }
             }
-            if let Some(cancel) = coop.cancel {
+            if let Some(cancel) = ctx.coop.cancel {
                 if cancel.is_cancelled() {
                     cutoff.cancelled = true;
                     return;
                 }
             }
         }
+        let weighted = ctx.weighted;
         let network = weighted.network();
-        if depth == order.len() {
+        if depth == ctx.order.len() {
             if weight_so_far > *best_weight {
                 *best_weight = weight_so_far;
                 *best_assignment = Some(assignment.clone());
-                if let Some(incumbent) = coop.incumbent {
+                if let Some(incumbent) = ctx.coop.incumbent {
                     // Publish the *canonically* recomputed weight: every
                     // member sums constraint contributions in the same
                     // (constraint-index) order, so equal solutions publish
@@ -453,12 +432,12 @@ impl BranchAndBound {
             .filter(|(_, c)| {
                 assignment.get(c.first()).is_none() || assignment.get(c.second()).is_none()
             })
-            .map(|(ci, _)| max_pair_weight[ci])
+            .map(|(ci, _)| ctx.max_pair_weight[ci])
             .sum();
         if weight_so_far + optimistic <= *best_weight {
             return; // prune: cannot beat this member's own incumbent
         }
-        if let Some(incumbent) = coop.incumbent {
+        if let Some(incumbent) = ctx.coop.incumbent {
             // Strictly below the shared bound: cannot even tie the best
             // solution found anywhere, so nothing reportable lives here.
             // (Strict `<` — ties must be explored — keeps the final
@@ -469,42 +448,37 @@ impl BranchAndBound {
             }
         }
 
-        let var = order[depth];
-        for value in 0..network.domain(var).len() {
+        let var = ctx.order[depth];
+        for &value in &ctx.live[var.index()] {
             stats.nodes_visited += 1;
             stats.max_depth = stats.max_depth.max(depth + 1);
-            let conflicts =
-                network.conflicts_with(assignment, var, value, &mut stats.consistency_checks);
-            if !conflicts.is_empty() {
+            if ctx
+                .kernel
+                .conflicts_any(assignment, var, value, &mut stats.consistency_checks)
+            {
                 continue;
             }
             // Weight gained: every constraint between var and an assigned
-            // neighbour contributes the weight of the now-selected pair.
+            // neighbour contributes the weight of the now-selected pair
+            // (kernel adjacency is in ascending constraint order, so the
+            // floating-point sum is deterministic).
             let mut gained = 0.0;
-            for (ci, c) in network.constraints().iter().enumerate() {
-                if !c.involves(var) {
-                    continue;
-                }
-                let other = c.other(var).expect("scope");
-                if let Some(other_value) = assignment.get(other) {
-                    let pair = if c.first() == var {
+            for edge in ctx.kernel.edges(var) {
+                if let Some(other_value) = assignment.get(edge.other) {
+                    let pair = if edge.var_is_first {
                         (value, other_value)
                     } else {
                         (other_value, value)
                     };
-                    gained += weighted.weight_of(ci, pair);
+                    gained += weighted.weight_of(edge.constraint, pair);
                 }
             }
             assignment.assign(var, value);
             self.recurse(
-                weighted,
-                limits,
-                coop,
-                order,
+                ctx,
                 depth + 1,
                 assignment,
                 weight_so_far + gained,
-                max_pair_weight,
                 best_weight,
                 best_assignment,
                 stats,
@@ -514,6 +488,20 @@ impl BranchAndBound {
         }
         stats.backtracks += 1;
     }
+}
+
+/// The per-run inputs of one branch-and-bound search, bundled so the
+/// recursion carries one reference instead of eight.
+struct BnbContext<'a, V> {
+    weighted: &'a WeightedNetwork<V>,
+    kernel: &'a crate::bitset::BitKernel,
+    /// Live values of every variable (mask-aware, ascending).
+    live: Vec<Vec<usize>>,
+    limits: &'a SearchLimits,
+    coop: &'a Coop<'a>,
+    order: Vec<VarId>,
+    /// Optimistic per-constraint bound over live pairs.
+    max_pair_weight: Vec<f64>,
 }
 
 #[cfg(test)]
@@ -596,8 +584,9 @@ mod tests {
     }
 
     #[test]
-    fn restricted_views_share_untouched_weight_tables() {
-        // a -(c0)- b -(c1)- c: restricting `a` must rebuild only c0's table.
+    fn restricted_views_share_every_weight_table() {
+        // a -(c0)- b -(c1)- c: restricting `a` shares both tables (a mask
+        // never remaps, so nothing needs rebuilding).
         let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
         let a = net.add_variable("a", vec![0, 1, 2]);
         let b = net.add_variable("b", vec![0, 1]);
@@ -611,16 +600,19 @@ mod tests {
         w.set_weight(b, c, &0, &1, 5.0).unwrap();
 
         let shard = w.restricted(a, &[2, 1]).unwrap();
-        assert!(!shard.shares_weight_table(&w, 0), "touched table rebuilt");
-        assert!(shard.shares_weight_table(&w, 1), "untouched table shared");
-        // Weights follow the index remap (old 2 -> new 0, old 1 -> new 1).
-        assert_eq!(shard.weight_of(0, (0, 0)), 7.0);
+        assert!(shard.shares_weight_table(&w, 0));
+        assert!(shard.shares_weight_table(&w, 1));
+        assert!(shard.network().shares_storage(w.network()));
+        // Weights keep their original indices; only the live set changed.
+        assert_eq!(shard.weight_of(0, (2, 0)), 7.0);
         assert_eq!(shard.weight_of(0, (1, 1)), 3.0);
         assert_eq!(shard.weight_of(1, (0, 1)), 5.0);
+        assert_eq!(shard.network().live_values(a), vec![1, 2]);
 
-        // The identity restriction shares everything, hard network included.
+        // The identity restriction shares everything and stays mask-free.
         let identity = w.restricted(a, &[0, 1, 2]).unwrap();
         assert!(identity.network().shares_storage(w.network()));
+        assert!(identity.network().mask().is_none());
         assert!(identity.shares_weight_table(&w, 0));
         assert!(identity.shares_weight_table(&w, 1));
     }

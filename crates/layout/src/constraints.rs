@@ -46,6 +46,14 @@ impl LayoutNetwork {
         &self.network
     }
 
+    /// The network's compiled execution kernel (see `mlo_csp::bitset`),
+    /// built on first use and cached in the shared storage: every clone of
+    /// this layout network — and every weighted network derived from it —
+    /// reuses the identical kernel (`Arc::ptr_eq`-verifiable).
+    pub fn kernel(&self) -> &std::sync::Arc<mlo_csp::BitKernel> {
+        self.network.kernel()
+    }
+
     /// The network variable of an array, when the array appears in the
     /// network (arrays that no nest references with a layout preference may
     /// still get a variable with default candidates).

@@ -68,6 +68,13 @@ impl WeightedLayoutNetwork {
     pub fn weighted(&self) -> &WeightedNetwork<Layout> {
         &self.weighted
     }
+
+    /// The compiled execution kernel, shared with the layout network (the
+    /// weighted network's hard constraints are the same storage, so the
+    /// kernel is compiled once and reused by both).
+    pub fn kernel(&self) -> &std::sync::Arc<mlo_csp::BitKernel> {
+        self.weighted.network().kernel()
+    }
 }
 
 /// The outcome of weighted layout optimization.
@@ -204,6 +211,34 @@ mod tests {
     use super::*;
     use crate::quality::{assignment_score, ideal_score};
     use mlo_ir::{AccessBuilder, ProgramBuilder};
+
+    #[test]
+    fn weighted_networks_reuse_the_layout_network_kernel() {
+        // Deriving weights shares the hard network's storage, so the
+        // compiled execution kernel is built once and shared: layout
+        // network, weighted network and every clone return the same Arc.
+        let mut b = ProgramBuilder::new("kernel_reuse");
+        let x = b.array("X", vec![8, 8], 4);
+        b.nest("n", vec![("i", 0, 8), ("j", 0, 8)], |nest| {
+            nest.read(
+                x,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
+        });
+        let program = b.build();
+        let artifact = build_weighted_network(
+            &program,
+            &CandidateOptions::default(),
+            &WeightOptions::default(),
+        );
+        let from_layout = std::sync::Arc::clone(artifact.layout_network().kernel());
+        assert!(std::sync::Arc::ptr_eq(&from_layout, artifact.kernel()));
+        let clone = artifact.clone();
+        assert!(std::sync::Arc::ptr_eq(&from_layout, clone.kernel()));
+    }
 
     /// A shared array wanted row-major by a huge nest and column-major by a
     /// tiny one, with both nests pinned to their original loop order by an
