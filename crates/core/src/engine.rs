@@ -162,6 +162,20 @@ impl PreparedProgram {
         derived
     }
 
+    /// The compiled weighted execution kernel of the cached weighted
+    /// network (dense weight matrices + aggregates, see
+    /// `mlo_csp::bitset::WeightKernel`), forced on first use and cached
+    /// inside the shared weight spine: every weighted request served out of
+    /// a warm session — and every portfolio member it fans out to — reuses
+    /// the identical compiled kernel (`Arc::ptr_eq`-verifiable).
+    pub fn weight_kernel(
+        &self,
+        program: &Program,
+        options: &WeightOptions,
+    ) -> Arc<mlo_csp::WeightKernel> {
+        Arc::clone(self.weighted(program, options).weight_kernel())
+    }
+
     /// Cache lookup with LRU promotion (most recent at the front).
     fn weighted_hit(&self, options: &WeightOptions) -> Option<Arc<WeightedNetwork<Layout>>> {
         Self::promote(
@@ -1158,6 +1172,65 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &a_third), "recently used entry survives");
         let b_again = prepared.weighted(&program, &mk(2.0));
         assert!(!Arc::ptr_eq(&b, &b_again), "LRU entry was evicted");
+    }
+
+    #[test]
+    fn weighted_cache_cap_zero_clamps_to_one() {
+        // cap = 0 would make every insert evict itself; the setter clamps
+        // to 1 so the most recent weighted network always stays cached.
+        let session = Engine::new().session();
+        session.set_weighted_cache_cap(0);
+        assert_eq!(session.weighted_cache_cap(), 1);
+        let program = Benchmark::Track.program();
+        let options = Benchmark::Track.candidate_options();
+        let prepared = session.prepared(&program, &options);
+        let mk = |bonus: f64| mlo_layout::weights::WeightOptions {
+            identity_bonus: bonus,
+            ..mlo_layout::weights::WeightOptions::default()
+        };
+        let a = prepared.weighted(&program, &mk(1.25));
+        assert_eq!(prepared.weighted_cached(), 1);
+        // A repeat hit at cap 1 still returns the identical Arc.
+        assert!(Arc::ptr_eq(&a, &prepared.weighted(&program, &mk(1.25))));
+        // A different option set evicts the only entry.
+        let b = prepared.weighted(&program, &mk(2.0));
+        assert_eq!(prepared.weighted_cached(), 1);
+        assert!(Arc::ptr_eq(&b, &prepared.weighted(&program, &mk(2.0))));
+        assert!(!Arc::ptr_eq(&a, &prepared.weighted(&program, &mk(1.25))));
+    }
+
+    #[test]
+    fn weighted_cache_hits_return_the_same_compiled_weight_kernel() {
+        // A cache hit must hand back not just the same weighted network but
+        // the identical compiled WeightKernel: the expensive dense
+        // compilation runs once per (program, options) pair and is shared
+        // across requests (ISSUE 5 satellite).
+        let session = Engine::new().session();
+        let program = Benchmark::Track.program();
+        let options = Benchmark::Track.candidate_options();
+        let prepared = session.prepared(&program, &options);
+        let weight_options = mlo_layout::weights::WeightOptions::default();
+        let first = prepared.weight_kernel(&program, &weight_options);
+        let second = prepared.weight_kernel(&program, &weight_options);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "cache hits share the compiled weight kernel"
+        );
+        // The kernel rides in the cached weighted network's spine.
+        let weighted = prepared.weighted(&program, &weight_options);
+        assert!(Arc::ptr_eq(&first, weighted.weight_kernel()));
+        // An evicted entry recompiles: new Arc.
+        session.set_weighted_cache_cap(1);
+        let other = mlo_layout::weights::WeightOptions {
+            identity_bonus: 3.5,
+            ..weight_options
+        };
+        let _ = prepared.weighted(&program, &other); // evicts the default entry
+        let recompiled = prepared.weight_kernel(&program, &weight_options);
+        assert!(
+            !Arc::ptr_eq(&first, &recompiled),
+            "eviction drops the kernel"
+        );
     }
 
     #[test]

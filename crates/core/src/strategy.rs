@@ -146,13 +146,23 @@ impl<'a> StrategyContext<'a> {
     /// The weighted constraint network derived with `options`
     /// (session-cached per distinct option set).  The returned `Arc` handle
     /// shares the hard network's constraint storage — serving a weighted
-    /// request out of a warm session copies no tables at all.
+    /// request out of a warm session copies no tables at all, and the
+    /// compiled [`WeightKernel`](mlo_csp::WeightKernel) riding in the
+    /// cached network's spine is reused across requests.
     pub fn weighted_network(
         &self,
         options: &weights::WeightOptions,
     ) -> Arc<WeightedNetwork<Layout>> {
         self.network_used.set(true);
         self.prepared.weighted(self.program, options)
+    }
+
+    /// The compiled weighted execution kernel derived with `options`
+    /// (session-cached alongside the weighted network; repeat requests
+    /// return the identical `Arc`).
+    pub fn weight_kernel(&self, options: &weights::WeightOptions) -> Arc<mlo_csp::WeightKernel> {
+        self.network_used.set(true);
+        self.prepared.weight_kernel(self.program, options)
     }
 
     /// The request's node/time budget in `mlo-csp` form.

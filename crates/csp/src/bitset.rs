@@ -30,11 +30,61 @@
 //! `(variable, bit-mask)` entries that the solvers intersect into their
 //! initial live domains.  A domain shard therefore allocates a few words —
 //! never a pair table.
+//!
+//! # The weighted kernel
+//!
+//! [`WeightKernel`] is the weighted counterpart of [`BitKernel`]: per
+//! constraint, a **dense weight matrix** in both orientations
+//! ([`WeightTable`], mirroring the bit-matrix layout so "the weight of every
+//! partner of one value" is a contiguous row) plus per-value **row-maximum
+//! aggregates** over the allowed pairs ([`WeightConstraint`]), which give
+//! branch and bound its optimistic upper bounds and the weighted value
+//! ordering its O(1) scores.  It is compiled lazily, at most once per
+//! weighted spine (see [`crate::WeightedNetwork`]), and shared by clones,
+//! restricted views and domain shards; a `set_weight` recompiles **only the
+//! touched constraint's** aggregates, reusing every other
+//! [`WeightConstraint`] by pointer.
+//!
+//! # Incremental recompilation
+//!
+//! Both kernels recompile incrementally: a copy-on-write mutation of the
+//! builder-facing network patches only the affected constraint's
+//! bit-matrix/weight-matrix instead of discarding the whole compiled
+//! kernel (the network mutators and `set_weight` install the patched
+//! kernel; untouched compiled matrices are reused by pointer).  The
+//! process-wide [`bit_constraint_compiles`] / [`weight_constraint_compiles`]
+//! counters expose how many per-constraint compilations ever ran, so audits
+//! can pin "only the touched constraint was recompiled" exactly.
 
 use crate::assignment::Assignment;
 use crate::constraint::BinaryConstraint;
 use crate::network::VarId;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide count of [`BitConstraint`] compilations (monotonic; see
+/// [`bit_constraint_compiles`]).
+static BIT_CONSTRAINT_COMPILES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of [`WeightConstraint`] compilations (monotonic; see
+/// [`weight_constraint_compiles`]).
+static WEIGHT_CONSTRAINT_COMPILES: AtomicU64 = AtomicU64::new(0);
+
+/// How many per-constraint **bit-matrix** compilations have run in this
+/// process so far.  Incremental-recompilation audits snapshot this around a
+/// mutation to prove that only the touched constraint was recompiled.
+/// (Process-wide and monotonic: concurrent solves also advance it, so
+/// audits must run the measured section single-threaded.)
+pub fn bit_constraint_compiles() -> u64 {
+    BIT_CONSTRAINT_COMPILES.load(Ordering::Relaxed)
+}
+
+/// How many per-constraint **weight-matrix** compilations have run in this
+/// process so far (the [`WeightConstraint`] counterpart of
+/// [`bit_constraint_compiles`]).
+pub fn weight_constraint_compiles() -> u64 {
+    WEIGHT_CONSTRAINT_COMPILES.load(Ordering::Relaxed)
+}
 
 /// Bits per mask word.
 const WORD_BITS: usize = 64;
@@ -129,6 +179,7 @@ pub struct BitConstraint {
 
 impl BitConstraint {
     fn build(constraint: &BinaryConstraint, first_size: usize, second_size: usize) -> Self {
+        BIT_CONSTRAINT_COMPILES.fetch_add(1, Ordering::Relaxed);
         let fwd_stride = words_for(second_size).max(1);
         let rev_stride = words_for(first_size).max(1);
         let mut fwd = vec![0u64; first_size * fwd_stride];
@@ -194,7 +245,7 @@ impl BitConstraint {
 
 /// One entry of a variable's kernel adjacency list: the constraint, the
 /// neighbour it leads to, and the orientation of this variable in it.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelEdge {
     /// Index of the constraint (same indexing as the network's constraint
     /// list).
@@ -216,7 +267,9 @@ pub struct KernelEdge {
 #[derive(Debug)]
 pub struct BitKernel {
     shape: Arc<DomainShape>,
-    constraints: Vec<BitConstraint>,
+    /// Individually `Arc`'d so incremental recompilation can patch one
+    /// constraint and reuse every other compiled matrix by pointer.
+    constraints: Vec<Arc<BitConstraint>>,
     adjacency: Vec<Vec<KernelEdge>>,
 }
 
@@ -227,14 +280,14 @@ impl BitKernel {
         constraints: &[Arc<BinaryConstraint>],
         adjacency: &[Vec<usize>],
     ) -> Self {
-        let compiled: Vec<BitConstraint> = constraints
+        let compiled: Vec<Arc<BitConstraint>> = constraints
             .iter()
             .map(|c| {
-                BitConstraint::build(
+                Arc::new(BitConstraint::build(
                     c,
                     domain_sizes[c.first().index()],
                     domain_sizes[c.second().index()],
-                )
+                ))
             })
             .collect();
         // The kernel adjacency mirrors the network's per-variable constraint
@@ -282,6 +335,77 @@ impl BitKernel {
     /// [`crate::ConstraintNetwork::constraints`]).
     pub fn constraint(&self, index: usize) -> &BitConstraint {
         &self.constraints[index]
+    }
+
+    /// The shared handle of one compiled constraint (for structural-sharing
+    /// assertions: an incrementally patched kernel reuses every untouched
+    /// constraint's matrix by pointer).
+    pub fn constraint_handle(&self, index: usize) -> &Arc<BitConstraint> {
+        &self.constraints[index]
+    }
+
+    /// A kernel extended with one fresh (unconstrained) variable: every
+    /// compiled constraint matrix is reused by pointer, only the word
+    /// layout and adjacency grow — the incremental-recompilation path of
+    /// [`crate::ConstraintNetwork::add_variable`].
+    pub(crate) fn with_added_variable(&self, domain_size: usize) -> BitKernel {
+        let mut sizes = self.shape.sizes.clone();
+        sizes.push(domain_size);
+        let mut adjacency = self.adjacency.clone();
+        adjacency.push(Vec::new());
+        BitKernel {
+            shape: Arc::new(DomainShape::new(sizes)),
+            constraints: self.constraints.clone(),
+            adjacency,
+        }
+    }
+
+    /// A kernel with constraint `ci` recompiled from `constraint` (the
+    /// merge path of [`crate::ConstraintNetwork::add_constraint`]): the
+    /// shape and every *other* constraint matrix are reused by pointer.
+    pub(crate) fn with_patched_constraint(&self, ci: usize, constraint: &BinaryConstraint) -> Self {
+        let mut constraints = self.constraints.clone();
+        constraints[ci] = Arc::new(BitConstraint::build(
+            constraint,
+            self.shape.sizes[constraint.first().index()],
+            self.shape.sizes[constraint.second().index()],
+        ));
+        BitKernel {
+            shape: Arc::clone(&self.shape),
+            constraints,
+            adjacency: self.adjacency.clone(),
+        }
+    }
+
+    /// A kernel with one freshly compiled constraint appended (the
+    /// new-constraint path of [`crate::ConstraintNetwork::add_constraint`]):
+    /// only the new matrix is built; the endpoints' adjacency lists gain one
+    /// edge each, mirroring the network's adjacency order.
+    pub(crate) fn with_added_constraint(&self, constraint: &BinaryConstraint) -> Self {
+        let ci = self.constraints.len();
+        let (first, second) = (constraint.first(), constraint.second());
+        let mut constraints = self.constraints.clone();
+        constraints.push(Arc::new(BitConstraint::build(
+            constraint,
+            self.shape.sizes[first.index()],
+            self.shape.sizes[second.index()],
+        )));
+        let mut adjacency = self.adjacency.clone();
+        adjacency[first.index()].push(KernelEdge {
+            constraint: ci,
+            other: second,
+            var_is_first: true,
+        });
+        adjacency[second.index()].push(KernelEdge {
+            constraint: ci,
+            other: first,
+            var_is_first: false,
+        });
+        BitKernel {
+            shape: Arc::clone(&self.shape),
+            constraints,
+            adjacency,
+        }
     }
 
     /// The kernel adjacency of `var`: one edge per constraint involving it,
@@ -383,6 +507,290 @@ impl BitKernel {
             mask.apply(&mut domains);
         }
         domains
+    }
+}
+
+/// Dense per-constraint weight matrix in both orientations, mirroring the
+/// bit-matrix layout of [`BitConstraint`]: `fwd` is indexed
+/// `a * second_size + b`, `rev` is the transpose — so "the weight of every
+/// partner of one value" is a contiguous row scan in either direction, and
+/// a weight read is one indexed load instead of a hash probe.
+///
+/// This is the builder-side copy-on-write unit of
+/// [`crate::WeightedNetwork`]: `set_weight` detaches and patches exactly one
+/// table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightTable {
+    first_size: usize,
+    second_size: usize,
+    /// `fwd[a * second_size + b]` = weight of pair `(a, b)`.
+    fwd: Vec<f64>,
+    /// `rev[b * first_size + a]` = weight of pair `(a, b)` (transposed).
+    rev: Vec<f64>,
+}
+
+impl WeightTable {
+    /// A table with every entry at `weight` (the state of a constraint no
+    /// `set_weight` has touched, materialized).
+    pub fn uniform(first_size: usize, second_size: usize, weight: f64) -> Self {
+        WeightTable {
+            first_size,
+            second_size,
+            fwd: vec![weight; first_size * second_size],
+            rev: vec![weight; first_size * second_size],
+        }
+    }
+
+    /// Domain size of the constraint's `first` endpoint.
+    pub fn first_size(&self) -> usize {
+        self.first_size
+    }
+
+    /// Domain size of the constraint's `second` endpoint.
+    pub fn second_size(&self) -> usize {
+        self.second_size
+    }
+
+    /// The weight of pair `(a, b)` (oriented `first → second`).
+    ///
+    /// Indices must be in range (`a < first_size`, `b < second_size`):
+    /// this is the unchecked-shape hot-path read — an out-of-range `b`
+    /// would alias another row's entry, so it is a debug assertion.
+    pub fn get(&self, a: usize, b: usize) -> f64 {
+        debug_assert!(a < self.first_size && b < self.second_size);
+        self.fwd[a * self.second_size + b]
+    }
+
+    /// Sets the weight of pair `(a, b)`, keeping both orientations in sync.
+    pub fn set(&mut self, a: usize, b: usize, weight: f64) {
+        debug_assert!(a < self.first_size && b < self.second_size);
+        self.fwd[a * self.second_size + b] = weight;
+        self.rev[b * self.first_size + a] = weight;
+    }
+
+    /// Adds `delta` to the weight of pair `(a, b)` — the accumulation form
+    /// weight derivations use (no intermediate map needed).
+    pub fn add(&mut self, a: usize, b: usize, delta: f64) {
+        debug_assert!(a < self.first_size && b < self.second_size);
+        self.fwd[a * self.second_size + b] += delta;
+        self.rev[b * self.first_size + a] = self.fwd[a * self.second_size + b];
+    }
+
+    /// The dense weight row of `value` of the endpoint selected by
+    /// `var_is_first`: entry `i` is the weight of pairing `value` with the
+    /// *other* endpoint's value `i` (same row semantics as
+    /// [`BitConstraint::row`]).
+    pub fn row(&self, var_is_first: bool, value: usize) -> &[f64] {
+        if var_is_first {
+            &self.fwd[value * self.second_size..(value + 1) * self.second_size]
+        } else {
+            &self.rev[value * self.first_size..(value + 1) * self.first_size]
+        }
+    }
+
+    /// Oriented read: the weight of `value` (of the endpoint selected by
+    /// `var_is_first`) paired with `other` — a contiguous-row load in either
+    /// orientation.
+    pub fn oriented(&self, var_is_first: bool, value: usize, other: usize) -> f64 {
+        if var_is_first {
+            self.fwd[value * self.second_size + other]
+        } else {
+            self.rev[value * self.first_size + other]
+        }
+    }
+
+    /// Number of dense entries held across both orientations (the audit
+    /// metric behind "zero dense entries copied on a shard split").
+    pub fn dense_entries(&self) -> usize {
+        self.fwd.len() + self.rev.len()
+    }
+}
+
+/// One constraint of a [`WeightKernel`]: the (shared) dense weight table
+/// plus per-value aggregates over the constraint's *allowed* pairs.
+///
+/// The aggregates are what the weighted solvers lean on: `row_max` answers
+/// "the best weight this value can still gain on this constraint" in O(1)
+/// while the partner's domain is unpruned, and [`WeightConstraint::max_allowed`]
+/// is the per-constraint optimistic bound of branch and bound on an
+/// unrestricted network.
+#[derive(Debug)]
+pub struct WeightConstraint {
+    /// Shared by pointer with the builder-side spine; `None` when every
+    /// pair carries the default weight (nothing was ever set).
+    table: Option<Arc<WeightTable>>,
+    default_weight: f64,
+    /// `row_max_fwd[a]` = max weight among allowed pairs with `first = a`
+    /// (`NEG_INFINITY` when the value has no allowed pair).
+    row_max_fwd: Vec<f64>,
+    /// `row_max_rev[b]` = max weight among allowed pairs with `second = b`.
+    row_max_rev: Vec<f64>,
+    /// Max over all allowed pairs (`NEG_INFINITY` when the constraint
+    /// allows nothing).
+    max_allowed: f64,
+}
+
+impl WeightConstraint {
+    fn build(
+        table: Option<&Arc<WeightTable>>,
+        bit: &BitConstraint,
+        first_size: usize,
+        second_size: usize,
+        default_weight: f64,
+    ) -> Self {
+        WEIGHT_CONSTRAINT_COMPILES.fetch_add(1, Ordering::Relaxed);
+        let mut row_max_fwd = vec![f64::NEG_INFINITY; first_size];
+        let mut row_max_rev = vec![f64::NEG_INFINITY; second_size];
+        let mut max_allowed = f64::NEG_INFINITY;
+        for (a, row_max) in row_max_fwd.iter_mut().enumerate() {
+            for_each_set_bit(bit.row(true, a), |b| {
+                let weight = table.map_or(default_weight, |t| t.get(a, b));
+                *row_max = row_max.max(weight);
+                row_max_rev[b] = row_max_rev[b].max(weight);
+                max_allowed = max_allowed.max(weight);
+            });
+        }
+        WeightConstraint {
+            table: table.cloned(),
+            default_weight,
+            row_max_fwd,
+            row_max_rev,
+            max_allowed,
+        }
+    }
+
+    /// The weight of pair `(a, b)` (oriented `first → second`).
+    pub fn get(&self, a: usize, b: usize) -> f64 {
+        match &self.table {
+            Some(table) => table.get(a, b),
+            None => self.default_weight,
+        }
+    }
+
+    /// Oriented read, mirroring [`WeightTable::oriented`].
+    pub fn oriented(&self, var_is_first: bool, value: usize, other: usize) -> f64 {
+        match &self.table {
+            Some(table) => table.oriented(var_is_first, value, other),
+            None => self.default_weight,
+        }
+    }
+
+    /// The best weight among allowed pairs of `value` of the endpoint
+    /// selected by `var_is_first`, over the full partner domain
+    /// (`NEG_INFINITY` when the value has no allowed pair).
+    pub fn row_max(&self, var_is_first: bool, value: usize) -> f64 {
+        if var_is_first {
+            self.row_max_fwd[value]
+        } else {
+            self.row_max_rev[value]
+        }
+    }
+
+    /// The best weight among all allowed pairs (`NEG_INFINITY` when the
+    /// constraint allows nothing).
+    pub fn max_allowed(&self) -> f64 {
+        self.max_allowed
+    }
+
+    /// The shared dense table (for structural-sharing assertions; `None`
+    /// means every pair carries the default weight).
+    pub fn table(&self) -> Option<&Arc<WeightTable>> {
+        self.table.as_ref()
+    }
+}
+
+/// The compiled execution form of a weighted network: one
+/// [`WeightConstraint`] per constraint, each individually `Arc`'d so a
+/// weight mutation recompiles only the touched constraint's aggregates and
+/// reuses every other matrix by pointer.
+///
+/// Built lazily at most once per weighted spine (see
+/// [`crate::WeightedNetwork::weight_kernel`]) and shared by clones,
+/// restricted views and domain shards.
+#[derive(Debug)]
+pub struct WeightKernel {
+    default_weight: f64,
+    constraints: Vec<Arc<WeightConstraint>>,
+}
+
+impl WeightKernel {
+    /// Compiles the kernel from the builder-side dense tables (`None` =
+    /// uniform default) against the hard network's compiled [`BitKernel`].
+    pub(crate) fn build(
+        tables: &[Option<Arc<WeightTable>>],
+        kernel: &BitKernel,
+        default_weight: f64,
+    ) -> Self {
+        let constraints = tables
+            .iter()
+            .enumerate()
+            .map(|(ci, table)| {
+                let bit = kernel.constraint(ci);
+                Arc::new(WeightConstraint::build(
+                    table.as_ref(),
+                    bit,
+                    kernel.domain_size(bit.first()),
+                    kernel.domain_size(bit.second()),
+                    default_weight,
+                ))
+            })
+            .collect();
+        WeightKernel {
+            default_weight,
+            constraints,
+        }
+    }
+
+    /// A kernel with constraint `ci` recompiled from `table` — the
+    /// incremental-recompilation path of `set_weight`: every untouched
+    /// [`WeightConstraint`] is reused by pointer.
+    pub(crate) fn patched(
+        &self,
+        ci: usize,
+        table: Option<&Arc<WeightTable>>,
+        kernel: &BitKernel,
+    ) -> Self {
+        let mut constraints = self.constraints.clone();
+        let bit = kernel.constraint(ci);
+        constraints[ci] = Arc::new(WeightConstraint::build(
+            table,
+            bit,
+            kernel.domain_size(bit.first()),
+            kernel.domain_size(bit.second()),
+            self.default_weight,
+        ));
+        WeightKernel {
+            default_weight: self.default_weight,
+            constraints,
+        }
+    }
+
+    /// The weight every unset pair carries.
+    pub fn default_weight(&self) -> f64 {
+        self.default_weight
+    }
+
+    /// Number of constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The compiled weight constraint at `index` (same indexing as
+    /// [`crate::ConstraintNetwork::constraints`]).
+    pub fn constraint(&self, index: usize) -> &WeightConstraint {
+        &self.constraints[index]
+    }
+
+    /// The shared handle of one compiled weight constraint (for
+    /// structural-sharing assertions).
+    pub fn constraint_handle(&self, index: usize) -> &Arc<WeightConstraint> {
+        &self.constraints[index]
+    }
+
+    /// The weight of pair `(a, b)` of constraint `ci` — the dense read that
+    /// replaced the per-pair hash probe on every weighted hot path.
+    pub fn weight(&self, ci: usize, a: usize, b: usize) -> f64 {
+        self.constraints[ci].get(a, b)
     }
 }
 
@@ -618,6 +1026,12 @@ impl DomainMask {
     /// Number of live values of `var`, given its full domain size.
     pub fn live_count(&self, var: VarId, domain_size: usize) -> usize {
         self.entry(var.index()).map_or(domain_size, |e| e.live)
+    }
+
+    /// Whether `var` carries a mask entry (i.e. its domain was restricted;
+    /// a variable without an entry is fully live).
+    pub fn is_masked(&self, var: VarId) -> bool {
+        self.entry(var.index()).is_some()
     }
 
     /// Whether value `index` of `var` is live under this mask.

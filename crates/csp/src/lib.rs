@@ -26,8 +26,10 @@
 //! * [`weighted`] — weighted constraint networks solved with branch and
 //!   bound (the paper's "give weights to constraints" future direction),
 //! * [`bitset`] — the word-packed execution kernel every solver hot path
-//!   runs on: per-constraint bit-matrices, per-value support counts and
-//!   mask-based domain restriction (allocation-free domain shards),
+//!   runs on: per-constraint bit-matrices, per-value support counts,
+//!   mask-based domain restriction (allocation-free domain shards) and the
+//!   dense [`WeightKernel`] the weighted hot paths read (no hash probe on
+//!   the optimizing path, incremental recompilation on mutation),
 //! * [`random`] — reproducible random-network generators for tests and
 //!   scaling benchmarks.
 //!
@@ -76,7 +78,10 @@ pub mod weighted;
 
 pub use analysis::NetworkProfile;
 pub use assignment::{Assignment, Solution};
-pub use bitset::{BitConstraint, BitDomains, BitKernel, DomainMask, KernelEdge};
+pub use bitset::{
+    bit_constraint_compiles, weight_constraint_compiles, BitConstraint, BitDomains, BitKernel,
+    DomainMask, KernelEdge, WeightConstraint, WeightKernel, WeightTable,
+};
 pub use constraint::BinaryConstraint;
 pub use domain::Domain;
 pub use network::{ConstraintNetwork, NetworkStorage, VarId};
@@ -86,7 +91,7 @@ pub use solver::{
     PortfolioReport, Scheme, SearchEngine, SearchLimits, SearchStats, SharedIncumbent, SolveResult,
     ValueOrdering, VariableOrdering, WorkerPool,
 };
-pub use weighted::{BnbOrder, BranchAndBound, Coop, PairWeights, WeightedNetwork};
+pub use weighted::{BnbOrder, BranchAndBound, Coop, WeightedNetwork};
 
 use std::fmt;
 use std::hash::Hash;

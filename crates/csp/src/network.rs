@@ -29,8 +29,11 @@
 //! per-value support counts, see [`crate::bitset`]) cached inside the
 //! shared storage.  Clones, restricted views and session-cached networks
 //! all reuse the identical kernel (`Arc::ptr_eq`-verifiable through
-//! [`ConstraintNetwork::kernel`]); any copy-on-write mutation invalidates
-//! it, and the next solve recompiles.
+//! [`ConstraintNetwork::kernel`]).  Copy-on-write mutations recompile the
+//! kernel **incrementally**: adding or extending a constraint rebuilds only
+//! that constraint's bit-matrix and support counts (adding a variable
+//! rebuilds none), with every untouched compiled matrix reused by pointer —
+//! builder-heavy workloads no longer pay a full recompilation per tweak.
 
 use crate::assignment::Assignment;
 use crate::bitset::{BitKernel, DomainMask};
@@ -185,11 +188,17 @@ impl<V: Value> ConstraintNetwork<V> {
     /// private copy (of the `Arc` spine only — the tables themselves are
     /// still shared until individually touched) once the storage is shared.
     ///
-    /// Any mutation invalidates the cached execution kernel: the next
-    /// solver run recompiles it from the updated tables.
-    fn storage_mut(&mut self) -> &mut NetworkStorage<V> {
+    /// Kernel recompilation is **incremental**: when the pre-mutation
+    /// storage had a compiled kernel, the mutator computes a patched kernel
+    /// (only the affected constraint's bit-matrix and support counts are
+    /// rebuilt — see [`crate::bitset`]) and installs it here; otherwise the
+    /// next solver run compiles from scratch as before.
+    fn storage_mut_with_kernel(&mut self, patched: Option<BitKernel>) -> &mut NetworkStorage<V> {
         let storage = Arc::make_mut(&mut self.storage);
         storage.kernel.take();
+        if let Some(kernel) = patched {
+            let _ = storage.kernel.set(Arc::new(kernel));
+        }
         storage
     }
 
@@ -258,10 +267,19 @@ impl<V: Value> ConstraintNetwork<V> {
     /// Adds a variable with the given name and domain values; returns its id.
     pub fn add_variable(&mut self, name: impl Into<String>, domain: Vec<V>) -> VarId {
         let name = name.into();
-        let storage = self.storage_mut();
+        let domain = Domain::new(domain);
+        // Incremental recompilation: a fresh variable has no constraints,
+        // so every compiled bit-matrix is reused — only the word layout and
+        // adjacency grow.
+        let patched = self
+            .storage
+            .kernel
+            .get()
+            .map(|kernel| kernel.with_added_variable(domain.len()));
+        let storage = self.storage_mut_with_kernel(patched);
         let id = VarId::new(storage.domains.len());
         Arc::make_mut(&mut storage.names).push(name);
-        storage.domains.push(Arc::new(Domain::new(domain)));
+        storage.domains.push(Arc::new(domain));
         Arc::make_mut(&mut storage.adjacency).push(Vec::new());
         id
     }
@@ -341,23 +359,37 @@ impl<V: Value> ConstraintNetwork<V> {
         }
         // Merge with an existing constraint over the same scope if present.
         if let Some(ci) = self.constraint_index_between(a, b) {
-            let storage = self.storage_mut();
-            let existing = &storage.constraints[ci];
+            let existing = &self.storage.constraints[ci];
             let mut merged = existing.allowed_pairs().clone();
             if existing.first() == a {
                 merged.extend(pairs);
             } else {
                 merged.extend(pairs.into_iter().map(|(x, y)| (y, x)));
             }
-            let (fst, snd) = (existing.first(), existing.second());
-            storage.constraints[ci] = Arc::new(BinaryConstraint::new(fst, snd, merged));
+            let merged = BinaryConstraint::new(existing.first(), existing.second(), merged);
+            // Incremental recompilation: only this constraint's bit-matrix
+            // and support counts are rebuilt; every other compiled matrix
+            // is reused by pointer.
+            let patched = self
+                .storage
+                .kernel
+                .get()
+                .map(|kernel| kernel.with_patched_constraint(ci, &merged));
+            let storage = self.storage_mut_with_kernel(patched);
+            storage.constraints[ci] = Arc::new(merged);
             return Ok(());
         }
-        let storage = self.storage_mut();
+        let constraint = BinaryConstraint::new(a, b, pairs);
+        // Incremental recompilation: compile just the new constraint's
+        // matrix and append its two adjacency edges.
+        let patched = self
+            .storage
+            .kernel
+            .get()
+            .map(|kernel| kernel.with_added_constraint(&constraint));
+        let storage = self.storage_mut_with_kernel(patched);
         let ci = storage.constraints.len();
-        storage
-            .constraints
-            .push(Arc::new(BinaryConstraint::new(a, b, pairs)));
+        storage.constraints.push(Arc::new(constraint));
         let adjacency = Arc::make_mut(&mut storage.adjacency);
         adjacency[a.index()].push(ci);
         adjacency[b.index()].push(ci);
@@ -436,7 +468,10 @@ impl<V: Value> ConstraintNetwork<V> {
             .map(|i| &*self.storage.constraints[i])
     }
 
-    fn constraint_index_between(&self, a: VarId, b: VarId) -> Option<usize> {
+    /// The index (into [`ConstraintNetwork::constraints`]) of the
+    /// constraint between two variables, if any — an adjacency-list scan,
+    /// `O(degree)` rather than `O(constraints)`.
+    pub fn constraint_index_between(&self, a: VarId, b: VarId) -> Option<usize> {
         let adjacency = &self.storage.adjacency;
         if a == b || a.index() >= adjacency.len() || b.index() >= adjacency.len() {
             return None;

@@ -24,7 +24,10 @@ pub mod portfolio;
 pub use ac3::{ac3, ac3_kernel, Ac3Outcome};
 pub use enumerate::{EnumerationResult, Enumerator};
 pub use local::MinConflicts;
-pub use ordering::{order_values, select_variable, ValueOrdering, VariableOrdering};
+pub use ordering::{
+    best_live_weight, order_values, select_variable, weighted_value_order, ValueOrdering,
+    VariableOrdering,
+};
 pub use pool::WorkerPool;
 pub use portfolio::{
     CancelToken, ParallelPortfolioSearch, PortfolioMember, PortfolioReport, SharedIncumbent,
@@ -98,7 +101,9 @@ pub struct SearchStats {
     pub backjumps: u64,
     /// Number of individual constraint checks performed.
     pub consistency_checks: u64,
-    /// Number of domain values pruned by forward checking / AC-3.
+    /// Number of domain values pruned by forward checking / AC-3.  Branch
+    /// and bound counts its bound prunes (subtrees cut by the own or shared
+    /// incumbent bound) here.
     pub prunings: u64,
     /// Deepest partial-assignment depth reached.
     pub max_depth: usize,

@@ -17,10 +17,89 @@
 //! while a neighbour's domain is unpruned.
 
 use crate::assignment::Assignment;
-use crate::bitset::{BitDomains, BitKernel};
+use crate::bitset::{BitDomains, BitKernel, KernelEdge, WeightKernel};
 use crate::network::VarId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+
+/// Score assigned to a value with no live support on some open constraint
+/// (a value that cannot appear in any solution sorts last); shared with
+/// the portfolio's weight-guided greedy probe.
+pub(crate) const UNSUPPORTED_PENALTY: f64 = -1.0e12;
+
+/// The best dense weight `value` (of the endpoint `edge` belongs to) can
+/// still realize against a **live** partner value on `edge`'s constraint —
+/// `NEG_INFINITY` when no live partner supports it.
+///
+/// While the partner's domain is unpruned this is the kernel's precomputed
+/// per-value row-maximum aggregate (one load); otherwise it is a word-AND
+/// scan over the live supports reading the dense row.  This is the one
+/// copy of the "optimistic potential" both the weighted value ordering and
+/// the greedy probe score with.
+pub fn best_live_weight(
+    kernel: &BitKernel,
+    weights: &WeightKernel,
+    live: &BitDomains,
+    edge: &KernelEdge,
+    value: usize,
+) -> f64 {
+    let weight = weights.constraint(edge.constraint);
+    if live.count(edge.other) == kernel.domain_size(edge.other) {
+        weight.row_max(edge.var_is_first, value)
+    } else {
+        let row = kernel
+            .constraint(edge.constraint)
+            .row(edge.var_is_first, value);
+        let mut best = f64::NEG_INFINITY;
+        live.for_each_common(edge.other, row, |other| {
+            best = best.max(weight.oriented(edge.var_is_first, value, other));
+        });
+        best
+    }
+}
+
+/// Orders the *live* values of `var` by descending weight potential — the
+/// weighted counterpart of the least-constraining value ordering, run on
+/// dense matrix reads.
+///
+/// A value's potential is the sum, over the variable's constraints, of the
+/// best dense weight it can still realize against a live partner value.
+/// While a partner's domain is unpruned this is the kernel's precomputed
+/// per-value row-maximum aggregate (one load); a pruned or masked partner
+/// falls back to a word-AND scan over the live supports.  Values with no
+/// live support on some constraint sort last.
+///
+/// The sort is stable with ascending-index input, so equal-potential values
+/// keep domain order — making the ordering deterministic and identical
+/// between a mask-based restricted view and its materialized counterpart.
+/// Branch and bound instantiates values in this order: landing near the
+/// optimum early is what lets the bound prune the rest of the tree.
+pub fn weighted_value_order(
+    kernel: &BitKernel,
+    weights: &WeightKernel,
+    live: &BitDomains,
+    var: VarId,
+) -> Vec<usize> {
+    let mut scored: Vec<(usize, f64)> = live
+        .live_values(var)
+        .into_iter()
+        .map(|value| {
+            let mut potential = 0.0;
+            for edge in kernel.edges(var) {
+                let best = best_live_weight(kernel, weights, live, edge, value);
+                potential += if best.is_finite() {
+                    best
+                } else {
+                    UNSUPPORTED_PENALTY
+                };
+            }
+            (value, potential)
+        })
+        .collect();
+    // Stable sort: descending potential, ties keep ascending index order.
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    scored.into_iter().map(|(value, _)| value).collect()
+}
 
 /// How the next variable to instantiate is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -595,7 +595,8 @@ enum WeightedHelper<V> {
 }
 
 /// Runs the weight-guided greedy probe, offering every complete solution's
-/// canonical weight to the shared incumbent.
+/// canonical weight to the shared incumbent.  Every weight is a dense
+/// [`WeightKernel`](crate::WeightKernel) read — no hash probe.
 fn greedy_probe<V: Value>(
     weighted: &WeightedNetwork<V>,
     seed: u64,
@@ -613,6 +614,7 @@ fn greedy_probe<V: Value>(
     // Kernel probes for conflicts; live masks keep a restricted view's
     // dead values out of both the value loop and the optimistic potential.
     let kernel = Arc::clone(network.kernel());
+    let weights = Arc::clone(weighted.weight_kernel());
     let domains = kernel.masked_domains(network.mask().map(|m| &**m));
     let live: Vec<Vec<usize>> = network
         .variables()
@@ -637,33 +639,24 @@ fn greedy_probe<V: Value>(
                 let mut score = 0.0;
                 for edge in kernel.edges(var) {
                     if let Some(other_value) = assignment.get(edge.other) {
-                        let pair = if edge.var_is_first {
-                            (value, other_value)
-                        } else {
-                            (other_value, value)
-                        };
-                        score += weighted.weight_of(edge.constraint, pair);
+                        score += weights.constraint(edge.constraint).oriented(
+                            edge.var_is_first,
+                            value,
+                            other_value,
+                        );
                     } else {
                         // Optimistic potential: the best pair this value
                         // still allows on the open constraint (live other
                         // side only); a value with no support at all is
-                        // heavily penalized.
-                        let row = kernel
-                            .constraint(edge.constraint)
-                            .row(edge.var_is_first, value);
-                        let mut potential = f64::NEG_INFINITY;
-                        domains.for_each_common(edge.other, row, |b| {
-                            let pair = if edge.var_is_first {
-                                (value, b)
-                            } else {
-                                (b, value)
-                            };
-                            potential = potential.max(weighted.weight_of(edge.constraint, pair));
-                        });
+                        // heavily penalized.  One shared implementation
+                        // with the weighted value ordering.
+                        let potential = crate::solver::ordering::best_live_weight(
+                            &kernel, &weights, &domains, edge, value,
+                        );
                         score += if potential.is_finite() {
                             potential
                         } else {
-                            -1.0e12
+                            crate::solver::ordering::UNSUPPORTED_PENALTY
                         };
                     }
                 }

@@ -7,17 +7,37 @@
 //! the importance of the nest that generated it), and [`BranchAndBound`]
 //! finds the complete assignment that (a) satisfies every constraint and
 //! (b) maximizes the total weight of the selected pairs.
+//!
+//! # The dense weight spine
+//!
+//! A [`WeightedNetwork`] is a thin copy-on-write overlay over its hard
+//! [`ConstraintNetwork`]: one **dense** [`WeightTable`] per constraint (flat
+//! `f64` matrices in both orientations, mirroring the bit-matrices — see
+//! [`crate::bitset`]), behind a shared spine.  Cloning shares everything;
+//! [`WeightedNetwork::set_weight`] detaches and patches exactly one table;
+//! [`WeightedNetwork::restricted`] shares the whole spine (a weighted domain
+//! shard copies **zero** dense entries).
+//!
+//! The execution form is the [`WeightKernel`]: per-constraint dense matrices
+//! plus row-maximum aggregates over the allowed pairs, compiled lazily at
+//! most once per spine (the same `OnceLock` discipline as the hard
+//! [`BitKernel`](crate::BitKernel)) and recompiled **incrementally** — a
+//! `set_weight` rebuilds only the touched constraint's aggregates, reusing
+//! every other compiled matrix by pointer.  All weighted hot paths (branch
+//! and bound, the portfolio's greedy probes, the weighted value ordering)
+//! read it directly: no hash probe survives on the optimizing path.
 
 use crate::assignment::{Assignment, Solution};
+use crate::bitset::{WeightKernel, WeightTable};
 use crate::network::{ConstraintNetwork, VarId};
 use crate::solver::portfolio::{CancelToken, SharedIncumbent};
+use crate::solver::weighted_value_order;
 use crate::solver::{SearchLimits, SearchStats};
 use crate::Value;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// How often (in visited nodes) the wall-clock deadline is polled.
@@ -47,38 +67,60 @@ pub struct Coop<'a> {
     pub cancel: Option<&'a CancelToken>,
 }
 
-/// The per-constraint weight table: pair (oriented like the constraint) to
-/// weight.  Tables are individually `Arc`'d inside [`WeightedNetwork`] so
-/// clones and restricted views share every table the mutation / restriction
-/// does not touch.
-pub type PairWeights = HashMap<(usize, usize), f64>;
+/// The shared tables behind a [`WeightedNetwork`]: one optional dense
+/// weight table per constraint plus the lazily compiled [`WeightKernel`].
+///
+/// `None` in a table slot means "every pair of this constraint carries the
+/// default weight" — nothing is materialized until a `set_weight` touches
+/// the constraint, so wrapping a large hard network allocates no dense
+/// entry at all.
+#[derive(Debug)]
+struct WeightSpine {
+    /// Same indexing as the hard network's constraint list.
+    tables: Vec<Option<Arc<WeightTable>>>,
+    /// Compiled execution form, built lazily at most once per spine and
+    /// shared by every handle over it.
+    kernel: OnceLock<Arc<WeightKernel>>,
+}
+
+impl Clone for WeightSpine {
+    fn clone(&self) -> Self {
+        // Cloning a spine only happens on the copy-on-write path (a handle
+        // about to be mutated): the mutator installs an incrementally
+        // patched kernel afterwards, so the fork must not inherit one
+        // compiled from tables it is about to change.
+        WeightSpine {
+            tables: self.tables.clone(),
+            kernel: OnceLock::new(),
+        }
+    }
+}
 
 /// A constraint network whose allowed pairs carry weights.
 ///
 /// Like [`ConstraintNetwork`], a weighted network is copy-on-write: cloning
-/// shares the hard network's storage and every per-constraint weight table;
-/// [`WeightedNetwork::set_weight`] copies only the one table it touches and
-/// [`WeightedNetwork::restricted`] materializes only the tables of
-/// constraints adjacent to the restricted variable.
+/// shares the hard network's storage and the whole weight spine;
+/// [`WeightedNetwork::set_weight`] copies only the one dense table it
+/// touches (recompiling only that constraint's kernel aggregates) and
+/// [`WeightedNetwork::restricted`] shares **every** table and the compiled
+/// [`WeightKernel`] by pointer.
 #[derive(Debug, Clone)]
 pub struct WeightedNetwork<V> {
     network: ConstraintNetwork<V>,
-    /// One shared weight table per constraint (same indices as
-    /// `network.constraints()`), behind a shared spine so cloning the
-    /// whole network is two reference-count bumps, independent of the
-    /// constraint count.
-    weights: Arc<Vec<Arc<PairWeights>>>,
+    spine: Arc<WeightSpine>,
     default_weight: f64,
 }
 
 impl<V: Value> WeightedNetwork<V> {
     /// Wraps a network; pairs start with the given default weight.
     pub fn new(network: ConstraintNetwork<V>, default_weight: f64) -> Self {
-        let empty = Arc::new(PairWeights::new());
-        let weights = Arc::new(vec![empty; network.constraint_count()]);
+        let spine = Arc::new(WeightSpine {
+            tables: vec![None; network.constraint_count()],
+            kernel: OnceLock::new(),
+        });
         WeightedNetwork {
             network,
-            weights,
+            spine,
             default_weight,
         }
     }
@@ -88,39 +130,111 @@ impl<V: Value> WeightedNetwork<V> {
         &self.network
     }
 
+    /// The weight every pair no `set_weight` touched carries.
+    pub fn default_weight(&self) -> f64 {
+        self.default_weight
+    }
+
+    /// The compiled weighted execution kernel (dense matrices plus
+    /// row-maximum aggregates, see [`crate::bitset::WeightKernel`]),
+    /// building it on first use and caching it inside the shared spine.
+    ///
+    /// Every handle over the same spine — clones, restricted views, domain
+    /// shards — returns the *same* `Arc` (verify with `Arc::ptr_eq`).  A
+    /// `set_weight` installs an incrementally patched kernel: only the
+    /// touched constraint's aggregates are recompiled.
+    pub fn weight_kernel(&self) -> &Arc<WeightKernel> {
+        self.spine.kernel.get_or_init(|| {
+            Arc::new(WeightKernel::build(
+                &self.spine.tables,
+                self.network.kernel(),
+                self.default_weight,
+            ))
+        })
+    }
+
     /// Whether `self` and `other` share the weight table of constraint
     /// `constraint_index` (a structural-sharing assertion for tests; out of
-    /// range on either side counts as not shared).
+    /// range on either side counts as not shared).  Two untouched slots of
+    /// networks with the same default weight count as shared — both are the
+    /// same uniform table, just never materialized.
     pub fn shares_weight_table(&self, other: &Self, constraint_index: usize) -> bool {
         match (
-            self.weights.get(constraint_index),
-            other.weights.get(constraint_index),
+            self.spine.tables.get(constraint_index),
+            other.spine.tables.get(constraint_index),
         ) {
-            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (Some(Some(a)), Some(Some(b))) => Arc::ptr_eq(a, b),
+            (Some(None), Some(None)) => {
+                self.default_weight.to_bits() == other.default_weight.to_bits()
+            }
             _ => false,
         }
     }
 
-    /// Sets the weight of one allowed pair of the constraint between `a` and
-    /// `b`.  The pair is given as values of `a` and `b`.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when no constraint exists between the variables or
-    /// the values are not in their domains.
-    pub fn set_weight(
-        &mut self,
+    /// Whether `self` and `other` share the entire weight spine (tables and
+    /// compiled kernel) by pointer — the post-clone / post-shard state.
+    pub fn shares_weight_spine(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.spine, &other.spine)
+    }
+
+    /// Total dense weight entries currently materialized across all tables
+    /// (an audit metric: a shard split must not change it).
+    pub fn dense_entries(&self) -> usize {
+        self.spine
+            .tables
+            .iter()
+            .flatten()
+            .map(|table| table.dense_entries())
+            .sum()
+    }
+
+    /// Copy-on-write patch of one constraint's dense table: detaches the
+    /// spine (if shared) and the touched table (if shared), applies `patch`,
+    /// and — when a compiled kernel existed — installs an incrementally
+    /// recompiled kernel in which only constraint `ci` was rebuilt.
+    fn patch_table(&mut self, ci: usize, patch: impl FnOnce(&mut WeightTable)) {
+        let old_kernel = self.spine.kernel.get().cloned();
+        let constraint = &self.network.constraints()[ci];
+        let first_size = self.network.domain(constraint.first()).len();
+        let second_size = self.network.domain(constraint.second()).len();
+        let default_weight = self.default_weight;
+        let spine = Arc::make_mut(&mut self.spine);
+        let slot = &mut spine.tables[ci];
+        let table = match slot {
+            Some(table) => Arc::make_mut(table),
+            None => {
+                *slot = Some(Arc::new(WeightTable::uniform(
+                    first_size,
+                    second_size,
+                    default_weight,
+                )));
+                Arc::make_mut(slot.as_mut().expect("just inserted"))
+            }
+        };
+        patch(table);
+        // Incremental kernel recompilation: only constraint `ci`'s
+        // aggregates are rebuilt; every other compiled matrix is reused by
+        // pointer.  (The spine's kernel slot is empty here: either the
+        // CoW clone reset it, or we take() the in-place one.)
+        spine.kernel.take();
+        if let Some(old) = old_kernel {
+            let patched = old.patched(ci, spine.tables[ci].as_ref(), self.network.kernel());
+            let _ = spine.kernel.set(Arc::new(patched));
+        }
+    }
+
+    /// Resolves `(a, b, value_a, value_b)` to a constraint index and an
+    /// oriented index pair.
+    fn resolve_pair(
+        &self,
         a: VarId,
         b: VarId,
         value_a: &V,
         value_b: &V,
-        weight: f64,
-    ) -> crate::Result<()> {
+    ) -> crate::Result<(usize, (usize, usize))> {
         let ci = self
             .network
-            .constraints()
-            .iter()
-            .position(|c| c.involves(a) && c.involves(b))
+            .constraint_index_between(a, b)
             .ok_or(crate::CspError::UnknownVariable(b))?;
         let ia = self.network.domain(a).index_of(value_a).ok_or_else(|| {
             crate::CspError::ValueNotInDomain {
@@ -140,30 +254,73 @@ impl<V: Value> WeightedNetwork<V> {
         } else {
             (ib, ia)
         };
-        // Copy-on-write at both levels: the spine (pointer vector) detaches
-        // if shared, then only the touched constraint's table.
-        let tables = Arc::make_mut(&mut self.weights);
-        Arc::make_mut(&mut tables[ci]).insert(pair, weight);
+        Ok((ci, pair))
+    }
+
+    /// Sets the weight of one allowed pair of the constraint between `a` and
+    /// `b`.  The pair is given as values of `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no constraint exists between the variables or
+    /// the values are not in their domains.
+    pub fn set_weight(
+        &mut self,
+        a: VarId,
+        b: VarId,
+        value_a: &V,
+        value_b: &V,
+        weight: f64,
+    ) -> crate::Result<()> {
+        let (ci, pair) = self.resolve_pair(a, b, value_a, value_b)?;
+        self.patch_table(ci, |table| table.set(pair.0, pair.1, weight));
+        Ok(())
+    }
+
+    /// Adds `delta` to the weight of one pair — the accumulation form
+    /// weight derivations use, writing contributions straight into the
+    /// dense table with no intermediate map.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WeightedNetwork::set_weight`].
+    pub fn add_weight(
+        &mut self,
+        a: VarId,
+        b: VarId,
+        value_a: &V,
+        value_b: &V,
+        delta: f64,
+    ) -> crate::Result<()> {
+        let (ci, pair) = self.resolve_pair(a, b, value_a, value_b)?;
+        self.patch_table(ci, |table| table.add(pair.0, pair.1, delta));
         Ok(())
     }
 
     /// The weight of a pair of a constraint (by constraint index and pair
     /// oriented like the constraint).
+    ///
+    /// Any unknown pair — out-of-range constraint index *or* out-of-range
+    /// value indices — reads the default weight, matching the old
+    /// map-backed behavior (an unchecked dense read would alias another
+    /// row's entry instead).
     pub fn weight_of(&self, constraint_index: usize, pair: (usize, usize)) -> f64 {
-        self.weights
-            .get(constraint_index)
-            .and_then(|table| table.get(&pair))
-            .copied()
-            .unwrap_or(self.default_weight)
+        match self.spine.tables.get(constraint_index) {
+            Some(Some(table)) if pair.0 < table.first_size() && pair.1 < table.second_size() => {
+                table.get(pair.0, pair.1)
+            }
+            _ => self.default_weight,
+        }
     }
 
     /// Builds a mask-based restricted *view* with the domain of `var`
     /// restricted to the given value indices (see
     /// [`ConstraintNetwork::restricted`]).
     ///
-    /// Because a mask never remaps indices, **every** weight table is
-    /// shared with `self` by pointer — a weighted domain shard allocates a
-    /// few mask words and zero pair or weight entries.
+    /// Because a mask never remaps indices, the **entire weight spine** —
+    /// every dense table and the compiled [`WeightKernel`] — is shared with
+    /// `self` by pointer: a weighted domain shard allocates a few mask words
+    /// and zero dense weight entries.
     ///
     /// # Errors
     ///
@@ -171,19 +328,36 @@ impl<V: Value> WeightedNetwork<V> {
     pub fn restricted(&self, var: VarId, keep: &[usize]) -> crate::Result<WeightedNetwork<V>> {
         Ok(WeightedNetwork {
             network: self.network.restricted(var, keep)?,
-            weights: Arc::clone(&self.weights),
+            spine: Arc::clone(&self.spine),
             default_weight: self.default_weight,
         })
     }
 
     /// The total weight of a complete assignment (only meaningful when it is
     /// a solution of the hard network).
+    ///
+    /// Only constraints adjacent to assigned variables are visited (via the
+    /// kernel adjacency, each constraint exactly once from its `first`
+    /// endpoint), so the cost is `O(edges of the assignment)`, not
+    /// `O(constraints)` — and each weight is one dense read.  The summation
+    /// order (ascending variable, adjacency order) is fixed, so equal
+    /// assignments produce bit-equal sums on every portfolio member.
     pub fn assignment_weight(&self, assignment: &Assignment) -> f64 {
+        let kernel = self.network.kernel();
+        let weights = self.weight_kernel();
         let mut total = 0.0;
-        for (ci, c) in self.network.constraints().iter().enumerate() {
-            if let (Some(a), Some(b)) = (assignment.get(c.first()), assignment.get(c.second())) {
-                if c.allows(c.first(), a, c.second(), b) {
-                    total += self.weight_of(ci, (a, b));
+        for var in self.network.variables() {
+            let Some(a) = assignment.get(var) else {
+                continue;
+            };
+            for edge in kernel.edges(var) {
+                if !edge.var_is_first {
+                    continue; // each constraint is summed once, from `first`
+                }
+                if let Some(b) = assignment.get(edge.other) {
+                    if kernel.constraint(edge.constraint).allows(a, b) {
+                        total += weights.weight(edge.constraint, a, b);
+                    }
                 }
             }
         }
@@ -308,37 +482,57 @@ impl BranchAndBound {
             }
         }
 
-        // The execution kernel (shared, compiled at most once per storage)
-        // and the live values of every variable — on a mask-based
-        // restricted view this is where the restriction takes effect.
+        // The execution kernels (shared, compiled at most once per storage /
+        // spine) and the live values of every variable — on a mask-based
+        // restricted view this is where the restriction takes effect.  Live
+        // values are ordered **best weight potential first** (dense
+        // row-maximum aggregates): landing near the optimum early is what
+        // makes the bound prune.
         let kernel = Arc::clone(network.kernel());
+        let weights = Arc::clone(weighted.weight_kernel());
+        let domains = kernel.masked_domains(network.mask().map(|m| &**m));
         let live: Vec<Vec<usize>> = network
             .variables()
-            .map(|v| network.live_values(v))
+            .map(|v| weighted_value_order(&kernel, &weights, &domains, v))
             .collect();
 
         // Optimistic per-constraint bound: the largest weight of any pair
         // whose endpoints are both live (dead pairs of a restricted view
         // must not loosen the bound — a materialized restriction would not
-        // contain them at all).
-        let max_pair_weight: Vec<f64> = network
-            .constraints()
-            .iter()
-            .enumerate()
-            .map(|(ci, c)| {
-                c.allowed_pairs()
-                    .iter()
-                    .filter(|&&(a, b)| {
-                        network.is_live(c.first(), a) && network.is_live(c.second(), b)
-                    })
-                    .map(|&p| weighted.weight_of(ci, p))
-                    .fold(weighted.default_weight.max(0.0), f64::max)
+        // contain them at all).  Unmasked constraints read the precomputed
+        // kernel aggregate; only constraints touching a masked variable
+        // rescan their live pairs.
+        let floor = weighted.default_weight.max(0.0);
+        let max_pair_weight: Vec<f64> = (0..network.constraint_count())
+            .map(|ci| {
+                let bit = kernel.constraint(ci);
+                let masked = network
+                    .mask()
+                    .is_some_and(|m| m.is_masked(bit.first()) || m.is_masked(bit.second()));
+                let best = if masked {
+                    let mut best = f64::NEG_INFINITY;
+                    let wc = weights.constraint(ci);
+                    domains.for_each_live(bit.first(), |a| {
+                        domains.for_each_common(bit.second(), bit.row(true, a), |b| {
+                            best = best.max(wc.get(a, b));
+                        });
+                    });
+                    best
+                } else {
+                    weights.constraint(ci).max_allowed()
+                };
+                if best.is_finite() {
+                    floor.max(best)
+                } else {
+                    floor
+                }
             })
             .collect();
 
         let ctx = BnbContext {
             weighted,
             kernel: &kernel,
+            weights: &weights,
             live,
             limits,
             coop,
@@ -408,7 +602,6 @@ impl BranchAndBound {
             }
         }
         let weighted = ctx.weighted;
-        let network = weighted.network();
         if depth == ctx.order.len() {
             if weight_so_far > *best_weight {
                 *best_weight = weight_so_far;
@@ -416,8 +609,8 @@ impl BranchAndBound {
                 if let Some(incumbent) = ctx.coop.incumbent {
                     // Publish the *canonically* recomputed weight: every
                     // member sums constraint contributions in the same
-                    // (constraint-index) order, so equal solutions publish
-                    // bit-equal bounds regardless of search order.
+                    // (variable, adjacency) order, so equal solutions
+                    // publish bit-equal bounds regardless of search order.
                     incumbent.offer(weighted.assignment_weight(assignment));
                 }
             }
@@ -425,16 +618,18 @@ impl BranchAndBound {
         }
         // Upper bound: current weight plus the best conceivable weight of
         // every constraint not yet fully assigned.
-        let optimistic: f64 = network
-            .constraints()
+        let optimistic: f64 = ctx
+            .max_pair_weight
             .iter()
             .enumerate()
-            .filter(|(_, c)| {
+            .filter(|&(ci, _)| {
+                let c = ctx.kernel.constraint(ci);
                 assignment.get(c.first()).is_none() || assignment.get(c.second()).is_none()
             })
-            .map(|(ci, _)| ctx.max_pair_weight[ci])
+            .map(|(_, &bound)| bound)
             .sum();
         if weight_so_far + optimistic <= *best_weight {
+            stats.prunings += 1;
             return; // prune: cannot beat this member's own incumbent
         }
         if let Some(incumbent) = ctx.coop.incumbent {
@@ -459,18 +654,17 @@ impl BranchAndBound {
                 continue;
             }
             // Weight gained: every constraint between var and an assigned
-            // neighbour contributes the weight of the now-selected pair
-            // (kernel adjacency is in ascending constraint order, so the
-            // floating-point sum is deterministic).
+            // neighbour contributes the weight of the now-selected pair —
+            // one dense oriented read per edge (kernel adjacency is in a
+            // fixed order, so the floating-point sum is deterministic).
             let mut gained = 0.0;
             for edge in ctx.kernel.edges(var) {
                 if let Some(other_value) = assignment.get(edge.other) {
-                    let pair = if edge.var_is_first {
-                        (value, other_value)
-                    } else {
-                        (other_value, value)
-                    };
-                    gained += weighted.weight_of(edge.constraint, pair);
+                    gained += ctx.weights.constraint(edge.constraint).oriented(
+                        edge.var_is_first,
+                        value,
+                        other_value,
+                    );
                 }
             }
             assignment.assign(var, value);
@@ -495,7 +689,9 @@ impl BranchAndBound {
 struct BnbContext<'a, V> {
     weighted: &'a WeightedNetwork<V>,
     kernel: &'a crate::bitset::BitKernel,
-    /// Live values of every variable (mask-aware, ascending).
+    /// The compiled dense weight matrices + aggregates.
+    weights: &'a WeightKernel,
+    /// Live values of every variable (mask-aware, best potential first).
     live: Vec<Vec<usize>>,
     limits: &'a SearchLimits,
     coop: &'a Coop<'a>,
@@ -542,6 +738,7 @@ mod tests {
         net.add_constraint(a, b, vec![(0, 0), (1, 1)]).unwrap();
         let w = WeightedNetwork::new(net, 2.5);
         assert_eq!(w.weight_of(0, (0, 0)), 2.5);
+        assert_eq!(w.weight_kernel().weight(0, 0, 0), 2.5);
         let result = BranchAndBound::new().optimize(&w);
         assert!((result.best_weight - 2.5).abs() < 1e-9);
     }
@@ -571,6 +768,53 @@ mod tests {
     }
 
     #[test]
+    fn assignment_weight_ignores_unassigned_and_disallowed_pairs() {
+        // A partial assignment only sums constraints whose *both* endpoints
+        // are assigned; a disallowed pair contributes nothing.
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0, 1]);
+        let b = net.add_variable("b", vec![0, 1]);
+        let c = net.add_variable("c", vec![0, 1]);
+        net.add_constraint(a, b, vec![(0, 0)]).unwrap();
+        net.add_constraint(b, c, vec![(0, 0), (1, 1)]).unwrap();
+        let mut w = WeightedNetwork::new(net, 0.0);
+        w.set_weight(a, b, &0, &0, 3.0).unwrap();
+        w.set_weight(b, c, &0, &0, 4.0).unwrap();
+        let mut asg = Assignment::new(3);
+        asg.assign(a, 0);
+        asg.assign(b, 0);
+        // c unassigned: only the (a, b) constraint counts.
+        assert_eq!(w.assignment_weight(&asg), 3.0);
+        asg.assign(c, 0);
+        assert_eq!(w.assignment_weight(&asg), 7.0);
+        // A disallowed (a, b) pair contributes nothing even when assigned.
+        asg.assign(a, 1);
+        assert_eq!(w.assignment_weight(&asg), 4.0);
+    }
+
+    #[test]
+    fn assignment_weight_matches_branch_and_bound_cost() {
+        // Regression (ISSUE 5 satellite): the adjacency-based
+        // assignment_weight must reproduce the BnB-reported cost exactly on
+        // a planted instance.
+        let spec = crate::random::RandomNetworkSpec {
+            variables: 12,
+            domain_size: 4,
+            density: 0.5,
+            tightness: 0.3,
+            seed: 2025,
+        };
+        let (weighted, _) = crate::random::planted_weighted_network(&spec, 50.0, 10);
+        let result = BranchAndBound::new().optimize(&weighted);
+        let solution = result.solution.expect("planted instances are satisfiable");
+        let mut asg = Assignment::new(weighted.network().variable_count());
+        for var in weighted.network().variables() {
+            asg.assign(var, solution.value_index(var));
+        }
+        assert_eq!(weighted.assignment_weight(&asg), result.best_weight);
+    }
+
+    #[test]
     fn set_weight_errors() {
         let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
         let a = net.add_variable("a", vec![0]);
@@ -581,6 +825,27 @@ mod tests {
         assert!(w.set_weight(a, c, &0, &0, 1.0).is_err());
         assert!(w.set_weight(a, b, &7, &0, 1.0).is_err());
         assert!(w.set_weight(a, b, &0, &0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn weight_of_out_of_range_reads_the_default() {
+        // The map-backed implementation returned the default for any
+        // unknown pair; the dense tables must too (not alias another row).
+        let (w, _) = simple_weighted(); // domains of size 2, default 0.0
+        assert_eq!(w.weight_of(0, (0, 0)), 1.0, "in-range still works");
+        assert_eq!(w.weight_of(0, (0, 2)), 0.0, "second index out of range");
+        assert_eq!(w.weight_of(0, (5, 0)), 0.0, "first index out of range");
+        assert_eq!(w.weight_of(9, (0, 0)), 0.0, "constraint out of range");
+    }
+
+    #[test]
+    fn add_weight_accumulates() {
+        let (mut w, vars) = simple_weighted();
+        w.add_weight(vars[0], vars[1], &"r", &"r", 2.5).unwrap();
+        assert_eq!(w.weight_of(0, (0, 0)), 3.5);
+        w.add_weight(vars[1], vars[0], &"r", &"r", 0.5).unwrap();
+        assert_eq!(w.weight_of(0, (0, 0)), 4.0);
+        assert_eq!(w.weight_kernel().weight(0, 0, 0), 4.0);
     }
 
     #[test]
@@ -602,7 +867,15 @@ mod tests {
         let shard = w.restricted(a, &[2, 1]).unwrap();
         assert!(shard.shares_weight_table(&w, 0));
         assert!(shard.shares_weight_table(&w, 1));
+        assert!(shard.shares_weight_spine(&w));
         assert!(shard.network().shares_storage(w.network()));
+        // The compiled weight kernel is shared too — and a shard split
+        // copies zero dense entries.
+        let kernel = Arc::clone(w.weight_kernel());
+        let entries = w.dense_entries();
+        let another = w.restricted(a, &[0]).unwrap();
+        assert!(Arc::ptr_eq(&kernel, another.weight_kernel()));
+        assert_eq!(another.dense_entries(), entries);
         // Weights keep their original indices; only the live set changed.
         assert_eq!(shard.weight_of(0, (2, 0)), 7.0);
         assert_eq!(shard.weight_of(0, (1, 1)), 3.0);
@@ -623,11 +896,47 @@ mod tests {
         let mut clone = w.clone();
         assert!(clone.network().shares_storage(w.network()));
         assert!(clone.shares_weight_table(&w, 0));
+        assert!(clone.shares_weight_spine(&w));
         // set_weight detaches only the touched table.
         clone.set_weight(vars[0], vars[1], &"r", &"r", 9.0).unwrap();
         assert!(!clone.shares_weight_table(&w, 0));
         assert_eq!(w.weight_of(0, (0, 0)), 1.0, "original untouched");
         assert_eq!(clone.weight_of(0, (0, 0)), 9.0);
+    }
+
+    #[test]
+    fn set_weight_patches_the_kernel_incrementally() {
+        // Two constraints; a set_weight on the first must recompile only
+        // its aggregates — the second constraint's compiled matrix is
+        // reused by pointer, and the patched kernel is already installed
+        // (no lazy rebuild).
+        let mut net: ConstraintNetwork<i32> = ConstraintNetwork::new();
+        let a = net.add_variable("a", vec![0, 1]);
+        let b = net.add_variable("b", vec![0, 1]);
+        let c = net.add_variable("c", vec![0, 1]);
+        net.add_constraint(a, b, vec![(0, 0), (1, 1)]).unwrap();
+        net.add_constraint(b, c, vec![(0, 1), (1, 0)]).unwrap();
+        let mut w = WeightedNetwork::new(net, 0.0);
+        let before = Arc::clone(w.weight_kernel());
+        let untouched = Arc::clone(before.constraint_handle(1));
+        w.set_weight(a, b, &0, &0, 4.0).unwrap();
+        let after = Arc::clone(w.weight_kernel());
+        assert!(!Arc::ptr_eq(&before, &after), "kernel was repatched");
+        assert!(
+            Arc::ptr_eq(&untouched, after.constraint_handle(1)),
+            "untouched constraint's compiled matrix is reused"
+        );
+        assert!(
+            !Arc::ptr_eq(before.constraint_handle(0), after.constraint_handle(0)),
+            "touched constraint was recompiled"
+        );
+        assert_eq!(after.weight(0, 0, 0), 4.0);
+        assert_eq!(after.constraint(0).max_allowed(), 4.0);
+        // Aggregates follow further patches.
+        w.set_weight(a, b, &1, &1, 9.0).unwrap();
+        assert_eq!(w.weight_kernel().constraint(0).max_allowed(), 9.0);
+        assert_eq!(w.weight_kernel().constraint(0).row_max(true, 0), 4.0);
+        assert_eq!(w.weight_kernel().constraint(0).row_max(false, 1), 9.0);
     }
 
     #[test]

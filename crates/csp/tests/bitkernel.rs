@@ -13,15 +13,25 @@
 //!   `HashSet`-based revise loop prunes,
 //! * solving through mask-based restricted views equals solving
 //!   from-scratch materialized restrictions (see also
-//!   `structural_sharing.rs`, which additionally compares node counts).
+//!   `structural_sharing.rs`, which additionally compares node counts),
+//! * **incremental recompilation** is faithful: a mutated-then-patched
+//!   kernel is bit-identical to a from-scratch compile, and untouched
+//!   constraints' compiled matrices are reused by pointer (the compiled
+//!   [`WeightKernel`] gets the same treatment for `set_weight` patches).
+//!
+//! The heavier `_heavy` variants re-run the incremental proptests at much
+//! larger case counts; they are `#[ignore]`d so the tier-1 suite stays
+//! fast, and CI runs them in a dedicated job via `-- --ignored`.
 
-use mlo_csp::random::RandomNetworkSpec;
+use mlo_csp::random::{planted_weighted_network, RandomNetworkSpec};
 use mlo_csp::solver::ac3;
 use mlo_csp::solver::SearchStats;
-use mlo_csp::{Assignment, ConstraintNetwork, VarId};
+use mlo_csp::{Assignment, BitKernel, ConstraintNetwork, VarId, WeightedNetwork};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::Arc;
 
 fn random_net(
     variables: usize,
@@ -67,6 +77,378 @@ fn reference_ac3(net: &ConstraintNetwork<usize>, live: &mut [Vec<usize>]) -> Opt
         }
     }
     None
+}
+
+/// Asserts two kernels are bit-identical as far as the public API can
+/// observe: shapes, adjacency, every bit-matrix row in both orientations
+/// and every support count.
+fn assert_kernels_equivalent(a: &BitKernel, b: &BitKernel) {
+    assert_eq!(a.variable_count(), b.variable_count());
+    for v in (0..a.variable_count()).map(VarId::new) {
+        assert_eq!(a.domain_size(v), b.domain_size(v), "domain of {v}");
+        assert_eq!(a.edges(v), b.edges(v), "adjacency of {v}");
+    }
+    assert_eq!(a.constraint_count(), b.constraint_count());
+    for ci in 0..a.constraint_count() {
+        let (ca, cb) = (a.constraint(ci), b.constraint(ci));
+        assert_eq!(ca.first(), cb.first(), "constraint {ci}");
+        assert_eq!(ca.second(), cb.second(), "constraint {ci}");
+        for value in 0..a.domain_size(ca.first()) {
+            assert_eq!(ca.row(true, value), cb.row(true, value), "fwd row {value}");
+            assert_eq!(ca.full_support(true, value), cb.full_support(true, value));
+        }
+        for value in 0..a.domain_size(ca.second()) {
+            assert_eq!(
+                ca.row(false, value),
+                cb.row(false, value),
+                "rev row {value}"
+            );
+            assert_eq!(ca.full_support(false, value), cb.full_support(false, value));
+        }
+    }
+}
+
+/// Rebuilds `net` from scratch through the public builder API (fresh
+/// storage, no pre-compiled kernel) so its kernel is a from-scratch compile.
+fn rebuild(net: &ConstraintNetwork<usize>) -> ConstraintNetwork<usize> {
+    let mut out = ConstraintNetwork::new();
+    for v in net.variables() {
+        out.add_variable(net.name(v).to_string(), net.domain(v).values().to_vec());
+    }
+    for c in net.constraints() {
+        out.add_constraint_by_index(c.first(), c.second(), c.allowed_pairs().clone())
+            .expect("rebuilt pairs are in range");
+    }
+    out
+}
+
+/// The incremental-recompilation property, shared by the fast and the
+/// `#[ignore]`d heavy proptest: compile, mutate, and require (a) the
+/// patched kernel to be bit-identical to a from-scratch compile and (b)
+/// every untouched constraint's compiled matrix to be reused by pointer.
+#[allow(clippy::too_many_arguments)]
+fn check_incremental_recompile(
+    variables: usize,
+    domain: usize,
+    density: f64,
+    tightness: f64,
+    seed: u64,
+    kind: usize,
+    pick_a: usize,
+    pick_b: usize,
+) {
+    let parent = random_net(variables, domain, density, tightness, seed);
+    let mut net = parent.clone();
+    let before = Arc::clone(net.kernel()); // force the compile being patched
+    let a = VarId::new(pick_a % variables);
+    let b = VarId::new(pick_b % variables);
+    // `touched` is the index of the one pre-existing constraint whose
+    // matrix the mutation is allowed to rebuild (None = none of them).
+    let touched = match kind % 3 {
+        0 => {
+            net.add_variable("extra", (0..domain.max(1)).collect());
+            None
+        }
+        _ if a == b => return, // a self-constraint is rejected; nothing to test
+        _ => {
+            let existing = net.constraint_index_between(a, b);
+            let mut pairs = HashSet::new();
+            pairs.insert((pick_a % net.domain(a).len(), pick_b % net.domain(b).len()));
+            pairs.insert((pick_b % net.domain(a).len(), pick_a % net.domain(b).len()));
+            net.add_constraint_by_index(a, b, pairs)
+                .expect("indices are in range");
+            existing
+        }
+    };
+    let patched = Arc::clone(net.kernel());
+    // (a) Bit-identical to a from-scratch compile of the mutated network.
+    let fresh = rebuild(&net);
+    assert_kernels_equivalent(&patched, fresh.kernel());
+    // (b) Untouched constraints' matrices are reused by pointer; the
+    // touched one (if any) was recompiled.  The parent's kernel is
+    // untouched either way.
+    for ci in 0..before.constraint_count() {
+        if touched == Some(ci) {
+            assert!(
+                !Arc::ptr_eq(before.constraint_handle(ci), patched.constraint_handle(ci)),
+                "merged constraint {ci} must be recompiled"
+            );
+        } else {
+            assert!(
+                Arc::ptr_eq(before.constraint_handle(ci), patched.constraint_handle(ci)),
+                "untouched constraint {ci} must reuse the compiled matrix"
+            );
+        }
+    }
+    assert!(Arc::ptr_eq(&before, parent.kernel()), "parent unaffected");
+}
+
+/// Reference aggregates computed straight from the `HashSet` pair tables —
+/// deliberately sharing no code with the [`WeightKernel`] compiler.
+fn reference_row_max(
+    weighted: &WeightedNetwork<usize>,
+    ci: usize,
+    var_is_first: bool,
+    value: usize,
+) -> f64 {
+    let c = &weighted.network().constraints()[ci];
+    c.allowed_pairs()
+        .iter()
+        .filter(|&&(a, b)| if var_is_first { a == value } else { b == value })
+        .map(|&pair| weighted.weight_of(ci, pair))
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// The weight-kernel agreement property shared by the fast and heavy
+/// variants: every dense read equals the builder-side `weight_of`, and the
+/// per-value aggregates equal reference maxima over the allowed pairs.
+fn check_weight_kernel_agreement(variables: usize, domain: usize, seed: u64) {
+    let spec = RandomNetworkSpec {
+        variables,
+        domain_size: domain,
+        density: 0.6,
+        tightness: 0.3,
+        seed,
+    };
+    let (weighted, _) = planted_weighted_network(&spec, 40.0, 7);
+    let kernel = weighted.weight_kernel();
+    assert_eq!(
+        kernel.constraint_count(),
+        weighted.network().constraint_count()
+    );
+    assert_eq!(kernel.default_weight(), 0.0);
+    for (ci, c) in weighted.network().constraints().iter().enumerate() {
+        let first_size = weighted.network().domain(c.first()).len();
+        let second_size = weighted.network().domain(c.second()).len();
+        let mut max_allowed = f64::NEG_INFINITY;
+        for a in 0..first_size {
+            for b in 0..second_size {
+                assert_eq!(
+                    kernel.weight(ci, a, b),
+                    weighted.weight_of(ci, (a, b)),
+                    "constraint {ci} pair ({a}, {b})"
+                );
+                // Oriented reads agree in both directions.
+                let wc = kernel.constraint(ci);
+                assert_eq!(wc.oriented(true, a, b), wc.get(a, b));
+                assert_eq!(wc.oriented(false, b, a), wc.get(a, b));
+                if c.allowed_pairs().contains(&(a, b)) {
+                    max_allowed = max_allowed.max(weighted.weight_of(ci, (a, b)));
+                }
+            }
+        }
+        for a in 0..first_size {
+            assert_eq!(
+                kernel.constraint(ci).row_max(true, a),
+                reference_row_max(&weighted, ci, true, a),
+                "row max of first = {a}"
+            );
+        }
+        for b in 0..second_size {
+            assert_eq!(
+                kernel.constraint(ci).row_max(false, b),
+                reference_row_max(&weighted, ci, false, b),
+                "row max of second = {b}"
+            );
+        }
+        assert_eq!(kernel.constraint(ci).max_allowed(), max_allowed);
+    }
+}
+
+/// The weighted incremental-recompilation property: a `set_weight` patch
+/// must produce a kernel identical to a from-scratch compile of the same
+/// weights, reusing every untouched constraint's matrix by pointer.
+fn check_weight_incremental_recompile(variables: usize, domain: usize, seed: u64, pick: usize) {
+    let spec = RandomNetworkSpec {
+        variables,
+        domain_size: domain,
+        density: 0.6,
+        tightness: 0.3,
+        seed,
+    };
+    let (parent, _) = planted_weighted_network(&spec, 40.0, 7);
+    if parent.network().constraint_count() == 0 {
+        return;
+    }
+    let mut weighted = parent.clone();
+    let before = Arc::clone(weighted.weight_kernel());
+    // Patch one arbitrary allowed pair of one arbitrary constraint.
+    let ci = pick % weighted.network().constraint_count();
+    let c = weighted.network().constraint(ci);
+    let (first, second) = c.scope();
+    let pair = {
+        let mut pairs: Vec<_> = c.allowed_pairs().iter().copied().collect();
+        pairs.sort_unstable();
+        pairs[pick % pairs.len().max(1)]
+    };
+    let (va, vb) = (
+        *weighted.network().domain(first).value(pair.0),
+        *weighted.network().domain(second).value(pair.1),
+    );
+    weighted
+        .set_weight(first, second, &va, &vb, 123.5)
+        .expect("allowed pairs are in both domains");
+    let patched = Arc::clone(weighted.weight_kernel());
+    // From-scratch compile: replay every weight into a fresh spine.
+    let mut fresh = WeightedNetwork::new(weighted.network().clone(), 0.0);
+    for (cj, c) in weighted.network().constraints().iter().enumerate() {
+        for &(a, b) in c.allowed_pairs() {
+            let (va, vb) = (
+                *weighted.network().domain(c.first()).value(a),
+                *weighted.network().domain(c.second()).value(b),
+            );
+            fresh
+                .set_weight(
+                    c.first(),
+                    c.second(),
+                    &va,
+                    &vb,
+                    weighted.weight_of(cj, (a, b)),
+                )
+                .expect("replayed pairs are valid");
+        }
+    }
+    let scratch = fresh.weight_kernel();
+    for cj in 0..patched.constraint_count() {
+        let c = weighted.network().constraint(cj);
+        let first_size = weighted.network().domain(c.first()).len();
+        let second_size = weighted.network().domain(c.second()).len();
+        for a in 0..first_size {
+            for b in 0..second_size {
+                // Unset (disallowed) pairs may differ only when the scratch
+                // replay never materialized them — both read the default.
+                assert_eq!(
+                    patched.weight(cj, a, b),
+                    scratch.weight(cj, a, b),
+                    "constraint {cj} pair ({a}, {b})"
+                );
+            }
+            assert_eq!(
+                patched.constraint(cj).row_max(true, a),
+                scratch.constraint(cj).row_max(true, a)
+            );
+        }
+        for b in 0..second_size {
+            assert_eq!(
+                patched.constraint(cj).row_max(false, b),
+                scratch.constraint(cj).row_max(false, b)
+            );
+        }
+        assert_eq!(
+            patched.constraint(cj).max_allowed(),
+            scratch.constraint(cj).max_allowed()
+        );
+        // Pointer reuse: only the touched constraint was recompiled.
+        if cj == ci {
+            assert!(
+                !Arc::ptr_eq(before.constraint_handle(cj), patched.constraint_handle(cj)),
+                "patched constraint {cj} must be recompiled"
+            );
+        } else {
+            assert!(
+                Arc::ptr_eq(before.constraint_handle(cj), patched.constraint_handle(cj)),
+                "untouched constraint {cj} must reuse the compiled matrix"
+            );
+        }
+    }
+    assert!(
+        Arc::ptr_eq(&before, parent.weight_kernel()),
+        "parent spine unaffected"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A copy-on-write mutation patches the compiled kernel incrementally:
+    /// bit-identical to a from-scratch compile, untouched matrices reused
+    /// by pointer.
+    #[test]
+    fn incremental_recompile_matches_from_scratch(
+        variables in 2usize..9,
+        domain in 1usize..6,
+        density in 0.2f64..1.0,
+        tightness in 0.0f64..0.9,
+        seed in 0u64..1000,
+        kind in 0usize..3,
+        pick_a in 0usize..64,
+        pick_b in 0usize..64,
+    ) {
+        check_incremental_recompile(
+            variables, domain, density, tightness, seed, kind, pick_a, pick_b,
+        );
+    }
+
+    /// Dense weight-kernel reads and aggregates equal the builder-side
+    /// `weight_of` and reference maxima over the allowed pairs.
+    #[test]
+    fn weight_kernel_matches_the_reference(
+        variables in 2usize..8,
+        domain in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        check_weight_kernel_agreement(variables, domain, seed);
+    }
+
+    /// A `set_weight` patch equals a from-scratch weight-kernel compile and
+    /// reuses every untouched constraint's matrix by pointer.
+    #[test]
+    fn weight_kernel_patch_matches_from_scratch(
+        variables in 2usize..8,
+        domain in 2usize..5,
+        seed in 0u64..1000,
+        pick in 0usize..1024,
+    ) {
+        check_weight_incremental_recompile(variables, domain, seed, pick);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Heavy (nightly-style) variant of
+    /// [`incremental_recompile_matches_from_scratch`]: larger networks,
+    /// many more cases.  Run with `cargo test -p mlo-csp --test bitkernel
+    /// -- --ignored`.
+    #[test]
+    #[ignore = "heavy case count; CI runs it in the ignored-proptests job"]
+    fn incremental_recompile_matches_from_scratch_heavy(
+        variables in 2usize..14,
+        domain in 1usize..8,
+        density in 0.1f64..1.0,
+        tightness in 0.0f64..0.95,
+        seed in 0u64..100_000,
+        kind in 0usize..3,
+        pick_a in 0usize..256,
+        pick_b in 0usize..256,
+    ) {
+        check_incremental_recompile(
+            variables, domain, density, tightness, seed, kind, pick_a, pick_b,
+        );
+    }
+
+    /// Heavy variant of [`weight_kernel_matches_the_reference`].
+    #[test]
+    #[ignore = "heavy case count; CI runs it in the ignored-proptests job"]
+    fn weight_kernel_matches_the_reference_heavy(
+        variables in 2usize..11,
+        domain in 2usize..7,
+        seed in 0u64..100_000,
+    ) {
+        check_weight_kernel_agreement(variables, domain, seed);
+    }
+
+    /// Heavy variant of [`weight_kernel_patch_matches_from_scratch`].
+    #[test]
+    #[ignore = "heavy case count; CI runs it in the ignored-proptests job"]
+    fn weight_kernel_patch_matches_from_scratch_heavy(
+        variables in 2usize..11,
+        domain in 2usize..7,
+        seed in 0u64..100_000,
+        pick in 0usize..65_536,
+    ) {
+        check_weight_incremental_recompile(variables, domain, seed, pick);
+    }
 }
 
 proptest! {

@@ -40,6 +40,20 @@ pub struct Contribution {
     pub preferences: Vec<(ArrayId, Layout)>,
 }
 
+impl Contribution {
+    /// Every unordered pair of this contribution's preferences, in the
+    /// canonical `(i, j)` with `i < j` order — the pairs that become allowed
+    /// constraint pairs, and that weight derivation accumulates over.
+    pub fn preference_pairs(
+        &self,
+    ) -> impl Iterator<Item = (&(ArrayId, Layout), &(ArrayId, Layout))> {
+        self.preferences
+            .iter()
+            .enumerate()
+            .flat_map(|(i, a)| self.preferences[i + 1..].iter().map(move |b| (a, b)))
+    }
+}
+
 impl LayoutNetwork {
     /// The underlying constraint network.
     pub fn network(&self) -> &ConstraintNetwork<Layout> {

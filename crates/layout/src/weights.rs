@@ -19,7 +19,7 @@ use crate::hyperplane::Layout;
 use mlo_csp::weighted::OptimizeResult;
 use mlo_csp::{BranchAndBound, SearchStats, VarId, WeightedNetwork};
 use mlo_ir::{nest_cost, Program};
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::time::Duration;
 
 /// Options controlling how constraint weights are derived.
@@ -74,6 +74,13 @@ impl WeightedLayoutNetwork {
     /// kernel is compiled once and reused by both).
     pub fn kernel(&self) -> &std::sync::Arc<mlo_csp::BitKernel> {
         self.weighted.network().kernel()
+    }
+
+    /// The compiled weighted execution kernel (dense weight matrices plus
+    /// row-maximum aggregates, see `mlo_csp::bitset`), built lazily at most
+    /// once per derived weighted network and shared by every clone.
+    pub fn weight_kernel(&self) -> &std::sync::Arc<mlo_csp::WeightKernel> {
+        self.weighted.weight_kernel()
     }
 }
 
@@ -130,9 +137,16 @@ pub fn derive_weights(
     let mut weighted =
         WeightedNetwork::new(layout_network.network().clone(), options.default_weight);
 
-    // Accumulate weights per (variable pair, layout pair) before writing them
-    // into the network (set_weight overwrites rather than adds).
-    let mut accumulated: HashMap<(VarId, VarId, Layout, Layout), f64> = HashMap::new();
+    // Contributions accumulate straight into the dense per-constraint
+    // weight tables (`add_weight` adds rather than overwrites) — no
+    // intermediate map of accumulated values is built and torn down on the
+    // way to the kernel.  A contributed pair's final weight is exactly the
+    // contribution sum: `add_weight` accumulates on top of the default a
+    // fresh table starts from, so with a nonzero default the *first* touch
+    // of a pair subtracts it back out (tracked by a membership set only on
+    // that rare configuration — the 0.0 default path stays allocation-free).
+    let mut first_touch: Option<HashSet<(VarId, VarId, Layout, Layout)>> =
+        (options.default_weight != 0.0).then(HashSet::new);
     for contribution in layout_network.contributions() {
         let nest = &program.nests()[contribution.nest.index()];
         let mut weight = if options.use_nest_cost {
@@ -143,26 +157,27 @@ pub fn derive_weights(
         if contribution.transform == "identity" {
             weight *= options.identity_bonus.max(0.0);
         }
-        for i in 0..contribution.preferences.len() {
-            for j in (i + 1)..contribution.preferences.len() {
-                let (array_a, layout_a) = &contribution.preferences[i];
-                let (array_b, layout_b) = &contribution.preferences[j];
-                let (Some(var_a), Some(var_b)) = (
-                    layout_network.variable_of(*array_a),
-                    layout_network.variable_of(*array_b),
-                ) else {
-                    continue;
-                };
-                *accumulated
-                    .entry((var_a, var_b, layout_a.clone(), layout_b.clone()))
-                    .or_insert(0.0) += weight;
-            }
+        for ((array_a, layout_a), (array_b, layout_b)) in contribution.preference_pairs() {
+            let (Some(var_a), Some(var_b)) = (
+                layout_network.variable_of(*array_a),
+                layout_network.variable_of(*array_b),
+            ) else {
+                continue;
+            };
+            let delta = match &mut first_touch {
+                Some(touched) => {
+                    if touched.insert((var_a, var_b, layout_a.clone(), layout_b.clone())) {
+                        weight - options.default_weight
+                    } else {
+                        weight
+                    }
+                }
+                None => weight,
+            };
+            weighted
+                .add_weight(var_a, var_b, layout_a, layout_b, delta)
+                .expect("contribution pairs are allowed pairs of the hard network");
         }
-    }
-    for ((var_a, var_b, layout_a, layout_b), weight) in accumulated {
-        weighted
-            .set_weight(var_a, var_b, &layout_a, &layout_b, weight)
-            .expect("contribution pairs are allowed pairs of the hard network");
     }
 
     weighted
@@ -396,6 +411,72 @@ mod tests {
             weighted_assignment(&p, &CandidateOptions::default(), &WeightOptions::default());
         assert!(outcome.satisfiable);
         assert_eq!(assignment_score(&p, &outcome.assignment), ideal_score(&p));
+    }
+
+    #[test]
+    fn nonzero_default_weight_does_not_inflate_contributed_pairs() {
+        // Regression: accumulating straight into dense tables must not add
+        // contributions ON TOP of a nonzero default — a contributed pair's
+        // weight is exactly the contribution sum, and only pairs no
+        // contribution asked for read the default.
+        let mut b = ProgramBuilder::new("default_weight");
+        let x = b.array("X", vec![16, 16], 4);
+        let y = b.array("Y", vec![16, 16], 4);
+        b.nest("n", vec![("i", 0, 16), ("j", 0, 16)], |nest| {
+            nest.read(
+                x,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
+            nest.read(
+                y,
+                AccessBuilder::new(2, 2)
+                    .row(0, [1, 0])
+                    .row(1, [0, 1])
+                    .build(),
+            );
+        });
+        let program = b.build();
+        let candidates = CandidateOptions::default();
+        let zero = build_weighted_network(
+            &program,
+            &candidates,
+            &WeightOptions {
+                default_weight: 0.0,
+                ..WeightOptions::default()
+            },
+        );
+        let one = build_weighted_network(
+            &program,
+            &candidates,
+            &WeightOptions {
+                default_weight: 1.0,
+                ..WeightOptions::default()
+            },
+        );
+        let mut contributed = 0usize;
+        let mut uncontributed = 0usize;
+        for (ci, c) in zero.weighted().network().constraints().iter().enumerate() {
+            for &pair in c.allowed_pairs() {
+                let base = zero.weighted().weight_of(ci, pair);
+                let with_default = one.weighted().weight_of(ci, pair);
+                if base != 0.0 {
+                    contributed += 1;
+                    assert_eq!(with_default, base, "contributed pair {pair:?} inflated");
+                } else {
+                    uncontributed += 1;
+                    assert_eq!(with_default, 1.0, "uncontributed pair {pair:?}");
+                }
+            }
+        }
+        assert!(contributed > 0, "the nest contributes pairs");
+        // Both layouts agreeing twice (row/col) means at least the
+        // contributed subset exists; uncontributed pairs may or may not,
+        // depending on candidate enumeration — no assertion needed beyond
+        // the reads above.
+        let _ = uncontributed;
     }
 
     #[test]
