@@ -1,13 +1,13 @@
-//! Deterministic perf-gate harness: the parallel portfolio vs. the
+//! Deterministic perf-gate harness: the parallel schedulers vs. the
 //! single-thread baseline, wired into CI.
 //!
 //! ```text
 //! cargo run -p mlo-bench --release --bin perf_gate -- \
-//!     [--threads N] [--out BENCH_5.json] [--baseline BENCH_4.json] \
+//!     [--threads N] [--out BENCH_6.json] [--baseline BENCH_5.json] \
 //!     [--min-speedup X] [--wall-margin 0.25] [--no-wall-gate]
 //! ```
 //!
-//! Three benchmark groups run **at 1 worker and at N workers with the same
+//! Four benchmark groups run **at 1 worker and at N workers with the same
 //! fixed seeds**:
 //!
 //! * `table2` — the paper benchmarks through the `portfolio` strategy
@@ -15,37 +15,50 @@
 //! * `table3` — the paper benchmarks through the parallel `weighted`
 //!   strategy, evaluated on the simulated DATE'05 machine (solution cost =
 //!   simulated cycles),
-//! * `scaling` — planted-optimum random weighted networks through the
-//!   branch-and-bound portfolio (solution cost = canonical solution
-//!   weight), the workload where cooperative bound sharing shows its
-//!   wall-clock speedup.
+//! * `unsat` — pigeonhole UNSAT proofs through the work-stealing
+//!   scheduler (solution "cost" = nodes visited, which the scheduler's
+//!   exact node-disjoint partition keeps *identical* at every worker
+//!   count — parallelism-honest work, not a redundant race),
+//! * `enumerate` — full solution enumerations of loosely constrained
+//!   random networks through the same scheduler (cost = exact solution
+//!   count, also thread-count-independent).
 //!
-//! A fourth, `large`, is the zero-copy shared-data-model scenario: a
+//! `unsat` + `enumerate` are the headline scaling workloads: their
+//! aggregate wall-clock speedup at N workers is emitted as
+//! `scaling_speedup`, and their steal telemetry is audited (**zero**
+//! steals single-threaded, **nonzero** steals at N workers — the gate
+//! fails if the scheduler stops sharding).
+//!
+//! A fifth group, `large`, is the zero-copy shared-data-model scenario: a
 //! large planted weighted network is cloned and sharded the way the
 //! portfolio does per solve, under a counting global allocator.  With
 //! mask-based restriction a shard shares **every** constraint and weight
 //! table (and the compiled bitset kernel) with its parent; the audit fails
 //! the gate if a single table stops being shared.
 //!
-//! A fifth, `propagation`, is the bitset-kernel microbench: steady-state
+//! A sixth, `propagation`, is the bitset-kernel microbench: steady-state
 //! AC-3 revision throughput on the compiled kernel (revisions/second —
 //! each revision is one word-AND support sweep of a constraint arc), and
 //! the allocation cost of a mask-based domain shard split, which must copy
 //! **zero pair entries** (the gate fails otherwise).
 //!
-//! A sixth, `weighted`, is the dense weight-kernel scenario: planted
-//! branch-and-bound instances at fixed seeds, reporting wall clock, node
-//! and **bound-prune** counts at 1 and N workers, plus the
-//! incremental-recompilation audit — a `set_weight` must recompile exactly
-//! one weight matrix (and zero bit-matrices), a hard-constraint merge must
-//! recompile exactly one bit-matrix, untouched compiled matrices must be
-//! reused by pointer, and a weighted shard split must copy **zero dense
-//! weight entries**.  Any audit violation fails the gate.
+//! A seventh, `weighted`, is the sharded branch-and-bound scenario:
+//! *noise-dominant* planted instances (noise above the planted bonus, so
+//! the search is real and the bound has to work) through the
+//! work-stealing scheduler's branch and bound, reporting wall clock, node
+//! and **bound-prune** counts at 1 and N workers; integer weights keep
+//! the optima bit-comparable.  It rides with the incremental-recompilation
+//! audit — a `set_weight` must recompile exactly one weight matrix (and
+//! zero bit-matrices), a hard-constraint merge must recompile exactly one
+//! bit-matrix, untouched compiled matrices must be reused by pointer, and
+//! a weighted shard split must copy **zero dense weight entries**.  Any
+//! audit violation fails the gate.
 //!
-//! The harness emits `BENCH_5.json` (wall time, nodes explored, solution
+//! The harness emits `BENCH_6.json` (wall time, nodes explored, solution
 //! cost, speedup per entry) and **exits nonzero when any parallel run's
 //! solution cost differs from its single-thread baseline** — that cost
-//! parity is the determinism contract of `mlo_csp::solver::portfolio`, and
+//! parity is the determinism contract of `mlo_csp::solver::portfolio` and
+//! `mlo_csp::solver::steal`, and
 //! it is what CI gates on.  `--baseline` reads a previous `BENCH_<pr>.json`
 //! and embeds the old aggregate scaling speedup — plus the old
 //! single-thread table2+table3 wall time — next to the new numbers.  The
@@ -54,16 +67,20 @@
 //! single-thread wall clock must stay within `--wall-margin` (default
 //! ±25%, the characterized runner noise) of it, or the gate fails
 //! (`--no-wall-gate` reverts to trend-tracking only); `--min-speedup`
-//! optionally turns the aggregate `scaling` speedup into a hard failure
-//! too.
+//! optionally turns the aggregate `scaling_speedup` into a hard failure
+//! too — enforced only when the runner actually has `--threads` cores
+//! (the emitted `cores` field records what was available; on a smaller
+//! machine an exhaustive N-worker run cannot beat 1 worker by physics,
+//! and the speedup line measures scheduling overhead instead).
 
 use mlo_benchmarks::Benchmark;
 use mlo_core::{Engine, EvaluationOptions, OptimizeRequest, TextTable};
-use mlo_csp::random::{planted_weighted_network, RandomNetworkSpec};
+use mlo_csp::random::{
+    pigeonhole_network, planted_weighted_network, satisfiable_network, RandomNetworkSpec,
+};
 use mlo_csp::solver::{ac3_kernel, Ac3Outcome, SearchStats};
 use mlo_csp::{
-    bit_constraint_compiles, weight_constraint_compiles, ParallelBranchAndBound, SearchLimits,
-    WorkerPool,
+    bit_constraint_compiles, weight_constraint_compiles, SearchLimits, StealScheduler, WorkerPool,
 };
 use mlo_layout::quality::assignment_score;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -197,8 +214,8 @@ struct Config {
 fn parse_args() -> Config {
     let mut config = Config {
         threads: 4,
-        out: "BENCH_5.json".to_string(),
-        baseline: Some("BENCH_4.json".to_string()),
+        out: "BENCH_6.json".to_string(),
+        baseline: Some("BENCH_5.json".to_string()),
         min_speedup: 0.0,
         wall_margin: 0.25,
         no_wall_gate: false,
@@ -354,95 +371,138 @@ fn engine_group(threads: usize, strategy: &str, cycles_as_cost: bool) -> Vec<Ent
         .collect()
 }
 
-/// scaling: planted weighted networks through the branch-and-bound
-/// portfolio — the *same instances and seeds as `BENCH_4`*, kept fixed on
-/// purpose so the single-thread wall-clock trajectory is apples-to-apples.
+/// Steal/split counters summed across a group's single-thread and
+/// N-worker passes — the telemetry the gate audits (a single-thread run
+/// must never steal; an N-worker run on proof-sized trees must).
+#[derive(Default)]
+struct StealTotals {
+    steals_1t: u64,
+    steals_nt: u64,
+    splits_1t: u64,
+    splits_nt: u64,
+}
+
+impl StealTotals {
+    fn absorb_1t(&mut self, telemetry: &mlo_csp::StealReport) {
+        self.steals_1t += telemetry.steals;
+        self.splits_1t += telemetry.splits;
+    }
+
+    fn absorb_nt(&mut self, telemetry: &mlo_csp::StealReport) {
+        self.steals_nt += telemetry.steals;
+        self.splits_nt += telemetry.splits;
+    }
+}
+
+/// unsat: pigeonhole UNSAT proofs through the work-stealing scheduler.
 ///
-/// Historical note: through `BENCH_4` this group's headline was the
-/// cooperative-pruning *speedup* (a greedy helper found the planted
-/// optimum instantly and the primary pruned everything — 66x at 4 workers
-/// on one core).  The dense weight kernel's value ordering now hands the
-/// *sequential* primary that same first-solution-is-optimal property, so
-/// these instances complete in microseconds single-threaded (~1000x below
-/// the `BENCH_4` baseline) and the parallel run is pure dispatch overhead
-/// (speedup < 1).  The meaningful trajectory metric of this group is
-/// therefore `wall_ms_1t`, not `speedup`; `scaling_speedup` is still
-/// emitted for continuity.  (`mlo-core`'s adaptive `parallel_threshold`
-/// already keeps such instances on the sequential path in production.)
-fn scaling_group(threads: usize, pool: &Arc<WorkerPool>) -> Vec<Entry> {
-    let specs = [
-        (
-            "scale-26",
-            RandomNetworkSpec {
-                variables: 26,
-                domain_size: 4,
-                density: 0.5,
-                tightness: 0.15,
-                seed: 9_2024,
-            },
-        ),
-        (
-            "scale-28",
-            RandomNetworkSpec {
-                variables: 28,
-                domain_size: 4,
-                density: 0.5,
-                tightness: 0.12,
-                seed: 10_2024,
-            },
-        ),
-        (
-            "scale-30",
-            RandomNetworkSpec {
-                variables: 30,
-                domain_size: 4,
-                density: 0.4,
-                tightness: 0.15,
-                seed: 7_2024,
-            },
-        ),
-        (
-            "scale-32",
-            RandomNetworkSpec {
-                variables: 32,
-                domain_size: 3,
-                density: 0.45,
-                tightness: 0.12,
-                seed: 8_2024,
-            },
-        ),
-    ];
-    specs
+/// `PHP(n+1, n)` refutation trees have no lucky exits — every node must be
+/// visited — so this is the workload a redundant portfolio race cannot
+/// speed up at all (every racer walks the whole tree) and dynamic tree
+/// sharding speeds up almost linearly.  The scheduler's per-node work is a
+/// pure function of the path, so the frames partition the tree *exactly*:
+/// the entry's cost is the node count, and cost parity doubles as the
+/// partition audit (1-worker and N-worker proofs must visit the identical
+/// node total).
+fn unsat_group(threads: usize, pool: &Arc<WorkerPool>, totals: &mut StealTotals) -> Vec<Entry> {
+    [("php-9", 9usize), ("php-10", 10)]
         .into_iter()
-        .map(|(name, spec)| {
-            let (weighted, _) = planted_weighted_network(&spec, 60.0, 8);
+        .map(|(name, holes)| {
+            let network = pigeonhole_network(holes);
             let limits = SearchLimits::none();
 
             let start = Instant::now();
-            let baseline = ParallelBranchAndBound::default()
-                .parallelism(1)
-                .optimize_detailed(&weighted, &limits);
+            let baseline = StealScheduler::new().solve_detailed(&network, &limits, None);
             let wall_ms_1t = start.elapsed().as_secs_f64() * 1e3;
 
             let start = Instant::now();
-            let parallel = ParallelBranchAndBound::default()
+            let parallel = StealScheduler::new()
                 .with_pool(Arc::clone(pool))
                 .parallelism(threads)
-                .optimize_detailed(&weighted, &limits);
+                .solve_detailed(&network, &limits, None);
             let wall_ms_nt = start.elapsed().as_secs_f64() * 1e3;
 
             assert!(
-                baseline.optimal && parallel.optimal,
-                "scaling runs must complete"
+                baseline.result.proves_unsatisfiable() && parallel.result.proves_unsatisfiable(),
+                "pigeonhole proofs must complete"
             );
+            totals.absorb_1t(&baseline.telemetry);
+            totals.absorb_nt(&parallel.telemetry);
             Entry {
                 name: name.to_string(),
                 wall_ms_1t,
                 wall_ms_nt,
                 nodes_1t: baseline.result.stats.nodes_visited,
                 nodes_nt: parallel.result.stats.nodes_visited,
-                cost_1t: baseline.canonical_weight.expect("satisfiable"),
-                cost_nt: parallel.canonical_weight.expect("satisfiable"),
+                cost_1t: baseline.result.stats.nodes_visited as f64,
+                cost_nt: parallel.result.stats.nodes_visited as f64,
+            }
+        })
+        .collect()
+}
+
+/// enumerate: exact full-solution counts of loosely constrained random
+/// networks through the work-stealing scheduler.
+///
+/// Like UNSAT proofs, exhaustive enumeration has no early exit, so the
+/// speedup measures honest tree sharding; the exact count is the entry's
+/// cost and must be identical at every worker count.
+fn enumerate_group(threads: usize, pool: &Arc<WorkerPool>, totals: &mut StealTotals) -> Vec<Entry> {
+    let specs = [
+        (
+            "enum-24",
+            RandomNetworkSpec {
+                variables: 24,
+                domain_size: 4,
+                density: 0.28,
+                tightness: 0.22,
+                seed: 15_2026,
+            },
+        ),
+        (
+            "enum-26",
+            RandomNetworkSpec {
+                variables: 26,
+                domain_size: 4,
+                density: 0.28,
+                tightness: 0.24,
+                seed: 16_2026,
+            },
+        ),
+    ];
+    specs
+        .into_iter()
+        .map(|(name, spec)| {
+            // Planted-satisfiable: the enumeration has at least one
+            // solution, and the count is the instance's exact model count.
+            let (network, _) = satisfiable_network(&spec);
+            let limits = SearchLimits::none();
+
+            let start = Instant::now();
+            let baseline = StealScheduler::new().count_detailed(&network, &limits, None);
+            let wall_ms_1t = start.elapsed().as_secs_f64() * 1e3;
+
+            let start = Instant::now();
+            let parallel = StealScheduler::new()
+                .with_pool(Arc::clone(pool))
+                .parallelism(threads)
+                .count_detailed(&network, &limits, None);
+            let wall_ms_nt = start.elapsed().as_secs_f64() * 1e3;
+
+            assert!(
+                baseline.is_exact() && parallel.is_exact(),
+                "enumeration runs must complete"
+            );
+            totals.absorb_1t(&baseline.telemetry);
+            totals.absorb_nt(&parallel.telemetry);
+            Entry {
+                name: name.to_string(),
+                wall_ms_1t,
+                wall_ms_nt,
+                nodes_1t: baseline.stats.nodes_visited,
+                nodes_nt: parallel.stats.nodes_visited,
+                cost_1t: baseline.solutions as f64,
+                cost_nt: parallel.solutions as f64,
             }
         })
         .collect()
@@ -762,93 +822,81 @@ struct WeightedAudit {
     ok: bool,
 }
 
-/// weighted: branch-and-bound instances through the dense weight kernel at
-/// fixed seeds.  The single-thread run is the plain exhaustive search (the
-/// kernel-native BnB with weight-ordered values); the parallel run is the
-/// cooperative portfolio.  Costs are exact integer sums, so parity is
-/// bit-exact.
+/// weighted: *noise-dominant* planted branch-and-bound instances (random
+/// noise above the planted bonus, so the weight-ordered value loop cannot
+/// shortcut the search and the bound has to work) through the
+/// work-stealing scheduler's sharded branch and bound at fixed seeds.
+/// Integer weights keep every weight sum exact, so cost parity is
+/// bit-exact, and the strict-< incumbent contract makes the reported
+/// optimum thread-count-independent.
 ///
-/// Two weight regimes are covered: *planted-dominant* instances (bonus far
-/// above the noise), where the weight-ordered value loop finds the optimum
-/// first and the bound prunes the whole tree — node counts in the hundreds
-/// where `BENCH_4`-era search visited hundreds of thousands — and a
-/// *noise-dominant* instance (noise above the bonus), where the search is
-/// real and the bound-prune counters measure how hard the dense aggregates
-/// work.
-fn weighted_group(threads: usize, pool: &Arc<WorkerPool>) -> Vec<WeightedEntry> {
+/// Historical note: through `BENCH_5` this group ran *planted-dominant*
+/// instances through the cooperative portfolio, which the dense weight
+/// kernel's value ordering had already collapsed to microsecond node
+/// counts; the noise-dominant rebuild restores a workload with real
+/// search in it.
+fn weighted_group(
+    threads: usize,
+    pool: &Arc<WorkerPool>,
+    totals: &mut StealTotals,
+) -> Vec<WeightedEntry> {
     let specs = [
         (
-            "weighted-22",
+            "noise-18",
             RandomNetworkSpec {
-                variables: 22,
-                domain_size: 4,
-                density: 0.5,
-                tightness: 0.25,
-                seed: 11_2025,
-            },
-            60.0,
-            8,
-        ),
-        (
-            "weighted-26",
-            RandomNetworkSpec {
-                variables: 26,
-                domain_size: 4,
-                density: 0.45,
-                tightness: 0.2,
-                seed: 12_2025,
-            },
-            60.0,
-            8,
-        ),
-        (
-            "weighted-30",
-            RandomNetworkSpec {
-                variables: 30,
-                domain_size: 4,
-                density: 0.4,
-                tightness: 0.18,
-                seed: 13_2025,
-            },
-            60.0,
-            8,
-        ),
-        (
-            "weighted-noise-26",
-            RandomNetworkSpec {
-                variables: 26,
+                variables: 18,
                 domain_size: 4,
                 density: 0.5,
                 tightness: 0.15,
-                seed: 9_2024,
+                seed: 17_2026,
             },
-            8.0,
-            10,
+        ),
+        (
+            "noise-20",
+            RandomNetworkSpec {
+                variables: 20,
+                domain_size: 4,
+                density: 0.45,
+                tightness: 0.15,
+                seed: 18_2026,
+            },
+        ),
+        (
+            "noise-22",
+            RandomNetworkSpec {
+                variables: 22,
+                domain_size: 4,
+                density: 0.45,
+                tightness: 0.12,
+                seed: 19_2026,
+            },
         ),
     ];
     specs
         .into_iter()
-        .map(|(name, spec, bonus, noise)| {
-            let (weighted, _) = planted_weighted_network(&spec, bonus, noise);
+        .map(|(name, spec)| {
+            // Bonus far below the noise ceiling: the planted assignment is
+            // *not* the optimum and the bound must close the whole tree.
+            let (weighted, _) = planted_weighted_network(&spec, 4.0, 12);
             let limits = SearchLimits::none();
 
             let start = Instant::now();
-            let baseline = ParallelBranchAndBound::default()
-                .parallelism(1)
-                .optimize_detailed(&weighted, &limits);
+            let baseline = StealScheduler::new().optimize_detailed(&weighted, &limits, None);
             let wall_ms_1t = start.elapsed().as_secs_f64() * 1e3;
 
             let start = Instant::now();
-            let parallel = ParallelBranchAndBound::default()
+            let parallel = StealScheduler::new()
                 .with_pool(Arc::clone(pool))
                 .parallelism(threads)
-                .optimize_detailed(&weighted, &limits);
+                .optimize_detailed(&weighted, &limits, None);
             let wall_ms_nt = start.elapsed().as_secs_f64() * 1e3;
 
             assert!(
                 baseline.optimal && parallel.optimal,
                 "weighted runs must complete"
             );
+            totals.absorb_1t(&baseline.telemetry);
+            totals.absorb_nt(&parallel.telemetry);
             WeightedEntry {
                 name: name.to_string(),
                 wall_ms_1t,
@@ -1138,13 +1186,26 @@ fn print_group(title: &str, entries: &[Entry]) {
 
 fn main() -> ExitCode {
     let config = parse_args();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
-        "perf_gate: portfolio vs single-thread baseline at {} workers (seed {SEED:#x})",
+        "perf_gate: portfolio vs single-thread baseline at {} workers \
+         ({cores} core(s) available, seed {SEED:#x})",
         config.threads
     );
+    if cores < config.threads {
+        println!(
+            "note: only {cores} core(s) for {} workers — N-worker wall times measure \
+             scheduling overhead, not parallel speedup; the --min-speedup gate is \
+             suspended on this runner",
+            config.threads
+        );
+    }
 
     let pool = Arc::new(WorkerPool::new(config.threads));
     let wanted = |name: &str| config.only.as_deref().is_none_or(|only| only == name);
+    let mut steal_totals = StealTotals::default();
     let table2 = if wanted("table2") {
         engine_group(config.threads, "portfolio", false)
     } else {
@@ -1155,15 +1216,20 @@ fn main() -> ExitCode {
     } else {
         Vec::new()
     };
-    let scaling = if wanted("scaling") {
-        scaling_group(config.threads, &pool)
+    let unsat = if wanted("unsat") {
+        unsat_group(config.threads, &pool, &mut steal_totals)
+    } else {
+        Vec::new()
+    };
+    let enumerate = if wanted("enumerate") {
+        enumerate_group(config.threads, &pool, &mut steal_totals)
     } else {
         Vec::new()
     };
     let large = wanted("large").then(|| large_instance_group(config.threads));
     let propagation = wanted("propagation").then(|| propagation_group(config.threads));
     let weighted = if wanted("weighted") {
-        weighted_group(config.threads, &pool)
+        weighted_group(config.threads, &pool, &mut steal_totals)
     } else {
         Vec::new()
     };
@@ -1180,24 +1246,49 @@ fn main() -> ExitCode {
         &table3,
     );
     print_group(
-        "scaling — branch-and-bound portfolio (cost = solution weight)",
-        &scaling,
+        "unsat — work-stealing UNSAT proofs (cost = nodes visited, partition-exact)",
+        &unsat,
+    );
+    print_group(
+        "enumerate — work-stealing full enumeration (cost = exact solution count)",
+        &enumerate,
     );
     print_large(&large);
     print_propagation(&propagation);
     print_weighted(&weighted, &audit);
 
-    let scaling_1t: f64 = scaling.iter().map(|e| e.wall_ms_1t).sum();
-    let scaling_nt: f64 = scaling.iter().map(|e| e.wall_ms_nt).sum();
+    // The headline scaling metric: aggregate wall-clock speedup of the
+    // work-stealing groups (UNSAT proofs + enumerations), the workloads a
+    // redundant race cannot accelerate.
+    let scaling_1t: f64 = unsat.iter().chain(&enumerate).map(|e| e.wall_ms_1t).sum();
+    let scaling_nt: f64 = unsat.iter().chain(&enumerate).map(|e| e.wall_ms_nt).sum();
     let scaling_speedup = if scaling_nt > 0.0 {
         scaling_1t / scaling_nt
     } else {
         1.0
     };
+    // Telemetry audit: sharding must be off single-threaded and actually
+    // engaged at N workers on the proof/enumeration trees.
+    let steal_group_ran = !unsat.is_empty() || !enumerate.is_empty();
+    let steals_ok = steal_totals.steals_1t == 0
+        && steal_totals.splits_1t == 0
+        && (!steal_group_ran || steal_totals.steals_nt > 0);
+    if steal_group_ran || !weighted.is_empty() {
+        println!(
+            "\nsteal telemetry: 1t {} steals / {} splits, {}t {} steals / {} splits ({})",
+            steal_totals.steals_1t,
+            steal_totals.splits_1t,
+            config.threads,
+            steal_totals.steals_nt,
+            steal_totals.splits_nt,
+            if steals_ok { "ok" } else { "VIOLATED" }
+        );
+    }
     let cost_parity = table2
         .iter()
         .chain(&table3)
-        .chain(&scaling)
+        .chain(&unsat)
+        .chain(&enumerate)
         .all(Entry::cost_match)
         && weighted.iter().all(WeightedEntry::cost_match);
     let sharing_ok = large.as_ref().is_none_or(|l| l.sharing_ok);
@@ -1245,15 +1336,17 @@ fn main() -> ExitCode {
 
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"benchmark\": \"BENCH_5\",").unwrap();
+    writeln!(json, "  \"benchmark\": \"BENCH_6\",").unwrap();
     writeln!(json, "  \"harness\": \"perf_gate\",").unwrap();
     writeln!(json, "  \"threads\": {},", config.threads).unwrap();
+    writeln!(json, "  \"cores\": {cores},").unwrap();
     writeln!(json, "  \"seed\": {SEED},").unwrap();
     writeln!(json, "  \"groups\": {{").unwrap();
     for (name, entries) in [
         ("table2", &table2),
         ("table3", &table3),
-        ("scaling", &scaling),
+        ("unsat", &unsat),
+        ("enumerate", &enumerate),
     ] {
         writeln!(json, "    \"{name}\": [").unwrap();
         json_entries(&mut json, entries);
@@ -1283,6 +1376,15 @@ fn main() -> ExitCode {
     }
     writeln!(json, "    ]").unwrap();
     writeln!(json, "  }},").unwrap();
+    if steal_group_ran || !weighted.is_empty() {
+        writeln!(json, "  \"steal_telemetry\": {{").unwrap();
+        writeln!(json, "    \"steals_1t\": {},", steal_totals.steals_1t).unwrap();
+        writeln!(json, "    \"splits_1t\": {},", steal_totals.splits_1t).unwrap();
+        writeln!(json, "    \"steals_nt\": {},", steal_totals.steals_nt).unwrap();
+        writeln!(json, "    \"splits_nt\": {},", steal_totals.splits_nt).unwrap();
+        writeln!(json, "    \"ok\": {steals_ok}").unwrap();
+        writeln!(json, "  }},").unwrap();
+    }
     if let Some(a) = &audit {
         writeln!(json, "  \"weighted_audit\": {{").unwrap();
         writeln!(
@@ -1507,6 +1609,14 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if !steals_ok {
+        eprintln!(
+            "perf_gate FAILED: steal telemetry violated its contract (a \
+             single-thread run stole/split, or an N-worker proof run never \
+             stole — see the steal telemetry line above)"
+        );
+        return ExitCode::FAILURE;
+    }
     if let Some((baseline_ms, limit_ms, false)) = wall_gate {
         eprintln!(
             "perf_gate FAILED: single-thread table2+table3 wall clock \
@@ -1516,7 +1626,7 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    if config.min_speedup > 0.0 && scaling_speedup < config.min_speedup {
+    if config.min_speedup > 0.0 && cores >= config.threads && scaling_speedup < config.min_speedup {
         eprintln!(
             "perf_gate FAILED: aggregate scaling speedup {scaling_speedup:.2}x is below \
              the required {:.2}x",

@@ -276,7 +276,8 @@ impl EngineBuilder {
     }
 
     /// Sizes the session-shared worker pool: `optimize_many` batches and
-    /// parallelism-aware strategies (`portfolio`, `weighted`) all draw
+    /// parallelism-aware strategies (`portfolio`, `portfolio-steal`,
+    /// `weighted`) all draw
     /// their workers from it (default: available parallelism).
     pub fn parallelism(mut self, workers: usize) -> Self {
         self.parallelism = Some(workers.max(1));
@@ -311,7 +312,7 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An engine with the seven built-in strategies.
+    /// An engine with the nine built-in strategies.
     pub fn new() -> Self {
         EngineBuilder::new().build()
     }
@@ -610,9 +611,12 @@ impl SessionInner {
 enum BatchMessage {
     /// The solve phase of job `index` completed; `evaluation_spawned` says
     /// whether a second-stage evaluation job was submitted to the pool.
+    /// The report is boxed so the channel moves a pointer, not the
+    /// several-hundred-byte report (and the enum's variants stay close in
+    /// size).
     Solved {
         index: usize,
-        result: Result<OptimizeReport, OptimizeError>,
+        result: Box<Result<OptimizeReport, OptimizeError>>,
         evaluation_spawned: bool,
     },
     /// The evaluation phase of job `index` completed.
@@ -714,7 +718,7 @@ impl Session {
                 }
                 let _ = tx.send(BatchMessage::Solved {
                     index,
-                    result,
+                    result: Box::new(result),
                     evaluation_spawned,
                 });
             });
@@ -735,7 +739,7 @@ impl Session {
                     result,
                     evaluation_spawned,
                 }) => {
-                    slots[index] = Some(result);
+                    slots[index] = Some(*result);
                     solves_received += 1;
                     if evaluation_spawned {
                         evaluations_expected += 1;
@@ -1414,7 +1418,7 @@ mod tests {
         let engine = Engine::builder()
             .strategy(Arc::new(EscalatingStrategy))
             .build();
-        assert_eq!(engine.registry().len(), 9);
+        assert_eq!(engine.registry().len(), 10);
         let program = Benchmark::MedIm04.program();
         let report = engine
             .optimize(

@@ -74,8 +74,9 @@ pub use optimizer::{OptimizationOutcome, Optimizer, OptimizerOptions, OptimizerS
 pub use report::TextTable;
 pub use request::{EvaluationOptions, FallbackPolicy, OptimizeRequest};
 pub use strategy::{
-    HeuristicStrategy, LayoutStrategy, LocalSearchStrategy, PortfolioStrategy, SchemeStrategy,
-    StrategyContext, StrategyOutcome, StrategyRegistry, WeightedStrategy,
+    HeuristicStrategy, LayoutStrategy, LocalSearchStrategy, PortfolioStealStrategy,
+    PortfolioStrategy, SchemeStrategy, StrategyContext, StrategyOutcome, StrategyRegistry,
+    WeightedStrategy,
 };
 
 #[cfg(test)]

@@ -96,7 +96,8 @@ pub struct OptimizeRequest {
     /// Wall-clock budget for the search (`None` = unlimited).
     pub time_limit: Option<Duration>,
     /// How many solver workers a parallelism-aware strategy (`portfolio`,
-    /// `weighted`) may occupy on the session's shared pool (`None` = the
+    /// `portfolio-steal`, `weighted`) may occupy on the session's shared
+    /// pool (`None` = the
     /// engine default, which is [`EngineBuilder::parallelism`] or the
     /// machine's available parallelism; `Some(1)` = single-threaded).
     ///
@@ -111,7 +112,8 @@ pub struct OptimizeRequest {
     /// [`EngineBuilder::parallelism`]: crate::engine::EngineBuilder::parallelism
     pub parallelism: Option<usize>,
     /// Adaptive-parallelism threshold, in search nodes: a
-    /// parallelism-aware strategy (`portfolio`, `weighted`) first runs its
+    /// parallelism-aware strategy (`portfolio`, `portfolio-steal`,
+    /// `weighted`) first runs its
     /// *sequential* path under this node budget and only escalates to the
     /// parallel machinery when the budget is exhausted, so small instances
     /// (every paper benchmark solves in a few thousand nodes) stop paying

@@ -16,8 +16,8 @@ use crate::error::{FallbackReason, OptimizeError};
 use crate::request::OptimizeRequest;
 use mlo_csp::{
     BranchAndBound, MinConflicts, NetworkSearch, ParallelBranchAndBound, ParallelPortfolioSearch,
-    Scheme as CspScheme, SearchEngine, SearchLimits, SearchStats, SolveResult, WeightedNetwork,
-    WorkerPool,
+    Scheme as CspScheme, SearchEngine, SearchLimits, SearchStats, SolveResult, StealScheduler,
+    WeightedNetwork, WorkerPool,
 };
 use mlo_ir::Program;
 use mlo_layout::{
@@ -397,40 +397,30 @@ impl LayoutStrategy for WeightedStrategy {
         let mut limits = ctx.limits();
         limits.node_limit = Some(limits.node_limit.unwrap_or(self.default_node_limit));
         let parallelism = ctx.parallelism();
-        // Adaptive sequential probe: paper-sized instances finish an
-        // exhaustive branch and bound within the probe budget, and an
-        // exhaustive result *is* the optimum the portfolio's primary would
-        // return — so only instances that burn the budget fan out.
-        // Skipped when the request's own (effective) budget is no larger
-        // than the threshold: escalating would just re-run that budget.
-        let probe = if parallelism > 1 && ctx.probe_is_worthwhile(limits.node_limit) {
-            let mut probe_limits = ctx.probe_limits();
-            probe_limits.node_limit = probe_limits
-                .node_limit
-                .map(|cap| cap.min(limits.node_limit.unwrap_or(u64::MAX)));
-            let result = BranchAndBound::new().optimize_with(&weighted, &probe_limits);
-            if result.hit_node_limit {
-                None // escalate: the instance outgrew the probe budget
+        let result = if parallelism > 1 {
+            // Portfolio branch and bound: helper shards/probes feed the
+            // shared incumbent, the exhaustive primary returns the answer —
+            // identical to the single-thread solution, sooner.  The
+            // adaptive sequential probe lives inside the portfolio now
+            // (`ParallelBranchAndBound::parallel_threshold`): the primary
+            // runs alone under the threshold budget and only instances
+            // that exhaust it pay for parallel dispatch.  A zero threshold
+            // (probe not worthwhile: the request's own budget is no larger)
+            // disables the probe rather than re-running the same budget.
+            let threshold = if ctx.probe_is_worthwhile(limits.node_limit) {
+                ctx.parallel_threshold()
             } else {
-                Some(result)
-            }
+                0
+            };
+            ParallelBranchAndBound::new(BranchAndBound::new())
+                .with_pool(ctx.worker_pool())
+                .parallelism(parallelism)
+                .seed(ctx.request().seed)
+                .parallel_threshold(threshold)
+                .optimize_detailed(&weighted, &limits)
+                .result
         } else {
-            None
-        };
-        let result = match probe {
-            Some(result) => result,
-            None if parallelism > 1 => {
-                // Portfolio branch and bound: helper shards/probes feed the
-                // shared incumbent, the exhaustive primary returns the
-                // answer — identical to the single-thread solution, sooner.
-                ParallelBranchAndBound::new(BranchAndBound::new())
-                    .with_pool(ctx.worker_pool())
-                    .parallelism(parallelism)
-                    .seed(ctx.request().seed)
-                    .optimize_detailed(&weighted, &limits)
-                    .result
-            }
-            None => BranchAndBound::new().optimize_with(&weighted, &limits),
+            BranchAndBound::new().optimize_with(&weighted, &limits)
         };
         match result.solution {
             Some(solution) => Ok(StrategyOutcome::Solved {
@@ -559,10 +549,59 @@ impl LayoutStrategy for PortfolioStrategy {
     }
 }
 
+/// Work-stealing dynamic shard search: one search tree, partitioned
+/// across the session's worker pool and re-partitioned on the fly as
+/// workers go idle.
+///
+/// Where [`PortfolioStrategy`] races redundant solvers — which only pays
+/// off on satisfiable instances, because every racer must walk the whole
+/// tree to prove unsatisfiability — `portfolio-steal` shards the tree
+/// itself, so *UNSAT proofs* and exhaustive tails parallelize too.  The
+/// merge contract is deterministic (the lowest-canonical-index solution
+/// wins every race), so the reported solution is identical at every
+/// thread count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PortfolioStealStrategy;
+
+impl LayoutStrategy for PortfolioStealStrategy {
+    fn name(&self) -> &str {
+        "portfolio-steal"
+    }
+
+    fn description(&self) -> &str {
+        "work-stealing dynamic shard search (parallel UNSAT proofs, thread-count-independent result)"
+    }
+
+    fn determine(&self, ctx: &StrategyContext<'_>) -> Result<StrategyOutcome, OptimizeError> {
+        let network = ctx.network().network();
+        let parallelism = ctx.parallelism();
+        // Same adaptive sequential probe as `portfolio`: paper-sized
+        // instances are decided by the enhanced scheme within the probe
+        // budget and never pay for parallel dispatch.  Skipped when the
+        // request's own node budget is no larger than the threshold.
+        if parallelism > 1 && ctx.probe_is_worthwhile(ctx.limits().node_limit) {
+            let probe_limits = ctx.probe_limits();
+            let engine = SearchEngine::with_scheme(CspScheme::Enhanced);
+            let mut rng = ctx.rng();
+            let probe = engine.solve_with(network, &mut rng, &probe_limits);
+            if !probe.hit_node_limit {
+                return Ok(ctx.outcome_from_solve(probe));
+            }
+            // Budget exhausted without a verdict: shard the tree.
+        }
+        let mut scheduler = StealScheduler::new().parallelism(parallelism);
+        if parallelism > 1 {
+            scheduler = scheduler.with_pool(ctx.worker_pool());
+        }
+        let result = scheduler.solve(network, &ctx.limits());
+        Ok(ctx.outcome_from_solve(result))
+    }
+}
+
 /// A name-indexed collection of strategies, preserving registration order.
 ///
-/// [`StrategyRegistry::builtin`] registers the seven strategies the old
-/// `OptimizerScheme` enum hard-coded; [`StrategyRegistry::register`] adds
+/// [`StrategyRegistry::builtin`] registers the nine built-in strategies;
+/// [`StrategyRegistry::register`] adds
 /// (or replaces) entries, so downstream users plug in custom strategies
 /// without touching this crate.
 #[derive(Debug, Clone, Default)]
@@ -576,9 +615,10 @@ impl StrategyRegistry {
         StrategyRegistry::default()
     }
 
-    /// The registry of the eight built-in strategies, in the canonical
+    /// The registry of the nine built-in strategies, in the canonical
     /// order (heuristic, base, enhanced, forward-checking,
-    /// full-propagation, weighted, local-search, portfolio).
+    /// full-propagation, weighted, local-search, portfolio,
+    /// portfolio-steal).
     pub fn builtin() -> Self {
         let mut registry = StrategyRegistry::empty();
         registry.register(Arc::new(HeuristicStrategy));
@@ -589,6 +629,7 @@ impl StrategyRegistry {
         registry.register(Arc::new(WeightedStrategy::default()));
         registry.register(Arc::new(LocalSearchStrategy::default()));
         registry.register(Arc::new(PortfolioStrategy::default()));
+        registry.register(Arc::new(PortfolioStealStrategy));
         registry
     }
 
@@ -654,7 +695,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn builtin_registry_has_the_eight_builtin_strategies() {
+    fn builtin_registry_has_the_nine_builtin_strategies() {
         let registry = StrategyRegistry::builtin();
         assert_eq!(
             registry.names(),
@@ -667,12 +708,14 @@ mod tests {
                 "weighted",
                 "local-search",
                 "portfolio",
+                "portfolio-steal",
             ]
         );
-        assert_eq!(registry.len(), 8);
+        assert_eq!(registry.len(), 9);
         assert!(!registry.is_empty());
         assert!(registry.get("enhanced").is_some());
         assert!(registry.get("portfolio").is_some());
+        assert!(registry.get("portfolio-steal").is_some());
         assert!(registry.get("nope").is_none());
     }
 
@@ -694,7 +737,7 @@ mod tests {
             }
         }
         registry.register(Arc::new(FakeBase));
-        assert_eq!(registry.len(), 8);
+        assert_eq!(registry.len(), 9);
         assert_eq!(registry.names()[1], "base");
         assert_eq!(
             format!("{:?}", registry.get("base").unwrap()),

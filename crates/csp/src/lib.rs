@@ -89,6 +89,7 @@ pub use solver::portfolio::{ParallelBranchAndBound, WeightedPortfolioReport};
 pub use solver::{
     CancelToken, Enumerator, MinConflicts, NetworkSearch, ParallelPortfolioSearch, PortfolioMember,
     PortfolioReport, Scheme, SearchEngine, SearchLimits, SearchStats, SharedIncumbent, SolveResult,
+    StealCountReport, StealOptimizeReport, StealReport, StealScheduler, StealSolveReport,
     ValueOrdering, VariableOrdering, WorkerPool,
 };
 pub use weighted::{BnbOrder, BranchAndBound, Coop, WeightedNetwork};

@@ -139,7 +139,13 @@ pub fn planted_weighted_network(
     let mut weighted = WeightedNetwork::new(net, 0.0);
     let network = weighted.network().clone();
     for c in network.constraints() {
-        for &(a, b) in c.allowed_pairs() {
+        // `allowed_pairs` is a HashSet whose iteration order varies per
+        // process; noise draws are consumed in pair order, so the pairs
+        // must be walked in a canonical order or the "fixed seed" would
+        // still yield a different instance on every run.
+        let mut pairs: Vec<(usize, usize)> = c.allowed_pairs().iter().copied().collect();
+        pairs.sort_unstable();
+        for (a, b) in pairs {
             let weight = if planted[c.first().index()] == a && planted[c.second().index()] == b {
                 planted_bonus
             } else {
@@ -155,11 +161,61 @@ pub fn planted_weighted_network(
     (weighted, planted)
 }
 
+/// Generates the pigeonhole network `PHP(holes + 1, holes)`: `holes + 1`
+/// variables (pigeons), each ranging over `holes` values, pairwise
+/// constrained to differ.
+///
+/// By the pigeonhole principle the network is **provably unsatisfiable**,
+/// and any backtracking refutation must exhaust a factorially large tree —
+/// the canonical hard UNSAT-proof workload.  Unlike random instances the
+/// tree has no lucky early exits, which makes these instances ideal for
+/// benchmarking parallel proof sharding: the work partitions evenly and the
+/// node total is schedule-independent.
+///
+/// `holes == 0` yields a single variable with an empty domain (still
+/// unsatisfiable, trivially).
+pub fn pigeonhole_network(holes: usize) -> ConstraintNetwork<usize> {
+    let mut net = ConstraintNetwork::new();
+    let vars: Vec<VarId> = (0..=holes)
+        .map(|i| net.add_variable(format!("pigeon{i}"), (0..holes).collect()))
+        .collect();
+    let mut not_equal = HashSet::new();
+    for a in 0..holes {
+        for b in 0..holes {
+            if a != b {
+                not_equal.insert((a, b));
+            }
+        }
+    }
+    for i in 0..vars.len() {
+        for j in (i + 1)..vars.len() {
+            net.add_constraint_by_index(vars[i], vars[j], not_equal.clone())
+                .expect("indices are in range by construction");
+        }
+    }
+    net
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::assignment::Assignment;
     use crate::solver::{Scheme, SearchEngine};
+
+    #[test]
+    fn pigeonhole_is_unsatisfiable() {
+        for holes in [2usize, 3, 4] {
+            let net = pigeonhole_network(holes);
+            assert_eq!(net.variable_count(), holes + 1);
+            assert_eq!(net.constraint_count(), (holes + 1) * holes / 2);
+            let result = SearchEngine::with_scheme(Scheme::Enhanced).solve(&net);
+            assert!(
+                result.proves_unsatisfiable(),
+                "PHP({}) must be UNSAT",
+                holes
+            );
+        }
+    }
 
     #[test]
     fn generation_is_reproducible() {
@@ -172,6 +228,33 @@ mod tests {
         // Very likely different; at minimum it must still be well formed.
         let c = different_seed.generate();
         assert_eq!(c.variable_count(), spec.variables);
+    }
+
+    #[test]
+    fn planted_weights_are_reproducible_pair_by_pair() {
+        // Noise draws must not depend on HashSet iteration order (which
+        // varies between generator calls, let alone processes): the same
+        // spec must weigh every allowed pair identically every time, or
+        // "fixed seed" benchmark instances silently change per run.
+        let spec = RandomNetworkSpec {
+            variables: 10,
+            domain_size: 3,
+            density: 0.5,
+            tightness: 0.2,
+            seed: 77,
+        };
+        let (a, planted_a) = planted_weighted_network(&spec, 25.0, 9);
+        let (b, planted_b) = planted_weighted_network(&spec, 25.0, 9);
+        assert_eq!(planted_a, planted_b);
+        for (ci, c) in a.network().constraints().iter().enumerate() {
+            for &pair in c.allowed_pairs() {
+                assert_eq!(
+                    a.weight_of(ci, pair).to_bits(),
+                    b.weight_of(ci, pair).to_bits(),
+                    "constraint {ci} pair {pair:?} drew different noise"
+                );
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ mod local;
 mod ordering;
 pub mod pool;
 pub mod portfolio;
+pub mod steal;
 
 pub use ac3::{ac3, ac3_kernel, Ac3Outcome};
 pub use enumerate::{EnumerationResult, Enumerator};
@@ -31,6 +32,9 @@ pub use ordering::{
 pub use pool::WorkerPool;
 pub use portfolio::{
     CancelToken, ParallelPortfolioSearch, PortfolioMember, PortfolioReport, SharedIncumbent,
+};
+pub use steal::{
+    StealCountReport, StealOptimizeReport, StealReport, StealScheduler, StealSolveReport,
 };
 
 use crate::assignment::Solution;
@@ -107,6 +111,12 @@ pub struct SearchStats {
     pub prunings: u64,
     /// Deepest partial-assignment depth reached.
     pub max_depth: usize,
+    /// Number of frames taken from another worker's deque by the
+    /// work-stealing scheduler (0 for sequential backends).
+    pub steals: u64,
+    /// Number of frames a scheduler worker carved off its local stack for
+    /// idle peers (0 for sequential backends).
+    pub splits: u64,
 }
 
 impl SearchStats {
@@ -118,6 +128,8 @@ impl SearchStats {
         self.consistency_checks += other.consistency_checks;
         self.prunings += other.prunings;
         self.max_depth = self.max_depth.max(other.max_depth);
+        self.steals += other.steals;
+        self.splits += other.splits;
     }
 }
 
@@ -125,13 +137,15 @@ impl fmt::Display for SearchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "nodes={} backtracks={} backjumps={} checks={} prunings={} max_depth={}",
+            "nodes={} backtracks={} backjumps={} checks={} prunings={} max_depth={} steals={} splits={}",
             self.nodes_visited,
             self.backtracks,
             self.backjumps,
             self.consistency_checks,
             self.prunings,
-            self.max_depth
+            self.max_depth,
+            self.steals,
+            self.splits
         )
     }
 }
@@ -400,6 +414,8 @@ mod tests {
             consistency_checks: 10,
             prunings: 2,
             max_depth: 3,
+            steals: 1,
+            splits: 2,
         };
         let b = SearchStats {
             nodes_visited: 7,
@@ -408,11 +424,15 @@ mod tests {
             consistency_checks: 5,
             prunings: 0,
             max_depth: 6,
+            steals: 3,
+            splits: 1,
         };
         a.absorb(&b);
         assert_eq!(a.nodes_visited, 12);
         assert_eq!(a.backjumps, 4);
         assert_eq!(a.max_depth, 6);
+        assert_eq!(a.steals, 4);
+        assert_eq!(a.splits, 3);
         assert!(a.to_string().contains("nodes=12"));
     }
 

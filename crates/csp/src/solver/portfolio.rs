@@ -729,6 +729,12 @@ pub struct ParallelBranchAndBound {
     pub greedy_probes: usize,
     /// Base seed for shuffles and probes.
     pub seed: u64,
+    /// Node budget for the adaptive sequential probe: before fanning out,
+    /// the primary runs alone under this budget, and only instances that
+    /// exhaust it pay for parallel dispatch (`0` disables the probe).  This
+    /// is the same adaptivity `mlo-core` strategies apply, pushed down so
+    /// every caller gets it.
+    pub parallel_threshold: u64,
     parallelism: Option<usize>,
     pool: Option<Arc<WorkerPool>>,
 }
@@ -742,6 +748,7 @@ impl Default for ParallelBranchAndBound {
             probes: 1,
             greedy_probes: 1,
             seed: 0xC0FFEE,
+            parallel_threshold: 50_000,
             parallelism: None,
             pool: None,
         }
@@ -774,6 +781,13 @@ impl ParallelBranchAndBound {
     /// Sets the base seed for shuffled helpers and probes.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the sequential-probe node budget (`0` disables the probe and
+    /// always fans out).
+    pub fn parallel_threshold(mut self, threshold: u64) -> Self {
+        self.parallel_threshold = threshold;
         self
     }
 
@@ -852,6 +866,29 @@ impl ParallelBranchAndBound {
             // The single-thread baseline: the plain primary search.
             let result = self.primary.optimize_with(weighted, limits);
             return finish_weighted(weighted, result, 0);
+        }
+        // Adaptive dispatch: easy instances finish inside the sequential
+        // probe budget and never pay for parallel dispatch.  Only when the
+        // probe exhausts its node budget does the full portfolio launch
+        // (the probe's counters are carried over — work done is work
+        // reported, attributed exactly once).
+        let mut probe_stats = SearchStats::default();
+        if self.parallel_threshold > 0
+            && limits
+                .node_limit
+                .is_none_or(|own| own > self.parallel_threshold)
+        {
+            let probe_limits = SearchLimits {
+                node_limit: Some(limits.node_limit.map_or(self.parallel_threshold, |own| {
+                    own.min(self.parallel_threshold)
+                })),
+                deadline: limits.deadline,
+            };
+            let probe = self.primary.optimize_with(weighted, &probe_limits);
+            if !probe.hit_node_limit {
+                return finish_weighted(weighted, probe, 0);
+            }
+            probe_stats = probe.stats;
         }
         let pool = pool.expect("parallel path requires a pool");
         let start = Instant::now();
@@ -939,7 +976,7 @@ impl ParallelBranchAndBound {
         // endless wait.
         drop(tx);
         let mut primary_result: Option<OptimizeResult<V>> = None;
-        let mut stats = SearchStats::default();
+        let mut stats = probe_stats;
         let mut helpers_run = 0usize;
         while in_flight > 0 {
             match rx.recv_timeout(COLLECT_POLL) {
@@ -1225,11 +1262,31 @@ mod tests {
     fn weighted_portfolio_runs_helpers() {
         let weighted = weighted_instance(13);
         let pool = Arc::new(WorkerPool::new(4));
+        // Threshold 0 disables the sequential probe; an instance this small
+        // would otherwise complete inside it and never fan out.
         let report = ParallelBranchAndBound::default()
             .with_pool(pool)
             .parallelism(4)
+            .parallel_threshold(0)
             .optimize_detailed(&weighted, &SearchLimits::none());
         assert!(report.helpers_run > 0);
         assert!(report.canonical_weight.is_some());
+    }
+
+    #[test]
+    fn sequential_probe_skips_the_fan_out_on_small_instances() {
+        let weighted = weighted_instance(13);
+        let pool = Arc::new(WorkerPool::new(4));
+        let probed = ParallelBranchAndBound::default()
+            .with_pool(pool)
+            .parallelism(4)
+            .optimize_detailed(&weighted, &SearchLimits::none());
+        assert_eq!(
+            probed.helpers_run, 0,
+            "an instance under the default threshold completes in the probe"
+        );
+        // The probe is result-identical to the sequential branch and bound.
+        let oracle = BranchAndBound::new().optimize(&weighted);
+        assert_eq!(probed.result.best_weight, oracle.best_weight);
     }
 }

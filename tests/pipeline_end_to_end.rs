@@ -253,7 +253,7 @@ impl mlo_core::LayoutStrategy for EscalatingStrategy {
 
 #[test]
 fn registry_strategies_and_a_custom_one_solve_figure2() {
-    // Iterate the *registry* (not a hard-coded list): all seven built-ins
+    // Iterate the *registry* (not a hard-coded list): all nine built-ins
     // plus one user-defined strategy must produce complete assignments, and
     // every strategy that claims a proof must reach the ideal score.
     let engine = Engine::builder()
@@ -271,9 +271,10 @@ fn registry_strategies_and_a_custom_one_solve_figure2() {
             "weighted",
             "local-search",
             "portfolio",
+            "portfolio-steal",
             "escalating",
         ],
-        "eight built-ins plus the custom strategy, in registration order"
+        "nine built-ins plus the custom strategy, in registration order"
     );
     let session = engine.session();
     let program = figure2_program(16);
