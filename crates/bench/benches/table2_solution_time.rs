@@ -23,7 +23,7 @@ fn solution_time(c: &mut Criterion) {
             let mut request =
                 OptimizeRequest::strategy(strategy).candidates(benchmark.candidate_options());
             if strategy == "base" {
-                request = request.node_limit(200_000);
+                request = request.with_budget(mlo_core::SearchBudget::new().nodes(200_000));
             }
             group.bench_with_input(
                 BenchmarkId::new(strategy.to_string(), benchmark.name()),

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run -p mlo-bench --release --bin perf_gate -- \
-//!     [--threads N] [--out BENCH_6.json] [--baseline BENCH_5.json] \
+//!     [--threads N] [--out BENCH_7.json] [--baseline BENCH_6.json] \
 //!     [--min-speedup X] [--wall-margin 0.25] [--no-wall-gate]
 //! ```
 //!
@@ -54,7 +54,16 @@
 //! a weighted shard split must copy **zero dense weight entries**.  Any
 //! audit violation fails the gate.
 //!
-//! The harness emits `BENCH_6.json` (wall time, nodes explored, solution
+//! An eighth, `service`, exercises the `mlo-service` front-end: a
+//! fixed-seed burst of duplicate-heavy requests through the queued
+//! submission path (reporting throughput and the coalescing hit rate), the
+//! same burst through a tightly bounded intake (reporting the admission
+//! shed count), and a served-vs-direct determinism audit — every report
+//! served through the queue must be identical to the direct
+//! `Session::optimize` call at the same worker count (the gate fails
+//! otherwise).
+//!
+//! The harness emits `BENCH_7.json` (wall time, nodes explored, solution
 //! cost, speedup per entry) and **exits nonzero when any parallel run's
 //! solution cost differs from its single-thread baseline** — that cost
 //! parity is the determinism contract of `mlo_csp::solver::portfolio` and
@@ -74,7 +83,7 @@
 //! and the speedup line measures scheduling overhead instead).
 
 use mlo_benchmarks::Benchmark;
-use mlo_core::{Engine, EvaluationOptions, OptimizeRequest, TextTable};
+use mlo_core::{Engine, EvaluationOptions, OptimizeRequest, SearchBudget, TextTable};
 use mlo_csp::random::{
     pigeonhole_network, planted_weighted_network, satisfiable_network, RandomNetworkSpec,
 };
@@ -83,6 +92,7 @@ use mlo_csp::{
     bit_constraint_compiles, weight_constraint_compiles, SearchLimits, StealScheduler, WorkerPool,
 };
 use mlo_layout::quality::assignment_score;
+use mlo_service::{MloService, ServiceConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::HashSet;
 use std::fmt::Write as _;
@@ -214,8 +224,8 @@ struct Config {
 fn parse_args() -> Config {
     let mut config = Config {
         threads: 4,
-        out: "BENCH_6.json".to_string(),
-        baseline: Some("BENCH_5.json".to_string()),
+        out: "BENCH_7.json".to_string(),
+        baseline: Some("BENCH_6.json".to_string()),
         min_speedup: 0.0,
         wall_margin: 0.25,
         no_wall_gate: false,
@@ -349,13 +359,15 @@ fn engine_group(threads: usize, strategy: &str, cycles_as_cost: bool) -> Vec<Ent
             let (wall_ms_1t, nodes_1t, cost_1t) = measure_request(
                 &session,
                 &program,
-                &request.clone().parallelism(1),
+                &request.clone().with_budget(SearchBudget::new().workers(1)),
                 cycles_as_cost,
             );
             let (wall_ms_nt, nodes_nt, cost_nt) = measure_request(
                 &session,
                 &program,
-                &request.clone().parallelism(threads),
+                &request
+                    .clone()
+                    .with_budget(SearchBudget::new().workers(threads)),
                 cycles_as_cost,
             );
             Entry {
@@ -915,6 +927,150 @@ fn weighted_group(
 /// Runs the incremental-recompilation audit (see [`WeightedAudit`]).  Must
 /// run while no other thread is compiling kernels: the compile counters are
 /// process-wide.
+/// Results of the `service` group: queued throughput, coalescing,
+/// admission shedding and the served-vs-direct determinism audit.
+struct ServiceGroup {
+    /// Requests pushed through the unbounded throughput burst.
+    requests: u64,
+    /// Wall clock of the whole burst (submit + drain).
+    wall_ms: f64,
+    /// Completed requests per second over the burst.
+    throughput_rps: f64,
+    /// Submissions the burst service accepted (coalesced hits included).
+    submitted: u64,
+    /// Burst submissions that coalesced onto an in-flight solve.
+    coalesced: u64,
+    /// `coalesced / submitted` over the burst.
+    coalesce_hit_rate: f64,
+    /// Submissions shed by the tightly bounded intake run.
+    shed: u64,
+    /// Whether every served report matched its direct session call.
+    determinism_ok: bool,
+}
+
+/// One fixed-seed duplicate-heavy burst: every paper benchmark × 8 seeds,
+/// each `(program, request)` pair submitted twice back-to-back.
+fn service_burst(service: &MloService) -> (u64, f64) {
+    let programs: Vec<_> = Benchmark::all().iter().map(|b| b.program()).collect();
+    let mut handles = Vec::new();
+    let started = Instant::now();
+    for seed in 0..8u64 {
+        for program in &programs {
+            let request = OptimizeRequest::strategy("enhanced").seed(SEED ^ seed);
+            for _ in 0..2 {
+                // A bounded intake may shed the submission; that's counted
+                // by the service stats rather than treated as a failure.
+                if let Ok(handle) = service.submit(program, &request) {
+                    handles.push(handle);
+                }
+            }
+        }
+    }
+    let accepted = handles.len() as u64;
+    for handle in &handles {
+        assert!(
+            handle.wait().is_ok(),
+            "a burst request failed to solve (service group)"
+        );
+    }
+    (accepted, started.elapsed().as_secs_f64() * 1e3)
+}
+
+fn service_group(threads: usize) -> ServiceGroup {
+    // Determinism audit: the queued path must reproduce the direct
+    // session's reports bit-for-bit at this worker count.
+    let engine = Engine::builder().parallelism(threads).build();
+    let session = engine.session();
+    let service = MloService::new(engine.session(), ServiceConfig::new().queue_limit(0));
+    let mut determinism_ok = true;
+    for benchmark in Benchmark::all() {
+        let program = benchmark.program();
+        for strategy in ["enhanced", "weighted", "portfolio-steal"] {
+            let request = OptimizeRequest::strategy(strategy).seed(SEED);
+            let direct = session
+                .optimize(&program, &request)
+                .expect("direct solve succeeds");
+            let served = service
+                .submit(&program, &request)
+                .expect("unbounded admission")
+                .wait();
+            let served = match served.as_ref() {
+                Ok(report) => report,
+                Err(error) => panic!("served solve failed: {error}"),
+            };
+            determinism_ok &= direct.assignment == served.assignment
+                && direct.search_stats == served.search_stats
+                && direct.satisfiable == served.satisfiable
+                && direct.fallback == served.fallback;
+        }
+    }
+
+    // Queued throughput with duplicate bursts through an unbounded intake:
+    // duplicates of an in-flight request coalesce instead of re-solving.
+    let burst_engine = Engine::builder().parallelism(threads).build();
+    let burst = MloService::new(burst_engine.session(), ServiceConfig::new().queue_limit(0));
+    let (requests, wall_ms) = service_burst(&burst);
+    let stats = burst.stats();
+    let throughput_rps = if wall_ms > 0.0 {
+        requests as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    };
+    let coalesce_hit_rate = if stats.submitted > 0 {
+        stats.coalesced as f64 / stats.submitted as f64
+    } else {
+        0.0
+    };
+
+    // The same burst against a tightly bounded intake: admission control
+    // must shed instead of queueing without bound.
+    let bounded_engine = Engine::builder().parallelism(threads).build();
+    let bounded = MloService::new(
+        bounded_engine.session(),
+        ServiceConfig::new().queue_limit(4),
+    );
+    let _ = service_burst(&bounded);
+    let shed = bounded.stats().shed;
+
+    ServiceGroup {
+        requests,
+        wall_ms,
+        throughput_rps,
+        submitted: stats.submitted,
+        coalesced: stats.coalesced,
+        coalesce_hit_rate,
+        shed,
+        determinism_ok,
+    }
+}
+
+fn print_service(service: &Option<ServiceGroup>) {
+    let Some(s) = service else { return };
+    println!("\nservice — queued front-end over the session pool");
+    println!(
+        "  burst: {} accepted requests in {:.2}ms -> {:.0} req/s",
+        s.requests, s.wall_ms, s.throughput_rps
+    );
+    println!(
+        "  coalescing: {} of {} submissions hit an in-flight solve ({:.0}%)",
+        s.coalesced,
+        s.submitted,
+        s.coalesce_hit_rate * 100.0
+    );
+    println!(
+        "  admission: {} submissions shed under a 4-deep intake bound",
+        s.shed
+    );
+    println!(
+        "  served reports identical to direct session calls: {}",
+        if s.determinism_ok {
+            "yes"
+        } else {
+            "NO (VIOLATED)"
+        }
+    );
+}
+
 fn weighted_audit() -> WeightedAudit {
     let spec = RandomNetworkSpec {
         variables: 40,
@@ -1236,6 +1392,7 @@ fn main() -> ExitCode {
     // The audit reads process-wide compile counters, so it runs after every
     // concurrent group has finished its solves.
     let audit = wanted("weighted").then(weighted_audit);
+    let service = wanted("service").then(|| service_group(config.threads));
 
     print_group(
         "table2 — portfolio strategy (cost = layout quality score)",
@@ -1256,6 +1413,7 @@ fn main() -> ExitCode {
     print_large(&large);
     print_propagation(&propagation);
     print_weighted(&weighted, &audit);
+    print_service(&service);
 
     // The headline scaling metric: aggregate wall-clock speedup of the
     // work-stealing groups (UNSAT proofs + enumerations), the workloads a
@@ -1336,7 +1494,7 @@ fn main() -> ExitCode {
 
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"benchmark\": \"BENCH_6\",").unwrap();
+    writeln!(json, "  \"benchmark\": \"BENCH_7\",").unwrap();
     writeln!(json, "  \"harness\": \"perf_gate\",").unwrap();
     writeln!(json, "  \"threads\": {},", config.threads).unwrap();
     writeln!(json, "  \"cores\": {cores},").unwrap();
@@ -1509,6 +1667,23 @@ fn main() -> ExitCode {
         writeln!(json, "    \"masks_ok\": {}", p.masks_ok).unwrap();
         writeln!(json, "  }},").unwrap();
     }
+    if let Some(s) = &service {
+        writeln!(json, "  \"service\": {{").unwrap();
+        writeln!(json, "    \"requests\": {},", s.requests).unwrap();
+        writeln!(json, "    \"wall_ms\": {:.3},", s.wall_ms).unwrap();
+        writeln!(json, "    \"throughput_rps\": {:.1},", s.throughput_rps).unwrap();
+        writeln!(json, "    \"submitted\": {},", s.submitted).unwrap();
+        writeln!(json, "    \"coalesced\": {},", s.coalesced).unwrap();
+        writeln!(
+            json,
+            "    \"coalesce_hit_rate\": {:.3},",
+            s.coalesce_hit_rate
+        )
+        .unwrap();
+        writeln!(json, "    \"shed\": {},", s.shed).unwrap();
+        writeln!(json, "    \"determinism_ok\": {}", s.determinism_ok).unwrap();
+        writeln!(json, "  }},").unwrap();
+    }
     if let Some((path, speedup, single_thread)) = &baseline_stats {
         match single_thread {
             Some(previous_ms) => writeln!(
@@ -1572,6 +1747,9 @@ fn main() -> ExitCode {
     if audit.is_some() {
         writeln!(json, "  \"weighted_ok\": {weighted_ok},").unwrap();
     }
+    if let Some(s) = &service {
+        writeln!(json, "  \"service_ok\": {},", s.determinism_ok).unwrap();
+    }
     writeln!(json, "  \"cost_parity\": {cost_parity}").unwrap();
     writeln!(json, "}}").unwrap();
     std::fs::write(&config.out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", config.out));
@@ -1614,6 +1792,13 @@ fn main() -> ExitCode {
             "perf_gate FAILED: steal telemetry violated its contract (a \
              single-thread run stole/split, or an N-worker proof run never \
              stole — see the steal telemetry line above)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if service.as_ref().is_some_and(|s| !s.determinism_ok) {
+        eprintln!(
+            "perf_gate FAILED: a report served through the mlo-service queue \
+             differed from the direct session call (see the service group above)"
         );
         return ExitCode::FAILURE;
     }

@@ -25,10 +25,12 @@
 //! ```
 
 use crate::error::{Fallback, FallbackReason, OptimizeError};
-use crate::request::{EvaluationOptions, OptimizeRequest};
+use crate::request::{EvaluationOptions, OptimizeRequest, StrategyId};
 use crate::strategy::{LayoutStrategy, StrategyContext, StrategyOutcome, StrategyRegistry};
 use mlo_cachesim::{SimulationReport, Simulator};
-use mlo_csp::{SearchLimits, SearchStats, WeightedNetwork, WorkerPool};
+use mlo_csp::{
+    CancelToken, IncumbentObserver, SearchLimits, SearchStats, WeightedNetwork, WorkerPool,
+};
 use mlo_ir::Program;
 use mlo_layout::{
     heuristic_assignment, weights::WeightOptions, CandidateOptions, CandidateSet, Layout,
@@ -52,6 +54,66 @@ pub struct NetworkSummary {
     pub total_domain_size: usize,
     /// Product of domain sizes (naive search-space size).
     pub search_space: f64,
+}
+
+/// External hooks a caller may attach to one solve.
+///
+/// Both hooks are cooperative and optional; a request served without hooks
+/// behaves (and *performs*) exactly as before — the solvers only check a
+/// token or feed an observed incumbent when one is present.
+#[derive(Debug, Clone, Default)]
+pub struct SolveHooks {
+    /// Cooperative cancellation: every built-in strategy polls the token at
+    /// its deadline-poll points and aborts within microseconds of it
+    /// firing, reporting
+    /// [`FallbackReason::Cancelled`].
+    pub cancel: Option<CancelToken>,
+    /// Incumbent streaming: notified with each strictly-improving bound the
+    /// weighted (branch-and-bound) strategies establish.  Ignored by
+    /// satisfiability strategies, which have no incumbent.
+    pub incumbent: Option<IncumbentObserver>,
+}
+
+impl SolveHooks {
+    /// Hooks with only a cancellation token attached.
+    pub fn cancellable(cancel: CancelToken) -> Self {
+        SolveHooks {
+            cancel: Some(cancel),
+            incumbent: None,
+        }
+    }
+}
+
+/// Normalized per-instance shape features, extracted from a prepared
+/// program's constraint network.  The adaptive dispatcher
+/// (`mlo-service`) keys its nearest-neighbor strategy picks on these; they
+/// are deliberately cheap to compute from session-cached artifacts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceFeatures {
+    /// Number of constraint variables (arrays with layout choices).
+    pub variables: f64,
+    /// Constraint density: constraints over possible variable pairs, in
+    /// `[0, 1]`.
+    pub density: f64,
+    /// Mean domain size (candidate layouts per array).
+    pub mean_domain: f64,
+    /// Weight skew of the nest-cost weights: the largest per-constraint
+    /// aggregate over the mean (`1.0` = perfectly uniform, larger = a few
+    /// constraints dominate the objective).
+    pub weight_skew: f64,
+}
+
+impl InstanceFeatures {
+    /// The features as a fixed-order vector (the order the dispatch table
+    /// serializes them in).
+    pub fn as_array(&self) -> [f64; 4] {
+        [
+            self.variables,
+            self.density,
+            self.mean_domain,
+            self.weight_skew,
+        ]
+    }
 }
 
 impl NetworkSummary {
@@ -197,6 +259,46 @@ impl PreparedProgram {
         Some(weighted)
     }
 
+    /// Extracts the normalized instance features the adaptive dispatcher
+    /// keys on, from session-cached artifacts (the network and the default
+    /// weighted kernel are built on first use and reused afterwards).
+    pub fn features(&self, program: &Program) -> InstanceFeatures {
+        let network = self.network(program).network();
+        let variables = network.variable_count();
+        let constraints = network.constraint_count();
+        let pairs = variables.saturating_sub(1) * variables / 2;
+        let density = if pairs == 0 {
+            0.0
+        } else {
+            constraints as f64 / pairs as f64
+        };
+        let mean_domain = if variables == 0 {
+            0.0
+        } else {
+            network.total_domain_size() as f64 / variables as f64
+        };
+        let kernel = self.weight_kernel(program, &WeightOptions::default());
+        let count = kernel.constraint_count();
+        let mut sum = 0.0f64;
+        let mut max = f64::NEG_INFINITY;
+        for index in 0..count {
+            let allowed = kernel.constraint(index).max_allowed();
+            sum += allowed;
+            max = max.max(allowed);
+        }
+        let weight_skew = if count == 0 || sum <= 0.0 {
+            1.0
+        } else {
+            max * count as f64 / sum
+        };
+        InstanceFeatures {
+            variables: variables as f64,
+            density,
+            mean_domain,
+            weight_skew,
+        }
+    }
+
     /// Number of weighted networks currently cached.
     pub fn weighted_cached(&self) -> usize {
         self.weighted.lock().expect("weighted cache poisoned").len()
@@ -327,9 +429,10 @@ impl Engine {
         &self.registry
     }
 
-    /// A request for the named strategy pre-filled with the engine's
-    /// default candidate options.
-    pub fn request(&self, strategy: impl Into<String>) -> OptimizeRequest {
+    /// A request for the given strategy (a [`StrategyId`] or, via
+    /// `From<&str>`, a name) pre-filled with the engine's default candidate
+    /// options.
+    pub fn request(&self, strategy: impl Into<StrategyId>) -> OptimizeRequest {
         OptimizeRequest::strategy(strategy).candidates(self.default_candidates)
     }
 
@@ -455,7 +558,27 @@ impl Session {
         program: &Program,
         request: &OptimizeRequest,
     ) -> Result<OptimizeReport, OptimizeError> {
-        self.inner.optimize(program, request)
+        self.inner
+            .optimize(program, request, &SolveHooks::default())
+    }
+
+    /// Serves one request with external [`SolveHooks`] attached
+    /// (cooperative cancellation and/or incumbent streaming).  With default
+    /// hooks this is exactly [`Session::optimize`].
+    pub fn optimize_with_hooks(
+        &self,
+        program: &Program,
+        request: &OptimizeRequest,
+        hooks: &SolveHooks,
+    ) -> Result<OptimizeReport, OptimizeError> {
+        self.inner.optimize(program, request, hooks)
+    }
+
+    /// Extracts the adaptive-dispatch [`InstanceFeatures`] of a program
+    /// under the request's candidate options, using (and warming) this
+    /// session's prepared caches.
+    pub fn features(&self, program: &Program, options: &CandidateOptions) -> InstanceFeatures {
+        self.prepared(program, options).features(program)
     }
 }
 
@@ -491,8 +614,9 @@ impl SessionInner {
         &self,
         program: &Program,
         request: &OptimizeRequest,
+        hooks: &SolveHooks,
     ) -> Result<OptimizeReport, OptimizeError> {
-        let mut report = self.solve_request(program, request)?;
+        let mut report = self.solve_request(program, request, hooks)?;
         if let Some(options) = &request.evaluation {
             let strategy = report.strategy.clone();
             report.evaluation =
@@ -525,21 +649,25 @@ impl SessionInner {
         &self,
         program: &Program,
         request: &OptimizeRequest,
+        hooks: &SolveHooks,
     ) -> Result<OptimizeReport, OptimizeError> {
-        let strategy = self.engine.registry.get(&request.strategy).ok_or_else(|| {
-            OptimizeError::UnknownStrategy {
-                name: request.strategy.clone(),
+        let strategy = self
+            .engine
+            .registry
+            .resolve(&request.strategy)
+            .ok_or_else(|| OptimizeError::UnknownStrategy {
+                name: request.strategy.to_string(),
                 known: self.engine.registry.names(),
-            }
-        })?;
+            })?;
         let prepared = self.prepared(program, &request.candidates);
 
         let start = Instant::now();
         let limits = SearchLimits {
-            node_limit: request.node_limit,
-            deadline: request.time_limit.map(|budget| start + budget),
+            node_limit: request.budget.nodes,
+            deadline: request.budget.deadline.map(|budget| start + budget),
         };
-        let ctx = StrategyContext::new(self, program, &prepared, request, limits);
+        let ctx = StrategyContext::new(self, program, &prepared, request, limits)
+            .with_hooks(hooks.clone());
         let outcome = strategy.determine(&ctx)?;
         let solution_time = start.elapsed();
 
@@ -695,7 +823,7 @@ impl Session {
             let tx = tx.clone();
             let worker_pool = Arc::clone(&pool);
             pool.execute(move || {
-                let result = inner.solve_request(&program, &request);
+                let result = inner.solve_request(&program, &request, &SolveHooks::default());
                 // Successful solves with an evaluation request submit the
                 // simulation as its own pool job before reporting, keeping
                 // the channel's sender count equal to the number of live
@@ -811,7 +939,7 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::EvaluationOptions;
+    use crate::request::{EvaluationOptions, SearchBudget};
     use crate::strategy::SchemeStrategy;
     use mlo_benchmarks::Benchmark;
     use mlo_cachesim::MachineConfig;
@@ -900,7 +1028,7 @@ mod tests {
         let request = OptimizeRequest::strategy("base")
             .candidates(Benchmark::Radar.candidate_options())
             .seed(5)
-            .node_limit(3);
+            .with_budget(SearchBudget::new().nodes(3));
         let report = engine.optimize(&program, &request).unwrap();
         assert_eq!(
             report.fallback,
@@ -931,7 +1059,7 @@ mod tests {
                 &program,
                 &OptimizeRequest::strategy("local-search")
                     .candidates(Benchmark::MxM.candidate_options())
-                    .node_limit(500),
+                    .with_budget(SearchBudget::new().nodes(500)),
             )
             .unwrap();
         let stats = report.search_stats.expect("local search reports stats");
@@ -957,7 +1085,7 @@ mod tests {
                 &program,
                 &OptimizeRequest::strategy("base")
                     .candidates(Benchmark::Radar.candidate_options())
-                    .time_limit(Duration::ZERO),
+                    .with_budget(SearchBudget::new().deadline(Duration::ZERO)),
             )
             .unwrap();
         assert_eq!(
@@ -1031,7 +1159,7 @@ mod tests {
                 &program,
                 &OptimizeRequest::strategy("weighted")
                     .candidates(Benchmark::Track.candidate_options())
-                    .time_limit(Duration::ZERO),
+                    .with_budget(SearchBudget::new().deadline(Duration::ZERO)),
             )
             .unwrap();
         assert_eq!(
@@ -1272,10 +1400,18 @@ mod tests {
                 .seed(7);
             let adaptive = session.optimize(&program, &request).unwrap();
             let forced = session
-                .optimize(&program, &request.clone().parallel_threshold(0))
+                .optimize(
+                    &program,
+                    &request
+                        .clone()
+                        .with_budget(SearchBudget::new().parallel_threshold(0)),
+                )
                 .unwrap();
             let sequential = session
-                .optimize(&program, &request.clone().parallelism(1))
+                .optimize(
+                    &program,
+                    &request.clone().with_budget(SearchBudget::new().workers(1)),
+                )
                 .unwrap();
             assert_eq!(adaptive.assignment, forced.assignment, "{strategy}");
             assert_eq!(adaptive.assignment, sequential.assignment, "{strategy}");
@@ -1290,7 +1426,7 @@ mod tests {
         // The probe-limit arithmetic itself.
         let request = OptimizeRequest::strategy("portfolio")
             .candidates(options)
-            .node_limit(10);
+            .with_budget(SearchBudget::new().nodes(10));
         let prepared = session.prepared(&program, &options);
         let limits = SearchLimits::default().with_node_limit(10);
         let ctx = StrategyContext::new(&session.inner, &program, &prepared, &request, limits);
@@ -1447,12 +1583,20 @@ mod tests {
             .candidates(Benchmark::MedIm04.candidate_options())
             .seed(2024);
         let baseline = session
-            .optimize(&program, &request.clone().parallelism(1))
+            .optimize(
+                &program,
+                &request.clone().with_budget(SearchBudget::new().workers(1)),
+            )
             .unwrap();
         assert_eq!(baseline.satisfiable, Some(true));
         for workers in [2usize, 8] {
             let report = session
-                .optimize(&program, &request.clone().parallelism(workers))
+                .optimize(
+                    &program,
+                    &request
+                        .clone()
+                        .with_budget(SearchBudget::new().workers(workers)),
+                )
                 .unwrap();
             assert_eq!(
                 report.assignment, baseline.assignment,
@@ -1461,6 +1605,113 @@ mod tests {
             assert_eq!(report.satisfiable, baseline.satisfiable);
             assert_eq!(report.fallback, baseline.fallback);
         }
+    }
+
+    #[test]
+    fn optimize_many_propagates_per_request_parallelism() {
+        // Regression audit for the batch path: each pooled job's strategy
+        // must see *its own* request's worker budget (or the engine default
+        // when the request sets none), not a batch-wide value.
+        #[derive(Default)]
+        struct ParallelismRecorder {
+            seen: Mutex<Vec<(u64, usize)>>,
+        }
+        impl LayoutStrategy for ParallelismRecorder {
+            fn name(&self) -> &str {
+                "recorder"
+            }
+            fn determine(
+                &self,
+                ctx: &StrategyContext<'_>,
+            ) -> Result<StrategyOutcome, OptimizeError> {
+                self.seen
+                    .lock()
+                    .unwrap()
+                    .push((ctx.request().seed, ctx.parallelism()));
+                Ok(StrategyOutcome::Solved {
+                    assignment: ctx.heuristic(),
+                    stats: None,
+                    proven_satisfiable: false,
+                })
+            }
+        }
+        let recorder = Arc::new(ParallelismRecorder::default());
+        let engine = Engine::builder()
+            .parallelism(4)
+            .strategy(Arc::clone(&recorder) as Arc<dyn LayoutStrategy>)
+            .build();
+        let session = engine.session();
+        let program = Benchmark::MedIm04.program();
+        let mut jobs: Vec<(&Program, OptimizeRequest)> = (1..=3usize)
+            .map(|workers| {
+                (
+                    &program,
+                    OptimizeRequest::strategy("recorder")
+                        .seed(workers as u64)
+                        .with_budget(SearchBudget::new().workers(workers)),
+                )
+            })
+            .collect();
+        // One job with no explicit worker budget: sees the engine default.
+        jobs.push((&program, OptimizeRequest::strategy("recorder").seed(99)));
+        let results = session.optimize_many(&jobs);
+        assert!(results.iter().all(Result::is_ok));
+        let seen = recorder.seen.lock().unwrap();
+        assert_eq!(seen.len(), jobs.len());
+        for workers in 1..=3u64 {
+            assert!(
+                seen.contains(&(workers, workers as usize)),
+                "request with workers({workers}) saw {seen:?}"
+            );
+        }
+        assert!(
+            seen.contains(&(99, 4)),
+            "request without a worker budget must see the engine default: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn solve_hooks_cancel_requests_cooperatively() {
+        // A pre-fired token aborts the search almost immediately; the
+        // report must say Cancelled, never Unsatisfiable (a cancelled run
+        // has no limit hits, which used to read as an UNSAT proof).
+        let engine = Engine::new();
+        let session = engine.session();
+        let program = Benchmark::Radar.program();
+        let token = CancelToken::new();
+        token.cancel();
+        let report = session
+            .optimize_with_hooks(
+                &program,
+                &OptimizeRequest::strategy("base").candidates(Benchmark::Radar.candidate_options()),
+                &SolveHooks::cancellable(token),
+            )
+            .unwrap();
+        assert_eq!(
+            report.fallback,
+            Fallback::Heuristic(FallbackReason::Cancelled)
+        );
+        assert_eq!(report.satisfiable, None);
+        for array in program.arrays() {
+            assert!(report.assignment.contains(array.id()));
+        }
+    }
+
+    #[test]
+    fn instance_features_are_extracted_from_cached_artifacts() {
+        let session = Engine::new().session();
+        let program = Benchmark::MedIm04.program();
+        let options = Benchmark::MedIm04.candidate_options();
+        let features = session.features(&program, &options);
+        assert!(features.variables > 0.0);
+        assert!(features.density > 0.0 && features.density <= 1.0);
+        assert!(features.mean_domain >= 1.0);
+        assert!(features.weight_skew >= 1.0);
+        // Deterministic: a second extraction returns the identical vector.
+        assert_eq!(
+            features.as_array(),
+            session.features(&program, &options).as_array()
+        );
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub enum FallbackReason {
     /// The strategy's own budget ran out without a proof either way
     /// (e.g. local search restarts).
     Inconclusive,
+    /// The request was cancelled cooperatively (a
+    /// [`CancelToken`](mlo_csp::CancelToken) fired) before the search
+    /// finished.
+    Cancelled,
 }
 
 impl fmt::Display for FallbackReason {
@@ -36,6 +40,7 @@ impl fmt::Display for FallbackReason {
             FallbackReason::NodeBudgetExhausted => write!(f, "node budget exhausted"),
             FallbackReason::DeadlineExceeded => write!(f, "deadline exceeded"),
             FallbackReason::Inconclusive => write!(f, "search budget exhausted without a proof"),
+            FallbackReason::Cancelled => write!(f, "request cancelled"),
         }
     }
 }

@@ -95,7 +95,7 @@ pub fn table2_for(benchmark: Benchmark) -> Table2Row {
     let request = |strategy: &str, node_limit: Option<u64>| {
         let mut request =
             OptimizeRequest::strategy(strategy).candidates(benchmark.candidate_options());
-        request.node_limit = node_limit;
+        request.budget.nodes = node_limit;
         request
     };
     let run = |strategy: &str, node_limit: Option<u64>| {
@@ -181,7 +181,7 @@ pub fn table3_for(benchmark: Benchmark, machine: MachineConfig) -> Table3Row {
     let run = |strategy: &str, node_limit: Option<u64>| {
         let mut request =
             OptimizeRequest::strategy(strategy).candidates(benchmark.candidate_options());
-        request.node_limit = node_limit;
+        request.budget.nodes = node_limit;
         let report = session
             .optimize(&program, &request)
             .expect("table 3 requests use the heuristic fallback policy");

@@ -35,25 +35,33 @@
 //!          report.fallback);
 //! ```
 //!
-//! # Migrating from `Optimizer` to `Engine`
+//! # The typed request surface (0.3 API redesign)
 //!
-//! The `Optimizer::new(scheme).optimize(&program)` facade is deprecated; it
-//! still works (it delegates here) but rebuilds all per-program state on
-//! every call and folds every failure into one boolean.  The mapping:
+//! Two request knobs became typed values in 0.3 (the PR-1 `Optimizer`
+//! facade, deprecated since the engine API landed, was removed in the same
+//! redesign):
 //!
-//! | old | new |
-//! |-----|-----|
-//! | `Optimizer::new(scheme)` | `Engine::new()` + [`OptimizeRequest::strategy`]`(scheme.strategy_name())` |
-//! | `Optimizer::with_options(opts)` | `opts.to_request()` (see [`OptimizerOptions::to_request`]) |
-//! | `optimizer.optimize(&p)` | `engine.session().optimize(&p, &request)?` |
-//! | repeated `optimize` calls | one [`Session`] — candidates/networks are cached per program |
-//! | `OptimizerScheme` enum arm | a [`LayoutStrategy`] value in the [`StrategyRegistry`] (add your own via [`Engine::builder`]) |
-//! | `outcome.fell_back_to_heuristic` | [`OptimizeReport::fallback`] ([`Fallback::Heuristic`] carries the reason) or a typed [`OptimizeError`] with [`OptimizeRequest::fail_instead_of_fallback`] |
-//! | sequential loops over programs/schemes | [`Session::optimize_many`] (parallel batch) |
+//! * **[`StrategyId`]** replaces the bare-string strategy name.  The nine
+//!   built-ins are enum arms (`StrategyId::Enhanced`, ...); user-registered
+//!   strategies go through [`StrategyId::Custom`].  String call sites keep
+//!   working — `OptimizeRequest::strategy("enhanced")` parses via
+//!   `From<&str>` — and [`StrategyRegistry::resolve`] is the typed lookup
+//!   (the old `get(&str)` is deprecated).
+//! * **[`SearchBudget`]** gathers the four budget knobs (`nodes`,
+//!   `deadline`, `parallelism`, `parallel_threshold`) into one `Copy`
+//!   value carried as [`OptimizeRequest::budget`].  Attach one with
+//!   [`OptimizeRequest::with_budget`] (chainable) or the non-consuming
+//!   [`OptimizeRequest::set_budget`] / [`OptimizeRequest::budget_mut`]
+//!   family; the old per-knob setters (`node_limit`, `time_limit`,
+//!   `parallelism`, `parallel_threshold`) still compile but are
+//!   `#[deprecated]` forwarders.
 //!
-//! Per-request knobs that did not exist before: a wall-clock
-//! [`OptimizeRequest::time_limit`], a per-request [`FallbackPolicy`], and
-//! inline cache-simulation evaluation via [`OptimizeRequest::evaluate`].
+//! Serving layers on top of sessions get two more seams:
+//! [`Session::optimize_with_hooks`] attaches [`SolveHooks`] (cooperative
+//! cancellation via [`mlo_csp::CancelToken`], incumbent streaming via
+//! [`mlo_csp::IncumbentObserver`]) to a single solve, and
+//! [`Session::features`] extracts the [`InstanceFeatures`] the
+//! `mlo-service` adaptive dispatcher keys on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,18 +69,18 @@
 pub mod engine;
 pub mod error;
 pub mod experiments;
-pub mod optimizer;
 pub mod prelude;
 pub mod report;
 pub mod request;
 pub mod strategy;
 
-pub use engine::{Engine, EngineBuilder, NetworkSummary, OptimizeReport, PreparedProgram, Session};
+pub use engine::{
+    Engine, EngineBuilder, InstanceFeatures, NetworkSummary, OptimizeReport, PreparedProgram,
+    Session, SolveHooks,
+};
 pub use error::{Fallback, FallbackReason, OptimizeError};
-#[allow(deprecated)]
-pub use optimizer::{OptimizationOutcome, Optimizer, OptimizerOptions, OptimizerScheme};
 pub use report::TextTable;
-pub use request::{EvaluationOptions, FallbackPolicy, OptimizeRequest};
+pub use request::{EvaluationOptions, FallbackPolicy, OptimizeRequest, SearchBudget, StrategyId};
 pub use strategy::{
     HeuristicStrategy, LayoutStrategy, LocalSearchStrategy, PortfolioStealStrategy,
     PortfolioStrategy, SchemeStrategy, StrategyContext, StrategyOutcome, StrategyRegistry,
@@ -95,11 +103,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_quickstart_still_compiles_and_runs() {
+    fn typed_request_surface_is_exported() {
         let program = Benchmark::MxM.program();
-        let outcome = Optimizer::new(OptimizerScheme::Heuristic).optimize(&program);
-        assert_eq!(outcome.scheme, OptimizerScheme::Heuristic);
-        assert!(outcome.assignment.len() >= program.arrays().len());
+        let request = OptimizeRequest::strategy(StrategyId::Heuristic)
+            .with_budget(SearchBudget::new().nodes(1_000));
+        let report = Engine::new().optimize(&program, &request).unwrap();
+        assert_eq!(report.strategy, StrategyId::Heuristic.as_str());
     }
 }

@@ -10,12 +10,14 @@
 //! assert!(report.assignment.len() > 0);
 //! ```
 
-pub use crate::engine::{Engine, EngineBuilder, NetworkSummary, OptimizeReport, Session};
+pub use crate::engine::{
+    Engine, EngineBuilder, InstanceFeatures, NetworkSummary, OptimizeReport, Session, SolveHooks,
+};
 pub use crate::error::{Fallback, FallbackReason, OptimizeError};
-#[allow(deprecated)]
-pub use crate::optimizer::{OptimizationOutcome, Optimizer, OptimizerOptions, OptimizerScheme};
 pub use crate::report::TextTable;
-pub use crate::request::{EvaluationOptions, FallbackPolicy, OptimizeRequest};
+pub use crate::request::{
+    EvaluationOptions, FallbackPolicy, OptimizeRequest, SearchBudget, StrategyId,
+};
 pub use crate::strategy::{
     LayoutStrategy, PortfolioStrategy, StrategyContext, StrategyOutcome, StrategyRegistry,
 };

@@ -2,22 +2,144 @@
 //!
 //! An [`OptimizeRequest`] carries everything that can vary between two runs
 //! against the same [`Session`](crate::engine::Session): the strategy to
-//! run, candidate-enumeration options, the RNG seed, node/time budgets, the
-//! fallback policy and an optional cache-simulation evaluation.  Requests
-//! are plain values — clone one, tweak a knob, and submit both in the same
-//! batch.
+//! run (a typed [`StrategyId`]), candidate-enumeration options, the RNG
+//! seed, the [`SearchBudget`], the fallback policy and an optional
+//! cache-simulation evaluation.  Requests are plain values — clone one,
+//! tweak a knob, and submit both in the same batch.
 
 use crate::error::FallbackReason;
 use mlo_cachesim::{MachineConfig, TraceOptions};
 use mlo_layout::CandidateOptions;
+use std::convert::Infallible;
+use std::fmt;
+use std::str::FromStr;
 use std::time::Duration;
+
+/// A typed strategy identifier: the nine built-ins as enum arms plus a
+/// [`StrategyId::Custom`] escape hatch for user-registered strategies.
+///
+/// Replaces the old bare-string registry lookup: misspelling a built-in is
+/// now a compile error instead of a runtime `UnknownStrategy`, while
+/// [`FromStr`] / [`From<&str>`] keep string-driven call sites (CLIs, config
+/// files) working — an unrecognized name parses to `Custom` and resolves
+/// (or fails) against the registry exactly like before.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StrategyId {
+    /// Layout propagation ordered by nest cost (the paper's baseline).
+    Heuristic,
+    /// The paper's base scheme (random orderings, chronological
+    /// backtracking).
+    Base,
+    /// The paper's enhanced scheme.
+    Enhanced,
+    /// Enhanced plus forward checking.
+    ForwardChecking,
+    /// Enhanced plus AC-3 preprocessing and forward checking.
+    FullPropagation,
+    /// Branch and bound over nest-cost-weighted constraints.
+    Weighted,
+    /// Min-conflicts local search with restarts.
+    LocalSearch,
+    /// The parallel portfolio race of diverse schemes and seeds.
+    Portfolio,
+    /// The work-stealing dynamic shard search.
+    PortfolioSteal,
+    /// A user-registered strategy, addressed by its registry name.
+    Custom(String),
+}
+
+impl StrategyId {
+    /// The nine built-in ids in canonical registry order.
+    pub const BUILTIN: [StrategyId; 9] = [
+        StrategyId::Heuristic,
+        StrategyId::Base,
+        StrategyId::Enhanced,
+        StrategyId::ForwardChecking,
+        StrategyId::FullPropagation,
+        StrategyId::Weighted,
+        StrategyId::LocalSearch,
+        StrategyId::Portfolio,
+        StrategyId::PortfolioSteal,
+    ];
+
+    /// The registry name this id resolves under.
+    pub fn as_str(&self) -> &str {
+        match self {
+            StrategyId::Heuristic => "heuristic",
+            StrategyId::Base => "base",
+            StrategyId::Enhanced => "enhanced",
+            StrategyId::ForwardChecking => "forward-checking",
+            StrategyId::FullPropagation => "full-propagation",
+            StrategyId::Weighted => "weighted",
+            StrategyId::LocalSearch => "local-search",
+            StrategyId::Portfolio => "portfolio",
+            StrategyId::PortfolioSteal => "portfolio-steal",
+            StrategyId::Custom(name) => name,
+        }
+    }
+
+    /// A custom id for a user-registered strategy name.
+    pub fn custom(name: impl Into<String>) -> Self {
+        StrategyId::Custom(name.into())
+    }
+}
+
+impl fmt::Display for StrategyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for StrategyId {
+    type Err = Infallible;
+
+    /// Never fails: a built-in name parses to its arm, anything else to
+    /// [`StrategyId::Custom`] (resolution against the registry decides
+    /// whether it exists).
+    fn from_str(name: &str) -> Result<Self, Infallible> {
+        Ok(StrategyId::BUILTIN
+            .iter()
+            .find(|id| id.as_str() == name)
+            .cloned()
+            .unwrap_or_else(|| StrategyId::Custom(name.to_string())))
+    }
+}
+
+impl From<&str> for StrategyId {
+    fn from(name: &str) -> Self {
+        name.parse().expect("StrategyId parsing is infallible")
+    }
+}
+
+impl From<String> for StrategyId {
+    fn from(name: String) -> Self {
+        StrategyId::from(name.as_str())
+    }
+}
+
+impl From<&StrategyId> for StrategyId {
+    fn from(id: &StrategyId) -> Self {
+        id.clone()
+    }
+}
+
+impl PartialEq<str> for StrategyId {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for StrategyId {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
 
 /// What to do when a strategy cannot return a solution of its own.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FallbackPolicy {
     /// Return the heuristic baseline's layouts, recording the reason in the
-    /// report's [`Fallback`](crate::Fallback) (the classic `Optimizer`
-    /// behaviour, minus the silence).
+    /// report's [`Fallback`](crate::Fallback).
     #[default]
     Heuristic,
     /// Fail the request with a typed [`OptimizeError`](crate::OptimizeError)
@@ -58,31 +180,28 @@ impl EvaluationOptions {
     }
 }
 
-/// One optimization request: a strategy name plus per-request knobs.
+/// The search budget of one request: node/time limits and the worker
+/// split, gathered into one value so pipelines can carry "how hard to try"
+/// separately from "what to try".
+///
+/// `SearchBudget` is `Copy`; its chainable setters consume and return the
+/// value, so both styles work:
 ///
 /// ```
-/// use mlo_core::{Engine, OptimizeRequest};
-/// use mlo_benchmarks::Benchmark;
+/// use mlo_core::SearchBudget;
+/// use std::time::Duration;
 ///
-/// let engine = Engine::new();
-/// let session = engine.session();
-/// let program = Benchmark::MxM.program();
-/// let request = OptimizeRequest::strategy("enhanced")
-///     .candidates(Benchmark::MxM.candidate_options())
-///     .seed(7)
-///     .node_limit(100_000);
-/// let report = session.optimize(&program, &request).unwrap();
-/// assert!(report.assignment.len() >= program.arrays().len());
+/// // Chained.
+/// let budget = SearchBudget::new()
+///     .nodes(100_000)
+///     .deadline(Duration::from_millis(50));
+/// // Imperative (non-consuming, via the request's mutable accessor).
+/// let mut request = mlo_core::OptimizeRequest::default();
+/// request.budget_mut().nodes = budget.nodes;
+/// # assert_eq!(request.budget.nodes, Some(100_000));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
-pub struct OptimizeRequest {
-    /// The registry name of the strategy to run.
-    pub strategy: String,
-    /// Candidate-layout enumeration options.
-    pub candidates: CandidateOptions,
-    /// Seed for the strategy's random decisions; identical requests give
-    /// identical results (and identical `SearchStats`).
-    pub seed: u64,
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SearchBudget {
     /// Node budget for the search (`None` = unlimited).
     ///
     /// Two strategy-specific notes: the `local-search` strategy treats the
@@ -92,14 +211,14 @@ pub struct OptimizeRequest {
     /// [`WeightedStrategy`](crate::strategy::WeightedStrategy)) when `None`
     /// is given, because exhaustive branch and bound does not reliably
     /// terminate on large networks.
-    pub node_limit: Option<u64>,
+    pub nodes: Option<u64>,
     /// Wall-clock budget for the search (`None` = unlimited).
-    pub time_limit: Option<Duration>,
+    pub deadline: Option<Duration>,
     /// How many solver workers a parallelism-aware strategy (`portfolio`,
     /// `portfolio-steal`, `weighted`) may occupy on the session's shared
-    /// pool (`None` = the
-    /// engine default, which is [`EngineBuilder::parallelism`] or the
-    /// machine's available parallelism; `Some(1)` = single-threaded).
+    /// pool (`None` = the engine default, which is
+    /// [`EngineBuilder::parallelism`] or the machine's available
+    /// parallelism; `Some(1)` = single-threaded).
     ///
     /// For searches that complete within their budgets, changing this knob
     /// never changes the *result*: portfolio strategies return the same
@@ -112,18 +231,75 @@ pub struct OptimizeRequest {
     /// [`EngineBuilder::parallelism`]: crate::engine::EngineBuilder::parallelism
     pub parallelism: Option<usize>,
     /// Adaptive-parallelism threshold, in search nodes: a
-    /// parallelism-aware strategy (`portfolio`, `portfolio-steal`,
-    /// `weighted`) first runs its
-    /// *sequential* path under this node budget and only escalates to the
-    /// parallel machinery when the budget is exhausted, so small instances
-    /// (every paper benchmark solves in a few thousand nodes) stop paying
-    /// worker-dispatch overhead.  The escalation never changes the result:
-    /// a sequential probe that completes returns exactly the answer the
-    /// parallel portfolio is contractually bound to return.  `None` = the
-    /// strategy default, [`OptimizeRequest::DEFAULT_PARALLEL_THRESHOLD`];
-    /// `Some(0)` disables the probe (always parallel when
-    /// `parallelism > 1`).
+    /// parallelism-aware strategy first runs its *sequential* path under
+    /// this node budget and only escalates to the parallel machinery when
+    /// the budget is exhausted, so small instances stop paying
+    /// worker-dispatch overhead.  The escalation never changes the result.
+    /// `None` = the strategy default,
+    /// [`OptimizeRequest::DEFAULT_PARALLEL_THRESHOLD`]; `Some(0)` disables
+    /// the probe (always parallel when `parallelism > 1`).
     pub parallel_threshold: Option<u64>,
+}
+
+impl SearchBudget {
+    /// An unlimited budget (every knob at its default).
+    pub fn new() -> Self {
+        SearchBudget::default()
+    }
+
+    /// Sets the node budget.
+    pub fn nodes(mut self, nodes: u64) -> Self {
+        self.nodes = Some(nodes);
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the solver parallelism (clamped to at least one worker).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.parallelism = Some(workers.max(1));
+        self
+    }
+
+    /// Overrides the adaptive-parallelism probe budget in nodes (`0`
+    /// always runs the parallel path, `u64::MAX` effectively never does).
+    pub fn parallel_threshold(mut self, threshold: u64) -> Self {
+        self.parallel_threshold = Some(threshold);
+        self
+    }
+}
+
+/// One optimization request: a typed strategy id plus per-request knobs.
+///
+/// ```
+/// use mlo_core::{Engine, OptimizeRequest, SearchBudget, StrategyId};
+/// use mlo_benchmarks::Benchmark;
+///
+/// let engine = Engine::new();
+/// let session = engine.session();
+/// let program = Benchmark::MxM.program();
+/// let request = OptimizeRequest::strategy(StrategyId::Enhanced)
+///     .candidates(Benchmark::MxM.candidate_options())
+///     .seed(7)
+///     .with_budget(SearchBudget::new().nodes(100_000));
+/// let report = session.optimize(&program, &request).unwrap();
+/// assert!(report.assignment.len() >= program.arrays().len());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeRequest {
+    /// The strategy to run.
+    pub strategy: StrategyId,
+    /// Candidate-layout enumeration options.
+    pub candidates: CandidateOptions,
+    /// Seed for the strategy's random decisions; identical requests give
+    /// identical results (and identical `SearchStats`).
+    pub seed: u64,
+    /// Node/time limits and the worker split.
+    pub budget: SearchBudget,
     /// What to do when the strategy cannot return its own solution.
     pub fallback: FallbackPolicy,
     /// When set, the chosen layouts are replayed on this simulated machine
@@ -135,13 +311,10 @@ pub struct OptimizeRequest {
 impl Default for OptimizeRequest {
     fn default() -> Self {
         OptimizeRequest {
-            strategy: "enhanced".to_string(),
+            strategy: StrategyId::Enhanced,
             candidates: CandidateOptions::default(),
             seed: 0xC0FFEE,
-            node_limit: None,
-            time_limit: None,
-            parallelism: None,
-            parallel_threshold: None,
+            budget: SearchBudget::default(),
             fallback: FallbackPolicy::Heuristic,
             evaluation: None,
         }
@@ -156,10 +329,12 @@ impl OptimizeRequest {
     /// workers anyway), while the workloads that benefit from the
     /// portfolio burn through this budget almost immediately.
     pub const DEFAULT_PARALLEL_THRESHOLD: u64 = 50_000;
-    /// A request running the named strategy with default knobs.
-    pub fn strategy(name: impl Into<String>) -> Self {
+
+    /// A request running the given strategy with default knobs.  Accepts a
+    /// [`StrategyId`] or (via `From<&str>`) a name.
+    pub fn strategy(id: impl Into<StrategyId>) -> Self {
         OptimizeRequest {
-            strategy: name.into(),
+            strategy: id.into(),
             ..OptimizeRequest::default()
         }
     }
@@ -176,29 +351,105 @@ impl OptimizeRequest {
         self
     }
 
+    /// Replaces the whole search budget (chainable form).
+    pub fn with_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the whole search budget without consuming the request —
+    /// the non-consuming builder form, for call sites that set knobs
+    /// conditionally:
+    ///
+    /// ```
+    /// use mlo_core::{OptimizeRequest, SearchBudget};
+    ///
+    /// let mut request = OptimizeRequest::default();
+    /// if true {
+    ///     request.set_budget(SearchBudget::new().nodes(10));
+    /// }
+    /// assert_eq!(request.budget.nodes, Some(10));
+    /// ```
+    pub fn set_budget(&mut self, budget: SearchBudget) -> &mut Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Mutable access to the budget (non-consuming knob-by-knob form).
+    pub fn budget_mut(&mut self) -> &mut SearchBudget {
+        &mut self.budget
+    }
+
+    /// Sets the strategy without consuming the request.
+    pub fn set_strategy(&mut self, id: impl Into<StrategyId>) -> &mut Self {
+        self.strategy = id.into();
+        self
+    }
+
+    /// Sets the RNG seed without consuming the request.
+    pub fn set_seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the candidate-enumeration options without consuming the
+    /// request.
+    pub fn set_candidates(&mut self, candidates: CandidateOptions) -> &mut Self {
+        self.candidates = candidates;
+        self
+    }
+
+    /// Sets the fallback policy without consuming the request.
+    pub fn set_fallback(&mut self, policy: FallbackPolicy) -> &mut Self {
+        self.fallback = policy;
+        self
+    }
+
+    /// Sets (or clears) the cache-simulation evaluation without consuming
+    /// the request.
+    pub fn set_evaluation(&mut self, options: Option<EvaluationOptions>) -> &mut Self {
+        self.evaluation = options;
+        self
+    }
+
     /// Sets the node budget.
+    #[deprecated(
+        since = "0.3.0",
+        note = "budget knobs moved into `SearchBudget`: use `with_budget(SearchBudget::new().nodes(n))` or `budget_mut().nodes`"
+    )]
     pub fn node_limit(mut self, limit: u64) -> Self {
-        self.node_limit = Some(limit);
+        self.budget.nodes = Some(limit);
         self
     }
 
     /// Sets the wall-clock budget.
+    #[deprecated(
+        since = "0.3.0",
+        note = "budget knobs moved into `SearchBudget`: use `with_budget(SearchBudget::new().deadline(d))` or `budget_mut().deadline`"
+    )]
     pub fn time_limit(mut self, limit: Duration) -> Self {
-        self.time_limit = Some(limit);
+        self.budget.deadline = Some(limit);
         self
     }
 
     /// Sets the solver parallelism for this request (clamped to at least
     /// one worker).
+    #[deprecated(
+        since = "0.3.0",
+        note = "budget knobs moved into `SearchBudget`: use `with_budget(SearchBudget::new().workers(n))` or `budget_mut().parallelism`"
+    )]
     pub fn parallelism(mut self, workers: usize) -> Self {
-        self.parallelism = Some(workers.max(1));
+        self.budget.parallelism = Some(workers.max(1));
         self
     }
 
-    /// Overrides the adaptive-parallelism probe budget in nodes (`0`
-    /// always runs the parallel path, `u64::MAX` effectively never does).
+    /// Overrides the adaptive-parallelism probe budget in nodes.
+    #[deprecated(
+        since = "0.3.0",
+        note = "budget knobs moved into `SearchBudget`: use `with_budget(SearchBudget::new().parallel_threshold(t))` or `budget_mut().parallel_threshold`"
+    )]
     pub fn parallel_threshold(mut self, threshold: u64) -> Self {
-        self.parallel_threshold = Some(threshold);
+        self.budget.parallel_threshold = Some(threshold);
         self
     }
 
@@ -234,36 +485,94 @@ mod tests {
 
     #[test]
     fn builder_chain_sets_every_knob() {
-        let r = OptimizeRequest::strategy("base")
+        let r = OptimizeRequest::strategy(StrategyId::Base)
             .candidates(CandidateOptions {
                 include_diagonals: true,
                 ..CandidateOptions::default()
             })
             .seed(42)
-            .node_limit(10)
-            .time_limit(Duration::from_millis(5))
-            .parallelism(0)
-            .parallel_threshold(0)
+            .with_budget(
+                SearchBudget::new()
+                    .nodes(10)
+                    .deadline(Duration::from_millis(5))
+                    .workers(0)
+                    .parallel_threshold(0),
+            )
             .fail_instead_of_fallback()
             .evaluate(EvaluationOptions::date05());
-        assert_eq!(r.strategy, "base");
+        assert_eq!(r.strategy, StrategyId::Base);
         assert!(r.candidates.include_diagonals);
         assert_eq!(r.seed, 42);
-        assert_eq!(r.node_limit, Some(10));
-        assert_eq!(r.time_limit, Some(Duration::from_millis(5)));
-        assert_eq!(r.parallelism, Some(1), "parallelism clamps to one");
-        assert_eq!(r.parallel_threshold, Some(0));
+        assert_eq!(r.budget.nodes, Some(10));
+        assert_eq!(r.budget.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(r.budget.parallelism, Some(1), "parallelism clamps to one");
+        assert_eq!(r.budget.parallel_threshold, Some(0));
         assert_eq!(r.fallback, FallbackPolicy::Error);
         assert!(r.evaluation.is_some());
         assert!(!r.allows_fallback(FallbackReason::Unsatisfiable));
     }
 
     #[test]
+    fn non_consuming_builder_sets_every_knob() {
+        let mut r = OptimizeRequest::default();
+        r.set_strategy("portfolio-steal")
+            .set_seed(9)
+            .set_candidates(CandidateOptions {
+                include_diagonals: true,
+                ..CandidateOptions::default()
+            })
+            .set_fallback(FallbackPolicy::Error)
+            .set_evaluation(Some(EvaluationOptions::date05()))
+            .set_budget(SearchBudget::new().nodes(77));
+        r.budget_mut().parallelism = Some(2);
+        assert_eq!(r.strategy, StrategyId::PortfolioSteal);
+        assert_eq!(r.seed, 9);
+        assert!(r.candidates.include_diagonals);
+        assert_eq!(r.fallback, FallbackPolicy::Error);
+        assert!(r.evaluation.is_some());
+        assert_eq!(r.budget.nodes, Some(77));
+        assert_eq!(r.budget.parallelism, Some(2));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_budget_setters_forward_into_the_budget() {
+        let r = OptimizeRequest::strategy("base")
+            .node_limit(10)
+            .time_limit(Duration::from_millis(5))
+            .parallelism(0)
+            .parallel_threshold(3);
+        assert_eq!(r.budget.nodes, Some(10));
+        assert_eq!(r.budget.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(r.budget.parallelism, Some(1));
+        assert_eq!(r.budget.parallel_threshold, Some(3));
+    }
+
+    #[test]
+    fn strategy_ids_round_trip_through_strings() {
+        for id in StrategyId::BUILTIN {
+            let parsed: StrategyId = id.as_str().parse().unwrap();
+            assert_eq!(parsed, id);
+            assert_eq!(id.to_string(), id.as_str());
+            assert!(!matches!(parsed, StrategyId::Custom(_)));
+        }
+        let custom: StrategyId = "escalating".parse().unwrap();
+        assert_eq!(custom, StrategyId::custom("escalating"));
+        assert_eq!(custom.as_str(), "escalating");
+        assert_eq!(StrategyId::from("enhanced"), StrategyId::Enhanced);
+        assert_eq!(
+            StrategyId::from("portfolio-steal".to_string()),
+            StrategyId::PortfolioSteal
+        );
+        assert_eq!(StrategyId::Enhanced, "enhanced");
+    }
+
+    #[test]
     fn default_request_matches_the_old_optimizer_defaults() {
         let r = OptimizeRequest::default();
-        assert_eq!(r.strategy, "enhanced");
+        assert_eq!(r.strategy, StrategyId::Enhanced);
         assert_eq!(r.seed, 0xC0FFEE);
-        assert_eq!(r.node_limit, None);
+        assert_eq!(r.budget, SearchBudget::default());
         assert_eq!(r.fallback, FallbackPolicy::Heuristic);
         assert!(r.allows_fallback(FallbackReason::DeadlineExceeded));
     }

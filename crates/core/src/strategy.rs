@@ -11,13 +11,14 @@
 //! [`LayoutNetwork`] plus the request's seeded RNG and budget — the
 //! narrowed `mlo-csp` seam ([`NetworkSearch`]) does the actual searching.
 
-use crate::engine::{PreparedProgram, SessionInner};
+use crate::engine::{PreparedProgram, SessionInner, SolveHooks};
 use crate::error::{FallbackReason, OptimizeError};
-use crate::request::OptimizeRequest;
+use crate::request::{OptimizeRequest, StrategyId};
 use mlo_csp::{
-    BranchAndBound, MinConflicts, NetworkSearch, ParallelBranchAndBound, ParallelPortfolioSearch,
-    Scheme as CspScheme, SearchEngine, SearchLimits, SearchStats, SolveResult, StealScheduler,
-    WeightedNetwork, WorkerPool,
+    BranchAndBound, CancelToken, Coop, IncumbentObserver, MinConflicts, NetworkSearch,
+    ParallelBranchAndBound, ParallelPortfolioSearch, Scheme as CspScheme, SearchEngine,
+    SearchLimits, SearchStats, SharedIncumbent, SolveResult, StealScheduler, WeightedNetwork,
+    WorkerPool,
 };
 use mlo_ir::Program;
 use mlo_layout::{
@@ -39,6 +40,7 @@ pub struct StrategyContext<'a> {
     prepared: &'a PreparedProgram,
     request: &'a OptimizeRequest,
     limits: SearchLimits,
+    hooks: SolveHooks,
     network_used: std::cell::Cell<bool>,
 }
 
@@ -56,8 +58,30 @@ impl<'a> StrategyContext<'a> {
             prepared,
             request,
             limits,
+            hooks: SolveHooks::default(),
             network_used: std::cell::Cell::new(false),
         }
+    }
+
+    /// Attaches external solve hooks (cooperative cancellation, incumbent
+    /// streaming) to the context.
+    pub(crate) fn with_hooks(mut self, hooks: SolveHooks) -> Self {
+        self.hooks = hooks;
+        self
+    }
+
+    /// The external cancellation token, when the caller attached one.
+    /// Built-in strategies poll it through their cancellable entry points;
+    /// custom strategies should do the same (or ignore it, at the cost of
+    /// cancellation latency).
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.hooks.cancel.as_ref()
+    }
+
+    /// The incumbent observer, when the caller asked to stream incumbent
+    /// improvements.  Only meaningful for optimizing (weighted) strategies.
+    pub fn incumbent_observer(&self) -> Option<&IncumbentObserver> {
+        self.hooks.incumbent.as_ref()
     }
 
     /// The session's shared worker pool (created on first use) — the pool
@@ -67,24 +91,27 @@ impl<'a> StrategyContext<'a> {
         self.session.worker_pool()
     }
 
-    /// The worker budget for this request: the request's own
-    /// [`parallelism`](OptimizeRequest::parallelism) knob, falling back to
-    /// the engine default.
+    /// The worker budget for this request: the request budget's
+    /// [`parallelism`](crate::SearchBudget::parallelism) knob, falling back
+    /// to the engine default.
     pub fn parallelism(&self) -> usize {
         self.request
+            .budget
             .parallelism
             .unwrap_or_else(|| self.session.engine().default_parallelism())
             .max(1)
     }
 
-    /// The adaptive-parallelism probe budget in search nodes: the
-    /// request's [`parallel_threshold`](OptimizeRequest::parallel_threshold)
+    /// The adaptive-parallelism probe budget in search nodes: the request
+    /// budget's
+    /// [`parallel_threshold`](crate::SearchBudget::parallel_threshold)
     /// or the default.  Parallelism-aware strategies run their sequential
     /// path under this budget first and fan out only when it is exhausted
     /// ([`StrategyContext::probe_limits`] builds the capped limits);
     /// `0` disables the probe.
     pub fn parallel_threshold(&self) -> u64 {
         self.request
+            .budget
             .parallel_threshold
             .unwrap_or(OptimizeRequest::DEFAULT_PARALLEL_THRESHOLD)
     }
@@ -207,6 +234,13 @@ impl<'a> StrategyContext<'a> {
             },
             None if result.hit_node_limit => StrategyOutcome::Exhausted {
                 reason: FallbackReason::NodeBudgetExhausted,
+                stats: Some(result.stats),
+            },
+            // The cancelled arm must precede the unsatisfiable one: a run
+            // aborted by a CancelToken has no solution and no limit hits,
+            // which would otherwise read as an UNSAT proof.
+            None if result.cancelled => StrategyOutcome::Exhausted {
+                reason: FallbackReason::Cancelled,
                 stats: Some(result.stats),
             },
             None => StrategyOutcome::Unsatisfiable {
@@ -354,7 +388,12 @@ impl LayoutStrategy for SchemeStrategy {
     fn determine(&self, ctx: &StrategyContext<'_>) -> Result<StrategyOutcome, OptimizeError> {
         let engine = SearchEngine::with_scheme(self.scheme);
         let mut rng = ctx.rng();
-        let result = engine.search(ctx.network().network(), &mut rng, &ctx.limits());
+        let result = match ctx.cancel_token() {
+            Some(token) => {
+                engine.solve_cancellable(ctx.network().network(), &mut rng, &ctx.limits(), token)
+            }
+            None => engine.search(ctx.network().network(), &mut rng, &ctx.limits()),
+        };
         Ok(ctx.outcome_from_solve(result))
     }
 }
@@ -412,15 +451,32 @@ impl LayoutStrategy for WeightedStrategy {
             } else {
                 0
             };
-            ParallelBranchAndBound::new(BranchAndBound::new())
+            let mut bnb = ParallelBranchAndBound::new(BranchAndBound::new())
                 .with_pool(ctx.worker_pool())
                 .parallelism(parallelism)
                 .seed(ctx.request().seed)
-                .parallel_threshold(threshold)
-                .optimize_detailed(&weighted, &limits)
-                .result
+                .parallel_threshold(threshold);
+            if let Some(token) = ctx.cancel_token() {
+                bnb = bnb.cancel_token(token.clone());
+            }
+            if let Some(observer) = ctx.incumbent_observer() {
+                bnb = bnb.observe_incumbent(observer.clone());
+            }
+            bnb.optimize_detailed(&weighted, &limits).result
         } else {
-            BranchAndBound::new().optimize_with(&weighted, &limits)
+            // Sequential branch and bound through the cooperation hooks:
+            // with no hooks attached this is exactly `optimize_with`; an
+            // observed incumbent never changes the result (the solver's own
+            // bound dominates the shared strict-< prune when it feeds the
+            // incumbent itself).
+            let shared = ctx
+                .incumbent_observer()
+                .map(|observer| SharedIncumbent::observed(observer.clone()));
+            let hooks = Coop {
+                incumbent: shared.as_ref(),
+                cancel: ctx.cancel_token(),
+            };
+            BranchAndBound::new().optimize_coop(&weighted, &limits, &hooks)
         };
         match result.solution {
             Some(solution) => Ok(StrategyOutcome::Solved {
@@ -434,6 +490,10 @@ impl LayoutStrategy for WeightedStrategy {
             }),
             None if result.hit_node_limit => Ok(StrategyOutcome::Exhausted {
                 reason: FallbackReason::NodeBudgetExhausted,
+                stats: Some(result.stats),
+            }),
+            None if result.cancelled => Ok(StrategyOutcome::Exhausted {
+                reason: FallbackReason::Cancelled,
                 stats: Some(result.stats),
             }),
             None => Ok(StrategyOutcome::Unsatisfiable {
@@ -462,9 +522,13 @@ impl LayoutStrategy for LocalSearchStrategy {
 
     fn determine(&self, ctx: &StrategyContext<'_>) -> Result<StrategyOutcome, OptimizeError> {
         let mut rng = ctx.rng();
-        let result = self
-            .config
-            .solve_with(ctx.network().network(), &mut rng, &ctx.limits());
+        let network = ctx.network().network();
+        let result = match ctx.cancel_token() {
+            Some(token) => self
+                .config
+                .solve_cancellable(network, &mut rng, &ctx.limits(), token),
+            None => self.config.solve_with(network, &mut rng, &ctx.limits()),
+        };
         match result.solution {
             Some(solution) => Ok(StrategyOutcome::Solved {
                 assignment: ctx.assignment_from_solution(&solution),
@@ -473,6 +537,10 @@ impl LayoutStrategy for LocalSearchStrategy {
             }),
             None if result.hit_deadline => Ok(StrategyOutcome::Exhausted {
                 reason: FallbackReason::DeadlineExceeded,
+                stats: Some(result.stats),
+            }),
+            None if result.cancelled => Ok(StrategyOutcome::Exhausted {
+                reason: FallbackReason::Cancelled,
                 stats: Some(result.stats),
             }),
             // Local search cannot prove unsatisfiability: an exhausted
@@ -533,8 +601,11 @@ impl LayoutStrategy for PortfolioStrategy {
             let probe_limits = ctx.probe_limits();
             let engine = SearchEngine::with_scheme(CspScheme::Enhanced);
             let mut rng = ctx.rng();
-            let probe = engine.solve_with(network, &mut rng, &probe_limits);
-            if !probe.hit_node_limit {
+            let probe = match ctx.cancel_token() {
+                Some(token) => engine.solve_cancellable(network, &mut rng, &probe_limits, token),
+                None => engine.solve_with(network, &mut rng, &probe_limits),
+            };
+            if !probe.hit_node_limit || probe.cancelled {
                 return Ok(ctx.outcome_from_solve(probe));
             }
             // Budget exhausted without a verdict: fall through to the race.
@@ -542,6 +613,9 @@ impl LayoutStrategy for PortfolioStrategy {
         let mut search = ParallelPortfolioSearch::diverse(self.randomized).parallelism(parallelism);
         if parallelism > 1 {
             search = search.with_pool(ctx.worker_pool());
+        }
+        if let Some(token) = ctx.cancel_token() {
+            search = search.cancel_token(token.clone());
         }
         let mut rng = ctx.rng();
         let result = search.search(network, &mut rng, &ctx.limits());
@@ -583,8 +657,11 @@ impl LayoutStrategy for PortfolioStealStrategy {
             let probe_limits = ctx.probe_limits();
             let engine = SearchEngine::with_scheme(CspScheme::Enhanced);
             let mut rng = ctx.rng();
-            let probe = engine.solve_with(network, &mut rng, &probe_limits);
-            if !probe.hit_node_limit {
+            let probe = match ctx.cancel_token() {
+                Some(token) => engine.solve_cancellable(network, &mut rng, &probe_limits, token),
+                None => engine.solve_with(network, &mut rng, &probe_limits),
+            };
+            if !probe.hit_node_limit || probe.cancelled {
                 return Ok(ctx.outcome_from_solve(probe));
             }
             // Budget exhausted without a verdict: shard the tree.
@@ -593,7 +670,9 @@ impl LayoutStrategy for PortfolioStealStrategy {
         if parallelism > 1 {
             scheduler = scheduler.with_pool(ctx.worker_pool());
         }
-        let result = scheduler.solve(network, &ctx.limits());
+        let result = scheduler
+            .solve_detailed(network, &ctx.limits(), ctx.cancel_token())
+            .result;
         Ok(ctx.outcome_from_solve(result))
     }
 }
@@ -646,9 +725,22 @@ impl StrategyRegistry {
         }
     }
 
-    /// Looks a strategy up by name.
+    /// Looks a strategy up by typed id (a [`StrategyId::Custom`] resolves
+    /// against registered names exactly like a built-in).
+    pub fn resolve(&self, id: &StrategyId) -> Option<Arc<dyn LayoutStrategy>> {
+        self.entries
+            .iter()
+            .find(|e| e.name() == id.as_str())
+            .cloned()
+    }
+
+    /// Looks a strategy up by bare name.
+    #[deprecated(
+        since = "0.3.0",
+        note = "strategy lookup is typed now: use `resolve(&StrategyId::from(name))`"
+    )]
     pub fn get(&self, name: &str) -> Option<Arc<dyn LayoutStrategy>> {
-        self.entries.iter().find(|e| e.name() == name).cloned()
+        self.resolve(&StrategyId::from(name))
     }
 
     /// The registered names, in registration order.
@@ -713,10 +805,15 @@ mod tests {
         );
         assert_eq!(registry.len(), 9);
         assert!(!registry.is_empty());
-        assert!(registry.get("enhanced").is_some());
-        assert!(registry.get("portfolio").is_some());
-        assert!(registry.get("portfolio-steal").is_some());
-        assert!(registry.get("nope").is_none());
+        assert!(registry.resolve(&StrategyId::Enhanced).is_some());
+        assert!(registry.resolve(&StrategyId::Portfolio).is_some());
+        assert!(registry.resolve(&StrategyId::PortfolioSteal).is_some());
+        assert!(registry.resolve(&StrategyId::custom("nope")).is_none());
+        #[allow(deprecated)]
+        {
+            assert!(registry.get("enhanced").is_some());
+            assert!(registry.get("nope").is_none());
+        }
     }
 
     #[test]
@@ -740,7 +837,7 @@ mod tests {
         assert_eq!(registry.len(), 9);
         assert_eq!(registry.names()[1], "base");
         assert_eq!(
-            format!("{:?}", registry.get("base").unwrap()),
+            format!("{:?}", registry.resolve(&StrategyId::Base).unwrap()),
             "LayoutStrategy(base)"
         );
     }

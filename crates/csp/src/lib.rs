@@ -87,10 +87,10 @@ pub use domain::Domain;
 pub use network::{ConstraintNetwork, NetworkStorage, VarId};
 pub use solver::portfolio::{ParallelBranchAndBound, WeightedPortfolioReport};
 pub use solver::{
-    CancelToken, Enumerator, MinConflicts, NetworkSearch, ParallelPortfolioSearch, PortfolioMember,
-    PortfolioReport, Scheme, SearchEngine, SearchLimits, SearchStats, SharedIncumbent, SolveResult,
-    StealCountReport, StealOptimizeReport, StealReport, StealScheduler, StealSolveReport,
-    ValueOrdering, VariableOrdering, WorkerPool,
+    CancelToken, Enumerator, IncumbentObserver, MinConflicts, NetworkSearch,
+    ParallelPortfolioSearch, PortfolioMember, PortfolioReport, Scheme, SearchEngine, SearchLimits,
+    SearchStats, SharedIncumbent, SolveResult, StealCountReport, StealOptimizeReport, StealReport,
+    StealScheduler, StealSolveReport, ValueOrdering, VariableOrdering, WorkerPool,
 };
 pub use weighted::{BnbOrder, BranchAndBound, Coop, WeightedNetwork};
 

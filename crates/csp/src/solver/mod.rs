@@ -31,7 +31,8 @@ pub use ordering::{
 };
 pub use pool::WorkerPool;
 pub use portfolio::{
-    CancelToken, ParallelPortfolioSearch, PortfolioMember, PortfolioReport, SharedIncumbent,
+    CancelToken, IncumbentObserver, ParallelPortfolioSearch, PortfolioMember, PortfolioReport,
+    SharedIncumbent,
 };
 pub use steal::{
     StealCountReport, StealOptimizeReport, StealReport, StealScheduler, StealSolveReport,

@@ -86,13 +86,50 @@ impl CancelToken {
     }
 }
 
+/// A callback invoked every time a [`SharedIncumbent`] bound rises — the
+/// subscription seam an async serving layer streams improving solution
+/// weights through.
+///
+/// The callback runs on whichever solver thread raised the bound, so it
+/// must be cheap and non-blocking (post to a channel, update an atomic);
+/// it must never call back into the solver.  Under racing raises the
+/// callbacks may arrive out of order — subscribers keep their own running
+/// maximum.  Observation never changes what the solvers compute: the
+/// bound itself is raised by the same `fetch_max` with or without an
+/// observer attached.
+#[derive(Clone)]
+pub struct IncumbentObserver(Arc<dyn Fn(f64) + Send + Sync>);
+
+impl IncumbentObserver {
+    /// Wraps a callback to be invoked with every new best weight.
+    pub fn new(callback: impl Fn(f64) + Send + Sync + 'static) -> Self {
+        IncumbentObserver(Arc::new(callback))
+    }
+
+    /// Invokes the callback.
+    pub fn notify(&self, weight: f64) {
+        (self.0)(weight);
+    }
+}
+
+impl std::fmt::Debug for IncumbentObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("IncumbentObserver(..)")
+    }
+}
+
 /// A monotonically increasing `f64` maximum shared between portfolio
 /// members (the branch-and-bound incumbent bound).
 ///
 /// Lock-free: values are stored as order-preserving bit patterns, so
-/// raising the maximum is a single `fetch_max`.
+/// raising the maximum is a single `fetch_max`.  An optional
+/// [`IncumbentObserver`] ([`SharedIncumbent::observed`]) is notified after
+/// every successful raise.
 #[derive(Debug)]
-pub struct SharedIncumbent(AtomicU64);
+pub struct SharedIncumbent {
+    key: AtomicU64,
+    observer: Option<IncumbentObserver>,
+}
 
 /// Maps an `f64` to a `u64` whose unsigned order matches the `f64` order
 /// (sign bit flipped for positives, all bits flipped for negatives).
@@ -123,19 +160,45 @@ impl Default for SharedIncumbent {
 impl SharedIncumbent {
     /// A fresh incumbent at negative infinity (no solution known).
     pub fn new() -> Self {
-        SharedIncumbent(AtomicU64::new(f64_order_key(f64::NEG_INFINITY)))
+        SharedIncumbent {
+            key: AtomicU64::new(f64_order_key(f64::NEG_INFINITY)),
+            observer: None,
+        }
+    }
+
+    /// A fresh incumbent whose raises are reported to `observer`.
+    pub fn observed(observer: IncumbentObserver) -> Self {
+        SharedIncumbent {
+            observer: Some(observer),
+            ..SharedIncumbent::new()
+        }
+    }
+
+    /// A fresh incumbent with an optional observer (`None` behaves exactly
+    /// like [`SharedIncumbent::new`]).
+    pub fn maybe_observed(observer: Option<IncumbentObserver>) -> Self {
+        SharedIncumbent {
+            observer,
+            ..SharedIncumbent::new()
+        }
     }
 
     /// Offers a solution weight; the stored maximum only ever rises.
     /// Returns `true` when the offer raised the bound.
     pub fn offer(&self, weight: f64) -> bool {
         let key = f64_order_key(weight);
-        self.0.fetch_max(key, Ordering::AcqRel) < key
+        let raised = self.key.fetch_max(key, Ordering::AcqRel) < key;
+        if raised {
+            if let Some(observer) = &self.observer {
+                observer.notify(weight);
+            }
+        }
+        raised
     }
 
     /// The best weight offered so far (`-inf` when none).
     pub fn get(&self) -> f64 {
-        f64_from_order_key(self.0.load(Ordering::Acquire))
+        f64_from_order_key(self.key.load(Ordering::Acquire))
     }
 }
 
@@ -236,6 +299,7 @@ pub struct ParallelPortfolioSearch {
     members: Vec<PortfolioMember>,
     parallelism: Option<usize>,
     pool: Option<Arc<WorkerPool>>,
+    cancel: Option<CancelToken>,
 }
 
 impl Default for ParallelPortfolioSearch {
@@ -257,6 +321,7 @@ impl ParallelPortfolioSearch {
             members,
             parallelism: None,
             pool: None,
+            cancel: None,
         }
     }
 
@@ -295,6 +360,15 @@ impl ParallelPortfolioSearch {
     /// count; `1` forces the sequential path).
     pub fn parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = Some(parallelism.max(1));
+        self
+    }
+
+    /// Attaches an external cancellation token: when it fires, every
+    /// in-flight member aborts at its next cooperative poll and the merged
+    /// result comes back with `cancelled` set (and no solution unless a
+    /// member had already won).
+    pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -340,16 +414,29 @@ impl ParallelPortfolioSearch {
         let mut hit_node_limit = false;
         let mut hit_deadline = false;
         let mut completed = 0usize;
-        let never = CancelToken::new();
+        let mut cancelled_members = 0usize;
+        // The external token (a fresh, never-fired one when the caller
+        // attached none) is handed straight to every member.
+        let external = self.cancel.clone().unwrap_or_default();
         for (index, member) in self.members.iter().enumerate() {
-            let result = member.solve(network, mix_seed(base_seed, index as u64), limits, &never);
+            let result = member.solve(
+                network,
+                mix_seed(base_seed, index as u64),
+                limits,
+                &external,
+            );
             stats.absorb(&result.stats);
-            completed += 1;
+            let was_cancelled = result.cancelled;
+            if was_cancelled {
+                cancelled_members += 1;
+            } else {
+                completed += 1;
+            }
             let decided = result.solution.is_some()
                 || (member.is_systematic() && result.proves_unsatisfiable());
             hit_node_limit |= result.hit_node_limit;
             hit_deadline |= result.hit_deadline;
-            if decided || result.hit_deadline {
+            if decided || result.hit_deadline || was_cancelled {
                 let winner = result.solution.is_some().then_some(index);
                 let proof = member.is_systematic() && result.proves_unsatisfiable();
                 return PortfolioReport {
@@ -359,12 +446,12 @@ impl ParallelPortfolioSearch {
                         elapsed: start.elapsed(),
                         hit_node_limit: if proof { false } else { hit_node_limit },
                         hit_deadline,
-                        cancelled: false,
+                        cancelled: was_cancelled,
                     },
                     winner,
                     members_completed: completed,
-                    members_cancelled: 0,
-                    members_skipped: self.members.len() - completed,
+                    members_cancelled: cancelled_members,
+                    members_skipped: self.members.len() - completed - cancelled_members,
                 };
             }
         }
@@ -379,7 +466,7 @@ impl ParallelPortfolioSearch {
             },
             winner: None,
             members_completed: completed,
-            members_cancelled: 0,
+            members_cancelled: cancelled_members,
             members_skipped: 0,
         }
     }
@@ -410,6 +497,7 @@ impl ParallelPortfolioSearch {
         let mut best_winner: Option<usize> = None;
         let mut unsat_proven = false;
         let mut our_deadline_hit = false;
+        let mut externally_cancelled = false;
 
         let launch = |index: usize, in_flight: &mut usize, launched: &mut Vec<bool>| {
             let member = self.members[index].clone();
@@ -453,6 +541,10 @@ impl ParallelPortfolioSearch {
                     our_deadline_hit = true;
                     break;
                 }
+            }
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                externally_cancelled = true;
+                break;
             }
             match rx.recv_timeout(COLLECT_POLL) {
                 Ok((index, result)) => {
@@ -530,7 +622,7 @@ impl ParallelPortfolioSearch {
                 elapsed: start.elapsed(),
                 hit_node_limit: if unsat_proven { false } else { hit_node_limit },
                 hit_deadline: if unsat_proven { false } else { hit_deadline },
-                cancelled: false,
+                cancelled: externally_cancelled,
             },
             winner: best_winner,
             members_completed: completed,
@@ -737,6 +829,8 @@ pub struct ParallelBranchAndBound {
     pub parallel_threshold: u64,
     parallelism: Option<usize>,
     pool: Option<Arc<WorkerPool>>,
+    cancel: Option<CancelToken>,
+    observer: Option<IncumbentObserver>,
 }
 
 impl Default for ParallelBranchAndBound {
@@ -751,6 +845,8 @@ impl Default for ParallelBranchAndBound {
             parallel_threshold: 50_000,
             parallelism: None,
             pool: None,
+            cancel: None,
+            observer: None,
         }
     }
 }
@@ -788,6 +884,24 @@ impl ParallelBranchAndBound {
     /// always fans out).
     pub fn parallel_threshold(mut self, threshold: u64) -> Self {
         self.parallel_threshold = threshold;
+        self
+    }
+
+    /// Attaches an external cancellation token: the primary (and the
+    /// sequential probe) aborts at its next poll point once the token
+    /// fires, coming back with `cancelled` set on the result.  Helpers are
+    /// torn down through the portfolio's own race token as usual.
+    pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Subscribes an observer to the run's [`SharedIncumbent`]: every
+    /// raise of the best-known solution weight — by the primary, a helper
+    /// or the sequential probe — is reported.  Observation never changes
+    /// the computed result.
+    pub fn observe_incumbent(mut self, observer: IncumbentObserver) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -862,9 +976,22 @@ impl ParallelBranchAndBound {
             Some(pool) if parallelism > 1 => (Some(Arc::clone(pool)), true),
             _ => (None, false),
         };
+        // External hooks: an observed incumbent (fed by every path, so
+        // subscribers see streaming bounds even on sequential runs) and the
+        // caller's cancellation token.  Without hooks the Coop is empty and
+        // the sequential paths below are bit-identical to the plain primary
+        // search, statistics included.
+        let hook_incumbent = self
+            .observer
+            .clone()
+            .map(|observer| Arc::new(SharedIncumbent::observed(observer)));
+        let hooks = Coop {
+            incumbent: hook_incumbent.as_deref(),
+            cancel: self.cancel.as_ref(),
+        };
         if !parallel {
             // The single-thread baseline: the plain primary search.
-            let result = self.primary.optimize_with(weighted, limits);
+            let result = self.primary.optimize_coop(weighted, limits, &hooks);
             return finish_weighted(weighted, result, 0);
         }
         // Adaptive dispatch: easy instances finish inside the sequential
@@ -884,16 +1011,17 @@ impl ParallelBranchAndBound {
                 })),
                 deadline: limits.deadline,
             };
-            let probe = self.primary.optimize_with(weighted, &probe_limits);
-            if !probe.hit_node_limit {
+            let probe = self.primary.optimize_coop(weighted, &probe_limits, &hooks);
+            if !probe.hit_node_limit || probe.cancelled {
                 return finish_weighted(weighted, probe, 0);
             }
             probe_stats = probe.stats;
         }
         let pool = pool.expect("parallel path requires a pool");
         let start = Instant::now();
-        let incumbent = Arc::new(SharedIncumbent::new());
+        let incumbent = Arc::new(SharedIncumbent::maybe_observed(self.observer.clone()));
         let cancel = CancelToken::new();
+        let external_cancel = self.cancel.clone();
         // A cheap Arc-backed handle — the primary and every probe share the
         // caller's tables instead of receiving deep copies.
         let shared = weighted.clone();
@@ -911,11 +1039,12 @@ impl ParallelBranchAndBound {
             let incumbent = Arc::clone(&incumbent);
             let limits = *limits;
             let tx = tx.clone();
+            let external_cancel = external_cancel.clone();
             in_flight += 1;
             pool.execute(move || {
                 let coop = Coop {
                     incumbent: Some(&incumbent),
-                    cancel: None,
+                    cancel: external_cancel.as_ref(),
                 };
                 let result = primary.optimize_coop(&weighted, &limits, &coop);
                 let outcome = HelperOutcome {

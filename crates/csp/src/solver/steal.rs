@@ -46,7 +46,7 @@
 //! the returned solution, cost and count never do.
 
 use super::pool::WorkerPool;
-use super::portfolio::{CancelToken, SharedIncumbent};
+use super::portfolio::{CancelToken, IncumbentObserver, SharedIncumbent};
 use super::{NetworkSearch, SearchLimits, SearchStats, SolveResult};
 use crate::assignment::{Assignment, Solution};
 use crate::bitset::{BitKernel, WeightKernel};
@@ -215,7 +215,7 @@ struct Shared {
 }
 
 impl Shared {
-    fn new(workers: usize) -> Self {
+    fn new(workers: usize, observer: Option<IncumbentObserver>) -> Self {
         Shared {
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             outstanding: AtomicUsize::new(0),
@@ -227,7 +227,7 @@ impl Shared {
             nodes_global: AtomicU64::new(0),
             best: Mutex::new(None),
             best_epoch: AtomicU64::new(0),
-            incumbent: SharedIncumbent::new(),
+            incumbent: SharedIncumbent::maybe_observed(observer),
             resplits: AtomicU64::new(0),
             frames: AtomicU64::new(0),
         }
@@ -276,6 +276,7 @@ struct RunOutput {
 pub struct StealScheduler {
     parallelism: Option<usize>,
     pool: Option<Arc<WorkerPool>>,
+    observer: Option<IncumbentObserver>,
 }
 
 impl StealScheduler {
@@ -296,6 +297,16 @@ impl StealScheduler {
     /// instantly once the tree is exhausted.
     pub fn parallelism(mut self, workers: usize) -> Self {
         self.parallelism = Some(workers.max(1));
+        self
+    }
+
+    /// Subscribes an observer to the optimize-mode [`SharedIncumbent`]:
+    /// every raise of the best-known solution weight across all workers is
+    /// reported.  Observation never changes the computed result (solve and
+    /// count modes never raise the bound, so the observer stays silent
+    /// there).
+    pub fn observe_incumbent(mut self, observer: IncumbentObserver) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -590,7 +601,7 @@ impl StealScheduler {
     fn run<V: Value + Send + Sync + 'static>(&self, space: Space<V>) -> RunOutput {
         let start = Instant::now();
         let workers = space.workers;
-        let shared = Arc::new(Shared::new(workers));
+        let shared = Arc::new(Shared::new(workers, self.observer.clone()));
         if let Some(cancel) = &space.cancel {
             if cancel.is_cancelled() {
                 shared.cancelled.store(true, Ordering::Release);

@@ -1,0 +1,654 @@
+//! Adaptive strategy dispatch: nearest-recorded-neighbor strategy picks.
+//!
+//! The dispatcher keeps a table of `(features, strategy, outcome)` rows —
+//! one per completed solve — and picks the strategy of the *nearest
+//! recorded neighbor* (normalized Euclidean distance over
+//! [`InstanceFeatures`]) for new instances.  Selection happens **before**
+//! the search starts and reads only a frozen reference table, so picks are
+//! deterministic: the same table and the same instance give the same pick
+//! regardless of worker counts, concurrency or the order in which other
+//! solves complete.  Rows recorded by live traffic accumulate in a side
+//! buffer and only influence picks after an explicit
+//! [`AdaptiveDispatch::absorb_recorded`] call.
+//!
+//! Tables persist as a small hand-rolled JSON document (the workspace
+//! vendors no serde); [`DispatchTable::seed`] loads the committed table
+//! replayed from the perf-gate bench corpus.
+
+use mlo_core::{InstanceFeatures, StrategyId};
+use std::fmt;
+use std::sync::Mutex;
+
+/// One recorded solve: the instance's features, the strategy that ran and
+/// what happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchRow {
+    /// The instance features, in [`InstanceFeatures::as_array`] order.
+    pub features: [f64; 4],
+    /// The strategy that served the solve.
+    pub strategy: StrategyId,
+    /// Wall-clock solve time in milliseconds.
+    pub solution_ms: f64,
+    /// Whether the strategy produced its own solution (no fallback).
+    pub solved: bool,
+}
+
+/// A frozen, order-preserving table of recorded solves.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DispatchTable {
+    rows: Vec<DispatchRow>,
+}
+
+/// Why a persisted dispatch table failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchParseError(String);
+
+impl fmt::Display for DispatchParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dispatch table parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DispatchParseError {}
+
+impl DispatchTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        DispatchTable::default()
+    }
+
+    /// A table over the given rows.
+    pub fn from_rows(rows: Vec<DispatchRow>) -> Self {
+        DispatchTable { rows }
+    }
+
+    /// The committed seed table, replayed from the perf-gate bench corpus
+    /// (regenerate with the `dispatch_seed` bench binary).
+    pub fn seed() -> Self {
+        DispatchTable::from_json(include_str!("../data/seed_dispatch.json"))
+            .expect("the committed seed table parses")
+    }
+
+    /// The rows, in recording order.
+    pub fn rows(&self) -> &[DispatchRow] {
+        &self.rows
+    }
+
+    /// Number of recorded rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: DispatchRow) {
+        self.rows.push(row);
+    }
+
+    /// Picks the strategy of the nearest recorded neighbor, `None` on an
+    /// empty table.  Deterministic tie-break: smallest distance, then the
+    /// canonical strategy rank ([`StrategyId::BUILTIN`] order, customs
+    /// after), then the earliest row.
+    pub fn pick(&self, features: &InstanceFeatures) -> Option<StrategyId> {
+        let target = features.as_array();
+        let scale = self.feature_scale();
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(index, row)| {
+                let distance = normalized_distance(&row.features, &target, &scale);
+                (distance.to_bits(), strategy_rank(&row.strategy), index, row)
+            })
+            .min_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)))
+            .map(|(_, _, _, row)| row.strategy.clone())
+    }
+
+    /// Per-dimension normalization scale: the largest absolute value seen
+    /// in each feature column (1.0 for all-zero columns, so the division is
+    /// always defined).
+    fn feature_scale(&self) -> [f64; 4] {
+        let mut scale = [0.0f64; 4];
+        for row in &self.rows {
+            for (slot, value) in scale.iter_mut().zip(row.features) {
+                *slot = slot.max(value.abs());
+            }
+        }
+        for slot in &mut scale {
+            if *slot <= 0.0 {
+                *slot = 1.0;
+            }
+        }
+        scale
+    }
+
+    /// Serializes the table as the persisted JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"rows\": [\n");
+        for (index, row) in self.rows.iter().enumerate() {
+            out.push_str("    {\"features\": [");
+            for (fi, feature) in row.features.iter().enumerate() {
+                if fi > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format_f64(*feature));
+            }
+            out.push_str("], \"strategy\": \"");
+            out.push_str(row.strategy.as_str());
+            out.push_str("\", \"solution_ms\": ");
+            out.push_str(&format_f64(row.solution_ms));
+            out.push_str(", \"solved\": ");
+            out.push_str(if row.solved { "true" } else { "false" });
+            out.push('}');
+            if index + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a persisted table.
+    pub fn from_json(text: &str) -> Result<Self, DispatchParseError> {
+        let value = json::parse(text).map_err(DispatchParseError)?;
+        let rows_value = value
+            .get("rows")
+            .ok_or_else(|| DispatchParseError("missing \"rows\"".to_string()))?;
+        let entries = rows_value
+            .as_array()
+            .ok_or_else(|| DispatchParseError("\"rows\" is not an array".to_string()))?;
+        let mut rows = Vec::with_capacity(entries.len());
+        for (index, entry) in entries.iter().enumerate() {
+            rows.push(
+                parse_row(entry)
+                    .map_err(|message| DispatchParseError(format!("row {index}: {message}")))?,
+            );
+        }
+        Ok(DispatchTable { rows })
+    }
+}
+
+fn parse_row(entry: &json::Value) -> Result<DispatchRow, String> {
+    let features_value = entry
+        .get("features")
+        .and_then(json::Value::as_array)
+        .ok_or("missing \"features\" array")?;
+    if features_value.len() != 4 {
+        return Err(format!("expected 4 features, got {}", features_value.len()));
+    }
+    let mut features = [0.0f64; 4];
+    for (slot, value) in features.iter_mut().zip(features_value) {
+        *slot = value.as_f64().ok_or("non-numeric feature")?;
+    }
+    let strategy = entry
+        .get("strategy")
+        .and_then(json::Value::as_str)
+        .ok_or("missing \"strategy\" string")?;
+    let solution_ms = entry
+        .get("solution_ms")
+        .and_then(json::Value::as_f64)
+        .ok_or("missing \"solution_ms\" number")?;
+    let solved = entry
+        .get("solved")
+        .and_then(json::Value::as_bool)
+        .ok_or("missing \"solved\" bool")?;
+    Ok(DispatchRow {
+        features,
+        strategy: StrategyId::from(strategy),
+        solution_ms,
+        solved,
+    })
+}
+
+/// `{:?}`-style float rendering that always round-trips and never emits a
+/// bare integer (so the document stays unambiguous).
+fn format_f64(value: f64) -> String {
+    let text = format!("{value:?}");
+    if text.contains(['.', 'e', 'E', 'n', 'i']) {
+        text
+    } else {
+        format!("{text}.0")
+    }
+}
+
+fn normalized_distance(a: &[f64; 4], b: &[f64; 4], scale: &[f64; 4]) -> f64 {
+    a.iter()
+        .zip(b)
+        .zip(scale)
+        .map(|((x, y), s)| {
+            let d = (x - y) / s;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Canonical tie-break rank: built-ins in registry order, customs after
+/// (alphabetical by name via the usize::MAX bucket falling through to row
+/// order — customs of equal distance resolve by earliest row).
+fn strategy_rank(strategy: &StrategyId) -> usize {
+    StrategyId::BUILTIN
+        .iter()
+        .position(|id| id == strategy)
+        .unwrap_or(usize::MAX)
+}
+
+/// The adaptive dispatcher: a frozen reference table picks; live traffic
+/// records into a side buffer that only affects picks once absorbed.
+#[derive(Debug)]
+pub struct AdaptiveDispatch {
+    table: DispatchTable,
+    recorded: Mutex<Vec<DispatchRow>>,
+    /// Strategy used when the reference table is empty.
+    fallback: StrategyId,
+}
+
+impl AdaptiveDispatch {
+    /// A dispatcher over the given reference table.
+    pub fn new(table: DispatchTable) -> Self {
+        AdaptiveDispatch {
+            table,
+            recorded: Mutex::new(Vec::new()),
+            fallback: StrategyId::Enhanced,
+        }
+    }
+
+    /// A dispatcher over the committed seed table.
+    pub fn seeded() -> Self {
+        AdaptiveDispatch::new(DispatchTable::seed())
+    }
+
+    /// Overrides the strategy used when the reference table is empty
+    /// (default: `enhanced`).
+    pub fn fallback(mut self, strategy: StrategyId) -> Self {
+        self.fallback = strategy;
+        self
+    }
+
+    /// The frozen reference table picks read.
+    pub fn table(&self) -> &DispatchTable {
+        &self.table
+    }
+
+    /// Picks a strategy for the given instance — deterministic for a fixed
+    /// reference table.
+    pub fn pick(&self, features: &InstanceFeatures) -> StrategyId {
+        self.table
+            .pick(features)
+            .unwrap_or_else(|| self.fallback.clone())
+    }
+
+    /// Records one completed solve into the side buffer (never consulted
+    /// by [`AdaptiveDispatch::pick`] until absorbed).
+    pub fn record(&self, row: DispatchRow) {
+        self.recorded
+            .lock()
+            .expect("dispatch recording buffer poisoned")
+            .push(row);
+    }
+
+    /// Number of rows waiting in the side buffer.
+    pub fn recorded_rows(&self) -> usize {
+        self.recorded
+            .lock()
+            .expect("dispatch recording buffer poisoned")
+            .len()
+    }
+
+    /// Moves the side buffer into the reference table — the explicit,
+    /// caller-controlled point at which live traffic starts influencing
+    /// picks.
+    pub fn absorb_recorded(&mut self) -> usize {
+        let mut buffer = self
+            .recorded
+            .lock()
+            .expect("dispatch recording buffer poisoned");
+        let absorbed = buffer.len();
+        self.table.rows.append(&mut buffer);
+        absorbed
+    }
+
+    /// Serializes the reference table (absorbed rows included, side buffer
+    /// excluded).
+    pub fn to_json(&self) -> String {
+        self.table.to_json()
+    }
+}
+
+/// A minimal JSON-subset reader (objects, arrays, strings, numbers, bools,
+/// null) — enough to round-trip dispatch tables without a serde
+/// dependency.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number (parsed as `f64`).
+        Num(f64),
+        /// A string (escapes resolved).
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, insertion-ordered.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields
+                    .iter()
+                    .find(|(name, _)| name == key)
+                    .map(|(_, value)| value),
+                _ => None,
+            }
+        }
+
+        /// The array items, when this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The number, when this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(value) => Some(*value),
+                _ => None,
+            }
+        }
+
+        /// The string, when this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(value) => Some(value),
+                _ => None,
+            }
+        }
+
+        /// The bool, when this is a bool.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(value) => Some(*value),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed, nothing
+    /// else).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, wanted: u8) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&wanted) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", wanted as char, *pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+            Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+            Some(_) => parse_number(bytes, pos),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_literal(
+        bytes: &[u8],
+        pos: &mut usize,
+        literal: &str,
+        value: Value,
+    ) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(literal.as_bytes()) {
+            *pos += literal.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", *pos))
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|text| text.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        while let Some(&byte) = bytes.get(*pos) {
+            *pos += 1;
+            match byte {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let escape = bytes.get(*pos).copied().ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = bytes
+                                .get(*pos..*pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            *pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                other => {
+                    // Multi-byte UTF-8 sequences pass through byte by byte.
+                    let mut buffer = vec![other];
+                    while std::str::from_utf8(&buffer).is_err() {
+                        let next = bytes.get(*pos).copied().ok_or("truncated UTF-8")?;
+                        buffer.push(next);
+                        *pos += 1;
+                        if buffer.len() > 4 {
+                            return Err("invalid UTF-8 in string".to_string());
+                        }
+                    }
+                    out.push_str(std::str::from_utf8(&buffer).expect("checked above"));
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            fields.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(features: [f64; 4], strategy: StrategyId) -> DispatchRow {
+        DispatchRow {
+            features,
+            strategy,
+            solution_ms: 1.0,
+            solved: true,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let table = DispatchTable::from_rows(vec![
+            row([8.0, 0.5, 3.25, 1.0], StrategyId::Enhanced),
+            row([40.0, 0.1, 9.5, 2.75], StrategyId::PortfolioSteal),
+            DispatchRow {
+                features: [1.0, 0.0, 2.0, 1.0],
+                strategy: StrategyId::custom("escalating"),
+                solution_ms: 0.125,
+                solved: false,
+            },
+        ]);
+        let reparsed = DispatchTable::from_json(&table.to_json()).unwrap();
+        assert_eq!(reparsed, table);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(DispatchTable::from_json("{}").is_err());
+        assert!(DispatchTable::from_json("{\"rows\": 3}").is_err());
+        assert!(DispatchTable::from_json("{\"rows\": [{\"features\": [1]}]}").is_err());
+        assert!(DispatchTable::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn nearest_neighbor_is_deterministic_with_rank_tie_break() {
+        let features = |v: f64| InstanceFeatures {
+            variables: v,
+            density: 0.5,
+            mean_domain: 3.0,
+            weight_skew: 1.0,
+        };
+        let table = DispatchTable::from_rows(vec![
+            row([10.0, 0.5, 3.0, 1.0], StrategyId::Portfolio),
+            row([10.0, 0.5, 3.0, 1.0], StrategyId::Enhanced), // same distance, lower rank
+            row([100.0, 0.5, 3.0, 1.0], StrategyId::Weighted),
+        ]);
+        // Equidistant rows resolve by canonical strategy rank.
+        assert_eq!(table.pick(&features(10.0)), Some(StrategyId::Enhanced));
+        // A clearly nearer neighbor wins regardless of rank.
+        assert_eq!(table.pick(&features(100.0)), Some(StrategyId::Weighted));
+        // Repeat picks are identical.
+        for _ in 0..10 {
+            assert_eq!(table.pick(&features(10.0)), Some(StrategyId::Enhanced));
+        }
+        assert_eq!(DispatchTable::new().pick(&features(1.0)), None);
+    }
+
+    #[test]
+    fn recording_buffer_only_affects_picks_after_absorb() {
+        let features = InstanceFeatures {
+            variables: 7.0,
+            density: 0.3,
+            mean_domain: 4.0,
+            weight_skew: 1.5,
+        };
+        let mut dispatch = AdaptiveDispatch::new(DispatchTable::from_rows(vec![row(
+            [7.0, 0.3, 4.0, 1.5],
+            StrategyId::Base,
+        )]));
+        assert_eq!(dispatch.pick(&features), StrategyId::Base);
+        // An exactly-matching recorded row with a lower-ranked strategy
+        // must not change picks until absorbed.
+        dispatch.record(row([7.0, 0.3, 4.0, 1.5], StrategyId::Heuristic));
+        assert_eq!(dispatch.pick(&features), StrategyId::Base);
+        assert_eq!(dispatch.recorded_rows(), 1);
+        assert_eq!(dispatch.absorb_recorded(), 1);
+        assert_eq!(dispatch.recorded_rows(), 0);
+        // heuristic ranks before base in the canonical order.
+        assert_eq!(dispatch.pick(&features), StrategyId::Heuristic);
+    }
+
+    #[test]
+    fn empty_table_uses_the_fallback() {
+        let dispatch = AdaptiveDispatch::new(DispatchTable::new());
+        let features = InstanceFeatures {
+            variables: 1.0,
+            density: 0.0,
+            mean_domain: 1.0,
+            weight_skew: 1.0,
+        };
+        assert_eq!(dispatch.pick(&features), StrategyId::Enhanced);
+        let custom = AdaptiveDispatch::new(DispatchTable::new()).fallback(StrategyId::Portfolio);
+        assert_eq!(custom.pick(&features), StrategyId::Portfolio);
+    }
+}

@@ -1,0 +1,686 @@
+//! The request front-end: intake → admission → coalesce → worker pool →
+//! stream.
+//!
+//! [`MloService`] accepts optimization requests without blocking the
+//! caller: `submit` performs admission control (bounded intake depth,
+//! per-tenant concurrency budgets), coalesces identical
+//! `(program, request)` pairs onto one in-flight solve, queues the work on
+//! the session's [`WorkerPool`](mlo_csp::WorkerPool) and hands back a
+//! [`ResponseHandle`].  The handle waits for, polls, streams
+//! (incumbent-by-incumbent, via [`IncumbentWatch`]) or cancels the solve;
+//! cancellation is cooperative and interest-counted, so a coalesced solve
+//! only aborts once *every* handle attached to it has cancelled.
+
+use crate::dispatch::{AdaptiveDispatch, DispatchRow};
+use mlo_core::{
+    FallbackReason, OptimizeError, OptimizeReport, OptimizeRequest, Session, SolveHooks, StrategyId,
+};
+use mlo_csp::{CancelToken, IncumbentObserver};
+use mlo_ir::Program;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::Duration;
+
+/// The shared outcome of one served request.
+///
+/// Coalesced handles clone the same `Arc`, so duplicates of an in-flight
+/// request observe pointer-identical results.
+pub type SharedResult = Arc<Result<OptimizeReport, ServiceError>>;
+
+/// Static service policy: intake bound and tenant budgets.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    queue_limit: usize,
+    default_tenant_budget: Option<usize>,
+    tenant_budgets: HashMap<String, usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_limit: 64,
+            default_tenant_budget: None,
+            tenant_budgets: HashMap::new(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The default policy: intake bounded at 64, no tenant budgets.
+    pub fn new() -> Self {
+        ServiceConfig::default()
+    }
+
+    /// Bounds the intake queue: submissions beyond `limit` concurrently
+    /// queued-or-running solves are shed with [`ServiceError::QueueFull`].
+    /// `0` removes the bound.
+    pub fn queue_limit(mut self, limit: usize) -> Self {
+        self.queue_limit = limit;
+        self
+    }
+
+    /// Caps every tenant without an explicit budget at `limit` concurrent
+    /// solves (coalesced duplicates are free — they add no work).
+    pub fn default_tenant_budget(mut self, limit: usize) -> Self {
+        self.default_tenant_budget = Some(limit);
+        self
+    }
+
+    /// Caps one named tenant at `limit` concurrent solves.
+    pub fn tenant_budget(mut self, tenant: impl Into<String>, limit: usize) -> Self {
+        self.tenant_budgets.insert(tenant.into(), limit);
+        self
+    }
+
+    /// The configured intake bound (`0` = unbounded).
+    pub fn queue_limit_value(&self) -> usize {
+        self.queue_limit
+    }
+
+    /// The concurrency budget for `tenant`, when one applies.
+    pub fn budget_for(&self, tenant: &str) -> Option<usize> {
+        self.tenant_budgets
+            .get(tenant)
+            .copied()
+            .or(self.default_tenant_budget)
+    }
+}
+
+/// Why the service could not serve a request.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Admission control shed the request: the intake queue was full.
+    QueueFull {
+        /// Queued-or-running solves at submission time.
+        depth: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The tenant's concurrency budget was exhausted.
+    TenantBudgetExhausted {
+        /// The over-budget tenant.
+        tenant: String,
+        /// The tenant's solves in flight at submission time.
+        in_flight: usize,
+        /// The tenant's budget.
+        limit: usize,
+    },
+    /// Every handle cancelled before the solve started; the request was
+    /// drained from the queue without running.
+    Cancelled,
+    /// The underlying solve failed.
+    Solve(OptimizeError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { depth, limit } => {
+                write!(f, "intake queue full ({depth} in flight, limit {limit})")
+            }
+            ServiceError::TenantBudgetExhausted {
+                tenant,
+                in_flight,
+                limit,
+            } => write!(
+                f,
+                "tenant `{tenant}` budget exhausted ({in_flight} in flight, budget {limit})"
+            ),
+            ServiceError::Cancelled => write!(f, "request cancelled before it started"),
+            ServiceError::Solve(error) => write!(f, "solve failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Solve(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// A monotonic snapshot of service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted (coalesced hits included).
+    pub submitted: u64,
+    /// Requests that coalesced onto an already-in-flight solve.
+    pub coalesced: u64,
+    /// Requests shed by the intake bound.
+    pub shed: u64,
+    /// Requests rejected by a tenant budget.
+    pub rejected: u64,
+    /// Solves that ran to completion (cancel-drained ones included).
+    pub completed: u64,
+    /// Solves cancelled cooperatively (drained before running, or aborted
+    /// mid-search).
+    pub cancelled: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    coalesced: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct WatchState {
+    version: u64,
+    weight: Option<f64>,
+}
+
+/// A watch channel streaming incumbent updates from a running solve.
+///
+/// Fed by the solver's
+/// [`IncumbentObserver`] whenever the
+/// branch-and-bound establishes a strictly better bound.  Only attached
+/// when the request was submitted with [`MloService::submit_streaming`];
+/// plain submissions run the exact unhooked solve path.
+#[derive(Debug, Clone, Default)]
+pub struct IncumbentWatch {
+    inner: Arc<WatchChannel>,
+}
+
+#[derive(Debug, Default)]
+struct WatchChannel {
+    state: Mutex<WatchState>,
+    changed: Condvar,
+}
+
+impl IncumbentWatch {
+    /// The latest published `(version, weight)` pair.  Version `0` means
+    /// nothing has been published; versions only increase.
+    pub fn latest(&self) -> (u64, Option<f64>) {
+        let state = self.inner.state.lock().expect("incumbent watch poisoned");
+        (state.version, state.weight)
+    }
+
+    /// Blocks until a version greater than `seen` is published or the
+    /// timeout passes, and returns the latest pair either way.
+    pub fn wait_past(&self, seen: u64, timeout: Duration) -> (u64, Option<f64>) {
+        let mut state = self.inner.state.lock().expect("incumbent watch poisoned");
+        let deadline = std::time::Instant::now() + timeout;
+        while state.version <= seen {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, timed_out) = self
+                .inner
+                .changed
+                .wait_timeout(state, deadline - now)
+                .expect("incumbent watch poisoned");
+            state = next;
+            if timed_out.timed_out() {
+                break;
+            }
+        }
+        (state.version, state.weight)
+    }
+
+    fn publish(&self, weight: f64) {
+        let mut state = self.inner.state.lock().expect("incumbent watch poisoned");
+        state.version += 1;
+        state.weight = Some(weight);
+        self.inner.changed.notify_all();
+    }
+}
+
+/// Shared completion state for one (possibly coalesced) solve.
+#[derive(Debug)]
+struct ResponseSlot {
+    result: Mutex<Option<SharedResult>>,
+    ready: Condvar,
+    cancel: CancelToken,
+    /// Handles still interested in the outcome; the token fires when this
+    /// reaches zero.
+    interest: AtomicUsize,
+    watch: IncumbentWatch,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        ResponseSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+            cancel: CancelToken::new(),
+            interest: AtomicUsize::new(0),
+            watch: IncumbentWatch::default(),
+        }
+    }
+
+    fn publish(&self, outcome: SharedResult) {
+        let mut guard = self.result.lock().expect("response slot poisoned");
+        *guard = Some(outcome);
+        self.ready.notify_all();
+    }
+
+    fn release_interest(&self) {
+        if self.interest.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.cancel.cancel();
+        }
+    }
+}
+
+/// A caller's handle on one submitted request.
+///
+/// Dropping (or explicitly [`cancel`](ResponseHandle::cancel)ling) every
+/// handle attached to a solve fires its cooperative cancellation token;
+/// queued solves then drain without running and in-flight ones abort at
+/// their next poll point.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    slot: Arc<ResponseSlot>,
+    coalesced: bool,
+    released: AtomicBool,
+}
+
+impl ResponseHandle {
+    fn attach(slot: Arc<ResponseSlot>, coalesced: bool) -> Self {
+        slot.interest.fetch_add(1, Ordering::AcqRel);
+        ResponseHandle {
+            slot,
+            coalesced,
+            released: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether this submission coalesced onto an already-in-flight solve.
+    pub fn is_coalesced(&self) -> bool {
+        self.coalesced
+    }
+
+    /// The result, when already available.
+    pub fn try_result(&self) -> Option<SharedResult> {
+        self.slot
+            .result
+            .lock()
+            .expect("response slot poisoned")
+            .clone()
+    }
+
+    /// Blocks until the solve completes.
+    pub fn wait(&self) -> SharedResult {
+        let mut guard = self.slot.result.lock().expect("response slot poisoned");
+        loop {
+            if let Some(result) = guard.as_ref() {
+                return Arc::clone(result);
+            }
+            guard = self.slot.ready.wait(guard).expect("response slot poisoned");
+        }
+    }
+
+    /// Blocks until the solve completes or the timeout passes.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<SharedResult> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.slot.result.lock().expect("response slot poisoned");
+        loop {
+            if let Some(result) = guard.as_ref() {
+                return Some(Arc::clone(result));
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, _) = self
+                .slot
+                .ready
+                .wait_timeout(guard, deadline - now)
+                .expect("response slot poisoned");
+            guard = next;
+        }
+    }
+
+    /// Withdraws this handle's interest.  The solve's cancellation token
+    /// fires once every attached handle has cancelled (or dropped), so a
+    /// coalesced solve keeps running while anyone still wants the result.
+    pub fn cancel(&self) {
+        if !self.released.swap(true, Ordering::AcqRel) {
+            self.slot.release_interest();
+        }
+    }
+
+    /// The incumbent stream for this solve.  Only fed when the request was
+    /// submitted with [`MloService::submit_streaming`].
+    pub fn watch(&self) -> IncumbentWatch {
+        self.slot.watch.clone()
+    }
+}
+
+impl Clone for ResponseHandle {
+    fn clone(&self) -> Self {
+        ResponseHandle::attach(Arc::clone(&self.slot), self.coalesced)
+    }
+}
+
+impl Drop for ResponseHandle {
+    fn drop(&mut self) {
+        self.cancel();
+    }
+}
+
+/// The request front-end over a [`Session`].
+///
+/// ```
+/// use mlo_core::{Engine, OptimizeRequest};
+/// use mlo_service::{MloService, ServiceConfig};
+/// use mlo_benchmarks::Benchmark;
+///
+/// let service = MloService::new(Engine::new().session(), ServiceConfig::new());
+/// let program = Benchmark::MxM.program();
+/// let handle = service
+///     .submit(&program, &OptimizeRequest::strategy("enhanced"))
+///     .unwrap();
+/// let result = handle.wait();
+/// assert!(result.as_ref().as_ref().unwrap().assignment.len() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MloService {
+    core: Arc<ServiceCore>,
+}
+
+#[derive(Debug)]
+struct ServiceCore {
+    session: Session,
+    config: ServiceConfig,
+    /// Queued-or-running solves (coalesced duplicates excluded).
+    depth: AtomicUsize,
+    /// In-flight solves by request identity, for coalescing.
+    inflight: Mutex<HashMap<String, Weak<ResponseSlot>>>,
+    /// Per-tenant in-flight counts.
+    tenants: Mutex<HashMap<String, usize>>,
+    counters: Counters,
+    dispatch: Option<Arc<AdaptiveDispatch>>,
+}
+
+/// One queued unit of work, moved onto the pool.
+struct Job {
+    key: String,
+    slot: Arc<ResponseSlot>,
+    program: Program,
+    request: OptimizeRequest,
+    tenant: Option<String>,
+    streaming: bool,
+}
+
+impl MloService {
+    /// A service over the given session and policy, without adaptive
+    /// dispatch.
+    pub fn new(session: Session, config: ServiceConfig) -> Self {
+        MloService {
+            core: Arc::new(ServiceCore {
+                session,
+                config,
+                depth: AtomicUsize::new(0),
+                inflight: Mutex::new(HashMap::new()),
+                tenants: Mutex::new(HashMap::new()),
+                counters: Counters::default(),
+                dispatch: None,
+            }),
+        }
+    }
+
+    /// Attaches an adaptive dispatcher: [`MloService::submit_adaptive`]
+    /// picks strategies from its table, and every completed solve records
+    /// a `(features, strategy, outcome)` row into its side buffer.
+    ///
+    /// Must be called before the service is cloned or shared.
+    pub fn with_dispatch(mut self, dispatch: AdaptiveDispatch) -> Self {
+        let core = Arc::get_mut(&mut self.core)
+            .expect("with_dispatch must be called before the service is shared");
+        core.dispatch = Some(Arc::new(dispatch));
+        self
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &Session {
+        &self.core.session
+    }
+
+    /// The service policy.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.core.config
+    }
+
+    /// The attached dispatcher, when one was configured.
+    pub fn dispatch(&self) -> Option<&AdaptiveDispatch> {
+        self.core.dispatch.as_deref()
+    }
+
+    /// Current queued-or-running solve count (coalesced duplicates add
+    /// nothing).
+    pub fn queue_depth(&self) -> usize {
+        self.core.depth.load(Ordering::Acquire)
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.core.counters.snapshot()
+    }
+
+    /// Submits a request; returns immediately with a handle (or a shed /
+    /// budget rejection).  The solve itself runs the exact same path as
+    /// [`Session::optimize`] — no hooks beyond the cancellation token are
+    /// attached, so reports are bit-identical to a direct session call.
+    pub fn submit(
+        &self,
+        program: &Program,
+        request: &OptimizeRequest,
+    ) -> Result<ResponseHandle, ServiceError> {
+        self.core.submit(program, request, None, false)
+    }
+
+    /// [`MloService::submit`] with the work charged against `tenant`'s
+    /// concurrency budget.
+    pub fn submit_for_tenant(
+        &self,
+        tenant: &str,
+        program: &Program,
+        request: &OptimizeRequest,
+    ) -> Result<ResponseHandle, ServiceError> {
+        self.core.submit(program, request, Some(tenant), false)
+    }
+
+    /// [`MloService::submit`] with incumbent streaming: the handle's
+    /// [`watch`](ResponseHandle::watch) receives every strictly-improving
+    /// bound the weighted search establishes.
+    ///
+    /// Streaming requests never coalesce with plain ones (a plain solve
+    /// has no observer attached), but do coalesce with each other.
+    pub fn submit_streaming(
+        &self,
+        program: &Program,
+        request: &OptimizeRequest,
+    ) -> Result<ResponseHandle, ServiceError> {
+        self.core.submit(program, request, None, true)
+    }
+
+    /// The strategy the attached dispatcher would pick for this instance
+    /// (`None` without a dispatcher).
+    pub fn pick_strategy(
+        &self,
+        program: &Program,
+        request: &OptimizeRequest,
+    ) -> Option<StrategyId> {
+        let dispatch = self.core.dispatch.as_ref()?;
+        let features = self.core.session.features(program, &request.candidates);
+        Some(dispatch.pick(&features))
+    }
+
+    /// Submits with the request's strategy replaced by the dispatcher's
+    /// pick (a plain [`MloService::submit`] when no dispatcher is
+    /// attached).  Selection happens *before* the search starts and reads
+    /// only the frozen dispatch table, so it never perturbs determinism.
+    pub fn submit_adaptive(
+        &self,
+        program: &Program,
+        request: &OptimizeRequest,
+    ) -> Result<ResponseHandle, ServiceError> {
+        match self.pick_strategy(program, request) {
+            Some(strategy) => {
+                let mut adapted = request.clone();
+                adapted.set_strategy(strategy);
+                self.submit(program, &adapted)
+            }
+            None => self.submit(program, request),
+        }
+    }
+
+    /// Synchronous convenience: submit and wait.
+    pub fn optimize(&self, program: &Program, request: &OptimizeRequest) -> SharedResult {
+        match self.submit(program, request) {
+            Ok(handle) => handle.wait(),
+            Err(error) => Arc::new(Err(error)),
+        }
+    }
+}
+
+impl ServiceCore {
+    fn submit(
+        self: &Arc<Self>,
+        program: &Program,
+        request: &OptimizeRequest,
+        tenant: Option<&str>,
+        streaming: bool,
+    ) -> Result<ResponseHandle, ServiceError> {
+        let key = format!(
+            "{}\u{1f}{request:?}\u{1f}{program:?}",
+            if streaming { "stream" } else { "plain" }
+        );
+
+        // The map lock spans lookup and insertion so coalesce-or-create is
+        // atomic with respect to concurrent submitters.
+        let mut inflight = self.inflight.lock().expect("inflight map poisoned");
+
+        if let Some(slot) = inflight.get(&key).and_then(Weak::upgrade) {
+            // A fully-cancelled slot is still draining; give the new
+            // submitter a fresh solve instead of the cancelled outcome.
+            if !slot.cancel.is_cancelled() {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                return Ok(ResponseHandle::attach(slot, true));
+            }
+        }
+
+        let depth = self.depth.load(Ordering::Acquire);
+        let limit = self.config.queue_limit;
+        if limit > 0 && depth >= limit {
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::QueueFull { depth, limit });
+        }
+
+        if let Some(tenant) = tenant {
+            if let Some(budget) = self.config.budget_for(tenant) {
+                let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+                let in_flight = tenants.get(tenant).copied().unwrap_or(0);
+                if in_flight >= budget {
+                    self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServiceError::TenantBudgetExhausted {
+                        tenant: tenant.to_string(),
+                        in_flight,
+                        limit: budget,
+                    });
+                }
+                *tenants.entry(tenant.to_string()).or_insert(0) += 1;
+            }
+        }
+
+        self.depth.fetch_add(1, Ordering::AcqRel);
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+
+        let slot = Arc::new(ResponseSlot::new());
+        let handle = ResponseHandle::attach(Arc::clone(&slot), false);
+        inflight.insert(key.clone(), Arc::downgrade(&slot));
+        drop(inflight);
+
+        let job = Job {
+            key,
+            slot,
+            program: program.clone(),
+            request: request.clone(),
+            tenant: tenant.map(str::to_string),
+            streaming,
+        };
+        let core = Arc::clone(self);
+        self.session.worker_pool().execute(move || core.run(job));
+        Ok(handle)
+    }
+
+    fn run(&self, job: Job) {
+        let outcome: SharedResult = if job.slot.cancel.is_cancelled() {
+            // Every handle cancelled while we were queued: drain without
+            // solving.
+            self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            Arc::new(Err(ServiceError::Cancelled))
+        } else {
+            let mut hooks = SolveHooks::cancellable(job.slot.cancel.clone());
+            if job.streaming {
+                let watch = job.slot.watch.clone();
+                hooks.incumbent = Some(IncumbentObserver::new(move |weight| {
+                    watch.publish(weight);
+                }));
+            }
+            let result = self
+                .session
+                .optimize_with_hooks(&job.program, &job.request, &hooks);
+            if let Ok(report) = &result {
+                if report.fallback.reason() == Some(FallbackReason::Cancelled) {
+                    self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(dispatch) = &self.dispatch {
+                    let features = self.session.features(&job.program, &job.request.candidates);
+                    dispatch.record(DispatchRow {
+                        features: features.as_array(),
+                        strategy: job.request.strategy.clone(),
+                        solution_ms: report.solution_time.as_secs_f64() * 1e3,
+                        solved: !report.fell_back(),
+                    });
+                }
+            }
+            Arc::new(result.map_err(ServiceError::Solve))
+        };
+
+        // All bookkeeping strictly precedes publication, so a caller that
+        // observed completion also observes the refunded queue depth,
+        // tenant budget and counters.  (Late submitters hitting the map
+        // entry in this window start a fresh solve, which is fine.)
+        self.inflight
+            .lock()
+            .expect("inflight map poisoned")
+            .remove(&job.key);
+        if let Some(tenant) = &job.tenant {
+            let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+            if let Some(count) = tenants.get_mut(tenant) {
+                *count = count.saturating_sub(1);
+                if *count == 0 {
+                    tenants.remove(tenant);
+                }
+            }
+        }
+        self.depth.fetch_sub(1, Ordering::AcqRel);
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+
+        job.slot.publish(outcome);
+    }
+}

@@ -1,0 +1,46 @@
+//! Async-style request front-end over `mlo-core` sessions.
+//!
+//! The crate adds a serving layer on top of
+//! [`Session`](mlo_core::Session) without changing what a solve computes:
+//!
+//! ```text
+//!  submit(program, request)
+//!     │  admission        bounded intake depth + per-tenant budgets
+//!     │  coalesce         identical in-flight (program, request) pairs
+//!     │                   share one solve (pointer-identical results)
+//!     ▼
+//!  Session::worker_pool()                 (mlo-csp work-stealing pool)
+//!     │  solve            Session::optimize_with_hooks — cancellation
+//!     │                   token always, incumbent observer only when
+//!     │                   streaming was requested
+//!     ▼
+//!  ResponseHandle         wait / try_result / wait_timeout / cancel
+//!  IncumbentWatch         versioned stream of improving bounds
+//! ```
+//!
+//! Submission never blocks on the solve: callers get a
+//! [`ResponseHandle`] immediately (or an admission error) and the work
+//! runs on the session's worker pool.  There is no async runtime in the
+//! workspace, so "async" here means handle-based completion over
+//! plain threads, mutexes and condvars.
+//!
+//! On top sits [`AdaptiveDispatch`]: per-instance
+//! [`InstanceFeatures`](mlo_core::InstanceFeatures) select a strategy by
+//! nearest recorded neighbor from a frozen table
+//! ([`DispatchTable::seed`] ships one replayed from the bench corpus),
+//! and every completed solve records a `(features, strategy, outcome)`
+//! row for later absorption.  Because selection happens before the search
+//! and reads only frozen state, the served solve remains bit-identical to
+//! a direct [`Session::optimize`](mlo_core::Session::optimize) call.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dispatch;
+pub mod front;
+
+pub use dispatch::{AdaptiveDispatch, DispatchParseError, DispatchRow, DispatchTable};
+pub use front::{
+    IncumbentWatch, MloService, ResponseHandle, ServiceConfig, ServiceError, ServiceStats,
+    SharedResult,
+};

@@ -64,7 +64,7 @@ fn main() {
         match result {
             Ok(report) => table.row(vec![
                 benchmark.name().into(),
-                request.strategy.clone(),
+                request.strategy.to_string(),
                 report
                     .satisfiable
                     .map(|s| s.to_string())
@@ -78,7 +78,7 @@ fn main() {
             ]),
             Err(error) => table.row(vec![
                 benchmark.name().into(),
-                request.strategy.clone(),
+                request.strategy.to_string(),
                 "error".into(),
                 error.to_string(),
                 "-".into(),
@@ -108,7 +108,7 @@ fn main() {
     // yields a typed budget error instead of a silent flag.
     let impossible = OptimizeRequest::strategy("base")
         .candidates(Benchmark::Track.candidate_options())
-        .time_limit(std::time::Duration::ZERO)
+        .with_budget(mlo_core::SearchBudget::new().deadline(std::time::Duration::ZERO))
         .fail_instead_of_fallback();
     match session.optimize(&programs[2], &impossible) {
         Ok(_) => unreachable!("a zero deadline cannot finish"),

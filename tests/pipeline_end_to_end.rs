@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full pipeline from program IR through
 //! constraint solving to cache simulation, on the paper's running example
 //! and on the reconstructed benchmarks — driven through the session-based
-//! engine API (with one legacy-shim check for the deprecated `Optimizer`).
+//! engine API and its typed request surface.
 
 use constraint_layout::prelude::*;
 use mlo_core::error::OptimizeError;
@@ -280,7 +280,7 @@ fn registry_strategies_and_a_custom_one_solve_figure2() {
     let program = figure2_program(16);
     for name in &names {
         let outcome = session
-            .optimize(&program, &OptimizeRequest::strategy(name))
+            .optimize(&program, &OptimizeRequest::strategy(name.as_str()))
             .unwrap_or_else(|error| panic!("{name} failed on figure 2: {error}"));
         assert_eq!(outcome.strategy, *name);
         for array in program.arrays() {
@@ -342,17 +342,21 @@ fn batch_results_match_sequential_results() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn legacy_optimizer_shim_delegates_to_the_engine() {
-    // The deprecated facade must keep compiling and agree with the engine
-    // it delegates to.
+fn typed_and_string_strategy_requests_agree() {
+    // The 0.3 typed surface and the string-parsing compatibility path must
+    // resolve to the identical strategy and produce the identical report.
     let program = figure2_program(16);
-    let legacy = Optimizer::new(OptimizerScheme::Enhanced).optimize(&program);
-    let modern = Engine::new()
+    let typed = Engine::new()
+        .optimize(&program, &OptimizeRequest::strategy(StrategyId::Enhanced))
+        .expect("figure 2 is satisfiable");
+    let stringly = Engine::new()
         .optimize(&program, &OptimizeRequest::strategy("enhanced"))
         .expect("figure 2 is satisfiable");
-    assert_eq!(legacy.assignment, modern.assignment);
-    assert_eq!(legacy.satisfiable, modern.satisfiable);
-    assert!(!legacy.fell_back_to_heuristic);
-    assert_eq!(legacy.scheme.strategy_name(), modern.strategy);
+    assert_eq!(typed.assignment, stringly.assignment);
+    assert_eq!(typed.satisfiable, stringly.satisfiable);
+    assert_eq!(typed.strategy, StrategyId::Enhanced.as_str());
+    // The deprecated budget setters keep forwarding into SearchBudget.
+    #[allow(deprecated)]
+    let forwarded = OptimizeRequest::strategy("enhanced").node_limit(7);
+    assert_eq!(forwarded.budget.nodes, Some(7));
 }
