@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run -p mlo-bench --release --bin perf_gate -- \
-//!     [--threads N] [--out BENCH_7.json] [--baseline BENCH_6.json] \
+//!     [--threads N] [--out BENCH_8.json] [--baseline BENCH_7.json] \
 //!     [--min-speedup X] [--wall-margin 0.25] [--no-wall-gate]
 //! ```
 //!
@@ -38,9 +38,14 @@
 //!
 //! A sixth, `propagation`, is the bitset-kernel microbench: steady-state
 //! AC-3 revision throughput on the compiled kernel (revisions/second —
-//! each revision is one word-AND support sweep of a constraint arc), and
-//! the allocation cost of a mask-based domain shard split, which must copy
-//! **zero pair entries** (the gate fails otherwise).
+//! each revision is one lane-wide AND support sweep of a constraint arc),
+//! batched so per-batch wall-clock variance is reported alongside the
+//! aggregate, plus the kernel's **bytes-touched-per-revision** audit: the
+//! measured bytes per revision must stay within the ceiling the padded
+//! lane layout implies (a cache-blocking regression fails the gate even
+//! when wall clock hides it), and the allocation cost of a mask-based
+//! domain shard split, which must copy **zero pair entries** (the gate
+//! fails otherwise).
 //!
 //! A seventh, `weighted`, is the sharded branch-and-bound scenario:
 //! *noise-dominant* planted instances (noise above the planted bonus, so
@@ -63,7 +68,7 @@
 //! `Session::optimize` call at the same worker count (the gate fails
 //! otherwise).
 //!
-//! The harness emits `BENCH_7.json` (wall time, nodes explored, solution
+//! The harness emits `BENCH_8.json` (wall time, nodes explored, solution
 //! cost, speedup per entry) and **exits nonzero when any parallel run's
 //! solution cost differs from its single-thread baseline** — that cost
 //! parity is the determinism contract of `mlo_csp::solver::portfolio` and
@@ -224,8 +229,8 @@ struct Config {
 fn parse_args() -> Config {
     let mut config = Config {
         threads: 4,
-        out: "BENCH_7.json".to_string(),
-        baseline: Some("BENCH_6.json".to_string()),
+        out: "BENCH_8.json".to_string(),
+        baseline: Some("BENCH_7.json".to_string()),
         min_speedup: 0.0,
         wall_margin: 0.25,
         no_wall_gate: false,
@@ -669,6 +674,24 @@ struct Propagation {
     ac3_total_ms: f64,
     revisions_per_sec: f64,
     checks_per_sec: f64,
+    /// Fixpoint passes per timed batch (the runs are batched so the gate
+    /// can report per-batch variance, not just the aggregate).
+    batch_runs: usize,
+    /// Wall-clock milliseconds of each batch.
+    batch_ms: Vec<f64>,
+    /// Relative standard deviation of the per-batch walls (std / mean).
+    batch_rel_std: f64,
+    /// Bytes the kernel touched across all timed revisions (live spans +
+    /// probed rows, as accounted by `SearchStats::bytes_touched`).
+    bytes_touched: u64,
+    /// `bytes_touched / revisions`.
+    bytes_per_revision: f64,
+    /// The ceiling the padded lane layout implies for one revision of this
+    /// network (worst directed arc, every live row probed).
+    bytes_budget_per_revision: u64,
+    /// Whether the measured bytes per revision stayed within the budget —
+    /// the cache-blocking regression gate.
+    bytes_ok: bool,
     /// Mask-based shard splits measured under the counting allocator.
     shard_splits: usize,
     shard_alloc_bytes: usize,
@@ -712,18 +735,56 @@ fn propagation_group(threads: usize) -> Propagation {
         "the propagation instance must be satisfiable at the fixpoint"
     );
     const RUNS: usize = 400;
+    const BATCHES: usize = 8;
+    const BATCH_RUNS: usize = RUNS / BATCHES;
     let mut total_checks = 0u64;
-    let start = Instant::now();
-    for _ in 0..RUNS {
-        let mut live = warm.clone();
-        let mut stats = SearchStats::default();
-        let outcome = ac3_kernel(&kernel, &mut live, &mut stats);
-        assert!(matches!(outcome, Ac3Outcome::Consistent));
-        total_checks += stats.consistency_checks;
+    let mut bytes_touched = 0u64;
+    let mut batch_ms = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..BATCH_RUNS {
+            let mut live = warm.clone();
+            let mut stats = SearchStats::default();
+            let outcome = ac3_kernel(&kernel, &mut live, &mut stats);
+            assert!(matches!(outcome, Ac3Outcome::Consistent));
+            total_checks += stats.consistency_checks;
+            bytes_touched += stats.bytes_touched;
+        }
+        batch_ms.push(start.elapsed().as_secs_f64() * 1e3);
     }
-    let ac3_total_ms = start.elapsed().as_secs_f64() * 1e3;
+    let ac3_total_ms: f64 = batch_ms.iter().sum();
+    let batch_mean = ac3_total_ms / BATCHES as f64;
+    let batch_var = batch_ms
+        .iter()
+        .map(|&ms| (ms - batch_mean) * (ms - batch_mean))
+        .sum::<f64>()
+        / BATCHES as f64;
+    let batch_rel_std = batch_var.sqrt() / batch_mean.max(1e-9);
     let revisions = (2 * constraints * RUNS) as u64;
     let seconds = (ac3_total_ms / 1e3).max(1e-9);
+
+    // The padded lane layout bounds what one revision may touch: the
+    // worst directed arc (x revised against y) reads both live spans and,
+    // on the block-major path, at most one lane-padded row per live value
+    // of x.  Staying under this ceiling is the cache-blocking contract —
+    // a layout regression (unpadded strides, scattered rows, re-scanned
+    // partners) blows it even when wall clock hides the miss cost.
+    let padded_words = |size: usize| size.div_ceil(64).next_multiple_of(4).max(4) as u64;
+    let bytes_budget_per_revision = (0..constraints)
+        .map(|ci| {
+            let c = kernel.constraint(ci);
+            let (first, second) = (
+                kernel.domain_size(c.first()) as u64,
+                kernel.domain_size(c.second()) as u64,
+            );
+            let (pf, ps) = (padded_words(first as usize), padded_words(second as usize));
+            // Both arc directions: revise first-against-second and back.
+            8 * (pf + ps + first * ps).max(ps + pf + second * pf)
+        })
+        .max()
+        .unwrap_or(0);
+    let bytes_per_revision = bytes_touched as f64 / revisions.max(1) as f64;
+    let bytes_ok = bytes_touched > 0 && bytes_per_revision <= bytes_budget_per_revision as f64;
 
     // Mask-based shard splits under the counting allocator: the weighted
     // portfolio's per-solve partitioning step.
@@ -776,6 +837,13 @@ fn propagation_group(threads: usize) -> Propagation {
         ac3_total_ms,
         revisions_per_sec: revisions as f64 / seconds,
         checks_per_sec: total_checks as f64 / seconds,
+        batch_runs: BATCH_RUNS,
+        batch_ms,
+        batch_rel_std,
+        bytes_touched,
+        bytes_per_revision,
+        bytes_budget_per_revision,
+        bytes_ok,
         shard_splits: shards.len(),
         shard_alloc_bytes,
         shard_bytes_per_split: shard_alloc_bytes / shards.len().max(1),
@@ -1247,6 +1315,23 @@ fn print_propagation(propagation: &Option<Propagation>) {
         p.checks_per_sec / 1e6,
     );
     println!(
+        "  batches: {} x {} passes, walls {:?} ms, rel std {:.1}%",
+        p.batch_ms.len(),
+        p.batch_runs,
+        p.batch_ms
+            .iter()
+            .map(|ms| (ms * 100.0).round() / 100.0)
+            .collect::<Vec<_>>(),
+        p.batch_rel_std * 100.0,
+    );
+    println!(
+        "  bytes touched: {} total, {:.1}/revision (lane-layout budget {}) -> {}",
+        p.bytes_touched,
+        p.bytes_per_revision,
+        p.bytes_budget_per_revision,
+        if p.bytes_ok { "ok" } else { "VIOLATED" }
+    );
+    println!(
         "  mask shards: {} splits, {} bytes total ({} bytes/split), {} pair entries copied",
         p.shard_splits,
         p.shard_alloc_bytes,
@@ -1453,6 +1538,7 @@ fn main() -> ExitCode {
     let masks_ok = propagation
         .as_ref()
         .is_none_or(|p| p.masks_ok && p.shard_pair_entries_allocated == 0);
+    let bytes_ok = propagation.as_ref().is_none_or(|p| p.bytes_ok);
     let weighted_ok = audit.as_ref().is_none_or(|a| a.ok);
 
     // The kernel refactor's headline metric: single-thread table2+table3
@@ -1492,9 +1578,29 @@ fn main() -> ExitCode {
         Some((path.clone(), speedup, single_thread))
     });
 
+    // Propagation trajectory: this run's steady-state revision throughput
+    // against the baseline artifact's (the SIMD/cache-blocking headline).
+    let propagation_improvement = match (&propagation, &config.baseline) {
+        (Some(p), Some(path)) => std::fs::read_to_string(path)
+            .ok()
+            .and_then(|previous| extract_json_number(&previous, "revisions_per_sec"))
+            .filter(|&previous_rps| previous_rps > 0.0)
+            .map(|previous_rps| {
+                let ratio = p.revisions_per_sec / previous_rps;
+                println!(
+                    "trajectory: {path} propagation {:.2}M revisions/s -> this run \
+                     {:.2}M revisions/s ({ratio:.2}x)",
+                    previous_rps / 1e6,
+                    p.revisions_per_sec / 1e6
+                );
+                ratio
+            }),
+        _ => None,
+    };
+
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"benchmark\": \"BENCH_7\",").unwrap();
+    writeln!(json, "  \"benchmark\": \"BENCH_8\",").unwrap();
     writeln!(json, "  \"harness\": \"perf_gate\",").unwrap();
     writeln!(json, "  \"threads\": {},", config.threads).unwrap();
     writeln!(json, "  \"cores\": {cores},").unwrap();
@@ -1650,6 +1756,24 @@ fn main() -> ExitCode {
         )
         .unwrap();
         writeln!(json, "    \"checks_per_sec\": {:.0},", p.checks_per_sec).unwrap();
+        writeln!(json, "    \"batch_runs\": {},", p.batch_runs).unwrap();
+        let walls: Vec<String> = p.batch_ms.iter().map(|ms| format!("{ms:.3}")).collect();
+        writeln!(json, "    \"batch_ms\": [{}],", walls.join(", ")).unwrap();
+        writeln!(json, "    \"batch_rel_std\": {:.4},", p.batch_rel_std).unwrap();
+        writeln!(json, "    \"bytes_touched\": {},", p.bytes_touched).unwrap();
+        writeln!(
+            json,
+            "    \"bytes_per_revision\": {:.2},",
+            p.bytes_per_revision
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "    \"bytes_budget_per_revision\": {},",
+            p.bytes_budget_per_revision
+        )
+        .unwrap();
+        writeln!(json, "    \"bytes_ok\": {},", p.bytes_ok).unwrap();
         writeln!(json, "    \"shard_splits\": {},", p.shard_splits).unwrap();
         writeln!(json, "    \"shard_alloc_bytes\": {},", p.shard_alloc_bytes).unwrap();
         writeln!(
@@ -1743,6 +1867,10 @@ fn main() -> ExitCode {
     }
     if propagation.is_some() {
         writeln!(json, "  \"masks_ok\": {masks_ok},").unwrap();
+        writeln!(json, "  \"propagation_bytes_ok\": {bytes_ok},").unwrap();
+    }
+    if let Some(ratio) = propagation_improvement {
+        writeln!(json, "  \"propagation_improvement\": {ratio:.3},").unwrap();
     }
     if audit.is_some() {
         writeln!(json, "  \"weighted_ok\": {weighted_ok},").unwrap();
@@ -1776,6 +1904,14 @@ fn main() -> ExitCode {
         eprintln!(
             "perf_gate FAILED: a mask-based shard split copied pair entries or \
              dropped table/kernel sharing (see the propagation audit above)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !bytes_ok {
+        eprintln!(
+            "perf_gate FAILED: the propagation kernel touched more bytes per \
+             revision than the padded lane layout allows — a cache-blocking \
+             regression (see the bytes audit above)"
         );
         return ExitCode::FAILURE;
     }

@@ -59,6 +59,7 @@
 use crate::assignment::Assignment;
 use crate::constraint::BinaryConstraint;
 use crate::network::VarId;
+use crate::simd::{self, LANE_WORDS};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -92,6 +93,16 @@ const WORD_BITS: usize = 64;
 /// Number of `u64` words needed to hold `bits` bits.
 fn words_for(bits: usize) -> usize {
     bits.div_ceil(WORD_BITS)
+}
+
+/// Number of `u64` words a variable's live span or a bit-matrix row
+/// occupies: the bit minimum rounded up to a whole number of
+/// [`LANE_WORDS`]-word lane blocks (at least one), so the SIMD hot loops
+/// run with an empty remainder and every row starts block-aligned.
+/// Padding bits are never set — [`full_word`] yields zero once the real
+/// bits run out — which the phantom-value regression tests pin.
+fn padded_words(bits: usize) -> usize {
+    words_for(bits).next_multiple_of(LANE_WORDS).max(LANE_WORDS)
 }
 
 /// A full mask for `bits` bits, one valid word at a time.
@@ -140,7 +151,7 @@ impl DomainShape {
         let mut total = 0usize;
         for &size in &sizes {
             offsets.push(total);
-            total += words_for(size);
+            total += padded_words(size);
         }
         DomainShape {
             sizes,
@@ -151,7 +162,7 @@ impl DomainShape {
 
     fn word_range(&self, var: usize) -> std::ops::Range<usize> {
         let start = self.offsets[var];
-        start..start + words_for(self.sizes[var])
+        start..start + padded_words(self.sizes[var])
     }
 }
 
@@ -161,11 +172,12 @@ pub struct BitConstraint {
     first: VarId,
     second: VarId,
     second_size: usize,
-    /// Words per `fwd` row (`ceil(second_size / 64)`).
+    /// Words per `fwd` row (`padded_words(second_size)`: lane aligned).
     fwd_stride: usize,
-    /// Words per `rev` row (`ceil(first_size / 64)`).
+    /// Words per `rev` row (`padded_words(first_size)`: lane aligned).
     rev_stride: usize,
-    /// Row `a`: the values of `second` allowed with `first = a`.
+    /// Row `a`: the values of `second` allowed with `first = a`.  Rows are
+    /// contiguous in value order, so a revise walks the block block-major.
     fwd: Vec<u64>,
     /// Row `b`: the values of `first` allowed with `second = b`.
     rev: Vec<u64>,
@@ -175,13 +187,19 @@ pub struct BitConstraint {
     /// `support_rev[b]` is the number of `first` values allowed with
     /// `second = b`.
     support_rev: Vec<u32>,
+    /// Bit `a` set iff `support_fwd[a] > 0`, padded to the `first`
+    /// endpoint's lane width: revising `first` against an unpruned
+    /// `second` is a single lane-wide AND with this mask.
+    support_nonzero_fwd: Vec<u64>,
+    /// Bit `b` set iff `support_rev[b] > 0` (the `second`-endpoint mask).
+    support_nonzero_rev: Vec<u64>,
 }
 
 impl BitConstraint {
     fn build(constraint: &BinaryConstraint, first_size: usize, second_size: usize) -> Self {
         BIT_CONSTRAINT_COMPILES.fetch_add(1, Ordering::Relaxed);
-        let fwd_stride = words_for(second_size).max(1);
-        let rev_stride = words_for(first_size).max(1);
+        let fwd_stride = padded_words(second_size);
+        let rev_stride = padded_words(first_size);
         let mut fwd = vec![0u64; first_size * fwd_stride];
         let mut rev = vec![0u64; second_size * rev_stride];
         let mut support_fwd = vec![0u32; first_size];
@@ -191,6 +209,20 @@ impl BitConstraint {
             rev[b * rev_stride + a / WORD_BITS] |= 1 << (a % WORD_BITS);
             support_fwd[a] += 1;
             support_rev[b] += 1;
+        }
+        // The endpoint-value masks share their endpoint's live-span width:
+        // `first` values are rev-row sized, `second` values fwd-row sized.
+        let mut support_nonzero_fwd = vec![0u64; rev_stride];
+        for (a, &s) in support_fwd.iter().enumerate() {
+            if s > 0 {
+                support_nonzero_fwd[a / WORD_BITS] |= 1 << (a % WORD_BITS);
+            }
+        }
+        let mut support_nonzero_rev = vec![0u64; fwd_stride];
+        for (b, &s) in support_rev.iter().enumerate() {
+            if s > 0 {
+                support_nonzero_rev[b / WORD_BITS] |= 1 << (b % WORD_BITS);
+            }
         }
         BitConstraint {
             first: constraint.first(),
@@ -202,6 +234,8 @@ impl BitConstraint {
             rev,
             support_fwd,
             support_rev,
+            support_nonzero_fwd,
+            support_nonzero_rev,
         }
     }
 
@@ -240,6 +274,51 @@ impl BitConstraint {
         } else {
             self.support_rev[value]
         }
+    }
+
+    /// The values of the endpoint selected by `var_is_first` that have at
+    /// least one support over the *full* partner domain, as a lane-padded
+    /// word mask.  While the partner's domain is unpruned, revising against
+    /// it degenerates to a single lane-wide AND with this mask.
+    pub fn support_nonzero(&self, var_is_first: bool) -> &[u64] {
+        if var_is_first {
+            &self.support_nonzero_fwd
+        } else {
+            &self.support_nonzero_rev
+        }
+    }
+
+    /// Block-major kernel revise: clears every live value of the endpoint
+    /// selected by `x_is_first` (live words `x_live`, mutated in place)
+    /// whose support row shares no bit with `y_live`.  The constraint's
+    /// rows are one contiguous lane-aligned block walked in ascending value
+    /// order, so `y_live` and the streamed rows stay cache-hot across the
+    /// whole revision.  Returns `(removed, bytes_touched)` — the byte count
+    /// covers both live spans plus every row probed, feeding the
+    /// bytes-touched-per-revision audit in the perf gate.
+    pub fn revise_live(&self, x_is_first: bool, x_live: &mut [u64], y_live: &[u64]) -> (u64, u64) {
+        let (rows, stride) = if x_is_first {
+            (&self.fwd, self.fwd_stride)
+        } else {
+            (&self.rev, self.rev_stride)
+        };
+        let mut removed = 0u64;
+        let mut probed = 0u64;
+        for (wi, slot) in x_live.iter_mut().enumerate() {
+            let mut word = *slot;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let value = wi * WORD_BITS + bit;
+                probed += 1;
+                if !simd::and_any(&rows[value * stride..(value + 1) * stride], y_live) {
+                    *slot &= !(1u64 << bit);
+                    removed += 1;
+                }
+            }
+        }
+        let bytes = 8 * (x_live.len() as u64 + y_live.len() as u64 + probed * stride as u64);
+        (removed, bytes)
     }
 }
 
@@ -810,15 +889,12 @@ impl BitDomains {
 
     /// Number of live values of `var`.
     pub fn count(&self, var: VarId) -> usize {
-        self.words(var)
-            .iter()
-            .map(|w| w.count_ones() as usize)
-            .sum()
+        simd::popcount(self.words(var)) as usize
     }
 
     /// Whether `var` has no live value left (a wipeout).
     pub fn is_empty(&self, var: VarId) -> bool {
-        self.words(var).iter().all(|&w| w == 0)
+        !simd::any_set(self.words(var))
     }
 
     /// Whether value `index` of `var` is live.
@@ -867,29 +943,59 @@ impl BitDomains {
     /// How many live values of `var` the row `row` would remove
     /// (`live & !row`), without modifying anything.
     pub fn would_remove(&self, var: VarId, row: &[u64]) -> usize {
-        self.words(var)
-            .iter()
-            .zip(row)
-            .map(|(&w, &r)| (w & !r).count_ones() as usize)
-            .sum()
+        simd::andnot_popcount(self.words(var), row) as usize
     }
 
     /// Intersects the live values of `var` with `row` (`live &= row`);
     /// returns how many values were removed.
     pub fn intersect(&mut self, var: VarId, row: &[u64]) -> usize {
         let range = self.shape.word_range(var.index());
-        let mut removed = 0usize;
-        for (w, &r) in self.words[range].iter_mut().zip(row) {
-            removed += (*w & !r).count_ones() as usize;
-            *w &= r;
+        simd::and_assign_count(&mut self.words[range], row) as usize
+    }
+
+    /// Fused forward-check step: when `row` would prune `var`, snapshots
+    /// the live words and intersects, touching the span once.  Returns
+    /// `None` — and writes nothing — when the row removes no live value,
+    /// so the no-op case (the common one) allocates nothing.
+    pub fn intersect_with_save(&mut self, var: VarId, row: &[u64]) -> Option<(Vec<u64>, usize)> {
+        let range = self.shape.word_range(var.index());
+        let words = &mut self.words[range];
+        if !simd::andnot_any(words, row) {
+            return None;
         }
-        removed
+        let saved = words.to_vec();
+        let removed = simd::and_assign_count(words, row) as usize;
+        Some((saved, removed))
+    }
+
+    /// AC-3's allocation-free revise: prunes the live values of `x` that
+    /// lost all support among the live values of `y` under `constraint`
+    /// (see [`BitConstraint::revise_live`] for the block-major walk).
+    /// Returns `(removed, bytes_touched)`.
+    pub fn revise(
+        &mut self,
+        x: VarId,
+        y: VarId,
+        constraint: &BitConstraint,
+        x_is_first: bool,
+    ) -> (u64, u64) {
+        let xr = self.shape.word_range(x.index());
+        let yr = self.shape.word_range(y.index());
+        debug_assert_ne!(xr.start, yr.start, "constraint endpoints are distinct");
+        let (x_words, y_words) = if xr.start < yr.start {
+            let (head, tail) = self.words.split_at_mut(yr.start);
+            (&mut head[xr], &tail[..yr.end - yr.start])
+        } else {
+            let (head, tail) = self.words.split_at_mut(xr.start);
+            (&mut tail[..xr.end - xr.start], &head[yr])
+        };
+        constraint.revise_live(x_is_first, x_words, y_words)
     }
 
     /// Whether `row` has at least one bit in common with the live values of
     /// `var` — the bitset form of "does this value still have support?".
     pub fn intersects(&self, var: VarId, row: &[u64]) -> bool {
-        self.words(var).iter().zip(row).any(|(&w, &r)| w & r != 0)
+        simd::and_any(self.words(var), row)
     }
 
     /// Calls `f` for every live value of `var` that is also set in `row`,
@@ -907,11 +1013,7 @@ impl BitDomains {
 
     /// Popcount of `live(var) & row` — the number of live supports.
     pub fn intersection_count(&self, var: VarId, row: &[u64]) -> usize {
-        self.words(var)
-            .iter()
-            .zip(row)
-            .map(|(&w, &r)| (w & r).count_ones() as usize)
-            .sum()
+        simd::and_popcount(self.words(var), row) as usize
     }
 
     /// Restricts `var` to the given value indices (everything else is
@@ -933,7 +1035,8 @@ impl BitDomains {
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct MaskEntry {
     var: usize,
-    /// Live-value words (`ceil(domain_size / 64)` of them).
+    /// Live-value words (`padded_words(domain_size)` of them, matching the
+    /// kernel's lane-aligned spans).
     words: Box<[u64]>,
     /// Popcount of `words`, cached.
     live: usize,
@@ -988,7 +1091,7 @@ impl DomainMask {
         domain_size: usize,
         keep: &[usize],
     ) -> Result<(), usize> {
-        let width = words_for(domain_size).max(1);
+        let width = padded_words(domain_size);
         let mut words = vec![0u64; width].into_boxed_slice();
         for &index in keep {
             if index >= domain_size {

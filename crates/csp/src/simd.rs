@@ -1,0 +1,522 @@
+//! Runtime-dispatched word-lane kernels for the bit-matrix hot loops.
+//!
+//! Every solver path — AC-3 fixpoints, forward checking, enumeration,
+//! weighted branch and bound, the work-stealing frame workers — bottoms out
+//! in a handful of word-wise primitives over `u64` slices: AND-test,
+//! AND-popcount, ANDNOT-popcount, and AND-assign-with-removal-count.  This
+//! module provides each primitive in two implementations:
+//!
+//! * **`scalar`** — one word at a time, the portable default.
+//! * **`lanes`** — 4-wide unrolled over [`LANE_WORDS`]-word blocks with
+//!   independent accumulators.  On `x86_64` the same code is additionally
+//!   compiled under `#[target_feature(enable = "avx2,popcnt")]` so LLVM can
+//!   emit 256-bit vector loads/ANDs and hardware popcounts; elsewhere the
+//!   unrolled portable form is used as-is.
+//!
+//! The backend is selected **once** at first use: `MLO_FORCE_SCALAR` (set to
+//! anything but `0`/empty) pins the scalar path, otherwise
+//! `is_x86_feature_detected!("avx2")` + `popcnt` picks the vector path on
+//! `x86_64` and scalar stays the portable default everywhere else.  All
+//! implementations compute **bit-identical** results by construction — they
+//! are exact integer reductions of the same word stream, only the traversal
+//! is reassociated — so switching backends can never change a solver answer,
+//! a support count, or a statistics counter.
+//!
+//! [`DomainShape`](crate::bitset::DomainShape) pads every variable's word
+//! span and every bit-matrix row stride to a multiple of [`LANE_WORDS`], so
+//! the hot loops below run with an empty remainder and rows stay block
+//! aligned (cache-line friendly when walked block-major).
+
+// The crate denies unsafe code; the runtime-detected `#[target_feature]`
+// call sites below are the sanctioned exception (see `lib.rs`).
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Words per unrolled lane block.  Domain word spans and bit-matrix row
+/// strides are padded to a multiple of this (see
+/// [`crate::bitset::DomainShape`]), so a 256-bit AVX2 register holds exactly
+/// one block.
+pub const LANE_WORDS: usize = 4;
+
+/// Which implementation family the process-wide dispatch uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// One word at a time (the portable default, and what
+    /// `MLO_FORCE_SCALAR` pins).
+    Scalar,
+    /// 4-wide unrolled lanes; compiled with AVX2+POPCNT enabled when the
+    /// running CPU supports them.
+    Simd,
+}
+
+const UNINIT: u8 = 0;
+const SCALAR: u8 = 1;
+/// Portable unrolled lanes (forced SIMD on a CPU without AVX2, or any
+/// non-x86_64 target).
+const LANES: u8 = 2;
+/// Unrolled lanes compiled under `avx2,popcnt` (x86_64 with detection).
+const LANES_X86: u8 = 3;
+
+static BACKEND: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn detect() -> u8 {
+    if std::env::var_os("MLO_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0") {
+        return SCALAR;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("popcnt")
+        {
+            return LANES_X86;
+        }
+    }
+    SCALAR
+}
+
+#[inline]
+fn code() -> u8 {
+    let current = BACKEND.load(Ordering::Relaxed);
+    if current != UNINIT {
+        return current;
+    }
+    let detected = detect();
+    // A concurrent first caller may race; both compute the same value.
+    BACKEND.store(detected, Ordering::Relaxed);
+    detected
+}
+
+/// The backend the dispatching entry points currently use.
+pub fn active_backend() -> Backend {
+    if code() == SCALAR {
+        Backend::Scalar
+    } else {
+        Backend::Simd
+    }
+}
+
+/// Pins the dispatch to one backend (test/bench hook; the equivalence
+/// proptests run whole solves under each).  Forcing [`Backend::Simd`] on a
+/// CPU without AVX2 uses the portable unrolled lanes — still bit-identical.
+pub fn force_backend(backend: Backend) {
+    let value = match backend {
+        Backend::Scalar => SCALAR,
+        Backend::Simd => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("popcnt")
+                {
+                    LANES_X86
+                } else {
+                    LANES
+                }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                LANES
+            }
+        }
+    };
+    BACKEND.store(value, Ordering::Relaxed);
+}
+
+/// One-word-at-a-time reference implementations (the portable default).
+pub mod scalar {
+    /// Whether any word of `a & b` is nonzero.
+    #[inline]
+    pub fn and_any(a: &[u64], b: &[u64]) -> bool {
+        a.iter().zip(b).any(|(x, y)| x & y != 0)
+    }
+
+    /// Whether any word of `a` is nonzero.
+    #[inline]
+    pub fn any_set(a: &[u64]) -> bool {
+        a.iter().any(|&x| x != 0)
+    }
+
+    /// Total popcount of `a`.
+    #[inline]
+    pub fn popcount(a: &[u64]) -> u64 {
+        a.iter().map(|&x| u64::from(x.count_ones())).sum()
+    }
+
+    /// Popcount of `a & b`.
+    #[inline]
+    pub fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| u64::from((x & y).count_ones()))
+            .sum()
+    }
+
+    /// Whether any word of `a & !b` is nonzero (an `a &= b` would remove
+    /// something).
+    #[inline]
+    pub fn andnot_any(a: &[u64], b: &[u64]) -> bool {
+        a.iter().zip(b).any(|(x, y)| x & !y != 0)
+    }
+
+    /// Popcount of `a & !b` (how many bits an `a &= b` would remove).
+    #[inline]
+    pub fn andnot_popcount(a: &[u64], b: &[u64]) -> u64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| u64::from((x & !y).count_ones()))
+            .sum()
+    }
+
+    /// `dst &= src` word-wise; returns how many bits were cleared.
+    #[inline]
+    pub fn and_assign_count(dst: &mut [u64], src: &[u64]) -> u64 {
+        let mut removed = 0u64;
+        for (d, s) in dst.iter_mut().zip(src) {
+            let before = *d;
+            *d &= s;
+            removed += u64::from((before ^ *d).count_ones());
+        }
+        removed
+    }
+}
+
+/// 4-wide unrolled lane implementations.  Same reductions as [`scalar`]
+/// with the traversal reassociated into [`LANE_WORDS`]-word blocks and
+/// independent accumulators; exact integer arithmetic keeps every result
+/// bit-identical to the scalar path.
+pub mod lanes {
+    use super::LANE_WORDS;
+
+    /// Whether any word of `a & b` is nonzero.
+    #[inline(always)]
+    pub fn and_any(a: &[u64], b: &[u64]) -> bool {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let mut ac = a.chunks_exact(LANE_WORDS);
+        let mut bc = b.chunks_exact(LANE_WORDS);
+        for (ca, cb) in (&mut ac).zip(&mut bc) {
+            let or = (ca[0] & cb[0]) | (ca[1] & cb[1]) | (ca[2] & cb[2]) | (ca[3] & cb[3]);
+            if or != 0 {
+                return true;
+            }
+        }
+        ac.remainder()
+            .iter()
+            .zip(bc.remainder())
+            .any(|(x, y)| x & y != 0)
+    }
+
+    /// Whether any word of `a` is nonzero.
+    #[inline(always)]
+    pub fn any_set(a: &[u64]) -> bool {
+        let mut chunks = a.chunks_exact(LANE_WORDS);
+        for c in &mut chunks {
+            if (c[0] | c[1] | c[2] | c[3]) != 0 {
+                return true;
+            }
+        }
+        chunks.remainder().iter().any(|&x| x != 0)
+    }
+
+    /// Total popcount of `a`.
+    #[inline(always)]
+    pub fn popcount(a: &[u64]) -> u64 {
+        let mut acc = [0u64; LANE_WORDS];
+        let mut chunks = a.chunks_exact(LANE_WORDS);
+        for c in &mut chunks {
+            acc[0] += u64::from(c[0].count_ones());
+            acc[1] += u64::from(c[1].count_ones());
+            acc[2] += u64::from(c[2].count_ones());
+            acc[3] += u64::from(c[3].count_ones());
+        }
+        let tail: u64 = chunks
+            .remainder()
+            .iter()
+            .map(|&x| u64::from(x.count_ones()))
+            .sum();
+        acc[0] + acc[1] + acc[2] + acc[3] + tail
+    }
+
+    /// Popcount of `a & b`.
+    #[inline(always)]
+    pub fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let mut acc = [0u64; LANE_WORDS];
+        let mut ac = a.chunks_exact(LANE_WORDS);
+        let mut bc = b.chunks_exact(LANE_WORDS);
+        for (ca, cb) in (&mut ac).zip(&mut bc) {
+            acc[0] += u64::from((ca[0] & cb[0]).count_ones());
+            acc[1] += u64::from((ca[1] & cb[1]).count_ones());
+            acc[2] += u64::from((ca[2] & cb[2]).count_ones());
+            acc[3] += u64::from((ca[3] & cb[3]).count_ones());
+        }
+        let tail: u64 = ac
+            .remainder()
+            .iter()
+            .zip(bc.remainder())
+            .map(|(x, y)| u64::from((x & y).count_ones()))
+            .sum();
+        acc[0] + acc[1] + acc[2] + acc[3] + tail
+    }
+
+    /// Whether any word of `a & !b` is nonzero.
+    #[inline(always)]
+    pub fn andnot_any(a: &[u64], b: &[u64]) -> bool {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let mut ac = a.chunks_exact(LANE_WORDS);
+        let mut bc = b.chunks_exact(LANE_WORDS);
+        for (ca, cb) in (&mut ac).zip(&mut bc) {
+            let or = (ca[0] & !cb[0]) | (ca[1] & !cb[1]) | (ca[2] & !cb[2]) | (ca[3] & !cb[3]);
+            if or != 0 {
+                return true;
+            }
+        }
+        ac.remainder()
+            .iter()
+            .zip(bc.remainder())
+            .any(|(x, y)| x & !y != 0)
+    }
+
+    /// Popcount of `a & !b`.
+    #[inline(always)]
+    pub fn andnot_popcount(a: &[u64], b: &[u64]) -> u64 {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let mut acc = [0u64; LANE_WORDS];
+        let mut ac = a.chunks_exact(LANE_WORDS);
+        let mut bc = b.chunks_exact(LANE_WORDS);
+        for (ca, cb) in (&mut ac).zip(&mut bc) {
+            acc[0] += u64::from((ca[0] & !cb[0]).count_ones());
+            acc[1] += u64::from((ca[1] & !cb[1]).count_ones());
+            acc[2] += u64::from((ca[2] & !cb[2]).count_ones());
+            acc[3] += u64::from((ca[3] & !cb[3]).count_ones());
+        }
+        let tail: u64 = ac
+            .remainder()
+            .iter()
+            .zip(bc.remainder())
+            .map(|(x, y)| u64::from((x & !y).count_ones()))
+            .sum();
+        acc[0] + acc[1] + acc[2] + acc[3] + tail
+    }
+
+    /// `dst &= src` word-wise; returns how many bits were cleared.
+    #[inline(always)]
+    pub fn and_assign_count(dst: &mut [u64], src: &[u64]) -> u64 {
+        let n = dst.len().min(src.len());
+        let (dst, src) = (&mut dst[..n], &src[..n]);
+        let mut acc = [0u64; LANE_WORDS];
+        let mut dc = dst.chunks_exact_mut(LANE_WORDS);
+        let mut sc = src.chunks_exact(LANE_WORDS);
+        for (cd, cs) in (&mut dc).zip(&mut sc) {
+            let b0 = cd[0];
+            let b1 = cd[1];
+            let b2 = cd[2];
+            let b3 = cd[3];
+            cd[0] &= cs[0];
+            cd[1] &= cs[1];
+            cd[2] &= cs[2];
+            cd[3] &= cs[3];
+            acc[0] += u64::from((b0 ^ cd[0]).count_ones());
+            acc[1] += u64::from((b1 ^ cd[1]).count_ones());
+            acc[2] += u64::from((b2 ^ cd[2]).count_ones());
+            acc[3] += u64::from((b3 ^ cd[3]).count_ones());
+        }
+        let mut tail = 0u64;
+        for (d, s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+            let before = *d;
+            *d &= s;
+            tail += u64::from((before ^ *d).count_ones());
+        }
+        acc[0] + acc[1] + acc[2] + acc[3] + tail
+    }
+}
+
+/// The [`lanes`] implementations recompiled with AVX2 + POPCNT enabled so
+/// LLVM vectorizes the unrolled blocks; entered only after
+/// `is_x86_feature_detected!` confirmed support.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::lanes;
+
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn and_any(a: &[u64], b: &[u64]) -> bool {
+        lanes::and_any(a, b)
+    }
+
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn any_set(a: &[u64]) -> bool {
+        lanes::any_set(a)
+    }
+
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn popcount(a: &[u64]) -> u64 {
+        lanes::popcount(a)
+    }
+
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
+        lanes::and_popcount(a, b)
+    }
+
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn andnot_any(a: &[u64], b: &[u64]) -> bool {
+        lanes::andnot_any(a, b)
+    }
+
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn andnot_popcount(a: &[u64], b: &[u64]) -> u64 {
+        lanes::andnot_popcount(a, b)
+    }
+
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn and_assign_count(dst: &mut [u64], src: &[u64]) -> u64 {
+        lanes::and_assign_count(dst, src)
+    }
+}
+
+macro_rules! dispatch {
+    ($name:ident ( $($arg:expr),* )) => {
+        match code() {
+            SCALAR => scalar::$name($($arg),*),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: LANES_X86 is only ever stored after
+            // `is_x86_feature_detected!` confirmed avx2 + popcnt.
+            LANES_X86 => unsafe { x86::$name($($arg),*) },
+            _ => lanes::$name($($arg),*),
+        }
+    };
+}
+
+/// Whether any word of `a & b` is nonzero (dispatching).
+#[inline]
+pub fn and_any(a: &[u64], b: &[u64]) -> bool {
+    dispatch!(and_any(a, b))
+}
+
+/// Whether any word of `a` is nonzero (dispatching).
+#[inline]
+pub fn any_set(a: &[u64]) -> bool {
+    dispatch!(any_set(a))
+}
+
+/// Total popcount of `a` (dispatching).
+#[inline]
+pub fn popcount(a: &[u64]) -> u64 {
+    dispatch!(popcount(a))
+}
+
+/// Popcount of `a & b` (dispatching).
+#[inline]
+pub fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
+    dispatch!(and_popcount(a, b))
+}
+
+/// Whether any word of `a & !b` is nonzero (dispatching).
+#[inline]
+pub fn andnot_any(a: &[u64], b: &[u64]) -> bool {
+    dispatch!(andnot_any(a, b))
+}
+
+/// Popcount of `a & !b` (dispatching).
+#[inline]
+pub fn andnot_popcount(a: &[u64], b: &[u64]) -> u64 {
+    dispatch!(andnot_popcount(a, b))
+}
+
+/// `dst &= src`; returns how many bits were cleared (dispatching).
+#[inline]
+pub fn and_assign_count(dst: &mut [u64], src: &[u64]) -> u64 {
+    dispatch!(and_assign_count(dst, src))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic word-stream generator (no external RNG: the crate's
+    /// proptests cover randomized inputs at the network level).
+    fn words(seed: u64, len: usize) -> Vec<u64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lanes_match_scalar_on_all_lengths() {
+        for len in 0..=19 {
+            for seed in 1..=8u64 {
+                let a = words(seed, len);
+                let b = words(seed.wrapping_add(100), len);
+                assert_eq!(scalar::and_any(&a, &b), lanes::and_any(&a, &b));
+                assert_eq!(scalar::any_set(&a), lanes::any_set(&a));
+                assert_eq!(scalar::popcount(&a), lanes::popcount(&a));
+                assert_eq!(scalar::and_popcount(&a, &b), lanes::and_popcount(&a, &b));
+                assert_eq!(scalar::andnot_any(&a, &b), lanes::andnot_any(&a, &b));
+                assert_eq!(
+                    scalar::andnot_popcount(&a, &b),
+                    lanes::andnot_popcount(&a, &b)
+                );
+                let mut d1 = a.clone();
+                let mut d2 = a.clone();
+                let r1 = scalar::and_assign_count(&mut d1, &b);
+                let r2 = lanes::and_assign_count(&mut d2, &b);
+                assert_eq!(r1, r2);
+                assert_eq!(d1, d2);
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_lengths_use_the_common_prefix() {
+        let a = words(3, 11);
+        let b = words(4, 7);
+        assert_eq!(scalar::and_popcount(&a, &b), lanes::and_popcount(&a, &b));
+        assert_eq!(
+            scalar::andnot_popcount(&a, &b),
+            lanes::andnot_popcount(&a, &b)
+        );
+        let mut d1 = a.clone();
+        let mut d2 = a.clone();
+        assert_eq!(
+            scalar::and_assign_count(&mut d1, &b),
+            lanes::and_assign_count(&mut d2, &b)
+        );
+        assert_eq!(d1, d2);
+        // Words past the common prefix are untouched.
+        assert_eq!(&d1[7..], &a[7..]);
+    }
+
+    #[test]
+    fn zero_vectors_behave() {
+        let z = vec![0u64; 8];
+        let a = words(9, 8);
+        assert!(!lanes::and_any(&a, &z));
+        assert!(!lanes::any_set(&z));
+        assert_eq!(lanes::and_popcount(&a, &z), 0);
+        assert_eq!(lanes::andnot_popcount(&a, &z), lanes::popcount(&a));
+        assert!(!lanes::andnot_any(&a, &a));
+    }
+
+    #[test]
+    fn force_backend_round_trips() {
+        let original = active_backend();
+        force_backend(Backend::Scalar);
+        assert_eq!(active_backend(), Backend::Scalar);
+        force_backend(Backend::Simd);
+        assert_eq!(active_backend(), Backend::Simd);
+        // Dispatch agrees with the reference implementations either way.
+        let a = words(5, 12);
+        let b = words(6, 12);
+        assert_eq!(and_popcount(&a, &b), scalar::and_popcount(&a, &b));
+        force_backend(original);
+    }
+}

@@ -4,10 +4,15 @@
 //! that have no support in a neighbouring domain before the search starts
 //! can only shrink the search tree, never change satisfiability.
 //!
-//! The revise step runs on the compiled kernel: "does value `a` of `x` have
-//! support among the live values of `y`?" is `support_row(a) & live(y) != 0`
-//! — a handful of word-ANDs — with the kernel's precomputed full-domain
-//! support counts answering it in O(1) while `y` is unpruned.
+//! The revise step runs on the compiled kernel, allocation-free: while `y`
+//! is unpruned the whole revision is **one lane-wide AND** of `live(x)` with
+//! the constraint's precomputed support-nonzero mask
+//! ([`crate::bitset::BitConstraint::support_nonzero`]); once `y` has been
+//! pruned, [`crate::bitset::BitDomains::revise`] walks the constraint's
+//! lane-aligned row block block-major with `live(y)` held hot.  Every
+//! revision also accounts the bytes it touched into
+//! [`SearchStats::bytes_touched`], the metric the perf gate's propagation
+//! scenario audits to catch cache-blocking regressions.
 
 use super::SearchStats;
 use crate::bitset::{BitDomains, BitKernel};
@@ -97,24 +102,20 @@ fn revise(
     let constraint = kernel.constraint(ci);
     let x_is_first = constraint.first() == x;
     let y_count = live.count(y);
-    // While y is unpruned, the precomputed full-domain support count
-    // decides support without touching y's words at all.
-    let y_is_full = y_count == kernel.domain_size(y);
-    let x_values = live.live_values(x);
-    stats.consistency_checks += (x_values.len() * y_count) as u64;
-    let mut removed = 0u64;
-    for value in x_values {
-        let supported = if y_is_full {
-            constraint.full_support(x_is_first, value) > 0
-        } else {
-            live.intersects(y, constraint.row(x_is_first, value))
-        };
-        if !supported {
-            live.remove(x, value);
-            removed += 1;
-        }
-    }
+    let x_count = live.count(x);
+    stats.consistency_checks += (x_count * y_count) as u64;
+    let (removed, bytes) = if y_count == kernel.domain_size(y) {
+        // While y is unpruned the precomputed support-nonzero mask decides
+        // support for every value of x at once: the whole revision is one
+        // lane-wide AND touching neither y's words nor the row block.
+        let mask = constraint.support_nonzero(x_is_first);
+        let removed = live.intersect(x, mask) as u64;
+        (removed, 8 * 2 * mask.len() as u64)
+    } else {
+        live.revise(x, y, constraint, x_is_first)
+    };
     stats.prunings += removed;
+    stats.bytes_touched += bytes;
     removed > 0
 }
 

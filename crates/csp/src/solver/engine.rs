@@ -204,8 +204,9 @@ fn search(ctx: &mut Context<'_>, assignment: &mut Assignment, live: &mut BitDoma
         assignment.assign(var, value);
 
         // Forward checking: restrict unassigned neighbours to values
-        // compatible with this assignment — `live &= support_row`, one
-        // word-AND per neighbour.
+        // compatible with this assignment — one fused lane-wide pass per
+        // neighbour (`would_remove` test + snapshot + `live &= support_row`),
+        // so a neighbour the row cannot prune is touched exactly once.
         let mut saved: Vec<(VarId, Vec<u64>)> = Vec::new();
         let mut wiped_out: Option<VarId> = None;
         if ctx.config.forward_checking {
@@ -219,9 +220,8 @@ fn search(ctx: &mut Context<'_>, assignment: &mut Assignment, live: &mut BitDoma
                     .constraint(edge.constraint)
                     .row(edge.var_is_first, value);
                 ctx.stats.consistency_checks += live.count(neighbour) as u64;
-                if live.would_remove(neighbour, row) > 0 {
-                    saved.push((neighbour, live.save(neighbour)));
-                    let removed = live.intersect(neighbour, row);
+                if let Some((snapshot, removed)) = live.intersect_with_save(neighbour, row) {
+                    saved.push((neighbour, snapshot));
                     ctx.stats.prunings += removed as u64;
                     if live.is_empty(neighbour) {
                         wiped_out = Some(neighbour);

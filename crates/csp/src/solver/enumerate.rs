@@ -105,12 +105,36 @@ impl Enumerator {
             .map(|v| network.live_values(v))
             .collect();
 
+        // Assigned-prefix adjacency: under the static order the assigned
+        // set at depth `d` is exactly `order[..d]`, so each node's conflict
+        // probes reduce to a precomputed filtered edge list.  Filtering
+        // preserves adjacency order, hence the probe order, early-exit
+        // points and check counts of `conflicts_any` — while keeping each
+        // constraint's contiguous row block hot across the value loop.
+        let mut position = vec![0usize; network.variable_count()];
+        for (d, &v) in order.iter().enumerate() {
+            position[v.index()] = d;
+        }
+        let earlier: Vec<Vec<crate::bitset::KernelEdge>> = order
+            .iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                kernel
+                    .edges(v)
+                    .iter()
+                    .filter(|e| position[e.other.index()] < d)
+                    .copied()
+                    .collect()
+            })
+            .collect();
+
         let mut assignment = Assignment::new(network.variable_count());
         self.descend(
             network,
             &kernel,
             &live,
             &order,
+            &earlier,
             0,
             &mut assignment,
             &mut solutions,
@@ -162,6 +186,7 @@ impl Enumerator {
         kernel: &crate::bitset::BitKernel,
         live: &[Vec<usize>],
         order: &[VarId],
+        earlier: &[Vec<crate::bitset::KernelEdge>],
         depth: usize,
         assignment: &mut Assignment,
         solutions: &mut Vec<Solution<V>>,
@@ -186,7 +211,25 @@ impl Enumerator {
                 return;
             }
             stats.nodes_visited += 1;
-            if kernel.conflicts_any(assignment, var, value, &mut stats.consistency_checks) {
+            // Inline `conflicts_any` over the assigned-prefix edge list:
+            // one check per probed edge, early exit on the first conflict.
+            let mut conflict = false;
+            for edge in &earlier[depth] {
+                if let Some(other_value) = assignment.get(edge.other) {
+                    stats.consistency_checks += 1;
+                    let c = kernel.constraint(edge.constraint);
+                    let allowed = if edge.var_is_first {
+                        c.allows(value, other_value)
+                    } else {
+                        c.allows(other_value, value)
+                    };
+                    if !allowed {
+                        conflict = true;
+                        break;
+                    }
+                }
+            }
+            if conflict {
                 continue;
             }
             assignment.assign(var, value);
@@ -195,6 +238,7 @@ impl Enumerator {
                 kernel,
                 live,
                 order,
+                earlier,
                 depth + 1,
                 assignment,
                 solutions,

@@ -12,6 +12,7 @@
 use crate::assignment::{Assignment, Solution};
 use crate::bitset::BitKernel;
 use crate::network::{ConstraintNetwork, VarId};
+use crate::simd;
 use crate::solver::portfolio::CancelToken;
 use crate::solver::{NetworkSearch, SearchLimits, SearchStats, SolveResult};
 use crate::Value;
@@ -281,7 +282,15 @@ fn variable_conflicts(
 }
 
 /// The live value of `var` with the fewest conflicts (ties broken uniformly
-/// at random).
+/// at random; the RNG sees exactly one draw either way).
+///
+/// Fast path: the allowed-value rows of every adjacent constraint — each a
+/// contiguous lane-aligned block row — are ANDed into one conflict-free
+/// mask.  A surviving bit is a zero-conflict choice, and zero is always the
+/// minimum, so the per-value probe loop only runs on the steps where every
+/// choice violates something.  The check accounting (one check per choice
+/// per adjacent constraint) and the tie-break candidate order are identical
+/// to the probing loop's, so repair walks replay bit-for-bit.
 fn min_conflict_value(
     kernel: &BitKernel,
     assignment: &Assignment,
@@ -290,10 +299,53 @@ fn min_conflict_value(
     rng: &mut StdRng,
     stats: &mut SearchStats,
 ) -> usize {
+    let edges = kernel.edges(var);
+    stats.consistency_checks += (choices.len() * edges.len()) as u64;
+    let mut allowed: Option<Vec<u64>> = None;
+    for edge in edges {
+        let other_value = assignment.get(edge.other).expect("complete assignment");
+        // The row oriented from the *neighbour's* endpoint: its set bits
+        // are the values of `var` compatible with the neighbour's value.
+        let row = kernel
+            .constraint(edge.constraint)
+            .row(!edge.var_is_first, other_value);
+        match &mut allowed {
+            None => allowed = Some(row.to_vec()),
+            Some(mask) => {
+                simd::and_assign_count(mask, row);
+            }
+        }
+    }
+    let Some(mask) = allowed else {
+        // No adjacent constraint: every choice is conflict-free.
+        return choices[rng.gen_range(0..choices.len())];
+    };
+    let zero_conflict: Vec<usize> = choices
+        .iter()
+        .copied()
+        .filter(|&v| mask[v / 64] >> (v % 64) & 1 == 1)
+        .collect();
+    if !zero_conflict.is_empty() {
+        return zero_conflict[rng.gen_range(0..zero_conflict.len())];
+    }
+    // Every choice violates something: probe per value (the checks were
+    // already accounted above, so probe without re-counting).
     let mut best_values = Vec::new();
     let mut best_conflicts = usize::MAX;
     for &value in choices {
-        let conflicts = variable_conflicts(kernel, assignment, var, value, stats);
+        let mut conflicts = 0usize;
+        for edge in edges {
+            let other_value = assignment.get(edge.other).expect("complete assignment");
+            let constraint = kernel.constraint(edge.constraint);
+            let allowed = if edge.var_is_first {
+                constraint.allows(value, other_value)
+            } else {
+                constraint.allows(other_value, value)
+            };
+            if !allowed {
+                conflicts += 1;
+            }
+        }
         match conflicts.cmp(&best_conflicts) {
             std::cmp::Ordering::Less => {
                 best_conflicts = conflicts;

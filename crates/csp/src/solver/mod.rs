@@ -118,6 +118,11 @@ pub struct SearchStats {
     /// Number of frames a scheduler worker carved off its local stack for
     /// idle peers (0 for sequential backends).
     pub splits: u64,
+    /// Bytes of kernel memory (live spans, support masks, bit-matrix rows)
+    /// touched by AC-3 revisions — the cache-blocking audit metric the perf
+    /// gate divides by the revision count.  Only propagation fills it in;
+    /// tree-search counters leave it at zero.
+    pub bytes_touched: u64,
 }
 
 impl SearchStats {
@@ -131,6 +136,7 @@ impl SearchStats {
         self.max_depth = self.max_depth.max(other.max_depth);
         self.steals += other.steals;
         self.splits += other.splits;
+        self.bytes_touched += other.bytes_touched;
     }
 }
 
@@ -138,7 +144,7 @@ impl fmt::Display for SearchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "nodes={} backtracks={} backjumps={} checks={} prunings={} max_depth={} steals={} splits={}",
+            "nodes={} backtracks={} backjumps={} checks={} prunings={} max_depth={} steals={} splits={} bytes={}",
             self.nodes_visited,
             self.backtracks,
             self.backjumps,
@@ -146,7 +152,8 @@ impl fmt::Display for SearchStats {
             self.prunings,
             self.max_depth,
             self.steals,
-            self.splits
+            self.splits,
+            self.bytes_touched
         )
     }
 }
@@ -417,6 +424,7 @@ mod tests {
             max_depth: 3,
             steals: 1,
             splits: 2,
+            bytes_touched: 100,
         };
         let b = SearchStats {
             nodes_visited: 7,
@@ -427,6 +435,7 @@ mod tests {
             max_depth: 6,
             steals: 3,
             splits: 1,
+            bytes_touched: 28,
         };
         a.absorb(&b);
         assert_eq!(a.nodes_visited, 12);
@@ -434,7 +443,9 @@ mod tests {
         assert_eq!(a.max_depth, 6);
         assert_eq!(a.steals, 4);
         assert_eq!(a.splits, 3);
+        assert_eq!(a.bytes_touched, 128);
         assert!(a.to_string().contains("nodes=12"));
+        assert!(a.to_string().contains("bytes=128"));
     }
 
     #[test]

@@ -197,19 +197,27 @@ pub fn order_values(
         }
         ValueOrdering::LeastConstraining => {
             // Score = total number of still-supported options across
-            // unassigned neighbours; higher is better.
+            // unassigned neighbours; higher is better.  The per-neighbour
+            // fullness test is hoisted out of the value loop, so the inner
+            // loop walks each constraint's contiguous row block with one
+            // precomputed-count load (unpruned neighbour) or one lane-wide
+            // AND-popcount (pruned neighbour) per value.
+            let open_edges: Vec<(&KernelEdge, bool)> = kernel
+                .edges(var)
+                .iter()
+                .filter(|edge| !assignment.is_assigned(edge.other))
+                .map(|edge| {
+                    let full = live.count(edge.other) == kernel.domain_size(edge.other);
+                    (edge, full)
+                })
+                .collect();
             let mut scored: Vec<(usize, usize)> = values
                 .iter()
                 .map(|&value| {
                     let mut score = 0usize;
-                    for edge in kernel.edges(var) {
-                        if assignment.is_assigned(edge.other) {
-                            continue;
-                        }
+                    for &(edge, neighbour_full) in &open_edges {
                         let constraint = kernel.constraint(edge.constraint);
-                        // Unpruned neighbour: the precomputed full-domain
-                        // support count, no word scan needed.
-                        score += if live.count(edge.other) == kernel.domain_size(edge.other) {
+                        score += if neighbour_full {
                             constraint.full_support(edge.var_is_first, value) as usize
                         } else {
                             live.intersection_count(

@@ -49,7 +49,7 @@ use super::pool::WorkerPool;
 use super::portfolio::{CancelToken, IncumbentObserver, SharedIncumbent};
 use super::{NetworkSearch, SearchLimits, SearchStats, SolveResult};
 use crate::assignment::{Assignment, Solution};
-use crate::bitset::{BitKernel, WeightKernel};
+use crate::bitset::{BitKernel, KernelEdge, WeightKernel};
 use crate::network::{ConstraintNetwork, VarId};
 use crate::solver::weighted_value_order;
 use crate::weighted::{OptimizeResult, WeightedNetwork};
@@ -183,6 +183,12 @@ struct Space<V: Value> {
     kernel: Arc<BitKernel>,
     weights: Option<Arc<WeightKernel>>,
     order: Vec<VarId>,
+    /// Per-depth assigned-prefix edge lists: under the static order the
+    /// assigned set at depth `d` is exactly `order[..d]`, so conflict
+    /// probes and gained-weight sums walk these `order`-filtered kernel
+    /// adjacency lists (same edge order — identical check counts and
+    /// bit-identical float sums on every worker).
+    earlier: Vec<Vec<KernelEdge>>,
     live: Vec<Vec<usize>>,
     max_pair_weight: Vec<f64>,
     mode: ModeKind,
@@ -358,7 +364,7 @@ impl StealScheduler {
                 }
             }
             Prepared::Space(space) => {
-                let out = self.run(space);
+                let out = self.run(*space);
                 let solution = out
                     .best
                     .as_ref()
@@ -410,7 +416,7 @@ impl StealScheduler {
                 },
             },
             Prepared::Space(space) => {
-                let out = self.run(space);
+                let out = self.run(*space);
                 StealCountReport {
                     solutions: out.solutions,
                     stats: out.stats,
@@ -476,7 +482,7 @@ impl StealScheduler {
                 }
             }
             Prepared::Space(space) => {
-                let out = self.run(space);
+                let out = self.run(*space);
                 let solution = out
                     .best
                     .as_ref()
@@ -580,12 +586,29 @@ impl StealScheduler {
         if live.iter().any(|values| values.is_empty()) {
             return Prepared::Trivial(false);
         }
-        Prepared::Space(Space {
+        let mut position = vec![0usize; network.variable_count()];
+        for (d, &v) in order.iter().enumerate() {
+            position[v.index()] = d;
+        }
+        let earlier: Vec<Vec<KernelEdge>> = order
+            .iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                kernel
+                    .edges(v)
+                    .iter()
+                    .filter(|e| position[e.other.index()] < d)
+                    .copied()
+                    .collect()
+            })
+            .collect();
+        Prepared::Space(Box::new(Space {
             network: network.clone(),
             weighted: weighted.cloned(),
             kernel,
             weights,
             order,
+            earlier,
             live,
             max_pair_weight,
             mode,
@@ -593,7 +616,7 @@ impl StealScheduler {
             deadline: limits.deadline,
             cancel: cancel.cloned(),
             workers,
-        })
+        }))
     }
 
     /// Seeds the root frame, fans workers out over the pool (the calling
@@ -707,7 +730,9 @@ enum Prepared<V: Value> {
     /// `true`: trivially solvable (no variables); `false`: trivially
     /// unsatisfiable (an empty live domain).
     Trivial(bool),
-    Space(Space<V>),
+    /// Boxed: a prepared space carries the order, per-depth edge lists and
+    /// live masks, which dwarf the trivial arm.
+    Space(Box<Space<V>>),
 }
 
 /// The main worker loop: explore frames until no frame is live anywhere.
@@ -798,7 +823,7 @@ fn explore<V: Value>(space: &Space<V>, shared: &Shared, w: &mut Worker, frame: F
         if space.mode == ModeKind::Optimize {
             // Same edge-order summation as the original path, so the replayed
             // prefix weight is bit-identical to the donor's.
-            weight += gained(space, &w.assignment, var, value);
+            weight += gained(space, &w.assignment, depth, value);
         }
         w.assignment.assign(var, value);
     }
@@ -869,10 +894,26 @@ fn dfs<V: Value>(space: &Space<V>, shared: &Shared, w: &mut Worker, base: usize)
             top.lo = top.hi;
             continue;
         }
-        if space
-            .kernel
-            .conflicts_any(&w.assignment, var, value, &mut w.stats.consistency_checks)
-        {
+        // Inline `conflicts_any` over the assigned-prefix edge list: one
+        // check per probed edge, early exit on the first conflict — the
+        // same probe order and check counts on every worker.
+        let mut conflict = false;
+        for edge in &space.earlier[depth] {
+            if let Some(other_value) = w.assignment.get(edge.other) {
+                w.stats.consistency_checks += 1;
+                let c = space.kernel.constraint(edge.constraint);
+                let allowed = if edge.var_is_first {
+                    c.allows(value, other_value)
+                } else {
+                    c.allows(other_value, value)
+                };
+                if !allowed {
+                    conflict = true;
+                    break;
+                }
+            }
+        }
+        if conflict {
             continue;
         }
         if depth + 1 == depth_count {
@@ -882,7 +923,7 @@ fn dfs<V: Value>(space: &Space<V>, shared: &Shared, w: &mut Worker, base: usize)
             continue;
         }
         let gained_here = if space.mode == ModeKind::Optimize {
-            gained(space, &w.assignment, var, value)
+            gained(space, &w.assignment, depth, value)
         } else {
             0.0
         };
@@ -1077,12 +1118,13 @@ fn key_of<V: Value>(space: &Space<V>, assignment: &Assignment) -> Vec<usize> {
         .collect()
 }
 
-/// Weight gained by assigning `value` to `var` against already-assigned
-/// neighbours (fixed kernel-adjacency order: deterministic float sums).
-fn gained<V: Value>(space: &Space<V>, assignment: &Assignment, var: VarId, value: usize) -> f64 {
+/// Weight gained by assigning `value` to `order[depth]` against the
+/// already-assigned prefix (the filtered list preserves kernel-adjacency
+/// order: deterministic float sums, bit-identical on every worker).
+fn gained<V: Value>(space: &Space<V>, assignment: &Assignment, depth: usize, value: usize) -> f64 {
     let weights = space.weights.as_ref().expect("optimize mode has weights");
     let mut total = 0.0;
-    for edge in space.kernel.edges(var) {
+    for edge in &space.earlier[depth] {
         if let Some(other_value) = assignment.get(edge.other) {
             total +=
                 weights

@@ -28,7 +28,7 @@
 //! read it directly: no hash probe survives on the optimizing path.
 
 use crate::assignment::{Assignment, Solution};
-use crate::bitset::{WeightKernel, WeightTable};
+use crate::bitset::{KernelEdge, WeightKernel, WeightTable};
 use crate::network::{ConstraintNetwork, VarId};
 use crate::solver::portfolio::{CancelToken, SharedIncumbent};
 use crate::solver::weighted_value_order;
@@ -529,6 +529,30 @@ impl BranchAndBound {
             })
             .collect();
 
+        // Assigned-prefix adjacency: the static order means the assigned
+        // set at depth `d` is exactly `order[..d]`, so both the conflict
+        // probe and the gained-weight sum walk a precomputed filtered edge
+        // list.  Filtering preserves adjacency order — identical check
+        // counts and (for `gained`) the same float summation order, hence
+        // bit-identical totals — while the per-depth lists keep the dense
+        // row reads block-contiguous across the value loop.
+        let mut position = vec![0usize; network.variable_count()];
+        for (d, &v) in order.iter().enumerate() {
+            position[v.index()] = d;
+        }
+        let earlier: Vec<Vec<KernelEdge>> = order
+            .iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                kernel
+                    .edges(v)
+                    .iter()
+                    .filter(|e| position[e.other.index()] < d)
+                    .copied()
+                    .collect()
+            })
+            .collect();
+
         let ctx = BnbContext {
             weighted,
             kernel: &kernel,
@@ -537,6 +561,7 @@ impl BranchAndBound {
             limits,
             coop,
             order,
+            earlier,
             max_pair_weight,
         };
         self.recurse(
@@ -644,21 +669,38 @@ impl BranchAndBound {
         }
 
         let var = ctx.order[depth];
+        let earlier = &ctx.earlier[depth];
         for &value in &ctx.live[var.index()] {
             stats.nodes_visited += 1;
             stats.max_depth = stats.max_depth.max(depth + 1);
-            if ctx
-                .kernel
-                .conflicts_any(assignment, var, value, &mut stats.consistency_checks)
-            {
+            // Inline `conflicts_any` over the assigned-prefix edge list:
+            // one check per probed edge, early exit on the first conflict.
+            let mut conflict = false;
+            for edge in earlier {
+                if let Some(other_value) = assignment.get(edge.other) {
+                    stats.consistency_checks += 1;
+                    let c = ctx.kernel.constraint(edge.constraint);
+                    let allowed = if edge.var_is_first {
+                        c.allows(value, other_value)
+                    } else {
+                        c.allows(other_value, value)
+                    };
+                    if !allowed {
+                        conflict = true;
+                        break;
+                    }
+                }
+            }
+            if conflict {
                 continue;
             }
             // Weight gained: every constraint between var and an assigned
             // neighbour contributes the weight of the now-selected pair —
-            // one dense oriented read per edge (kernel adjacency is in a
-            // fixed order, so the floating-point sum is deterministic).
+            // one dense oriented read per edge (the filtered list keeps the
+            // kernel adjacency order, so the floating-point sum is
+            // deterministic).
             let mut gained = 0.0;
-            for edge in ctx.kernel.edges(var) {
+            for edge in earlier {
                 if let Some(other_value) = assignment.get(edge.other) {
                     gained += ctx.weights.constraint(edge.constraint).oriented(
                         edge.var_is_first,
@@ -696,6 +738,9 @@ struct BnbContext<'a, V> {
     limits: &'a SearchLimits,
     coop: &'a Coop<'a>,
     order: Vec<VarId>,
+    /// Per-depth assigned-prefix edge lists (`order`-filtered kernel
+    /// adjacency, same edge order).
+    earlier: Vec<Vec<KernelEdge>>,
     /// Optimistic per-constraint bound over live pairs.
     max_pair_weight: Vec<f64>,
 }

@@ -8,8 +8,10 @@
 //! deterministic: the same table and the same instance give the same pick
 //! regardless of worker counts, concurrency or the order in which other
 //! solves complete.  Rows recorded by live traffic accumulate in a side
-//! buffer and only influence picks after an explicit
-//! [`AdaptiveDispatch::absorb_recorded`] call.
+//! buffer and only influence picks after an
+//! [`AdaptiveDispatch::absorb_recorded`] call — explicit, or automatic at
+//! the deterministic completion points `ServiceConfig::absorb_every`
+//! configures.
 //!
 //! Tables persist as a small hand-rolled JSON document (the workspace
 //! vendors no serde); [`DispatchTable::seed`] loads the committed table
@@ -17,7 +19,7 @@
 
 use mlo_core::{InstanceFeatures, StrategyId};
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 
 /// One recorded solve: the instance's features, the strategy that ran and
 /// what happened.
@@ -241,7 +243,10 @@ fn strategy_rank(strategy: &StrategyId) -> usize {
 /// records into a side buffer that only affects picks once absorbed.
 #[derive(Debug)]
 pub struct AdaptiveDispatch {
-    table: DispatchTable,
+    /// Behind a read-write lock so absorption can run from a shared
+    /// reference (the service's automatic `absorb_every` hook); picks take
+    /// the uncontended read path.
+    table: RwLock<DispatchTable>,
     recorded: Mutex<Vec<DispatchRow>>,
     /// Strategy used when the reference table is empty.
     fallback: StrategyId,
@@ -251,7 +256,7 @@ impl AdaptiveDispatch {
     /// A dispatcher over the given reference table.
     pub fn new(table: DispatchTable) -> Self {
         AdaptiveDispatch {
-            table,
+            table: RwLock::new(table),
             recorded: Mutex::new(Vec::new()),
             fallback: StrategyId::Enhanced,
         }
@@ -269,15 +274,18 @@ impl AdaptiveDispatch {
         self
     }
 
-    /// The frozen reference table picks read.
-    pub fn table(&self) -> &DispatchTable {
-        &self.table
+    /// A snapshot of the reference table picks read (absorbed rows
+    /// included, side buffer excluded).
+    pub fn table(&self) -> DispatchTable {
+        self.table.read().expect("dispatch table poisoned").clone()
     }
 
     /// Picks a strategy for the given instance — deterministic for a fixed
     /// reference table.
     pub fn pick(&self, features: &InstanceFeatures) -> StrategyId {
         self.table
+            .read()
+            .expect("dispatch table poisoned")
             .pick(features)
             .unwrap_or_else(|| self.fallback.clone())
     }
@@ -299,23 +307,31 @@ impl AdaptiveDispatch {
             .len()
     }
 
-    /// Moves the side buffer into the reference table — the explicit,
-    /// caller-controlled point at which live traffic starts influencing
-    /// picks.
-    pub fn absorb_recorded(&mut self) -> usize {
+    /// Moves the side buffer into the reference table — the point at which
+    /// live traffic starts influencing picks.  Called explicitly by the
+    /// owner, or automatically by the service at the completion points
+    /// `ServiceConfig::absorb_every` configures.
+    pub fn absorb_recorded(&self) -> usize {
         let mut buffer = self
             .recorded
             .lock()
             .expect("dispatch recording buffer poisoned");
         let absorbed = buffer.len();
-        self.table.rows.append(&mut buffer);
+        self.table
+            .write()
+            .expect("dispatch table poisoned")
+            .rows
+            .append(&mut buffer);
         absorbed
     }
 
     /// Serializes the reference table (absorbed rows included, side buffer
     /// excluded).
     pub fn to_json(&self) -> String {
-        self.table.to_json()
+        self.table
+            .read()
+            .expect("dispatch table poisoned")
+            .to_json()
     }
 }
 
@@ -622,7 +638,7 @@ mod tests {
             mean_domain: 4.0,
             weight_skew: 1.5,
         };
-        let mut dispatch = AdaptiveDispatch::new(DispatchTable::from_rows(vec![row(
+        let dispatch = AdaptiveDispatch::new(DispatchTable::from_rows(vec![row(
             [7.0, 0.3, 4.0, 1.5],
             StrategyId::Base,
         )]));

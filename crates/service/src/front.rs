@@ -35,6 +35,7 @@ pub struct ServiceConfig {
     queue_limit: usize,
     default_tenant_budget: Option<usize>,
     tenant_budgets: HashMap<String, usize>,
+    absorb_every: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -43,12 +44,14 @@ impl Default for ServiceConfig {
             queue_limit: 64,
             default_tenant_budget: None,
             tenant_budgets: HashMap::new(),
+            absorb_every: None,
         }
     }
 }
 
 impl ServiceConfig {
-    /// The default policy: intake bounded at 64, no tenant budgets.
+    /// The default policy: intake bounded at 64, no tenant budgets, no
+    /// automatic dispatch absorption.
     pub fn new() -> Self {
         ServiceConfig::default()
     }
@@ -72,6 +75,22 @@ impl ServiceConfig {
     pub fn tenant_budget(mut self, tenant: impl Into<String>, limit: usize) -> Self {
         self.tenant_budgets.insert(tenant.into(), limit);
         self
+    }
+
+    /// Absorbs the attached dispatcher's side recording buffer
+    /// automatically after every `every` completed solves (default: off;
+    /// `0` also disables).  Absorption points are counted on the
+    /// *completion* counter, so with sequential submissions the table
+    /// grows at deterministic points — the Nth, 2Nth, … completions fold
+    /// everything recorded so far into the reference table.
+    pub fn absorb_every(mut self, every: u64) -> Self {
+        self.absorb_every = (every > 0).then_some(every);
+        self
+    }
+
+    /// The configured automatic-absorption period, when one is set.
+    pub fn absorb_every_value(&self) -> Option<u64> {
+        self.absorb_every
     }
 
     /// The configured intake bound (`0` = unbounded).
@@ -679,7 +698,14 @@ impl ServiceCore {
             }
         }
         self.depth.fetch_sub(1, Ordering::AcqRel);
-        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        let completed = self.counters.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        if let (Some(dispatch), Some(every)) = (&self.dispatch, self.config.absorb_every) {
+            // Deterministic absorb points: the Nth, 2Nth, … completions
+            // fold the side buffer into the reference table.
+            if completed.is_multiple_of(every) {
+                dispatch.absorb_recorded();
+            }
+        }
 
         job.slot.publish(outcome);
     }

@@ -395,6 +395,40 @@ fn completed_solves_record_dispatch_rows_and_adaptive_submission_serves() {
 }
 
 #[test]
+fn absorb_every_folds_the_side_buffer_at_deterministic_completion_points() {
+    // Sequential submissions give a deterministic completion order, so
+    // with `absorb_every(2)` the reference table must grow exactly at the
+    // 2nd and 4th completions and the side buffer must alternate 1/0.
+    let engine = Engine::builder().parallelism(2).build();
+    let service = MloService::new(engine.session(), ServiceConfig::new().absorb_every(2))
+        .with_dispatch(AdaptiveDispatch::new(DispatchTable::new()));
+    let program = Benchmark::MxM.program();
+    let request = OptimizeRequest::strategy("enhanced");
+    assert_eq!(service.dispatch().unwrap().table().len(), 0);
+
+    for completed in 1..=5usize {
+        let result = service.optimize(&program, &request);
+        assert!(result.as_ref().as_ref().is_ok(), "solve {completed} failed");
+        let dispatch = service.dispatch().unwrap();
+        let (buffered, absorbed) = if completed % 2 == 0 {
+            (0, completed)
+        } else {
+            (1, completed - 1)
+        };
+        assert_eq!(
+            dispatch.recorded_rows(),
+            buffered,
+            "side buffer after completion {completed}"
+        );
+        assert_eq!(
+            dispatch.table().len(),
+            absorbed,
+            "table rows after completion {completed}"
+        );
+    }
+}
+
+#[test]
 fn the_committed_seed_table_parses_and_picks_for_the_whole_corpus() {
     let table = DispatchTable::seed();
     assert!(
