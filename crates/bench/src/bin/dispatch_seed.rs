@@ -14,7 +14,7 @@
 
 use mlo_benchmarks::Benchmark;
 use mlo_core::{Engine, OptimizeRequest, StrategyId};
-use mlo_service::{DispatchRow, DispatchTable};
+use mlo_service::{BreakerMetadata, DispatchRow, DispatchTable};
 
 /// Strategies the replay races per instance.  Heuristic is excluded (it
 /// never proves anything, so "solved" would be vacuous) and the blocking
@@ -83,6 +83,11 @@ fn main() {
         eprintln!("{benchmark:?} -> {}", winner.strategy);
         table.push(winner);
     }
+
+    // Circuit-breaker metadata rides along with the table: default
+    // thresholds and zero recorded failures for every raced strategy.
+    // Picks never read it, so the committed rows stay byte-identical.
+    let table = table.with_breaker(BreakerMetadata::zeroed(CANDIDATES.iter().cloned()));
 
     std::fs::write(&out, table.to_json()).expect("seed table written");
     eprintln!("wrote {} rows to {out}", table.len());

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run -p mlo-bench --release --bin perf_gate -- \
-//!     [--threads N] [--out BENCH_8.json] [--baseline BENCH_7.json] \
+//!     [--threads N] [--out BENCH_9.json] [--baseline BENCH_8.json] \
 //!     [--min-speedup X] [--wall-margin 0.25] [--no-wall-gate]
 //! ```
 //!
@@ -68,7 +68,14 @@
 //! `Session::optimize` call at the same worker count (the gate fails
 //! otherwise).
 //!
-//! The harness emits `BENCH_8.json` (wall time, nodes explored, solution
+//! A ninth, `faults`, exercises the fault-injection resilience layer: the
+//! disarmed failpoint cost on the hot path, a single injected
+//! `engine.solve` panic that must recover through the service's
+//! retry/fallback ladder as a degraded report (`ladder_ok`), and an
+//! unbounded panic storm in which every waiter must still complete with a
+//! typed error (`no_hung_waiters`) — both booleans are hard gates.
+//!
+//! The harness emits `BENCH_9.json` (wall time, nodes explored, solution
 //! cost, speedup per entry) and **exits nonzero when any parallel run's
 //! solution cost differs from its single-thread baseline** — that cost
 //! parity is the determinism contract of `mlo_csp::solver::portfolio` and
@@ -229,8 +236,8 @@ struct Config {
 fn parse_args() -> Config {
     let mut config = Config {
         threads: 4,
-        out: "BENCH_8.json".to_string(),
-        baseline: Some("BENCH_7.json".to_string()),
+        out: "BENCH_9.json".to_string(),
+        baseline: Some("BENCH_8.json".to_string()),
         min_speedup: 0.0,
         wall_margin: 0.25,
         no_wall_gate: false,
@@ -1139,6 +1146,136 @@ fn print_service(service: &Option<ServiceGroup>) {
     );
 }
 
+/// Results of the `faults` group: the resilience layer exercised under
+/// scoped fault-injection plans (see `mlo_csp::fault`).
+struct FaultsGroup {
+    /// Disarmed `fail_point!` cost on the hot path, in nanoseconds per
+    /// hit — the zero-cost-when-disabled contract, trend-tracked.
+    disarmed_ns_per_hit: f64,
+    /// Wall clock of the single-fault ladder recovery below.
+    ladder_recovery_ms: f64,
+    /// The strategy that served the recovered request.
+    ladder_strategy: String,
+    /// One injected `engine.solve` panic: the ladder must recover with a
+    /// degraded report from a healthy fallback rung.
+    ladder_ok: bool,
+    /// Requests submitted into the unbounded-panic storm.
+    storm_requests: u64,
+    /// Strategy panics the resilience layer contained during the storm.
+    storm_panics: u64,
+    /// Every storm waiter completed with a typed outcome — no `wait()`
+    /// ever hung on a panicked solve.
+    no_hung_waiters: bool,
+}
+
+/// The resilience scenario: deterministic fault plans through the queued
+/// service.  One bounded `engine.solve` panic must recover through the
+/// retry/fallback ladder; an unbounded panic plan (every rung of every
+/// request dies) must still complete every waiter with a typed error.
+fn faults_group(threads: usize) -> FaultsGroup {
+    use mlo_csp::fault::{self, FaultPlan, FaultTrigger};
+
+    // Disarmed failpoint overhead: the macro must stay a single relaxed
+    // atomic load when no plan is armed (the propagation group's wall and
+    // bytes gates already prove the hot loop didn't regress; this number
+    // tracks the raw per-hit cost).
+    let _clean = fault::scoped(FaultPlan::new());
+    drop(_clean);
+    const HITS: u32 = 1_000_000;
+    let start = Instant::now();
+    for _ in 0..HITS {
+        std::hint::black_box(fault::hit(std::hint::black_box("perf.probe")));
+    }
+    let disarmed_ns_per_hit = start.elapsed().as_secs_f64() * 1e9 / f64::from(HITS);
+
+    // Ladder recovery: exactly one injected panic, then a healthy rung.
+    let program = Benchmark::MxM.program();
+    let (ladder_ok, ladder_strategy, ladder_recovery_ms) = {
+        let _plan =
+            fault::scoped(FaultPlan::new().with("engine.solve", FaultTrigger::panic().times(1)));
+        let engine = Engine::builder().parallelism(threads).build();
+        let service = MloService::new(engine.session(), ServiceConfig::new());
+        let start = Instant::now();
+        let outcome = service
+            .submit(&program, &OptimizeRequest::strategy("enhanced").seed(SEED))
+            .expect("unbounded admission")
+            .wait_timeout(std::time::Duration::from_secs(60));
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        match outcome.as_deref() {
+            Some(Ok(report)) => (
+                report.degraded && service.stats().panicked == 1,
+                report.strategy.clone(),
+                wall_ms,
+            ),
+            _ => (false, String::new(), wall_ms),
+        }
+    };
+
+    // Panic storm: every rung of every request panics; each waiter must
+    // still observe a typed error within the timeout.
+    const STORM: u64 = 8;
+    let (storm_panics, no_hung_waiters) = {
+        let _plan = fault::scoped(FaultPlan::new().with("engine.solve", FaultTrigger::panic()));
+        let engine = Engine::builder().parallelism(threads).build();
+        let service = MloService::new(engine.session(), ServiceConfig::new());
+        let handles: Vec<_> = (0..STORM)
+            .map(|seed| {
+                service
+                    .submit(
+                        &program,
+                        &OptimizeRequest::strategy("enhanced").seed(SEED ^ seed),
+                    )
+                    .expect("unbounded admission")
+            })
+            .collect();
+        let all_typed = handles.iter().all(|handle| {
+            matches!(
+                handle
+                    .wait_timeout(std::time::Duration::from_secs(60))
+                    .as_deref(),
+                Some(Err(_))
+            )
+        });
+        (service.stats().panicked, all_typed)
+    };
+
+    FaultsGroup {
+        disarmed_ns_per_hit,
+        ladder_recovery_ms,
+        ladder_strategy,
+        ladder_ok,
+        storm_requests: STORM,
+        storm_panics,
+        no_hung_waiters,
+    }
+}
+
+fn print_faults(faults: &Option<FaultsGroup>) {
+    let Some(f) = faults else { return };
+    println!("\nfaults — deterministic fault injection through the resilience layer");
+    println!(
+        "  disarmed failpoint: {:.1}ns/hit on the hot path",
+        f.disarmed_ns_per_hit
+    );
+    println!(
+        "  ladder: one injected engine.solve panic recovered by `{}` in {:.2}ms -> {}",
+        f.ladder_strategy,
+        f.ladder_recovery_ms,
+        if f.ladder_ok { "ok" } else { "VIOLATED" }
+    );
+    println!(
+        "  storm: {} requests under an unbounded panic plan, {} contained panics, \
+         hung waiters: {}",
+        f.storm_requests,
+        f.storm_panics,
+        if f.no_hung_waiters {
+            "none (ok)"
+        } else {
+            "SOME (VIOLATED)"
+        }
+    );
+}
+
 fn weighted_audit() -> WeightedAudit {
     let spec = RandomNetworkSpec {
         variables: 40,
@@ -1478,6 +1615,9 @@ fn main() -> ExitCode {
     // concurrent group has finished its solves.
     let audit = wanted("weighted").then(weighted_audit);
     let service = wanted("service").then(|| service_group(config.threads));
+    // Runs last: its scoped plans serialize on the fault registry's test
+    // lock and must not overlap the determinism-sensitive groups.
+    let faults = wanted("faults").then(|| faults_group(config.threads));
 
     print_group(
         "table2 — portfolio strategy (cost = layout quality score)",
@@ -1499,6 +1639,7 @@ fn main() -> ExitCode {
     print_propagation(&propagation);
     print_weighted(&weighted, &audit);
     print_service(&service);
+    print_faults(&faults);
 
     // The headline scaling metric: aggregate wall-clock speedup of the
     // work-stealing groups (UNSAT proofs + enumerations), the workloads a
@@ -1600,7 +1741,7 @@ fn main() -> ExitCode {
 
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"benchmark\": \"BENCH_8\",").unwrap();
+    writeln!(json, "  \"benchmark\": \"BENCH_9\",").unwrap();
     writeln!(json, "  \"harness\": \"perf_gate\",").unwrap();
     writeln!(json, "  \"threads\": {},", config.threads).unwrap();
     writeln!(json, "  \"cores\": {cores},").unwrap();
@@ -1808,6 +1949,27 @@ fn main() -> ExitCode {
         writeln!(json, "    \"determinism_ok\": {}", s.determinism_ok).unwrap();
         writeln!(json, "  }},").unwrap();
     }
+    if let Some(f) = &faults {
+        writeln!(json, "  \"faults\": {{").unwrap();
+        writeln!(
+            json,
+            "    \"disarmed_ns_per_hit\": {:.2},",
+            f.disarmed_ns_per_hit
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "    \"ladder_recovery_ms\": {:.3},",
+            f.ladder_recovery_ms
+        )
+        .unwrap();
+        writeln!(json, "    \"ladder_strategy\": \"{}\",", f.ladder_strategy).unwrap();
+        writeln!(json, "    \"ladder_ok\": {},", f.ladder_ok).unwrap();
+        writeln!(json, "    \"storm_requests\": {},", f.storm_requests).unwrap();
+        writeln!(json, "    \"storm_panics\": {},", f.storm_panics).unwrap();
+        writeln!(json, "    \"no_hung_waiters\": {}", f.no_hung_waiters).unwrap();
+        writeln!(json, "  }},").unwrap();
+    }
     if let Some((path, speedup, single_thread)) = &baseline_stats {
         match single_thread {
             Some(previous_ms) => writeln!(
@@ -1878,6 +2040,14 @@ fn main() -> ExitCode {
     if let Some(s) = &service {
         writeln!(json, "  \"service_ok\": {},", s.determinism_ok).unwrap();
     }
+    if let Some(f) = &faults {
+        writeln!(
+            json,
+            "  \"faults_ok\": {},",
+            f.ladder_ok && f.no_hung_waiters
+        )
+        .unwrap();
+    }
     writeln!(json, "  \"cost_parity\": {cost_parity}").unwrap();
     writeln!(json, "}}").unwrap();
     std::fs::write(&config.out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", config.out));
@@ -1935,6 +2105,20 @@ fn main() -> ExitCode {
         eprintln!(
             "perf_gate FAILED: a report served through the mlo-service queue \
              differed from the direct session call (see the service group above)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if faults.as_ref().is_some_and(|f| !f.ladder_ok) {
+        eprintln!(
+            "perf_gate FAILED: the retry/fallback ladder did not recover from a \
+             single injected engine.solve panic (see the faults group above)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if faults.as_ref().is_some_and(|f| !f.no_hung_waiters) {
+        eprintln!(
+            "perf_gate FAILED: a waiter hung (or saw a non-error) under the \
+             unbounded panic storm (see the faults group above)"
         );
         return ExitCode::FAILURE;
     }

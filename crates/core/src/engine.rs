@@ -29,7 +29,8 @@ use crate::request::{EvaluationOptions, OptimizeRequest, StrategyId};
 use crate::strategy::{LayoutStrategy, StrategyContext, StrategyOutcome, StrategyRegistry};
 use mlo_cachesim::{SimulationReport, Simulator};
 use mlo_csp::{
-    CancelToken, IncumbentObserver, SearchLimits, SearchStats, WeightedNetwork, WorkerPool,
+    lock_or_recover, CancelToken, IncumbentObserver, SearchLimits, SearchStats, WeightedNetwork,
+    WorkerPool,
 };
 use mlo_ir::Program;
 use mlo_layout::{
@@ -214,7 +215,7 @@ impl PreparedProgram {
             self.network(program),
             options,
         ));
-        let mut cache = self.weighted.lock().expect("weighted cache poisoned");
+        let mut cache = lock_or_recover(&self.weighted);
         if let Some(existing) = Self::promote(&mut cache, options) {
             return existing;
         }
@@ -240,10 +241,7 @@ impl PreparedProgram {
 
     /// Cache lookup with LRU promotion (most recent at the front).
     fn weighted_hit(&self, options: &WeightOptions) -> Option<Arc<WeightedNetwork<Layout>>> {
-        Self::promote(
-            &mut self.weighted.lock().expect("weighted cache poisoned"),
-            options,
-        )
+        Self::promote(&mut lock_or_recover(&self.weighted), options)
     }
 
     /// The one copy of the LRU discipline: finds `options`, moves its
@@ -301,7 +299,7 @@ impl PreparedProgram {
 
     /// Number of weighted networks currently cached.
     pub fn weighted_cached(&self) -> usize {
-        self.weighted.lock().expect("weighted cache poisoned").len()
+        lock_or_recover(&self.weighted).len()
     }
 
     /// Whether the network has been built yet.
@@ -332,6 +330,12 @@ pub struct OptimizeReport {
     pub network: Option<NetworkSummary>,
     /// Cache-simulation results, when the request asked for evaluation.
     pub evaluation: Option<SimulationReport>,
+    /// Whether the report was served by a *different* strategy than the
+    /// request asked for, because the requested one faulted (panicked or
+    /// kept failing) and a resilience ladder re-dispatched the work.
+    /// Always `false` for reports produced by direct engine calls; the
+    /// service front-end sets it when its retry/fallback ladder descends.
+    pub degraded: bool,
 }
 
 impl OptimizeReport {
@@ -532,11 +536,7 @@ impl Session {
     /// Number of distinct (program, candidate-options) pairs prepared so
     /// far.
     pub fn prepared_programs(&self) -> usize {
-        self.inner
-            .prepared
-            .lock()
-            .expect("session cache poisoned")
-            .len()
+        lock_or_recover(&self.inner.prepared).len()
     }
 
     /// The prepared (cached) state of a program under the given candidate
@@ -595,7 +595,7 @@ impl SessionInner {
 
     fn prepared(&self, program: &Program, options: &CandidateOptions) -> Arc<PreparedProgram> {
         let key = program_key(program, options);
-        let mut cache = self.prepared.lock().expect("session cache poisoned");
+        let mut cache = lock_or_recover(&self.prepared);
         cache
             .entry(key)
             .or_insert_with(|| {
@@ -651,6 +651,12 @@ impl SessionInner {
         request: &OptimizeRequest,
         hooks: &SolveHooks,
     ) -> Result<OptimizeReport, OptimizeError> {
+        mlo_csp::fail_point!("engine.solve", |fault: mlo_csp::FaultError| {
+            Err(OptimizeError::Strategy {
+                strategy: request.strategy.to_string(),
+                message: fault.to_string(),
+            })
+        });
         let strategy = self
             .engine
             .registry
@@ -691,6 +697,7 @@ impl SessionInner {
                 fallback: Fallback::None,
                 network: network_summary,
                 evaluation: None,
+                degraded: false,
             },
             StrategyOutcome::Unsatisfiable { stats } => {
                 if !request.allows_fallback(FallbackReason::Unsatisfiable) {
@@ -708,6 +715,7 @@ impl SessionInner {
                     fallback: Fallback::Heuristic(FallbackReason::Unsatisfiable),
                     network: network_summary,
                     evaluation: None,
+                    degraded: false,
                 }
             }
             StrategyOutcome::Exhausted { reason, stats } => {
@@ -727,6 +735,7 @@ impl SessionInner {
                     fallback: Fallback::Heuristic(reason),
                     network: network_summary,
                     evaluation: None,
+                    degraded: false,
                 }
             }
         };
@@ -823,7 +832,20 @@ impl Session {
             let tx = tx.clone();
             let worker_pool = Arc::clone(&pool);
             pool.execute(move || {
-                let result = inner.solve_request(&program, &request, &SolveHooks::default());
+                // Contain strategy panics right here, where the job context
+                // (index + strategy) is still known: the collector then
+                // receives a typed error instead of observing a dropped
+                // sender and guessing which job died.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    inner.solve_request(&program, &request, &SolveHooks::default())
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(OptimizeError::StrategyPanicked {
+                        strategy: request.strategy.to_string(),
+                        message: mlo_csp::fault::panic_message(&*payload),
+                        failpoint: mlo_csp::fault::take_last_triggered(),
+                    })
+                });
                 // Successful solves with an evaluation request submit the
                 // simulation as its own pool job before reporting, keeping
                 // the channel's sender count equal to the number of live
@@ -838,8 +860,16 @@ impl Session {
                     let eval_program = Arc::clone(&program);
                     evaluation_spawned = true;
                     worker_pool.execute(move || {
-                        let result =
-                            eval_inner.evaluate(&eval_program, &assignment, &strategy, &options);
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            eval_inner.evaluate(&eval_program, &assignment, &strategy, &options)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            Err(OptimizeError::StrategyPanicked {
+                                strategy: strategy.clone(),
+                                message: mlo_csp::fault::panic_message(&*payload),
+                                failpoint: mlo_csp::fault::take_last_triggered(),
+                            })
+                        });
                         // A dropped receiver means the batch was abandoned.
                         let _ = eval_tx.send(BatchMessage::Evaluated { index, result });
                     });
@@ -891,11 +921,17 @@ impl Session {
             .zip(evaluations)
             .enumerate()
             .map(|(index, (slot, evaluation))| {
-                // A missing slot means that job's worker died without
-                // reporting — i.e. the strategy panicked (the pool isolates
-                // the panic; the dropped channel is how it surfaces here).
+                // A missing slot means that job's worker died without even
+                // reaching the in-job containment above (it should be
+                // unreachable) — degrade to a typed error rather than
+                // panicking in the collector, which would poison the whole
+                // batch for one lost job.
                 let result = slot.unwrap_or_else(|| {
-                    panic!("batch job {index} panicked before reporting a result")
+                    Err(OptimizeError::StrategyPanicked {
+                        strategy: jobs[index].1.strategy.to_string(),
+                        message: format!("batch job {index} died before reporting a result"),
+                        failpoint: None,
+                    })
                 });
                 match (result, evaluation) {
                     (Ok(mut report), Some(Ok(simulation))) => {
@@ -905,7 +941,13 @@ impl Session {
                     (Ok(report), None) => {
                         if jobs[index].1.evaluation.is_some() {
                             // The evaluation job died without reporting.
-                            panic!("batch evaluation {index} panicked before reporting a result");
+                            return Err(OptimizeError::StrategyPanicked {
+                                strategy: report.strategy,
+                                message: format!(
+                                    "batch evaluation {index} died before reporting a result"
+                                ),
+                                failpoint: None,
+                            });
                         }
                         Ok(report)
                     }
@@ -1569,6 +1611,50 @@ mod tests {
             assignment_score(&program, &report.assignment),
             ideal_score(&program)
         );
+    }
+
+    #[test]
+    fn batch_contains_a_panicking_strategy_as_a_typed_error() {
+        #[derive(Debug)]
+        struct PanickingStrategy;
+        impl LayoutStrategy for PanickingStrategy {
+            fn name(&self) -> &str {
+                "panicker"
+            }
+            fn determine(
+                &self,
+                _ctx: &StrategyContext<'_>,
+            ) -> Result<StrategyOutcome, OptimizeError> {
+                panic!("panicker always explodes");
+            }
+        }
+        let engine = Engine::builder()
+            .parallelism(2)
+            .strategy(Arc::new(PanickingStrategy))
+            .build();
+        let session = engine.session();
+        let program = Benchmark::MedIm04.program();
+        let jobs: Vec<(&Program, OptimizeRequest)> = vec![
+            (&program, OptimizeRequest::strategy("heuristic")),
+            (&program, OptimizeRequest::strategy("panicker")),
+            (&program, OptimizeRequest::strategy("heuristic")),
+        ];
+        let results = session.optimize_many(&jobs);
+        assert!(results[0].is_ok(), "healthy jobs are unaffected");
+        assert!(results[2].is_ok(), "healthy jobs are unaffected");
+        match &results[1] {
+            Err(OptimizeError::StrategyPanicked {
+                strategy, message, ..
+            }) => {
+                assert_eq!(strategy, "panicker");
+                assert!(message.contains("explodes"));
+            }
+            other => panic!("expected StrategyPanicked, got {other:?}"),
+        }
+        // The session pool survived: a follow-up request still works.
+        assert!(session
+            .optimize(&program, &OptimizeRequest::strategy("heuristic"))
+            .is_ok());
     }
 
     #[test]

@@ -122,6 +122,19 @@ pub enum OptimizeError {
         /// What went wrong.
         message: String,
     },
+    /// The strategy panicked mid-solve.  The panic was contained by the
+    /// worker pool (see [`mlo_csp::solver::WorkerPool`]): the pool stays
+    /// usable and every waiter on the request observes this error instead
+    /// of blocking forever.
+    StrategyPanicked {
+        /// The strategy that panicked.
+        strategy: String,
+        /// The captured panic payload rendered as text.
+        message: String,
+        /// The fault-injection site that triggered the panic, when the
+        /// panic came from an armed failpoint (see [`mlo_csp::fault`]).
+        failpoint: Option<String>,
+    },
 }
 
 impl OptimizeError {
@@ -132,7 +145,8 @@ impl OptimizeError {
             OptimizeError::Unsatisfiable { strategy, .. }
             | OptimizeError::BudgetExhausted { strategy, .. }
             | OptimizeError::Evaluation { strategy, .. }
-            | OptimizeError::Strategy { strategy, .. } => Some(strategy),
+            | OptimizeError::Strategy { strategy, .. }
+            | OptimizeError::StrategyPanicked { strategy, .. } => Some(strategy),
         }
     }
 }
@@ -160,6 +174,17 @@ impl fmt::Display for OptimizeError {
             }
             OptimizeError::Strategy { strategy, message } => {
                 write!(f, "{strategy}: {message}")
+            }
+            OptimizeError::StrategyPanicked {
+                strategy,
+                message,
+                failpoint,
+            } => {
+                write!(f, "{strategy}: strategy panicked: {message}")?;
+                if let Some(site) = failpoint {
+                    write!(f, " (injected at failpoint `{site}`)")?;
+                }
+                Ok(())
             }
         }
     }
@@ -198,6 +223,15 @@ mod tests {
         };
         assert!(e.to_string().contains("node budget"));
         assert_eq!(e.strategy(), Some("base"));
+
+        let e = OptimizeError::StrategyPanicked {
+            strategy: "enhanced".into(),
+            message: "index out of bounds".into(),
+            failpoint: Some("engine.solve".into()),
+        };
+        assert!(e.to_string().contains("panicked"));
+        assert!(e.to_string().contains("engine.solve"));
+        assert_eq!(e.strategy(), Some("enhanced"));
     }
 
     #[test]

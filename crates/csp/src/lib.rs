@@ -75,10 +75,12 @@ pub mod assignment;
 pub mod bitset;
 pub mod constraint;
 pub mod domain;
+pub mod fault;
 pub mod network;
 pub mod random;
 pub mod simd;
 pub mod solver;
+pub mod sync;
 pub mod weighted;
 
 pub use analysis::NetworkProfile;
@@ -89,14 +91,16 @@ pub use bitset::{
 };
 pub use constraint::BinaryConstraint;
 pub use domain::Domain;
+pub use fault::{FaultAction, FaultError, FaultPlan, FaultTrigger};
 pub use network::{ConstraintNetwork, NetworkStorage, VarId};
 pub use solver::portfolio::{ParallelBranchAndBound, WeightedPortfolioReport};
 pub use solver::{
-    CancelToken, Enumerator, IncumbentObserver, MinConflicts, NetworkSearch,
+    CancelToken, Enumerator, IncumbentObserver, JobPanic, MinConflicts, NetworkSearch,
     ParallelPortfolioSearch, PortfolioMember, PortfolioReport, Scheme, SearchEngine, SearchLimits,
     SearchStats, SharedIncumbent, SolveResult, StealCountReport, StealOptimizeReport, StealReport,
     StealScheduler, StealSolveReport, ValueOrdering, VariableOrdering, WorkerPool,
 };
+pub use sync::{lock_or_recover, read_or_recover, write_or_recover};
 pub use weighted::{BnbOrder, BranchAndBound, Coop, WeightedNetwork};
 
 use std::fmt;

@@ -99,6 +99,7 @@ fn revise(
     ci: usize,
     stats: &mut SearchStats,
 ) -> bool {
+    crate::fail_point!("ac3.revise");
     let constraint = kernel.constraint(ci);
     let x_is_first = constraint.first() == x;
     let y_count = live.count(y);

@@ -39,6 +39,7 @@ pub(super) fn run<V: Value>(
     limits: &SearchLimits,
     cancel: Option<&CancelToken>,
 ) -> SolveResult<V> {
+    crate::fail_point!("search.run");
     let start = Instant::now();
     let mut stats = SearchStats::default();
     let mut hit_limit = false;

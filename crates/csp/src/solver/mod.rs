@@ -29,7 +29,7 @@ pub use ordering::{
     best_live_weight, order_values, select_variable, weighted_value_order, ValueOrdering,
     VariableOrdering,
 };
-pub use pool::WorkerPool;
+pub use pool::{JobPanic, WorkerPool};
 pub use portfolio::{
     CancelToken, IncumbentObserver, ParallelPortfolioSearch, PortfolioMember, PortfolioReport,
     SharedIncumbent,

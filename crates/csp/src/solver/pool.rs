@@ -6,7 +6,7 @@
 //! substrate: a fixed set of worker threads draining one injector channel of
 //! boxed jobs.
 //!
-//! Two properties matter for the callers in this workspace:
+//! Three properties matter for the callers in this workspace:
 //!
 //! * **Nested submission must not deadlock.**  A batch job running *on* a
 //!   pool worker may itself submit portfolio-member jobs to the same pool
@@ -14,20 +14,70 @@
 //!   waiting they call [`WorkerPool::help_run_one`], which pops and runs a
 //!   pending job inline instead of sleeping, so the queue always drains even
 //!   when every worker is parked on a nested wait.
+//! * **Panics are contained *and observable*.**  A panicking job must not
+//!   kill its worker (that would permanently shrink the pool) — but it also
+//!   must not vanish silently, leaving whoever waits on the job's result
+//!   blocked forever.  Jobs submitted via [`WorkerPool::execute_observed`]
+//!   carry an `on_panic` observer that receives the captured payload and the
+//!   triggering failpoint as a typed [`JobPanic`], so the submitter can
+//!   publish a failure result instead of hanging.
 //! * **Shutdown joins.**  Dropping the pool closes the injector and joins
 //!   every worker, so tests can assert that no threads leak.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, TryLockError};
 use std::thread::JoinHandle;
 
-/// A unit of work executed by the pool.
-type Job = Box<dyn FnOnce() + Send + 'static>;
+use crate::sync::lock_or_recover;
+
+/// What the pool captured from a job that panicked.
+///
+/// Delivered to the `on_panic` observer of
+/// [`WorkerPool::execute_observed`]; plain [`WorkerPool::execute`] jobs are
+/// still contained but report to nobody.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic payload rendered as text (`&str`/`String` payloads
+    /// verbatim).
+    pub message: String,
+    /// The failpoint whose trigger caused the panic, when fault injection
+    /// was responsible (see [`crate::fault`]).
+    pub failpoint: Option<String>,
+}
+
+/// A unit of work executed by the pool: the job body plus an optional
+/// panic observer.
+struct Job {
+    run: Box<dyn FnOnce() + Send + 'static>,
+    on_panic: Option<Box<dyn FnOnce(JobPanic) + Send + 'static>>,
+}
+
+/// Runs one job with panic containment, routing any captured panic to the
+/// job's observer.  Shared by the worker loop and [`WorkerPool::help_run_one`]
+/// so both execution paths have identical failure semantics.
+fn run_job(job: Job) {
+    let Job { run, on_panic } = job;
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::fail_point!("pool.job");
+        run();
+    }));
+    if let Err(payload) = outcome {
+        let panic = JobPanic {
+            message: crate::fault::panic_message(&*payload),
+            failpoint: crate::fault::take_last_triggered(),
+        };
+        if let Some(observer) = on_panic {
+            // The observer runs on the worker too, so it gets the same
+            // containment: a buggy observer must not shrink the pool.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| observer(panic)));
+        }
+    }
+}
 
 /// A fixed-size worker-thread pool over a single injector channel.
 ///
 /// Cheap to share via [`Arc`]; see the [module documentation](self) for the
-/// deadlock-freedom contract.
+/// deadlock-freedom and panic-containment contracts.
 #[derive(Debug)]
 pub struct WorkerPool {
     injector: Mutex<Option<Sender<Job>>>,
@@ -50,18 +100,9 @@ impl WorkerPool {
                     .spawn(move || loop {
                         // Hold the queue lock only while popping, never
                         // while running a job.
-                        let job = match queue.lock() {
-                            Ok(receiver) => receiver.recv(),
-                            Err(_) => break,
-                        };
+                        let job = lock_or_recover(&queue).recv();
                         match job {
-                            // A panicking job must not kill the worker —
-                            // that would permanently shrink the pool.  The
-                            // job's result channel closes with it, which is
-                            // how submitters observe the failure.
-                            Ok(job) => {
-                                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-                            }
+                            Ok(job) => run_job(job),
                             Err(_) => break, // injector closed: shut down
                         }
                     })
@@ -93,16 +134,46 @@ impl WorkerPool {
 
     /// Submits a job for execution on some worker.
     ///
+    /// A panic in the job is contained (the worker survives) but reported
+    /// to nobody; submitters whose waiters depend on the job completing
+    /// should use [`WorkerPool::execute_observed`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if the pool is shutting down (only possible during `Drop`).
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        self.injector
-            .lock()
-            .expect("pool injector poisoned")
+        self.submit(Job {
+            run: Box::new(job),
+            on_panic: None,
+        });
+    }
+
+    /// Submits a job plus a panic observer: if the job panics, the pool
+    /// captures the payload (and the triggering failpoint, when fault
+    /// injection is active) into a [`JobPanic`] and invokes `on_panic` with
+    /// it on the same worker.  Exactly one of `job` completing normally or
+    /// `on_panic` running is guaranteed, so the submitter can always fill
+    /// its result slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is shutting down (only possible during `Drop`).
+    pub fn execute_observed(
+        &self,
+        job: impl FnOnce() + Send + 'static,
+        on_panic: impl FnOnce(JobPanic) + Send + 'static,
+    ) {
+        self.submit(Job {
+            run: Box::new(job),
+            on_panic: Some(Box::new(on_panic)),
+        });
+    }
+
+    fn submit(&self, job: Job) {
+        lock_or_recover(&self.injector)
             .as_ref()
             .expect("pool is shutting down")
-            .send(Box::new(job))
+            .send(job)
             .expect("pool workers outlive the injector");
     }
 
@@ -121,14 +192,16 @@ impl WorkerPool {
     pub fn help_run_one(&self) -> bool {
         let job = match self.queue.try_lock() {
             Ok(receiver) => receiver.try_recv().ok(),
-            Err(_) => None,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner().try_recv().ok(),
+            Err(TryLockError::WouldBlock) => None,
         };
         match job {
             Some(job) => {
-                // Same panic isolation as the worker loop: the popped job
+                // Same panic containment as the worker loop: the popped job
                 // may belong to an unrelated request, whose failure must
-                // not unwind into the helping waiter.
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                // not unwind into the helping waiter — but its observer
+                // still fires, so that request's waiters see the outcome.
+                run_job(job);
                 true
             }
             None => false,
@@ -140,8 +213,8 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Closing the injector makes every worker's `recv` fail once the
         // queue drains; joining then guarantees no leaked threads.
-        drop(self.injector.lock().expect("pool injector poisoned").take());
-        let workers = std::mem::take(&mut *self.workers.lock().expect("pool workers poisoned"));
+        drop(lock_or_recover(&self.injector).take());
+        let workers = std::mem::take(&mut *lock_or_recover(&self.workers));
         for worker in workers {
             let _ = worker.join();
         }
@@ -210,5 +283,76 @@ mod tests {
             outer_tx.send(value + 1).unwrap();
         });
         assert_eq!(outer_rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn panicking_observed_job_reports_and_pool_stays_usable() {
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = channel();
+        pool.execute_observed(
+            || panic!("strategy exploded"),
+            move |panic| tx.send(panic).unwrap(),
+        );
+        let panic = rx.recv().unwrap();
+        assert_eq!(panic.message, "strategy exploded");
+        assert_eq!(panic.failpoint, None);
+        // The single worker survived the panic and still runs jobs.
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(99u32).unwrap());
+        assert_eq!(rx.recv().unwrap(), 99);
+    }
+
+    #[test]
+    fn successful_observed_job_never_calls_the_observer() {
+        let pool = WorkerPool::new(1);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let observer_fired = Arc::clone(&fired);
+        let (tx, rx) = channel();
+        pool.execute_observed(
+            move || tx.send(1u32).unwrap(),
+            move |_| {
+                observer_fired.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert_eq!(rx.recv().unwrap(), 1);
+        drop(pool); // join workers so a stray observer would have run
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn help_run_one_delivers_panics_to_the_observer() {
+        // Park the only worker so the panicking job stays queued, then help.
+        let pool = Arc::new(WorkerPool::new(1));
+        let (park_tx, park_rx) = channel::<()>();
+        pool.execute(move || {
+            park_rx.recv().ok();
+        });
+        // Give the worker a moment to claim the parking job.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let (tx, rx) = channel();
+        pool.execute_observed(
+            || panic!("helped job exploded"),
+            move |panic| tx.send(panic).unwrap(),
+        );
+        while !pool.help_run_one() {
+            std::thread::yield_now();
+        }
+        let panic = rx.recv().unwrap();
+        assert_eq!(panic.message, "helped job exploded");
+        park_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn injected_pool_panics_record_the_failpoint() {
+        let _plan = crate::fault::scoped(
+            crate::fault::FaultPlan::new()
+                .with("pool.job", crate::fault::FaultTrigger::panic().times(1)),
+        );
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = channel();
+        pool.execute_observed(|| {}, move |panic| tx.send(panic).unwrap());
+        let panic = rx.recv().unwrap();
+        assert_eq!(panic.failpoint.as_deref(), Some("pool.job"));
+        assert!(panic.message.contains("pool.job"));
     }
 }

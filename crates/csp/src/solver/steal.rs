@@ -640,15 +640,12 @@ impl StealScheduler {
         let root_var = space.order[0];
         shared.outstanding.store(1, Ordering::SeqCst);
         shared.frames.store(1, Ordering::Relaxed);
-        shared.deques[0]
-            .lock()
-            .expect("scheduler deque poisoned")
-            .push_back(Frame {
-                trail: Vec::new(),
-                lo: 0,
-                hi: space.live[root_var.index()].len(),
-                donor: 0,
-            });
+        crate::sync::lock_or_recover(&shared.deques[0]).push_back(Frame {
+            trail: Vec::new(),
+            lo: 0,
+            hi: space.live[root_var.index()].len(),
+            donor: 0,
+        });
 
         let space = Arc::new(space);
         let (tx, rx) = channel::<WorkerOutcome>();
@@ -693,7 +690,7 @@ impl StealScheduler {
             }
         }
 
-        let best = shared.best.lock().expect("scheduler best poisoned").take();
+        let best = crate::sync::lock_or_recover(&shared.best).take();
         RunOutput {
             telemetry: StealReport {
                 workers,
@@ -737,6 +734,7 @@ enum Prepared<V: Value> {
 
 /// The main worker loop: explore frames until no frame is live anywhere.
 fn worker_run<V: Value>(space: &Space<V>, shared: &Shared, id: usize) -> WorkerOutcome {
+    crate::fail_point!("steal.worker");
     let mut w = Worker {
         id,
         stats: SearchStats::default(),
@@ -782,18 +780,23 @@ fn worker_run<V: Value>(space: &Space<V>, shared: &Shared, id: usize) -> WorkerO
 /// Pops the next frame: own deque from the back (deepest, cache-warm),
 /// then victims' deques from the front (shallowest shard = biggest steal).
 fn take_frame<V: Value>(space: &Space<V>, shared: &Shared, w: &mut Worker) -> Option<Frame> {
-    let mut frame = shared.deques[w.id]
-        .lock()
-        .expect("scheduler deque poisoned")
-        .pop_back();
+    let mut frame = crate::sync::lock_or_recover(&shared.deques[w.id]).pop_back();
     if frame.is_none() {
         for k in 1..space.workers {
             let victim = (w.id + k) % space.workers;
-            if let Ok(mut deque) = shared.deques[victim].try_lock() {
-                if let Some(stolen) = deque.pop_front() {
-                    frame = Some(stolen);
-                    break;
+            // A poisoned victim deque still holds frames that must drain
+            // (losing them would wedge the outstanding counter), so recover
+            // the guard instead of skipping the victim.
+            let stolen = match shared.deques[victim].try_lock() {
+                Ok(mut deque) => deque.pop_front(),
+                Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                    poisoned.into_inner().pop_front()
                 }
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            };
+            if let Some(stolen) = stolen {
+                frame = Some(stolen);
+                break;
             }
         }
     }
@@ -1031,10 +1034,7 @@ fn beaten_by_best<V: Value>(
     let epoch = shared.best_epoch.load(Ordering::Acquire);
     if epoch != w.cached_epoch {
         w.cached_epoch = epoch;
-        w.cached_key = shared
-            .best
-            .lock()
-            .expect("scheduler best poisoned")
+        w.cached_key = crate::sync::lock_or_recover(&shared.best)
             .as_ref()
             .map(|best| best.key.clone());
     }
@@ -1064,7 +1064,7 @@ fn on_complete<V: Value>(space: &Space<V>, shared: &Shared, w: &mut Worker) {
         ModeKind::Count => w.solutions += 1,
         ModeKind::Satisfy => {
             let key = key_of(space, &w.assignment);
-            let mut best = shared.best.lock().expect("scheduler best poisoned");
+            let mut best = crate::sync::lock_or_recover(&shared.best);
             let replace = match best.as_ref() {
                 None => true,
                 Some(current) => key < current.key,
@@ -1088,7 +1088,7 @@ fn on_complete<V: Value>(space: &Space<V>, shared: &Shared, w: &mut Worker) {
                 return; // strictly worse than the incumbent: not even a tie
             }
             let key = key_of(space, &w.assignment);
-            let mut best = shared.best.lock().expect("scheduler best poisoned");
+            let mut best = crate::sync::lock_or_recover(&shared.best);
             let replace = match best.as_ref() {
                 None => true,
                 Some(current) => {

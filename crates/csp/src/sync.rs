@@ -1,0 +1,57 @@
+//! Poison-recovering lock helpers.
+//!
+//! A `Mutex`/`RwLock` is poisoned when a panic unwinds while the guard is
+//! held.  Every shared structure in this workspace is either
+//! immutable-after-init (dispatch tables, plans) or re-validated by its
+//! consumer (queues drain defensively, best-incumbent merges re-compare),
+//! so recovering the guard is always safe — whereas propagating the poison
+//! with `.expect("poisoned")` escalates one contained strategy panic into
+//! a whole-process abort.  All lock acquisitions in csp and service go
+//! through these helpers.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+pub fn lock_or_recover<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks `lock`, recovering the guard if a previous writer panicked.
+pub fn read_or_recover<T: ?Sized>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks `lock`, recovering the guard if a previous holder panicked.
+pub fn write_or_recover<T: ?Sized>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn poisoned_locks_recover_with_their_data() {
+        let shared = Arc::new(Mutex::new(7));
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(shared.is_poisoned());
+        assert_eq!(*lock_or_recover(&shared), 7);
+
+        let rw = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let poisoner = Arc::clone(&rw);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.write().unwrap();
+            panic!("poison the rwlock");
+        })
+        .join();
+        assert_eq!(read_or_recover(&rw).len(), 3);
+        write_or_recover(&rw).push(4);
+        assert_eq!(read_or_recover(&rw).len(), 4);
+    }
+}

@@ -18,8 +18,74 @@
 //! replayed from the perf-gate bench corpus.
 
 use mlo_core::{InstanceFeatures, StrategyId};
+use mlo_csp::{lock_or_recover, read_or_recover, write_or_recover};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Mutex, RwLock};
+
+/// Thresholds of the per-strategy circuit breakers (see
+/// [`AdaptiveDispatch::breaker_allows`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive faults that open a strategy's breaker.
+    pub threshold: u32,
+    /// Denied dispatches an open breaker absorbs before letting one
+    /// half-open probe through.  Counting *denials* instead of wall-clock
+    /// time keeps the state machine deterministic under test.
+    pub cooldown: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: 8,
+        }
+    }
+}
+
+/// The deterministic per-strategy circuit-breaker state machine.
+///
+/// `Closed -(threshold consecutive faults)-> Open -(cooldown denials)->
+/// HalfOpen -(probe success)-> Closed | -(probe fault)-> Open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Dispatches flow; `failures` consecutive faults recorded so far.
+    Closed {
+        /// Consecutive faults since the last success.
+        failures: u32,
+    },
+    /// Dispatches are denied; `denials` of them absorbed so far.
+    Open {
+        /// Denials since the breaker opened.
+        denials: u32,
+    },
+    /// One probe dispatch is in flight; everything else is denied until
+    /// the probe reports.
+    HalfOpen,
+}
+
+/// Breaker bookkeeping persisted alongside a dispatch table: thresholds
+/// plus per-strategy consecutive-failure counts (all zero in the committed
+/// seed).  Never consulted by [`DispatchTable::pick`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerMetadata {
+    /// The thresholds breakers start from.
+    pub config: BreakerConfig,
+    /// Initial consecutive-failure count per strategy, in table order.
+    pub failures: Vec<(StrategyId, u32)>,
+}
+
+impl BreakerMetadata {
+    /// Metadata with default thresholds and a zero failure count for every
+    /// strategy named by `strategies` (the committed-seed shape).
+    pub fn zeroed(strategies: impl IntoIterator<Item = StrategyId>) -> Self {
+        BreakerMetadata {
+            config: BreakerConfig::default(),
+            failures: strategies.into_iter().map(|id| (id, 0)).collect(),
+        }
+    }
+}
 
 /// One recorded solve: the instance's features, the strategy that ran and
 /// what happened.
@@ -39,6 +105,9 @@ pub struct DispatchRow {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DispatchTable {
     rows: Vec<DispatchRow>,
+    /// Optional persisted circuit-breaker bookkeeping.  Picks never read
+    /// it; [`AdaptiveDispatch::new`] seeds its breakers from it.
+    breaker: Option<BreakerMetadata>,
 }
 
 /// Why a persisted dispatch table failed to parse.
@@ -61,7 +130,22 @@ impl DispatchTable {
 
     /// A table over the given rows.
     pub fn from_rows(rows: Vec<DispatchRow>) -> Self {
-        DispatchTable { rows }
+        DispatchTable {
+            rows,
+            breaker: None,
+        }
+    }
+
+    /// Attaches persisted breaker metadata (thresholds + initial failure
+    /// counts) to the table.  Picks are unaffected.
+    pub fn with_breaker(mut self, metadata: BreakerMetadata) -> Self {
+        self.breaker = Some(metadata);
+        self
+    }
+
+    /// The persisted breaker metadata, when the table carries any.
+    pub fn breaker(&self) -> Option<&BreakerMetadata> {
+        self.breaker.as_ref()
     }
 
     /// The committed seed table, replayed from the perf-gate bench corpus
@@ -150,7 +234,26 @@ impl DispatchTable {
             }
             out.push('\n');
         }
-        out.push_str("  ]\n}\n");
+        match &self.breaker {
+            None => out.push_str("  ]\n}\n"),
+            Some(metadata) => {
+                out.push_str("  ],\n  \"breaker\": {\"threshold\": ");
+                out.push_str(&metadata.config.threshold.to_string());
+                out.push_str(", \"cooldown\": ");
+                out.push_str(&metadata.config.cooldown.to_string());
+                out.push_str(", \"failures\": {");
+                for (index, (strategy, count)) in metadata.failures.iter().enumerate() {
+                    if index > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push('"');
+                    out.push_str(strategy.as_str());
+                    out.push_str("\": ");
+                    out.push_str(&count.to_string());
+                }
+                out.push_str("}}\n}\n");
+            }
+        }
         out
     }
 
@@ -170,8 +273,43 @@ impl DispatchTable {
                     .map_err(|message| DispatchParseError(format!("row {index}: {message}")))?,
             );
         }
-        Ok(DispatchTable { rows })
+        let breaker = value.get("breaker").map(parse_breaker).transpose()?;
+        Ok(DispatchTable { rows, breaker })
     }
+}
+
+fn parse_breaker(entry: &json::Value) -> Result<BreakerMetadata, DispatchParseError> {
+    let int_field = |key: &str| {
+        entry
+            .get(key)
+            .and_then(json::Value::as_f64)
+            .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+            .map(|v| v as u32)
+            .ok_or_else(|| DispatchParseError(format!("breaker: missing \"{key}\" count")))
+    };
+    let config = BreakerConfig {
+        threshold: int_field("threshold")?,
+        cooldown: int_field("cooldown")?,
+    };
+    let failures_value = entry
+        .get("failures")
+        .ok_or_else(|| DispatchParseError("breaker: missing \"failures\"".to_string()))?;
+    let json::Value::Obj(fields) = failures_value else {
+        return Err(DispatchParseError(
+            "breaker: \"failures\" is not an object".to_string(),
+        ));
+    };
+    let mut failures = Vec::with_capacity(fields.len());
+    for (strategy, count) in fields {
+        let count = count
+            .as_f64()
+            .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+            .ok_or_else(|| {
+                DispatchParseError(format!("breaker: bad failure count for \"{strategy}\""))
+            })?;
+        failures.push((StrategyId::from(strategy.as_str()), count as u32));
+    }
+    Ok(BreakerMetadata { config, failures })
 }
 
 fn parse_row(entry: &json::Value) -> Result<DispatchRow, String> {
@@ -250,15 +388,32 @@ pub struct AdaptiveDispatch {
     recorded: Mutex<Vec<DispatchRow>>,
     /// Strategy used when the reference table is empty.
     fallback: StrategyId,
+    /// Per-strategy circuit breakers (see
+    /// [`AdaptiveDispatch::breaker_allows`]).  Strategies without an entry
+    /// are implicitly `Closed { failures: 0 }`.
+    breakers: Mutex<HashMap<StrategyId, BreakerState>>,
+    breaker_config: BreakerConfig,
 }
 
 impl AdaptiveDispatch {
-    /// A dispatcher over the given reference table.
+    /// A dispatcher over the given reference table.  When the table
+    /// carries [`BreakerMetadata`], the breakers start from its thresholds
+    /// and failure counts.
     pub fn new(table: DispatchTable) -> Self {
+        let (breaker_config, seeded_failures) = match table.breaker() {
+            Some(metadata) => (metadata.config, metadata.failures.clone()),
+            None => (BreakerConfig::default(), Vec::new()),
+        };
+        let breakers = seeded_failures
+            .into_iter()
+            .map(|(strategy, failures)| (strategy, BreakerState::Closed { failures }))
+            .collect();
         AdaptiveDispatch {
             table: RwLock::new(table),
             recorded: Mutex::new(Vec::new()),
             fallback: StrategyId::Enhanced,
+            breakers: Mutex::new(breakers),
+            breaker_config,
         }
     }
 
@@ -274,18 +429,97 @@ impl AdaptiveDispatch {
         self
     }
 
+    /// Overrides the circuit-breaker thresholds.
+    pub fn breaker_config(mut self, config: BreakerConfig) -> Self {
+        self.breaker_config = config;
+        self
+    }
+
+    /// Consults (and advances) `strategy`'s circuit breaker: `true` means
+    /// dispatching to the strategy is allowed right now.
+    ///
+    /// The state machine is deterministic — driven entirely by call
+    /// counts, never by wall-clock time:
+    ///
+    /// * `Closed`: always allowed.
+    /// * `Open`: denied; after [`BreakerConfig::cooldown`] denials the
+    ///   breaker moves to `HalfOpen` and *this* call is allowed as the
+    ///   probe.
+    /// * `HalfOpen`: denied (exactly one probe is in flight); the probe's
+    ///   [`report_success`](AdaptiveDispatch::report_success) /
+    ///   [`report_fault`](AdaptiveDispatch::report_fault) decides what
+    ///   happens next.
+    pub fn breaker_allows(&self, strategy: &StrategyId) -> bool {
+        let mut breakers = lock_or_recover(&self.breakers);
+        let state = breakers
+            .entry(strategy.clone())
+            .or_insert(BreakerState::Closed { failures: 0 });
+        match *state {
+            BreakerState::Closed { .. } => true,
+            BreakerState::Open { denials } => {
+                if denials + 1 >= self.breaker_config.cooldown {
+                    *state = BreakerState::HalfOpen;
+                    true // this caller is the half-open probe
+                } else {
+                    *state = BreakerState::Open {
+                        denials: denials + 1,
+                    };
+                    false
+                }
+            }
+            BreakerState::HalfOpen => false,
+        }
+    }
+
+    /// Reports a successful solve by `strategy`: its breaker closes and
+    /// the consecutive-failure count resets.
+    pub fn report_success(&self, strategy: &StrategyId) {
+        lock_or_recover(&self.breakers)
+            .insert(strategy.clone(), BreakerState::Closed { failures: 0 });
+    }
+
+    /// Reports a fault (panic, injected failure, watchdog cancellation) by
+    /// `strategy`: the consecutive-failure count advances, opening the
+    /// breaker at [`BreakerConfig::threshold`]; a half-open probe fault
+    /// re-opens immediately.
+    pub fn report_fault(&self, strategy: &StrategyId) {
+        let mut breakers = lock_or_recover(&self.breakers);
+        let state = breakers
+            .entry(strategy.clone())
+            .or_insert(BreakerState::Closed { failures: 0 });
+        *state = match *state {
+            BreakerState::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.breaker_config.threshold {
+                    BreakerState::Open { denials: 0 }
+                } else {
+                    BreakerState::Closed { failures }
+                }
+            }
+            BreakerState::HalfOpen => BreakerState::Open { denials: 0 },
+            open @ BreakerState::Open { .. } => open,
+        };
+    }
+
+    /// The current breaker state of `strategy` (strategies never reported
+    /// on are `Closed` with zero failures).
+    pub fn breaker_state(&self, strategy: &StrategyId) -> BreakerState {
+        lock_or_recover(&self.breakers)
+            .get(strategy)
+            .copied()
+            .unwrap_or(BreakerState::Closed { failures: 0 })
+    }
+
     /// A snapshot of the reference table picks read (absorbed rows
     /// included, side buffer excluded).
     pub fn table(&self) -> DispatchTable {
-        self.table.read().expect("dispatch table poisoned").clone()
+        read_or_recover(&self.table).clone()
     }
 
     /// Picks a strategy for the given instance — deterministic for a fixed
     /// reference table.
     pub fn pick(&self, features: &InstanceFeatures) -> StrategyId {
-        self.table
-            .read()
-            .expect("dispatch table poisoned")
+        read_or_recover(&self.table)
             .pick(features)
             .unwrap_or_else(|| self.fallback.clone())
     }
@@ -293,18 +527,12 @@ impl AdaptiveDispatch {
     /// Records one completed solve into the side buffer (never consulted
     /// by [`AdaptiveDispatch::pick`] until absorbed).
     pub fn record(&self, row: DispatchRow) {
-        self.recorded
-            .lock()
-            .expect("dispatch recording buffer poisoned")
-            .push(row);
+        lock_or_recover(&self.recorded).push(row);
     }
 
     /// Number of rows waiting in the side buffer.
     pub fn recorded_rows(&self) -> usize {
-        self.recorded
-            .lock()
-            .expect("dispatch recording buffer poisoned")
-            .len()
+        lock_or_recover(&self.recorded).len()
     }
 
     /// Moves the side buffer into the reference table — the point at which
@@ -312,26 +540,16 @@ impl AdaptiveDispatch {
     /// owner, or automatically by the service at the completion points
     /// `ServiceConfig::absorb_every` configures.
     pub fn absorb_recorded(&self) -> usize {
-        let mut buffer = self
-            .recorded
-            .lock()
-            .expect("dispatch recording buffer poisoned");
+        let mut buffer = lock_or_recover(&self.recorded);
         let absorbed = buffer.len();
-        self.table
-            .write()
-            .expect("dispatch table poisoned")
-            .rows
-            .append(&mut buffer);
+        write_or_recover(&self.table).rows.append(&mut buffer);
         absorbed
     }
 
     /// Serializes the reference table (absorbed rows included, side buffer
     /// excluded).
     pub fn to_json(&self) -> String {
-        self.table
-            .read()
-            .expect("dispatch table poisoned")
-            .to_json()
+        read_or_recover(&self.table).to_json()
     }
 }
 
@@ -652,6 +870,84 @@ mod tests {
         assert_eq!(dispatch.recorded_rows(), 0);
         // heuristic ranks before base in the canonical order.
         assert_eq!(dispatch.pick(&features), StrategyId::Heuristic);
+    }
+
+    #[test]
+    fn breaker_metadata_round_trips_and_never_changes_picks() {
+        let rows = vec![
+            row([8.0, 0.5, 3.25, 1.0], StrategyId::Enhanced),
+            row([40.0, 0.1, 9.5, 2.75], StrategyId::PortfolioSteal),
+        ];
+        let plain = DispatchTable::from_rows(rows.clone());
+        let table = DispatchTable::from_rows(rows).with_breaker(BreakerMetadata::zeroed([
+            StrategyId::Enhanced,
+            StrategyId::PortfolioSteal,
+        ]));
+        let reparsed = DispatchTable::from_json(&table.to_json()).unwrap();
+        assert_eq!(reparsed, table);
+        let metadata = reparsed.breaker().expect("metadata survived");
+        assert_eq!(metadata.config, BreakerConfig::default());
+        assert!(metadata.failures.iter().all(|(_, count)| *count == 0));
+        // The metadata block changes no pick on any probe point.
+        let features = |v: f64| InstanceFeatures {
+            variables: v,
+            density: 0.5,
+            mean_domain: 3.0,
+            weight_skew: 1.0,
+        };
+        for v in [1.0, 8.0, 40.0, 100.0] {
+            assert_eq!(table.pick(&features(v)), plain.pick(&features(v)));
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_recovers_through_a_probe() {
+        let dispatch = AdaptiveDispatch::new(DispatchTable::new()).breaker_config(BreakerConfig {
+            threshold: 3,
+            cooldown: 2,
+        });
+        let strategy = StrategyId::Enhanced;
+        // Closed: faults accumulate until the threshold opens the breaker.
+        for _ in 0..2 {
+            dispatch.report_fault(&strategy);
+            assert!(dispatch.breaker_allows(&strategy));
+        }
+        dispatch.report_fault(&strategy);
+        assert_eq!(
+            dispatch.breaker_state(&strategy),
+            BreakerState::Open { denials: 0 }
+        );
+        // Open: exactly `cooldown - 1` denials, then the probe goes through.
+        assert!(!dispatch.breaker_allows(&strategy));
+        assert!(dispatch.breaker_allows(&strategy), "half-open probe");
+        assert_eq!(dispatch.breaker_state(&strategy), BreakerState::HalfOpen);
+        // Only one probe is in flight.
+        assert!(!dispatch.breaker_allows(&strategy));
+        // A failed probe re-opens; a successful one closes and resets.
+        dispatch.report_fault(&strategy);
+        assert_eq!(
+            dispatch.breaker_state(&strategy),
+            BreakerState::Open { denials: 0 }
+        );
+        assert!(!dispatch.breaker_allows(&strategy));
+        assert!(dispatch.breaker_allows(&strategy), "second probe");
+        dispatch.report_success(&strategy);
+        assert_eq!(
+            dispatch.breaker_state(&strategy),
+            BreakerState::Closed { failures: 0 }
+        );
+        assert!(dispatch.breaker_allows(&strategy));
+        // A success between faults resets the consecutive count.
+        dispatch.report_fault(&strategy);
+        dispatch.report_fault(&strategy);
+        dispatch.report_success(&strategy);
+        dispatch.report_fault(&strategy);
+        assert_eq!(
+            dispatch.breaker_state(&strategy),
+            BreakerState::Closed { failures: 1 }
+        );
+        // Other strategies are independent.
+        assert!(dispatch.breaker_allows(&StrategyId::Heuristic));
     }
 
     #[test]

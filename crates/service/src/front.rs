@@ -15,13 +15,13 @@ use crate::dispatch::{AdaptiveDispatch, DispatchRow};
 use mlo_core::{
     FallbackReason, OptimizeError, OptimizeReport, OptimizeRequest, Session, SolveHooks, StrategyId,
 };
-use mlo_csp::{CancelToken, IncumbentObserver};
+use mlo_csp::{fault, lock_or_recover, CancelToken, IncumbentObserver};
 use mlo_ir::Program;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError, Weak};
+use std::time::{Duration, Instant};
 
 /// The shared outcome of one served request.
 ///
@@ -36,6 +36,7 @@ pub struct ServiceConfig {
     default_tenant_budget: Option<usize>,
     tenant_budgets: HashMap<String, usize>,
     absorb_every: Option<u64>,
+    watchdog_grace: Option<f64>,
 }
 
 impl Default for ServiceConfig {
@@ -45,6 +46,7 @@ impl Default for ServiceConfig {
             default_tenant_budget: None,
             tenant_budgets: HashMap::new(),
             absorb_every: None,
+            watchdog_grace: None,
         }
     }
 }
@@ -86,6 +88,24 @@ impl ServiceConfig {
     pub fn absorb_every(mut self, every: u64) -> Self {
         self.absorb_every = (every > 0).then_some(every);
         self
+    }
+
+    /// Arms the deadline watchdog: a solve whose request carries a
+    /// deadline is cooperatively cancelled once it has run for `grace`
+    /// times that deadline without completing (e.g. `1.5` = 50% slack for
+    /// the strategy's own deadline handling to kick in first).  Values
+    /// below `1.0` are clamped to `1.0`; default: off — the watchdog is
+    /// opt-in because it turns an overrunning solve into a `Cancelled`
+    /// fallback, which requests relying on exact `DeadlineExceeded`
+    /// semantics may not want.
+    pub fn watchdog_grace(mut self, grace: f64) -> Self {
+        self.watchdog_grace = Some(grace.max(1.0));
+        self
+    }
+
+    /// The configured watchdog grace factor, when the watchdog is armed.
+    pub fn watchdog_grace_value(&self) -> Option<f64> {
+        self.watchdog_grace
     }
 
     /// The configured automatic-absorption period, when one is set.
@@ -131,6 +151,12 @@ pub enum ServiceError {
     Cancelled,
     /// The underlying solve failed.
     Solve(OptimizeError),
+    /// A fault-injection trigger fired at a service failpoint (tests
+    /// only — see [`mlo_csp::fault`]; never produced in production runs).
+    Injected {
+        /// The failpoint that fired.
+        site: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -149,6 +175,9 @@ impl fmt::Display for ServiceError {
             ),
             ServiceError::Cancelled => write!(f, "request cancelled before it started"),
             ServiceError::Solve(error) => write!(f, "solve failed: {error}"),
+            ServiceError::Injected { site } => {
+                write!(f, "injected service fault at failpoint `{site}`")
+            }
         }
     }
 }
@@ -178,6 +207,16 @@ pub struct ServiceStats {
     /// Solves cancelled cooperatively (drained before running, or aborted
     /// mid-search).
     pub cancelled: u64,
+    /// Strategy panics contained by the resilience layer (each one was
+    /// converted into a typed error or a fallback re-dispatch, never a
+    /// hung waiter).
+    pub panicked: u64,
+    /// Requests served by a *different* strategy than asked for, because
+    /// the retry/fallback ladder descended past a faulting rung.
+    pub degraded: u64,
+    /// Solves the deadline watchdog cancelled for overrunning their
+    /// deadline by more than the configured grace factor.
+    pub watchdog_cancelled: u64,
 }
 
 #[derive(Debug, Default)]
@@ -188,6 +227,9 @@ struct Counters {
     rejected: AtomicU64,
     completed: AtomicU64,
     cancelled: AtomicU64,
+    panicked: AtomicU64,
+    degraded: AtomicU64,
+    watchdog_cancelled: AtomicU64,
 }
 
 impl Counters {
@@ -199,6 +241,9 @@ impl Counters {
             rejected: self.rejected.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            watchdog_cancelled: self.watchdog_cancelled.load(Ordering::Relaxed),
         }
     }
 }
@@ -231,17 +276,17 @@ impl IncumbentWatch {
     /// The latest published `(version, weight)` pair.  Version `0` means
     /// nothing has been published; versions only increase.
     pub fn latest(&self) -> (u64, Option<f64>) {
-        let state = self.inner.state.lock().expect("incumbent watch poisoned");
+        let state = lock_or_recover(&self.inner.state);
         (state.version, state.weight)
     }
 
     /// Blocks until a version greater than `seen` is published or the
     /// timeout passes, and returns the latest pair either way.
     pub fn wait_past(&self, seen: u64, timeout: Duration) -> (u64, Option<f64>) {
-        let mut state = self.inner.state.lock().expect("incumbent watch poisoned");
-        let deadline = std::time::Instant::now() + timeout;
+        let mut state = lock_or_recover(&self.inner.state);
+        let deadline = Instant::now() + timeout;
         while state.version <= seen {
-            let now = std::time::Instant::now();
+            let now = Instant::now();
             if now >= deadline {
                 break;
             }
@@ -249,7 +294,7 @@ impl IncumbentWatch {
                 .inner
                 .changed
                 .wait_timeout(state, deadline - now)
-                .expect("incumbent watch poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             state = next;
             if timed_out.timed_out() {
                 break;
@@ -259,7 +304,7 @@ impl IncumbentWatch {
     }
 
     fn publish(&self, weight: f64) {
-        let mut state = self.inner.state.lock().expect("incumbent watch poisoned");
+        let mut state = lock_or_recover(&self.inner.state);
         state.version += 1;
         state.weight = Some(weight);
         self.inner.changed.notify_all();
@@ -289,9 +334,15 @@ impl ResponseSlot {
         }
     }
 
+    /// Publishes the outcome unless one is already set (first writer
+    /// wins): the normal completion path and the pool's last-resort panic
+    /// observer can both try, and waiters must never see the result
+    /// change under them.
     fn publish(&self, outcome: SharedResult) {
-        let mut guard = self.result.lock().expect("response slot poisoned");
-        *guard = Some(outcome);
+        let mut guard = lock_or_recover(&self.result);
+        if guard.is_none() {
+            *guard = Some(outcome);
+        }
         self.ready.notify_all();
     }
 
@@ -332,33 +383,33 @@ impl ResponseHandle {
 
     /// The result, when already available.
     pub fn try_result(&self) -> Option<SharedResult> {
-        self.slot
-            .result
-            .lock()
-            .expect("response slot poisoned")
-            .clone()
+        lock_or_recover(&self.slot.result).clone()
     }
 
     /// Blocks until the solve completes.
     pub fn wait(&self) -> SharedResult {
-        let mut guard = self.slot.result.lock().expect("response slot poisoned");
+        let mut guard = lock_or_recover(&self.slot.result);
         loop {
             if let Some(result) = guard.as_ref() {
                 return Arc::clone(result);
             }
-            guard = self.slot.ready.wait(guard).expect("response slot poisoned");
+            guard = self
+                .slot
+                .ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Blocks until the solve completes or the timeout passes.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<SharedResult> {
-        let deadline = std::time::Instant::now() + timeout;
-        let mut guard = self.slot.result.lock().expect("response slot poisoned");
+        let deadline = Instant::now() + timeout;
+        let mut guard = lock_or_recover(&self.slot.result);
         loop {
             if let Some(result) = guard.as_ref() {
                 return Some(Arc::clone(result));
             }
-            let now = std::time::Instant::now();
+            let now = Instant::now();
             if now >= deadline {
                 return None;
             }
@@ -366,7 +417,7 @@ impl ResponseHandle {
                 .slot
                 .ready
                 .wait_timeout(guard, deadline - now)
-                .expect("response slot poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             guard = next;
         }
     }
@@ -396,6 +447,110 @@ impl Clone for ResponseHandle {
 impl Drop for ResponseHandle {
     fn drop(&mut self) {
         self.cancel();
+    }
+}
+
+/// How often the watchdog thread re-checks for work when no deadline is
+/// armed (it also bounds how long the thread lingers after its service
+/// drops).
+const WATCHDOG_IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// One armed deadline: the watchdog fires `cancel` (and records it in
+/// `fired`) if the entry is still registered past `deadline`.
+#[derive(Debug)]
+struct WatchdogEntry {
+    id: u64,
+    deadline: Instant,
+    cancel: CancelToken,
+    fired: Arc<AtomicBool>,
+}
+
+/// Shared state between solves and the (lazily spawned) watchdog thread.
+#[derive(Debug, Default)]
+struct WatchdogState {
+    entries: Mutex<Vec<WatchdogEntry>>,
+    changed: Condvar,
+    next_id: AtomicU64,
+    thread: OnceLock<()>,
+}
+
+/// Deregisters the entry on drop, so a solve that completes in time never
+/// gets a late cancellation.
+#[derive(Debug)]
+struct WatchdogGuard {
+    state: Arc<WatchdogState>,
+    id: u64,
+    fired: Arc<AtomicBool>,
+}
+
+impl WatchdogGuard {
+    fn fired(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for WatchdogGuard {
+    fn drop(&mut self) {
+        lock_or_recover(&self.state.entries).retain(|entry| entry.id != self.id);
+        self.state.changed.notify_all();
+    }
+}
+
+fn watchdog_register(
+    state: &Arc<WatchdogState>,
+    deadline: Instant,
+    cancel: CancelToken,
+) -> WatchdogGuard {
+    state.thread.get_or_init(|| {
+        let weak = Arc::downgrade(state);
+        std::thread::Builder::new()
+            .name("mlo-watchdog".into())
+            .spawn(move || watchdog_loop(weak))
+            .expect("failed to spawn the watchdog thread");
+    });
+    let id = state.next_id.fetch_add(1, Ordering::Relaxed);
+    let fired = Arc::new(AtomicBool::new(false));
+    lock_or_recover(&state.entries).push(WatchdogEntry {
+        id,
+        deadline,
+        cancel,
+        fired: Arc::clone(&fired),
+    });
+    state.changed.notify_all();
+    WatchdogGuard {
+        state: Arc::clone(state),
+        id,
+        fired,
+    }
+}
+
+/// The watchdog thread: holds only a `Weak` between iterations so it
+/// exits (within one idle poll) once the owning service drops.
+fn watchdog_loop(weak: Weak<WatchdogState>) {
+    loop {
+        let Some(state) = weak.upgrade() else { return };
+        let mut entries = lock_or_recover(&state.entries);
+        let now = Instant::now();
+        entries.retain(|entry| {
+            if entry.deadline <= now {
+                entry.fired.store(true, Ordering::Release);
+                entry.cancel.cancel();
+                false
+            } else {
+                true
+            }
+        });
+        let timeout = entries
+            .iter()
+            .map(|entry| entry.deadline.saturating_duration_since(now))
+            .min()
+            .unwrap_or(WATCHDOG_IDLE_POLL);
+        drop(
+            state
+                .changed
+                .wait_timeout(entries, timeout)
+                .unwrap_or_else(PoisonError::into_inner),
+        );
     }
 }
 
@@ -431,22 +586,48 @@ struct ServiceCore {
     tenants: Mutex<HashMap<String, usize>>,
     counters: Counters,
     dispatch: Option<Arc<AdaptiveDispatch>>,
+    /// Armed deadlines, present only when the config enables the
+    /// watchdog.
+    watchdog: Option<Arc<WatchdogState>>,
+}
+
+/// Idempotent completion bookkeeping for one admitted solve.
+///
+/// Shared between the normal run path and the pool's last-resort panic
+/// observer: whichever side finishes the job releases the admission
+/// resources (queue depth, tenant budget, in-flight map entry) exactly
+/// once, guarded by `done`.
+struct Cleanup {
+    key: String,
+    tenant: Option<String>,
+    done: AtomicBool,
 }
 
 /// One queued unit of work, moved onto the pool.
 struct Job {
-    key: String,
     slot: Arc<ResponseSlot>,
     program: Program,
     request: OptimizeRequest,
-    tenant: Option<String>,
     streaming: bool,
+    cleanup: Arc<Cleanup>,
+}
+
+/// One rung of the retry/fallback ladder either completed (with a report
+/// or a typed error, both of which end the ladder) or panicked (which
+/// descends to the next rung).
+enum Rung {
+    Done(Box<Result<OptimizeReport, OptimizeError>>),
+    Panicked(OptimizeError),
 }
 
 impl MloService {
     /// A service over the given session and policy, without adaptive
     /// dispatch.
     pub fn new(session: Session, config: ServiceConfig) -> Self {
+        let config_watchdog = config
+            .watchdog_grace
+            .is_some()
+            .then(|| Arc::new(WatchdogState::default()));
         MloService {
             core: Arc::new(ServiceCore {
                 session,
@@ -456,6 +637,7 @@ impl MloService {
                 tenants: Mutex::new(HashMap::new()),
                 counters: Counters::default(),
                 dispatch: None,
+                watchdog: config_watchdog,
             }),
         }
     }
@@ -583,6 +765,10 @@ impl ServiceCore {
         tenant: Option<&str>,
         streaming: bool,
     ) -> Result<ResponseHandle, ServiceError> {
+        mlo_csp::fail_point!("service.intake", |fault: mlo_csp::FaultError| {
+            Err(ServiceError::Injected { site: fault.site })
+        });
+
         let key = format!(
             "{}\u{1f}{request:?}\u{1f}{program:?}",
             if streaming { "stream" } else { "plain" }
@@ -590,7 +776,7 @@ impl ServiceCore {
 
         // The map lock spans lookup and insertion so coalesce-or-create is
         // atomic with respect to concurrent submitters.
-        let mut inflight = self.inflight.lock().expect("inflight map poisoned");
+        let mut inflight = lock_or_recover(&self.inflight);
 
         if let Some(slot) = inflight.get(&key).and_then(Weak::upgrade) {
             // A fully-cancelled slot is still draining; give the new
@@ -611,7 +797,7 @@ impl ServiceCore {
 
         if let Some(tenant) = tenant {
             if let Some(budget) = self.config.budget_for(tenant) {
-                let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+                let mut tenants = lock_or_recover(&self.tenants);
                 let in_flight = tenants.get(tenant).copied().unwrap_or(0);
                 if in_flight >= budget {
                     self.counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -633,63 +819,266 @@ impl ServiceCore {
         inflight.insert(key.clone(), Arc::downgrade(&slot));
         drop(inflight);
 
-        let job = Job {
+        let cleanup = Arc::new(Cleanup {
             key,
-            slot,
+            tenant: tenant.map(str::to_string),
+            done: AtomicBool::new(false),
+        });
+        let job = Job {
+            slot: Arc::clone(&slot),
             program: program.clone(),
             request: request.clone(),
-            tenant: tenant.map(str::to_string),
             streaming,
+            cleanup: Arc::clone(&cleanup),
         };
         let core = Arc::clone(self);
-        self.session.worker_pool().execute(move || core.run(job));
+        let observer_core = Arc::clone(self);
+        let strategy = request.strategy.to_string();
+        // The observer is the last line of defense: `run` contains rung
+        // panics itself, so this only fires when the run path *itself*
+        // dies (e.g. an injected `pool.job` or `service.publish` panic).
+        // It still releases the admission bookkeeping and fills the slot,
+        // so no waiter ever hangs on a panicked solve.
+        self.session.worker_pool().execute_observed(
+            move || core.run(job),
+            move |panic| {
+                observer_core.finish(&cleanup);
+                observer_core
+                    .counters
+                    .panicked
+                    .fetch_add(1, Ordering::Relaxed);
+                slot.publish(Arc::new(Err(ServiceError::Solve(
+                    OptimizeError::StrategyPanicked {
+                        strategy,
+                        message: panic.message,
+                        failpoint: panic.failpoint,
+                    },
+                ))));
+            },
+        );
         Ok(handle)
     }
 
     fn run(&self, job: Job) {
-        let outcome: SharedResult = if job.slot.cancel.is_cancelled() {
+        let Job {
+            slot,
+            program,
+            request,
+            streaming,
+            cleanup,
+        } = job;
+        let outcome: SharedResult = if slot.cancel.is_cancelled() {
             // Every handle cancelled while we were queued: drain without
             // solving.
             self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
             Arc::new(Err(ServiceError::Cancelled))
         } else {
-            let mut hooks = SolveHooks::cancellable(job.slot.cancel.clone());
-            if job.streaming {
-                let watch = job.slot.watch.clone();
-                hooks.incumbent = Some(IncumbentObserver::new(move |weight| {
-                    watch.publish(weight);
-                }));
-            }
-            let result = self
-                .session
-                .optimize_with_hooks(&job.program, &job.request, &hooks);
-            if let Ok(report) = &result {
-                if report.fallback.reason() == Some(FallbackReason::Cancelled) {
-                    self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-                }
-                if let Some(dispatch) = &self.dispatch {
-                    let features = self.session.features(&job.program, &job.request.candidates);
-                    dispatch.record(DispatchRow {
-                        features: features.as_array(),
-                        strategy: job.request.strategy.clone(),
-                        solution_ms: report.solution_time.as_secs_f64() * 1e3,
-                        solved: !report.fell_back(),
-                    });
-                }
-            }
-            Arc::new(result.map_err(ServiceError::Solve))
+            Arc::new(self.serve(&slot, &program, &request, streaming))
         };
 
         // All bookkeeping strictly precedes publication, so a caller that
         // observed completion also observes the refunded queue depth,
         // tenant budget and counters.  (Late submitters hitting the map
         // entry in this window start a fresh solve, which is fine.)
-        self.inflight
-            .lock()
-            .expect("inflight map poisoned")
-            .remove(&job.key);
-        if let Some(tenant) = &job.tenant {
-            let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+        self.finish(&cleanup);
+        mlo_csp::fail_point!("service.publish");
+        slot.publish(outcome);
+    }
+
+    /// Serves one admitted request through the retry/fallback ladder.
+    ///
+    /// Rung 0 runs the request *untouched*, so fault-free service results
+    /// stay bit-identical to a direct [`Session::optimize`] call.  Only
+    /// when a rung panics (contained per rung via `catch_unwind`) does the
+    /// ladder descend — to `enhanced`, then `heuristic` — re-dispatching
+    /// with whatever wall-clock deadline remains; typed errors
+    /// (unsatisfiable, budget exhausted, injected engine faults) end the
+    /// ladder unchanged.  Reports served by a lower rung are marked
+    /// [`degraded`](OptimizeReport::degraded).  When a dispatcher is
+    /// attached, its per-strategy circuit breakers veto non-final rungs
+    /// whose strategy keeps faulting; the final rung always runs so the
+    /// request still gets an answer.
+    fn serve(
+        &self,
+        slot: &ResponseSlot,
+        program: &Program,
+        request: &OptimizeRequest,
+        streaming: bool,
+    ) -> Result<OptimizeReport, ServiceError> {
+        let start = Instant::now();
+        let original_deadline = request.budget.deadline;
+        let mut rungs = vec![request.strategy.clone()];
+        for fallback in [StrategyId::Enhanced, StrategyId::Heuristic] {
+            if !rungs.contains(&fallback) {
+                rungs.push(fallback);
+            }
+        }
+
+        let mut last_panic: Option<OptimizeError> = None;
+        for (index, strategy) in rungs.iter().enumerate() {
+            let degraded = index > 0;
+            let last_rung = index + 1 == rungs.len();
+            if let Some(dispatch) = &self.dispatch {
+                if !last_rung && !dispatch.breaker_allows(strategy) {
+                    continue;
+                }
+            }
+
+            let mut attempt;
+            let attempt_request = if degraded {
+                attempt = request.clone();
+                attempt.set_strategy(strategy.clone());
+                if let Some(deadline) = original_deadline {
+                    // The ladder shares the caller's deadline: a fallback
+                    // rung only gets whatever wall clock the faulting
+                    // rungs above it left over.
+                    attempt.budget_mut().deadline = Some(deadline.saturating_sub(start.elapsed()));
+                }
+                &attempt
+            } else {
+                request
+            };
+
+            let (rung, watchdog_fired) = self.run_rung(slot, program, attempt_request, streaming);
+            if watchdog_fired {
+                self.counters
+                    .watchdog_cancelled
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            match rung {
+                Rung::Done(result) => {
+                    let mut result = *result;
+                    if let Some(dispatch) = &self.dispatch {
+                        if watchdog_fired {
+                            dispatch.report_fault(strategy);
+                        } else {
+                            dispatch.report_success(strategy);
+                        }
+                    }
+                    if let Ok(report) = &mut result {
+                        if degraded {
+                            report.degraded = true;
+                            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if report.fallback.reason() == Some(FallbackReason::Cancelled) {
+                            self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if let Some(dispatch) = &self.dispatch {
+                            let features = self.session.features(program, &request.candidates);
+                            dispatch.record(DispatchRow {
+                                features: features.as_array(),
+                                strategy: strategy.clone(),
+                                solution_ms: report.solution_time.as_secs_f64() * 1e3,
+                                solved: !report.fell_back(),
+                            });
+                        }
+                    }
+                    return result.map_err(ServiceError::Solve);
+                }
+                Rung::Panicked(error) => {
+                    self.counters.panicked.fetch_add(1, Ordering::Relaxed);
+                    if let Some(dispatch) = &self.dispatch {
+                        dispatch.report_fault(strategy);
+                    }
+                    last_panic = Some(error);
+                }
+            }
+        }
+
+        // Every rung panicked (or was vetoed): surface the last panic as a
+        // typed error rather than inventing a result.
+        Err(ServiceError::Solve(last_panic.unwrap_or_else(|| {
+            OptimizeError::Strategy {
+                strategy: request.strategy.to_string(),
+                message: "retry ladder exhausted without a runnable strategy".into(),
+            }
+        })))
+    }
+
+    /// Runs one ladder rung with panic containment and (when armed) a
+    /// watchdog deadline.  Returns the rung outcome plus whether the
+    /// watchdog cancelled this rung.
+    fn run_rung(
+        &self,
+        slot: &ResponseSlot,
+        program: &Program,
+        request: &OptimizeRequest,
+        streaming: bool,
+    ) -> (Rung, bool) {
+        // Transient dispatch faults (the `service.dispatch` failpoint)
+        // retry with exponential backoff before counting as a failure.
+        const DISPATCH_ATTEMPTS: u32 = 3;
+        let mut backoff = Duration::from_millis(1);
+        for attempt in 0..DISPATCH_ATTEMPTS {
+            match fault::hit("service.dispatch") {
+                None => break,
+                Some(fault) if attempt + 1 == DISPATCH_ATTEMPTS => {
+                    return (
+                        Rung::Done(Box::new(Err(OptimizeError::Strategy {
+                            strategy: request.strategy.to_string(),
+                            message: format!(
+                                "dispatch failed after {DISPATCH_ATTEMPTS} attempts: {fault}"
+                            ),
+                        }))),
+                        false,
+                    );
+                }
+                Some(_) => {
+                    std::thread::sleep(backoff);
+                    backoff *= 2;
+                }
+            }
+        }
+
+        let mut hooks = SolveHooks::cancellable(slot.cancel.clone());
+        if streaming {
+            let watch = slot.watch.clone();
+            hooks.incumbent = Some(IncumbentObserver::new(move |weight| {
+                watch.publish(weight);
+            }));
+        }
+
+        let watchdog = match (
+            &self.watchdog,
+            self.config.watchdog_grace,
+            request.budget.deadline,
+        ) {
+            (Some(state), Some(grace), Some(deadline)) => Some(watchdog_register(
+                state,
+                Instant::now() + deadline.mul_f64(grace),
+                slot.cancel.clone(),
+            )),
+            _ => None,
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.session.optimize_with_hooks(program, request, &hooks)
+        }));
+        let fired = watchdog.as_ref().is_some_and(WatchdogGuard::fired);
+        drop(watchdog);
+
+        match result {
+            Ok(result) => (Rung::Done(Box::new(result)), fired),
+            Err(payload) => (
+                Rung::Panicked(OptimizeError::StrategyPanicked {
+                    strategy: request.strategy.to_string(),
+                    message: fault::panic_message(&*payload),
+                    failpoint: fault::take_last_triggered(),
+                }),
+                fired,
+            ),
+        }
+    }
+
+    /// Releases one solve's admission resources exactly once (idempotent
+    /// via the cleanup's `done` flag, because both the run path and the
+    /// pool's panic observer call it).
+    fn finish(&self, cleanup: &Cleanup) {
+        if cleanup.done.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        lock_or_recover(&self.inflight).remove(&cleanup.key);
+        if let Some(tenant) = &cleanup.tenant {
+            let mut tenants = lock_or_recover(&self.tenants);
             if let Some(count) = tenants.get_mut(tenant) {
                 *count = count.saturating_sub(1);
                 if *count == 0 {
@@ -706,7 +1095,5 @@ impl ServiceCore {
                 dispatch.absorb_recorded();
             }
         }
-
-        job.slot.publish(outcome);
     }
 }

@@ -39,7 +39,10 @@
 pub mod dispatch;
 pub mod front;
 
-pub use dispatch::{AdaptiveDispatch, DispatchParseError, DispatchRow, DispatchTable};
+pub use dispatch::{
+    AdaptiveDispatch, BreakerConfig, BreakerMetadata, BreakerState, DispatchParseError,
+    DispatchRow, DispatchTable,
+};
 pub use front::{
     IncumbentWatch, MloService, ResponseHandle, ServiceConfig, ServiceError, ServiceStats,
     SharedResult,

@@ -1,0 +1,228 @@
+//! Failure-path tests of the service resilience layer: panic containment
+//! (no hung waiters at any worker count), the retry/fallback ladder,
+//! per-strategy circuit breakers and the deadline watchdog.
+//!
+//! Tests that need a specific fault environment install it with
+//! [`mlo_csp::fault::scoped`], which serializes them on a process-wide
+//! lock and masks any ambient `MLO_FAILPOINTS` plan; outcome-sensitive
+//! fault-free tests use `scoped(FaultPlan::new())` for the same masking.
+
+use mlo_benchmarks::Benchmark;
+use mlo_core::StrategyId;
+use mlo_core::{
+    Engine, LayoutStrategy, OptimizeError, OptimizeRequest, Session, StrategyContext,
+    StrategyOutcome,
+};
+use mlo_csp::fault::{self, FaultPlan, FaultTrigger};
+use mlo_service::{
+    AdaptiveDispatch, BreakerConfig, BreakerState, DispatchTable, MloService, ServiceConfig,
+    ServiceError,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Generous bound for "the waiter did not hang": real solves on the test
+/// benchmarks finish in milliseconds.
+const NO_HANG: Duration = Duration::from_secs(30);
+
+/// A strategy that always panics, standing in for a buggy rollout.
+#[derive(Debug)]
+struct Panicker;
+
+impl LayoutStrategy for Panicker {
+    fn name(&self) -> &str {
+        "panicker"
+    }
+
+    fn determine(&self, _ctx: &StrategyContext<'_>) -> Result<StrategyOutcome, OptimizeError> {
+        panic!("panicker always explodes");
+    }
+}
+
+fn panicking_session(workers: usize) -> Session {
+    Engine::builder()
+        .parallelism(workers)
+        .strategy(Arc::new(Panicker))
+        .build()
+        .session()
+}
+
+#[test]
+fn panicking_strategy_never_hangs_waiters_at_any_worker_count() {
+    let _plan = fault::scoped(FaultPlan::new());
+    for workers in [1usize, 2, 4, 8] {
+        let service = MloService::new(panicking_session(workers), ServiceConfig::new());
+        let program = Benchmark::MxM.program();
+        let handle = service
+            .submit(&program, &OptimizeRequest::strategy("panicker"))
+            .unwrap();
+        let result = handle
+            .wait_timeout(NO_HANG)
+            .unwrap_or_else(|| panic!("waiter hung at {workers} workers"));
+        // The ladder descends past the panicking rung, so the caller gets
+        // a degraded report from a healthy strategy instead of an error.
+        let report = result
+            .as_ref()
+            .as_ref()
+            .unwrap_or_else(|e| panic!("expected degraded report at {workers} workers, got {e}"));
+        assert!(report.degraded, "fallback rung must mark the report");
+        assert_ne!(report.strategy, "panicker");
+        let stats = service.stats();
+        assert_eq!(stats.panicked, 1, "exactly the panicker rung panicked");
+        assert_eq!(stats.degraded, 1);
+        // The pool survived the contained panic: a healthy follow-up runs.
+        let follow_up = service
+            .submit(&program, &OptimizeRequest::strategy("heuristic"))
+            .unwrap()
+            .wait_timeout(NO_HANG)
+            .expect("pool stayed usable");
+        assert!(follow_up.as_ref().is_ok());
+    }
+}
+
+#[test]
+fn exhausted_ladder_surfaces_a_typed_panic_error() {
+    // An unbounded engine.solve panic plan makes *every* rung panic; the
+    // ladder must then report the last contained panic, never hang.
+    let _plan = fault::scoped(FaultPlan::new().with("engine.solve", FaultTrigger::panic()));
+    let service = MloService::new(Engine::new().session(), ServiceConfig::new());
+    let program = Benchmark::MxM.program();
+    let handle = service
+        .submit(&program, &OptimizeRequest::strategy("enhanced"))
+        .unwrap();
+    let result = handle.wait_timeout(NO_HANG).expect("waiter hung");
+    match result.as_ref() {
+        Err(ServiceError::Solve(OptimizeError::StrategyPanicked { failpoint, .. })) => {
+            assert_eq!(failpoint.as_deref(), Some("engine.solve"));
+        }
+        other => panic!("expected StrategyPanicked after ladder exhaustion, got {other:?}"),
+    }
+    let stats = service.stats();
+    assert!(
+        stats.panicked >= 2,
+        "every attempted rung panicked (got {})",
+        stats.panicked
+    );
+}
+
+#[test]
+fn publish_path_panic_is_filled_by_the_pool_observer() {
+    // A panic *after* the solve (between bookkeeping and publication)
+    // escapes the ladder; the pool's observer must still fill the slot.
+    let _plan =
+        fault::scoped(FaultPlan::new().with("service.publish", FaultTrigger::panic().times(1)));
+    let service = MloService::new(Engine::new().session(), ServiceConfig::new());
+    let program = Benchmark::MxM.program();
+    let handle = service
+        .submit(&program, &OptimizeRequest::strategy("heuristic"))
+        .unwrap();
+    let result = handle.wait_timeout(NO_HANG).expect("waiter hung");
+    match result.as_ref() {
+        Err(ServiceError::Solve(OptimizeError::StrategyPanicked { failpoint, .. })) => {
+            assert_eq!(failpoint.as_deref(), Some("service.publish"));
+        }
+        other => panic!("expected observer-published StrategyPanicked, got {other:?}"),
+    }
+    // Admission bookkeeping was released exactly once: the queue drained
+    // and the service keeps serving.
+    assert_eq!(service.queue_depth(), 0);
+    let follow_up = service
+        .submit(&program, &OptimizeRequest::strategy("heuristic"))
+        .unwrap()
+        .wait_timeout(NO_HANG)
+        .expect("pool stayed usable");
+    assert!(follow_up.as_ref().is_ok());
+}
+
+#[test]
+fn breaker_opens_after_repeated_panics_and_skips_the_faulting_rung() {
+    let _plan = fault::scoped(FaultPlan::new());
+    let threshold = BreakerConfig::default().threshold;
+    let dispatch = AdaptiveDispatch::new(DispatchTable::from_rows(vec![]))
+        .breaker_config(BreakerConfig::default());
+    let service =
+        MloService::new(panicking_session(2), ServiceConfig::new()).with_dispatch(dispatch);
+    let program = Benchmark::MxM.program();
+    let panicker = StrategyId::custom("panicker");
+
+    for round in 0..threshold {
+        let result = service
+            .submit(&program, &OptimizeRequest::strategy(panicker.clone()))
+            .unwrap()
+            .wait_timeout(NO_HANG)
+            .unwrap_or_else(|| panic!("round {round} hung"));
+        assert!(result.as_ref().as_ref().unwrap().degraded);
+    }
+    assert_eq!(service.stats().panicked, u64::from(threshold));
+    assert_eq!(
+        service.dispatch().unwrap().breaker_state(&panicker),
+        BreakerState::Open { denials: 0 },
+        "the breaker opened after {threshold} consecutive panics"
+    );
+
+    // With the breaker open the panicking rung is skipped entirely: the
+    // request degrades immediately and the panic counter stays put.
+    let result = service
+        .submit(&program, &OptimizeRequest::strategy(panicker))
+        .unwrap()
+        .wait_timeout(NO_HANG)
+        .expect("post-open request hung");
+    assert!(result.as_ref().as_ref().unwrap().degraded);
+    assert_eq!(service.stats().panicked, u64::from(threshold));
+}
+
+/// A strategy that sleeps well past any test deadline while ignoring the
+/// cancellation token, simulating a wedged solve only the watchdog can
+/// reclaim.
+#[derive(Debug)]
+struct Sleeper {
+    nap: Duration,
+}
+
+impl LayoutStrategy for Sleeper {
+    fn name(&self) -> &str {
+        "sleeper"
+    }
+
+    fn determine(&self, ctx: &StrategyContext<'_>) -> Result<StrategyOutcome, OptimizeError> {
+        std::thread::sleep(self.nap);
+        Ok(StrategyOutcome::Solved {
+            assignment: ctx.heuristic(),
+            stats: None,
+            proven_satisfiable: false,
+        })
+    }
+}
+
+#[test]
+fn watchdog_cancels_solves_overrunning_their_deadline() {
+    let _plan = fault::scoped(FaultPlan::new());
+    let session = Engine::builder()
+        .parallelism(1)
+        .strategy(Arc::new(Sleeper {
+            nap: Duration::from_millis(200),
+        }))
+        .build()
+        .session();
+    let service = MloService::new(session, ServiceConfig::new().watchdog_grace(1.0));
+    let program = Benchmark::MxM.program();
+    let request = OptimizeRequest::strategy(StrategyId::custom("sleeper"))
+        .with_budget(mlo_core::SearchBudget::new().deadline(Duration::from_millis(20)));
+    let handle = service.submit(&program, &request).unwrap();
+    let result = handle.wait_timeout(NO_HANG).expect("waiter hung");
+    // The sleeper ignores cancellation and eventually returns; what the
+    // watchdog guarantees is that the overrun was detected and recorded.
+    assert!(result.as_ref().is_ok() || matches!(result.as_ref(), Err(ServiceError::Solve(_))));
+    assert_eq!(service.stats().watchdog_cancelled, 1);
+
+    // A solve that finishes inside its grace window is left alone.
+    let quick = OptimizeRequest::strategy("heuristic")
+        .with_budget(mlo_core::SearchBudget::new().deadline(Duration::from_secs(60)));
+    let result = service
+        .submit(&program, &quick)
+        .unwrap()
+        .wait_timeout(NO_HANG)
+        .expect("waiter hung");
+    assert!(result.as_ref().is_ok());
+    assert_eq!(service.stats().watchdog_cancelled, 1);
+}
