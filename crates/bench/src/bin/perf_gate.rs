@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run -p mlo-bench --release --bin perf_gate -- \
-//!     [--threads N] [--out BENCH_9.json] [--baseline BENCH_8.json] \
+//!     [--threads N] [--out BENCH_10.json] [--baseline BENCH_9.json] \
 //!     [--min-speedup X] [--wall-margin 0.25] [--no-wall-gate]
 //! ```
 //!
@@ -75,7 +75,16 @@
 //! unbounded panic storm in which every waiter must still complete with a
 //! typed error (`no_hung_waiters`) — both booleans are hard gates.
 //!
-//! The harness emits `BENCH_9.json` (wall time, nodes explored, solution
+//! The weighted group additionally carries a **node-budget gate**: with
+//! the weighted bound-consistency propagator (`SoftAc3`) on every search
+//! path, each noise instance's node count must stay at or below 25% of
+//! its pre-propagation `BENCH_9` baseline.  The per-instance budget and
+//! the run's `bound_deletions` counters are emitted next to the node
+//! counts, and `weighted_nodes_ok` is a hard gate — a propagation
+//! regression that re-inflates the tree fails CI even when wall clock
+//! hides it.
+//!
+//! The harness emits `BENCH_10.json` (wall time, nodes explored, solution
 //! cost, speedup per entry) and **exits nonzero when any parallel run's
 //! solution cost differs from its single-thread baseline** — that cost
 //! parity is the determinism contract of `mlo_csp::solver::portfolio` and
@@ -236,8 +245,8 @@ struct Config {
 fn parse_args() -> Config {
     let mut config = Config {
         threads: 4,
-        out: "BENCH_9.json".to_string(),
-        baseline: Some("BENCH_8.json".to_string()),
+        out: "BENCH_10.json".to_string(),
+        baseline: Some("BENCH_9.json".to_string()),
         min_speedup: 0.0,
         wall_margin: 0.25,
         no_wall_gate: false,
@@ -869,6 +878,12 @@ struct WeightedEntry {
     nodes_nt: u64,
     prunings_1t: u64,
     prunings_nt: u64,
+    bound_deletions_1t: u64,
+    bound_deletions_nt: u64,
+    /// Hard ceiling on the instance's node counts: 25% of the node count
+    /// the same seed produced in `BENCH_9`, before the weighted
+    /// bound-consistency propagator existed.
+    node_budget: u64,
     cost_1t: f64,
     cost_nt: f64,
 }
@@ -884,6 +899,12 @@ impl WeightedEntry {
 
     fn cost_match(&self) -> bool {
         self.cost_1t == self.cost_nt
+    }
+
+    /// The node-budget gate: both the single-thread and the N-worker run
+    /// must stay within the propagation budget.
+    fn nodes_ok(&self) -> bool {
+        self.nodes_1t <= self.node_budget && self.nodes_nt <= self.node_budget
     }
 }
 
@@ -927,9 +948,13 @@ fn weighted_group(
     pool: &Arc<WorkerPool>,
     totals: &mut StealTotals,
 ) -> Vec<WeightedEntry> {
+    // Budgets are 25% of each instance's BENCH_9 single-thread node count
+    // (391_608 / 1_324_312 / 36_965_312) — the hard ceiling the weighted
+    // bound-consistency propagator must hold the tree under.
     let specs = [
         (
             "noise-18",
+            97_902u64,
             RandomNetworkSpec {
                 variables: 18,
                 domain_size: 4,
@@ -940,6 +965,7 @@ fn weighted_group(
         ),
         (
             "noise-20",
+            331_078,
             RandomNetworkSpec {
                 variables: 20,
                 domain_size: 4,
@@ -950,6 +976,7 @@ fn weighted_group(
         ),
         (
             "noise-22",
+            9_241_328,
             RandomNetworkSpec {
                 variables: 22,
                 domain_size: 4,
@@ -961,7 +988,7 @@ fn weighted_group(
     ];
     specs
         .into_iter()
-        .map(|(name, spec)| {
+        .map(|(name, node_budget, spec)| {
             // Bonus far below the noise ceiling: the planted assignment is
             // *not* the optimum and the bound must close the whole tree.
             let (weighted, _) = planted_weighted_network(&spec, 4.0, 12);
@@ -992,6 +1019,9 @@ fn weighted_group(
                 nodes_nt: parallel.result.stats.nodes_visited,
                 prunings_1t: baseline.result.stats.prunings,
                 prunings_nt: parallel.result.stats.prunings,
+                bound_deletions_1t: baseline.result.stats.bound_deletions,
+                bound_deletions_nt: parallel.result.stats.bound_deletions,
+                node_budget,
                 cost_1t: baseline.canonical_weight.expect("satisfiable"),
                 cost_nt: parallel.canonical_weight.expect("satisfiable"),
             }
@@ -1396,8 +1426,9 @@ fn print_weighted(entries: &[WeightedEntry], audit: &Option<WeightedAudit>) {
             "Wall Nt",
             "Nodes 1t",
             "Nodes Nt",
-            "Prunes 1t",
-            "Prunes Nt",
+            "Node budget",
+            "Deletions 1t",
+            "Deletions Nt",
             "Speedup",
             "Cost parity",
         ]);
@@ -1408,8 +1439,13 @@ fn print_weighted(entries: &[WeightedEntry], audit: &Option<WeightedAudit>) {
                 format!("{:.2}ms", e.wall_ms_nt),
                 e.nodes_1t.to_string(),
                 e.nodes_nt.to_string(),
-                e.prunings_1t.to_string(),
-                e.prunings_nt.to_string(),
+                format!(
+                    "{} ({})",
+                    e.node_budget,
+                    if e.nodes_ok() { "ok" } else { "OVER" }
+                ),
+                e.bound_deletions_1t.to_string(),
+                e.bound_deletions_nt.to_string(),
                 format!("{:.2}x", e.speedup()),
                 if e.cost_match() { "ok" } else { "MISMATCH" }.to_string(),
             ]);
@@ -1681,6 +1717,7 @@ fn main() -> ExitCode {
         .is_none_or(|p| p.masks_ok && p.shard_pair_entries_allocated == 0);
     let bytes_ok = propagation.as_ref().is_none_or(|p| p.bytes_ok);
     let weighted_ok = audit.as_ref().is_none_or(|a| a.ok);
+    let weighted_nodes_ok = weighted.iter().all(WeightedEntry::nodes_ok);
 
     // The kernel refactor's headline metric: single-thread table2+table3
     // wall clock, compared against the previous PR's artifact.
@@ -1741,7 +1778,7 @@ fn main() -> ExitCode {
 
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"benchmark\": \"BENCH_9\",").unwrap();
+    writeln!(json, "  \"benchmark\": \"BENCH_10\",").unwrap();
     writeln!(json, "  \"harness\": \"perf_gate\",").unwrap();
     writeln!(json, "  \"threads\": {},", config.threads).unwrap();
     writeln!(json, "  \"cores\": {cores},").unwrap();
@@ -1764,7 +1801,9 @@ fn main() -> ExitCode {
             json,
             "      {{\"name\": \"{}\", \"wall_ms_1t\": {:.3}, \"wall_ms_nt\": {:.3}, \
              \"nodes_1t\": {}, \"nodes_nt\": {}, \"prunings_1t\": {}, \"prunings_nt\": {}, \
-             \"cost_1t\": {}, \"cost_nt\": {}, \"speedup\": {:.3}, \"cost_match\": {}}}{comma}",
+             \"bound_deletions_1t\": {}, \"bound_deletions_nt\": {}, \"node_budget\": {}, \
+             \"nodes_ok\": {}, \"cost_1t\": {}, \"cost_nt\": {}, \"speedup\": {:.3}, \
+             \"cost_match\": {}}}{comma}",
             e.name,
             e.wall_ms_1t,
             e.wall_ms_nt,
@@ -1772,6 +1811,10 @@ fn main() -> ExitCode {
             e.nodes_nt,
             e.prunings_1t,
             e.prunings_nt,
+            e.bound_deletions_1t,
+            e.bound_deletions_nt,
+            e.node_budget,
+            e.nodes_ok(),
             e.cost_1t,
             e.cost_nt,
             e.speedup(),
@@ -2037,6 +2080,9 @@ fn main() -> ExitCode {
     if audit.is_some() {
         writeln!(json, "  \"weighted_ok\": {weighted_ok},").unwrap();
     }
+    if !weighted.is_empty() {
+        writeln!(json, "  \"weighted_nodes_ok\": {weighted_nodes_ok},").unwrap();
+    }
     if let Some(s) = &service {
         writeln!(json, "  \"service_ok\": {},", s.determinism_ok).unwrap();
     }
@@ -2090,6 +2136,14 @@ fn main() -> ExitCode {
             "perf_gate FAILED: the incremental-recompilation audit was violated \
              (a mutation recompiled more than the touched constraint, or a \
              weighted shard split copied dense entries — see the weighted audit above)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !weighted_nodes_ok {
+        eprintln!(
+            "perf_gate FAILED: a weighted instance's node count blew its \
+             propagation budget (25% of the pre-SoftAc3 BENCH_9 baseline — \
+             see the node-budget column above)"
         );
         return ExitCode::FAILURE;
     }

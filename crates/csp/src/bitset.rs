@@ -776,6 +776,36 @@ impl WeightConstraint {
     pub fn table(&self) -> Option<&Arc<WeightTable>> {
         self.table.as_ref()
     }
+
+    /// The best weight among pairs of `value` (of the endpoint selected by
+    /// `var_is_first`) whose partner is both allowed by `bit` and set in
+    /// `partner_live`, plus the first partner value attaining it —
+    /// `(NEG_INFINITY, u32::MAX)` when no live supported partner remains.
+    ///
+    /// One [`simd::masked_row_max`] over the lane-padded bit-row for dense
+    /// tables; uniform constraints need only the first common bit.
+    pub fn live_row_max(
+        &self,
+        bit: &BitConstraint,
+        var_is_first: bool,
+        value: usize,
+        partner_live: &[u64],
+    ) -> (f64, u32) {
+        let mask = bit.row(var_is_first, value);
+        match &self.table {
+            Some(table) => simd::masked_row_max(table.row(var_is_first, value), mask, partner_live),
+            None => {
+                for (wi, (x, y)) in mask.iter().zip(partner_live).enumerate() {
+                    let m = x & y;
+                    if m != 0 {
+                        let first = (wi * 64) as u32 + m.trailing_zeros();
+                        return (self.default_weight, first);
+                    }
+                }
+                (f64::NEG_INFINITY, u32::MAX)
+            }
+        }
+    }
 }
 
 /// The compiled execution form of a weighted network: one
@@ -870,6 +900,140 @@ impl WeightKernel {
     /// replaced the per-pair hash probe on every weighted hot path.
     pub fn weight(&self, ci: usize, a: usize, b: usize) -> f64 {
         self.constraints[ci].get(a, b)
+    }
+
+    /// Builds the live-masked row-max working set over `live` (see
+    /// [`LiveRowMax`]) — the aggregates the soft-AC-3 propagator maintains
+    /// incrementally as search shrinks domains.
+    pub fn live_row_max(&self, kernel: &BitKernel, live: &BitDomains) -> LiveRowMax {
+        LiveRowMax::build(self, kernel, live)
+    }
+}
+
+/// Live-masked per-value row maxima for every constraint of a
+/// [`WeightKernel`], plus each constraint's max over live allowed pairs.
+///
+/// Where [`WeightConstraint::row_max`] is a compile-time aggregate over the
+/// *full* partner domain, these entries are masked by the current live
+/// domains and maintained incrementally as search deletes values: an entry
+/// is rescanned (one [`WeightConstraint::live_row_max`] over the
+/// lane-padded bit-row) only when a deletion kills its current argmax.
+/// This is the mutable working set of the soft-AC-3 propagator
+/// ([`crate::solver::SoftAc3`]).
+#[derive(Debug, Clone)]
+pub struct LiveRowMax {
+    /// Flat per-(constraint, side, value) maxima; each constraint
+    /// contributes one block for its first endpoint's values followed by
+    /// one for its second's.
+    max: Vec<f64>,
+    /// Partner value attaining each `max` entry (`u32::MAX` when none —
+    /// the entry is `NEG_INFINITY`, or reached it without a live partner).
+    arg: Vec<u32>,
+    /// `offs[2 * ci]` / `offs[2 * ci + 1]` = base slot of constraint
+    /// `ci`'s first/second-endpoint block; `offs[2 * count]` = total.
+    offs: Vec<u32>,
+    /// Per-constraint max weight over live allowed pairs.
+    cmax: Vec<f64>,
+}
+
+impl LiveRowMax {
+    /// Scans every constraint once against `live` (the root build; search
+    /// then maintains the entries incrementally).
+    pub fn build(weights: &WeightKernel, kernel: &BitKernel, live: &BitDomains) -> Self {
+        let count = kernel.constraint_count();
+        let mut offs = Vec::with_capacity(2 * count + 1);
+        let mut total = 0u32;
+        for ci in 0..count {
+            let bit = kernel.constraint(ci);
+            offs.push(total);
+            total += kernel.domain_size(bit.first()) as u32;
+            offs.push(total);
+            total += kernel.domain_size(bit.second()) as u32;
+        }
+        offs.push(total);
+        let mut out = LiveRowMax {
+            max: vec![f64::NEG_INFINITY; total as usize],
+            arg: vec![u32::MAX; total as usize],
+            offs,
+            cmax: vec![f64::NEG_INFINITY; count],
+        };
+        for ci in 0..count {
+            let bit = kernel.constraint(ci);
+            let weight = weights.constraint(ci);
+            for var_is_first in [true, false] {
+                let (var, partner) = if var_is_first {
+                    (bit.first(), bit.second())
+                } else {
+                    (bit.second(), bit.first())
+                };
+                for value in 0..kernel.domain_size(var) {
+                    let (max, arg) =
+                        weight.live_row_max(bit, var_is_first, value, live.words(partner));
+                    let slot = out.slot(ci, var_is_first, value);
+                    out.max[slot] = max;
+                    out.arg[slot] = arg;
+                }
+            }
+            out.cmax[ci] = out.recompute_cmax(ci, kernel, live);
+        }
+        out
+    }
+
+    /// Flat slot of the (constraint, side, value) entry — stable across
+    /// mutations, so undo journals can address entries by slot.
+    #[inline]
+    pub fn slot(&self, ci: usize, var_is_first: bool, value: usize) -> usize {
+        self.offs[2 * ci + usize::from(!var_is_first)] as usize + value
+    }
+
+    /// The (max, argmax) entry for `value` of the selected endpoint.
+    #[inline]
+    pub fn get(&self, ci: usize, var_is_first: bool, value: usize) -> (f64, u32) {
+        self.get_slot(self.slot(ci, var_is_first, value))
+    }
+
+    /// The (max, argmax) entry at a flat slot.
+    #[inline]
+    pub fn get_slot(&self, slot: usize) -> (f64, u32) {
+        (self.max[slot], self.arg[slot])
+    }
+
+    /// Overwrites the entry at `slot`, returning the previous (max,
+    /// argmax) for the undo journal.
+    #[inline]
+    pub fn set_slot(&mut self, slot: usize, max: f64, arg: u32) -> (f64, u32) {
+        let old = (self.max[slot], self.arg[slot]);
+        self.max[slot] = max;
+        self.arg[slot] = arg;
+        old
+    }
+
+    /// The constraint's max weight over live allowed pairs.
+    #[inline]
+    pub fn cmax(&self, ci: usize) -> f64 {
+        self.cmax[ci]
+    }
+
+    /// Overwrites a constraint's live-pair max, returning the previous
+    /// value for the undo journal.
+    #[inline]
+    pub fn set_cmax(&mut self, ci: usize, value: f64) -> f64 {
+        std::mem::replace(&mut self.cmax[ci], value)
+    }
+
+    /// Recomputes a constraint's live-pair max from its first-endpoint row
+    /// maxima (a handful of reads; domains are small).
+    pub fn recompute_cmax(&self, ci: usize, kernel: &BitKernel, live: &BitDomains) -> f64 {
+        let bit = kernel.constraint(ci);
+        let base = self.offs[2 * ci] as usize;
+        let mut best = f64::NEG_INFINITY;
+        live.for_each_live(bit.first(), |a| {
+            let v = self.max[base + a];
+            if v > best {
+                best = v;
+            }
+        });
+        best
     }
 }
 

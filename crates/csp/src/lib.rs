@@ -87,7 +87,7 @@ pub use analysis::NetworkProfile;
 pub use assignment::{Assignment, Solution};
 pub use bitset::{
     bit_constraint_compiles, weight_constraint_compiles, BitConstraint, BitDomains, BitKernel,
-    DomainMask, KernelEdge, WeightConstraint, WeightKernel, WeightTable,
+    DomainMask, KernelEdge, LiveRowMax, WeightConstraint, WeightKernel, WeightTable,
 };
 pub use constraint::BinaryConstraint;
 pub use domain::Domain;
@@ -97,8 +97,9 @@ pub use solver::portfolio::{ParallelBranchAndBound, WeightedPortfolioReport};
 pub use solver::{
     CancelToken, Enumerator, IncumbentObserver, JobPanic, MinConflicts, NetworkSearch,
     ParallelPortfolioSearch, PortfolioMember, PortfolioReport, Scheme, SearchEngine, SearchLimits,
-    SearchStats, SharedIncumbent, SolveResult, StealCountReport, StealOptimizeReport, StealReport,
-    StealScheduler, StealSolveReport, ValueOrdering, VariableOrdering, WorkerPool,
+    SearchStats, SharedIncumbent, SoftAc3, SoftMark, SolveResult, StealCountReport,
+    StealOptimizeReport, StealReport, StealScheduler, StealSolveReport, ValueOrdering,
+    VariableOrdering, Wipeout, WorkerPool,
 };
 pub use sync::{lock_or_recover, read_or_recover, write_or_recover};
 pub use weighted::{BnbOrder, BranchAndBound, Coop, WeightedNetwork};

@@ -178,6 +178,34 @@ pub mod scalar {
         }
         removed
     }
+
+    /// Max of `row[i]` over the set bits of `a & b`, with the first index
+    /// attaining it.  Empty mask (or a mask of NaN/`-inf`-only entries)
+    /// returns `(f64::NEG_INFINITY, u32::MAX)`.  Ties keep the lowest
+    /// index (strict `>` update) and NaN entries are never selected, so
+    /// the result is deterministic for any row contents.
+    #[inline]
+    pub fn masked_row_max(row: &[f64], a: &[u64], b: &[u64]) -> (f64, u32) {
+        let n = a.len().min(b.len());
+        let mut best = f64::NEG_INFINITY;
+        let mut arg = u32::MAX;
+        for wi in 0..n {
+            let mut m = a[wi] & b[wi];
+            while m != 0 {
+                let i = wi * 64 + m.trailing_zeros() as usize;
+                if i >= row.len() {
+                    return (best, arg);
+                }
+                let w = row[i];
+                if w > best {
+                    best = w;
+                    arg = i as u32;
+                }
+                m &= m - 1;
+            }
+        }
+        (best, arg)
+    }
 }
 
 /// 4-wide unrolled lane implementations.  Same reductions as [`scalar`]
@@ -332,6 +360,62 @@ pub mod lanes {
         }
         acc[0] + acc[1] + acc[2] + acc[3] + tail
     }
+
+    /// Max of `row[i]` over the set bits of `a & b`, with the first index
+    /// attaining it.  Blocks are skipped on a single lane-wide OR test;
+    /// words are then walked in ascending order with the same strict-`>`
+    /// update as [`super::scalar::masked_row_max`], so ties, NaN handling
+    /// and the returned argmax are bit-identical to the scalar path.
+    #[inline(always)]
+    pub fn masked_row_max(row: &[f64], a: &[u64], b: &[u64]) -> (f64, u32) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let mut best = f64::NEG_INFINITY;
+        let mut arg = u32::MAX;
+        let mut ac = a.chunks_exact(LANE_WORDS);
+        let mut bc = b.chunks_exact(LANE_WORDS);
+        let mut base = 0usize;
+        for (ca, cb) in (&mut ac).zip(&mut bc) {
+            let m0 = ca[0] & cb[0];
+            let m1 = ca[1] & cb[1];
+            let m2 = ca[2] & cb[2];
+            let m3 = ca[3] & cb[3];
+            if (m0 | m1 | m2 | m3) != 0 {
+                for (wi, masked) in [m0, m1, m2, m3].into_iter().enumerate() {
+                    let mut m = masked;
+                    while m != 0 {
+                        let i = base + wi * 64 + m.trailing_zeros() as usize;
+                        if i >= row.len() {
+                            return (best, arg);
+                        }
+                        let w = row[i];
+                        if w > best {
+                            best = w;
+                            arg = i as u32;
+                        }
+                        m &= m - 1;
+                    }
+                }
+            }
+            base += LANE_WORDS * 64;
+        }
+        for (wi, (x, y)) in ac.remainder().iter().zip(bc.remainder()).enumerate() {
+            let mut m = x & y;
+            while m != 0 {
+                let i = base + wi * 64 + m.trailing_zeros() as usize;
+                if i >= row.len() {
+                    return (best, arg);
+                }
+                let w = row[i];
+                if w > best {
+                    best = w;
+                    arg = i as u32;
+                }
+                m &= m - 1;
+            }
+        }
+        (best, arg)
+    }
 }
 
 /// The [`lanes`] implementations recompiled with AVX2 + POPCNT enabled so
@@ -374,6 +458,11 @@ mod x86 {
     #[target_feature(enable = "avx2,popcnt")]
     pub unsafe fn and_assign_count(dst: &mut [u64], src: &[u64]) -> u64 {
         lanes::and_assign_count(dst, src)
+    }
+
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn masked_row_max(row: &[f64], a: &[u64], b: &[u64]) -> (f64, u32) {
+        lanes::masked_row_max(row, a, b)
     }
 }
 
@@ -432,6 +521,14 @@ pub fn and_assign_count(dst: &mut [u64], src: &[u64]) -> u64 {
     dispatch!(and_assign_count(dst, src))
 }
 
+/// Max of `row[i]` over the set bits of `a & b`, plus the first index
+/// attaining it; `(f64::NEG_INFINITY, u32::MAX)` on an empty mask
+/// (dispatching).
+#[inline]
+pub fn masked_row_max(row: &[f64], a: &[u64], b: &[u64]) -> (f64, u32) {
+    dispatch!(masked_row_max(row, a, b))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,8 +568,57 @@ mod tests {
                 let r2 = lanes::and_assign_count(&mut d2, &b);
                 assert_eq!(r1, r2);
                 assert_eq!(d1, d2);
+                let row = row_for(seed, len * 64);
+                let (sv, sa) = scalar::masked_row_max(&row, &a, &b);
+                let (lv, la) = lanes::masked_row_max(&row, &a, &b);
+                assert_eq!(sv.to_bits(), lv.to_bits());
+                assert_eq!(sa, la);
             }
         }
+    }
+
+    /// A dense weight row with repeated values so ties are exercised.
+    fn row_for(seed: u64, len: usize) -> Vec<f64> {
+        words(seed.wrapping_add(7), len)
+            .into_iter()
+            .map(|w| f64::from((w % 17) as u32))
+            .collect()
+    }
+
+    #[test]
+    fn masked_row_max_edge_cases() {
+        // Empty mask.
+        let row = vec![1.0, 2.0, 3.0];
+        let z = vec![0u64; 4];
+        let ones = vec![u64::MAX; 4];
+        assert_eq!(
+            scalar::masked_row_max(&row, &z, &ones),
+            (f64::NEG_INFINITY, u32::MAX)
+        );
+        assert_eq!(
+            lanes::masked_row_max(&row, &z, &ones),
+            (f64::NEG_INFINITY, u32::MAX)
+        );
+        // Ties keep the lowest index on both paths.
+        let row = vec![5.0, 7.0, 7.0, 1.0];
+        let mask = vec![0b1111u64];
+        assert_eq!(scalar::masked_row_max(&row, &mask, &mask), (7.0, 1));
+        assert_eq!(lanes::masked_row_max(&row, &mask, &mask), (7.0, 1));
+        // Bits beyond the row length are ignored.
+        let wide = vec![u64::MAX; 2];
+        assert_eq!(scalar::masked_row_max(&row, &wide, &wide), (7.0, 1));
+        assert_eq!(lanes::masked_row_max(&row, &wide, &wide), (7.0, 1));
+        // NaN entries are never selected; an all-NaN mask yields the
+        // empty-mask sentinel.
+        let row = vec![f64::NAN, 2.0, f64::NAN];
+        let mask = vec![0b111u64];
+        assert_eq!(scalar::masked_row_max(&row, &mask, &mask), (2.0, 1));
+        assert_eq!(lanes::masked_row_max(&row, &mask, &mask), (2.0, 1));
+        let nan_only = vec![0b101u64];
+        let (v, i) = scalar::masked_row_max(&row, &nan_only, &nan_only);
+        assert!(v == f64::NEG_INFINITY && i == u32::MAX);
+        let (v, i) = lanes::masked_row_max(&row, &nan_only, &nan_only);
+        assert!(v == f64::NEG_INFINITY && i == u32::MAX);
     }
 
     #[test]
@@ -517,6 +663,11 @@ mod tests {
         let a = words(5, 12);
         let b = words(6, 12);
         assert_eq!(and_popcount(&a, &b), scalar::and_popcount(&a, &b));
+        let row = row_for(5, 12 * 64);
+        assert_eq!(
+            masked_row_max(&row, &a, &b),
+            scalar::masked_row_max(&row, &a, &b)
+        );
         force_backend(original);
     }
 }

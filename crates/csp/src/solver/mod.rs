@@ -20,6 +20,7 @@ mod local;
 mod ordering;
 pub mod pool;
 pub mod portfolio;
+pub mod soft_ac3;
 pub mod steal;
 
 pub use ac3::{ac3, ac3_kernel, Ac3Outcome};
@@ -34,6 +35,7 @@ pub use portfolio::{
     CancelToken, IncumbentObserver, ParallelPortfolioSearch, PortfolioMember, PortfolioReport,
     SharedIncumbent,
 };
+pub use soft_ac3::{SoftAc3, SoftMark, Wipeout};
 pub use steal::{
     StealCountReport, StealOptimizeReport, StealReport, StealScheduler, StealSolveReport,
 };
@@ -123,6 +125,12 @@ pub struct SearchStats {
     /// gate divides by the revision count.  Only propagation fills it in;
     /// tree-search counters leave it at zero.
     pub bytes_touched: u64,
+    /// Number of per-variable soft-AC-3 revise passes (weighted bound
+    /// consistency; 0 on unweighted or unpropagated searches).
+    pub soft_revisions: u64,
+    /// Number of domain values deleted by the soft-AC-3 incumbent bound
+    /// (forward-check removals count under neither this nor `prunings`).
+    pub bound_deletions: u64,
 }
 
 impl SearchStats {
@@ -137,6 +145,8 @@ impl SearchStats {
         self.steals += other.steals;
         self.splits += other.splits;
         self.bytes_touched += other.bytes_touched;
+        self.soft_revisions += other.soft_revisions;
+        self.bound_deletions += other.bound_deletions;
     }
 }
 
@@ -144,7 +154,7 @@ impl fmt::Display for SearchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "nodes={} backtracks={} backjumps={} checks={} prunings={} max_depth={} steals={} splits={} bytes={}",
+            "nodes={} backtracks={} backjumps={} checks={} prunings={} max_depth={} steals={} splits={} bytes={} soft_revisions={} bound_deletions={}",
             self.nodes_visited,
             self.backtracks,
             self.backjumps,
@@ -153,7 +163,9 @@ impl fmt::Display for SearchStats {
             self.max_depth,
             self.steals,
             self.splits,
-            self.bytes_touched
+            self.bytes_touched,
+            self.soft_revisions,
+            self.bound_deletions
         )
     }
 }
@@ -425,6 +437,8 @@ mod tests {
             steals: 1,
             splits: 2,
             bytes_touched: 100,
+            soft_revisions: 9,
+            bound_deletions: 4,
         };
         let b = SearchStats {
             nodes_visited: 7,
@@ -436,6 +450,8 @@ mod tests {
             steals: 3,
             splits: 1,
             bytes_touched: 28,
+            soft_revisions: 11,
+            bound_deletions: 6,
         };
         a.absorb(&b);
         assert_eq!(a.nodes_visited, 12);
@@ -444,8 +460,93 @@ mod tests {
         assert_eq!(a.steals, 4);
         assert_eq!(a.splits, 3);
         assert_eq!(a.bytes_touched, 128);
+        assert_eq!(a.soft_revisions, 20);
+        assert_eq!(a.bound_deletions, 10);
         assert!(a.to_string().contains("nodes=12"));
         assert!(a.to_string().contains("bytes=128"));
+        assert!(a.to_string().contains("soft_revisions=20"));
+        assert!(a.to_string().contains("bound_deletions=10"));
+    }
+
+    /// `absorb` must sum (or max) *every* counter and `Display` must print
+    /// every field — exhaustive destructuring makes adding a field without
+    /// updating both a compile error here, so a new counter can never be
+    /// silently dropped again.
+    #[test]
+    fn stats_absorb_covers_every_field() {
+        let a = SearchStats {
+            nodes_visited: 1,
+            backtracks: 2,
+            backjumps: 3,
+            consistency_checks: 4,
+            prunings: 5,
+            max_depth: 6,
+            steals: 7,
+            splits: 8,
+            bytes_touched: 9,
+            soft_revisions: 10,
+            bound_deletions: 11,
+        };
+        let b = SearchStats {
+            nodes_visited: 100,
+            backtracks: 200,
+            backjumps: 300,
+            consistency_checks: 400,
+            prunings: 500,
+            max_depth: 600,
+            steals: 700,
+            splits: 800,
+            bytes_touched: 900,
+            soft_revisions: 1000,
+            bound_deletions: 1100,
+        };
+        let mut merged = a;
+        merged.absorb(&b);
+        // Exhaustive: a missing field here fails to compile.
+        let SearchStats {
+            nodes_visited,
+            backtracks,
+            backjumps,
+            consistency_checks,
+            prunings,
+            max_depth,
+            steals,
+            splits,
+            bytes_touched,
+            soft_revisions,
+            bound_deletions,
+        } = merged;
+        assert_eq!(nodes_visited, a.nodes_visited + b.nodes_visited);
+        assert_eq!(backtracks, a.backtracks + b.backtracks);
+        assert_eq!(backjumps, a.backjumps + b.backjumps);
+        assert_eq!(
+            consistency_checks,
+            a.consistency_checks + b.consistency_checks
+        );
+        assert_eq!(prunings, a.prunings + b.prunings);
+        assert_eq!(max_depth, a.max_depth.max(b.max_depth));
+        assert_eq!(steals, a.steals + b.steals);
+        assert_eq!(splits, a.splits + b.splits);
+        assert_eq!(bytes_touched, a.bytes_touched + b.bytes_touched);
+        assert_eq!(soft_revisions, a.soft_revisions + b.soft_revisions);
+        assert_eq!(bound_deletions, a.bound_deletions + b.bound_deletions);
+        // Display names every counter.
+        let rendered = merged.to_string();
+        for field in [
+            "nodes=",
+            "backtracks=",
+            "backjumps=",
+            "checks=",
+            "prunings=",
+            "max_depth=",
+            "steals=",
+            "splits=",
+            "bytes=",
+            "soft_revisions=",
+            "bound_deletions=",
+        ] {
+            assert!(rendered.contains(field), "Display is missing `{field}`");
+        }
     }
 
     #[test]

@@ -32,10 +32,11 @@ pub(crate) const UNSUPPORTED_PENALTY: f64 = -1.0e12;
 /// `NEG_INFINITY` when no live partner supports it.
 ///
 /// While the partner's domain is unpruned this is the kernel's precomputed
-/// per-value row-maximum aggregate (one load); otherwise it is a word-AND
-/// scan over the live supports reading the dense row.  This is the one
-/// copy of the "optimistic potential" both the weighted value ordering and
-/// the greedy probe score with.
+/// per-value row-maximum aggregate (one load); otherwise it is the SIMD
+/// masked row-maximum over the live supports ([`WeightConstraint::
+/// live_row_max`](crate::bitset::WeightConstraint::live_row_max)).  This
+/// is the one copy of the "optimistic potential" both the weighted value
+/// ordering and the greedy probe score with.
 pub fn best_live_weight(
     kernel: &BitKernel,
     weights: &WeightKernel,
@@ -47,14 +48,14 @@ pub fn best_live_weight(
     if live.count(edge.other) == kernel.domain_size(edge.other) {
         weight.row_max(edge.var_is_first, value)
     } else {
-        let row = kernel
-            .constraint(edge.constraint)
-            .row(edge.var_is_first, value);
-        let mut best = f64::NEG_INFINITY;
-        live.for_each_common(edge.other, row, |other| {
-            best = best.max(weight.oriented(edge.var_is_first, value, other));
-        });
-        best
+        weight
+            .live_row_max(
+                kernel.constraint(edge.constraint),
+                edge.var_is_first,
+                value,
+                live.words(edge.other),
+            )
+            .0
     }
 }
 

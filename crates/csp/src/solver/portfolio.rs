@@ -887,6 +887,16 @@ impl ParallelBranchAndBound {
         self
     }
 
+    /// Enables or disables weighted bound-consistency propagation
+    /// ([`crate::solver::SoftAc3`]) in the primary, the sequential probe
+    /// and every exploring helper (all clone the primary; on by default).
+    /// The flag trades nodes for propagation work only — the reported
+    /// optimum and its weight are bit-identical either way.
+    pub fn propagation(mut self, on: bool) -> Self {
+        self.primary.propagate = on;
+        self
+    }
+
     /// Attaches an external cancellation token: the primary (and the
     /// sequential probe) aborts at its next poll point once the token
     /// fires, coming back with `cancelled` set on the result.  Helpers are

@@ -51,6 +51,7 @@ use super::{NetworkSearch, SearchLimits, SearchStats, SolveResult};
 use crate::assignment::{Assignment, Solution};
 use crate::bitset::{BitKernel, KernelEdge, WeightKernel};
 use crate::network::{ConstraintNetwork, VarId};
+use crate::solver::soft_ac3::{SoftAc3, SoftMark};
 use crate::solver::weighted_value_order;
 use crate::weighted::{OptimizeResult, WeightedNetwork};
 use crate::Value;
@@ -167,6 +168,10 @@ struct Level {
     lo: usize,
     hi: usize,
     weight: f64,
+    /// Propagation journal position taken just before the assignment that
+    /// opened this level; popping the level rewinds the [`SoftAc3`] state
+    /// to it.  [`SoftMark::ROOT`] when propagation is off.
+    mark: SoftMark,
 }
 
 /// The best complete assignment found so far (SAT and BnB modes).
@@ -191,6 +196,15 @@ struct Space<V: Value> {
     earlier: Vec<Vec<KernelEdge>>,
     live: Vec<Vec<usize>>,
     max_pair_weight: Vec<f64>,
+    /// Root-propagated weighted bound-consistency template (optimize mode
+    /// with propagation enabled).  Each worker clones it and rebuilds the
+    /// per-frame state deterministically by replaying the frame trail, so
+    /// the propagation reached is a pure function of the path — the node
+    /// partition stays exact at every worker count.
+    soft: Option<SoftAc3>,
+    /// Counters accrued by the one-time root propagation, absorbed exactly
+    /// once by the collector (not per worker).
+    soft_root_stats: SearchStats,
     mode: ModeKind,
     node_limit: Option<u64>,
     deadline: Option<Instant>,
@@ -246,6 +260,10 @@ struct Worker {
     stats: SearchStats,
     solutions: u64,
     assignment: Assignment,
+    /// This worker's clone of the space's root-propagated [`SoftAc3`]
+    /// template; always rewound to the committed root baseline between
+    /// frames.
+    soft: Option<SoftAc3>,
     levels: Vec<Level>,
     exploring_stolen: bool,
     hungry_registered: bool,
@@ -278,17 +296,39 @@ struct RunOutput {
 /// Without a pool the scheduler degrades to a single sequential worker —
 /// the same algorithm, zero splits — which is also the 1-worker baseline
 /// the determinism contract is audited against.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct StealScheduler {
     parallelism: Option<usize>,
     pool: Option<Arc<WorkerPool>>,
     observer: Option<IncumbentObserver>,
+    propagation: bool,
+}
+
+impl Default for StealScheduler {
+    fn default() -> Self {
+        StealScheduler {
+            parallelism: None,
+            pool: None,
+            observer: None,
+            propagation: true,
+        }
+    }
 }
 
 impl StealScheduler {
     /// A scheduler with no pool (sequential until one is attached).
     pub fn new() -> Self {
         StealScheduler::default()
+    }
+
+    /// Enables or disables weighted bound-consistency propagation
+    /// ([`SoftAc3`]) in optimize mode (on by default).  The flag trades
+    /// nodes for propagation work only: the reported optimum and its
+    /// weight are bit-identical either way.  Satisfy and count runs never
+    /// propagate, so their exact node partition is unaffected.
+    pub fn propagation(mut self, on: bool) -> Self {
+        self.propagation = on;
+        self
     }
 
     /// Attaches the shared worker pool the scheduler fans out over.
@@ -524,7 +564,8 @@ impl StealScheduler {
         }
         let mut order: Vec<VarId> = network.variables().collect();
         let kernel = Arc::clone(network.kernel());
-        let (weights, live, max_pair_weight) = match (mode, weighted) {
+        let mut soft_root_stats = SearchStats::default();
+        let (weights, live, max_pair_weight, soft) = match (mode, weighted) {
             (ModeKind::Optimize, Some(weighted)) => {
                 // Branch and bound: most-constrained-first order, values by
                 // descending weight potential, per-constraint optimistic
@@ -563,7 +604,23 @@ impl StealScheduler {
                         }
                     })
                     .collect();
-                (Some(weight_kernel), live, max_pair_weight)
+                // Root-propagated bound-consistency template: built once,
+                // cloned per worker.  A root wipeout means no assignment
+                // can strictly beat negative infinity — i.e. every value
+                // of some variable is hard-unsupported — so the network
+                // is trivially unsatisfiable.
+                let soft = if self.propagation {
+                    let mut soft =
+                        SoftAc3::new(&kernel, &weight_kernel, network.mask().map(|m| &**m));
+                    if soft.root_propagate(&mut soft_root_stats).is_err() {
+                        return Prepared::Trivial(false);
+                    }
+                    soft.commit();
+                    Some(soft)
+                } else {
+                    None
+                };
+                (Some(weight_kernel), live, max_pair_weight, soft)
             }
             _ => {
                 // Satisfy/count: the enumerator's static most-constrained-
@@ -580,7 +637,7 @@ impl StealScheduler {
                     .variables()
                     .map(|v| network.live_values(v))
                     .collect();
-                (None, live, Vec::new())
+                (None, live, Vec::new(), None)
             }
         };
         if live.iter().any(|values| values.is_empty()) {
@@ -611,6 +668,8 @@ impl StealScheduler {
             earlier,
             live,
             max_pair_weight,
+            soft,
+            soft_root_stats,
             mode,
             node_limit: limits.node_limit,
             deadline: limits.deadline,
@@ -670,6 +729,9 @@ impl StealScheduler {
 
         let own = worker_run(&space, &shared, 0);
         let mut stats = own.stats;
+        // The one-time root propagation belongs to the run, not to any
+        // worker: absorb its counters exactly once.
+        stats.absorb(&space.soft_root_stats);
         let mut solutions = own.solutions;
         while in_flight > 0 {
             match rx.recv_timeout(COLLECT_POLL) {
@@ -740,6 +802,7 @@ fn worker_run<V: Value>(space: &Space<V>, shared: &Shared, id: usize) -> WorkerO
         stats: SearchStats::default(),
         solutions: 0,
         assignment: Assignment::new(space.network.variable_count()),
+        soft: space.soft.clone(),
         levels: Vec::new(),
         exploring_stolen: false,
         hungry_registered: false,
@@ -821,6 +884,7 @@ fn explore<V: Value>(space: &Space<V>, shared: &Shared, w: &mut Worker, frame: F
     w.exploring_stolen = frame.donor != w.id;
     let base = frame.trail.len();
     let mut weight = 0.0;
+    let mut soft_wipeout = false;
     for (depth, &value) in frame.trail.iter().enumerate() {
         let var = space.order[depth];
         if space.mode == ModeKind::Optimize {
@@ -829,13 +893,44 @@ fn explore<V: Value>(space: &Space<V>, shared: &Shared, w: &mut Worker, frame: F
             weight += gained(space, &w.assignment, depth, value);
         }
         w.assignment.assign(var, value);
+        // Rebuild the propagation state from the trail: the forward-checked
+        // domains after the replay are a pure function of the path (the
+        // donor's own state was at least as tight, so a wipeout here is a
+        // defensive impossibility — handled as a pruned frame regardless).
+        if !soft_wipeout {
+            if let Some(soft) = w.soft.as_mut() {
+                if soft.assign(var, value).is_err() {
+                    soft_wipeout = true;
+                }
+            }
+        }
     }
     let mut pruned = false;
     if space.mode == ModeKind::Optimize {
-        let optimistic = optimistic_bound(space, &w.assignment);
-        if weight + optimistic < shared.incumbent.get() {
-            w.stats.prunings += 1;
-            pruned = true;
+        if let Some(soft) = w.soft.as_mut() {
+            // One fixpoint over the replayed prefix stands in for the
+            // frame-level optimistic prune: strictly below the shared
+            // incumbent is dead, ties survive (no local best in the
+            // sharded search — the incumbent carries all pruning).
+            if soft_wipeout
+                || soft
+                    .propagate(
+                        weight,
+                        f64::NEG_INFINITY,
+                        shared.incumbent.get(),
+                        &mut w.stats,
+                    )
+                    .is_err()
+            {
+                w.stats.prunings += 1;
+                pruned = true;
+            }
+        } else {
+            let optimistic = optimistic_bound(space, &w.assignment);
+            if weight + optimistic < shared.incumbent.get() {
+                w.stats.prunings += 1;
+                pruned = true;
+            }
         }
     }
     if !pruned {
@@ -845,11 +940,17 @@ fn explore<V: Value>(space: &Space<V>, shared: &Shared, w: &mut Worker, frame: F
             lo: frame.lo,
             hi: frame.hi,
             weight,
+            mark: SoftMark::ROOT,
         });
         dfs(space, shared, w, base);
     }
     for depth in (0..base).rev() {
         w.assignment.unassign(space.order[depth]);
+    }
+    // Rewind every journaled change (trail replay, fixpoint deletions and
+    // in-frame leftovers) back to the committed root baseline.
+    if let Some(soft) = w.soft.as_mut() {
+        soft.undo_all();
     }
 }
 
@@ -866,6 +967,9 @@ fn dfs<V: Value>(space: &Space<V>, shared: &Shared, w: &mut Worker, base: usize)
             while let Some(level) = w.levels.pop() {
                 if level.depth > base {
                     w.assignment.unassign(space.order[level.depth - 1]);
+                    if let Some(soft) = w.soft.as_mut() {
+                        soft.undo_to(level.mark);
+                    }
                 }
             }
             return;
@@ -876,15 +980,26 @@ fn dfs<V: Value>(space: &Space<V>, shared: &Shared, w: &mut Worker, base: usize)
         let level_weight = top.weight;
         let var = space.order[depth];
         if top.lo == top.hi {
-            w.levels.pop();
+            let level = w.levels.pop().expect("level stack is non-empty");
             if depth > base {
                 w.assignment.unassign(space.order[depth - 1]);
+                if let Some(soft) = w.soft.as_mut() {
+                    soft.undo_to(level.mark);
+                }
             }
             w.stats.backtracks += 1;
             continue;
         }
         let value = space.live[var.index()][top.lo];
         top.lo += 1;
+        // Values the bound-consistency fixpoint already deleted are not
+        // search nodes: skip before the node counter, exactly like the
+        // sequential `BranchAndBound`.
+        if let Some(soft) = &w.soft {
+            if !soft.is_live(var, value) {
+                continue;
+            }
+        }
         w.stats.nodes_visited += 1;
         if depth + 1 > w.stats.max_depth {
             w.stats.max_depth = depth + 1;
@@ -899,25 +1014,29 @@ fn dfs<V: Value>(space: &Space<V>, shared: &Shared, w: &mut Worker, base: usize)
         }
         // Inline `conflicts_any` over the assigned-prefix edge list: one
         // check per probed edge, early exit on the first conflict — the
-        // same probe order and check counts on every worker.
-        let mut conflict = false;
-        for edge in &space.earlier[depth] {
-            if let Some(other_value) = w.assignment.get(edge.other) {
-                w.stats.consistency_checks += 1;
-                let c = space.kernel.constraint(edge.constraint);
-                let allowed = if edge.var_is_first {
-                    c.allows(value, other_value)
-                } else {
-                    c.allows(other_value, value)
-                };
-                if !allowed {
-                    conflict = true;
-                    break;
+        // same probe order and check counts on every worker.  Redundant
+        // when propagation is on: every live value has been forward-checked
+        // against the whole assigned prefix.
+        if w.soft.is_none() {
+            let mut conflict = false;
+            for edge in &space.earlier[depth] {
+                if let Some(other_value) = w.assignment.get(edge.other) {
+                    w.stats.consistency_checks += 1;
+                    let c = space.kernel.constraint(edge.constraint);
+                    let allowed = if edge.var_is_first {
+                        c.allows(value, other_value)
+                    } else {
+                        c.allows(other_value, value)
+                    };
+                    if !allowed {
+                        conflict = true;
+                        break;
+                    }
                 }
             }
-        }
-        if conflict {
-            continue;
+            if conflict {
+                continue;
+            }
         }
         if depth + 1 == depth_count {
             w.assignment.assign(var, value);
@@ -931,15 +1050,40 @@ fn dfs<V: Value>(space: &Space<V>, shared: &Shared, w: &mut Worker, base: usize)
             0.0
         };
         w.assignment.assign(var, value);
+        let mut child_mark = SoftMark::ROOT;
         if space.mode == ModeKind::Optimize {
-            let optimistic = optimistic_bound(space, &w.assignment);
-            // Strictly below the shared incumbent: nothing reportable lives
-            // here.  Ties must be explored — that is what keeps the final
-            // solution independent of bound-arrival timing.
-            if level_weight + gained_here + optimistic < shared.incumbent.get() {
-                w.stats.prunings += 1;
-                w.assignment.unassign(var);
-                continue;
+            if let Some(soft) = w.soft.as_mut() {
+                // Propagate-then-branch: forward-check the assignment and
+                // run the bound-consistency fixpoint against the shared
+                // incumbent (strict <, ties explored — the same contract
+                // as the optimistic prune it replaces).
+                let mark = soft.mark();
+                let ok = soft.assign(var, value).is_ok()
+                    && soft
+                        .propagate(
+                            level_weight + gained_here,
+                            f64::NEG_INFINITY,
+                            shared.incumbent.get(),
+                            &mut w.stats,
+                        )
+                        .is_ok();
+                if !ok {
+                    w.stats.prunings += 1;
+                    soft.undo_to(mark);
+                    w.assignment.unassign(var);
+                    continue;
+                }
+                child_mark = mark;
+            } else {
+                let optimistic = optimistic_bound(space, &w.assignment);
+                // Strictly below the shared incumbent: nothing reportable
+                // lives here.  Ties must be explored — that is what keeps
+                // the final solution independent of bound-arrival timing.
+                if level_weight + gained_here + optimistic < shared.incumbent.get() {
+                    w.stats.prunings += 1;
+                    w.assignment.unassign(var);
+                    continue;
+                }
             }
         }
         let next_var = space.order[depth + 1];
@@ -948,6 +1092,7 @@ fn dfs<V: Value>(space: &Space<V>, shared: &Shared, w: &mut Worker, base: usize)
             lo: 0,
             hi: space.live[next_var.index()].len(),
             weight: level_weight + gained_here,
+            mark: child_mark,
         });
     }
 }

@@ -32,7 +32,7 @@ use crate::bitset::{KernelEdge, WeightKernel, WeightTable};
 use crate::network::{ConstraintNetwork, VarId};
 use crate::solver::portfolio::{CancelToken, SharedIncumbent};
 use crate::solver::weighted_value_order;
-use crate::solver::{SearchLimits, SearchStats};
+use crate::solver::{SearchLimits, SearchStats, SoftAc3};
 use crate::Value;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -412,12 +412,28 @@ pub enum BnbOrder {
 }
 
 /// Depth-first branch and bound over a [`WeightedNetwork`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BranchAndBound {
     /// Give up after visiting this many nodes (`None` = unlimited).
     pub node_limit: Option<u64>,
     /// Variable instantiation order.
     pub order: BnbOrder,
+    /// Run the soft-AC-3 weighted bound-consistency propagator
+    /// ([`SoftAc3`]) at every node (default: on).  Results are identical
+    /// either way — propagation only cuts subtrees that cannot change the
+    /// reported optimum — so this is a perf/verification toggle, not a
+    /// semantic one.
+    pub propagate: bool,
+}
+
+impl Default for BranchAndBound {
+    fn default() -> Self {
+        BranchAndBound {
+            node_limit: None,
+            order: BnbOrder::default(),
+            propagate: true,
+        }
+    }
 }
 
 impl BranchAndBound {
@@ -429,6 +445,12 @@ impl BranchAndBound {
     /// Sets the variable instantiation order.
     pub fn order(mut self, order: BnbOrder) -> Self {
         self.order = order;
+        self
+    }
+
+    /// Toggles soft-AC-3 propagation (see the `propagate` field).
+    pub fn propagation(mut self, on: bool) -> Self {
+        self.propagate = on;
         self
     }
 
@@ -564,6 +586,28 @@ impl BranchAndBound {
             earlier,
             max_pair_weight,
         };
+        // Soft-AC-3 root state: a hard fixpoint (no incumbent) deletes
+        // values with no completion at all; a root wipeout proves the
+        // network has no solution, which is exactly the empty result the
+        // unpropagated search would grind to.
+        let mut soft = if self.propagate {
+            let mut soft = SoftAc3::new(&kernel, &weights, network.mask().map(|m| &**m));
+            if soft.root_propagate(&mut stats).is_err() {
+                return OptimizeResult {
+                    solution: None,
+                    best_weight: 0.0,
+                    stats,
+                    elapsed: start.elapsed(),
+                    hit_node_limit: false,
+                    hit_deadline: false,
+                    cancelled: false,
+                };
+            }
+            soft.commit();
+            Some(soft)
+        } else {
+            None
+        };
         self.recurse(
             &ctx,
             0,
@@ -571,6 +615,7 @@ impl BranchAndBound {
             0.0,
             &mut best_weight,
             &mut best_assignment,
+            &mut soft,
             &mut stats,
             &mut cutoff,
         );
@@ -600,6 +645,7 @@ impl BranchAndBound {
         weight_so_far: f64,
         best_weight: &mut f64,
         best_assignment: &mut Option<Assignment>,
+        soft: &mut Option<SoftAc3>,
         stats: &mut SearchStats,
         cutoff: &mut Cutoff,
     ) {
@@ -641,58 +687,74 @@ impl BranchAndBound {
             }
             return;
         }
-        // Upper bound: current weight plus the best conceivable weight of
-        // every constraint not yet fully assigned.
-        let optimistic: f64 = ctx
-            .max_pair_weight
-            .iter()
-            .enumerate()
-            .filter(|&(ci, _)| {
-                let c = ctx.kernel.constraint(ci);
-                assignment.get(c.first()).is_none() || assignment.get(c.second()).is_none()
-            })
-            .map(|(_, &bound)| bound)
-            .sum();
-        if weight_so_far + optimistic <= *best_weight {
-            stats.prunings += 1;
-            return; // prune: cannot beat this member's own incumbent
-        }
-        if let Some(incumbent) = ctx.coop.incumbent {
-            // Strictly below the shared bound: cannot even tie the best
-            // solution found anywhere, so nothing reportable lives here.
-            // (Strict `<` — ties must be explored — keeps the final
-            // solution independent of bound-arrival timing.)
-            if weight_so_far + optimistic < incumbent.get() {
+        // Upper bound: with propagation on, the parent's `propagate` call
+        // already performed a (tighter, live-masked) node bound check —
+        // the static optimistic scan below is only the unpropagated path.
+        if soft.is_none() {
+            // Current weight plus the best conceivable weight of every
+            // constraint not yet fully assigned.
+            let optimistic: f64 = ctx
+                .max_pair_weight
+                .iter()
+                .enumerate()
+                .filter(|&(ci, _)| {
+                    let c = ctx.kernel.constraint(ci);
+                    assignment.get(c.first()).is_none() || assignment.get(c.second()).is_none()
+                })
+                .map(|(_, &bound)| bound)
+                .sum();
+            if weight_so_far + optimistic <= *best_weight {
                 stats.prunings += 1;
-                return;
+                return; // prune: cannot beat this member's own incumbent
+            }
+            if let Some(incumbent) = ctx.coop.incumbent {
+                // Strictly below the shared bound: cannot even tie the best
+                // solution found anywhere, so nothing reportable lives here.
+                // (Strict `<` — ties must be explored — keeps the final
+                // solution independent of bound-arrival timing.)
+                if weight_so_far + optimistic < incumbent.get() {
+                    stats.prunings += 1;
+                    return;
+                }
             }
         }
 
         let var = ctx.order[depth];
         let earlier = &ctx.earlier[depth];
         for &value in &ctx.live[var.index()] {
+            if let Some(soft) = soft.as_ref() {
+                // Deleted by bound consistency (or forward checking): no
+                // completion through this value can beat the incumbent.
+                if !soft.is_live(var, value) {
+                    continue;
+                }
+            }
             stats.nodes_visited += 1;
             stats.max_depth = stats.max_depth.max(depth + 1);
             // Inline `conflicts_any` over the assigned-prefix edge list:
             // one check per probed edge, early exit on the first conflict.
-            let mut conflict = false;
-            for edge in earlier {
-                if let Some(other_value) = assignment.get(edge.other) {
-                    stats.consistency_checks += 1;
-                    let c = ctx.kernel.constraint(edge.constraint);
-                    let allowed = if edge.var_is_first {
-                        c.allows(value, other_value)
-                    } else {
-                        c.allows(other_value, value)
-                    };
-                    if !allowed {
-                        conflict = true;
-                        break;
+            // The propagated path needs no probe: forward checking already
+            // removed every value incompatible with an assigned neighbour.
+            if soft.is_none() {
+                let mut conflict = false;
+                for edge in earlier {
+                    if let Some(other_value) = assignment.get(edge.other) {
+                        stats.consistency_checks += 1;
+                        let c = ctx.kernel.constraint(edge.constraint);
+                        let allowed = if edge.var_is_first {
+                            c.allows(value, other_value)
+                        } else {
+                            c.allows(other_value, value)
+                        };
+                        if !allowed {
+                            conflict = true;
+                            break;
+                        }
                     }
                 }
-            }
-            if conflict {
-                continue;
+                if conflict {
+                    continue;
+                }
             }
             // Weight gained: every constraint between var and an assigned
             // neighbour contributes the weight of the now-selected pair —
@@ -710,6 +772,29 @@ impl BranchAndBound {
                 }
             }
             assignment.assign(var, value);
+            // Propagate-then-branch: record the assignment in the soft
+            // state (reclassify + forward-check), then run the bound-
+            // consistency fixpoint against both incumbents.  Either step
+            // failing proves the subtree cannot improve the result.
+            let mut soft_mark = None;
+            if let Some(soft_state) = soft.as_mut() {
+                let mark = soft_state.mark();
+                let shared = ctx
+                    .coop
+                    .incumbent
+                    .map_or(f64::NEG_INFINITY, SharedIncumbent::get);
+                let ok = soft_state.assign(var, value).is_ok()
+                    && soft_state
+                        .propagate(weight_so_far + gained, *best_weight, shared, stats)
+                        .is_ok();
+                if !ok {
+                    stats.prunings += 1;
+                    soft_state.undo_to(mark);
+                    assignment.unassign(var);
+                    continue;
+                }
+                soft_mark = Some(mark);
+            }
             self.recurse(
                 ctx,
                 depth + 1,
@@ -717,9 +802,13 @@ impl BranchAndBound {
                 weight_so_far + gained,
                 best_weight,
                 best_assignment,
+                soft,
                 stats,
                 cutoff,
             );
+            if let Some(mark) = soft_mark {
+                soft.as_mut().expect("soft state set above").undo_to(mark);
+            }
             assignment.unassign(var);
         }
         stats.backtracks += 1;

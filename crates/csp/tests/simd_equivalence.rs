@@ -200,6 +200,41 @@ proptest! {
         prop_assert_eq!(scalar_run, simd_run);
     }
 
+    /// Masked row-maximum — the [`SoftAc3`] bound primitive behind
+    /// `WeightKernel::live_row_max` — is bit-exact across backends: the
+    /// 4-wide lanes and the dispatched entry point return the same
+    /// maximum bits and the same (lowest) argmax as the scalar reference
+    /// for any row contents, including NaN, infinities, negative zero
+    /// and rows shorter than the mask (the truncation path).
+    #[test]
+    fn masked_row_max_matches_scalar_reference(
+        a in proptest::collection::vec(any::<u64>(), 0..11),
+        b in proptest::collection::vec(any::<u64>(), 0..11),
+        row_bits in proptest::collection::vec(any::<u64>(), 0..704),
+        tie_stride in 1usize..9,
+    ) {
+        // Half the rows reinterpret raw bits (NaN / ±inf / -0.0 soup);
+        // the other half collapse onto a few repeated finite values so
+        // lowest-index tie-breaking is actually exercised.
+        let row: Vec<f64> = if tie_stride % 2 == 0 {
+            row_bits.iter().map(|&w| f64::from_bits(w)).collect()
+        } else {
+            row_bits
+                .iter()
+                .map(|&w| f64::from((w % tie_stride as u64) as u32))
+                .collect()
+        };
+        let (sv, sa) = simd::scalar::masked_row_max(&row, &a, &b);
+        let (lv, la) = simd::lanes::masked_row_max(&row, &a, &b);
+        prop_assert_eq!((sv.to_bits(), sa), (lv.to_bits(), la));
+        let (scalar_run, simd_run) = under_both(|| {
+            let (value, arg) = simd::masked_row_max(&row, &a, &b);
+            (value.to_bits(), arg)
+        });
+        prop_assert_eq!(scalar_run, (sv.to_bits(), sa));
+        prop_assert_eq!(scalar_run, simd_run);
+    }
+
     /// Padding regression: the lane-padded tail words of every variable
     /// stay zero through restriction, AC-3 pruning and mask overlays —
     /// phantom live values in the padding would corrupt counts under any
